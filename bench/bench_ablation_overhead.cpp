@@ -1,0 +1,40 @@
+/// Ablation: sensitivity to the per-task dynamic-analysis cost — the key
+/// calibration constant of the reproduction (DESIGN.md §5). Sweeps the
+/// task-launch overhead and reports CG time/iteration at a small, a medium,
+/// and a large problem size. The small-size column scales linearly with the
+/// overhead (analysis-bound); the large-size column is flat (compute-bound)
+/// — which is why the Fig 8 conclusions are robust to the exact value.
+///
+/// Usage: bench_ablation_overhead [-nodes 16] [-it 40]
+
+#include <iostream>
+
+#include "harness.hpp"
+#include "support/cli.hpp"
+
+int main(int argc, char** argv) {
+    using namespace kdr;
+    const CliArgs args(argc, argv);
+    const int nodes = static_cast<int>(args.get_int("nodes", 16));
+    const int timed = static_cast<int>(args.get_int("it", 40));
+
+    std::cout << "=== Ablation: per-task analysis cost sweep (CG, 5pt-2D) ===\n\n";
+    Table table({"overhead us/task", "2^18 us/it", "2^24 us/it", "2^30 us/it"});
+    for (double overhead_us : {1.0, 2.0, 4.0, 8.0, 16.0, 32.0}) {
+        std::vector<std::string> row = {Table::num(overhead_us, 1)};
+        for (int lg : {18, 24, 30}) {
+            sim::MachineDesc machine = sim::MachineDesc::lassen(nodes);
+            machine.task_launch_overhead = overhead_us * 1e-6;
+            const stencil::Spec spec =
+                stencil::Spec::cube(stencil::Kind::D2P5, gidx{1} << lg);
+            bench::LegionStencilSystem sys = bench::make_legion_stencil(
+                spec, machine, static_cast<Color>(machine.total_gpus()));
+            core::CgSolver<double> cg(*sys.planner);
+            row.push_back(bench::us(
+                bench::measure_per_iteration(*sys.runtime, cg, 10, timed, false)));
+        }
+        table.add_row(std::move(row));
+    }
+    table.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,40 @@
+/// Ablation: partitioning strategy (the paper's -vp knob and the canonical-
+/// partition parallelism of §5). Sweeps pieces-per-GPU for a fixed problem
+/// and machine; too few pieces underuse processors, matching pieces to GPUs
+/// is optimal here, and oversubscription pays task overhead for no gain
+/// (dependence-driven scheduling cannot exploit pieces beyond processors on
+/// this dense, regular workload). Changing the strategy requires no solver
+/// or library changes — the P3 claim exercised as a benchmark.
+///
+/// Usage: bench_ablation_partition [-nodes 16] [-log 26] [-it 40]
+
+#include <iostream>
+
+#include "harness.hpp"
+#include "support/cli.hpp"
+
+int main(int argc, char** argv) {
+    using namespace kdr;
+    const CliArgs args(argc, argv);
+    const int nodes = static_cast<int>(args.get_int("nodes", 16));
+    const int lg = static_cast<int>(args.get_int("log", 26));
+    const int timed = static_cast<int>(args.get_int("it", 40));
+    const sim::MachineDesc machine = sim::MachineDesc::lassen(nodes);
+    const stencil::Spec spec = stencil::Spec::cube(stencil::Kind::D2P5, gidx{1} << lg);
+
+    std::cout << "=== Ablation: pieces (-vp) sweep, CG on " << spec.describe() << ", "
+              << machine.total_gpus() << " GPUs ===\n\n";
+    Table table({"pieces", "pieces/GPU", "us/it"});
+    for (Color mult : {1, 2, 4, 8, 16, 32}) {
+        const Color pieces = machine.total_gpus() * mult / 4;
+        if (pieces < 1) continue;
+        bench::LegionStencilSystem sys = bench::make_legion_stencil(spec, machine, pieces);
+        core::CgSolver<double> cg(*sys.planner);
+        const double t = bench::measure_per_iteration(*sys.runtime, cg, 10, timed, false);
+        table.add_row({std::to_string(pieces),
+                       Table::num(static_cast<double>(pieces) / machine.total_gpus(), 2),
+                       bench::us(t)});
+    }
+    table.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,136 @@
+/// Figure 8 reproduction: execution time per iteration as a function of
+/// problem size for {3pt-1D, 5pt-2D, 7pt-3D, 27pt-3D} × {CG, BiCGStab,
+/// GMRES}, comparing LegionSolvers (task runtime) against the PETSc- and
+/// Trilinos-like baselines on 16 simulated Lassen nodes (64 GPUs), CSR
+/// format, identical row-based partitions. PETSc is excluded from GMRES
+/// (dynamic restart policy — §6.1 footnote 2).
+///
+/// The paper sweeps 2^24..2^32 unknowns; the default sweep here is scaled to
+/// 2^18..2^30 so the whole grid simulates in about a minute (override with
+/// -minlog/-maxlog). Each measurement is 20 warmup + `it` timed iterations;
+/// the simulation is deterministic, so the paper's min-of-3 reduces to one
+/// run (see EXPERIMENTS.md).
+///
+/// Usage: bench_fig8_stencil [-nodes 16] [-minlog 18] [-maxlog 28]
+///                           [-steplog 2] [-it 50]
+
+#include <iostream>
+#include <map>
+
+#include "baselines/ksp.hpp"
+#include "harness.hpp"
+#include "support/cli.hpp"
+#include "support/stats.hpp"
+
+namespace {
+
+using namespace kdr;
+
+// The paper's Fig 8 runs LegionSolvers with dynamic dependence analysis (the
+// artifact's jsrun line enables no tracing); bench_ablation_tracing measures
+// what tracing would buy.
+double run_legion(const stencil::Spec& spec, const sim::MachineDesc& machine,
+                  const std::string& solver_name, int timed, bool trace) {
+    bench::LegionStencilSystem sys = bench::make_legion_stencil(
+        spec, machine, static_cast<Color>(machine.total_gpus()));
+    auto solver = bench::make_solver(solver_name, *sys.planner);
+    return bench::measure_per_iteration(*sys.runtime, *solver, 20, timed, trace,
+                                        bench::trace_period(solver_name));
+}
+
+double run_baseline(const stencil::Spec& spec, const sim::MachineDesc& machine,
+                    baselines::Profile profile, const std::string& solver_name, int timed) {
+    sim::SimCluster cluster(machine);
+    bsp::BspWorld world(cluster, sim::ProcKind::GPU);
+    baselines::StencilBaseline engine(world, spec, std::move(profile), /*functional=*/false);
+    baselines::Method method = baselines::Method::CG;
+    if (solver_name == "bicgstab") method = baselines::Method::BiCGStab;
+    if (solver_name == "gmres") method = baselines::Method::GmresStatic;
+    baselines::KspSolver solver(engine, method, 10);
+    for (int i = 0; i < 20; ++i) solver.step();
+    const double t0 = engine.now();
+    for (int i = 0; i < timed; ++i) solver.step();
+    return (engine.now() - t0) / timed;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    const kdr::CliArgs args(argc, argv);
+    const int nodes = static_cast<int>(args.get_int("nodes", 16));
+    const int minlog = static_cast<int>(args.get_int("minlog", 18));
+    const int maxlog = static_cast<int>(args.get_int("maxlog", 30));
+    const int steplog = static_cast<int>(args.get_int("steplog", 2));
+    const int timed = static_cast<int>(args.get_int("it", 50));
+    const bool trace = args.get_flag("trace");
+
+    const sim::MachineDesc machine = sim::MachineDesc::lassen(nodes);
+    std::cout << "=== Figure 8: time/iteration vs problem size ===\n"
+              << "machine: " << nodes << " nodes x " << machine.gpus_per_node << " GPUs ("
+              << machine.total_gpus() << " GPUs), CSR, row partition, vp="
+              << machine.total_gpus() << "\n"
+              << "sizes: 2^" << minlog << "..2^" << maxlog << " step 2^" << steplog
+              << ", 20 warmup + " << timed << " timed iterations (virtual time)\n\n";
+
+    const std::vector<stencil::Kind> kinds = {stencil::Kind::D1P3, stencil::Kind::D2P5,
+                                              stencil::Kind::D3P7, stencil::Kind::D3P27};
+    const std::vector<std::string> solvers = {"cg", "bicgstab", "gmres"};
+
+    // speedups[baseline] collects legion-vs-baseline time ratios on the 3
+    // largest sizes of each subplot (the paper's geomean figure).
+    std::map<std::string, std::vector<double>> speedups;
+
+    for (const stencil::Kind kind : kinds) {
+        for (const std::string& solver : solvers) {
+            const bool with_petsc = solver != "gmres";
+            std::cout << "--- " << stencil::kind_name(kind) << " / " << solver << " ---\n";
+            kdr::Table table(with_petsc
+                                 ? std::vector<std::string>{"unknowns", "legion us/it",
+                                                            "petsc us/it", "trilinos us/it",
+                                                            "vs petsc", "vs trilinos"}
+                                 : std::vector<std::string>{"unknowns", "legion us/it",
+                                                            "trilinos us/it", "vs trilinos"});
+            std::vector<double> legion_hist, petsc_hist, trilinos_hist;
+            for (int lg = minlog; lg <= maxlog; lg += steplog) {
+                const stencil::Spec spec = stencil::Spec::cube(kind, gidx{1} << lg);
+                const double legion = run_legion(spec, machine, solver, timed, trace);
+                const double trilinos =
+                    run_baseline(spec, machine, baselines::Profile::trilinos(), solver, timed);
+                legion_hist.push_back(legion);
+                trilinos_hist.push_back(trilinos);
+                std::vector<std::string> row = {kdr::Table::eng(static_cast<double>(spec.unknowns()), 0),
+                                                kdr::bench::us(legion)};
+                if (with_petsc) {
+                    const double petsc =
+                        run_baseline(spec, machine, baselines::Profile::petsc(), solver, timed);
+                    petsc_hist.push_back(petsc);
+                    row.push_back(kdr::bench::us(petsc));
+                    row.push_back(kdr::bench::us(trilinos));
+                    row.push_back(kdr::Table::num(petsc / legion, 3) + "x");
+                    row.push_back(kdr::Table::num(trilinos / legion, 3) + "x");
+                } else {
+                    row.push_back(kdr::bench::us(trilinos));
+                    row.push_back(kdr::Table::num(trilinos / legion, 3) + "x");
+                }
+                table.add_row(std::move(row));
+            }
+            table.print(std::cout);
+            std::cout << "\n";
+            // Three largest sizes feed the headline geomean.
+            const std::size_t n = legion_hist.size();
+            for (std::size_t i = n >= 3 ? n - 3 : 0; i < n; ++i) {
+                speedups["trilinos"].push_back(trilinos_hist[i] / legion_hist[i]);
+                if (with_petsc) speedups["petsc"].push_back(petsc_hist[i] / legion_hist[i]);
+            }
+        }
+    }
+
+    std::cout << "=== Headline (paper: 9.6% vs Trilinos, 5.4% vs PETSc on the 3 largest "
+                 "sizes) ===\n";
+    for (const auto& [name, ratios] : speedups) {
+        const double g = kdr::geometric_mean(ratios);
+        std::cout << "geomean speedup vs " << name << ": " << kdr::Table::num(g, 4) << "x ("
+                  << kdr::Table::num((g - 1.0) * 100.0, 2) << "% time reduction)\n";
+    }
+    return 0;
+}

@@ -1,0 +1,185 @@
+/// Figure 9 reproduction: BiCGStab on a 5-point Laplacian over a 2^n × 2^n
+/// grid, formulated two ways (paper §6.2):
+///
+///  * single-operator — one domain space D, one CSR matrix, row-block
+///    partition; each piece's halo spans one full grid row (2^n points) per
+///    side, because the stencil bandwidth in the global row-major layout is
+///    the full row length.
+///
+///  * multi-operator — two domain spaces D₁, D₂ (left and right column
+///    halves of the grid, each stored in its own local row-major layout),
+///    two self-interaction matrices A₁₁/A₂₂ and two boundary-interaction
+///    matrices A₁₂/A₂₁. Inside a half the stencil bandwidth is only the
+///    *local* row length (2^{n-1}), so within-half halos halve; the seam
+///    couples a non-contiguous (strided) column of the other half, ingested
+///    in place with no reassembly (P4), and its communication overlaps the
+///    self-interaction compute (§4.1).
+///
+/// Expected shape (paper Fig 9): multi-operator slower at small sizes (more
+/// tasks through the analysis pipeline, extra seam messages), faster at
+/// large sizes (halved bandwidth-bound halos + overlap), with a crossover
+/// around 10^9 unknowns.
+///
+/// Usage: bench_fig9_multiop [-nodes 16] [-minn 9] [-maxn 15] [-it 30]
+
+#include <iostream>
+
+#include "harness.hpp"
+#include "support/cli.hpp"
+
+namespace {
+
+using namespace kdr;
+
+/// Multi-operator formulation in timing mode with analytic plans.
+double run_multiop(gidx n_side, const sim::MachineDesc& machine, int timed) {
+    const Color pieces_total = static_cast<Color>(machine.total_gpus());
+    const Color pieces_half = pieces_total / 2;
+    const gidx hy = n_side / 2; // local row length within a half
+    const gidx half_elems = n_side * hy;
+
+    auto runtime =
+        std::make_unique<rt::Runtime>(machine, rt::RuntimeOptions{.materialize = false});
+    const IndexSpace D1 = IndexSpace::create(half_elems, "D1");
+    const IndexSpace D2 = IndexSpace::create(half_elems, "D2");
+    const rt::RegionId x1r = runtime->create_region(D1, "x1");
+    const rt::RegionId x2r = runtime->create_region(D2, "x2");
+    const rt::RegionId b1r = runtime->create_region(D1, "b1");
+    const rt::RegionId b2r = runtime->create_region(D2, "b2");
+    const rt::FieldId x1f = runtime->add_field<double>(x1r, "v");
+    const rt::FieldId x2f = runtime->add_field<double>(x2r, "v");
+    const rt::FieldId b1f = runtime->add_field<double>(b1r, "v");
+    const rt::FieldId b2f = runtime->add_field<double>(b2r, "v");
+
+    core::Planner<double> planner(*runtime);
+    const Partition p1 = Partition::equal(D1, pieces_half);
+    const Partition p2 = Partition::equal(D2, pieces_half);
+    const core::CompId s1 = planner.add_sol_vector(x1r, x1f, p1);
+    const core::CompId s2 = planner.add_sol_vector(x2r, x2f, p2);
+    const core::CompId r1 = planner.add_rhs_vector(b1r, b1f, p1);
+    const core::CompId r2 = planner.add_rhs_vector(b2r, b2f, p2);
+
+    // Self-interaction operators: 5-point stencil within an nx × hy half.
+    stencil::Spec half_spec;
+    half_spec.kind = stencil::Kind::D2P5;
+    half_spec.nx = n_side;
+    half_spec.ny = hy;
+    auto add_self = [&](const IndexSpace& D, const Partition& part, core::CompId s,
+                        core::CompId r) {
+        const stencil::CoPartition cp = stencil::co_partition(half_spec, D, D, pieces_half);
+        const IndexSpace K = IndexSpace::create(half_spec.total_nnz(), "Kself");
+        std::vector<IntervalSet> kp;
+        gidx cursor = 0;
+        for (Color c = 0; c < pieces_half; ++c) {
+            const gidx take =
+                std::min(cp.nnz[static_cast<std::size_t>(c)], half_spec.total_nnz() - cursor);
+            kp.emplace_back(cursor, cursor + take);
+            cursor += take;
+        }
+        core::OperatorPlan plan;
+        plan.kernel_pieces = Partition(K, std::move(kp));
+        plan.domain_needs = cp.halo;
+        plan.row_pieces = part;
+        plan.nnz = cp.nnz;
+        planner.add_operator_planned(nullptr, std::move(plan), s, r);
+    };
+    add_self(D1, p1, s1, r1);
+    add_self(D2, p2, s2, r2);
+
+    // Boundary-interaction operators: one kernel entry per grid row couples
+    // the seam column of the other half — a strided, non-contiguous subset
+    // of the source domain, consumed in place.
+    auto add_seam = [&](const IndexSpace& src_space, const Partition& out_part,
+                        core::CompId src_comp, core::CompId dst_comp, gidx src_col_offset) {
+        const IndexSpace K = IndexSpace::create(n_side, "Kseam");
+        std::vector<IntervalSet> kp, needs, rows;
+        std::vector<gidx> nnz;
+        for (Color c = 0; c < pieces_half; ++c) {
+            const Interval r = out_part.piece(c).bounds();
+            const gidx row_lo = r.lo / hy;
+            const gidx row_hi = (r.hi + hy - 1) / hy;
+            kp.emplace_back(row_lo, row_hi);
+            std::vector<Interval> col;
+            col.reserve(static_cast<std::size_t>(row_hi - row_lo));
+            for (gidx x = row_lo; x < row_hi; ++x) {
+                const gidx e = x * hy + src_col_offset;
+                col.push_back({e, e + 1});
+            }
+            needs.push_back(IntervalSet::from_intervals(std::move(col)));
+            // Output rows touched: the seam column of this piece.
+            std::vector<Interval> out;
+            out.reserve(static_cast<std::size_t>(row_hi - row_lo));
+            const gidx dst_col = src_col_offset == 0 ? hy - 1 : 0;
+            for (gidx x = row_lo; x < row_hi; ++x) {
+                const gidx e = x * hy + dst_col;
+                out.push_back({e, e + 1});
+            }
+            rows.push_back(IntervalSet::from_intervals(std::move(out)));
+            nnz.push_back(row_hi - row_lo);
+        }
+        core::OperatorPlan plan;
+        plan.kernel_pieces = Partition(K, std::move(kp));
+        plan.domain_needs = Partition(src_space, std::move(needs));
+        plan.row_pieces = Partition(out_part.space(), std::move(rows));
+        plan.nnz = std::move(nnz);
+        planner.add_operator_planned(nullptr, std::move(plan), src_comp, dst_comp);
+    };
+    // y1's seam column (local y = hy-1) reads x2's first column (local y = 0).
+    add_seam(D2, p1, s2, r1, /*src_col_offset=*/0);
+    // y2's first column reads x1's seam column.
+    add_seam(D1, p2, s1, r2, /*src_col_offset=*/hy - 1);
+
+    core::BiCgStabSolver<double> solver(planner);
+    return bench::measure_per_iteration(*runtime, solver, 10, timed, /*trace=*/false);
+}
+
+double run_single(gidx n_side, const sim::MachineDesc& machine, int timed) {
+    stencil::Spec spec;
+    spec.kind = stencil::Kind::D2P5;
+    spec.nx = n_side;
+    spec.ny = n_side;
+    bench::LegionStencilSystem sys = bench::make_legion_stencil(
+        spec, machine, static_cast<Color>(machine.total_gpus()));
+    core::BiCgStabSolver<double> solver(*sys.planner);
+    return bench::measure_per_iteration(*sys.runtime, solver, 10, timed, /*trace=*/false);
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    const kdr::CliArgs args(argc, argv);
+    const int nodes = static_cast<int>(args.get_int("nodes", 16));
+    const int minn = static_cast<int>(args.get_int("minn", 9));
+    const int maxn = static_cast<int>(args.get_int("maxn", 15));
+    const int timed = static_cast<int>(args.get_int("it", 30));
+
+    const sim::MachineDesc machine = sim::MachineDesc::lassen(nodes);
+    std::cout << "=== Figure 9: single- vs multi-operator BiCGStab, 5pt 2^n x 2^n ===\n"
+              << "machine: " << nodes << " nodes (" << machine.total_gpus()
+              << " GPUs); multi-op = left/right column halves + seam coupling\n\n";
+
+    kdr::Table table({"n", "unknowns", "single us/it", "multi us/it", "multi/single"});
+    double crossover = -1.0;
+    double prev_ratio = -1.0;
+    for (int n = minn; n <= maxn; ++n) {
+        const gidx side = gidx{1} << n;
+        const double single = run_single(side, machine, timed);
+        const double multi = run_multiop(side, machine, timed);
+        const double ratio = multi / single;
+        table.add_row({std::to_string(n), kdr::Table::eng(static_cast<double>(side * side), 0),
+                       kdr::bench::us(single), kdr::bench::us(multi),
+                       kdr::Table::num(ratio, 3)});
+        if (prev_ratio > 1.0 && ratio <= 1.0 && crossover < 0) {
+            crossover = static_cast<double>(side * side);
+        }
+        prev_ratio = ratio;
+    }
+    table.print(std::cout);
+    if (crossover > 0) {
+        std::cout << "\ncrossover (multi-op becomes faster): ~" << kdr::Table::eng(crossover, 1)
+                  << " unknowns (paper: ~1e9)\n";
+    } else {
+        std::cout << "\nno crossover inside the sweep (paper: ~1e9 unknowns)\n";
+    }
+    return 0;
+}

@@ -1,0 +1,131 @@
+/// Kernel microbenchmarks (google-benchmark, real wall time on the host):
+/// SpMV across every storage format in the Fig 3 catalog, plus the
+/// dependent-partitioning projection operators each format's relations
+/// provide. These measure the *functional* kernels the tests and examples
+/// run, not the simulated cluster.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "partition/projection.hpp"
+#include "sparse/convert.hpp"
+#include "stencil/stencil.hpp"
+
+namespace {
+
+using namespace kdr;
+
+constexpr gidx kSide = 256; // 64k unknowns, 5pt stencil
+
+const CsrMatrix<double>& base_csr() {
+    static const auto matrix = [] {
+        stencil::Spec spec;
+        spec.kind = stencil::Kind::D2P5;
+        spec.nx = kSide;
+        spec.ny = kSide;
+        const IndexSpace D = IndexSpace::create(spec.unknowns());
+        const IndexSpace R = IndexSpace::create(spec.unknowns());
+        return std::make_unique<CsrMatrix<double>>(stencil::laplacian_csr(spec, D, R));
+    }();
+    return *matrix;
+}
+
+const std::vector<double>& input_vector() {
+    static const std::vector<double> x = stencil::random_rhs(kSide * kSide, 42);
+    return x;
+}
+
+template <typename Op>
+void run_spmv(benchmark::State& state, const Op& op) {
+    const auto& x = input_vector();
+    std::vector<double> y(static_cast<std::size_t>(op.range().size()), 0.0);
+    for (auto _ : state) {
+        op.multiply_add(x, y);
+        benchmark::DoNotOptimize(y.data());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            op.kernel().size());
+}
+
+void BM_SpMV_Csr(benchmark::State& state) { run_spmv(state, base_csr()); }
+void BM_SpMV_Coo(benchmark::State& state) {
+    static const auto m = to_coo(base_csr());
+    run_spmv(state, m);
+}
+void BM_SpMV_Csc(benchmark::State& state) {
+    static const auto m = to_csc(base_csr());
+    run_spmv(state, m);
+}
+void BM_SpMV_Ell(benchmark::State& state) {
+    static const auto m = to_ell(base_csr());
+    run_spmv(state, m);
+}
+void BM_SpMV_EllT(benchmark::State& state) {
+    static const auto m = to_ellt(base_csr());
+    run_spmv(state, m);
+}
+void BM_SpMV_Dia(benchmark::State& state) {
+    static const auto m = to_dia(base_csr());
+    run_spmv(state, m);
+}
+void BM_SpMV_Bcsr(benchmark::State& state) {
+    static const auto m = to_bcsr(base_csr(), 2, 2);
+    run_spmv(state, m);
+}
+void BM_SpMV_Bcsc(benchmark::State& state) {
+    static const auto m = to_bcsc(base_csr(), 2, 2);
+    run_spmv(state, m);
+}
+
+BENCHMARK(BM_SpMV_Csr);
+BENCHMARK(BM_SpMV_Coo);
+BENCHMARK(BM_SpMV_Csc);
+BENCHMARK(BM_SpMV_Ell);
+BENCHMARK(BM_SpMV_EllT);
+BENCHMARK(BM_SpMV_Dia);
+BENCHMARK(BM_SpMV_Bcsr);
+BENCHMARK(BM_SpMV_Bcsc);
+
+/// Projection speed: row-partition preimage + column image through the
+/// format's own relations (the universal co-partitioning operators of §3.1).
+void BM_Projection_CsrCoPartition(benchmark::State& state) {
+    const auto& A = base_csr();
+    const Partition rows = Partition::equal(A.range(), state.range(0));
+    for (auto _ : state) {
+        const Partition pk = preimage(rows, *A.row_relation());
+        const Partition pd = image(pk, *A.col_relation());
+        benchmark::DoNotOptimize(pd.color_count());
+    }
+}
+BENCHMARK(BM_Projection_CsrCoPartition)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_Projection_CooCoPartition(benchmark::State& state) {
+    static const auto A = to_coo(base_csr());
+    const Partition rows = Partition::equal(A.range(), state.range(0));
+    for (auto _ : state) {
+        const Partition pk = preimage(rows, *A.row_relation());
+        const Partition pd = image(pk, *A.col_relation());
+        benchmark::DoNotOptimize(pd.color_count());
+    }
+}
+BENCHMARK(BM_Projection_CooCoPartition)->Arg(4)->Arg(16)->Arg(64);
+
+/// Interval-set algebra (the substrate of dependence analysis).
+void BM_IntervalSet_Intersection(benchmark::State& state) {
+    std::vector<Interval> a_ivs, b_ivs;
+    for (gidx i = 0; i < state.range(0); ++i) {
+        a_ivs.push_back({i * 100, i * 100 + 60});
+        b_ivs.push_back({i * 100 + 30, i * 100 + 90});
+    }
+    const IntervalSet a = IntervalSet::from_intervals(std::move(a_ivs));
+    const IntervalSet b = IntervalSet::from_intervals(std::move(b_ivs));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(a.set_intersection(b).volume());
+    }
+}
+BENCHMARK(BM_IntervalSet_Intersection)->Arg(16)->Arg(256)->Arg(4096);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,83 @@
+/// Planner-operation microbenchmarks (google-benchmark, real host wall
+/// time): the functional-mode cost of each Fig 6 operation, including the
+/// runtime's dependence analysis, transfer bookkeeping, and kernel
+/// execution. This is the per-operation overhead an application pays to run
+/// KDRSolvers at test scale on one host.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "core/solvers.hpp"
+#include "stencil/stencil.hpp"
+
+namespace {
+
+using namespace kdr;
+
+struct PlannerBench {
+    std::unique_ptr<rt::Runtime> runtime;
+    std::unique_ptr<core::Planner<double>> planner;
+    core::VecId w1, w2;
+
+    explicit PlannerBench(gidx n, Color pieces) {
+        sim::MachineDesc m = sim::MachineDesc::lassen(2);
+        runtime = std::make_unique<rt::Runtime>(m);
+        const IndexSpace D = IndexSpace::create(n, "D");
+        const rt::RegionId xr = runtime->create_region(D, "x");
+        const rt::RegionId br = runtime->create_region(D, "b");
+        const rt::FieldId xf = runtime->add_field<double>(xr, "v");
+        const rt::FieldId bf = runtime->add_field<double>(br, "v");
+        planner = std::make_unique<core::Planner<double>>(*runtime);
+        planner->add_sol_vector(xr, xf, Partition::equal(D, pieces));
+        planner->add_rhs_vector(br, bf, Partition::equal(D, pieces));
+        stencil::Spec spec;
+        spec.kind = stencil::Kind::D1P3;
+        spec.nx = n;
+        planner->add_operator(
+            std::make_shared<CsrMatrix<double>>(stencil::laplacian_csr(spec, D, D)), 0, 0);
+        w1 = planner->allocate_workspace_vector();
+        w2 = planner->allocate_workspace_vector();
+        planner->copy(w1, core::Planner<double>::RHS);
+    }
+};
+
+void BM_Planner_Axpy(benchmark::State& state) {
+    PlannerBench b(1 << 16, static_cast<Color>(state.range(0)));
+    for (auto _ : state) {
+        b.planner->axpy(b.w1, core::make_scalar(0.5), b.w2);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * (1 << 16));
+}
+BENCHMARK(BM_Planner_Axpy)->Arg(1)->Arg(8)->Arg(64);
+
+void BM_Planner_Dot(benchmark::State& state) {
+    PlannerBench b(1 << 16, static_cast<Color>(state.range(0)));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(b.planner->dot(b.w1, b.w2).value);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * (1 << 16));
+}
+BENCHMARK(BM_Planner_Dot)->Arg(1)->Arg(8)->Arg(64);
+
+void BM_Planner_Matmul(benchmark::State& state) {
+    PlannerBench b(1 << 16, static_cast<Color>(state.range(0)));
+    for (auto _ : state) {
+        b.planner->matmul(b.w2, b.w1);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 3 * (1 << 16));
+}
+BENCHMARK(BM_Planner_Matmul)->Arg(1)->Arg(8)->Arg(64);
+
+void BM_Planner_CgStep(benchmark::State& state) {
+    PlannerBench b(1 << 16, static_cast<Color>(state.range(0)));
+    core::CgSolver<double> cg(*b.planner);
+    for (auto _ : state) {
+        cg.step();
+    }
+}
+BENCHMARK(BM_Planner_CgStep)->Arg(1)->Arg(8)->Arg(64);
+
+} // namespace
+
+BENCHMARK_MAIN();

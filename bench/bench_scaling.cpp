@@ -1,0 +1,86 @@
+/// Node-count scaling — the sweep the paper's artifact description runs
+/// ("repeated for each node count, scaling from 1 to 256 in powers of two").
+/// Two regimes:
+///
+///  * strong scaling: a fixed 2^26-unknown 5pt-2D CG problem across
+///    1..64 nodes — speedup saturates once per-piece work no longer hides
+///    runtime overhead and halo latency;
+///  * weak scaling: fixed 2^22 unknowns per GPU — flat lines are perfect;
+///    growth exposes the communication/analysis terms.
+///
+/// LegionSolvers and the PETSc-like baseline run side by side.
+///
+/// Usage: bench_scaling [-maxnodes 64] [-it 30] [-stronglog 26] [-weaklog 22]
+
+#include <iostream>
+
+#include "baselines/ksp.hpp"
+#include "harness.hpp"
+#include "support/cli.hpp"
+
+namespace {
+
+using namespace kdr;
+
+double legion_time(const stencil::Spec& spec, const sim::MachineDesc& machine, int timed) {
+    bench::LegionStencilSystem sys = bench::make_legion_stencil(
+        spec, machine, static_cast<Color>(machine.total_gpus()));
+    core::CgSolver<double> cg(*sys.planner);
+    return bench::measure_per_iteration(*sys.runtime, cg, 10, timed, false);
+}
+
+double petsc_time(const stencil::Spec& spec, const sim::MachineDesc& machine, int timed) {
+    sim::SimCluster cluster(machine);
+    bsp::BspWorld world(cluster, sim::ProcKind::GPU);
+    baselines::StencilBaseline engine(world, spec, baselines::Profile::petsc(), false);
+    baselines::KspSolver solver(engine, baselines::Method::CG);
+    for (int i = 0; i < 10; ++i) solver.step();
+    const double t0 = engine.now();
+    for (int i = 0; i < timed; ++i) solver.step();
+    return (engine.now() - t0) / timed;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    const kdr::CliArgs args(argc, argv);
+    const int maxnodes = static_cast<int>(args.get_int("maxnodes", 64));
+    const int timed = static_cast<int>(args.get_int("it", 30));
+    const int stronglog = static_cast<int>(args.get_int("stronglog", 26));
+    const int weaklog = static_cast<int>(args.get_int("weaklog", 22));
+
+    std::cout << "=== Strong scaling: CG, 5pt-2D, 2^" << stronglog << " unknowns ===\n";
+    {
+        kdr::Table table({"nodes", "GPUs", "legion us/it", "petsc us/it", "legion speedup"});
+        double base = -1.0;
+        for (int nodes = 1; nodes <= maxnodes; nodes *= 2) {
+            const sim::MachineDesc machine = sim::MachineDesc::lassen(nodes);
+            const stencil::Spec spec =
+                stencil::Spec::cube(stencil::Kind::D2P5, gidx{1} << stronglog);
+            const double lg = legion_time(spec, machine, timed);
+            const double pt = petsc_time(spec, machine, timed);
+            if (base < 0) base = lg;
+            table.add_row({std::to_string(nodes), std::to_string(machine.total_gpus()),
+                           kdr::bench::us(lg), kdr::bench::us(pt),
+                           kdr::Table::num(base / lg, 2) + "x"});
+        }
+        table.print(std::cout);
+    }
+
+    std::cout << "\n=== Weak scaling: CG, 5pt-2D, 2^" << weaklog << " unknowns per GPU ===\n";
+    {
+        kdr::Table table({"nodes", "GPUs", "unknowns", "legion us/it", "petsc us/it"});
+        for (int nodes = 1; nodes <= maxnodes; nodes *= 2) {
+            const sim::MachineDesc machine = sim::MachineDesc::lassen(nodes);
+            const gidx total = (gidx{1} << weaklog) * machine.total_gpus();
+            const stencil::Spec spec = stencil::Spec::cube(stencil::Kind::D2P5, total);
+            const double lg = legion_time(spec, machine, timed);
+            const double pt = petsc_time(spec, machine, timed);
+            table.add_row({std::to_string(nodes), std::to_string(machine.total_gpus()),
+                           kdr::Table::eng(static_cast<double>(spec.unknowns()), 0),
+                           kdr::bench::us(lg), kdr::bench::us(pt)});
+        }
+        table.print(std::cout);
+    }
+    return 0;
+}

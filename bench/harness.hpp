@@ -1,0 +1,109 @@
+#pragma once
+
+/// \file harness.hpp
+/// Shared machinery of the paper-reproduction benchmark binaries: building
+/// timing-mode LegionSolvers stencil systems (the Fig 8/9 configurations),
+/// solver factories, and the warmup + timed-iteration measurement loop with
+/// per-iteration dynamic tracing (the Fig 8 experiments run with tracing
+/// enabled; §6.3 notes only the load-balancing experiment disables it).
+///
+/// All times reported by these harnesses are *virtual* seconds on the
+/// simulated Lassen-class cluster (see DESIGN.md): the host machine executes
+/// the schedule, the model supplies the clock.
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "core/solvers.hpp"
+#include "stencil/stencil.hpp"
+#include "support/table.hpp"
+
+namespace kdr::bench {
+
+/// A timing-mode (phantom-data) stencil system on the task runtime.
+struct LegionStencilSystem {
+    std::unique_ptr<rt::Runtime> runtime;
+    std::unique_ptr<core::Planner<double>> planner;
+};
+
+/// Build the Fig 8 configuration: CSR-format stencil matrix, row-based
+/// partition into `pieces` (the paper's -vp, 4 × node count), phantom data.
+inline LegionStencilSystem make_legion_stencil(const stencil::Spec& spec,
+                                               const sim::MachineDesc& machine,
+                                               Color pieces) {
+    LegionStencilSystem sys;
+    sys.runtime =
+        std::make_unique<rt::Runtime>(machine, rt::RuntimeOptions{.materialize = false});
+    const gidx n = spec.unknowns();
+    const IndexSpace D = IndexSpace::create(n, "D");
+    const IndexSpace R = IndexSpace::create(n, "R");
+    const rt::RegionId xr = sys.runtime->create_region(D, "x");
+    const rt::RegionId br = sys.runtime->create_region(R, "b");
+    const rt::FieldId xf = sys.runtime->add_field<double>(xr, "v");
+    const rt::FieldId bf = sys.runtime->add_field<double>(br, "v");
+
+    const stencil::CoPartition cp = stencil::co_partition(spec, D, R, pieces);
+    sys.planner = std::make_unique<core::Planner<double>>(*sys.runtime);
+    sys.planner->add_sol_vector(xr, xf, Partition::equal(D, pieces));
+    sys.planner->add_rhs_vector(br, bf, cp.rows);
+
+    const IndexSpace K = IndexSpace::create(spec.total_nnz(), "K");
+    std::vector<IntervalSet> kpieces;
+    gidx cursor = 0;
+    for (Color c = 0; c < pieces; ++c) {
+        const gidx take =
+            std::min(cp.nnz[static_cast<std::size_t>(c)], spec.total_nnz() - cursor);
+        kpieces.emplace_back(cursor, cursor + take);
+        cursor += take;
+    }
+    core::OperatorPlan plan;
+    plan.kernel_pieces = Partition(K, std::move(kpieces));
+    plan.domain_needs = cp.halo;
+    plan.row_pieces = cp.rows;
+    plan.nnz = cp.nnz;
+    plan.symmetric = true; // Laplacian stencils: adjoint solvers reuse the plan
+    sys.planner->add_operator_planned(nullptr, std::move(plan), 0, 0);
+    return sys;
+}
+
+/// Solver factory shared by the harnesses. GMRES uses the static GMRES(10)
+/// restart schedule of the paper's comparison.
+inline std::unique_ptr<core::Solver<double>> make_solver(const std::string& name,
+                                                         core::Planner<double>& planner) {
+    if (name == "cg") return std::make_unique<core::CgSolver<double>>(planner);
+    if (name == "bicg") return std::make_unique<core::BiCgSolver<double>>(planner);
+    if (name == "bicgstab") return std::make_unique<core::BiCgStabSolver<double>>(planner);
+    if (name == "gmres") return std::make_unique<core::GmresSolver<double>>(planner, 10);
+    if (name == "minres") return std::make_unique<core::MinresSolver<double>>(planner);
+    KDR_REQUIRE(false, "unknown solver '", name, "'");
+    return nullptr;
+}
+
+/// Number of distinct per-iteration launch patterns a solver cycles through
+/// (GMRES(10): 10 Arnoldi shapes; everything else: 1).
+inline int trace_period(const std::string& solver) { return solver == "gmres" ? 10 : 1; }
+
+/// Warmup then measure: returns average virtual seconds per iteration.
+/// With tracing, iteration k replays trace id (k mod period) after its first
+/// recording — warmup covers at least one full period.
+inline double measure_per_iteration(rt::Runtime& runtime, core::Solver<double>& solver,
+                                    int warmup, int timed, bool trace, int period = 1) {
+    int k = 0;
+    auto one = [&] {
+        if (trace) runtime.begin_trace(static_cast<std::uint64_t>(k % period) + 1);
+        solver.step();
+        if (trace) runtime.end_trace();
+        ++k;
+    };
+    warmup = std::max(warmup, period + 1);
+    for (int i = 0; i < warmup; ++i) one();
+    const double t0 = runtime.current_time();
+    for (int i = 0; i < timed; ++i) one();
+    return (runtime.current_time() - t0) / timed;
+}
+
+/// Pretty microseconds.
+inline std::string us(double seconds) { return Table::num(seconds * 1e6, 2); }
+
+} // namespace kdr::bench

@@ -1,0 +1,158 @@
+/// Format extensibility (paper P2 and §3): a *user-defined*, matrix-free
+/// storage format plugs into KDRSolvers with no library changes. The format
+/// below stores no matrix entries at all — values are computed on the fly
+/// from the stencil geometry — yet the universal co-partitioning operators
+/// (image/preimage along its row/col relations, §3.1) and every solver work
+/// on it unchanged, because the format only has to answer two questions:
+/// "which grid cell does kernel point k read?" and "which does it write?".
+///
+/// The relations here are supplied through the generic MaterializedRelation
+/// fallback (built from an enumeration of the stencil pattern). A production
+/// format could implement the Relation interface directly with closed-form
+/// fast paths, as the built-in formats do — also without touching library
+/// code.
+///
+/// Usage: custom_format [-n 32] [-tol 1e-9]
+
+#include <iostream>
+#include <memory>
+
+#include "core/solvers.hpp"
+#include "partition/projection.hpp"
+#include "support/cli.hpp"
+
+namespace {
+
+using namespace kdr;
+
+/// Matrix-free 1-D 3-point Laplacian: K = {0..3n-1} with kernel point
+/// k = 3i + s encoding (row i, stencil offset s-1). No stored values.
+class MatrixFree1dLaplacian final : public LinearOperator<double> {
+public:
+    explicit MatrixFree1dLaplacian(IndexSpace space)
+        : space_(std::move(space)),
+          kernel_(IndexSpace::create(3 * space_.size(), "mf_kernel")) {
+        // Relations via the generic fallback: enumerate (k, grid index).
+        std::vector<std::pair<gidx, gidx>> row_pairs, col_pairs;
+        const gidx n = space_.size();
+        for (gidx i = 0; i < n; ++i) {
+            for (gidx s = 0; s < 3; ++s) {
+                const gidx j = i + s - 1;
+                if (j < 0 || j >= n) continue; // boundary clipping
+                row_pairs.emplace_back(3 * i + s, i);
+                col_pairs.emplace_back(3 * i + s, j);
+            }
+        }
+        row_rel_ = std::make_shared<MaterializedRelation>(kernel_, space_, row_pairs);
+        col_rel_ = std::make_shared<MaterializedRelation>(kernel_, space_, col_pairs);
+    }
+
+    const IndexSpace& domain() const override { return space_; }
+    const IndexSpace& range() const override { return space_; }
+    const IndexSpace& kernel() const override { return kernel_; }
+    std::shared_ptr<const Relation> col_relation() const override { return col_rel_; }
+    std::shared_ptr<const Relation> row_relation() const override { return row_rel_; }
+    const char* format_name() const override { return "matrix-free-1d"; }
+
+    static double entry(gidx s) { return s == 1 ? 2.0 : -1.0; } // computed, not stored
+
+    void multiply_add_piece(const IntervalSet& piece, std::span<const double> x,
+                            std::span<double> y) const override {
+        const gidx n = space_.size();
+        piece.for_each_interval([&](const Interval& iv) {
+            for (gidx k = iv.lo; k < iv.hi; ++k) {
+                const gidx i = k / 3;
+                const gidx j = i + (k % 3) - 1;
+                if (j < 0 || j >= n) continue;
+                y[static_cast<std::size_t>(i)] +=
+                    entry(k % 3) * x[static_cast<std::size_t>(j)];
+            }
+        });
+    }
+
+    void multiply_add_transpose_piece(const IntervalSet& piece, std::span<const double> x,
+                                      std::span<double> y) const override {
+        const gidx n = space_.size();
+        piece.for_each_interval([&](const Interval& iv) {
+            for (gidx k = iv.lo; k < iv.hi; ++k) {
+                const gidx i = k / 3;
+                const gidx j = i + (k % 3) - 1;
+                if (j < 0 || j >= n) continue;
+                y[static_cast<std::size_t>(j)] +=
+                    entry(k % 3) * x[static_cast<std::size_t>(i)];
+            }
+        });
+    }
+
+    std::vector<Triplet<double>> to_triplets() const override {
+        std::vector<Triplet<double>> ts;
+        const gidx n = space_.size();
+        for (gidx k = 0; k < kernel_.size(); ++k) {
+            const gidx i = k / 3;
+            const gidx j = i + (k % 3) - 1;
+            if (j >= 0 && j < n) ts.push_back({i, j, entry(k % 3)});
+        }
+        return ts;
+    }
+
+private:
+    IndexSpace space_;
+    IndexSpace kernel_;
+    std::shared_ptr<MaterializedRelation> row_rel_;
+    std::shared_ptr<MaterializedRelation> col_rel_;
+};
+
+} // namespace
+
+int main(int argc, char** argv) {
+    const kdr::CliArgs args(argc, argv);
+    const kdr::gidx n = args.get_int("n", 32);
+    const double tol = args.get_double("tol", 1e-9);
+
+    kdr::rt::Runtime runtime(kdr::sim::MachineDesc::lassen(2));
+    const kdr::IndexSpace D = kdr::IndexSpace::create(n, "D");
+    auto A = std::make_shared<MatrixFree1dLaplacian>(D);
+
+    // The universal co-partitioning operators work on the custom format out
+    // of the box: derive the kernel and halo partitions from a row partition.
+    const kdr::Partition rows = kdr::Partition::equal(D, 4);
+    const kdr::Partition pk = kdr::preimage(rows, *A->row_relation());
+    const kdr::Partition halo = kdr::image(pk, *A->col_relation());
+    std::cout << "custom format '" << A->format_name() << "': " << A->kernel().size()
+              << " kernel points, 0 stored entries\n";
+    for (kdr::Color c = 0; c < 4; ++c) {
+        std::cout << "  piece " << c << ": rows " << rows.piece(c) << ", needs x "
+                  << halo.piece(c) << "\n";
+    }
+
+    const kdr::rt::RegionId xr = runtime.create_region(D, "x");
+    const kdr::rt::RegionId br = runtime.create_region(D, "b");
+    const kdr::rt::FieldId xf = runtime.add_field<double>(xr, "v");
+    const kdr::rt::FieldId bf = runtime.add_field<double>(br, "v");
+    {
+        auto bd = runtime.field_data<double>(br, bf);
+        for (kdr::gidx i = 0; i < n; ++i)
+            bd[static_cast<std::size_t>(i)] = 1.0 / static_cast<double>(i + 1);
+    }
+
+    kdr::core::Planner<double> planner(runtime);
+    planner.add_sol_vector(xr, xf, rows);
+    planner.add_rhs_vector(br, bf, kdr::Partition::equal(D, 4));
+    planner.add_operator(A, 0, 0);
+
+    kdr::core::CgSolver<double> cg(planner);
+    const int iters = kdr::core::solve_to_tolerance(cg, tol, 1000);
+    std::cout << "CG on the matrix-free format: " << iters << " iterations, residual "
+              << cg.get_convergence_measure().value << "\n";
+
+    // Verify against the dense interpretation of the same operator.
+    auto xd = runtime.field_data<double>(xr, xf);
+    std::vector<double> ax(static_cast<std::size_t>(n), 0.0);
+    kdr::reference_multiply_add(A->to_triplets(), std::vector<double>(xd.begin(), xd.end()),
+                                ax);
+    auto bd = runtime.field_data<double>(br, bf);
+    double err = 0.0;
+    for (std::size_t i = 0; i < ax.size(); ++i) err = std::max(err, std::abs(ax[i] - bd[i]));
+    std::cout << "max |Ax - b| = " << err << " -> " << (err < 1e-6 ? "PASS" : "FAIL") << "\n";
+    return err < 1e-6 ? 0 : 1;
+}

@@ -1,0 +1,90 @@
+/// Mixing storage formats inside one linear system — the paper's §7 future-
+/// work item ("multi-operator systems allow KDRSolvers to process pieces of
+/// a matrix stored in multiple formats within a single linear system"),
+/// realized: the 2-D Poisson matrix is decomposed into
+///
+///   * its three main diagonals       → DIA  (regular, diagonal-friendly),
+///   * the ±ny off-diagonal couplings → CSR  (general sparse),
+///
+/// registered as two operator slots on the same component pair. The solver
+/// neither knows nor cares; per-slot tasks dispatch each piece with its own
+/// format's kernel (§4.1: "an optimized computational kernel can be
+/// dispatched for every combination of matrix and vector storage formats").
+///
+/// Usage: mixed_formats [-n 32] [-tol 1e-9]
+
+#include <iostream>
+#include <memory>
+
+#include "core/solvers.hpp"
+#include "sparse/convert.hpp"
+#include "stencil/stencil.hpp"
+#include "support/cli.hpp"
+
+int main(int argc, char** argv) {
+    using namespace kdr;
+    const CliArgs args(argc, argv);
+    const gidx n_side = args.get_int("n", 32);
+    const double tol = args.get_double("tol", 1e-9);
+
+    stencil::Spec spec;
+    spec.kind = stencil::Kind::D2P5;
+    spec.nx = n_side;
+    spec.ny = n_side;
+    const gidx n = spec.unknowns();
+    const IndexSpace D = IndexSpace::create(n, "D");
+
+    // Split the stencil by structure: tridiagonal part vs ±ny couplings.
+    std::vector<Triplet<double>> tri_part, far_part;
+    for (const auto& t : stencil::laplacian_triplets(spec)) {
+        if (std::abs(t.col - t.row) <= 1) {
+            tri_part.push_back(t);
+        } else {
+            far_part.push_back(t);
+        }
+    }
+    auto A_dia = std::make_shared<DiaMatrix<double>>(
+        DiaMatrix<double>::from_triplets(D, D, std::move(tri_part)));
+    auto A_csr = std::make_shared<CsrMatrix<double>>(
+        CsrMatrix<double>::from_triplets(D, D, std::move(far_part)));
+    std::cout << "one logical matrix, two formats:\n"
+              << "  " << A_dia->format_name() << " slot: "
+              << A_dia->diagonal_offsets().size() << " diagonals, "
+              << A_dia->kernel().size() << " slots\n"
+              << "  " << A_csr->format_name() << " slot: " << A_csr->kernel().size()
+              << " entries\n";
+
+    rt::Runtime runtime(sim::MachineDesc::lassen(2));
+    const rt::RegionId xr = runtime.create_region(D, "x");
+    const rt::RegionId br = runtime.create_region(D, "b");
+    const rt::FieldId xf = runtime.add_field<double>(xr, "v");
+    const rt::FieldId bf = runtime.add_field<double>(br, "v");
+    const auto b = stencil::random_rhs(n, 77);
+    {
+        auto bd = runtime.field_data<double>(br, bf);
+        std::copy(b.begin(), b.end(), bd.begin());
+    }
+
+    core::Planner<double> planner(runtime);
+    planner.add_sol_vector(xr, xf, Partition::equal(D, 4));
+    planner.add_rhs_vector(br, bf, Partition::equal(D, 4));
+    planner.add_operator(A_dia, 0, 0); // same pair, different formats:
+    planner.add_operator(A_csr, 0, 0); // contributions sum per eq. (8)
+
+    core::CgSolver<double> cg(planner);
+    const int iters = core::solve_to_tolerance(cg, tol, 5000);
+    std::cout << "CG on the mixed-format system: " << iters << " iterations, residual "
+              << cg.get_convergence_measure().value << "\n";
+
+    // Verify against the single-format matrix.
+    const auto whole = stencil::laplacian_csr(spec, D, D);
+    auto xd = runtime.field_data<double>(xr, xf);
+    std::vector<double> ax(static_cast<std::size_t>(n), 0.0);
+    whole.multiply_add(std::vector<double>(xd.begin(), xd.end()), ax);
+    double err = 0.0;
+    for (std::size_t i = 0; i < ax.size(); ++i)
+        err = std::max(err, std::abs(ax[i] - b[i]));
+    std::cout << "max |Ax - b| against the monolithic CSR matrix: " << err << " -> "
+              << (err < 1e-6 ? "PASS" : "FAIL") << "\n";
+    return err < 1e-6 ? 0 : 1;
+}

@@ -1,0 +1,87 @@
+/// Application-aware solving (paper §4.2): the aliasing capability of
+/// multi-operator systems.
+///
+///  1. Multiple right-hand sides — eq. (10): {(K, A, 1, 1), …, (K, A, n, n)}.
+///     One matrix object is registered once per system; the physical data is
+///     stored once ("avoid needless n-fold duplication of the matrix A").
+///     PETSc has no equivalent (paper: "unsupported in PETSc").
+///  2. Related systems — eq. (12): (A₀ + ΔA_i) x_i = b_i with the base
+///     matrix shared and only the small perturbations distinct.
+///
+/// Both run as a single CG solve over the combined multi-operator system.
+///
+/// Usage: multiple_rhs [-n 48] [-systems 3] [-tol 1e-9]
+
+#include <iostream>
+#include <memory>
+
+#include "core/solvers.hpp"
+#include "stencil/stencil.hpp"
+#include "support/cli.hpp"
+
+int main(int argc, char** argv) {
+    using namespace kdr;
+    const CliArgs args(argc, argv);
+    const gidx n = args.get_int("n", 48);
+    const int systems = static_cast<int>(args.get_int("systems", 3));
+    const double tol = args.get_double("tol", 1e-9);
+
+    stencil::Spec spec;
+    spec.kind = stencil::Kind::D1P3;
+    spec.nx = n;
+
+    rt::Runtime runtime(sim::MachineDesc::lassen(2));
+    const IndexSpace D = IndexSpace::create(n, "D");
+    auto A = std::make_shared<CsrMatrix<double>>(stencil::laplacian_csr(spec, D, D));
+
+    core::Planner<double> planner(runtime);
+    std::vector<rt::RegionId> xr(static_cast<std::size_t>(systems));
+    std::vector<rt::FieldId> xf(static_cast<std::size_t>(systems));
+    std::vector<std::vector<double>> rhs(static_cast<std::size_t>(systems));
+    std::vector<std::shared_ptr<CsrMatrix<double>>> deltas;
+
+    for (int s = 0; s < systems; ++s) {
+        const auto su = static_cast<std::size_t>(s);
+        xr[su] = runtime.create_region(D, "x" + std::to_string(s));
+        const rt::RegionId br = runtime.create_region(D, "b" + std::to_string(s));
+        xf[su] = runtime.add_field<double>(xr[su], "v");
+        const rt::FieldId bf = runtime.add_field<double>(br, "v");
+        rhs[su] = stencil::random_rhs(n, 1000 + static_cast<std::uint64_t>(s));
+        auto bd = runtime.field_data<double>(br, bf);
+        std::copy(rhs[su].begin(), rhs[su].end(), bd.begin());
+
+        const core::CompId sol = planner.add_sol_vector(xr[su], xf[su], Partition::equal(D, 2));
+        const core::CompId rr = planner.add_rhs_vector(br, bf, Partition::equal(D, 2));
+        // Eq. (10): the same matrix object, registered per system.
+        planner.add_operator(A, sol, rr);
+        // Eq. (12): a tiny per-system SPD perturbation sharing the pair.
+        auto dA = std::make_shared<CsrMatrix<double>>(CsrMatrix<double>::from_triplets(
+            D, D, {{gidx(s) % n, gidx(s) % n, 0.5 + 0.25 * s}}));
+        deltas.push_back(dA);
+        planner.add_operator(dA, sol, rr);
+    }
+    std::cout << systems << " systems share one base matrix: A.use_count() = " << A.use_count()
+              << " (1 caller + " << systems << " operator slots — stored once)\n";
+
+    core::CgSolver<double> cg(planner);
+    const int iters = core::solve_to_tolerance(cg, tol, 2000);
+    std::cout << "combined CG converged in " << iters << " iterations\n";
+
+    // Verify every system independently: (A + ΔA_s) x_s = b_s.
+    bool ok = true;
+    for (int s = 0; s < systems; ++s) {
+        const auto su = static_cast<std::size_t>(s);
+        auto xd = runtime.field_data<double>(xr[su], xf[su]);
+        std::vector<double> ax(static_cast<std::size_t>(n), 0.0);
+        const std::vector<double> x(xd.begin(), xd.end());
+        A->multiply_add(x, ax);
+        deltas[su]->multiply_add(x, ax);
+        double err = 0.0;
+        for (std::size_t i = 0; i < ax.size(); ++i)
+            err = std::max(err, std::abs(ax[i] - rhs[su][i]));
+        std::cout << "system " << s << ": max |(A+dA)x - b| = " << err << "\n";
+        ok = ok && err < 1e-6;
+    }
+    std::cout << (ok ? "PASS" : "FAIL") << ": all systems solved from one shared matrix\n";
+    return ok ? 0 : 1;
+}

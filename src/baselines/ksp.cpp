@@ -1,0 +1,193 @@
+#include "baselines/ksp.hpp"
+
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace kdr::baselines {
+
+const char* method_name(Method m) {
+    switch (m) {
+        case Method::CG: return "cg";
+        case Method::BiCGStab: return "bicgstab";
+        case Method::GmresStatic: return "gmres";
+        case Method::GmresDynamic: return "gmres-dynamic";
+    }
+    KDR_UNREACHABLE("bad method");
+}
+
+KspSolver::KspSolver(StencilBaseline& engine, Method method, int restart)
+    : engine_(engine), method_(method), m_(restart) {
+    KDR_REQUIRE(m_ >= 1, "KspSolver: restart length must be >= 1");
+    switch (method_) {
+        case Method::CG: init_cg(); break;
+        case Method::BiCGStab: init_bicgstab(); break;
+        case Method::GmresStatic:
+        case Method::GmresDynamic: {
+            for (int i = 0; i <= m_; ++i) basis_.push_back(engine_.allocate_vector());
+            w_ = engine_.allocate_vector();
+            h_.assign(static_cast<std::size_t>(m_ + 1) * static_cast<std::size_t>(m_), 0.0);
+            cs_.assign(static_cast<std::size_t>(m_), 0.0);
+            sn_.assign(static_cast<std::size_t>(m_), 0.0);
+            g_.assign(static_cast<std::size_t>(m_ + 1), 0.0);
+            begin_gmres_cycle();
+            break;
+        }
+    }
+}
+
+void KspSolver::finalize() {
+    if ((method_ == Method::GmresStatic || method_ == Method::GmresDynamic) && j_ > 0) {
+        gmres_update_solution(j_);
+        begin_gmres_cycle();
+    }
+}
+
+void KspSolver::step() {
+    switch (method_) {
+        case Method::CG: step_cg(); break;
+        case Method::BiCGStab: step_bicgstab(); break;
+        case Method::GmresStatic:
+        case Method::GmresDynamic: step_gmres(); break;
+    }
+}
+
+// -------------------------------------------------------------------- CG
+
+void KspSolver::init_cg() {
+    p_ = engine_.allocate_vector();
+    q_ = engine_.allocate_vector();
+    r_ = engine_.allocate_vector();
+    engine_.matvec(q_, StencilBaseline::X);
+    engine_.copy(r_, StencilBaseline::B);
+    engine_.axpy(r_, -1.0, q_);
+    engine_.copy(p_, r_);
+    res2_ = engine_.dot(r_, r_);
+    res_norm_ = std::sqrt(res2_);
+}
+
+void KspSolver::step_cg() {
+    engine_.matvec(q_, p_);
+    const double p_norm = engine_.dot(p_, q_);
+    const double alpha = res2_ / p_norm;
+    engine_.axpy(StencilBaseline::X, alpha, p_);
+    engine_.axpy(r_, -alpha, q_);
+    const double new_res = engine_.dot(r_, r_);
+    engine_.xpay(p_, new_res / res2_, r_);
+    res2_ = new_res;
+    res_norm_ = std::sqrt(res2_);
+}
+
+// -------------------------------------------------------------- BiCGStab
+
+void KspSolver::init_bicgstab() {
+    r_ = engine_.allocate_vector();
+    rhat_ = engine_.allocate_vector();
+    p_ = engine_.allocate_vector();
+    v_ = engine_.allocate_vector();
+    s_ = engine_.allocate_vector();
+    t_ = engine_.allocate_vector();
+    engine_.matvec(v_, StencilBaseline::X);
+    engine_.copy(r_, StencilBaseline::B);
+    engine_.axpy(r_, -1.0, v_);
+    engine_.copy(rhat_, r_);
+    engine_.zero(p_);
+    engine_.zero(v_);
+    rho_ = alpha_ = omega_ = 1.0;
+    res_norm_ = std::sqrt(engine_.dot(r_, r_));
+}
+
+void KspSolver::step_bicgstab() {
+    const double new_rho = engine_.dot(rhat_, r_);
+    const double beta = (new_rho / rho_) * (alpha_ / omega_);
+    engine_.axpy(p_, -omega_, v_);
+    engine_.xpay(p_, beta, r_);
+    engine_.matvec(v_, p_);
+    alpha_ = new_rho / engine_.dot(rhat_, v_);
+    engine_.copy(s_, r_);
+    engine_.axpy(s_, -alpha_, v_);
+    engine_.matvec(t_, s_);
+    omega_ = engine_.dot(t_, s_) / engine_.dot(t_, t_);
+    engine_.axpy(StencilBaseline::X, alpha_, p_);
+    engine_.axpy(StencilBaseline::X, omega_, s_);
+    engine_.copy(r_, s_);
+    engine_.axpy(r_, -omega_, t_);
+    rho_ = new_rho;
+    res_norm_ = std::sqrt(engine_.dot(r_, r_));
+}
+
+// ----------------------------------------------------------------- GMRES
+
+void KspSolver::begin_gmres_cycle() {
+    engine_.matvec(w_, StencilBaseline::X);
+    engine_.copy(basis_[0], StencilBaseline::B);
+    engine_.axpy(basis_[0], -1.0, w_);
+    const double beta = std::sqrt(engine_.dot(basis_[0], basis_[0]));
+    engine_.scal(basis_[0], beta > 0.0 ? 1.0 / beta : 0.0);
+    std::fill(g_.begin(), g_.end(), 0.0);
+    g_[0] = beta;
+    cycle_beta_ = beta;
+    res_norm_ = beta;
+    j_ = 0;
+}
+
+void KspSolver::step_gmres() {
+    const int j = j_;
+    engine_.matvec(w_, basis_[static_cast<std::size_t>(j)]);
+    for (int i = 0; i <= j; ++i) {
+        h(i, j) = engine_.dot(w_, basis_[static_cast<std::size_t>(i)]);
+        engine_.axpy(w_, -h(i, j), basis_[static_cast<std::size_t>(i)]);
+    }
+    h(j + 1, j) = std::sqrt(engine_.dot(w_, w_));
+    engine_.copy(basis_[static_cast<std::size_t>(j + 1)], w_);
+    engine_.scal(basis_[static_cast<std::size_t>(j + 1)],
+                 h(j + 1, j) > 0.0 ? 1.0 / h(j + 1, j) : 0.0);
+    for (int i = 0; i < j; ++i) {
+        const double tmp = cs_[static_cast<std::size_t>(i)] * h(i, j) +
+                           sn_[static_cast<std::size_t>(i)] * h(i + 1, j);
+        h(i + 1, j) = -sn_[static_cast<std::size_t>(i)] * h(i, j) +
+                      cs_[static_cast<std::size_t>(i)] * h(i + 1, j);
+        h(i, j) = tmp;
+    }
+    const double denom = std::sqrt(h(j, j) * h(j, j) + h(j + 1, j) * h(j + 1, j));
+    cs_[static_cast<std::size_t>(j)] = denom > 0.0 ? h(j, j) / denom : 1.0;
+    sn_[static_cast<std::size_t>(j)] = denom > 0.0 ? h(j + 1, j) / denom : 0.0;
+    h(j, j) = cs_[static_cast<std::size_t>(j)] * h(j, j) +
+              sn_[static_cast<std::size_t>(j)] * h(j + 1, j);
+    h(j + 1, j) = 0.0;
+    g_[static_cast<std::size_t>(j + 1)] = -sn_[static_cast<std::size_t>(j)] *
+                                          g_[static_cast<std::size_t>(j)];
+    g_[static_cast<std::size_t>(j)] =
+        cs_[static_cast<std::size_t>(j)] * g_[static_cast<std::size_t>(j)];
+    res_norm_ = std::abs(g_[static_cast<std::size_t>(j + 1)]);
+    ++j_;
+
+    const bool restart_now =
+        j_ == m_ ||
+        // Dynamic policy: short-circuit the cycle once the projected residual
+        // has dropped by 10x — PETSc-style early restart (modeled).
+        (method_ == Method::GmresDynamic && res_norm_ < 0.1 * cycle_beta_ && j_ >= 2);
+    if (restart_now) {
+        gmres_update_solution(j_);
+        begin_gmres_cycle();
+    }
+}
+
+void KspSolver::gmres_update_solution(int k) {
+    std::vector<double> y(static_cast<std::size_t>(k), 0.0);
+    for (int i = k - 1; i >= 0; --i) {
+        double sum = g_[static_cast<std::size_t>(i)];
+        for (int l = i + 1; l < k; ++l) sum -= h(i, l) * y[static_cast<std::size_t>(l)];
+        // In timing mode every dot product is zero, so the Hessenberg matrix
+        // is singular by construction; only functional runs may flag it.
+        KDR_REQUIRE(h(i, i) != 0.0 || !engine_.functional(),
+                    "GMRES: singular Hessenberg diagonal");
+        y[static_cast<std::size_t>(i)] = h(i, i) != 0.0 ? sum / h(i, i) : 0.0;
+    }
+    for (int i = 0; i < k; ++i) {
+        engine_.axpy(StencilBaseline::X, y[static_cast<std::size_t>(i)],
+                     basis_[static_cast<std::size_t>(i)]);
+    }
+}
+
+} // namespace kdr::baselines

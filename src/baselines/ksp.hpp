@@ -1,0 +1,73 @@
+#pragma once
+
+/// \file ksp.hpp
+/// Baseline Krylov solvers over the BSP engine — the "KSP"/"Belos" layer of
+/// the PETSc- and Trilinos-like comparators (paper artifacts A₂/A₃). The
+/// algebra matches the KDRSolvers implementations exactly; only the
+/// execution substrate differs. GMRES comes in two restart policies:
+/// `GmresStatic` (Trilinos/Belos and LegionSolvers: fixed GMRES(10)) and
+/// `GmresDynamic` (PETSc: restart work shrinks as the inner iteration
+/// progresses and convergence short-circuits restarts — the reason the paper
+/// excludes PETSc from the GMRES comparison, §6.1 footnote 2).
+
+#include <memory>
+#include <vector>
+
+#include "baselines/stencil_baseline.hpp"
+
+namespace kdr::baselines {
+
+enum class Method { CG, BiCGStab, GmresStatic, GmresDynamic };
+
+[[nodiscard]] const char* method_name(Method m);
+
+class KspSolver {
+public:
+    KspSolver(StencilBaseline& engine, Method method, int restart = 10);
+
+    /// One Krylov iteration (GMRES: one Arnoldi step, restarting as needed).
+    void step();
+
+    /// Flush a restarted method's pending partial update (call on stop).
+    void finalize();
+
+    /// Residual norm ‖b − A x‖ as of the last completed step.
+    [[nodiscard]] double residual_norm() const { return res_norm_; }
+
+    [[nodiscard]] Method method() const noexcept { return method_; }
+    [[nodiscard]] double now() const { return engine_.now(); }
+
+private:
+    void init_cg();
+    void init_bicgstab();
+    void begin_gmres_cycle();
+    void step_cg();
+    void step_bicgstab();
+    void step_gmres();
+    void gmres_update_solution(int k);
+
+    double& h(int i, int j) {
+        return h_[static_cast<std::size_t>(i) * static_cast<std::size_t>(m_) +
+                  static_cast<std::size_t>(j)];
+    }
+
+    StencilBaseline& engine_;
+    Method method_;
+    int m_; ///< restart length
+    int j_ = 0;
+
+    // CG / BiCGStab state.
+    StencilBaseline::VecId p_{}, q_{}, r_{}, rhat_{}, v_{}, s_{}, t_{};
+    double res2_ = 0.0; ///< squared residual (CG recurrence)
+    double rho_ = 1.0, alpha_ = 1.0, omega_ = 1.0;
+
+    // GMRES state.
+    std::vector<StencilBaseline::VecId> basis_;
+    StencilBaseline::VecId w_{};
+    std::vector<double> h_, cs_, sn_, g_;
+    double cycle_beta_ = 0.0; ///< ‖r‖ at the start of the current cycle
+
+    double res_norm_ = 0.0;
+};
+
+} // namespace kdr::baselines

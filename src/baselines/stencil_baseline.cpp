@@ -1,0 +1,221 @@
+#include "baselines/stencil_baseline.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace kdr::baselines {
+
+StencilBaseline::StencilBaseline(bsp::BspWorld& world, stencil::Spec spec, Profile profile,
+                                 bool functional)
+    : world_(world),
+      spec_(spec),
+      profile_(std::move(profile)),
+      functional_(functional),
+      n_(spec.unknowns()) {
+    const int P = world_.nranks();
+    const gidx bw = spec_.bandwidth();
+    const double nnz_per_row = static_cast<double>(spec_.total_nnz()) / static_cast<double>(n_);
+
+    // Contiguous equal row blocks, one per rank.
+    ranks_.resize(static_cast<std::size_t>(P));
+    gidx lo = 0;
+    for (int r = 0; r < P; ++r) {
+        const gidx len = n_ / P + (r < static_cast<int>(n_ % P) ? 1 : 0);
+        RankMeta& m = ranks_[static_cast<std::size_t>(r)];
+        m.rows = {lo, lo + len};
+        m.nnz = static_cast<gidx>(nnz_per_row * static_cast<double>(len));
+        // Off-diagonal entries: per nonzero linear offset o, the rows whose
+        // neighbor r+o escapes the owned block (clipped to the global range).
+        for (const auto& off : spec_.offsets()) {
+            const gidx o = (off[0] * spec_.ny + off[1]) * spec_.nz + off[2];
+            if (o == 0) continue;
+            if (o > 0) {
+                const gidx first = std::max(m.rows.lo, m.rows.hi - o);
+                const gidx last = std::min(m.rows.hi, n_ - o);
+                m.offdiag_nnz += std::max<gidx>(0, last - first);
+            } else {
+                const gidx first = std::max(m.rows.lo, -o);
+                const gidx last = std::min(m.rows.hi, m.rows.lo - o);
+                m.offdiag_nnz += std::max<gidx>(0, last - first);
+            }
+        }
+        // Ghost elements: rows ± bandwidth, clipped (exact for blocks wider
+        // than the stencil bandwidth — see stencil.hpp).
+        m.ghost_elems = (m.rows.lo - std::max<gidx>(0, m.rows.lo - bw)) +
+                        (std::min<gidx>(n_, m.rows.hi + bw) - m.rows.hi);
+        lo += len;
+    }
+
+    // Halo message plan: for each rank, the overlap of its ghost ranges with
+    // every other rank's owned rows.
+    for (int r = 0; r < P; ++r) {
+        const RankMeta& m = ranks_[static_cast<std::size_t>(r)];
+        const IntervalSet ghosts = IntervalSet::from_intervals(
+            {{std::max<gidx>(0, m.rows.lo - bw), m.rows.lo},
+             {m.rows.hi, std::min<gidx>(n_, m.rows.hi + bw)}});
+        for (int s = 0; s < P; ++s) {
+            if (s == r) continue;
+            const RankMeta& owner = ranks_[static_cast<std::size_t>(s)];
+            const gidx overlap =
+                ghosts.set_intersection(IntervalSet(owner.rows.lo, owner.rows.hi)).volume();
+            if (overlap > 0) {
+                halo_msgs_.push_back({s, r, static_cast<double>(overlap) * 8.0});
+            }
+        }
+        max_stage_bytes_ =
+            std::max(max_stage_bytes_, static_cast<double>(m.ghost_elems) * 8.0);
+    }
+
+    if (functional_) {
+        const IndexSpace D = IndexSpace::create(n_, "baseline_D");
+        const IndexSpace R = IndexSpace::create(n_, "baseline_R");
+        matrix_ = std::make_unique<CsrMatrix<double>>(stencil::laplacian_csr(spec_, D, R));
+    }
+    vecs_.resize(2);
+    if (functional_) {
+        vecs_[X].assign(static_cast<std::size_t>(n_), 0.0);
+        vecs_[B].assign(static_cast<std::size_t>(n_), 0.0);
+    }
+}
+
+StencilBaseline::VecId StencilBaseline::allocate_vector() {
+    vecs_.emplace_back();
+    if (functional_) vecs_.back().assign(static_cast<std::size_t>(n_), 0.0);
+    return vecs_.size() - 1;
+}
+
+std::vector<double>& StencilBaseline::data(VecId v) {
+    KDR_REQUIRE(v < vecs_.size(), "StencilBaseline: unknown vector ", v);
+    KDR_REQUIRE(functional_, "StencilBaseline: data access requires functional mode");
+    return vecs_[v];
+}
+
+const std::vector<double>& StencilBaseline::data(VecId v) const {
+    KDR_REQUIRE(v < vecs_.size(), "StencilBaseline: unknown vector ", v);
+    KDR_REQUIRE(functional_, "StencilBaseline: data access requires functional mode");
+    return vecs_[v];
+}
+
+std::vector<sim::TaskCost> StencilBaseline::uniform_costs(double flops_per_elem,
+                                                          double bytes_per_elem) const {
+    std::vector<sim::TaskCost> costs;
+    costs.reserve(ranks_.size());
+    for (const RankMeta& m : ranks_) {
+        const double e = static_cast<double>(m.rows.size());
+        costs.push_back({flops_per_elem * e, bytes_per_elem * e});
+    }
+    return costs;
+}
+
+void StencilBaseline::copy(VecId dst, VecId src) {
+    world_.compute_phase(uniform_costs(0.0, 16.0), profile_.host_op_overhead);
+    if (functional_) data(dst) = data(src);
+}
+
+void StencilBaseline::zero(VecId dst) {
+    world_.compute_phase(uniform_costs(0.0, 8.0), profile_.host_op_overhead);
+    if (functional_) std::fill(data(dst).begin(), data(dst).end(), 0.0);
+}
+
+void StencilBaseline::scal(VecId dst, double alpha) {
+    world_.compute_phase(uniform_costs(1.0, 16.0), profile_.host_op_overhead);
+    if (functional_) {
+        for (double& x : data(dst)) x *= alpha;
+    }
+}
+
+void StencilBaseline::axpy(VecId dst, double alpha, VecId src) {
+    world_.compute_phase(uniform_costs(2.0, 24.0), profile_.host_op_overhead);
+    if (functional_) {
+        auto& d = data(dst);
+        const auto& s = data(src);
+        for (std::size_t i = 0; i < d.size(); ++i) d[i] += alpha * s[i];
+    }
+}
+
+void StencilBaseline::xpay(VecId dst, double alpha, VecId src) {
+    world_.compute_phase(uniform_costs(2.0, 24.0), profile_.host_op_overhead);
+    if (functional_) {
+        auto& d = data(dst);
+        const auto& s = data(src);
+        for (std::size_t i = 0; i < d.size(); ++i) d[i] = s[i] + alpha * d[i];
+    }
+}
+
+double StencilBaseline::dot(VecId v, VecId w) {
+    // Partial dot on each rank, stream sync, then a blocking allreduce.
+    world_.compute_phase(uniform_costs(2.0, 16.0), profile_.host_op_overhead);
+    world_.advance_to(world_.now() + profile_.sync_overhead);
+    world_.allreduce_phase();
+    if (!functional_) return 0.0;
+    const auto& a = data(v);
+    const auto& b = data(w);
+    double s = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+    return s;
+}
+
+void StencilBaseline::matvec(VecId dst, VecId src) {
+    const double start = world_.now() + profile_.host_op_overhead;
+
+    // 1. Pack ghost values into send buffers (GPU pass over ghost bytes),
+    //    then synchronize the stream so MPI may read them.
+    std::vector<sim::TaskCost> pack;
+    pack.reserve(ranks_.size());
+    for (const RankMeta& m : ranks_) {
+        const double gb = static_cast<double>(m.ghost_elems) * 8.0;
+        pack.push_back({0.0, profile_.pack_factor * gb});
+    }
+    double t = world_.compute_at(start, pack, 0.0);
+    t += profile_.sync_overhead;
+
+    // 2. Ghost exchange, optionally staged through host memory (PCIe down,
+    //    wire, PCIe up). Staging is modeled as a uniform per-rank delay of
+    //    the largest staged volume on each side of the wire. The D2H copy
+    //    shares the device stream with subsequent kernels, so it delays the
+    //    local product as well (no GPUDirect in the modeled configuration).
+    double stage = 0.0;
+    if (profile_.staged_halo) stage = max_stage_bytes_ / profile_.pcie_bandwidth + 1.0e-5;
+    const double comm_done = world_.exchange_at(t + stage, halo_msgs_) + stage;
+
+    // 3. SpMV. PETSc-style: the purely-local product overlaps the wire time
+    //    of the exchange (VecScatterBegin / local MatMult / VecScatterEnd),
+    //    then the off-diagonal block is applied to the arrived ghosts
+    //    (a second, smaller pass that re-reads and re-writes the boundary
+    //    rows of y). Trilinos-style: blocking import, then one fused SpMV.
+    double finish;
+    if (profile_.overlap_spmv) {
+        std::vector<sim::TaskCost> local;
+        std::vector<sim::TaskCost> offdiag;
+        for (const RankMeta& m : ranks_) {
+            const double loc_nnz = static_cast<double>(m.nnz - m.offdiag_nnz);
+            const double off_nnz = static_cast<double>(m.offdiag_nnz);
+            local.push_back(
+                {2.0 * loc_nnz, 24.0 * loc_nnz + 24.0 * static_cast<double>(m.rows.size())});
+            offdiag.push_back({2.0 * off_nnz, 24.0 * off_nnz + 16.0 * off_nnz});
+        }
+        const double local_done = world_.compute_at(t + stage, local, 0.0);
+        finish = world_.compute_at(std::max(local_done, comm_done), offdiag, 0.0);
+    } else {
+        std::vector<sim::TaskCost> full;
+        for (const RankMeta& m : ranks_) {
+            const double nnz = static_cast<double>(m.nnz);
+            full.push_back(
+                {2.0 * nnz, 24.0 * nnz + 24.0 * static_cast<double>(m.rows.size())});
+        }
+        finish = world_.compute_at(comm_done, full, 0.0);
+    }
+
+    // 4. Unpack ghosts into the local vector image (already counted in the
+    //    pack factor) and move on.
+    world_.advance_to(finish);
+
+    if (functional_) {
+        auto& y = data(dst);
+        std::fill(y.begin(), y.end(), 0.0);
+        matrix_->multiply_add(data(src), y);
+    }
+}
+
+} // namespace kdr::baselines

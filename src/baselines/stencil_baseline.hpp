@@ -1,0 +1,83 @@
+#pragma once
+
+/// \file stencil_baseline.hpp
+/// Distributed row-partitioned CSR solve engine in the bulk-synchronous
+/// model — the computational substrate of the PETSc- and Trilinos-like
+/// baselines. Mirrors the paper's benchmark ports (artifacts A₂/A₃): the
+/// stencil system is generated in place, partitioned by contiguous row
+/// blocks across ranks (one rank per GPU), and each solver operation maps to
+/// BSP phases whose costs follow the library profile.
+///
+/// In functional mode the engine also carries global arrays and executes
+/// every operation's real math (sequentially — virtual time is tracked by
+/// the BSP world), so baseline solvers can be verified to converge
+/// identically to the KDRSolvers ones.
+
+#include <memory>
+#include <vector>
+
+#include "baselines/profile.hpp"
+#include "mpisim/bsp.hpp"
+#include "stencil/stencil.hpp"
+
+namespace kdr::baselines {
+
+class StencilBaseline {
+public:
+    using VecId = std::size_t;
+    static constexpr VecId X = 0; ///< solution vector
+    static constexpr VecId B = 1; ///< right-hand side
+
+    StencilBaseline(bsp::BspWorld& world, stencil::Spec spec, Profile profile,
+                    bool functional);
+
+    [[nodiscard]] const Profile& profile() const noexcept { return profile_; }
+    [[nodiscard]] const stencil::Spec& spec() const noexcept { return spec_; }
+    [[nodiscard]] bool functional() const noexcept { return functional_; }
+    [[nodiscard]] double now() const noexcept { return world_.now(); }
+    [[nodiscard]] gidx unknowns() const noexcept { return n_; }
+
+    /// Allocate another distributed vector; returns its id.
+    VecId allocate_vector();
+
+    /// Host access to a vector's global data (functional mode only).
+    [[nodiscard]] std::vector<double>& data(VecId v);
+    [[nodiscard]] const std::vector<double>& data(VecId v) const;
+
+    // ---- distributed operations (advance the BSP clock) ----
+    void copy(VecId dst, VecId src);
+    void zero(VecId dst);
+    void scal(VecId dst, double alpha);
+    void axpy(VecId dst, double alpha, VecId src);
+    void xpay(VecId dst, double alpha, VecId src);
+    [[nodiscard]] double dot(VecId v, VecId w); ///< includes allreduce
+    void matvec(VecId dst, VecId src);          ///< halo exchange + SpMV
+
+    /// Total bytes sent over the network so far (halo traffic).
+    [[nodiscard]] double comm_bytes() const { return world_.comm_bytes(); }
+
+private:
+    struct RankMeta {
+        Interval rows;       ///< owned row range
+        gidx nnz = 0;        ///< stored entries in owned rows
+        gidx offdiag_nnz = 0;///< entries referencing ghost columns
+        gidx ghost_elems = 0;///< vector elements received per halo exchange
+    };
+
+    [[nodiscard]] std::vector<sim::TaskCost> uniform_costs(double flops_per_elem,
+                                                           double bytes_per_elem) const;
+
+    bsp::BspWorld& world_;
+    stencil::Spec spec_;
+    Profile profile_;
+    bool functional_;
+    gidx n_;
+    std::vector<RankMeta> ranks_;
+    std::vector<bsp::Message> halo_msgs_;
+    double max_stage_bytes_ = 0.0; ///< largest per-rank staged ghost volume
+
+    std::unique_ptr<CsrMatrix<double>> matrix_; ///< functional mode only
+    std::vector<std::vector<double>> vecs_;     ///< global data per vector id
+};
+
+} // namespace kdr::baselines

@@ -1,0 +1,86 @@
+#pragma once
+
+/// \file monitor.hpp
+/// Convergence monitoring: wraps any Solver and records, per iteration, the
+/// reported residual norm and the virtual time at which it became known.
+/// Gives applications the convergence-history view every production solver
+/// library exposes (PETSc's KSPMonitor, Belos's StatusTest printouts) and
+/// makes "residual vs virtual time" plots one call away.
+
+#include <ostream>
+#include <vector>
+
+#include "core/solvers.hpp"
+
+namespace kdr::core {
+
+template <typename T = double>
+class SolverMonitor final : public Solver<T> {
+public:
+    struct Sample {
+        int iteration = 0;
+        double residual = 0.0;
+        double virtual_time = 0.0; ///< when this residual's value was ready
+    };
+
+    explicit SolverMonitor(Solver<T>& inner) : inner_(inner) { record(); }
+
+    void step() override {
+        inner_.step();
+        ++iteration_;
+        record();
+    }
+
+    void finalize() override { inner_.finalize(); }
+
+    [[nodiscard]] Scalar get_convergence_measure() const override {
+        return inner_.get_convergence_measure();
+    }
+    [[nodiscard]] const char* name() const override { return inner_.name(); }
+
+    [[nodiscard]] const std::vector<Sample>& history() const noexcept { return history_; }
+
+    /// Iterations needed to reduce the initial residual by `factor` (or -1).
+    [[nodiscard]] int iterations_to_reduction(double factor) const {
+        KDR_REQUIRE(factor > 0.0 && factor < 1.0,
+                    "iterations_to_reduction: factor must be in (0,1)");
+        const double target = history_.front().residual * factor;
+        for (const Sample& s : history_) {
+            if (s.residual <= target) return s.iteration;
+        }
+        return -1;
+    }
+
+    /// Average convergence rate: geometric mean of per-iteration residual
+    /// ratios over the recorded history.
+    [[nodiscard]] double average_convergence_rate() const {
+        KDR_REQUIRE(history_.size() >= 2, "average_convergence_rate: need >= 2 samples");
+        const double first = history_.front().residual;
+        const double last = history_.back().residual;
+        KDR_REQUIRE(first > 0.0, "average_convergence_rate: zero initial residual");
+        return std::pow(last / first,
+                        1.0 / static_cast<double>(history_.size() - 1));
+    }
+
+    /// Print "iter residual virtual_ms" rows.
+    void print_history(std::ostream& os, int every = 1) const {
+        for (const Sample& s : history_) {
+            if (s.iteration % every == 0) {
+                os << s.iteration << " " << s.residual << " " << s.virtual_time * 1e3
+                   << "\n";
+            }
+        }
+    }
+
+private:
+    void record() {
+        const Scalar m = inner_.get_convergence_measure();
+        history_.push_back({iteration_, m.value, m.ready_time});
+    }
+
+    Solver<T>& inner_;
+    int iteration_ = 0;
+    std::vector<Sample> history_;
+};
+
+} // namespace kdr::core

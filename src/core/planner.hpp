@@ -1,0 +1,788 @@
+#pragma once
+
+/// \file planner.hpp
+/// The KDRSolvers Planner (paper §5, Figs 5-6): sets up a multi-operator
+/// system together with a data-partitioning strategy, and exposes the
+/// mathematical operations solvers are written against. The planner/solver
+/// split means solver code (Fig 7) never mentions storage formats, component
+/// structure, partitions, or data movement.
+///
+/// Problem setup (Fig 5):
+///   add_sol_vector / add_rhs_vector — register vector components; the total
+///     domain/range spaces D_total = ⊔D_i, R_total = ⊔R_j are inferred.
+///     Optional *canonical partitions* subdivide each component's operations
+///     into index-launched piece tasks.
+///   add_operator / add_preconditioner — register components
+///     (K_ℓ, A_ℓ, i_ℓ, j_ℓ) of A_total and P_total. Operators may alias:
+///     the same region/matrix may be added many times (multiple-RHS and
+///     related-systems patterns, paper §4.2) without duplicating storage.
+///
+/// Solver interface (Fig 6): copy/scal/axpy/xpay/dot/matmul/psolve over
+/// opaque vector ids, plus allocate_workspace_vector. Each operation
+/// decomposes into per-component, per-piece tasks; matmul output pieces use
+/// the runtime's commutative-reduction privilege, so component products
+/// targeting the same output run concurrently once the (cached) interference
+/// analysis shows they commute — the paper's §4.1 dispatch strategy.
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/scalar.hpp"
+#include "partition/projection.hpp"
+#include "runtime/runtime.hpp"
+#include "sparse/linear_operator.hpp"
+#include "support/error.hpp"
+
+namespace kdr::core {
+
+using VecId = std::size_t;
+using CompId = std::size_t;
+
+enum class VecKind : std::uint8_t { SOL, RHS };
+
+struct PlannerOptions {
+    sim::ProcKind proc_kind = sim::ProcKind::GPU;
+    /// Give each operator's matmul tasks their own color range instead of the
+    /// output owner's colors — required by mappers that place multiplication
+    /// tasks by *matrix-tile* ownership (the Fig 10 load-balancing setup).
+    bool per_operator_task_colors = false;
+};
+
+/// Precomputed partitioning plan for one operator component — either derived
+/// from the operator's row/col relations via dependent partitioning, or
+/// supplied analytically by timing-mode benchmarks.
+struct OperatorPlan {
+    Partition kernel_pieces; ///< partition of K_ℓ by output piece
+    Partition domain_needs;  ///< per piece: the x subset read (image along col)
+    Partition row_pieces;    ///< per piece: the y subset written
+    std::vector<gidx> nnz;   ///< stored entries per piece (cost model)
+    double bytes_per_entry = 16.0; ///< matrix bytes moved per stored entry
+    /// Structurally symmetric operator: the adjoint multiply may reuse this
+    /// plan verbatim. Lets timing-mode (relation-less) systems run adjoint
+    /// solvers such as BiCG.
+    bool symmetric = false;
+};
+
+template <typename T = double>
+class Planner {
+public:
+    static constexpr VecId SOL = 0;
+    static constexpr VecId RHS = 1;
+
+    /// One registered vector component: where it lives, its index space, its
+    /// canonical partition, and the global piece-color range it occupies.
+    struct Component {
+        rt::RegionId region = 0;
+        rt::FieldId user_field = 0;
+        IndexSpace space;
+        Partition canonical;
+        Color color_base = 0;
+    };
+
+    explicit Planner(rt::Runtime& runtime, PlannerOptions options = {})
+        : rt_(runtime), opts_(options) {
+        vecs_.resize(2); // SOL and RHS
+        vecs_[SOL].kind = VecKind::SOL;
+        vecs_[RHS].kind = VecKind::RHS;
+    }
+
+    Planner(const Planner&) = delete;
+    Planner& operator=(const Planner&) = delete;
+
+    // ================================================== Fig 5: problem setup
+
+    /// Register one solution-vector component living in (region, field).
+    CompId add_sol_vector(rt::RegionId region, rt::FieldId field,
+                          std::optional<Partition> canonical = {}) {
+        return add_component(sol_, VecKind::SOL, region, field, std::move(canonical));
+    }
+
+    /// Register one right-hand-side component.
+    CompId add_rhs_vector(rt::RegionId region, rt::FieldId field,
+                          std::optional<Partition> canonical = {}) {
+        return add_component(rhs_, VecKind::RHS, region, field, std::move(canonical));
+    }
+
+    /// Register an operator component (K_ℓ, A_ℓ, i_ℓ=sol_comp, j_ℓ=rhs_comp).
+    /// The partitioning plan is derived from the operator's relations:
+    /// kernel pieces are row_{R→K} preimages of the output's canonical
+    /// partition, input needs are col_{K→D} images of those (paper §3.1).
+    void add_operator(std::shared_ptr<const LinearOperator<T>> op, CompId sol_comp,
+                      CompId rhs_comp) {
+        KDR_REQUIRE(op != nullptr, "add_operator: null operator");
+        check_operator_spaces(*op, sol_comp, rhs_comp);
+        OperatorPlan plan = derive_plan(*op, rhs_comp);
+        add_planned(operators_, std::move(op), std::move(plan), sol_comp, rhs_comp, "A");
+    }
+
+    /// Register an operator from an explicit plan (timing-mode benchmarks, or
+    /// callers that precomputed projections). `op` may be null when the
+    /// runtime is non-functional.
+    void add_operator_planned(std::shared_ptr<const LinearOperator<T>> op, OperatorPlan plan,
+                              CompId sol_comp, CompId rhs_comp) {
+        KDR_REQUIRE(op != nullptr || !rt_.functional(),
+                    "add_operator_planned: functional runtime requires an operator");
+        add_planned(operators_, std::move(op), std::move(plan), sol_comp, rhs_comp, "A");
+    }
+
+    /// Register a preconditioner component (paper Fig 5).
+    void add_preconditioner(std::shared_ptr<const LinearOperator<T>> op, CompId sol_comp,
+                            CompId rhs_comp) {
+        KDR_REQUIRE(op != nullptr, "add_preconditioner: null operator");
+        OperatorPlan plan = derive_precond_plan(*op, sol_comp);
+        add_planned(preconditioners_, std::move(op), std::move(plan), sol_comp, rhs_comp, "P");
+    }
+
+    // ============================================ Fig 6: solver-facing query
+
+    /// Square means D_i and R_i agree component-wise — same size and same
+    /// canonical piece structure. (Identity of the IndexSpace objects is not
+    /// required: a user may register distinct-but-congruent spaces for x and
+    /// b, as PETSc-style layouts do.)
+    [[nodiscard]] bool is_square() const {
+        if (sol_.size() != rhs_.size()) return false;
+        for (std::size_t i = 0; i < sol_.size(); ++i) {
+            if (sol_[i].space.size() != rhs_[i].space.size()) return false;
+            if (sol_[i].canonical.pieces() != rhs_[i].canonical.pieces()) return false;
+        }
+        return true;
+    }
+
+    [[nodiscard]] bool has_preconditioner() const {
+        return !preconditioners_.empty() || matrix_free_psolve_ != nullptr;
+    }
+
+    [[nodiscard]] gidx total_domain_size() const {
+        gidx n = 0;
+        for (const Component& c : sol_) n += c.space.size();
+        return n;
+    }
+    [[nodiscard]] gidx total_range_size() const {
+        gidx n = 0;
+        for (const Component& c : rhs_) n += c.space.size();
+        return n;
+    }
+
+    /// Allocate a workspace vector: one new field per component region,
+    /// homed identically to the component (Fig 6).
+    VecId allocate_workspace_vector(VecKind kind = VecKind::SOL) {
+        const auto& comps = components(kind);
+        KDR_REQUIRE(!comps.empty(), "allocate_workspace_vector: no ",
+                    kind == VecKind::SOL ? "solution" : "rhs", " components registered");
+        VecDesc v;
+        v.kind = kind;
+        for (const Component& c : comps) {
+            const rt::FieldId f = rt_.add_field<T>(
+                c.region, "ws" + std::to_string(vecs_.size()));
+            rt_.set_home_from_partition(c.region, f, c.canonical, nodes_of(c));
+            v.fields.push_back(f);
+        }
+        vecs_.push_back(std::move(v));
+        return vecs_.size() - 1;
+    }
+
+    // =========================================== Fig 6: vector operations
+
+    /// dst ← src
+    void copy(VecId dst, VecId src) {
+        elementwise("copy", dst, {}, src,
+                    [](T* d, const T* s, double) { *d = *s; },
+                    /*dst_reads=*/false, sim::KernelCosts::copy(1));
+    }
+
+    /// dst ← α · dst
+    void scal(VecId dst, const Scalar& alpha) {
+        elementwise("scal", dst, alpha, dst,
+                    [](T* d, const T*, double a) { *d *= static_cast<T>(a); },
+                    /*dst_reads=*/true, sim::KernelCosts::scal(1), /*unary=*/true);
+    }
+
+    /// dst ← dst + α · src
+    void axpy(VecId dst, const Scalar& alpha, VecId src) {
+        elementwise("axpy", dst, alpha, src,
+                    [](T* d, const T* s, double a) { *d += static_cast<T>(a) * *s; },
+                    /*dst_reads=*/true, sim::KernelCosts::axpy(1));
+    }
+
+    /// dst ← src + α · dst
+    void xpay(VecId dst, const Scalar& alpha, VecId src) {
+        elementwise("xpay", dst, alpha, src,
+                    [](T* d, const T* s, double a) { *d = *s + static_cast<T>(a) * *d; },
+                    /*dst_reads=*/true, sim::KernelCosts::axpy(1));
+    }
+
+    /// dst ← 0
+    void zero(VecId dst) {
+        elementwise("zero", dst, {}, dst, [](T* d, const T*, double) { *d = T{}; },
+                    /*dst_reads=*/false, sim::TaskCost{0.0, 8.0}, /*unary=*/true);
+    }
+
+    /// return v · w (scalar future; tree-reduction latency modeled)
+    [[nodiscard]] Scalar dot(VecId v, VecId w) {
+        const VecDesc& dv = vec(v);
+        const VecDesc& dw = vec(w);
+        check_compatible(dv, dw, "dot");
+        double partial_sum = 0.0;
+        double ready = 0.0;
+        int piece_count = 0;
+        const auto& comps = components(dv.kind);
+        for (std::size_t ci = 0; ci < comps.size(); ++ci) {
+            const Component& comp = comps[ci];
+            const Component& wcomp = components(dw.kind)[ci];
+            const rt::FieldId fv = dv.fields[ci];
+            const rt::FieldId fw = dw.fields[ci];
+            for (Color c = 0; c < comp.canonical.color_count(); ++c) {
+                const IntervalSet piece = comp.canonical.piece(c);
+                rt::TaskLaunch l;
+                l.name = "dot";
+                l.proc_kind = opts_.proc_kind;
+                l.color = comp.color_base + c;
+                l.requirements.push_back(
+                    {comp.region, fv, rt::Privilege::ReadOnly, piece});
+                l.requirements.push_back(
+                    {wcomp.region, fw, rt::Privilege::ReadOnly, piece});
+                l.cost = sim::KernelCosts::dot(piece.volume());
+                if (rt_.functional()) {
+                    auto vr = comp.region;
+                    auto wr = wcomp.region;
+                    l.body = [vr, fv, wr, fw, piece](rt::TaskContext& ctx) {
+                        auto a = ctx.field<T>(vr, fv);
+                        auto b = ctx.field<T>(wr, fw);
+                        double s = 0.0;
+                        piece.for_each_interval([&](const Interval& iv) {
+                            for (gidx i = iv.lo; i < iv.hi; ++i) {
+                                s += static_cast<double>(
+                                    a[static_cast<std::size_t>(i)] *
+                                    b[static_cast<std::size_t>(i)]);
+                            }
+                        });
+                        ctx.set_scalar(s);
+                    };
+                }
+                const Scalar part = rt_.launch(std::move(l));
+                partial_sum += part.value;
+                ready = std::max(ready, part.ready_time);
+                ++piece_count;
+            }
+        }
+        // Scalar tree-reduction across pieces (futures, not a barrier — only
+        // consumers of this scalar wait).
+        const double hops = std::ceil(std::log2(std::max(2, piece_count)));
+        ready += hops * rt_.machine().collective_hop_latency;
+        return {partial_sum, ready};
+    }
+
+    /// dst ← A_total(src): eq. (8) — zero dst, then one multiply-add task per
+    /// (operator, piece) reducing into the output component.
+    void matmul(VecId dst, VecId src) { apply_slots(operators_, dst, src); }
+
+    /// dst ← P_total(src) (paper Fig 6). Falls back to a matrix-free
+    /// callback when one was installed.
+    void psolve(VecId dst, VecId src) {
+        KDR_REQUIRE(has_preconditioner(), "psolve: no preconditioner registered");
+        if (matrix_free_psolve_) {
+            matrix_free_psolve_(dst, src);
+            return;
+        }
+        apply_slots(preconditioners_, dst, src);
+    }
+
+    /// dst ← A_totalᵀ(src) — adjoint multiply (BiCG). Requires functional
+    /// operators (transpose plans derive from the col relation lazily).
+    void matmul_transpose(VecId dst, VecId src) {
+        const VecDesc& dv = vec(dst);
+        const VecDesc& sv = vec(src);
+        if (dv.kind != VecKind::SOL || sv.kind != VecKind::RHS) {
+            KDR_REQUIRE(is_square(),
+                        "matmul_transpose: dst must be SOL-shaped and src RHS-shaped "
+                        "unless square");
+        }
+        // Same primary/reducer dispatch as matmul, keyed on sol components.
+        std::vector<const OperatorSlot*> primary(components(dv.kind).size(), nullptr);
+        for (OperatorSlot& slot : operators_) {
+            ensure_transpose_plan(slot);
+            if (primary[slot.sol_comp] == nullptr &&
+                slot.tplan->row_pieces.pieces() ==
+                    components(dv.kind)[slot.sol_comp].canonical.pieces()) {
+                primary[slot.sol_comp] = &slot;
+            }
+        }
+        for (std::size_t j = 0; j < primary.size(); ++j) {
+            if (primary[j] == nullptr) zero_component(dv, j);
+        }
+        for (int pass = 0; pass < 2; ++pass) {
+            for (OperatorSlot& slot : operators_) {
+                const bool is_primary = primary[slot.sol_comp] == &slot;
+                if ((pass == 0) != is_primary) continue;
+                // Output is the *solution* component; input the rhs component.
+                const Component& in = component_of(sv, slot.rhs_comp);
+                const Component& out = component_of(dv, slot.sol_comp);
+                const rt::FieldId fin = field_for(sv, VecKind::RHS, slot.rhs_comp);
+                const rt::FieldId fout = field_for(dv, VecKind::SOL, slot.sol_comp);
+                launch_multiplies(slot, *slot.tplan, in, fin, out, fout, /*transpose=*/true,
+                                  /*write_mode=*/is_primary);
+            }
+        }
+    }
+
+    /// Install a matrix-free preconditioner (Legion-style custom task; the
+    /// paper notes LegionSolvers accepts "a user-provided preconditioning
+    /// matrix (or matrix-free task)").
+    void set_matrix_free_psolve(std::function<void(VecId, VecId)> fn) {
+        matrix_free_psolve_ = std::move(fn);
+    }
+
+    // ------------------------------------------------------- introspection
+
+    [[nodiscard]] rt::Runtime& runtime() noexcept { return rt_; }
+
+    /// Field backing component `comp` of vector `v` (result inspection).
+    [[nodiscard]] rt::FieldId vector_field(VecId v, CompId comp = 0) const {
+        const VecDesc& d = vec(v);
+        KDR_REQUIRE(comp < d.fields.size(), "vector_field: component ", comp, " out of range");
+        return d.fields[comp];
+    }
+    [[nodiscard]] VecKind vector_kind(VecId v) const { return vec(v).kind; }
+    [[nodiscard]] std::size_t operator_count() const noexcept { return operators_.size(); }
+    [[nodiscard]] std::size_t sol_components() const noexcept { return sol_.size(); }
+    [[nodiscard]] std::size_t rhs_components() const noexcept { return rhs_.size(); }
+
+    /// Task color of (operator ℓ, piece c) matmul launches — what tile-owner
+    /// mappers key on (requires per_operator_task_colors).
+    [[nodiscard]] Color matmul_color(std::size_t op_index, Color piece) const {
+        KDR_REQUIRE(op_index < operators_.size(), "matmul_color: bad operator index");
+        return operators_[op_index].task_color_base + piece;
+    }
+
+    /// Matrix-data region of operator ℓ (for home migration / load balancing).
+    [[nodiscard]] std::pair<rt::RegionId, rt::FieldId> operator_storage(
+        std::size_t op_index) const {
+        KDR_REQUIRE(op_index < operators_.size(), "operator_storage: bad operator index");
+        return {operators_[op_index].mat_region, operators_[op_index].mat_field};
+    }
+
+    [[nodiscard]] const Component& sol_component(CompId i) const {
+        KDR_REQUIRE(i < sol_.size(), "sol_component: bad id");
+        return sol_[i];
+    }
+    [[nodiscard]] const Component& rhs_component(CompId j) const {
+        KDR_REQUIRE(j < rhs_.size(), "rhs_component: bad id");
+        return rhs_[j];
+    }
+
+    /// Node that piece `c` of a component maps to under the default
+    /// round-robin convention (homes and owner-computes placement agree).
+    [[nodiscard]] int node_of_color(Color color) const {
+        const sim::MachineDesc& m = rt_.machine();
+        if (opts_.proc_kind == sim::ProcKind::GPU && m.gpus_per_node > 0) {
+            return static_cast<int>(color % m.total_gpus()) / m.gpus_per_node;
+        }
+        return static_cast<int>(color % m.nodes);
+    }
+
+private:
+    struct VecDesc {
+        VecKind kind = VecKind::SOL;
+        std::vector<rt::FieldId> fields; // parallel to components(kind)
+    };
+
+    struct OperatorSlot {
+        std::shared_ptr<const LinearOperator<T>> op; // null in timing mode
+        OperatorPlan plan;
+        std::unique_ptr<OperatorPlan> tplan; // adjoint plan, lazy
+        CompId sol_comp = 0;
+        CompId rhs_comp = 0;
+        rt::RegionId mat_region = 0;
+        rt::FieldId mat_field = 0;
+        Color task_color_base = 0;
+        std::string tag;
+    };
+
+    [[nodiscard]] std::vector<Component>& mutable_components(VecKind k) {
+        return k == VecKind::SOL ? sol_ : rhs_;
+    }
+    [[nodiscard]] const std::vector<Component>& components(VecKind k) const {
+        return k == VecKind::SOL ? sol_ : rhs_;
+    }
+
+    [[nodiscard]] const VecDesc& vec(VecId v) const {
+        KDR_REQUIRE(v < vecs_.size(), "unknown vector id ", v);
+        if (v == SOL) {
+            KDR_REQUIRE(!sol_.empty(), "solution vector has no components yet");
+        }
+        if (v == RHS) {
+            KDR_REQUIRE(!rhs_.empty(), "rhs vector has no components yet");
+        }
+        return vecs_[v];
+    }
+
+    /// Two vectors are op-compatible if they have the same kind, or the
+    /// system is square (component spaces pairwise identical).
+    void check_compatible(const VecDesc& a, const VecDesc& b, const char* what) const {
+        if (a.kind == b.kind) return;
+        KDR_REQUIRE(is_square(), what,
+                    ": mixing SOL- and RHS-shaped vectors requires a square system");
+    }
+
+    /// Field of vector `v` for component `comp` of side `side`. For square
+    /// systems a vector of the other kind is accessed through the paired
+    /// component index.
+    [[nodiscard]] rt::FieldId field_for(const VecDesc& v, VecKind /*side*/,
+                                        CompId comp) const {
+        KDR_REQUIRE(comp < v.fields.size(), "vector does not cover component ", comp);
+        return v.fields[comp];
+    }
+
+    /// Region hosting component `comp` of vector `v`.
+    [[nodiscard]] const Component& component_of(const VecDesc& v, CompId comp) const {
+        return components(v.kind)[comp];
+    }
+
+    [[nodiscard]] std::vector<int> nodes_of(const Component& c) const {
+        std::vector<int> nodes;
+        nodes.reserve(static_cast<std::size_t>(c.canonical.color_count()));
+        for (Color i = 0; i < c.canonical.color_count(); ++i) {
+            nodes.push_back(node_of_color(c.color_base + i));
+        }
+        return nodes;
+    }
+
+    CompId add_component(std::vector<Component>& list, VecKind kind, rt::RegionId region,
+                         rt::FieldId field, std::optional<Partition> canonical) {
+        const IndexSpace& space = rt_.region(region).space();
+        Component comp;
+        comp.region = region;
+        comp.user_field = field;
+        comp.space = space;
+        comp.canonical = canonical ? std::move(*canonical) : Partition::single(space);
+        KDR_REQUIRE(comp.canonical.space() == space,
+                    "canonical partition must partition the component's space");
+        KDR_REQUIRE(comp.canonical.is_complete() && comp.canonical.is_disjoint(),
+                    "canonical partitions must be complete and disjoint (paper §5)");
+        // RHS components of a square pairing share piece colors with their
+        // solution twins so aligned operations stay local.
+        bool reused = false;
+        if (kind == VecKind::RHS) {
+            const std::size_t pair_index = rhs_.size();
+            if (pair_index < sol_.size() &&
+                sol_[pair_index].space.size() == space.size() &&
+                sol_[pair_index].canonical.pieces() == comp.canonical.pieces()) {
+                comp.color_base = sol_[pair_index].color_base;
+                reused = true;
+            }
+        }
+        if (!reused) {
+            comp.color_base = next_color_;
+            next_color_ += comp.canonical.color_count();
+        }
+
+        rt_.set_home_from_partition(region, field, comp.canonical, [&] {
+            std::vector<int> nodes;
+            for (Color i = 0; i < comp.canonical.color_count(); ++i)
+                nodes.push_back(node_of_color(comp.color_base + i));
+            return nodes;
+        }());
+
+        list.push_back(comp);
+        vecs_[kind == VecKind::SOL ? SOL : RHS].fields.push_back(field);
+        return list.size() - 1;
+    }
+
+    void check_operator_spaces(const LinearOperator<T>& op, CompId sol_comp,
+                               CompId rhs_comp) const {
+        KDR_REQUIRE(sol_comp < sol_.size(), "add_operator: unknown sol component ", sol_comp);
+        KDR_REQUIRE(rhs_comp < rhs_.size(), "add_operator: unknown rhs component ", rhs_comp);
+        KDR_REQUIRE(op.domain() == sol_[sol_comp].space,
+                    "add_operator: operator domain space mismatch for component ", sol_comp);
+        KDR_REQUIRE(op.range() == rhs_[rhs_comp].space,
+                    "add_operator: operator range space mismatch for component ", rhs_comp);
+    }
+
+    /// Universal co-partitioning (paper §3.1): kernel pieces are preimages of
+    /// the output partition along the row relation; input needs are images of
+    /// the kernel pieces along the column relation. Works for any format.
+    [[nodiscard]] OperatorPlan derive_plan(const LinearOperator<T>& op, CompId rhs_comp) const {
+        const Partition& rows = rhs_[rhs_comp].canonical;
+        OperatorPlan plan;
+        plan.kernel_pieces = preimage(rows, *op.row_relation());
+        plan.domain_needs = image(plan.kernel_pieces, *op.col_relation());
+        plan.row_pieces = rows;
+        plan.nnz.reserve(static_cast<std::size_t>(rows.color_count()));
+        for (Color c = 0; c < rows.color_count(); ++c) {
+            plan.nnz.push_back(plan.kernel_pieces.piece(c).volume());
+        }
+        return plan;
+    }
+
+    [[nodiscard]] OperatorPlan derive_precond_plan(const LinearOperator<T>& op,
+                                                   CompId sol_comp) const {
+        // Preconditioner output is SOL-shaped: partition by the sol component.
+        const Partition& rows = sol_[sol_comp].canonical;
+        OperatorPlan plan;
+        plan.kernel_pieces = preimage(rows, *op.row_relation());
+        plan.domain_needs = image(plan.kernel_pieces, *op.col_relation());
+        plan.row_pieces = rows;
+        for (Color c = 0; c < rows.color_count(); ++c)
+            plan.nnz.push_back(plan.kernel_pieces.piece(c).volume());
+        return plan;
+    }
+
+    void add_planned(std::vector<OperatorSlot>& list,
+                     std::shared_ptr<const LinearOperator<T>> op, OperatorPlan plan,
+                     CompId sol_comp, CompId rhs_comp, std::string tag) {
+        KDR_REQUIRE(sol_comp < sol_.size(), "operator: unknown sol component ", sol_comp);
+        KDR_REQUIRE(rhs_comp < rhs_.size(), "operator: unknown rhs component ", rhs_comp);
+        const Color pieces = plan.row_pieces.color_count();
+        KDR_REQUIRE(plan.kernel_pieces.color_count() == pieces &&
+                        plan.domain_needs.color_count() == pieces &&
+                        static_cast<Color>(plan.nnz.size()) == pieces,
+                    "operator plan: inconsistent piece counts");
+
+        OperatorSlot slot;
+        slot.op = std::move(op);
+        slot.sol_comp = sol_comp;
+        slot.rhs_comp = rhs_comp;
+        slot.tag = std::move(tag);
+
+        // Matrix data region: phantom field (kernels read the operator object
+        // directly; the region models placement and movement of the bytes).
+        slot.mat_region =
+            rt_.create_region(plan.kernel_pieces.space(),
+                              slot.tag + std::to_string(list.size()) + "_data");
+        slot.mat_field = rt_.region(slot.mat_region)
+                             .add_field("entries", static_cast<std::size_t>(
+                                                       plan.bytes_per_entry),
+                                        /*materialize=*/false);
+        // Home matrix pieces with the output owner (row-based placement, the
+        // benchmarks' convention); load balancers may move them later.
+        {
+            std::vector<rt::HomePiece> homes;
+            const Component& out = rhs_[rhs_comp];
+            for (Color c = 0; c < pieces; ++c) {
+                homes.push_back({plan.kernel_pieces.piece(c),
+                                 node_of_color(out.color_base + c)});
+            }
+            rt_.set_home(slot.mat_region, slot.mat_field, std::move(homes));
+        }
+
+        if (opts_.per_operator_task_colors) {
+            slot.task_color_base = next_color_;
+            next_color_ += pieces;
+        } else {
+            slot.task_color_base = rhs_[rhs_comp].color_base;
+        }
+        slot.plan = std::move(plan);
+        list.push_back(std::move(slot));
+    }
+
+    void ensure_transpose_plan(OperatorSlot& slot) {
+        if (slot.tplan) return;
+        if (slot.plan.symmetric) {
+            slot.tplan = std::make_unique<OperatorPlan>(slot.plan);
+            return;
+        }
+        KDR_REQUIRE(slot.op != nullptr,
+                    "matmul_transpose: operator relations unavailable (timing mode; set "
+                    "OperatorPlan::symmetric for structurally symmetric operators)");
+        const Partition& out_rows = sol_[slot.sol_comp].canonical;
+        auto tp = std::make_unique<OperatorPlan>();
+        tp->kernel_pieces = preimage(out_rows, *slot.op->col_relation());
+        tp->domain_needs = image(tp->kernel_pieces, *slot.op->row_relation());
+        tp->row_pieces = out_rows;
+        for (Color c = 0; c < out_rows.color_count(); ++c)
+            tp->nnz.push_back(tp->kernel_pieces.piece(c).volume());
+        slot.tplan = std::move(tp);
+    }
+
+    /// Shared machinery of matmul and psolve: dst ← Σ_ℓ slot_ℓ(src).
+    /// Components are addressed through the *vectors'* own regions (a SOL-
+    /// shaped workspace holds its data on the sol component regions even when
+    /// it plays the RHS role in a square system).
+    ///
+    /// Dispatch strategy (paper §4.1): for each output component, the first
+    /// operator whose pieces exactly cover the component's canonical pieces
+    /// becomes the *primary* — its tasks write with β=0 fused (no separate
+    /// zeroing pass, the standard SpMV idiom). Every other operator reduces
+    /// with the commutative sum privilege, so contributions from different
+    /// components overlap; the interference analysis is exactly the
+    /// privilege-conflict rules of the runtime, cached in the task DAG.
+    void apply_slots(std::vector<OperatorSlot>& slots, VecId dst, VecId src) {
+        const VecDesc& dv = vec(dst);
+        const VecDesc& sv = vec(src);
+        if (dv.kind != VecKind::RHS || sv.kind != VecKind::SOL) {
+            KDR_REQUIRE(is_square(),
+                        "matmul: dst must be RHS-shaped and src SOL-shaped unless square");
+        }
+        // Pick primary slots and zero the components no slot fully covers.
+        std::vector<const OperatorSlot*> primary(components(dv.kind).size(), nullptr);
+        for (const OperatorSlot& slot : slots) {
+            if (primary[slot.rhs_comp] == nullptr &&
+                slot.plan.row_pieces.pieces() ==
+                    components(dv.kind)[slot.rhs_comp].canonical.pieces()) {
+                primary[slot.rhs_comp] = &slot;
+            }
+        }
+        for (std::size_t j = 0; j < primary.size(); ++j) {
+            if (primary[j] == nullptr) zero_component(dv, j);
+        }
+        // Primaries launch first so reducers order after the β=0 write.
+        for (int pass = 0; pass < 2; ++pass) {
+            for (OperatorSlot& slot : slots) {
+                const bool is_primary = primary[slot.rhs_comp] == &slot;
+                if ((pass == 0) != is_primary) continue;
+                const Component& in = component_of(sv, slot.sol_comp);
+                const Component& out = component_of(dv, slot.rhs_comp);
+                const rt::FieldId fin = field_for(sv, VecKind::SOL, slot.sol_comp);
+                const rt::FieldId fout = field_for(dv, VecKind::RHS, slot.rhs_comp);
+                launch_multiplies(slot, slot.plan, in, fin, out, fout, /*transpose=*/false,
+                                  /*write_mode=*/is_primary);
+            }
+        }
+    }
+
+    /// Zero a single component of a vector (piece tasks).
+    void zero_component(const VecDesc& dv, std::size_t comp) {
+        const Component& dcomp = components(dv.kind)[comp];
+        const rt::FieldId fd = dv.fields[comp];
+        for (Color c = 0; c < dcomp.canonical.color_count(); ++c) {
+            const IntervalSet piece = dcomp.canonical.piece(c);
+            rt::TaskLaunch l;
+            l.name = "zero";
+            l.proc_kind = opts_.proc_kind;
+            l.color = dcomp.color_base + c;
+            l.requirements.push_back({dcomp.region, fd, rt::Privilege::WriteOnly, piece});
+            l.cost = {0.0, 8.0 * static_cast<double>(piece.volume())};
+            if (rt_.functional()) {
+                const rt::RegionId dr = dcomp.region;
+                l.body = [dr, fd, piece](rt::TaskContext& ctx) {
+                    auto d = ctx.field<T>(dr, fd);
+                    piece.for_each_interval([&](const Interval& iv) {
+                        for (gidx i = iv.lo; i < iv.hi; ++i)
+                            d[static_cast<std::size_t>(i)] = T{};
+                    });
+                };
+            }
+            rt_.launch(std::move(l));
+        }
+    }
+
+    void launch_multiplies(OperatorSlot& slot, const OperatorPlan& plan, const Component& in,
+                           rt::FieldId fin, const Component& out, rt::FieldId fout,
+                           bool transpose, bool write_mode = false) {
+        for (Color c = 0; c < plan.row_pieces.color_count(); ++c) {
+            const IntervalSet& kpiece = plan.kernel_pieces.piece(c);
+            const IntervalSet& xpiece = plan.domain_needs.piece(c);
+            const IntervalSet& ypiece = plan.row_pieces.piece(c);
+            if (kpiece.empty() && !write_mode) continue;
+            rt::TaskLaunch l;
+            l.name = transpose ? "matmulT" : "matmul";
+            l.proc_kind = opts_.proc_kind;
+            l.color = slot.task_color_base + c;
+            l.requirements.push_back(
+                {slot.mat_region, slot.mat_field, rt::Privilege::ReadOnly, kpiece});
+            l.requirements.push_back({in.region, fin, rt::Privilege::ReadOnly, xpiece});
+            l.requirements.push_back({out.region, fout,
+                                      write_mode ? rt::Privilege::WriteOnly
+                                                 : rt::Privilege::Reduce,
+                                      ypiece, rt::kSumReduction});
+            l.cost = sim::KernelCosts::spmv(plan.nnz[static_cast<std::size_t>(c)],
+                                            ypiece.volume());
+            if (rt_.functional()) {
+                KDR_REQUIRE(slot.op != nullptr, "matmul: missing operator in functional mode");
+                auto op = slot.op;
+                const rt::RegionId in_r = in.region;
+                const rt::RegionId out_r = out.region;
+                l.body = [op, kpiece, ypiece, in_r, fin, out_r, fout, transpose,
+                          write_mode](rt::TaskContext& ctx) {
+                    auto x = ctx.field<T>(in_r, fin);
+                    auto y = ctx.field<T>(out_r, fout);
+                    if (write_mode) {
+                        // β=0 fused: initialize this piece's output rows.
+                        ypiece.for_each_interval([&](const Interval& iv) {
+                            for (gidx i = iv.lo; i < iv.hi; ++i)
+                                y[static_cast<std::size_t>(i)] = T{};
+                        });
+                    }
+                    if (transpose) {
+                        op->multiply_add_transpose_piece(kpiece, x, y);
+                    } else {
+                        op->multiply_add_piece(kpiece, x, y);
+                    }
+                };
+            }
+            rt_.launch(std::move(l));
+        }
+    }
+
+    /// Shared machinery of copy/scal/axpy/xpay/zero: per-component,
+    /// per-piece elementwise tasks. `per_element` cost is scaled by piece
+    /// volume; `fn` applies one element.
+    template <typename Fn>
+    void elementwise(const char* name, VecId dst, std::optional<Scalar> alpha, VecId src,
+                     Fn fn, bool dst_reads, sim::TaskCost per_element, bool unary = false) {
+        const VecDesc& dv = vec(dst);
+        const VecDesc& sv = vec(src);
+        if (!unary) check_compatible(dv, sv, name);
+        const auto& comps = components(dv.kind);
+        for (std::size_t ci = 0; ci < comps.size(); ++ci) {
+            const Component& dcomp = comps[ci];
+            const Component& scomp = components(sv.kind)[ci];
+            const rt::FieldId fd = dv.fields[ci];
+            const rt::FieldId fs = sv.fields[ci];
+            for (Color c = 0; c < dcomp.canonical.color_count(); ++c) {
+                const IntervalSet piece = dcomp.canonical.piece(c);
+                rt::TaskLaunch l;
+                l.name = name;
+                l.proc_kind = opts_.proc_kind;
+                l.color = dcomp.color_base + c;
+                l.requirements.push_back({dcomp.region, fd,
+                                          dst_reads ? rt::Privilege::ReadWrite
+                                                    : rt::Privilege::WriteOnly,
+                                          piece});
+                if (!unary) {
+                    l.requirements.push_back(
+                        {scomp.region, fs, rt::Privilege::ReadOnly, piece});
+                }
+                const double n = static_cast<double>(piece.volume());
+                l.cost = {per_element.flops * n, per_element.bytes * n};
+                if (alpha) l.scalar_deps.push_back(alpha->ready_time);
+                if (rt_.functional()) {
+                    const double a = alpha ? alpha->value : 0.0;
+                    const rt::RegionId dr = dcomp.region;
+                    const rt::RegionId sr = scomp.region;
+                    l.body = [dr, fd, sr, fs, piece, a, fn, unary](rt::TaskContext& ctx) {
+                        auto d = ctx.field<T>(dr, fd);
+                        if (unary) {
+                            piece.for_each_interval([&](const Interval& iv) {
+                                for (gidx i = iv.lo; i < iv.hi; ++i)
+                                    fn(&d[static_cast<std::size_t>(i)], nullptr, a);
+                            });
+                        } else {
+                            auto s = ctx.field<T>(sr, fs);
+                            piece.for_each_interval([&](const Interval& iv) {
+                                for (gidx i = iv.lo; i < iv.hi; ++i)
+                                    fn(&d[static_cast<std::size_t>(i)],
+                                       &s[static_cast<std::size_t>(i)], a);
+                            });
+                        }
+                    };
+                }
+                rt_.launch(std::move(l));
+            }
+        }
+    }
+
+    rt::Runtime& rt_;
+    PlannerOptions opts_;
+    std::vector<Component> sol_;
+    std::vector<Component> rhs_;
+    std::vector<VecDesc> vecs_;
+    std::vector<OperatorSlot> operators_;
+    std::vector<OperatorSlot> preconditioners_;
+    std::function<void(VecId, VecId)> matrix_free_psolve_;
+    Color next_color_ = 0;
+};
+
+} // namespace kdr::core

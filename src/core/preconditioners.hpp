@@ -1,0 +1,152 @@
+#pragma once
+
+/// \file preconditioners.hpp
+/// Preconditioning for multi-operator systems — the paper's §7 "future work"
+/// direction ("extending classical preconditioning algorithms, such as
+/// Jacobi preconditioning, to the context of multi-operator systems"),
+/// implemented here as an extension.
+///
+/// * Jacobi: the inverse diagonal of A_total. For a multi-operator system the
+///   diagonal of component pair (i, i) is the *sum of the diagonals of every
+///   operator relating D_i to R_i* — aliased operators contribute once per
+///   placement, matching eq. (8). Cross-component operators (i ≠ j) have no
+///   diagonal; the result is the block-diagonal (component-wise) Jacobi
+///   preconditioner, the natural multi-operator generalization.
+/// * Polynomial (truncated Neumann series): a matrix-free preconditioner
+///   built purely from planner operations — demonstrates the "matrix-free
+///   task" preconditioning path (paper §5).
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "core/planner.hpp"
+#include "sparse/block_diagonal.hpp"
+#include "sparse/dia.hpp"
+
+namespace kdr::core {
+
+/// Accumulate the diagonal of the (i, i) block of A_total across all
+/// registered operators. Exposed separately for testing.
+template <typename T>
+std::vector<T> multi_operator_diagonal(
+    const std::vector<std::shared_ptr<const LinearOperator<T>>>& ops) {
+    KDR_REQUIRE(!ops.empty(), "multi_operator_diagonal: no operators");
+    const gidx n = ops.front()->range().size();
+    std::vector<T> diag(static_cast<std::size_t>(n), T{});
+    for (const auto& op : ops) {
+        KDR_REQUIRE(op->domain().size() == n && op->range().size() == n,
+                    "multi_operator_diagonal: operators must be square over the same size");
+        op->add_diagonal(diag);
+    }
+    return diag;
+}
+
+/// Build and register the Jacobi preconditioner for a square multi-operator
+/// system: for each component pair (i, i), P_i = diag(Σ_ℓ A_ℓ)⁻¹.
+/// `ops_by_component[i]` lists the operators registered on pair (i, i).
+template <typename T>
+void add_jacobi_preconditioner(
+    Planner<T>& planner,
+    const std::vector<std::vector<std::shared_ptr<const LinearOperator<T>>>>&
+        ops_by_component) {
+    KDR_REQUIRE(planner.is_square(), "Jacobi preconditioner requires a square system");
+    KDR_REQUIRE(ops_by_component.size() == planner.sol_components(),
+                "add_jacobi_preconditioner: need operator lists for every component");
+    for (std::size_t i = 0; i < ops_by_component.size(); ++i) {
+        const auto& ops = ops_by_component[i];
+        KDR_REQUIRE(!ops.empty(), "add_jacobi_preconditioner: component ", i,
+                    " has no diagonal-contributing operators");
+        std::vector<T> diag = multi_operator_diagonal(ops);
+        for (std::size_t k = 0; k < diag.size(); ++k) {
+            KDR_REQUIRE(diag[k] != T{}, "Jacobi: zero diagonal entry at component ", i,
+                        " index ", k);
+            diag[k] = T{1} / diag[k];
+        }
+        // A diagonal matrix is the DIA format with the single offset {0}.
+        auto inv_diag = std::make_shared<DiaMatrix<T>>(
+            planner.sol_component(i).space, planner.rhs_component(i).space,
+            std::vector<gidx>{0}, std::move(diag));
+        planner.add_preconditioner(inv_diag, i, i);
+    }
+}
+
+/// Block-Jacobi preconditioner at canonical-piece granularity: for each
+/// component pair (i, i), the diagonal block of Σ_ℓ A_ℓ restricted to each
+/// canonical piece is extracted, densely inverted, and the resulting
+/// block-diagonal operator registered as the preconditioner. The natural
+/// multi-operator extension of domain-decomposed Jacobi: blocks follow the
+/// *partitioning strategy*, so re-partitioning re-shapes the preconditioner
+/// with no code changes (P3). Dense inversion is O(b³) per block — intended
+/// for modest piece sizes.
+template <typename T>
+void add_block_jacobi_preconditioner(
+    Planner<T>& planner,
+    const std::vector<std::vector<std::shared_ptr<const LinearOperator<T>>>>&
+        ops_by_component) {
+    KDR_REQUIRE(planner.is_square(), "block-Jacobi requires a square system");
+    KDR_REQUIRE(ops_by_component.size() == planner.sol_components(),
+                "add_block_jacobi_preconditioner: need operator lists for every component");
+    for (std::size_t i = 0; i < ops_by_component.size(); ++i) {
+        const auto& ops = ops_by_component[i];
+        KDR_REQUIRE(!ops.empty(), "block-Jacobi: component ", i, " has no operators");
+        const auto& comp = planner.sol_component(i);
+
+        // Gather the component's entries once.
+        std::map<std::pair<gidx, gidx>, T> entries;
+        for (const auto& op : ops) {
+            KDR_REQUIRE(op->domain().size() == comp.space.size() &&
+                            op->range().size() == comp.space.size(),
+                        "block-Jacobi: operators must be square over the component");
+            for (const auto& t : op->to_triplets()) entries[{t.row, t.col}] += t.value;
+        }
+
+        std::vector<typename BlockDiagonalOperator<T>::Block> blocks;
+        for (Color c = 0; c < comp.canonical.color_count(); ++c) {
+            const IntervalSet& subset = comp.canonical.piece(c);
+            const auto pts = subset.to_points();
+            const gidx b = static_cast<gidx>(pts.size());
+            std::vector<T> dense(static_cast<std::size_t>(b * b), T{});
+            for (gidx r = 0; r < b; ++r) {
+                for (gidx cc = 0; cc < b; ++cc) {
+                    auto it = entries.find({pts[static_cast<std::size_t>(r)],
+                                            pts[static_cast<std::size_t>(cc)]});
+                    if (it != entries.end())
+                        dense[static_cast<std::size_t>(r * b + cc)] = it->second;
+                }
+            }
+            invert_dense(dense, b);
+            blocks.push_back({subset, std::move(dense)});
+        }
+        auto inv = std::make_shared<BlockDiagonalOperator<T>>(comp.space, std::move(blocks));
+        planner.add_preconditioner(inv, i, i);
+    }
+}
+
+/// Matrix-free truncated-Neumann-series preconditioner:
+///   P(r) ≈ ω Σ_{k=0}^{order} (I − ω A)^k r
+/// for a damping factor ω. Installs a psolve callback that uses only planner
+/// operations (matmul/axpy/copy), so it works unchanged on any storage
+/// format or multi-operator structure.
+template <typename T>
+void add_neumann_preconditioner(Planner<T>& planner, int order, double omega) {
+    KDR_REQUIRE(planner.is_square(), "Neumann preconditioner requires a square system");
+    KDR_REQUIRE(order >= 0, "Neumann preconditioner: negative order");
+    KDR_REQUIRE(omega > 0.0, "Neumann preconditioner: nonpositive damping");
+    const VecId term = planner.allocate_workspace_vector();
+    const VecId av = planner.allocate_workspace_vector(VecKind::RHS);
+    planner.set_matrix_free_psolve([&planner, term, av, order, omega](VecId dst, VecId src) {
+        // dst = omega * (src + (I - omega A) src + ...), built iteratively:
+        // term_0 = src; term_{k+1} = term_k - omega A term_k; dst = Σ terms.
+        planner.copy(term, src);
+        planner.copy(dst, src);
+        for (int k = 0; k < order; ++k) {
+            planner.matmul(av, term);
+            planner.axpy(term, make_scalar(-omega), av);
+            planner.axpy(dst, make_scalar(1.0), term);
+        }
+        planner.scal(dst, make_scalar(omega));
+    });
+}
+
+} // namespace kdr::core

@@ -1,0 +1,40 @@
+#pragma once
+
+/// \file scalar.hpp
+/// Scalar futures with arithmetic (paper §4.1: "arithmetic operations on
+/// scalars"). A Scalar pairs a value (available immediately — functional
+/// execution is eager) with the virtual time it becomes available on the
+/// machine. Arithmetic combines values and takes the max of ready times, so
+/// solver control scalars (α = res / pᵀq, …) carry correct dependence times
+/// into downstream axpy/xpay launches without any global synchronization —
+/// the future-based alternative to a blocking MPI_Allreduce.
+
+#include <cmath>
+
+#include "runtime/types.hpp"
+
+namespace kdr::core {
+
+using Scalar = rt::FutureScalar;
+
+[[nodiscard]] inline Scalar make_scalar(double v) { return {v, 0.0}; }
+
+[[nodiscard]] inline Scalar operator+(const Scalar& a, const Scalar& b) {
+    return {a.value + b.value, std::max(a.ready_time, b.ready_time)};
+}
+[[nodiscard]] inline Scalar operator-(const Scalar& a, const Scalar& b) {
+    return {a.value - b.value, std::max(a.ready_time, b.ready_time)};
+}
+[[nodiscard]] inline Scalar operator*(const Scalar& a, const Scalar& b) {
+    return {a.value * b.value, std::max(a.ready_time, b.ready_time)};
+}
+[[nodiscard]] inline Scalar operator/(const Scalar& a, const Scalar& b) {
+    return {a.value / b.value, std::max(a.ready_time, b.ready_time)};
+}
+[[nodiscard]] inline Scalar operator-(const Scalar& a) { return {-a.value, a.ready_time}; }
+
+[[nodiscard]] inline Scalar sqrt(const Scalar& a) {
+    return {std::sqrt(a.value), a.ready_time};
+}
+
+} // namespace kdr::core

@@ -1,0 +1,449 @@
+#pragma once
+
+/// \file solvers.hpp
+/// Krylov subspace methods written against the planner interface (paper §5,
+/// Fig 7): a solver is an object constructible from a Planner& that exposes
+/// step() and get_convergence_measure(). Solver code never mentions storage
+/// formats, component structure, partitions, or data movement — that is the
+/// planner/solver split the paper's flexibility claims rest on.
+///
+/// Provided methods (paper §2.1): CG [Hestenes-Stiefel], preconditioned CG,
+/// BiCG, BiCGStab [van der Vorst], restarted GMRES(m) [Saad-Schultz], and
+/// MINRES [Paige-Saunders]. All share a drop-in interface.
+///
+/// Unlike the paper's Fig 7 listing (which assumes x₀ = 0), these
+/// implementations form the true initial residual r₀ = b − A x₀, so nonzero
+/// initial guesses work; with x₀ = 0 they reduce to the listing exactly.
+
+#include <vector>
+
+#include "core/planner.hpp"
+#include "core/scalar.hpp"
+#include "support/error.hpp"
+
+namespace kdr::core {
+
+/// Common drop-in interface (paper §5: "a common interface that allows
+/// drop-in replacement").
+template <typename T = double>
+class Solver {
+public:
+    virtual ~Solver() = default;
+
+    /// Perform one iteration.
+    virtual void step() = 0;
+
+    /// Progress measure: current residual norm ‖b − A x‖ (a future).
+    [[nodiscard]] virtual Scalar get_convergence_measure() const = 0;
+
+    /// Flush any pending solution update (restarted methods accumulate the
+    /// cycle's correction and apply it at restart boundaries; stopping
+    /// mid-cycle requires this). Default: nothing pending.
+    virtual void finalize() {}
+
+    [[nodiscard]] virtual const char* name() const = 0;
+};
+
+/// Drive a solver until its convergence measure drops below `tol` or
+/// `max_iterations` elapse, then finalize. Returns iterations performed.
+template <typename T>
+int solve_to_tolerance(Solver<T>& solver, double tol, int max_iterations) {
+    for (int it = 0; it < max_iterations; ++it) {
+        if (solver.get_convergence_measure().value <= tol) {
+            solver.finalize();
+            return it;
+        }
+        solver.step();
+    }
+    solver.finalize();
+    return max_iterations;
+}
+
+// ===================================================================== CG
+
+/// Conjugate gradients (paper Fig 7).
+template <typename T = double>
+class CgSolver final : public Solver<T> {
+public:
+    explicit CgSolver(Planner<T>& planner) : planner_(planner) {
+        KDR_REQUIRE(planner_.is_square(), "CG requires a square system");
+        p_ = planner_.allocate_workspace_vector();
+        q_ = planner_.allocate_workspace_vector();
+        r_ = planner_.allocate_workspace_vector();
+        // r = b - A x0; p = r.
+        planner_.matmul(q_, Planner<T>::SOL);
+        planner_.copy(r_, Planner<T>::RHS);
+        planner_.axpy(r_, make_scalar(-1.0), q_);
+        planner_.copy(p_, r_);
+        res_ = planner_.dot(r_, r_);
+    }
+
+    void step() override {
+        planner_.matmul(q_, p_);
+        const Scalar p_norm = planner_.dot(p_, q_);
+        const Scalar alpha = res_ / p_norm;
+        planner_.axpy(Planner<T>::SOL, alpha, p_);
+        planner_.axpy(r_, -alpha, q_);
+        const Scalar new_res = planner_.dot(r_, r_);
+        planner_.xpay(p_, new_res / res_, r_);
+        res_ = new_res;
+    }
+
+    [[nodiscard]] Scalar get_convergence_measure() const override { return sqrt(res_); }
+    [[nodiscard]] const char* name() const override { return "cg"; }
+
+private:
+    Planner<T>& planner_;
+    VecId p_{}, q_{}, r_{};
+    Scalar res_; ///< squared residual, as in Fig 7
+};
+
+// ====================================================== preconditioned CG
+
+/// CG with a preconditioner applied through planner.psolve (the paper's §7
+/// future-work direction, realized for multi-operator systems).
+template <typename T = double>
+class PcgSolver final : public Solver<T> {
+public:
+    explicit PcgSolver(Planner<T>& planner) : planner_(planner) {
+        KDR_REQUIRE(planner_.is_square(), "PCG requires a square system");
+        KDR_REQUIRE(planner_.has_preconditioner(), "PCG requires a preconditioner");
+        p_ = planner_.allocate_workspace_vector();
+        q_ = planner_.allocate_workspace_vector();
+        r_ = planner_.allocate_workspace_vector();
+        z_ = planner_.allocate_workspace_vector();
+        planner_.matmul(q_, Planner<T>::SOL);
+        planner_.copy(r_, Planner<T>::RHS);
+        planner_.axpy(r_, make_scalar(-1.0), q_);
+        planner_.psolve(z_, r_);
+        planner_.copy(p_, z_);
+        rz_ = planner_.dot(r_, z_);
+        res_ = planner_.dot(r_, r_);
+    }
+
+    void step() override {
+        planner_.matmul(q_, p_);
+        const Scalar alpha = rz_ / planner_.dot(p_, q_);
+        planner_.axpy(Planner<T>::SOL, alpha, p_);
+        planner_.axpy(r_, -alpha, q_);
+        planner_.psolve(z_, r_);
+        const Scalar new_rz = planner_.dot(r_, z_);
+        planner_.xpay(p_, new_rz / rz_, z_);
+        rz_ = new_rz;
+        res_ = planner_.dot(r_, r_);
+    }
+
+    [[nodiscard]] Scalar get_convergence_measure() const override { return sqrt(res_); }
+    [[nodiscard]] const char* name() const override { return "pcg"; }
+
+private:
+    Planner<T>& planner_;
+    VecId p_{}, q_{}, r_{}, z_{};
+    Scalar rz_;
+    Scalar res_;
+};
+
+// ==================================================================== BiCG
+
+/// Biconjugate gradients — exercises the adjoint multiply A^T v (paper §4.1
+/// lists adjoint matrix-vector multiplication among the KSM operations).
+template <typename T = double>
+class BiCgSolver final : public Solver<T> {
+public:
+    explicit BiCgSolver(Planner<T>& planner) : planner_(planner) {
+        KDR_REQUIRE(planner_.is_square(), "BiCG requires a square system");
+        r_ = planner_.allocate_workspace_vector();
+        rt_ = planner_.allocate_workspace_vector();
+        p_ = planner_.allocate_workspace_vector();
+        pt_ = planner_.allocate_workspace_vector();
+        q_ = planner_.allocate_workspace_vector();
+        qt_ = planner_.allocate_workspace_vector();
+        planner_.matmul(q_, Planner<T>::SOL);
+        planner_.copy(r_, Planner<T>::RHS);
+        planner_.axpy(r_, make_scalar(-1.0), q_);
+        planner_.copy(rt_, r_); // shadow residual = r0
+        planner_.copy(p_, r_);
+        planner_.copy(pt_, rt_);
+        rho_ = planner_.dot(rt_, r_);
+        res_ = planner_.dot(r_, r_);
+    }
+
+    void step() override {
+        planner_.matmul(q_, p_);
+        planner_.matmul_transpose(qt_, pt_);
+        const Scalar alpha = rho_ / planner_.dot(pt_, q_);
+        planner_.axpy(Planner<T>::SOL, alpha, p_);
+        planner_.axpy(r_, -alpha, q_);
+        planner_.axpy(rt_, -alpha, qt_);
+        const Scalar new_rho = planner_.dot(rt_, r_);
+        const Scalar beta = new_rho / rho_;
+        planner_.xpay(p_, beta, r_);
+        planner_.xpay(pt_, beta, rt_);
+        rho_ = new_rho;
+        res_ = planner_.dot(r_, r_);
+    }
+
+    [[nodiscard]] Scalar get_convergence_measure() const override { return sqrt(res_); }
+    [[nodiscard]] const char* name() const override { return "bicg"; }
+
+private:
+    Planner<T>& planner_;
+    VecId r_{}, rt_{}, p_{}, pt_{}, q_{}, qt_{};
+    Scalar rho_;
+    Scalar res_;
+};
+
+// ================================================================ BiCGStab
+
+/// Stabilized biconjugate gradients [van der Vorst 1992].
+template <typename T = double>
+class BiCgStabSolver final : public Solver<T> {
+public:
+    explicit BiCgStabSolver(Planner<T>& planner) : planner_(planner) {
+        KDR_REQUIRE(planner_.is_square(), "BiCGStab requires a square system");
+        r_ = planner_.allocate_workspace_vector();
+        rhat_ = planner_.allocate_workspace_vector();
+        p_ = planner_.allocate_workspace_vector();
+        v_ = planner_.allocate_workspace_vector();
+        s_ = planner_.allocate_workspace_vector();
+        t_ = planner_.allocate_workspace_vector();
+        planner_.matmul(v_, Planner<T>::SOL);
+        planner_.copy(r_, Planner<T>::RHS);
+        planner_.axpy(r_, make_scalar(-1.0), v_);
+        planner_.copy(rhat_, r_);
+        planner_.zero(p_);
+        planner_.zero(v_);
+        rho_ = make_scalar(1.0);
+        alpha_ = make_scalar(1.0);
+        omega_ = make_scalar(1.0);
+        res_ = planner_.dot(r_, r_);
+    }
+
+    void step() override {
+        const Scalar new_rho = planner_.dot(rhat_, r_);
+        const Scalar beta = (new_rho / rho_) * (alpha_ / omega_);
+        // p = r + beta (p - omega v)
+        planner_.axpy(p_, -omega_, v_);
+        planner_.xpay(p_, beta, r_);
+        planner_.matmul(v_, p_);
+        alpha_ = new_rho / planner_.dot(rhat_, v_);
+        // s = r - alpha v
+        planner_.copy(s_, r_);
+        planner_.axpy(s_, -alpha_, v_);
+        planner_.matmul(t_, s_);
+        omega_ = planner_.dot(t_, s_) / planner_.dot(t_, t_);
+        planner_.axpy(Planner<T>::SOL, alpha_, p_);
+        planner_.axpy(Planner<T>::SOL, omega_, s_);
+        // r = s - omega t
+        planner_.copy(r_, s_);
+        planner_.axpy(r_, -omega_, t_);
+        rho_ = new_rho;
+        res_ = planner_.dot(r_, r_);
+    }
+
+    [[nodiscard]] Scalar get_convergence_measure() const override { return sqrt(res_); }
+    [[nodiscard]] const char* name() const override { return "bicgstab"; }
+
+private:
+    Planner<T>& planner_;
+    VecId r_{}, rhat_{}, p_{}, v_{}, s_{}, t_{};
+    Scalar rho_, alpha_, omega_;
+    Scalar res_;
+};
+
+// ================================================================== GMRES
+
+/// Restarted GMRES(m) with a static restart schedule — the paper benchmarks
+/// GMRES(10) and notes PETSc is excluded from the comparison because its
+/// dynamic restart policy short-circuits iterations (§6.1 footnote).
+template <typename T = double>
+class GmresSolver final : public Solver<T> {
+public:
+    explicit GmresSolver(Planner<T>& planner, int restart = 10)
+        : planner_(planner), m_(restart) {
+        KDR_REQUIRE(planner_.is_square(), "GMRES requires a square system");
+        KDR_REQUIRE(m_ >= 1, "GMRES restart length must be >= 1");
+        for (int i = 0; i <= m_; ++i) v_.push_back(planner_.allocate_workspace_vector());
+        w_ = planner_.allocate_workspace_vector();
+        h_.assign(static_cast<std::size_t>(m_ + 1) * static_cast<std::size_t>(m_), {});
+        cs_.assign(static_cast<std::size_t>(m_), {});
+        sn_.assign(static_cast<std::size_t>(m_), {});
+        g_.assign(static_cast<std::size_t>(m_ + 1), {});
+        begin_cycle();
+    }
+
+    /// One Arnoldi iteration; restarts automatically after m of them.
+    void step() override {
+        const std::size_t j = static_cast<std::size_t>(j_);
+        planner_.matmul(w_, v_[j]);
+        // Modified Gram-Schmidt.
+        for (std::size_t i = 0; i <= j; ++i) {
+            h(i, j) = planner_.dot(w_, v_[i]);
+            planner_.axpy(w_, -h(i, j), v_[i]);
+        }
+        h(j + 1, j) = sqrt(planner_.dot(w_, w_));
+        planner_.copy(v_[j + 1], w_);
+        planner_.scal(v_[j + 1], make_scalar(1.0) / h(j + 1, j));
+        // Apply accumulated Givens rotations to the new column.
+        for (std::size_t i = 0; i < j; ++i) {
+            const Scalar tmp = cs_[i] * h(i, j) + sn_[i] * h(i + 1, j);
+            h(i + 1, j) = -sn_[i] * h(i, j) + cs_[i] * h(i + 1, j);
+            h(i, j) = tmp;
+        }
+        // New rotation annihilating h(j+1, j).
+        const Scalar denom = sqrt(h(j, j) * h(j, j) + h(j + 1, j) * h(j + 1, j));
+        cs_[j] = h(j, j) / denom;
+        sn_[j] = h(j + 1, j) / denom;
+        h(j, j) = cs_[j] * h(j, j) + sn_[j] * h(j + 1, j);
+        h(j + 1, j) = make_scalar(0.0);
+        g_[j + 1] = -sn_[j] * g_[j];
+        g_[j] = cs_[j] * g_[j];
+        res_norm_ = Scalar{std::abs(g_[j + 1].value), g_[j + 1].ready_time};
+        ++j_;
+        if (j_ == m_) {
+            update_solution(m_);
+            begin_cycle();
+        }
+    }
+
+    [[nodiscard]] Scalar get_convergence_measure() const override { return res_norm_; }
+    [[nodiscard]] const char* name() const override { return "gmres"; }
+
+    /// Apply the current cycle's partial correction (stop mid-cycle).
+    void finalize() override {
+        if (j_ > 0) {
+            update_solution(j_);
+            begin_cycle();
+        }
+    }
+
+    [[nodiscard]] int restart_length() const noexcept { return m_; }
+
+private:
+    Scalar& h(std::size_t i, std::size_t j) {
+        return h_[i * static_cast<std::size_t>(m_) + j];
+    }
+
+    void begin_cycle() {
+        // r = b - A x; v0 = r / ||r||; g = ||r|| e1.
+        planner_.matmul(w_, Planner<T>::SOL);
+        planner_.copy(v_[0], Planner<T>::RHS);
+        planner_.axpy(v_[0], make_scalar(-1.0), w_);
+        const Scalar beta = sqrt(planner_.dot(v_[0], v_[0]));
+        planner_.scal(v_[0], make_scalar(1.0) / beta);
+        for (auto& gi : g_) gi = make_scalar(0.0);
+        g_[0] = beta;
+        res_norm_ = beta;
+        j_ = 0;
+    }
+
+    /// x += V_k y where H y = g (back substitution on host scalars).
+    void update_solution(int k) {
+        std::vector<Scalar> y(static_cast<std::size_t>(k));
+        for (int i = k - 1; i >= 0; --i) {
+            Scalar sum = g_[static_cast<std::size_t>(i)];
+            for (int l = i + 1; l < k; ++l) {
+                sum = sum - h(static_cast<std::size_t>(i), static_cast<std::size_t>(l)) *
+                                y[static_cast<std::size_t>(l)];
+            }
+            y[static_cast<std::size_t>(i)] =
+                sum / h(static_cast<std::size_t>(i), static_cast<std::size_t>(i));
+        }
+        for (int i = 0; i < k; ++i) {
+            planner_.axpy(Planner<T>::SOL, y[static_cast<std::size_t>(i)],
+                          v_[static_cast<std::size_t>(i)]);
+        }
+    }
+
+    Planner<T>& planner_;
+    int m_;
+    int j_ = 0;
+    std::vector<VecId> v_;
+    VecId w_{};
+    std::vector<Scalar> h_, cs_, sn_, g_;
+    Scalar res_norm_;
+};
+
+// ================================================================== MINRES
+
+/// Minimum residual method [Paige-Saunders 1975] for symmetric (possibly
+/// indefinite) systems; Lanczos-based three-term recurrences.
+template <typename T = double>
+class MinresSolver final : public Solver<T> {
+public:
+    explicit MinresSolver(Planner<T>& planner) : planner_(planner) {
+        KDR_REQUIRE(planner_.is_square(), "MINRES requires a square system");
+        v_prev_ = planner_.allocate_workspace_vector();
+        v_ = planner_.allocate_workspace_vector();
+        v_next_ = planner_.allocate_workspace_vector();
+        w_prev_ = planner_.allocate_workspace_vector();
+        w_ = planner_.allocate_workspace_vector();
+        w_next_ = planner_.allocate_workspace_vector();
+        // v1 = r0 / beta1.
+        planner_.matmul(v_next_, Planner<T>::SOL);
+        planner_.copy(v_, Planner<T>::RHS);
+        planner_.axpy(v_, make_scalar(-1.0), v_next_);
+        beta_ = sqrt(planner_.dot(v_, v_));
+        planner_.scal(v_, make_scalar(1.0) / beta_);
+        planner_.zero(v_prev_);
+        planner_.zero(w_prev_);
+        planner_.zero(w_);
+        eta_ = beta_;
+        gamma_prev_ = make_scalar(1.0);
+        gamma_ = make_scalar(1.0);
+        sigma_prev_ = make_scalar(0.0);
+        sigma_ = make_scalar(0.0);
+        res_norm_ = beta_;
+    }
+
+    void step() override {
+        // Lanczos: v_next = A v - alpha v - beta v_prev.
+        planner_.matmul(v_next_, v_);
+        const Scalar alpha = planner_.dot(v_, v_next_);
+        planner_.axpy(v_next_, -alpha, v_);
+        planner_.axpy(v_next_, -beta_, v_prev_);
+        const Scalar beta_next = sqrt(planner_.dot(v_next_, v_next_));
+        planner_.scal(v_next_, make_scalar(1.0) / beta_next);
+
+        // QR via Givens rotations.
+        const Scalar delta = gamma_ * alpha - gamma_prev_ * sigma_ * beta_;
+        const Scalar rho1 = sqrt(delta * delta + beta_next * beta_next);
+        const Scalar rho2 = sigma_ * alpha + gamma_prev_ * gamma_ * beta_;
+        const Scalar rho3 = sigma_prev_ * beta_;
+        const Scalar gamma_next = delta / rho1;
+        const Scalar sigma_next = beta_next / rho1;
+
+        // w_next = (v - rho3 w_prev - rho2 w) / rho1.
+        planner_.copy(w_next_, v_);
+        planner_.axpy(w_next_, -rho3, w_prev_);
+        planner_.axpy(w_next_, -rho2, w_);
+        planner_.scal(w_next_, make_scalar(1.0) / rho1);
+
+        planner_.axpy(Planner<T>::SOL, gamma_next * eta_, w_next_);
+        res_norm_ = Scalar{std::abs((sigma_next * eta_).value),
+                           std::max(sigma_next.ready_time, eta_.ready_time)};
+        eta_ = -sigma_next * eta_;
+
+        // Rotate workspaces (vec-id swaps; no data motion).
+        std::swap(v_prev_, v_);
+        std::swap(v_, v_next_);
+        std::swap(w_prev_, w_);
+        std::swap(w_, w_next_);
+        gamma_prev_ = gamma_;
+        gamma_ = gamma_next;
+        sigma_prev_ = sigma_;
+        sigma_ = sigma_next;
+        beta_ = beta_next;
+    }
+
+    [[nodiscard]] Scalar get_convergence_measure() const override { return res_norm_; }
+    [[nodiscard]] const char* name() const override { return "minres"; }
+
+private:
+    Planner<T>& planner_;
+    VecId v_prev_{}, v_{}, v_next_{}, w_prev_{}, w_{}, w_next_{};
+    Scalar beta_, eta_, gamma_prev_, gamma_, sigma_prev_, sigma_;
+    Scalar res_norm_;
+};
+
+} // namespace kdr::core

@@ -1,0 +1,363 @@
+#pragma once
+
+/// \file solvers_extra.hpp
+/// Additional Krylov and stationary methods beyond the paper's core trio —
+/// the "libraries of interchangeable KSMs" breadth §2.1 calls important
+/// ("there is usually no principled approach besides trial and error to
+/// know which KSM will perform best"). All share the drop-in Solver<T>
+/// interface and touch only the planner API.
+///
+///  * CgsSolver        — Conjugate Gradient Squared (Sonneveld): transpose-
+///                       free BiCG variant, two multiplies per step.
+///  * PipelinedCgSolver — Ghysels-Vanroose pipelined CG: both reductions of
+///                       an iteration are issued before the matvec, so their
+///                       latency hides behind it. On a future-based runtime
+///                       this overlap happens automatically — the method is
+///                       the algorithmic twin of the paper's P1 claim.
+///  * ChebyshevSolver  — Chebyshev semi-iteration for SPD systems with known
+///                       spectral bounds; needs no inner products at all
+///                       (communication-free iterations).
+///  * RichardsonSolver — damped Richardson; the simplest smoother, also the
+///                       baseline stationary method.
+///
+/// `estimate_lambda_max` provides a power-iteration bound for Chebyshev.
+
+#include "core/solvers.hpp"
+
+namespace kdr::core {
+
+// ==================================================================== CGS
+
+template <typename T = double>
+class CgsSolver final : public Solver<T> {
+public:
+    explicit CgsSolver(Planner<T>& planner) : planner_(planner) {
+        KDR_REQUIRE(planner_.is_square(), "CGS requires a square system");
+        r_ = planner_.allocate_workspace_vector();
+        rt_ = planner_.allocate_workspace_vector();
+        u_ = planner_.allocate_workspace_vector();
+        p_ = planner_.allocate_workspace_vector();
+        q_ = planner_.allocate_workspace_vector();
+        v_ = planner_.allocate_workspace_vector();
+        t_ = planner_.allocate_workspace_vector();
+        planner_.matmul(v_, Planner<T>::SOL);
+        planner_.copy(r_, Planner<T>::RHS);
+        planner_.axpy(r_, make_scalar(-1.0), v_);
+        planner_.copy(rt_, r_);
+        planner_.zero(q_);
+        planner_.zero(p_);
+        rho_ = make_scalar(1.0);
+        first_ = true;
+        res_ = planner_.dot(r_, r_);
+    }
+
+    void step() override {
+        const Scalar new_rho = planner_.dot(rt_, r_);
+        if (first_) {
+            planner_.copy(u_, r_);
+            planner_.copy(p_, u_);
+            first_ = false;
+        } else {
+            const Scalar beta = new_rho / rho_;
+            // u = r + beta q
+            planner_.copy(u_, r_);
+            planner_.axpy(u_, beta, q_);
+            // p = u + beta (q + beta p)
+            planner_.xpay(p_, beta, q_); // p <- q + beta p
+            planner_.xpay(p_, beta, u_); // p <- u + beta p  (= u + beta q + beta^2 p)
+        }
+        planner_.matmul(v_, p_);
+        const Scalar alpha = new_rho / planner_.dot(rt_, v_);
+        // q = u - alpha v
+        planner_.copy(q_, u_);
+        planner_.axpy(q_, -alpha, v_);
+        // t = u + q; x += alpha t; r -= alpha A t
+        planner_.copy(t_, u_);
+        planner_.axpy(t_, make_scalar(1.0), q_);
+        planner_.axpy(Planner<T>::SOL, alpha, t_);
+        planner_.matmul(v_, t_);
+        planner_.axpy(r_, -alpha, v_);
+        rho_ = new_rho;
+        res_ = planner_.dot(r_, r_);
+    }
+
+    [[nodiscard]] Scalar get_convergence_measure() const override { return sqrt(res_); }
+    [[nodiscard]] const char* name() const override { return "cgs"; }
+
+private:
+    Planner<T>& planner_;
+    VecId r_{}, rt_{}, u_{}, p_{}, q_{}, v_{}, t_{};
+    Scalar rho_;
+    Scalar res_;
+    bool first_ = true;
+};
+
+// ============================================================ pipelined CG
+
+template <typename T = double>
+class PipelinedCgSolver final : public Solver<T> {
+public:
+    explicit PipelinedCgSolver(Planner<T>& planner) : planner_(planner) {
+        KDR_REQUIRE(planner_.is_square(), "pipelined CG requires a square system");
+        r_ = planner_.allocate_workspace_vector();
+        w_ = planner_.allocate_workspace_vector();
+        p_ = planner_.allocate_workspace_vector();
+        s_ = planner_.allocate_workspace_vector();
+        z_ = planner_.allocate_workspace_vector();
+        q_ = planner_.allocate_workspace_vector();
+        planner_.matmul(w_, Planner<T>::SOL);
+        planner_.copy(r_, Planner<T>::RHS);
+        planner_.axpy(r_, make_scalar(-1.0), w_);
+        planner_.matmul(w_, r_); // w = A r
+        planner_.zero(p_);
+        planner_.zero(s_);
+        planner_.zero(z_);
+        gamma_ = make_scalar(0.0);
+        alpha_ = make_scalar(0.0);
+        first_ = true;
+        res_ = planner_.dot(r_, r_);
+    }
+
+    void step() override {
+        // Both reductions issue back-to-back, then the matvec: the scalar
+        // tree latency overlaps the SpMV in the task schedule.
+        const Scalar gamma = planner_.dot(r_, r_);
+        const Scalar delta = planner_.dot(w_, r_);
+        planner_.matmul(q_, w_); // q = A w, overlapping the reductions
+        Scalar beta = make_scalar(0.0);
+        Scalar alpha;
+        if (first_) {
+            alpha = gamma / delta;
+            first_ = false;
+        } else {
+            beta = gamma / gamma_;
+            alpha = gamma / (delta - beta * gamma / alpha_);
+        }
+        // z = q + beta z; s = w + beta s; p = r + beta p.
+        planner_.xpay(z_, beta, q_);
+        planner_.xpay(s_, beta, w_);
+        planner_.xpay(p_, beta, r_);
+        planner_.axpy(Planner<T>::SOL, alpha, p_);
+        planner_.axpy(r_, -alpha, s_);
+        planner_.axpy(w_, -alpha, z_);
+        gamma_ = gamma;
+        alpha_ = alpha;
+        res_ = gamma; // ‖r‖² from the just-computed reduction
+    }
+
+    [[nodiscard]] Scalar get_convergence_measure() const override { return sqrt(res_); }
+    [[nodiscard]] const char* name() const override { return "pipecg"; }
+
+private:
+    Planner<T>& planner_;
+    VecId r_{}, w_{}, p_{}, s_{}, z_{}, q_{};
+    Scalar gamma_, alpha_;
+    Scalar res_;
+    bool first_ = true;
+};
+
+// ==================================================================== TFQMR
+
+/// Transpose-free QMR [Freund 1993]: smooths CGS's erratic convergence with
+/// a quasi-minimal-residual weighting, still without A^T. One matvec per
+/// half-step (two per step(), like CGS/BiCGStab).
+template <typename T = double>
+class TfqmrSolver final : public Solver<T> {
+public:
+    explicit TfqmrSolver(Planner<T>& planner) : planner_(planner) {
+        KDR_REQUIRE(planner_.is_square(), "TFQMR requires a square system");
+        r_ = planner_.allocate_workspace_vector();
+        rt_ = planner_.allocate_workspace_vector();
+        w_ = planner_.allocate_workspace_vector();
+        y1_ = planner_.allocate_workspace_vector();
+        y2_ = planner_.allocate_workspace_vector();
+        v_ = planner_.allocate_workspace_vector();
+        d_ = planner_.allocate_workspace_vector();
+        ay_ = planner_.allocate_workspace_vector();
+        // r0 = b - A x0.
+        planner_.matmul(v_, Planner<T>::SOL);
+        planner_.copy(r_, Planner<T>::RHS);
+        planner_.axpy(r_, make_scalar(-1.0), v_);
+        planner_.copy(rt_, r_);
+        planner_.copy(w_, r_);
+        planner_.copy(y1_, r_);
+        planner_.matmul(v_, y1_);
+        planner_.zero(d_);
+        tau_ = sqrt(planner_.dot(r_, r_));
+        theta_ = make_scalar(0.0);
+        eta_ = make_scalar(0.0);
+        rho_ = planner_.dot(rt_, r_);
+        res_est_ = tau_;
+    }
+
+    void step() override {
+        const Scalar sigma = planner_.dot(rt_, v_);
+        const Scalar alpha = rho_ / sigma;
+        // y2 = y1 - alpha v.
+        planner_.copy(y2_, y1_);
+        planner_.axpy(y2_, -alpha, v_);
+        for (int half = 0; half < 2; ++half) {
+            const VecId y = half == 0 ? y1_ : y2_;
+            // w -= alpha A y.
+            planner_.matmul(ay_, y);
+            planner_.axpy(w_, -alpha, ay_);
+            // d = y + (theta^2 eta / alpha) d.
+            const Scalar c = theta_ * theta_ * eta_ / alpha;
+            planner_.xpay(d_, c, y);
+            theta_ = sqrt(planner_.dot(w_, w_)) / tau_;
+            const Scalar cfac =
+                make_scalar(1.0) / sqrt(make_scalar(1.0) + theta_ * theta_);
+            tau_ = tau_ * theta_ * cfac;
+            eta_ = cfac * cfac * alpha;
+            planner_.axpy(Planner<T>::SOL, eta_, d_);
+            res_est_ = tau_;
+        }
+        const Scalar new_rho = planner_.dot(rt_, w_);
+        const Scalar beta = new_rho / rho_;
+        // y1 = w + beta y2; v = A y1 + beta (A y2 + beta v).
+        planner_.copy(y1_, w_);
+        planner_.axpy(y1_, beta, y2_);
+        planner_.matmul(ay_, y2_);
+        planner_.xpay(v_, beta, ay_); // v <- A y2 + beta v
+        planner_.matmul(ay_, y1_);
+        planner_.xpay(v_, beta, ay_); // v <- A y1 + beta (A y2 + beta v)
+        rho_ = new_rho;
+    }
+
+    /// Quasi-residual bound τ (an upper-bound surrogate for ‖r‖, standard
+    /// TFQMR practice).
+    [[nodiscard]] Scalar get_convergence_measure() const override { return res_est_; }
+    [[nodiscard]] const char* name() const override { return "tfqmr"; }
+
+private:
+    Planner<T>& planner_;
+    VecId r_{}, rt_{}, w_{}, y1_{}, y2_{}, v_{}, d_{}, ay_{};
+    Scalar tau_, theta_, eta_, rho_;
+    Scalar res_est_;
+};
+
+// ================================================================ Chebyshev
+
+/// Chebyshev semi-iteration for SPD A with eigenvalues in [lambda_min,
+/// lambda_max]. No inner products: every iteration is communication-free
+/// apart from the halo exchange of the matvec. The residual norm is
+/// refreshed only every `measure_every` steps (a dot is otherwise never
+/// needed) — by default each step, to keep the Solver contract.
+template <typename T = double>
+class ChebyshevSolver final : public Solver<T> {
+public:
+    ChebyshevSolver(Planner<T>& planner, double lambda_min, double lambda_max,
+                    int measure_every = 1)
+        : planner_(planner), measure_every_(measure_every) {
+        KDR_REQUIRE(planner_.is_square(), "Chebyshev requires a square system");
+        KDR_REQUIRE(0.0 < lambda_min && lambda_min < lambda_max,
+                    "Chebyshev: need 0 < lambda_min < lambda_max, got [", lambda_min, ",",
+                    lambda_max, "]");
+        KDR_REQUIRE(measure_every_ >= 1, "Chebyshev: measure_every must be >= 1");
+        theta_ = (lambda_max + lambda_min) / 2.0;
+        delta_ = (lambda_max - lambda_min) / 2.0;
+        sigma1_ = theta_ / delta_;
+        rho_ = 1.0 / sigma1_;
+        r_ = planner_.allocate_workspace_vector();
+        p_ = planner_.allocate_workspace_vector();
+        q_ = planner_.allocate_workspace_vector();
+        planner_.matmul(q_, Planner<T>::SOL);
+        planner_.copy(r_, Planner<T>::RHS);
+        planner_.axpy(r_, make_scalar(-1.0), q_);
+        // d_0 = r_0 / θ (Saad, Alg. 12.1).
+        planner_.copy(p_, r_);
+        planner_.scal(p_, make_scalar(1.0 / theta_));
+        res_ = planner_.dot(r_, r_);
+        k_ = 0;
+    }
+
+    void step() override {
+        // x += d;  r -= A d;  ρ' = 1/(2σ₁ − ρ);  d = ρ'ρ d + (2ρ'/δ) r.
+        planner_.axpy(Planner<T>::SOL, make_scalar(1.0), p_);
+        planner_.matmul(q_, p_);
+        planner_.axpy(r_, make_scalar(-1.0), q_);
+        const double rho_next = 1.0 / (2.0 * sigma1_ - rho_);
+        planner_.scal(p_, make_scalar(rho_next * rho_));
+        planner_.axpy(p_, make_scalar(2.0 * rho_next / delta_), r_);
+        rho_ = rho_next;
+        ++k_;
+        if (k_ % measure_every_ == 0) res_ = planner_.dot(r_, r_);
+    }
+
+    [[nodiscard]] Scalar get_convergence_measure() const override { return sqrt(res_); }
+    [[nodiscard]] const char* name() const override { return "chebyshev"; }
+
+private:
+    Planner<T>& planner_;
+    int measure_every_;
+    double theta_ = 0.0, delta_ = 0.0, sigma1_ = 0.0, rho_ = 0.0;
+    VecId r_{}, p_{}, q_{};
+    Scalar res_;
+    int k_ = 0;
+};
+
+// ================================================================ Richardson
+
+/// Damped Richardson iteration x ← x + ω r. Converges for SPD A when
+/// 0 < ω < 2/λ_max; the classical smoother and simplest stationary method.
+template <typename T = double>
+class RichardsonSolver final : public Solver<T> {
+public:
+    RichardsonSolver(Planner<T>& planner, double omega)
+        : planner_(planner), omega_(omega) {
+        KDR_REQUIRE(planner_.is_square(), "Richardson requires a square system");
+        KDR_REQUIRE(omega_ > 0.0, "Richardson: damping must be positive");
+        r_ = planner_.allocate_workspace_vector();
+        q_ = planner_.allocate_workspace_vector();
+        refresh_residual();
+    }
+
+    void step() override {
+        planner_.axpy(Planner<T>::SOL, make_scalar(omega_), r_);
+        refresh_residual();
+    }
+
+    [[nodiscard]] Scalar get_convergence_measure() const override { return sqrt(res_); }
+    [[nodiscard]] const char* name() const override { return "richardson"; }
+
+private:
+    void refresh_residual() {
+        planner_.matmul(q_, Planner<T>::SOL);
+        planner_.copy(r_, Planner<T>::RHS);
+        planner_.axpy(r_, make_scalar(-1.0), q_);
+        res_ = planner_.dot(r_, r_);
+    }
+
+    Planner<T>& planner_;
+    double omega_;
+    VecId r_{}, q_{};
+    Scalar res_;
+};
+
+// ===================================================== spectral estimation
+
+/// Power-iteration estimate of λ_max(A) using only planner operations; the
+/// input for Chebyshev/Richardson parameter choices. Uses the RHS vector as
+/// the starting direction (nonzero in any sensible problem).
+template <typename T>
+[[nodiscard]] double estimate_lambda_max(Planner<T>& planner, int iterations = 20) {
+    KDR_REQUIRE(planner.is_square(), "estimate_lambda_max: square systems only");
+    KDR_REQUIRE(iterations >= 1, "estimate_lambda_max: need at least one iteration");
+    const VecId v = planner.allocate_workspace_vector();
+    const VecId av = planner.allocate_workspace_vector();
+    planner.copy(v, Planner<T>::RHS);
+    const Scalar norm0 = sqrt(planner.dot(v, v));
+    KDR_REQUIRE(norm0.value > 0.0, "estimate_lambda_max: zero starting vector");
+    planner.scal(v, make_scalar(1.0) / norm0);
+    double lambda = 0.0;
+    for (int i = 0; i < iterations; ++i) {
+        planner.matmul(av, v);
+        lambda = planner.dot(v, av).value; // Rayleigh quotient
+        const Scalar norm = sqrt(planner.dot(av, av));
+        planner.copy(v, av);
+        planner.scal(v, make_scalar(1.0) / norm);
+    }
+    return lambda;
+}
+
+} // namespace kdr::core

@@ -1,0 +1,183 @@
+#pragma once
+
+/// \file solvers_preconditioned.hpp
+/// Preconditioned variants beyond PCG: flexible GMRES (FGMRES, Saad 1993)
+/// with right preconditioning — the preconditioner may change between
+/// iterations (e.g. the matrix-free Neumann psolve), which plain
+/// right-preconditioned GMRES does not tolerate — and preconditioned
+/// BiCGStab (van der Vorst's recommended form). Both consume the
+/// preconditioner exclusively through `planner.psolve` (paper Fig 6), so
+/// matrix preconditioners (Jacobi, DIA, any format) and matrix-free
+/// callbacks work interchangeably.
+
+#include <vector>
+
+#include "core/solvers.hpp"
+
+namespace kdr::core {
+
+/// Flexible right-preconditioned restarted GMRES: x += Z_k y where
+/// Z_j = P(V_j). Stores both the Krylov basis V and the preconditioned
+/// basis Z (the price of flexibility).
+template <typename T = double>
+class FGmresSolver final : public Solver<T> {
+public:
+    explicit FGmresSolver(Planner<T>& planner, int restart = 10)
+        : planner_(planner), m_(restart) {
+        KDR_REQUIRE(planner_.is_square(), "FGMRES requires a square system");
+        KDR_REQUIRE(planner_.has_preconditioner(), "FGMRES requires a preconditioner");
+        KDR_REQUIRE(m_ >= 1, "FGMRES restart length must be >= 1");
+        for (int i = 0; i <= m_; ++i) v_.push_back(planner_.allocate_workspace_vector());
+        for (int i = 0; i < m_; ++i) z_.push_back(planner_.allocate_workspace_vector());
+        w_ = planner_.allocate_workspace_vector();
+        h_.assign(static_cast<std::size_t>(m_ + 1) * static_cast<std::size_t>(m_), {});
+        cs_.assign(static_cast<std::size_t>(m_), {});
+        sn_.assign(static_cast<std::size_t>(m_), {});
+        g_.assign(static_cast<std::size_t>(m_ + 1), {});
+        begin_cycle();
+    }
+
+    void step() override {
+        const std::size_t j = static_cast<std::size_t>(j_);
+        planner_.psolve(z_[j], v_[j]); // z_j = P v_j (flexible: P may vary)
+        planner_.matmul(w_, z_[j]);
+        for (std::size_t i = 0; i <= j; ++i) {
+            h(i, j) = planner_.dot(w_, v_[i]);
+            planner_.axpy(w_, -h(i, j), v_[i]);
+        }
+        h(j + 1, j) = sqrt(planner_.dot(w_, w_));
+        planner_.copy(v_[j + 1], w_);
+        planner_.scal(v_[j + 1], make_scalar(1.0) / h(j + 1, j));
+        for (std::size_t i = 0; i < j; ++i) {
+            const Scalar tmp = cs_[i] * h(i, j) + sn_[i] * h(i + 1, j);
+            h(i + 1, j) = -sn_[i] * h(i, j) + cs_[i] * h(i + 1, j);
+            h(i, j) = tmp;
+        }
+        const Scalar denom = sqrt(h(j, j) * h(j, j) + h(j + 1, j) * h(j + 1, j));
+        cs_[j] = h(j, j) / denom;
+        sn_[j] = h(j + 1, j) / denom;
+        h(j, j) = cs_[j] * h(j, j) + sn_[j] * h(j + 1, j);
+        h(j + 1, j) = make_scalar(0.0);
+        g_[j + 1] = -sn_[j] * g_[j];
+        g_[j] = cs_[j] * g_[j];
+        res_norm_ = Scalar{std::abs(g_[j + 1].value), g_[j + 1].ready_time};
+        ++j_;
+        if (j_ == m_) {
+            update_solution(m_);
+            begin_cycle();
+        }
+    }
+
+    [[nodiscard]] Scalar get_convergence_measure() const override { return res_norm_; }
+    [[nodiscard]] const char* name() const override { return "fgmres"; }
+
+    /// Apply the current cycle's partial correction (stop mid-cycle).
+    void finalize() override {
+        if (j_ > 0) {
+            update_solution(j_);
+            begin_cycle();
+        }
+    }
+
+private:
+    Scalar& h(std::size_t i, std::size_t j) {
+        return h_[i * static_cast<std::size_t>(m_) + j];
+    }
+
+    void begin_cycle() {
+        planner_.matmul(w_, Planner<T>::SOL);
+        planner_.copy(v_[0], Planner<T>::RHS);
+        planner_.axpy(v_[0], make_scalar(-1.0), w_);
+        const Scalar beta = sqrt(planner_.dot(v_[0], v_[0]));
+        planner_.scal(v_[0], make_scalar(1.0) / beta);
+        for (auto& gi : g_) gi = make_scalar(0.0);
+        g_[0] = beta;
+        res_norm_ = beta;
+        j_ = 0;
+    }
+
+    /// x += Z_k y — the flexible update uses the preconditioned basis.
+    void update_solution(int k) {
+        std::vector<Scalar> y(static_cast<std::size_t>(k));
+        for (int i = k - 1; i >= 0; --i) {
+            Scalar sum = g_[static_cast<std::size_t>(i)];
+            for (int l = i + 1; l < k; ++l) {
+                sum = sum - h(static_cast<std::size_t>(i), static_cast<std::size_t>(l)) *
+                                y[static_cast<std::size_t>(l)];
+            }
+            y[static_cast<std::size_t>(i)] =
+                sum / h(static_cast<std::size_t>(i), static_cast<std::size_t>(i));
+        }
+        for (int i = 0; i < k; ++i) {
+            planner_.axpy(Planner<T>::SOL, y[static_cast<std::size_t>(i)],
+                          z_[static_cast<std::size_t>(i)]);
+        }
+    }
+
+    Planner<T>& planner_;
+    int m_;
+    int j_ = 0;
+    std::vector<VecId> v_, z_;
+    VecId w_{};
+    std::vector<Scalar> h_, cs_, sn_, g_;
+    Scalar res_norm_;
+};
+
+/// Preconditioned BiCGStab (van der Vorst 1992, preconditioned form):
+/// applies P to the search and stabilization directions.
+template <typename T = double>
+class PBiCgStabSolver final : public Solver<T> {
+public:
+    explicit PBiCgStabSolver(Planner<T>& planner) : planner_(planner) {
+        KDR_REQUIRE(planner_.is_square(), "PBiCGStab requires a square system");
+        KDR_REQUIRE(planner_.has_preconditioner(), "PBiCGStab requires a preconditioner");
+        r_ = planner_.allocate_workspace_vector();
+        rhat_ = planner_.allocate_workspace_vector();
+        p_ = planner_.allocate_workspace_vector();
+        phat_ = planner_.allocate_workspace_vector();
+        v_ = planner_.allocate_workspace_vector();
+        s_ = planner_.allocate_workspace_vector();
+        shat_ = planner_.allocate_workspace_vector();
+        t_ = planner_.allocate_workspace_vector();
+        planner_.matmul(v_, Planner<T>::SOL);
+        planner_.copy(r_, Planner<T>::RHS);
+        planner_.axpy(r_, make_scalar(-1.0), v_);
+        planner_.copy(rhat_, r_);
+        planner_.zero(p_);
+        planner_.zero(v_);
+        rho_ = alpha_ = omega_ = make_scalar(1.0);
+        res_ = planner_.dot(r_, r_);
+    }
+
+    void step() override {
+        const Scalar new_rho = planner_.dot(rhat_, r_);
+        const Scalar beta = (new_rho / rho_) * (alpha_ / omega_);
+        planner_.axpy(p_, -omega_, v_);
+        planner_.xpay(p_, beta, r_);
+        planner_.psolve(phat_, p_);
+        planner_.matmul(v_, phat_);
+        alpha_ = new_rho / planner_.dot(rhat_, v_);
+        planner_.copy(s_, r_);
+        planner_.axpy(s_, -alpha_, v_);
+        planner_.psolve(shat_, s_);
+        planner_.matmul(t_, shat_);
+        omega_ = planner_.dot(t_, s_) / planner_.dot(t_, t_);
+        planner_.axpy(Planner<T>::SOL, alpha_, phat_);
+        planner_.axpy(Planner<T>::SOL, omega_, shat_);
+        planner_.copy(r_, s_);
+        planner_.axpy(r_, -omega_, t_);
+        rho_ = new_rho;
+        res_ = planner_.dot(r_, r_);
+    }
+
+    [[nodiscard]] Scalar get_convergence_measure() const override { return sqrt(res_); }
+    [[nodiscard]] const char* name() const override { return "pbicgstab"; }
+
+private:
+    Planner<T>& planner_;
+    VecId r_{}, rhat_{}, p_{}, phat_{}, v_{}, s_{}, shat_{}, t_{};
+    Scalar rho_, alpha_, omega_;
+    Scalar res_;
+};
+
+} // namespace kdr::core

@@ -1,0 +1,35 @@
+#include "geometry/index_space.hpp"
+
+namespace kdr {
+
+SpaceId IndexSpace::next_id() {
+    static std::atomic<SpaceId> counter{1};
+    return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+IndexSpace IndexSpace::create(gidx size, std::string name) {
+    KDR_REQUIRE(size >= 0, "IndexSpace: negative size ", size);
+    IndexSpace s;
+    s.id_ = next_id();
+    s.size_ = size;
+    s.name_ = std::move(name);
+    return s;
+}
+
+IndexSpace IndexSpace::create_grid(std::vector<gidx> extents, std::string name) {
+    KDR_REQUIRE(!extents.empty() && extents.size() <= 3,
+                "IndexSpace: grid must be 1-3 dimensional, got ", extents.size(), " dims");
+    gidx size = 1;
+    for (gidx e : extents) {
+        KDR_REQUIRE(e > 0, "IndexSpace: nonpositive grid extent ", e);
+        size *= e;
+    }
+    IndexSpace s;
+    s.id_ = next_id();
+    s.size_ = size;
+    s.extents_ = std::move(extents);
+    s.name_ = std::move(name);
+    return s;
+}
+
+} // namespace kdr

@@ -1,0 +1,100 @@
+#pragma once
+
+/// \file index_space.hpp
+/// Index spaces — the `K`, `D`, `R` of the KDR abstraction (paper §3, Fig 1).
+///
+/// An index space is a finite set of identifiers. Here every space is a
+/// linear range [0, size), optionally carrying a grid shape so structured
+/// problems can address points multi-dimensionally; kernel spaces of sparse
+/// matrices are plain 1-D spaces. Two spaces are *the same space* iff they
+/// share an id — vectors and operators check space identity, not just size,
+/// which catches domain/range mix-ups at API boundaries (paper P3).
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "geometry/interval_set.hpp"
+#include "geometry/point.hpp"
+#include "support/error.hpp"
+
+namespace kdr {
+
+using SpaceId = std::uint64_t;
+
+class IndexSpace {
+public:
+    IndexSpace() = default; // invalid space (size 0, id 0)
+
+    /// Unstructured linear space [0, size).
+    static IndexSpace create(gidx size, std::string name = "");
+
+    /// Structured grid space; size = product of extents, row-major order.
+    static IndexSpace create_grid(std::vector<gidx> extents, std::string name = "");
+
+    [[nodiscard]] SpaceId id() const noexcept { return id_; }
+    [[nodiscard]] gidx size() const noexcept { return size_; }
+    [[nodiscard]] bool valid() const noexcept { return id_ != 0; }
+    [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+    [[nodiscard]] int dims() const noexcept { return static_cast<int>(extents_.size()); }
+    [[nodiscard]] bool structured() const noexcept { return !extents_.empty(); }
+    [[nodiscard]] const std::vector<gidx>& extents() const noexcept { return extents_; }
+    [[nodiscard]] gidx extent(int d) const {
+        KDR_REQUIRE(d >= 0 && d < dims(), "extent: dim ", d, " out of range");
+        return extents_[static_cast<std::size_t>(d)];
+    }
+
+    /// Whole space as an IntervalSet.
+    [[nodiscard]] IntervalSet universe() const { return IntervalSet::full(size_); }
+
+    /// Row-major linearization of a grid point.
+    template <int N>
+    [[nodiscard]] gidx linearize(const Point<N>& p) const {
+        KDR_REQUIRE(N == dims(), "linearize: point dim ", N, " != space dim ", dims());
+        gidx idx = 0;
+        for (int d = 0; d < N; ++d) {
+            const gidx e = extents_[static_cast<std::size_t>(d)];
+            KDR_ASSERT(p[d] >= 0 && p[d] < e, "point coordinate out of bounds");
+            idx = idx * e + p[d];
+        }
+        return idx;
+    }
+
+    template <int N>
+    [[nodiscard]] Point<N> delinearize(gidx idx) const {
+        KDR_REQUIRE(N == dims(), "delinearize: dim mismatch");
+        Point<N> p;
+        for (int d = N - 1; d >= 0; --d) {
+            const gidx e = extents_[static_cast<std::size_t>(d)];
+            p[d] = idx % e;
+            idx /= e;
+        }
+        return p;
+    }
+
+    friend bool operator==(const IndexSpace& a, const IndexSpace& b) noexcept {
+        return a.id_ == b.id_;
+    }
+    friend bool operator!=(const IndexSpace& a, const IndexSpace& b) noexcept {
+        return !(a == b);
+    }
+
+    friend std::ostream& operator<<(std::ostream& os, const IndexSpace& s) {
+        os << (s.name_.empty() ? "space" : s.name_) << "#" << s.id_ << "[" << s.size_ << "]";
+        return os;
+    }
+
+private:
+    static SpaceId next_id();
+
+    SpaceId id_ = 0;
+    gidx size_ = 0;
+    std::vector<gidx> extents_;
+    std::string name_;
+};
+
+} // namespace kdr

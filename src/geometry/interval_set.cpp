@@ -1,0 +1,185 @@
+#include "geometry/interval_set.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace kdr {
+
+IntervalSet::IntervalSet(gidx lo, gidx hi) {
+    KDR_REQUIRE(lo <= hi, "IntervalSet: lo ", lo, " > hi ", hi);
+    if (lo < hi) intervals_.push_back({lo, hi});
+}
+
+IntervalSet IntervalSet::from_intervals(std::vector<Interval> intervals) {
+    IntervalSet s;
+    s.intervals_ = std::move(intervals);
+    s.normalize();
+    return s;
+}
+
+IntervalSet IntervalSet::from_points(std::vector<gidx> points) {
+    std::sort(points.begin(), points.end());
+    IntervalSet s;
+    for (gidx p : points) {
+        if (!s.intervals_.empty() && s.intervals_.back().hi == p) {
+            ++s.intervals_.back().hi;
+        } else if (!s.intervals_.empty() && p < s.intervals_.back().hi) {
+            // duplicate point, skip
+        } else {
+            s.intervals_.push_back({p, p + 1});
+        }
+    }
+    return s;
+}
+
+void IntervalSet::normalize() {
+    std::erase_if(intervals_, [](const Interval& iv) { return iv.empty(); });
+    std::sort(intervals_.begin(), intervals_.end(),
+              [](const Interval& a, const Interval& b) { return a.lo < b.lo; });
+    std::vector<Interval> out;
+    out.reserve(intervals_.size());
+    for (const Interval& iv : intervals_) {
+        if (!out.empty() && iv.lo <= out.back().hi) {
+            out.back().hi = std::max(out.back().hi, iv.hi);
+        } else {
+            out.push_back(iv);
+        }
+    }
+    intervals_ = std::move(out);
+}
+
+gidx IntervalSet::volume() const noexcept {
+    gidx v = 0;
+    for (const Interval& iv : intervals_) v += iv.size();
+    return v;
+}
+
+bool IntervalSet::contains(gidx i) const noexcept {
+    auto it = std::upper_bound(intervals_.begin(), intervals_.end(), i,
+                               [](gidx x, const Interval& iv) { return x < iv.lo; });
+    if (it == intervals_.begin()) return false;
+    return std::prev(it)->contains(i);
+}
+
+bool IntervalSet::contains_all(const IntervalSet& other) const {
+    return other.set_difference(*this).empty();
+}
+
+bool IntervalSet::intersects(const IntervalSet& other) const noexcept {
+    std::size_t a = 0;
+    std::size_t b = 0;
+    while (a < intervals_.size() && b < other.intervals_.size()) {
+        const Interval& x = intervals_[a];
+        const Interval& y = other.intervals_[b];
+        if (x.hi <= y.lo) {
+            ++a;
+        } else if (y.hi <= x.lo) {
+            ++b;
+        } else {
+            return true;
+        }
+    }
+    return false;
+}
+
+Interval IntervalSet::bounds() const noexcept {
+    if (intervals_.empty()) return {0, 0};
+    return {intervals_.front().lo, intervals_.back().hi};
+}
+
+IntervalSet IntervalSet::set_union(const IntervalSet& other) const {
+    std::vector<Interval> merged;
+    merged.reserve(intervals_.size() + other.intervals_.size());
+    merged.insert(merged.end(), intervals_.begin(), intervals_.end());
+    merged.insert(merged.end(), other.intervals_.begin(), other.intervals_.end());
+    return from_intervals(std::move(merged));
+}
+
+IntervalSet IntervalSet::set_intersection(const IntervalSet& other) const {
+    IntervalSet out;
+    std::size_t a = 0;
+    std::size_t b = 0;
+    while (a < intervals_.size() && b < other.intervals_.size()) {
+        const Interval& x = intervals_[a];
+        const Interval& y = other.intervals_[b];
+        const gidx lo = std::max(x.lo, y.lo);
+        const gidx hi = std::min(x.hi, y.hi);
+        if (lo < hi) out.intervals_.push_back({lo, hi});
+        if (x.hi < y.hi) {
+            ++a;
+        } else {
+            ++b;
+        }
+    }
+    return out; // already sorted, disjoint, non-adjacent
+}
+
+IntervalSet IntervalSet::set_difference(const IntervalSet& other) const {
+    IntervalSet out;
+    std::size_t b = 0;
+    for (Interval x : intervals_) {
+        while (b < other.intervals_.size() && other.intervals_[b].hi <= x.lo) ++b;
+        std::size_t bb = b;
+        gidx cursor = x.lo;
+        while (bb < other.intervals_.size() && other.intervals_[bb].lo < x.hi) {
+            const Interval& y = other.intervals_[bb];
+            if (y.lo > cursor) out.intervals_.push_back({cursor, y.lo});
+            cursor = std::max(cursor, y.hi);
+            if (cursor >= x.hi) break;
+            ++bb;
+        }
+        if (cursor < x.hi) out.intervals_.push_back({cursor, x.hi});
+    }
+    return out;
+}
+
+IntervalSet IntervalSet::shifted(gidx delta) const {
+    IntervalSet out;
+    out.intervals_.reserve(intervals_.size());
+    for (const Interval& iv : intervals_) out.intervals_.push_back({iv.lo + delta, iv.hi + delta});
+    return out;
+}
+
+std::vector<gidx> IntervalSet::to_points() const {
+    std::vector<gidx> pts;
+    pts.reserve(static_cast<std::size_t>(volume()));
+    for_each([&](gidx i) { pts.push_back(i); });
+    return pts;
+}
+
+gidx IntervalSet::rank_of(gidx i) const {
+    gidx rank = 0;
+    for (const Interval& iv : intervals_) {
+        if (i >= iv.hi) {
+            rank += iv.size();
+        } else {
+            KDR_REQUIRE(i >= iv.lo, "rank_of: index ", i, " not in set");
+            return rank + (i - iv.lo);
+        }
+    }
+    KDR_REQUIRE(false, "rank_of: index ", i, " not in set");
+    return -1;
+}
+
+gidx IntervalSet::select(gidx r) const {
+    KDR_REQUIRE(r >= 0 && r < volume(), "select: rank ", r, " out of range [0,", volume(), ")");
+    for (const Interval& iv : intervals_) {
+        if (r < iv.size()) return iv.lo + r;
+        r -= iv.size();
+    }
+    KDR_UNREACHABLE("select past end");
+}
+
+std::ostream& operator<<(std::ostream& os, const IntervalSet& s) {
+    os << "{";
+    bool first = true;
+    for (const Interval& iv : s.intervals_) {
+        if (!first) os << ",";
+        os << iv;
+        first = false;
+    }
+    return os << "}";
+}
+
+} // namespace kdr

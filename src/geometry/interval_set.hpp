@@ -1,0 +1,115 @@
+#pragma once
+
+/// \file interval_set.hpp
+/// Sorted, coalesced lists of half-open intervals over the global linear
+/// index type. `IntervalSet` is the universal representation of "a subset of
+/// an index space": partition pieces, region-requirement footprints, images
+/// and preimages of dependent-partitioning projections, and ghost regions are
+/// all IntervalSets. Non-contiguous pieces (paper §4, P4) fall out for free.
+
+#include <cstddef>
+#include <ostream>
+#include <vector>
+
+#include "geometry/point.hpp"
+
+namespace kdr {
+
+/// One half-open interval [lo, hi).
+struct Interval {
+    gidx lo = 0;
+    gidx hi = 0;
+
+    [[nodiscard]] constexpr bool empty() const noexcept { return lo >= hi; }
+    [[nodiscard]] constexpr gidx size() const noexcept { return empty() ? 0 : hi - lo; }
+    [[nodiscard]] constexpr bool contains(gidx i) const noexcept { return i >= lo && i < hi; }
+
+    friend constexpr bool operator==(const Interval& a, const Interval& b) noexcept {
+        return a.lo == b.lo && a.hi == b.hi;
+    }
+
+    friend std::ostream& operator<<(std::ostream& os, const Interval& iv) {
+        return os << "[" << iv.lo << "," << iv.hi << ")";
+    }
+};
+
+/// A set of global indices stored as sorted, disjoint, non-adjacent intervals.
+///
+/// All mutating constructors normalize; all set-algebra operations run in
+/// O(#intervals of both operands). Interval counts stay tiny in practice
+/// (stencil ghost regions are a handful of runs), which is what makes
+/// interval lists the right choice over bitmaps for 2^30-point spaces.
+class IntervalSet {
+public:
+    IntervalSet() = default;
+
+    /// Single interval [lo, hi).
+    IntervalSet(gidx lo, gidx hi);
+
+    /// From arbitrary (possibly unsorted/overlapping) intervals.
+    static IntervalSet from_intervals(std::vector<Interval> intervals);
+
+    /// From arbitrary (possibly unsorted/duplicated) points.
+    static IntervalSet from_points(std::vector<gidx> points);
+
+    /// The whole space [0, n).
+    static IntervalSet full(gidx n) { return IntervalSet(0, n); }
+
+    [[nodiscard]] bool empty() const noexcept { return intervals_.empty(); }
+    [[nodiscard]] gidx volume() const noexcept;
+    [[nodiscard]] std::size_t interval_count() const noexcept { return intervals_.size(); }
+    [[nodiscard]] const std::vector<Interval>& intervals() const noexcept { return intervals_; }
+
+    [[nodiscard]] bool contains(gidx i) const noexcept;
+    [[nodiscard]] bool contains_all(const IntervalSet& other) const;
+    [[nodiscard]] bool intersects(const IntervalSet& other) const noexcept;
+
+    /// Smallest single interval covering the set ([0,0) if empty).
+    [[nodiscard]] Interval bounds() const noexcept;
+
+    [[nodiscard]] IntervalSet set_union(const IntervalSet& other) const;
+    [[nodiscard]] IntervalSet set_intersection(const IntervalSet& other) const;
+    [[nodiscard]] IntervalSet set_difference(const IntervalSet& other) const;
+
+    /// Shift every index by `delta`.
+    [[nodiscard]] IntervalSet shifted(gidx delta) const;
+
+    /// Visit every member index in ascending order.
+    template <typename F>
+    void for_each(F&& f) const {
+        for (const Interval& iv : intervals_)
+            for (gidx i = iv.lo; i < iv.hi; ++i) f(i);
+    }
+
+    /// Visit every interval in ascending order.
+    template <typename F>
+    void for_each_interval(F&& f) const {
+        for (const Interval& iv : intervals_) f(iv);
+    }
+
+    /// Materialize as a sorted vector of points (testing / tiny sets only).
+    [[nodiscard]] std::vector<gidx> to_points() const;
+
+    /// Rank of `i` within the set (number of members strictly below `i`).
+    /// Precondition: contains(i). Used to pack subset data densely.
+    [[nodiscard]] gidx rank_of(gidx i) const;
+
+    /// The `r`-th smallest member. Precondition: 0 <= r < volume().
+    [[nodiscard]] gidx select(gidx r) const;
+
+    friend bool operator==(const IntervalSet& a, const IntervalSet& b) noexcept {
+        return a.intervals_ == b.intervals_;
+    }
+    friend bool operator!=(const IntervalSet& a, const IntervalSet& b) noexcept {
+        return !(a == b);
+    }
+
+    friend std::ostream& operator<<(std::ostream& os, const IntervalSet& s);
+
+private:
+    void normalize();
+
+    std::vector<Interval> intervals_; // sorted, disjoint, non-adjacent, non-empty
+};
+
+} // namespace kdr

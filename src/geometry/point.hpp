@@ -1,0 +1,139 @@
+#pragma once
+
+/// \file point.hpp
+/// Fixed-dimension integer points and half-open rectangles. These describe
+/// structured (grid) index spaces; all storage-level indexing is linearized
+/// to a 1-D global index (`gidx`) in row-major order.
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <ostream>
+
+#include "support/error.hpp"
+
+namespace kdr {
+
+/// Global linear index type used across the library (64-bit: the paper runs
+/// up to 2^32 unknowns, which overflows 32-bit kernel spaces).
+using gidx = std::int64_t;
+
+template <int N>
+struct Point {
+    static_assert(N >= 1 && N <= 3, "KDRSolvers supports 1-3 dimensional grids");
+    std::array<gidx, static_cast<std::size_t>(N)> x{};
+
+    constexpr gidx& operator[](int i) { return x[static_cast<std::size_t>(i)]; }
+    constexpr const gidx& operator[](int i) const { return x[static_cast<std::size_t>(i)]; }
+
+    friend constexpr bool operator==(const Point& a, const Point& b) { return a.x == b.x; }
+    friend constexpr bool operator!=(const Point& a, const Point& b) { return !(a == b); }
+
+    friend constexpr Point operator+(Point a, const Point& b) {
+        for (int i = 0; i < N; ++i) a[i] += b[i];
+        return a;
+    }
+    friend constexpr Point operator-(Point a, const Point& b) {
+        for (int i = 0; i < N; ++i) a[i] -= b[i];
+        return a;
+    }
+
+    friend std::ostream& operator<<(std::ostream& os, const Point& p) {
+        os << "(";
+        for (int i = 0; i < N; ++i) os << (i ? "," : "") << p[i];
+        return os << ")";
+    }
+};
+
+/// Half-open axis-aligned box: contains p iff lo[i] <= p[i] < hi[i] for all i.
+template <int N>
+struct Rect {
+    Point<N> lo{};
+    Point<N> hi{};
+
+    [[nodiscard]] constexpr bool empty() const {
+        for (int i = 0; i < N; ++i)
+            if (lo[i] >= hi[i]) return true;
+        return false;
+    }
+
+    [[nodiscard]] constexpr gidx volume() const {
+        if (empty()) return 0;
+        gidx v = 1;
+        for (int i = 0; i < N; ++i) v *= hi[i] - lo[i];
+        return v;
+    }
+
+    [[nodiscard]] constexpr gidx extent(int i) const { return hi[i] - lo[i]; }
+
+    [[nodiscard]] constexpr bool contains(const Point<N>& p) const {
+        for (int i = 0; i < N; ++i)
+            if (p[i] < lo[i] || p[i] >= hi[i]) return false;
+        return true;
+    }
+
+    [[nodiscard]] constexpr Rect intersection(const Rect& other) const {
+        Rect r;
+        for (int i = 0; i < N; ++i) {
+            r.lo[i] = lo[i] > other.lo[i] ? lo[i] : other.lo[i];
+            r.hi[i] = hi[i] < other.hi[i] ? hi[i] : other.hi[i];
+        }
+        return r;
+    }
+
+    friend constexpr bool operator==(const Rect& a, const Rect& b) {
+        return a.lo == b.lo && a.hi == b.hi;
+    }
+
+    friend std::ostream& operator<<(std::ostream& os, const Rect& r) {
+        return os << "[" << r.lo << ".." << r.hi << ")";
+    }
+};
+
+/// Row-major linearization of a point within a rect (C ordering; the last
+/// coordinate varies fastest).
+template <int N>
+[[nodiscard]] constexpr gidx linearize(const Rect<N>& bounds, const Point<N>& p) {
+    gidx idx = 0;
+    for (int i = 0; i < N; ++i) {
+        idx = idx * bounds.extent(i) + (p[i] - bounds.lo[i]);
+    }
+    return idx;
+}
+
+/// Inverse of `linearize`.
+template <int N>
+[[nodiscard]] constexpr Point<N> delinearize(const Rect<N>& bounds, gidx idx) {
+    Point<N> p;
+    for (int i = N - 1; i >= 0; --i) {
+        const gidx e = bounds.extent(i);
+        p[i] = bounds.lo[i] + idx % e;
+        idx /= e;
+    }
+    return p;
+}
+
+/// Visit every point of a rect in row-major order.
+template <int N, typename F>
+void for_each_point(const Rect<N>& r, F&& f) {
+    if (r.empty()) return;
+    Point<N> p = r.lo;
+    for (;;) {
+        f(const_cast<const Point<N>&>(p));
+        int i = N - 1;
+        for (; i >= 0; --i) {
+            if (++p[i] < r.hi[i]) break;
+            p[i] = r.lo[i];
+        }
+        if (i < 0) return;
+    }
+}
+
+using Point1 = Point<1>;
+using Point2 = Point<2>;
+using Point3 = Point<3>;
+using Rect1 = Rect<1>;
+using Rect2 = Rect<2>;
+using Rect3 = Rect<3>;
+
+} // namespace kdr

@@ -1,0 +1,48 @@
+#pragma once
+
+/// \file kdr.hpp
+/// Umbrella header: the full public API of the KDRSolvers reproduction.
+/// Fine-grained headers remain available for faster compiles.
+
+// Foundations.
+#include "geometry/index_space.hpp"
+#include "geometry/interval_set.hpp"
+#include "geometry/point.hpp"
+#include "partition/partition.hpp"
+#include "partition/projection.hpp"
+#include "partition/relation.hpp"
+
+// Storage formats and operator utilities.
+#include "sparse/adapters.hpp"
+#include "sparse/bcsr.hpp"
+#include "sparse/block_diagonal.hpp"
+#include "sparse/convert.hpp"
+#include "sparse/coo.hpp"
+#include "sparse/csc.hpp"
+#include "sparse/csr.hpp"
+#include "sparse/dense.hpp"
+#include "sparse/dia.hpp"
+#include "sparse/ell.hpp"
+#include "sparse/linear_operator.hpp"
+#include "sparse/matrix_market.hpp"
+#include "sparse/sell.hpp"
+
+// Simulated machine and task runtime.
+#include "runtime/mapper.hpp"
+#include "runtime/runtime.hpp"
+#include "runtime/trace_export.hpp"
+#include "simcluster/cluster.hpp"
+#include "simcluster/machine.hpp"
+
+// Workload generators.
+#include "stencil/stencil.hpp"
+
+// KDRSolvers core.
+#include "core/load_balancer.hpp"
+#include "core/monitor.hpp"
+#include "core/planner.hpp"
+#include "core/preconditioners.hpp"
+#include "core/scalar.hpp"
+#include "core/solvers.hpp"
+#include "core/solvers_extra.hpp"
+#include "core/solvers_preconditioned.hpp"

@@ -1,0 +1,87 @@
+#include "mpisim/bsp.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace kdr::bsp {
+
+BspWorld::BspWorld(sim::SimCluster& cluster, sim::ProcKind kind)
+    : cluster_(cluster), kind_(kind) {
+    const sim::MachineDesc& m = cluster.machine();
+    nranks_ = kind == sim::ProcKind::GPU ? m.total_gpus() : m.nodes;
+    KDR_REQUIRE(nranks_ > 0, "BspWorld: machine has no processors of the requested kind");
+}
+
+sim::ProcId BspWorld::proc_of(int rank) const {
+    KDR_REQUIRE(rank >= 0 && rank < nranks_, "BspWorld: rank ", rank, " out of range [0,",
+                nranks_, ")");
+    const sim::MachineDesc& m = cluster_.machine();
+    if (kind_ == sim::ProcKind::GPU) {
+        return {rank / m.gpus_per_node, sim::ProcKind::GPU, rank % m.gpus_per_node};
+    }
+    return {rank, sim::ProcKind::CPU, 0};
+}
+
+double BspWorld::compute_at(double start, const std::vector<sim::TaskCost>& per_rank,
+                            double per_rank_overhead) {
+    KDR_REQUIRE(static_cast<int>(per_rank.size()) == nranks_, "BspWorld: got ",
+                per_rank.size(), " costs for ", nranks_, " ranks");
+    double finish = start;
+    for (int r = 0; r < nranks_; ++r) {
+        finish = std::max(finish, cluster_.exec(proc_of(r), start,
+                                                per_rank[static_cast<std::size_t>(r)],
+                                                per_rank_overhead));
+    }
+    return finish;
+}
+
+double BspWorld::compute_uniform_at(double start, const sim::TaskCost& cost,
+                                    double per_rank_overhead) {
+    return compute_at(start, std::vector<sim::TaskCost>(static_cast<std::size_t>(nranks_), cost),
+                      per_rank_overhead);
+}
+
+double BspWorld::exchange_at(double start, const std::vector<Message>& msgs) {
+    double arrival = start;
+    for (const Message& m : msgs) {
+        const int src = node_of(m.src_rank);
+        const int dst = node_of(m.dst_rank);
+        arrival = std::max(arrival, cluster_.transfer(src, dst, start, m.bytes));
+        comm_bytes_ += m.bytes;
+    }
+    return arrival;
+}
+
+double BspWorld::allreduce_at(double start) const {
+    const double hops = std::ceil(std::log2(std::max(2, nranks_)));
+    return start + 2.0 * hops * cluster_.machine().collective_hop_latency;
+}
+
+double BspWorld::barrier_at(double start) const {
+    const double hops = std::ceil(std::log2(std::max(2, nranks_)));
+    return start + hops * cluster_.machine().collective_hop_latency;
+}
+
+void BspWorld::advance_to(double t) {
+    KDR_REQUIRE(t >= now_, "BspWorld: clock must not go backwards (", t, " < ", now_, ")");
+    now_ = t;
+}
+
+void BspWorld::compute_phase(const std::vector<sim::TaskCost>& per_rank, double overhead) {
+    advance_to(compute_at(now_, per_rank, overhead));
+}
+
+void BspWorld::compute_uniform_phase(const sim::TaskCost& cost, double overhead) {
+    advance_to(compute_uniform_at(now_, cost, overhead));
+}
+
+void BspWorld::exchange_phase(const std::vector<Message>& msgs) {
+    advance_to(exchange_at(now_, msgs));
+}
+
+void BspWorld::allreduce_phase() { advance_to(allreduce_at(now_)); }
+
+void BspWorld::barrier_phase() { advance_to(barrier_at(now_)); }
+
+} // namespace kdr::bsp

@@ -1,0 +1,73 @@
+#pragma once
+
+/// \file bsp.hpp
+/// Bulk-synchronous SPMD world on the simulated cluster — the programming
+/// model of the baseline libraries (paper §2.2: "PETSc and Trilinos operate
+/// in the bulk-synchronous MPI programming model").
+///
+/// Ranks map 1:1 onto processors of one kind (GPU ranks for the Fig 8
+/// benchmarks: 4 ranks/node like the paper's jsrun lines). Time advances
+/// phase-wise: a compute phase ends when the slowest rank finishes, a
+/// collective costs O(log₂ P) tree latency, and an exchange phase completes
+/// when the last message lands. There is no cross-phase overlap unless a
+/// baseline explicitly composes `*_at` primitives (PETSc's MatMult overlaps
+/// its local product with ghost communication; Tpetra's doImport blocks) —
+/// the contrast with the task runtime's dependence-driven overlap is the
+/// paper's P1.
+
+#include <cmath>
+#include <vector>
+
+#include "simcluster/cluster.hpp"
+
+namespace kdr::bsp {
+
+struct Message {
+    int src_rank = 0;
+    int dst_rank = 0;
+    double bytes = 0.0;
+};
+
+class BspWorld {
+public:
+    /// Ranks over all processors of `kind` (GPU: node-major over all GPUs;
+    /// CPU: one rank per node).
+    BspWorld(sim::SimCluster& cluster, sim::ProcKind kind);
+
+    [[nodiscard]] int nranks() const noexcept { return nranks_; }
+    [[nodiscard]] sim::ProcId proc_of(int rank) const;
+    [[nodiscard]] int node_of(int rank) const { return proc_of(rank).node; }
+    [[nodiscard]] double now() const noexcept { return now_; }
+    [[nodiscard]] sim::SimCluster& cluster() noexcept { return cluster_; }
+    [[nodiscard]] double comm_bytes() const noexcept { return comm_bytes_; }
+
+    // ------------- explicit primitives (no clock advance) -------------
+    /// Run `cost[r]` on every rank starting at `start`; returns slowest finish.
+    double compute_at(double start, const std::vector<sim::TaskCost>& per_rank,
+                      double per_rank_overhead);
+    double compute_uniform_at(double start, const sim::TaskCost& cost,
+                              double per_rank_overhead);
+    /// Deliver all messages starting at `start`; returns last arrival.
+    double exchange_at(double start, const std::vector<Message>& msgs);
+    /// Tree allreduce of a scalar: 2·log₂(P) hop latencies.
+    [[nodiscard]] double allreduce_at(double start) const;
+    [[nodiscard]] double barrier_at(double start) const;
+
+    void advance_to(double t);
+
+    // ------------- phase wrappers (advance the clock) -------------
+    void compute_phase(const std::vector<sim::TaskCost>& per_rank, double overhead);
+    void compute_uniform_phase(const sim::TaskCost& cost, double overhead);
+    void exchange_phase(const std::vector<Message>& msgs);
+    void allreduce_phase();
+    void barrier_phase();
+
+private:
+    sim::SimCluster& cluster_;
+    sim::ProcKind kind_;
+    int nranks_;
+    double now_ = 0.0;
+    double comm_bytes_ = 0.0;
+};
+
+} // namespace kdr::bsp

@@ -1,0 +1,166 @@
+#include "partition/partition.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace kdr {
+
+Partition::Partition(IndexSpace space, std::vector<IntervalSet> pieces)
+    : space_(std::move(space)), pieces_(std::move(pieces)) {
+    KDR_REQUIRE(space_.valid(), "Partition: invalid index space");
+    for (const IntervalSet& p : pieces_) {
+        const Interval b = p.bounds();
+        KDR_REQUIRE(b.lo >= 0 && b.hi <= space_.size(), "Partition: piece ", p,
+                    " exceeds space size ", space_.size());
+    }
+}
+
+Partition Partition::equal(const IndexSpace& space, Color colors) {
+    KDR_REQUIRE(colors > 0, "Partition::equal: need at least one color, got ", colors);
+    const gidx n = space.size();
+    const gidx base = n / colors;
+    const gidx rem = n % colors;
+    std::vector<IntervalSet> pieces;
+    pieces.reserve(static_cast<std::size_t>(colors));
+    gidx lo = 0;
+    for (Color c = 0; c < colors; ++c) {
+        const gidx len = base + (c < rem ? 1 : 0);
+        pieces.emplace_back(lo, lo + len);
+        lo += len;
+    }
+    return Partition(space, std::move(pieces));
+}
+
+Partition Partition::blocked(const IndexSpace& space, gidx block_size) {
+    KDR_REQUIRE(block_size > 0, "Partition::blocked: nonpositive block size ", block_size);
+    std::vector<IntervalSet> pieces;
+    for (gidx lo = 0; lo < space.size(); lo += block_size) {
+        pieces.emplace_back(lo, std::min(lo + block_size, space.size()));
+    }
+    if (pieces.empty()) pieces.emplace_back(); // empty space: one empty piece
+    return Partition(space, std::move(pieces));
+}
+
+Partition Partition::tiles2d(const IndexSpace& space, gidx tx, gidx ty) {
+    KDR_REQUIRE(space.dims() == 2, "tiles2d: space must be a 2-D grid");
+    KDR_REQUIRE(tx > 0 && ty > 0, "tiles2d: nonpositive tile counts");
+    const gidx nx = space.extent(0);
+    const gidx ny = space.extent(1);
+    KDR_REQUIRE(tx <= nx && ty <= ny, "tiles2d: more tiles than grid points");
+    std::vector<IntervalSet> pieces;
+    pieces.reserve(static_cast<std::size_t>(tx * ty));
+    for (gidx bx = 0; bx < tx; ++bx) {
+        const gidx xlo = bx * nx / tx;
+        const gidx xhi = (bx + 1) * nx / tx;
+        for (gidx by = 0; by < ty; ++by) {
+            const gidx ylo = by * ny / ty;
+            const gidx yhi = (by + 1) * ny / ty;
+            std::vector<Interval> runs;
+            runs.reserve(static_cast<std::size_t>(xhi - xlo));
+            for (gidx x = xlo; x < xhi; ++x) {
+                runs.push_back({x * ny + ylo, x * ny + yhi});
+            }
+            pieces.push_back(IntervalSet::from_intervals(std::move(runs)));
+        }
+    }
+    return Partition(space, std::move(pieces));
+}
+
+Partition Partition::tiles3d(const IndexSpace& space, gidx tx, gidx ty, gidx tz) {
+    KDR_REQUIRE(space.dims() == 3, "tiles3d: space must be a 3-D grid");
+    KDR_REQUIRE(tx > 0 && ty > 0 && tz > 0, "tiles3d: nonpositive tile counts");
+    const gidx nx = space.extent(0);
+    const gidx ny = space.extent(1);
+    const gidx nz = space.extent(2);
+    KDR_REQUIRE(tx <= nx && ty <= ny && tz <= nz, "tiles3d: more tiles than grid points");
+    std::vector<IntervalSet> pieces;
+    pieces.reserve(static_cast<std::size_t>(tx * ty * tz));
+    for (gidx bx = 0; bx < tx; ++bx) {
+        const gidx xlo = bx * nx / tx;
+        const gidx xhi = (bx + 1) * nx / tx;
+        for (gidx by = 0; by < ty; ++by) {
+            const gidx ylo = by * ny / ty;
+            const gidx yhi = (by + 1) * ny / ty;
+            for (gidx bz = 0; bz < tz; ++bz) {
+                const gidx zlo = bz * nz / tz;
+                const gidx zhi = (bz + 1) * nz / tz;
+                std::vector<Interval> runs;
+                runs.reserve(static_cast<std::size_t>((xhi - xlo) * (yhi - ylo)));
+                for (gidx x = xlo; x < xhi; ++x) {
+                    for (gidx y = ylo; y < yhi; ++y) {
+                        const gidx rowbase = (x * ny + y) * nz;
+                        runs.push_back({rowbase + zlo, rowbase + zhi});
+                    }
+                }
+                pieces.push_back(IntervalSet::from_intervals(std::move(runs)));
+            }
+        }
+    }
+    return Partition(space, std::move(pieces));
+}
+
+Partition Partition::single(const IndexSpace& space) {
+    std::vector<IntervalSet> pieces;
+    pieces.push_back(space.universe());
+    return Partition(space, std::move(pieces));
+}
+
+const IntervalSet& Partition::piece(Color c) const {
+    KDR_REQUIRE(c >= 0 && c < color_count(), "Partition::piece: color ", c, " out of range [0,",
+                color_count(), ")");
+    return pieces_[static_cast<std::size_t>(c)];
+}
+
+bool Partition::is_complete() const {
+    IntervalSet covered;
+    for (const IntervalSet& p : pieces_) covered = covered.set_union(p);
+    return covered == space_.universe();
+}
+
+bool Partition::is_disjoint() const {
+    // Pairwise interval-sweep: merge all intervals and look for overlap.
+    std::vector<Interval> all;
+    for (const IntervalSet& p : pieces_)
+        all.insert(all.end(), p.intervals().begin(), p.intervals().end());
+    std::sort(all.begin(), all.end(),
+              [](const Interval& a, const Interval& b) { return a.lo < b.lo; });
+    for (std::size_t i = 1; i < all.size(); ++i) {
+        if (all[i].lo < all[i - 1].hi) return false;
+    }
+    return true;
+}
+
+Partition Partition::piecewise_union(const Partition& other) const {
+    KDR_REQUIRE(space_ == other.space_, "piecewise_union: different spaces");
+    KDR_REQUIRE(color_count() == other.color_count(), "piecewise_union: color counts differ");
+    std::vector<IntervalSet> out;
+    out.reserve(pieces_.size());
+    for (std::size_t c = 0; c < pieces_.size(); ++c)
+        out.push_back(pieces_[c].set_union(other.pieces_[c]));
+    return Partition(space_, std::move(out));
+}
+
+Partition Partition::piecewise_intersection(const Partition& other) const {
+    KDR_REQUIRE(space_ == other.space_, "piecewise_intersection: different spaces");
+    KDR_REQUIRE(color_count() == other.color_count(),
+                "piecewise_intersection: color counts differ");
+    std::vector<IntervalSet> out;
+    out.reserve(pieces_.size());
+    for (std::size_t c = 0; c < pieces_.size(); ++c)
+        out.push_back(pieces_[c].set_intersection(other.pieces_[c]));
+    return Partition(space_, std::move(out));
+}
+
+gidx Partition::total_assignments() const {
+    gidx total = 0;
+    for (const IntervalSet& p : pieces_) total += p.volume();
+    return total;
+}
+
+std::ostream& operator<<(std::ostream& os, const Partition& p) {
+    os << "Partition(" << p.space_ << ", " << p.pieces_.size() << " colors)";
+    return os;
+}
+
+} // namespace kdr

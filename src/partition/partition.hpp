@@ -1,0 +1,80 @@
+#pragma once
+
+/// \file partition.hpp
+/// Partitions of index spaces (paper §3.1): a function `P : C → 2^I` from a
+/// finite color space to subsets of an index space. Partitions need not be
+/// complete (some points uncolored) or disjoint (points may be multi-colored)
+/// — both generalities are load-bearing: image partitions of stencil pieces
+/// alias at the halos, and that aliasing is exactly what co-partitioning
+/// computes for the communication analysis.
+
+#include <cstdint>
+#include <ostream>
+#include <vector>
+
+#include "geometry/index_space.hpp"
+#include "geometry/interval_set.hpp"
+
+namespace kdr {
+
+using Color = std::int64_t;
+
+class Partition {
+public:
+    Partition() = default;
+
+    /// A partition of `space` with explicit pieces, indexed by color 0..C-1.
+    Partition(IndexSpace space, std::vector<IntervalSet> pieces);
+
+    /// C equal contiguous blocks (Legion's equal partition). Remainder points
+    /// are distributed one-per-color to the leading colors.
+    static Partition equal(const IndexSpace& space, Color colors);
+
+    /// Blocks of a fixed size (last block may be short).
+    static Partition blocked(const IndexSpace& space, gidx block_size);
+
+    /// Tile a structured 2-D grid space into tx × ty rectangular tiles;
+    /// each tile is a strided set of row-runs in the linearization. Colors
+    /// are assigned row-major over tiles.
+    static Partition tiles2d(const IndexSpace& space, gidx tx, gidx ty);
+
+    /// Tile a structured 3-D grid space into tx × ty × tz tiles.
+    static Partition tiles3d(const IndexSpace& space, gidx tx, gidx ty, gidx tz);
+
+    /// Everything in one color (the trivial partition).
+    static Partition single(const IndexSpace& space);
+
+    [[nodiscard]] bool valid() const noexcept { return space_.valid(); }
+    [[nodiscard]] const IndexSpace& space() const noexcept { return space_; }
+    [[nodiscard]] Color color_count() const noexcept {
+        return static_cast<Color>(pieces_.size());
+    }
+    [[nodiscard]] const IntervalSet& piece(Color c) const;
+    [[nodiscard]] const std::vector<IntervalSet>& pieces() const noexcept { return pieces_; }
+
+    /// True iff every point of the space has at least one color (paper §3.1).
+    [[nodiscard]] bool is_complete() const;
+    /// True iff no point has more than one color (paper §3.1).
+    [[nodiscard]] bool is_disjoint() const;
+
+    /// Per-color union / intersection with another partition over the same
+    /// space and color count.
+    [[nodiscard]] Partition piecewise_union(const Partition& other) const;
+    [[nodiscard]] Partition piecewise_intersection(const Partition& other) const;
+
+    /// Total number of (point, color) assignments — volume() of the space for
+    /// complete disjoint partitions, larger when pieces alias.
+    [[nodiscard]] gidx total_assignments() const;
+
+    friend bool operator==(const Partition& a, const Partition& b) {
+        return a.space_ == b.space_ && a.pieces_ == b.pieces_;
+    }
+
+    friend std::ostream& operator<<(std::ostream& os, const Partition& p);
+
+private:
+    IndexSpace space_;
+    std::vector<IntervalSet> pieces_;
+};
+
+} // namespace kdr

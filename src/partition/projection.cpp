@@ -1,0 +1,25 @@
+#include "partition/projection.hpp"
+
+#include "support/error.hpp"
+
+namespace kdr {
+
+Partition image(const Partition& p, const Relation& rel) {
+    KDR_REQUIRE(p.space() == rel.source(), "image: partition is over ", p.space(),
+                " but relation's source is ", rel.source());
+    std::vector<IntervalSet> pieces;
+    pieces.reserve(static_cast<std::size_t>(p.color_count()));
+    for (Color c = 0; c < p.color_count(); ++c) pieces.push_back(rel.image_of(p.piece(c)));
+    return Partition(rel.target(), std::move(pieces));
+}
+
+Partition preimage(const Partition& q, const Relation& rel) {
+    KDR_REQUIRE(q.space() == rel.target(), "preimage: partition is over ", q.space(),
+                " but relation's target is ", rel.target());
+    std::vector<IntervalSet> pieces;
+    pieces.reserve(static_cast<std::size_t>(q.color_count()));
+    for (Color c = 0; c < q.color_count(); ++c) pieces.push_back(rel.preimage_of(q.piece(c)));
+    return Partition(rel.source(), std::move(pieces));
+}
+
+} // namespace kdr

@@ -1,0 +1,28 @@
+#pragma once
+
+/// \file projection.hpp
+/// Dependent-partitioning projections (paper §3.1, Fig 2): lift a relation's
+/// per-subset image/preimage to whole partitions, color by color. Together
+/// with the row/col relations of a storage format these give the four
+/// universal co-partitioning operators:
+///
+///   col_{K→D}[P] = image(P, col)        row_{K→R}[P] = image(P, row)
+///   col_{D→K}[Q] = preimage(Q, col)     row_{R→K}[Q] = preimage(Q, row)
+///
+/// and arbitrary compositions such as eq. (5) for the finest partition of D
+/// needed to compute A²x.
+
+#include "partition/partition.hpp"
+#include "partition/relation.hpp"
+
+namespace kdr {
+
+/// Image of partition `p` (over rel.source()) along `rel`: a partition of
+/// rel.target() with the same color space.
+[[nodiscard]] Partition image(const Partition& p, const Relation& rel);
+
+/// Preimage of partition `q` (over rel.target()) along `rel`: a partition of
+/// rel.source() with the same color space.
+[[nodiscard]] Partition preimage(const Partition& q, const Relation& rel);
+
+} // namespace kdr

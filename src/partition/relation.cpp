@@ -1,0 +1,88 @@
+#include "partition/relation.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace kdr {
+
+namespace {
+
+/// Build CSR-style adjacency (offsets, values) from (key, value) pairs where
+/// keys lie in [0, nkeys).
+void build_adjacency(const std::vector<std::pair<gidx, gidx>>& pairs, gidx nkeys, bool by_first,
+                     std::vector<gidx>& offsets, std::vector<gidx>& values) {
+    offsets.assign(static_cast<std::size_t>(nkeys) + 1, 0);
+    for (const auto& [a, b] : pairs) {
+        const gidx key = by_first ? a : b;
+        ++offsets[static_cast<std::size_t>(key) + 1];
+    }
+    for (std::size_t i = 1; i < offsets.size(); ++i) offsets[i] += offsets[i - 1];
+    values.resize(pairs.size());
+    std::vector<gidx> cursor(offsets.begin(), offsets.end() - 1);
+    for (const auto& [a, b] : pairs) {
+        const gidx key = by_first ? a : b;
+        const gidx val = by_first ? b : a;
+        values[static_cast<std::size_t>(cursor[static_cast<std::size_t>(key)]++)] = val;
+    }
+}
+
+} // namespace
+
+MaterializedRelation::MaterializedRelation(IndexSpace source, IndexSpace target,
+                                           std::vector<std::pair<gidx, gidx>> pairs)
+    : source_(std::move(source)), target_(std::move(target)) {
+    for (const auto& [i, j] : pairs) {
+        KDR_REQUIRE(i >= 0 && i < source_.size(), "relation pair source index ", i,
+                    " out of range [0,", source_.size(), ")");
+        KDR_REQUIRE(j >= 0 && j < target_.size(), "relation pair target index ", j,
+                    " out of range [0,", target_.size(), ")");
+    }
+    build_adjacency(pairs, source_.size(), /*by_first=*/true, forward_offsets_, forward_targets_);
+    build_adjacency(pairs, target_.size(), /*by_first=*/false, backward_offsets_,
+                    backward_sources_);
+}
+
+IntervalSet MaterializedRelation::image_of(const IntervalSet& src) const {
+    std::vector<gidx> hits;
+    src.for_each([&](gidx i) {
+        const auto lo = static_cast<std::size_t>(forward_offsets_[static_cast<std::size_t>(i)]);
+        const auto hi =
+            static_cast<std::size_t>(forward_offsets_[static_cast<std::size_t>(i) + 1]);
+        hits.insert(hits.end(), forward_targets_.begin() + static_cast<std::ptrdiff_t>(lo),
+                    forward_targets_.begin() + static_cast<std::ptrdiff_t>(hi));
+    });
+    return IntervalSet::from_points(std::move(hits));
+}
+
+IntervalSet MaterializedRelation::preimage_of(const IntervalSet& dst) const {
+    std::vector<gidx> hits;
+    dst.for_each([&](gidx j) {
+        const auto lo = static_cast<std::size_t>(backward_offsets_[static_cast<std::size_t>(j)]);
+        const auto hi =
+            static_cast<std::size_t>(backward_offsets_[static_cast<std::size_t>(j) + 1]);
+        hits.insert(hits.end(), backward_sources_.begin() + static_cast<std::ptrdiff_t>(lo),
+                    backward_sources_.begin() + static_cast<std::ptrdiff_t>(hi));
+    });
+    return IntervalSet::from_points(std::move(hits));
+}
+
+std::vector<std::pair<gidx, gidx>> MaterializedRelation::enumerate() const {
+    std::vector<std::pair<gidx, gidx>> pairs;
+    pairs.reserve(forward_targets_.size());
+    for (gidx i = 0; i < source_.size(); ++i) {
+        const auto lo = static_cast<std::size_t>(forward_offsets_[static_cast<std::size_t>(i)]);
+        const auto hi =
+            static_cast<std::size_t>(forward_offsets_[static_cast<std::size_t>(i) + 1]);
+        for (std::size_t k = lo; k < hi; ++k) pairs.emplace_back(i, forward_targets_[k]);
+    }
+    return pairs;
+}
+
+std::vector<std::pair<gidx, gidx>> InverseRelation::enumerate() const {
+    auto pairs = base_->enumerate();
+    for (auto& [a, b] : pairs) std::swap(a, b);
+    return pairs;
+}
+
+} // namespace kdr

@@ -1,0 +1,92 @@
+#pragma once
+
+/// \file relation.hpp
+/// Binary relations between index spaces — the `row ⊆ K×R` and `col ⊆ K×D`
+/// of the KDR abstraction (paper §3, eq. 2). A relation exposes exactly the
+/// two queries dependent partitioning needs (paper §3.1, eqs. 3-4):
+///
+///   image_of(S)    = { j | ∃ i ∈ S : (i,j) ∈ rel }
+///   preimage_of(T) = { i | ∃ j ∈ T : (i,j) ∈ rel }
+///
+/// Sparse-matrix formats implement this interface with format-specific fast
+/// paths (e.g. CSR's rowptr relates ranges of R to *contiguous intervals* of
+/// K, so projections are O(rows) interval arithmetic); `MaterializedRelation`
+/// is the generic fallback for user-defined formats, requiring nothing beyond
+/// an enumerable pair list (paper P2).
+
+#include <memory>
+#include <vector>
+
+#include "geometry/index_space.hpp"
+#include "geometry/interval_set.hpp"
+
+namespace kdr {
+
+class Relation {
+public:
+    virtual ~Relation() = default;
+
+    /// The space of left elements (`I` in `rel ⊆ I × J`).
+    [[nodiscard]] virtual const IndexSpace& source() const = 0;
+    /// The space of right elements (`J`).
+    [[nodiscard]] virtual const IndexSpace& target() const = 0;
+
+    /// Image of a source subset in the target space.
+    [[nodiscard]] virtual IntervalSet image_of(const IntervalSet& src) const = 0;
+    /// Preimage of a target subset in the source space.
+    [[nodiscard]] virtual IntervalSet preimage_of(const IntervalSet& dst) const = 0;
+
+    /// Enumerate all pairs (testing / generic fallback; may be large).
+    [[nodiscard]] virtual std::vector<std::pair<gidx, gidx>> enumerate() const = 0;
+};
+
+/// A relation stored explicitly as a pair list with adjacency indexes in both
+/// directions. This is the universal implementation any user-defined storage
+/// format can fall back on: supply the pairs, get projections for free.
+class MaterializedRelation final : public Relation {
+public:
+    MaterializedRelation(IndexSpace source, IndexSpace target,
+                         std::vector<std::pair<gidx, gidx>> pairs);
+
+    [[nodiscard]] const IndexSpace& source() const override { return source_; }
+    [[nodiscard]] const IndexSpace& target() const override { return target_; }
+
+    [[nodiscard]] IntervalSet image_of(const IntervalSet& src) const override;
+    [[nodiscard]] IntervalSet preimage_of(const IntervalSet& dst) const override;
+
+    [[nodiscard]] std::vector<std::pair<gidx, gidx>> enumerate() const override;
+
+    [[nodiscard]] std::size_t pair_count() const noexcept { return forward_targets_.size(); }
+
+private:
+    IndexSpace source_;
+    IndexSpace target_;
+    // CSR-style adjacency in both directions.
+    std::vector<gidx> forward_offsets_; // size source.size()+1
+    std::vector<gidx> forward_targets_;
+    std::vector<gidx> backward_offsets_; // size target.size()+1
+    std::vector<gidx> backward_sources_;
+};
+
+/// The inverse view of a relation: swaps source/target and image/preimage.
+class InverseRelation final : public Relation {
+public:
+    explicit InverseRelation(std::shared_ptr<const Relation> base) : base_(std::move(base)) {}
+
+    [[nodiscard]] const IndexSpace& source() const override { return base_->target(); }
+    [[nodiscard]] const IndexSpace& target() const override { return base_->source(); }
+
+    [[nodiscard]] IntervalSet image_of(const IntervalSet& src) const override {
+        return base_->preimage_of(src);
+    }
+    [[nodiscard]] IntervalSet preimage_of(const IntervalSet& dst) const override {
+        return base_->image_of(dst);
+    }
+
+    [[nodiscard]] std::vector<std::pair<gidx, gidx>> enumerate() const override;
+
+private:
+    std::shared_ptr<const Relation> base_;
+};
+
+} // namespace kdr

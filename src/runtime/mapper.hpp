@@ -1,0 +1,40 @@
+#pragma once
+
+/// \file mapper.hpp
+/// Mappers decide where tasks run (paper §5/§6.3: Legion's mapper interface
+/// is what enables the dynamic load-balancing experiment — the assignment of
+/// work to processors is a policy object, not baked into the library).
+
+#include "runtime/types.hpp"
+#include "simcluster/machine.hpp"
+
+namespace kdr::rt {
+
+class Mapper {
+public:
+    virtual ~Mapper() = default;
+
+    /// Choose the processor for a task. `color` is the launch's piece index
+    /// (index-launch point), the primary affinity hint.
+    [[nodiscard]] virtual sim::ProcId select_processor(const TaskLaunch& launch,
+                                                       const sim::MachineDesc& machine) = 0;
+};
+
+/// Default mapper: piece colors round-robin over all processors of the
+/// requested kind, so piece c always lands on the same processor — the
+/// owner-computes convention the planner's canonical partitions assume.
+class RoundRobinMapper final : public Mapper {
+public:
+    [[nodiscard]] sim::ProcId select_processor(const TaskLaunch& launch,
+                                               const sim::MachineDesc& machine) override {
+        if (launch.proc_kind == sim::ProcKind::GPU && machine.gpus_per_node > 0) {
+            const int total = machine.total_gpus();
+            const int g = static_cast<int>(launch.color % total);
+            return {g / machine.gpus_per_node, sim::ProcKind::GPU, g % machine.gpus_per_node};
+        }
+        const int n = static_cast<int>(launch.color % machine.nodes);
+        return {n, sim::ProcKind::CPU, 0};
+    }
+};
+
+} // namespace kdr::rt

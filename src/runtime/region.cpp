@@ -1,0 +1,47 @@
+#include "runtime/region.hpp"
+
+namespace kdr::rt {
+
+FieldStorage::FieldStorage(std::string name, std::size_t elem_size, gidx count, bool materialize)
+    : name_(std::move(name)), elem_size_(elem_size), count_(count) {
+    KDR_REQUIRE(elem_size_ > 0, "field '", name_, "': zero element size");
+    KDR_REQUIRE(count >= 0, "field '", name_, "': negative element count");
+    if (materialize) {
+        data_.assign(static_cast<std::size_t>(count) * elem_size_, std::byte{0});
+    }
+    home.push_back({IntervalSet::full(count), 0});
+}
+
+FieldId Region::add_field(std::string field_name, std::size_t elem_size, bool materialize) {
+    fields_.push_back(std::make_unique<FieldStorage>(std::move(field_name), elem_size,
+                                                     space_.size(), materialize));
+    return static_cast<FieldId>(fields_.size() - 1);
+}
+
+FieldStorage& Region::field(FieldId f) {
+    KDR_REQUIRE(f < fields_.size(), "region '", name_, "': field ", f, " does not exist");
+    return *fields_[f];
+}
+
+const FieldStorage& Region::field(FieldId f) const {
+    KDR_REQUIRE(f < fields_.size(), "region '", name_, "': field ", f, " does not exist");
+    return *fields_[f];
+}
+
+std::uint64_t subset_key(const IntervalSet& s) {
+    // FNV-1a over interval boundaries.
+    std::uint64_t h = 1469598103934665603ULL;
+    auto mix = [&h](gidx v) {
+        for (int b = 0; b < 8; ++b) {
+            h ^= static_cast<std::uint64_t>(v >> (8 * b)) & 0xFFu;
+            h *= 1099511628211ULL;
+        }
+    };
+    s.for_each_interval([&](const Interval& iv) {
+        mix(iv.lo);
+        mix(iv.hi);
+    });
+    return h;
+}
+
+} // namespace kdr::rt

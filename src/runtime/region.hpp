@@ -1,0 +1,93 @@
+#pragma once
+
+/// \file region.hpp
+/// Logical regions: an index space crossed with named, typed fields. Fields
+/// are *materialized* (backed by host memory, kernels run for real) or
+/// *phantom* (metadata only — used by timing-mode benchmarks whose problem
+/// sizes exceed host memory; the virtual-time schedule is unaffected because
+/// costs derive from metadata).
+///
+/// Placement: each (region, field) carries a home map — a list of
+/// (subset, node) pieces — plus a version counter bumped on every write and a
+/// per-node cache of fetched pieces. The runtime consults these to insert
+/// transfer events for remote reads; read-only data (matrices) is fetched
+/// once and cached until written, while per-iteration vector writes
+/// invalidate caches and force fresh halo exchanges — matching the
+/// steady-state communication pattern of the paper's solvers.
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "geometry/index_space.hpp"
+#include "runtime/types.hpp"
+#include "support/error.hpp"
+
+namespace kdr::rt {
+
+/// One (subset → node) placement piece.
+struct HomePiece {
+    IntervalSet subset;
+    int node = 0;
+};
+
+class FieldStorage {
+public:
+    FieldStorage(std::string name, std::size_t elem_size, gidx count, bool materialize);
+
+    [[nodiscard]] const std::string& name() const noexcept { return name_; }
+    [[nodiscard]] std::size_t elem_size() const noexcept { return elem_size_; }
+    [[nodiscard]] bool materialized() const noexcept { return !data_.empty() || count_ == 0; }
+
+    template <typename T>
+    [[nodiscard]] std::span<T> as() {
+        KDR_REQUIRE(sizeof(T) == elem_size_, "field '", name_, "': element size mismatch (",
+                    sizeof(T), " vs ", elem_size_, ")");
+        KDR_REQUIRE(materialized(), "field '", name_,
+                    "' is phantom (timing-only); data access is unavailable");
+        return {reinterpret_cast<T*>(data_.data()), static_cast<std::size_t>(count_)};
+    }
+
+    // --- placement & coherence bookkeeping (used by the Runtime) ---
+    std::vector<HomePiece> home;            ///< defaults to everything on node 0
+    std::uint64_t version = 0;              ///< bumped on every write
+    /// Per destination node: subset-key → version at fetch time.
+    std::unordered_map<int, std::unordered_map<std::uint64_t, std::uint64_t>> cache;
+    /// When the written data becomes globally visible (incl. write-back).
+    double data_ready = 0.0;
+
+private:
+    std::string name_;
+    std::size_t elem_size_;
+    gidx count_;
+    std::vector<std::byte> data_;
+};
+
+class Region {
+public:
+    Region(RegionId id, IndexSpace space, std::string name)
+        : id_(id), space_(std::move(space)), name_(std::move(name)) {}
+
+    [[nodiscard]] RegionId id() const noexcept { return id_; }
+    [[nodiscard]] const IndexSpace& space() const noexcept { return space_; }
+    [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+    FieldId add_field(std::string field_name, std::size_t elem_size, bool materialize);
+    [[nodiscard]] FieldStorage& field(FieldId f);
+    [[nodiscard]] const FieldStorage& field(FieldId f) const;
+    [[nodiscard]] std::size_t field_count() const noexcept { return fields_.size(); }
+
+private:
+    RegionId id_;
+    IndexSpace space_;
+    std::string name_;
+    std::vector<std::unique_ptr<FieldStorage>> fields_;
+};
+
+/// Stable hash of an interval set, used as the piece-cache key.
+[[nodiscard]] std::uint64_t subset_key(const IntervalSet& s);
+
+} // namespace kdr::rt

@@ -1,0 +1,348 @@
+#include "runtime/runtime.hpp"
+
+#include <algorithm>
+
+namespace kdr::rt {
+
+Runtime::Runtime(sim::MachineDesc machine, Options options)
+    : options_(options), cluster_(machine), mapper_(std::make_unique<RoundRobinMapper>()) {}
+
+RegionId Runtime::create_region(IndexSpace space, std::string name) {
+    const RegionId id = regions_.size();
+    regions_.push_back(std::make_unique<Region>(id, std::move(space), std::move(name)));
+    return id;
+}
+
+Region& Runtime::region(RegionId r) {
+    KDR_REQUIRE(r < regions_.size(), "Runtime: region ", r, " does not exist");
+    return *regions_[r];
+}
+
+const Region& Runtime::region(RegionId r) const {
+    KDR_REQUIRE(r < regions_.size(), "Runtime: region ", r, " does not exist");
+    return *regions_[r];
+}
+
+void Runtime::set_home(RegionId r, FieldId f, std::vector<HomePiece> pieces) {
+    KDR_REQUIRE(!pieces.empty(), "set_home: empty placement");
+    for (const HomePiece& p : pieces) {
+        KDR_REQUIRE(p.node >= 0 && p.node < machine().nodes, "set_home: node ", p.node,
+                    " out of range");
+    }
+    region(r).field(f).home = std::move(pieces);
+}
+
+void Runtime::set_home_from_partition(RegionId r, FieldId f, const Partition& part,
+                                      const std::vector<int>& node_of_color) {
+    KDR_REQUIRE(static_cast<Color>(node_of_color.size()) == part.color_count(),
+                "set_home_from_partition: ", node_of_color.size(), " node assignments for ",
+                part.color_count(), " colors");
+    std::vector<HomePiece> pieces;
+    pieces.reserve(node_of_color.size());
+    for (Color c = 0; c < part.color_count(); ++c) {
+        pieces.push_back({part.piece(c), node_of_color[static_cast<std::size_t>(c)]});
+    }
+    set_home(r, f, std::move(pieces));
+}
+
+int Runtime::home_node(RegionId r, FieldId f, const IntervalSet& piece) const {
+    const FieldStorage& fs = region(r).field(f);
+    gidx best_overlap = -1;
+    int best_node = 0;
+    for (const HomePiece& h : fs.home) {
+        const gidx overlap = h.subset.set_intersection(piece).volume();
+        if (overlap > best_overlap) {
+            best_overlap = overlap;
+            best_node = h.node;
+        }
+    }
+    return best_node;
+}
+
+void Runtime::move_home(RegionId r, FieldId f, const IntervalSet& piece, int new_node) {
+    KDR_REQUIRE(new_node >= 0 && new_node < machine().nodes, "move_home: node out of range");
+    FieldStorage& fs = region(r).field(f);
+
+    // Find where the data currently lives and charge the migration transfer.
+    double ready = fs.data_ready;
+    const auto key = field_key(r, f);
+    if (auto it = field_states_.find(key); it != field_states_.end()) {
+        for (const Access& w : it->second.writers) {
+            if (w.subset.intersects(piece)) ready = std::max(ready, w.finish);
+        }
+    }
+    double arrival = ready;
+    std::vector<HomePiece> next;
+    for (const HomePiece& h : fs.home) {
+        const IntervalSet moved = h.subset.set_intersection(piece);
+        if (!moved.empty() && h.node != new_node) {
+            const double bytes = static_cast<double>(moved.volume()) *
+                                 static_cast<double>(fs.elem_size());
+            arrival = std::max(arrival, cluster_.transfer(h.node, new_node, ready, bytes));
+            transfer_bytes_ += bytes;
+            ++transfer_count_;
+        }
+        const IntervalSet kept = h.subset.set_difference(piece);
+        if (!kept.empty()) next.push_back({kept, h.node});
+    }
+    next.push_back({piece, new_node});
+    fs.home = std::move(next);
+
+    // Conservative: migration republishes the range — future readers wait for
+    // the arrival, and stale per-node piece caches of this field are dropped.
+    ++fs.version;
+    fs.cache.clear();
+    fs.data_ready = std::max(fs.data_ready, arrival);
+    if (auto it = field_states_.find(key); it != field_states_.end()) {
+        replace_or_append(it->second.writers, Access{task_counter_, arrival, piece});
+    } else {
+        field_states_[key].writers.push_back(Access{task_counter_, arrival, piece});
+    }
+}
+
+void Runtime::set_mapper(std::unique_ptr<Mapper> mapper) {
+    KDR_REQUIRE(mapper != nullptr, "set_mapper: null mapper");
+    mapper_ = std::move(mapper);
+}
+
+// ---------------------------------------------------------------- tracing
+
+namespace {
+std::uint64_t launch_signature(const TaskLaunch& l) {
+    std::uint64_t h = 1469598103934665603ULL;
+    auto mix = [&h](std::uint64_t v) {
+        h ^= v;
+        h *= 1099511628211ULL;
+    };
+    for (char c : l.name) mix(static_cast<std::uint64_t>(c));
+    mix(static_cast<std::uint64_t>(l.color));
+    mix(static_cast<std::uint64_t>(l.proc_kind));
+    for (const RegionReq& r : l.requirements) {
+        mix(r.region);
+        mix(r.field);
+        mix(static_cast<std::uint64_t>(r.privilege));
+        mix(subset_key(r.subset));
+    }
+    return h;
+}
+} // namespace
+
+void Runtime::begin_trace(std::uint64_t trace_id) {
+    KDR_REQUIRE(!trace_active_, "begin_trace: trace ", active_trace_, " already active");
+    trace_active_ = true;
+    active_trace_ = trace_id;
+    trace_cursor_ = 0;
+}
+
+void Runtime::end_trace() {
+    KDR_REQUIRE(trace_active_, "end_trace: no active trace");
+    TraceState& t = traces_[active_trace_];
+    if (!t.recorded) {
+        t.recorded = true;
+    } else {
+        KDR_REQUIRE(trace_cursor_ == t.signatures.size(), "end_trace: replay of trace ",
+                    active_trace_, " stopped after ", trace_cursor_, " of ",
+                    t.signatures.size(), " recorded launches");
+    }
+    trace_active_ = false;
+}
+
+bool Runtime::replaying() const noexcept {
+    if (!trace_active_) return false;
+    auto it = traces_.find(active_trace_);
+    return it != traces_.end() && it->second.recorded;
+}
+
+// ------------------------------------------------------------- dependence
+
+void Runtime::replace_or_append(std::vector<Access>& list, Access access) {
+    for (Access& a : list) {
+        if (a.redop == access.redop && a.subset == access.subset) {
+            // Same-subset accesses coalesce to bound list growth, but the
+            // recorded availability must cover BOTH: a newer access on an
+            // idle processor can finish earlier than an older one still
+            // queued elsewhere, and dropping the older finish would lose a
+            // WAR/WAW ordering edge.
+            a.task = access.task;
+            a.finish = std::max(a.finish, access.finish);
+            return;
+        }
+    }
+    list.push_back(std::move(access));
+}
+
+double Runtime::analyze_requirement(const RegionReq& req, TaskSeq /*seq*/) {
+    FieldState& st = field_states_[field_key(req.region, req.field)];
+    double dep = region(req.region).field(req.field).data_ready;
+    auto consider = [&](const std::vector<Access>& list) {
+        for (const Access& a : list) {
+            if (a.subset.intersects(req.subset)) dep = std::max(dep, a.finish);
+        }
+    };
+    switch (req.privilege) {
+        case Privilege::ReadOnly:
+            consider(st.writers);
+            consider(st.reducers);
+            break;
+        case Privilege::WriteOnly:
+        case Privilege::ReadWrite:
+            consider(st.writers);
+            consider(st.readers);
+            consider(st.reducers);
+            break;
+        case Privilege::Reduce:
+            consider(st.writers);
+            consider(st.readers);
+            for (const Access& a : st.reducers) {
+                if (a.redop != req.redop && a.subset.intersects(req.subset))
+                    dep = std::max(dep, a.finish);
+            }
+            break;
+    }
+    return dep;
+}
+
+void Runtime::commit_requirement(const RegionReq& req, TaskSeq seq, double finish) {
+    FieldState& st = field_states_[field_key(req.region, req.field)];
+    FieldStorage& fs = region(req.region).field(req.field);
+    auto drop_covered = [&](std::vector<Access>& list) {
+        std::erase_if(list,
+                      [&](const Access& a) { return req.subset.contains_all(a.subset); });
+    };
+    switch (req.privilege) {
+        case Privilege::ReadOnly:
+            replace_or_append(st.readers, Access{seq, finish, req.subset});
+            break;
+        case Privilege::WriteOnly:
+        case Privilege::ReadWrite:
+            drop_covered(st.writers);
+            drop_covered(st.readers);
+            drop_covered(st.reducers);
+            st.writers.push_back(Access{seq, finish, req.subset});
+            ++fs.version;
+            break;
+        case Privilege::Reduce:
+            replace_or_append(st.reducers, Access{seq, finish, req.subset, req.redop});
+            ++fs.version;
+            break;
+    }
+}
+
+// ---------------------------------------------------------- data movement
+
+double Runtime::issue_read_transfers(const RegionReq& req, int dst_node, double ready) {
+    FieldStorage& fs = region(req.region).field(req.field);
+    double arrival = ready;
+    for (const HomePiece& h : fs.home) {
+        if (h.node == dst_node) continue;
+        const IntervalSet part = req.subset.set_intersection(h.subset);
+        if (part.empty()) continue;
+        auto& node_cache = fs.cache[dst_node];
+        const std::uint64_t key = subset_key(part);
+        if (auto it = node_cache.find(key); it != node_cache.end() && it->second == fs.version) {
+            continue; // cached copy still valid
+        }
+        const double bytes =
+            static_cast<double>(part.volume()) * static_cast<double>(fs.elem_size());
+        arrival = std::max(arrival, cluster_.transfer(h.node, dst_node, ready, bytes));
+        transfer_bytes_ += bytes;
+        ++transfer_count_;
+        node_cache[key] = fs.version;
+    }
+    return arrival;
+}
+
+double Runtime::issue_write_backs(const RegionReq& req, int src_node, double finish) {
+    FieldStorage& fs = region(req.region).field(req.field);
+    double arrival = finish;
+    for (const HomePiece& h : fs.home) {
+        if (h.node == src_node) continue;
+        const IntervalSet part = req.subset.set_intersection(h.subset);
+        if (part.empty()) continue;
+        const double bytes =
+            static_cast<double>(part.volume()) * static_cast<double>(fs.elem_size());
+        arrival = std::max(arrival, cluster_.transfer(src_node, h.node, finish, bytes));
+        transfer_bytes_ += bytes;
+        ++transfer_count_;
+    }
+    return arrival;
+}
+
+// ------------------------------------------------------------- launching
+
+FutureScalar Runtime::launch(TaskLaunch launch) {
+    const TaskSeq seq = ++task_counter_;
+
+    // Tracing: validate / record the launch signature and pick the overhead.
+    double overhead = machine().task_launch_overhead;
+    if (trace_active_) {
+        TraceState& t = traces_[active_trace_];
+        const std::uint64_t sig = launch_signature(launch);
+        if (!t.recorded) {
+            t.signatures.push_back(sig);
+        } else {
+            KDR_REQUIRE(trace_cursor_ < t.signatures.size(),
+                        "trace replay: more launches than recorded (task '", launch.name, "')");
+            KDR_REQUIRE(t.signatures[trace_cursor_] == sig,
+                        "trace replay: launch sequence diverged at task '", launch.name, "'");
+            ++trace_cursor_;
+            overhead = machine().traced_launch_overhead;
+        }
+    }
+
+    const sim::ProcId proc = mapper_->select_processor(launch, machine());
+
+    // Dependence analysis runs through the target node's runtime pipeline
+    // (utility processors). It serializes per node but runs *ahead of*
+    // execution, so it is hidden whenever compute per iteration exceeds
+    // analysis per iteration — and becomes the floor on tiny problems.
+    const double analysis_done = cluster_.analyze(proc.node, overhead);
+
+    // Region dependences + input transfers (transfers are issued by the
+    // analysis stage, so they start no earlier than it completes).
+    double ready = analysis_done;
+    for (double t : launch.scalar_deps) ready = std::max(ready, t);
+    for (const RegionReq& req : launch.requirements) {
+        const double dep = analyze_requirement(req, seq);
+        ready = std::max(ready, dep);
+        if (reads(req.privilege) || req.privilege == Privilege::Reduce) {
+            ready = std::max(ready,
+                             issue_read_transfers(req, proc.node, std::max(dep, analysis_done)));
+        }
+    }
+
+    // Schedule the task.
+    const double finish = cluster_.exec(proc, ready, launch.cost, 0.0);
+
+    // Functional execution.
+    std::optional<double> scalar;
+    if (options_.materialize && launch.body) {
+        TaskContext ctx(*this, launch);
+        launch.body(ctx);
+        scalar = ctx.scalar();
+    }
+
+    // Write-backs and access-list updates.
+    for (const RegionReq& req : launch.requirements) {
+        double effective = finish;
+        if (writes(req.privilege) || req.privilege == Privilege::Reduce) {
+            effective = issue_write_backs(req, proc.node, finish);
+        }
+        commit_requirement(req, seq, effective);
+    }
+
+    if (options_.profiling) {
+        const double duration = cluster_.duration_of(proc, launch.cost);
+        profiles_.push_back({launch.name, proc, finish - duration, finish, launch.color});
+    }
+
+    return {scalar.value_or(0.0), finish};
+}
+
+std::vector<TaskProfile> Runtime::take_profiles() {
+    std::vector<TaskProfile> out;
+    out.swap(profiles_);
+    return out;
+}
+
+} // namespace kdr::rt

@@ -1,0 +1,190 @@
+#pragma once
+
+/// \file runtime.hpp
+/// The task runtime: Legion-flavored semantics on the simulated cluster.
+///
+/// Programming model (mirrors what LegionSolvers uses from Legion, paper §5):
+///  * applications create logical regions with typed fields;
+///  * work is expressed as tasks carrying region requirements
+///    (region, field, subset, privilege) and a roofline cost;
+///  * the runtime derives task dependences from requirement conflicts,
+///    inserts transfer events for remote reads, and schedules each task on
+///    the processor a pluggable Mapper selects;
+///  * `begin_trace`/`end_trace` memoize a repeated launch sequence, replaying
+///    it with reduced per-task overhead (Legion's dynamic tracing [Lee 2018]).
+///
+/// Execution is *eager-functional, lazy-temporal*: task bodies run for real
+/// at submission (program order is always a valid serialization of the task
+/// DAG), while start/finish times are computed against per-resource virtual
+/// timelines. Futures therefore carry both a value and a ready time.
+
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "partition/partition.hpp"
+#include "runtime/mapper.hpp"
+#include "runtime/region.hpp"
+#include "runtime/types.hpp"
+#include "simcluster/cluster.hpp"
+
+namespace kdr::rt {
+
+class Runtime;
+
+/// Handed to task bodies: typed access to region fields plus scalar results.
+class TaskContext {
+public:
+    TaskContext(Runtime& rt, const TaskLaunch& launch) : rt_(rt), launch_(launch) {}
+
+    /// Whole-field span; the task is expected to touch only its requirement
+    /// subsets (kernels take the subset explicitly).
+    template <typename T>
+    [[nodiscard]] std::span<T> field(RegionId r, FieldId f);
+
+    /// Publish this task's scalar result (dot products, norms).
+    void set_scalar(double v) noexcept { scalar_ = v; }
+    [[nodiscard]] std::optional<double> scalar() const noexcept { return scalar_; }
+
+    [[nodiscard]] const TaskLaunch& launch() const noexcept { return launch_; }
+
+private:
+    Runtime& rt_;
+    const TaskLaunch& launch_;
+    std::optional<double> scalar_;
+};
+
+struct RuntimeOptions {
+    bool materialize = true; ///< false = phantom fields, timing-only
+    bool profiling = false;  ///< record per-task virtual-time profiles
+};
+
+class Runtime {
+public:
+    using Options = RuntimeOptions;
+
+    explicit Runtime(sim::MachineDesc machine, Options options = {});
+
+    // ------------------------------------------------------------ regions
+    RegionId create_region(IndexSpace space, std::string name);
+    [[nodiscard]] Region& region(RegionId r);
+    [[nodiscard]] const Region& region(RegionId r) const;
+
+    template <typename T>
+    FieldId add_field(RegionId r, std::string name) {
+        return region(r).add_field(std::move(name), sizeof(T), options_.materialize);
+    }
+
+    /// Direct host access for problem setup and result inspection
+    /// (functional mode only).
+    template <typename T>
+    [[nodiscard]] std::span<T> field_data(RegionId r, FieldId f) {
+        return region(r).field(f).as<T>();
+    }
+
+    // ---------------------------------------------------------- placement
+    /// Replace the home map of (region, field).
+    void set_home(RegionId r, FieldId f, std::vector<HomePiece> pieces);
+
+    /// Home map from a partition and a color → node assignment.
+    void set_home_from_partition(RegionId r, FieldId f, const Partition& part,
+                                 const std::vector<int>& node_of_color);
+
+    /// Migrate one piece to a new node (dynamic load balancing). Charges the
+    /// transfer and conservatively invalidates caches of the moved range.
+    void move_home(RegionId r, FieldId f, const IntervalSet& piece, int new_node);
+
+    /// Node currently homing the majority of `piece` (diagnostics).
+    [[nodiscard]] int home_node(RegionId r, FieldId f, const IntervalSet& piece) const;
+
+    // ------------------------------------------------------------- mapper
+    void set_mapper(std::unique_ptr<Mapper> mapper);
+    [[nodiscard]] Mapper& mapper() noexcept { return *mapper_; }
+
+    // ------------------------------------------------------------ tracing
+    /// Begin a (possibly previously recorded) trace. Launches inside a
+    /// replayed trace are charged the traced launch overhead.
+    void begin_trace(std::uint64_t trace_id);
+    void end_trace();
+    [[nodiscard]] bool replaying() const noexcept;
+
+    // ---------------------------------------------------------- launching
+    FutureScalar launch(TaskLaunch launch);
+
+    /// Virtual time at which all submitted work completes.
+    [[nodiscard]] double current_time() const { return cluster_.horizon(); }
+
+    // -------------------------------------------------------- inspection
+    [[nodiscard]] sim::SimCluster& cluster() noexcept { return cluster_; }
+    [[nodiscard]] const sim::MachineDesc& machine() const noexcept {
+        return cluster_.machine();
+    }
+    [[nodiscard]] bool functional() const noexcept { return options_.materialize; }
+    [[nodiscard]] std::uint64_t tasks_launched() const noexcept { return task_counter_; }
+    [[nodiscard]] double transfer_bytes() const noexcept { return transfer_bytes_; }
+    [[nodiscard]] std::uint64_t transfer_count() const noexcept { return transfer_count_; }
+
+    void set_profiling(bool on) { options_.profiling = on; }
+    [[nodiscard]] std::vector<TaskProfile> take_profiles();
+
+private:
+    struct Access {
+        TaskSeq task = 0;
+        double finish = 0.0;
+        IntervalSet subset;
+        ReductionOp redop = kNoReduction;
+    };
+    struct FieldState {
+        std::vector<Access> writers;
+        std::vector<Access> readers;
+        std::vector<Access> reducers;
+    };
+
+    [[nodiscard]] static std::uint64_t field_key(RegionId r, FieldId f) {
+        return (r << 16) | f;
+    }
+
+    /// Dependence time of a requirement and update of the access lists.
+    double analyze_requirement(const RegionReq& req, TaskSeq seq);
+    void commit_requirement(const RegionReq& req, TaskSeq seq, double finish);
+
+    /// Transfers needed to satisfy a read; returns latest arrival.
+    double issue_read_transfers(const RegionReq& req, int dst_node, double ready);
+
+    /// Write-backs for writes landing off-home; returns latest arrival.
+    double issue_write_backs(const RegionReq& req, int src_node, double finish);
+
+    static void replace_or_append(std::vector<Access>& list, Access access);
+
+    Options options_;
+    sim::SimCluster cluster_;
+    std::unique_ptr<Mapper> mapper_;
+
+    std::vector<std::unique_ptr<Region>> regions_;
+    std::unordered_map<std::uint64_t, FieldState> field_states_;
+
+    TaskSeq task_counter_ = 0;
+    double transfer_bytes_ = 0.0;
+    std::uint64_t transfer_count_ = 0;
+    std::vector<TaskProfile> profiles_;
+
+    // Tracing.
+    struct TraceState {
+        std::vector<std::uint64_t> signatures;
+        bool recorded = false;
+    };
+    std::unordered_map<std::uint64_t, TraceState> traces_;
+    std::uint64_t active_trace_ = 0;
+    bool trace_active_ = false;
+    std::size_t trace_cursor_ = 0;
+};
+
+template <typename T>
+std::span<T> TaskContext::field(RegionId r, FieldId f) {
+    return rt_.field_data<T>(r, f);
+}
+
+} // namespace kdr::rt

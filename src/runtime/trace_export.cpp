@@ -1,0 +1,69 @@
+#include "runtime/trace_export.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace kdr::rt {
+
+namespace {
+
+std::string escape_json(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\n': out += "\\n"; break;
+            case '\t': out += "\\t"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                    out += buf;
+                } else {
+                    out += c;
+                }
+        }
+    }
+    return out;
+}
+
+/// Stable small integer per processor: pid = node, tid = proc within node.
+int tid_of(const sim::ProcId& p) {
+    return p.kind == sim::ProcKind::CPU ? 0 : 1 + p.index;
+}
+
+const char* tname_of(const sim::ProcId& p) {
+    return p.kind == sim::ProcKind::CPU ? "cpu" : "gpu";
+}
+
+} // namespace
+
+std::string to_chrome_trace(const std::vector<TaskProfile>& profiles) {
+    std::ostringstream os;
+    os << "{\"traceEvents\":[";
+    bool first = true;
+    for (const TaskProfile& p : profiles) {
+        if (!first) os << ",";
+        first = false;
+        os << "{\"name\":\"" << escape_json(p.name) << "\",\"cat\":\"task\",\"ph\":\"X\""
+           << ",\"ts\":" << p.start * 1e6 << ",\"dur\":" << (p.finish - p.start) * 1e6
+           << ",\"pid\":" << p.proc.node << ",\"tid\":" << tid_of(p.proc)
+           << ",\"args\":{\"color\":" << p.color << ",\"proc\":\"" << tname_of(p.proc)
+           << p.proc.index << "\"}}";
+    }
+    os << "],\"displayTimeUnit\":\"ms\"}";
+    return os.str();
+}
+
+void write_chrome_trace(const std::string& path, const std::vector<TaskProfile>& profiles) {
+    std::ofstream out(path);
+    KDR_REQUIRE(out.good(), "write_chrome_trace: cannot open '", path, "'");
+    out << to_chrome_trace(profiles);
+    KDR_REQUIRE(out.good(), "write_chrome_trace: write to '", path, "' failed");
+}
+
+} // namespace kdr::rt

@@ -1,0 +1,23 @@
+#pragma once
+
+/// \file trace_export.hpp
+/// Export task profiles as a Chrome-trace (chrome://tracing, Perfetto) JSON
+/// timeline: one row per simulated processor, one slice per task, virtual
+/// microseconds on the time axis. The fastest way to *see* the schedules the
+/// runtime produces — overlap, pipeline stalls, load imbalance.
+
+#include <string>
+#include <vector>
+
+#include "runtime/types.hpp"
+
+namespace kdr::rt {
+
+/// Render profiles as a Chrome-trace JSON string ("traceEvents" array of
+/// complete events). Times are converted from virtual seconds to µs.
+[[nodiscard]] std::string to_chrome_trace(const std::vector<TaskProfile>& profiles);
+
+/// Write the trace to a file (throws kdr::Error on I/O failure).
+void write_chrome_trace(const std::string& path, const std::vector<TaskProfile>& profiles);
+
+} // namespace kdr::rt

@@ -1,0 +1,90 @@
+#pragma once
+
+/// \file types.hpp
+/// Core vocabulary of the task runtime: region/field/task identifiers,
+/// privileges, region requirements, and scalar futures.
+///
+/// The runtime reproduces the semantics LegionSolvers relies on from Legion
+/// (paper §5): tasks name the data they touch via *region requirements*
+/// (region, field, subset, privilege); the runtime derives dependences,
+/// inserts data movement, and schedules tasks onto the simulated machine in
+/// virtual time. Numerics execute for real ("functional mode") unless a
+/// region is phantom (timing-only benchmarks at scales the host cannot hold).
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "geometry/interval_set.hpp"
+#include "partition/partition.hpp" // Color
+#include "simcluster/machine.hpp"
+
+namespace kdr::rt {
+
+using RegionId = std::uint64_t;
+using FieldId = std::uint32_t;
+using TaskSeq = std::uint64_t; ///< submission-order task number
+
+/// Access privilege of a region requirement (Legion's coherence model).
+enum class Privilege : std::uint8_t {
+    ReadOnly,
+    WriteOnly,
+    ReadWrite,
+    Reduce, ///< commutative reduction; same-op reductions run concurrently
+};
+
+[[nodiscard]] constexpr bool reads(Privilege p) {
+    return p == Privilege::ReadOnly || p == Privilege::ReadWrite;
+}
+[[nodiscard]] constexpr bool writes(Privilege p) {
+    return p == Privilege::WriteOnly || p == Privilege::ReadWrite;
+}
+
+/// Reduction operator id (0 = none). Only sum is used by the solvers, but
+/// the dependence rules treat any distinct ids as conflicting.
+using ReductionOp = std::uint32_t;
+inline constexpr ReductionOp kNoReduction = 0;
+inline constexpr ReductionOp kSumReduction = 1;
+
+struct RegionReq {
+    RegionId region = 0;
+    FieldId field = 0;
+    Privilege privilege = Privilege::ReadOnly;
+    IntervalSet subset;
+    ReductionOp redop = kNoReduction;
+};
+
+/// A scalar future: the value is available immediately in functional mode
+/// (program order is a valid serialization), the *ready time* is when the
+/// producing task completes in virtual time. Downstream tasks that consume
+/// the scalar list it as a dependence.
+struct FutureScalar {
+    double value = 0.0;
+    double ready_time = 0.0;
+};
+
+class TaskContext;
+
+/// One task launch. `body` runs synchronously at submission in functional
+/// mode; `cost` feeds the roofline model for the virtual-time schedule.
+struct TaskLaunch {
+    std::string name;
+    std::function<void(TaskContext&)> body; ///< may be empty (pure cost model)
+    std::vector<RegionReq> requirements;
+    sim::TaskCost cost;
+    sim::ProcKind proc_kind = sim::ProcKind::GPU;
+    Color color = 0;                 ///< mapper hint: which piece this is
+    std::vector<double> scalar_deps; ///< ready times of consumed futures
+};
+
+/// Completed-task profile record (virtual times).
+struct TaskProfile {
+    std::string name;
+    sim::ProcId proc;
+    double start = 0.0;
+    double finish = 0.0;
+    Color color = 0;
+};
+
+} // namespace kdr::rt

@@ -1,0 +1,129 @@
+#include "simcluster/cluster.hpp"
+
+#include <algorithm>
+
+namespace kdr::sim {
+
+SimCluster::SimCluster(MachineDesc desc) : desc_(desc) {
+    desc_.validate();
+    const std::size_t procs_per_node = 1 + static_cast<std::size_t>(desc_.gpus_per_node);
+    procs_.resize(static_cast<std::size_t>(desc_.nodes) * procs_per_node);
+    nic_send_.resize(static_cast<std::size_t>(desc_.nodes));
+    nic_recv_.resize(static_cast<std::size_t>(desc_.nodes));
+    util_.resize(static_cast<std::size_t>(desc_.nodes));
+    cpu_occupied_.assign(static_cast<std::size_t>(desc_.nodes), 0);
+}
+
+std::size_t SimCluster::proc_slot(ProcId p) const {
+    KDR_REQUIRE(p.node >= 0 && p.node < desc_.nodes, "SimCluster: node ", p.node,
+                " out of range");
+    const std::size_t procs_per_node = 1 + static_cast<std::size_t>(desc_.gpus_per_node);
+    if (p.kind == ProcKind::CPU) {
+        KDR_REQUIRE(p.index == 0, "SimCluster: CPU processors are aggregated per node");
+        return static_cast<std::size_t>(p.node) * procs_per_node;
+    }
+    KDR_REQUIRE(p.index >= 0 && p.index < desc_.gpus_per_node, "SimCluster: gpu index ",
+                p.index, " out of range");
+    return static_cast<std::size_t>(p.node) * procs_per_node + 1 +
+           static_cast<std::size_t>(p.index);
+}
+
+double SimCluster::duration_of(ProcId p, const TaskCost& cost) const {
+    if (p.kind == ProcKind::GPU) {
+        return std::max(cost.flops / desc_.gpu_flops, cost.bytes / desc_.gpu_mem_bw) +
+               desc_.gpu_launch_overhead;
+    }
+    const int total = desc_.cpu_cores_per_node;
+    const int free_cores =
+        std::max(1, total - cpu_occupied_[static_cast<std::size_t>(p.node)]);
+    const double frac = static_cast<double>(free_cores);
+    return std::max(cost.flops / (desc_.cpu_core_flops * frac),
+                    cost.bytes / (desc_.cpu_core_mem_bw * frac));
+}
+
+double SimCluster::exec(ProcId p, double ready, const TaskCost& cost, double launch_overhead) {
+    return exec_duration(p, ready, duration_of(p, cost) + launch_overhead);
+}
+
+double SimCluster::exec_duration(ProcId p, double ready, double duration) {
+    KDR_REQUIRE(duration >= 0.0, "SimCluster: negative task duration");
+    Timeline& t = procs_[proc_slot(p)];
+    const double start = std::max(ready, t.free_at);
+    t.free_at = start + duration;
+    t.busy += duration;
+    return t.free_at;
+}
+
+double SimCluster::transfer(int src_node, int dst_node, double ready, double bytes) {
+    KDR_REQUIRE(src_node >= 0 && src_node < desc_.nodes && dst_node >= 0 &&
+                    dst_node < desc_.nodes,
+                "SimCluster: transfer endpoint out of range");
+    KDR_REQUIRE(bytes >= 0.0, "SimCluster: negative transfer size");
+    if (src_node == dst_node) {
+        // Intra-node staging copy; no NIC involvement, no serialization
+        // against other copies (DMA engines).
+        return ready + bytes / desc_.intra_node_bandwidth;
+    }
+    Timeline& snd = nic_send_[static_cast<std::size_t>(src_node)];
+    Timeline& rcv = nic_recv_[static_cast<std::size_t>(dst_node)];
+    const double wire = bytes / desc_.nic_bandwidth;
+    // Send and receive directions occupy their queues independently (full-
+    // duplex links with switch buffering): the sender streams as soon as its
+    // send direction is free; delivery additionally waits for the receive
+    // direction. Seizing both queues for a common interval would create
+    // artificial convoys across chains of neighbor exchanges.
+    const double send_start = std::max(ready, snd.free_at);
+    snd.free_at = send_start + wire;
+    snd.busy += wire;
+    const double recv_start = std::max(send_start, rcv.free_at);
+    rcv.free_at = recv_start + wire;
+    rcv.busy += wire;
+    const double arrival = recv_start + wire + desc_.nic_latency;
+    last_arrival_ = std::max(last_arrival_, arrival);
+    return arrival;
+}
+
+double SimCluster::analyze(int node, double cost) {
+    KDR_REQUIRE(node >= 0 && node < desc_.nodes, "SimCluster: node out of range");
+    KDR_REQUIRE(cost >= 0.0, "SimCluster: negative analysis cost");
+    Timeline& u = util_[static_cast<std::size_t>(node)];
+    u.free_at += cost;
+    u.busy += cost;
+    return u.free_at;
+}
+
+double SimCluster::proc_free_at(ProcId p) const { return procs_[proc_slot(p)].free_at; }
+
+double SimCluster::horizon() const {
+    double h = last_arrival_;
+    for (const Timeline& t : procs_) h = std::max(h, t.free_at);
+    for (const Timeline& t : nic_send_) h = std::max(h, t.free_at);
+    for (const Timeline& t : nic_recv_) h = std::max(h, t.free_at);
+    return h;
+}
+
+double SimCluster::proc_busy(ProcId p) const { return procs_[proc_slot(p)].busy; }
+
+void SimCluster::set_cpu_occupancy(int node, int occupied_cores) {
+    KDR_REQUIRE(node >= 0 && node < desc_.nodes, "SimCluster: node out of range");
+    KDR_REQUIRE(occupied_cores >= 0 && occupied_cores <= desc_.cpu_cores_per_node,
+                "SimCluster: occupancy ", occupied_cores, " out of [0,",
+                desc_.cpu_cores_per_node, "]");
+    cpu_occupied_[static_cast<std::size_t>(node)] = occupied_cores;
+}
+
+int SimCluster::cpu_occupancy(int node) const {
+    KDR_REQUIRE(node >= 0 && node < desc_.nodes, "SimCluster: node out of range");
+    return cpu_occupied_[static_cast<std::size_t>(node)];
+}
+
+void SimCluster::reset() {
+    for (Timeline& t : procs_) t = {};
+    for (Timeline& t : nic_send_) t = {};
+    for (Timeline& t : nic_recv_) t = {};
+    for (Timeline& t : util_) t = {};
+    std::fill(cpu_occupied_.begin(), cpu_occupied_.end(), 0);
+    last_arrival_ = 0.0;
+}
+
+} // namespace kdr::sim

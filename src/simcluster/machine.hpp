@@ -1,0 +1,123 @@
+#pragma once
+
+/// \file machine.hpp
+/// Description of the simulated machine. The reproduction targets a
+/// Lassen-class system (paper §6: POWER9 + 4×V100 per node, InfiniBand EDR);
+/// `MachineDesc::lassen()` encodes published hardware figures — *not* values
+/// tuned to the paper's curves (see DESIGN.md "Calibration constants").
+///
+/// Throughput numbers are bytes/s and flop/s; times are seconds.
+
+#include <cstdint>
+#include <string>
+
+#include "geometry/point.hpp"
+#include "support/error.hpp"
+
+namespace kdr::sim {
+
+enum class ProcKind : std::uint8_t {
+    CPU, ///< one node's CPU cores, aggregated (rate scales with free cores)
+    GPU, ///< one GPU
+};
+
+/// Identifies a processor in the simulated machine.
+struct ProcId {
+    int node = 0;
+    ProcKind kind = ProcKind::GPU;
+    int index = 0; ///< GPU index within node; 0 for the aggregated CPU
+
+    friend constexpr bool operator==(const ProcId& a, const ProcId& b) {
+        return a.node == b.node && a.kind == b.kind && a.index == b.index;
+    }
+};
+
+struct MachineDesc {
+    int nodes = 1;
+    int gpus_per_node = 4;
+    int cpu_cores_per_node = 40;
+
+    // Per-GPU rates (fp64).
+    double gpu_flops = 7.0e12;    ///< V100 fp64 peak
+    double gpu_mem_bw = 9.0e11;   ///< V100 HBM2 ~900 GB/s
+    double gpu_launch_overhead = 5.0e-6;
+
+    // Per-CPU-core rates.
+    double cpu_core_flops = 1.0e10;
+    double cpu_core_mem_bw = 4.25e9; ///< ~170 GB/s node aggregate over 40 cores
+
+    // Network (per node, per direction).
+    double nic_latency = 1.5e-6;     ///< InfiniBand EDR one-way
+    double nic_bandwidth = 1.25e10;  ///< 100 Gb/s
+    double intra_node_bandwidth = 5.0e10; ///< NVLink2/PCIe staging
+
+    // Task-oriented runtime costs (Legion-like).
+    double task_launch_overhead = 8.0e-6;   ///< dynamic dependence analysis + dispatch
+    double traced_launch_overhead = 1.5e-6; ///< replayed from a memoized trace
+
+    // Bulk-synchronous runtime costs (MPI-like).
+    double collective_hop_latency = 2.0e-6; ///< per tree level of barrier/allreduce
+
+    [[nodiscard]] int total_gpus() const { return nodes * gpus_per_node; }
+
+    /// Lassen-like preset at a given node count.
+    static MachineDesc lassen(int node_count) {
+        KDR_REQUIRE(node_count > 0, "MachineDesc: need at least one node");
+        MachineDesc m;
+        m.nodes = node_count;
+        return m;
+    }
+
+    void validate() const {
+        KDR_REQUIRE(nodes > 0 && gpus_per_node >= 0 && cpu_cores_per_node > 0,
+                    "MachineDesc: bad shape");
+        KDR_REQUIRE(gpu_flops > 0 && gpu_mem_bw > 0 && cpu_core_flops > 0 &&
+                        cpu_core_mem_bw > 0 && nic_bandwidth > 0,
+                    "MachineDesc: nonpositive rates");
+    }
+};
+
+/// Cost of one task in machine-independent units; the cluster converts it to
+/// seconds with a roofline: time = max(flops/rate, bytes/bandwidth).
+struct TaskCost {
+    double flops = 0.0;
+    double bytes = 0.0;
+
+    friend constexpr TaskCost operator+(TaskCost a, const TaskCost& b) {
+        return {a.flops + b.flops, a.bytes + b.bytes};
+    }
+};
+
+/// Roofline costs of the KSM building-block kernels. Byte counts assume
+/// double entries and 64-bit indices, counting each operand stream once.
+struct KernelCosts {
+    /// y += A x for a CSR-like piece with `nnz` stored entries and `rows` rows.
+    static TaskCost spmv(gidx nnz, gidx rows) {
+        const double n = static_cast<double>(nnz);
+        const double r = static_cast<double>(rows);
+        // entries + column indices + gathered x + rowptr + y read/write.
+        return {2.0 * n, n * (8.0 + 8.0 + 8.0) + r * (8.0 + 16.0)};
+    }
+    /// dst = a*src + dst over n elements.
+    static TaskCost axpy(gidx n) {
+        const double d = static_cast<double>(n);
+        return {2.0 * d, 24.0 * d};
+    }
+    /// partial dot product over n elements.
+    static TaskCost dot(gidx n) {
+        const double d = static_cast<double>(n);
+        return {2.0 * d, 16.0 * d};
+    }
+    /// dst = src over n elements.
+    static TaskCost copy(gidx n) {
+        const double d = static_cast<double>(n);
+        return {0.0, 16.0 * d};
+    }
+    /// dst = a*dst over n elements.
+    static TaskCost scal(gidx n) {
+        const double d = static_cast<double>(n);
+        return {static_cast<double>(n), 16.0 * d};
+    }
+};
+
+} // namespace kdr::sim

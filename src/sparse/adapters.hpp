@@ -1,0 +1,225 @@
+#pragma once
+
+/// \file adapters.hpp
+/// Operator adapters — lazy views that present an existing LinearOperator
+/// under a transformation without copying its data. They compose naturally
+/// in the KDR framework because a view only has to describe how its
+/// *relations* derive from the base operator's:
+///
+///   TransposeOperator  — swaps the row and column relations (K unchanged);
+///   ScaledOperator     — relations unchanged, entries scaled by α;
+///   ShiftedOperator    — A + σI over a widened kernel space K ⊔ D.
+///
+/// All three are full LinearOperators: they feed solvers, planners, and the
+/// universal co-partitioning operators like any stored format.
+
+#include <memory>
+
+#include "sparse/linear_operator.hpp"
+#include "sparse/relations.hpp"
+
+namespace kdr {
+
+/// Aᵀ as a zero-copy view: domain/range swap, row/col relations swap,
+/// multiply dispatches to the base's transpose kernels.
+template <typename T>
+class TransposeOperator final : public LinearOperator<T> {
+public:
+    explicit TransposeOperator(std::shared_ptr<const LinearOperator<T>> base)
+        : base_(std::move(base)) {
+        KDR_REQUIRE(base_ != nullptr, "TransposeOperator: null base");
+    }
+
+    [[nodiscard]] const IndexSpace& domain() const override { return base_->range(); }
+    [[nodiscard]] const IndexSpace& range() const override { return base_->domain(); }
+    [[nodiscard]] const IndexSpace& kernel() const override { return base_->kernel(); }
+
+    [[nodiscard]] std::shared_ptr<const Relation> col_relation() const override {
+        return base_->row_relation();
+    }
+    [[nodiscard]] std::shared_ptr<const Relation> row_relation() const override {
+        return base_->col_relation();
+    }
+
+    [[nodiscard]] const char* format_name() const override { return "transpose-view"; }
+
+    void multiply_add_piece(const IntervalSet& piece, std::span<const T> x,
+                            std::span<T> y) const override {
+        base_->multiply_add_transpose_piece(piece, x, y);
+    }
+    void multiply_add_transpose_piece(const IntervalSet& piece, std::span<const T> x,
+                                      std::span<T> y) const override {
+        base_->multiply_add_piece(piece, x, y);
+    }
+
+    [[nodiscard]] std::vector<Triplet<T>> to_triplets() const override {
+        auto ts = base_->to_triplets();
+        for (auto& t : ts) std::swap(t.row, t.col);
+        return ts;
+    }
+
+    [[nodiscard]] const LinearOperator<T>& base() const { return *base_; }
+
+private:
+    std::shared_ptr<const LinearOperator<T>> base_;
+};
+
+/// α·A as a zero-copy view.
+template <typename T>
+class ScaledOperator final : public LinearOperator<T> {
+public:
+    ScaledOperator(std::shared_ptr<const LinearOperator<T>> base, T alpha)
+        : base_(std::move(base)), alpha_(alpha) {
+        KDR_REQUIRE(base_ != nullptr, "ScaledOperator: null base");
+    }
+
+    [[nodiscard]] const IndexSpace& domain() const override { return base_->domain(); }
+    [[nodiscard]] const IndexSpace& range() const override { return base_->range(); }
+    [[nodiscard]] const IndexSpace& kernel() const override { return base_->kernel(); }
+
+    [[nodiscard]] std::shared_ptr<const Relation> col_relation() const override {
+        return base_->col_relation();
+    }
+    [[nodiscard]] std::shared_ptr<const Relation> row_relation() const override {
+        return base_->row_relation();
+    }
+
+    [[nodiscard]] const char* format_name() const override { return "scaled-view"; }
+
+    void multiply_add_piece(const IntervalSet& piece, std::span<const T> x,
+                            std::span<T> y) const override {
+        // y += α (A x) over the piece: scale through a staging pass on the
+        // affected rows. The affected rows are the piece's row image.
+        scaled_apply(piece, x, y, /*transpose=*/false);
+    }
+    void multiply_add_transpose_piece(const IntervalSet& piece, std::span<const T> x,
+                                      std::span<T> y) const override {
+        scaled_apply(piece, x, y, /*transpose=*/true);
+    }
+
+    [[nodiscard]] std::vector<Triplet<T>> to_triplets() const override {
+        auto ts = base_->to_triplets();
+        for (auto& t : ts) t.value *= alpha_;
+        return ts;
+    }
+
+    [[nodiscard]] T alpha() const { return alpha_; }
+
+private:
+    void scaled_apply(const IntervalSet& piece, std::span<const T> x, std::span<T> y,
+                      bool transpose) const {
+        const IntervalSet rows = transpose ? base_->col_relation()->image_of(piece)
+                                           : base_->row_relation()->image_of(piece);
+        std::vector<T> staging(y.size(), T{});
+        if (transpose) {
+            base_->multiply_add_transpose_piece(piece, x, staging);
+        } else {
+            base_->multiply_add_piece(piece, x, staging);
+        }
+        rows.for_each_interval([&](const Interval& iv) {
+            for (gidx i = iv.lo; i < iv.hi; ++i) {
+                y[static_cast<std::size_t>(i)] +=
+                    alpha_ * staging[static_cast<std::size_t>(i)];
+            }
+        });
+    }
+
+    std::shared_ptr<const LinearOperator<T>> base_;
+    T alpha_;
+};
+
+/// A + σI as a view over the widened kernel space K' = K ⊔ D: the first |K|
+/// kernel points are the base's, the trailing |D| points are the shift's
+/// diagonal. Demonstrates that kernel spaces are genuinely abstract — a
+/// view may invent one. Requires a square base.
+template <typename T>
+class ShiftedOperator final : public LinearOperator<T> {
+public:
+    ShiftedOperator(std::shared_ptr<const LinearOperator<T>> base, T sigma)
+        : base_(std::move(base)), sigma_(sigma) {
+        KDR_REQUIRE(base_ != nullptr, "ShiftedOperator: null base");
+        KDR_REQUIRE(base_->domain().size() == base_->range().size(),
+                    "ShiftedOperator: base must be square");
+        kernel_ = IndexSpace::create(base_->kernel().size() + base_->domain().size(),
+                                     "shifted_kernel");
+        build_relations();
+    }
+
+    [[nodiscard]] const IndexSpace& domain() const override { return base_->domain(); }
+    [[nodiscard]] const IndexSpace& range() const override { return base_->range(); }
+    [[nodiscard]] const IndexSpace& kernel() const override { return kernel_; }
+
+    [[nodiscard]] std::shared_ptr<const Relation> col_relation() const override {
+        return col_rel_;
+    }
+    [[nodiscard]] std::shared_ptr<const Relation> row_relation() const override {
+        return row_rel_;
+    }
+
+    [[nodiscard]] const char* format_name() const override { return "shifted-view"; }
+
+    void multiply_add_piece(const IntervalSet& piece, std::span<const T> x,
+                            std::span<T> y) const override {
+        apply_split(piece, x, y, /*transpose=*/false);
+    }
+    void multiply_add_transpose_piece(const IntervalSet& piece, std::span<const T> x,
+                                      std::span<T> y) const override {
+        apply_split(piece, x, y, /*transpose=*/true);
+    }
+
+    [[nodiscard]] std::vector<Triplet<T>> to_triplets() const override {
+        auto ts = base_->to_triplets();
+        for (gidx i = 0; i < base_->domain().size(); ++i) ts.push_back({i, i, sigma_});
+        return ts;
+    }
+
+    [[nodiscard]] T sigma() const { return sigma_; }
+
+private:
+    void build_relations() {
+        // Relations = base relations on [0,|K|) plus the identity on the
+        // trailing diagonal block, expressed via the generic fallback (the
+        // base relations may be of any concrete type).
+        const gidx kbase = base_->kernel().size();
+        auto extend = [&](const Relation& rel) {
+            auto pairs = rel.enumerate();
+            for (gidx i = 0; i < base_->domain().size(); ++i) {
+                pairs.emplace_back(kbase + i, i);
+            }
+            return std::make_shared<MaterializedRelation>(kernel_, rel.target(),
+                                                          std::move(pairs));
+        };
+        row_rel_ = extend(*base_->row_relation());
+        col_rel_ = extend(*base_->col_relation());
+    }
+
+    void apply_split(const IntervalSet& piece, std::span<const T> x, std::span<T> y,
+                     bool transpose) const {
+        const gidx kbase = base_->kernel().size();
+        const IntervalSet base_piece =
+            piece.set_intersection(IntervalSet(0, kbase));
+        if (!base_piece.empty()) {
+            if (transpose) {
+                base_->multiply_add_transpose_piece(base_piece, x, y);
+            } else {
+                base_->multiply_add_piece(base_piece, x, y);
+            }
+        }
+        const IntervalSet diag_piece =
+            piece.set_intersection(IntervalSet(kbase, kernel_.size()));
+        diag_piece.for_each_interval([&](const Interval& iv) {
+            for (gidx k = iv.lo; k < iv.hi; ++k) {
+                const auto i = static_cast<std::size_t>(k - kbase);
+                y[i] += sigma_ * x[i]; // symmetric: same for transpose
+            }
+        });
+    }
+
+    std::shared_ptr<const LinearOperator<T>> base_;
+    T sigma_;
+    IndexSpace kernel_;
+    std::shared_ptr<MaterializedRelation> row_rel_;
+    std::shared_ptr<MaterializedRelation> col_rel_;
+};
+
+} // namespace kdr

@@ -1,0 +1,346 @@
+#pragma once
+
+/// \file bcsr.hpp
+/// BCSR and BCSC formats (paper Fig 3): blocked variants where the kernel
+/// space factors as `K = K₀ × B_R × B_D` and the domain/range spaces factor
+/// as `D = D₀ × B_D`, `R = R₀ × B_R`. The stored metadata (block rowptr /
+/// block column indices) lives at the block level; element-level relations
+/// are the `BlockExpandedRelation` lifts of the block-level ones.
+
+#include <algorithm>
+#include <memory>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "sparse/linear_operator.hpp"
+#include "sparse/relations.hpp"
+
+namespace kdr {
+
+template <typename T>
+class BcsrMatrix final : public LinearOperator<T> {
+public:
+    /// Build from block-level CSR arrays: `block_rowptr` has |R₀|+1 entries,
+    /// `block_cols` one D₀ index per stored block, `entries` row-major
+    /// B_R × B_D values per block.
+    BcsrMatrix(IndexSpace domain, IndexSpace range, gidx block_rows, gidx block_cols_dim,
+               std::vector<gidx> block_rowptr, std::vector<gidx> block_cols,
+               std::vector<T> entries)
+        : domain_(std::move(domain)),
+          range_(std::move(range)),
+          br_(block_rows),
+          bd_(block_cols_dim),
+          entries_(std::move(entries)) {
+        KDR_REQUIRE(br_ > 0 && bd_ > 0, "BcsrMatrix: nonpositive block dims");
+        KDR_REQUIRE(range_.size() % br_ == 0, "BcsrMatrix: |R| ", range_.size(),
+                    " not a multiple of block rows ", br_);
+        KDR_REQUIRE(domain_.size() % bd_ == 0, "BcsrMatrix: |D| ", domain_.size(),
+                    " not a multiple of block cols ", bd_);
+        const gidx nblocks = static_cast<gidx>(block_cols.size());
+        KDR_REQUIRE(static_cast<gidx>(entries_.size()) == nblocks * br_ * bd_,
+                    "BcsrMatrix: entries size mismatch");
+        block_kernel_ = IndexSpace::create(nblocks, "bcsr_block_kernel");
+        block_rows_space_ = IndexSpace::create(range_.size() / br_, "bcsr_R0");
+        block_cols_space_ = IndexSpace::create(domain_.size() / bd_, "bcsr_D0");
+        kernel_ = IndexSpace::create(nblocks * br_ * bd_, "bcsr_kernel");
+        base_row_rel_ = std::make_shared<RowPtrRelation>(block_kernel_, block_rows_space_,
+                                                         std::move(block_rowptr));
+        base_col_rel_ = std::make_shared<ArrayFunctionRelation>(block_kernel_, block_cols_space_,
+                                                                std::move(block_cols));
+        row_rel_ = std::make_shared<BlockExpandedRelation>(kernel_, range_, base_row_rel_, br_,
+                                                           bd_, br_, /*use_row_block=*/true);
+        col_rel_ = std::make_shared<BlockExpandedRelation>(kernel_, domain_, base_col_rel_, br_,
+                                                           bd_, bd_, /*use_row_block=*/false);
+        // Precompute the block row of each stored block for piece kernels.
+        block_row_of_.resize(static_cast<std::size_t>(nblocks));
+        const auto& rp = base_row_rel_->offsets();
+        for (gidx i = 0; i < block_rows_space_.size(); ++i)
+            for (gidx k0 = rp[static_cast<std::size_t>(i)]; k0 < rp[static_cast<std::size_t>(i) + 1];
+                 ++k0)
+                block_row_of_[static_cast<std::size_t>(k0)] = i;
+    }
+
+    static BcsrMatrix from_triplets(IndexSpace domain, IndexSpace range, gidx block_rows,
+                                    gidx block_cols_dim, std::vector<Triplet<T>> ts) {
+        ts = coalesce_triplets(std::move(ts));
+        const gidx r0 = range.size() / block_rows;
+        // Map (block_row, block_col) -> dense block, in row-major block order.
+        std::vector<std::vector<std::pair<gidx, std::vector<T>>>> rows_blocks(
+            static_cast<std::size_t>(r0));
+        for (const Triplet<T>& t : ts) {
+            const gidx bi = t.row / block_rows;
+            const gidx bj = t.col / block_cols_dim;
+            auto& row = rows_blocks[static_cast<std::size_t>(bi)];
+            auto it = std::find_if(row.begin(), row.end(),
+                                   [&](const auto& kv) { return kv.first == bj; });
+            if (it == row.end()) {
+                row.emplace_back(bj, std::vector<T>(
+                                         static_cast<std::size_t>(block_rows * block_cols_dim),
+                                         T{}));
+                it = std::prev(row.end());
+            }
+            it->second[static_cast<std::size_t>((t.row % block_rows) * block_cols_dim +
+                                                (t.col % block_cols_dim))] += t.value;
+        }
+        std::vector<gidx> rowptr(static_cast<std::size_t>(r0) + 1, 0);
+        std::vector<gidx> bcols;
+        std::vector<T> entries;
+        for (gidx bi = 0; bi < r0; ++bi) {
+            auto& row = rows_blocks[static_cast<std::size_t>(bi)];
+            std::sort(row.begin(), row.end(),
+                      [](const auto& a, const auto& b) { return a.first < b.first; });
+            rowptr[static_cast<std::size_t>(bi) + 1] =
+                rowptr[static_cast<std::size_t>(bi)] + static_cast<gidx>(row.size());
+            for (auto& [bj, block] : row) {
+                bcols.push_back(bj);
+                entries.insert(entries.end(), block.begin(), block.end());
+            }
+        }
+        return BcsrMatrix(std::move(domain), std::move(range), block_rows, block_cols_dim,
+                          std::move(rowptr), std::move(bcols), std::move(entries));
+    }
+
+    [[nodiscard]] const IndexSpace& domain() const override { return domain_; }
+    [[nodiscard]] const IndexSpace& range() const override { return range_; }
+    [[nodiscard]] const IndexSpace& kernel() const override { return kernel_; }
+
+    [[nodiscard]] std::shared_ptr<const Relation> col_relation() const override {
+        return col_rel_;
+    }
+    [[nodiscard]] std::shared_ptr<const Relation> row_relation() const override {
+        return row_rel_;
+    }
+
+    [[nodiscard]] const char* format_name() const override { return "bcsr"; }
+    [[nodiscard]] gidx block_row_dim() const noexcept { return br_; }
+    [[nodiscard]] gidx block_col_dim() const noexcept { return bd_; }
+
+    void multiply_add_piece(const IntervalSet& piece, std::span<const T> x,
+                            std::span<T> y) const override {
+        this->check_vectors(x, y);
+        const auto& bcols = base_col_rel_->targets();
+        const gidx bvol = br_ * bd_;
+        piece.for_each_interval([&](const Interval& iv) {
+            for (gidx k = iv.lo; k < iv.hi; ++k) {
+                const gidx k0 = k / bvol;
+                const gidx within = k % bvol;
+                const gidx brow = within / bd_;
+                const gidx bcol = within % bd_;
+                const gidx i = block_row_of_[static_cast<std::size_t>(k0)] * br_ + brow;
+                const gidx j = bcols[static_cast<std::size_t>(k0)] * bd_ + bcol;
+                y[static_cast<std::size_t>(i)] +=
+                    entries_[static_cast<std::size_t>(k)] * x[static_cast<std::size_t>(j)];
+            }
+        });
+    }
+
+    void multiply_add_transpose_piece(const IntervalSet& piece, std::span<const T> x,
+                                      std::span<T> y) const override {
+        this->check_vectors_transpose(x, y);
+        const auto& bcols = base_col_rel_->targets();
+        const gidx bvol = br_ * bd_;
+        piece.for_each_interval([&](const Interval& iv) {
+            for (gidx k = iv.lo; k < iv.hi; ++k) {
+                const gidx k0 = k / bvol;
+                const gidx within = k % bvol;
+                const gidx brow = within / bd_;
+                const gidx bcol = within % bd_;
+                const gidx i = block_row_of_[static_cast<std::size_t>(k0)] * br_ + brow;
+                const gidx j = bcols[static_cast<std::size_t>(k0)] * bd_ + bcol;
+                y[static_cast<std::size_t>(j)] +=
+                    entries_[static_cast<std::size_t>(k)] * x[static_cast<std::size_t>(i)];
+            }
+        });
+    }
+
+    [[nodiscard]] std::vector<Triplet<T>> to_triplets() const override {
+        const auto& bcols = base_col_rel_->targets();
+        const gidx bvol = br_ * bd_;
+        std::vector<Triplet<T>> ts;
+        for (gidx k = 0; k < kernel_.size(); ++k) {
+            const T v = entries_[static_cast<std::size_t>(k)];
+            if (v == T{}) continue;
+            const gidx k0 = k / bvol;
+            const gidx within = k % bvol;
+            ts.push_back({block_row_of_[static_cast<std::size_t>(k0)] * br_ + within / bd_,
+                          bcols[static_cast<std::size_t>(k0)] * bd_ + within % bd_, v});
+        }
+        return ts;
+    }
+
+private:
+    IndexSpace domain_;
+    IndexSpace range_;
+    IndexSpace kernel_;
+    IndexSpace block_kernel_;
+    IndexSpace block_rows_space_;
+    IndexSpace block_cols_space_;
+    gidx br_;
+    gidx bd_;
+    std::vector<T> entries_;
+    std::vector<gidx> block_row_of_;
+    std::shared_ptr<RowPtrRelation> base_row_rel_;
+    std::shared_ptr<ArrayFunctionRelation> base_col_rel_;
+    std::shared_ptr<BlockExpandedRelation> row_rel_;
+    std::shared_ptr<BlockExpandedRelation> col_rel_;
+};
+
+/// BCSC — blocked CSC: block-level colptr over D₀ plus stored block rows.
+/// Implemented as the structural transpose view of BCSR construction.
+template <typename T>
+class BcscMatrix final : public LinearOperator<T> {
+public:
+    BcscMatrix(IndexSpace domain, IndexSpace range, gidx block_rows, gidx block_cols_dim,
+               std::vector<gidx> block_colptr, std::vector<gidx> block_row_ids,
+               std::vector<T> entries)
+        : domain_(std::move(domain)),
+          range_(std::move(range)),
+          br_(block_rows),
+          bd_(block_cols_dim),
+          entries_(std::move(entries)) {
+        KDR_REQUIRE(br_ > 0 && bd_ > 0, "BcscMatrix: nonpositive block dims");
+        KDR_REQUIRE(range_.size() % br_ == 0 && domain_.size() % bd_ == 0,
+                    "BcscMatrix: spaces not multiples of block dims");
+        const gidx nblocks = static_cast<gidx>(block_row_ids.size());
+        KDR_REQUIRE(static_cast<gidx>(entries_.size()) == nblocks * br_ * bd_,
+                    "BcscMatrix: entries size mismatch");
+        block_kernel_ = IndexSpace::create(nblocks, "bcsc_block_kernel");
+        block_rows_space_ = IndexSpace::create(range_.size() / br_, "bcsc_R0");
+        block_cols_space_ = IndexSpace::create(domain_.size() / bd_, "bcsc_D0");
+        kernel_ = IndexSpace::create(nblocks * br_ * bd_, "bcsc_kernel");
+        base_col_rel_ = std::make_shared<RowPtrRelation>(block_kernel_, block_cols_space_,
+                                                         std::move(block_colptr));
+        base_row_rel_ = std::make_shared<ArrayFunctionRelation>(block_kernel_, block_rows_space_,
+                                                                std::move(block_row_ids));
+        row_rel_ = std::make_shared<BlockExpandedRelation>(kernel_, range_, base_row_rel_, br_,
+                                                           bd_, br_, /*use_row_block=*/true);
+        col_rel_ = std::make_shared<BlockExpandedRelation>(kernel_, domain_, base_col_rel_, br_,
+                                                           bd_, bd_, /*use_row_block=*/false);
+        block_col_of_.resize(static_cast<std::size_t>(nblocks));
+        const auto& cp = base_col_rel_->offsets();
+        for (gidx j = 0; j < block_cols_space_.size(); ++j)
+            for (gidx k0 = cp[static_cast<std::size_t>(j)]; k0 < cp[static_cast<std::size_t>(j) + 1];
+                 ++k0)
+                block_col_of_[static_cast<std::size_t>(k0)] = j;
+    }
+
+    static BcscMatrix from_triplets(IndexSpace domain, IndexSpace range, gidx block_rows,
+                                    gidx block_cols_dim, std::vector<Triplet<T>> ts) {
+        ts = coalesce_triplets(std::move(ts));
+        const gidx d0 = domain.size() / block_cols_dim;
+        std::vector<std::vector<std::pair<gidx, std::vector<T>>>> cols_blocks(
+            static_cast<std::size_t>(d0));
+        for (const Triplet<T>& t : ts) {
+            const gidx bi = t.row / block_rows;
+            const gidx bj = t.col / block_cols_dim;
+            auto& col = cols_blocks[static_cast<std::size_t>(bj)];
+            auto it = std::find_if(col.begin(), col.end(),
+                                   [&](const auto& kv) { return kv.first == bi; });
+            if (it == col.end()) {
+                col.emplace_back(bi, std::vector<T>(
+                                         static_cast<std::size_t>(block_rows * block_cols_dim),
+                                         T{}));
+                it = std::prev(col.end());
+            }
+            it->second[static_cast<std::size_t>((t.row % block_rows) * block_cols_dim +
+                                                (t.col % block_cols_dim))] += t.value;
+        }
+        std::vector<gidx> colptr(static_cast<std::size_t>(d0) + 1, 0);
+        std::vector<gidx> brows;
+        std::vector<T> entries;
+        for (gidx bj = 0; bj < d0; ++bj) {
+            auto& col = cols_blocks[static_cast<std::size_t>(bj)];
+            std::sort(col.begin(), col.end(),
+                      [](const auto& a, const auto& b) { return a.first < b.first; });
+            colptr[static_cast<std::size_t>(bj) + 1] =
+                colptr[static_cast<std::size_t>(bj)] + static_cast<gidx>(col.size());
+            for (auto& [bi, block] : col) {
+                brows.push_back(bi);
+                entries.insert(entries.end(), block.begin(), block.end());
+            }
+        }
+        return BcscMatrix(std::move(domain), std::move(range), block_rows, block_cols_dim,
+                          std::move(colptr), std::move(brows), std::move(entries));
+    }
+
+    [[nodiscard]] const IndexSpace& domain() const override { return domain_; }
+    [[nodiscard]] const IndexSpace& range() const override { return range_; }
+    [[nodiscard]] const IndexSpace& kernel() const override { return kernel_; }
+
+    [[nodiscard]] std::shared_ptr<const Relation> col_relation() const override {
+        return col_rel_;
+    }
+    [[nodiscard]] std::shared_ptr<const Relation> row_relation() const override {
+        return row_rel_;
+    }
+
+    [[nodiscard]] const char* format_name() const override { return "bcsc"; }
+
+    void multiply_add_piece(const IntervalSet& piece, std::span<const T> x,
+                            std::span<T> y) const override {
+        this->check_vectors(x, y);
+        const auto& brows = base_row_rel_->targets();
+        const gidx bvol = br_ * bd_;
+        piece.for_each_interval([&](const Interval& iv) {
+            for (gidx k = iv.lo; k < iv.hi; ++k) {
+                const gidx k0 = k / bvol;
+                const gidx within = k % bvol;
+                const gidx i = brows[static_cast<std::size_t>(k0)] * br_ + within / bd_;
+                const gidx j = block_col_of_[static_cast<std::size_t>(k0)] * bd_ + within % bd_;
+                y[static_cast<std::size_t>(i)] +=
+                    entries_[static_cast<std::size_t>(k)] * x[static_cast<std::size_t>(j)];
+            }
+        });
+    }
+
+    void multiply_add_transpose_piece(const IntervalSet& piece, std::span<const T> x,
+                                      std::span<T> y) const override {
+        this->check_vectors_transpose(x, y);
+        const auto& brows = base_row_rel_->targets();
+        const gidx bvol = br_ * bd_;
+        piece.for_each_interval([&](const Interval& iv) {
+            for (gidx k = iv.lo; k < iv.hi; ++k) {
+                const gidx k0 = k / bvol;
+                const gidx within = k % bvol;
+                const gidx i = brows[static_cast<std::size_t>(k0)] * br_ + within / bd_;
+                const gidx j = block_col_of_[static_cast<std::size_t>(k0)] * bd_ + within % bd_;
+                y[static_cast<std::size_t>(j)] +=
+                    entries_[static_cast<std::size_t>(k)] * x[static_cast<std::size_t>(i)];
+            }
+        });
+    }
+
+    [[nodiscard]] std::vector<Triplet<T>> to_triplets() const override {
+        const auto& brows = base_row_rel_->targets();
+        const gidx bvol = br_ * bd_;
+        std::vector<Triplet<T>> ts;
+        for (gidx k = 0; k < kernel_.size(); ++k) {
+            const T v = entries_[static_cast<std::size_t>(k)];
+            if (v == T{}) continue;
+            const gidx k0 = k / bvol;
+            const gidx within = k % bvol;
+            ts.push_back({brows[static_cast<std::size_t>(k0)] * br_ + within / bd_,
+                          block_col_of_[static_cast<std::size_t>(k0)] * bd_ + within % bd_, v});
+        }
+        return ts;
+    }
+
+private:
+    IndexSpace domain_;
+    IndexSpace range_;
+    IndexSpace kernel_;
+    IndexSpace block_kernel_;
+    IndexSpace block_rows_space_;
+    IndexSpace block_cols_space_;
+    gidx br_;
+    gidx bd_;
+    std::vector<T> entries_;
+    std::vector<gidx> block_col_of_;
+    std::shared_ptr<ArrayFunctionRelation> base_row_rel_;
+    std::shared_ptr<RowPtrRelation> base_col_rel_;
+    std::shared_ptr<BlockExpandedRelation> row_rel_;
+    std::shared_ptr<BlockExpandedRelation> col_rel_;
+};
+
+} // namespace kdr

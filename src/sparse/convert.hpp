@@ -1,0 +1,71 @@
+#pragma once
+
+/// \file convert.hpp
+/// Format conversions. Any `LinearOperator` can round-trip through triplets,
+/// so every format converts to every other — the KDR analog of "no physical
+/// layout is privileged" (paper §3). Aliased placements are summed during
+/// coalescing, matching eq. (2) semantics.
+
+#include <memory>
+
+#include "sparse/bcsr.hpp"
+#include "sparse/coo.hpp"
+#include "sparse/csc.hpp"
+#include "sparse/csr.hpp"
+#include "sparse/dense.hpp"
+#include "sparse/dia.hpp"
+#include "sparse/ell.hpp"
+
+namespace kdr {
+
+template <typename T>
+[[nodiscard]] CooMatrix<T> to_coo(const LinearOperator<T>& a) {
+    return CooMatrix<T>::from_triplets(a.domain(), a.range(),
+                                       coalesce_triplets(a.to_triplets()));
+}
+
+template <typename T>
+[[nodiscard]] CsrMatrix<T> to_csr(const LinearOperator<T>& a) {
+    return CsrMatrix<T>::from_triplets(a.domain(), a.range(), a.to_triplets());
+}
+
+template <typename T>
+[[nodiscard]] CscMatrix<T> to_csc(const LinearOperator<T>& a) {
+    return CscMatrix<T>::from_triplets(a.domain(), a.range(), a.to_triplets());
+}
+
+template <typename T>
+[[nodiscard]] DenseMatrix<T> to_dense(const LinearOperator<T>& a) {
+    return DenseMatrix<T>::from_triplets(a.domain(), a.range(), a.to_triplets());
+}
+
+template <typename T>
+[[nodiscard]] EllMatrix<T> to_ell(const LinearOperator<T>& a) {
+    return EllMatrix<T>::from_triplets(a.domain(), a.range(), a.to_triplets());
+}
+
+template <typename T>
+[[nodiscard]] EllTransposedMatrix<T> to_ellt(const LinearOperator<T>& a) {
+    return EllTransposedMatrix<T>::from_triplets(a.domain(), a.range(), a.to_triplets());
+}
+
+template <typename T>
+[[nodiscard]] DiaMatrix<T> to_dia(const LinearOperator<T>& a) {
+    return DiaMatrix<T>::from_triplets(a.domain(), a.range(), a.to_triplets());
+}
+
+template <typename T>
+[[nodiscard]] BcsrMatrix<T> to_bcsr(const LinearOperator<T>& a, gidx block_rows,
+                                    gidx block_cols) {
+    return BcsrMatrix<T>::from_triplets(a.domain(), a.range(), block_rows, block_cols,
+                                        a.to_triplets());
+}
+
+template <typename T>
+[[nodiscard]] BcscMatrix<T> to_bcsc(const LinearOperator<T>& a, gidx block_rows,
+                                    gidx block_cols) {
+    return BcscMatrix<T>::from_triplets(a.domain(), a.range(), block_rows, block_cols,
+                                        a.to_triplets());
+}
+
+} // namespace kdr

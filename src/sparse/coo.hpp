@@ -1,0 +1,116 @@
+#pragma once
+
+/// \file coo.hpp
+/// COO format (paper Fig 3): no structural assumptions; both relations are
+/// stored index arrays `row : K → R`, `col : K → D`. The most general
+/// explicit format — any kernel-space partition is usable directly, and
+/// multiply-by-piece needs no row lookup.
+
+#include <memory>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "sparse/linear_operator.hpp"
+#include "sparse/relations.hpp"
+
+namespace kdr {
+
+template <typename T>
+class CooMatrix final : public LinearOperator<T> {
+public:
+    /// Build from parallel arrays (entries[k] at (rows[k], cols[k])).
+    CooMatrix(IndexSpace domain, IndexSpace range, std::vector<gidx> rows,
+              std::vector<gidx> cols, std::vector<T> entries)
+        : domain_(std::move(domain)),
+          range_(std::move(range)),
+          kernel_(IndexSpace::create(static_cast<gidx>(entries.size()), "coo_kernel")),
+          entries_(std::move(entries)) {
+        KDR_REQUIRE(rows.size() == entries_.size() && cols.size() == entries_.size(),
+                    "CooMatrix: rows/cols/entries must have equal lengths (", rows.size(), "/",
+                    cols.size(), "/", entries_.size(), ")");
+        row_rel_ = std::make_shared<ArrayFunctionRelation>(kernel_, range_, std::move(rows));
+        col_rel_ = std::make_shared<ArrayFunctionRelation>(kernel_, domain_, std::move(cols));
+    }
+
+    /// Build from triplets (order preserved; duplicates kept — they sum).
+    static CooMatrix from_triplets(IndexSpace domain, IndexSpace range,
+                                   const std::vector<Triplet<T>>& ts) {
+        std::vector<gidx> rows;
+        std::vector<gidx> cols;
+        std::vector<T> vals;
+        rows.reserve(ts.size());
+        cols.reserve(ts.size());
+        vals.reserve(ts.size());
+        for (const Triplet<T>& t : ts) {
+            rows.push_back(t.row);
+            cols.push_back(t.col);
+            vals.push_back(t.value);
+        }
+        return CooMatrix(std::move(domain), std::move(range), std::move(rows), std::move(cols),
+                         std::move(vals));
+    }
+
+    [[nodiscard]] const IndexSpace& domain() const override { return domain_; }
+    [[nodiscard]] const IndexSpace& range() const override { return range_; }
+    [[nodiscard]] const IndexSpace& kernel() const override { return kernel_; }
+
+    [[nodiscard]] std::shared_ptr<const Relation> col_relation() const override {
+        return col_rel_;
+    }
+    [[nodiscard]] std::shared_ptr<const Relation> row_relation() const override {
+        return row_rel_;
+    }
+
+    [[nodiscard]] const char* format_name() const override { return "coo"; }
+
+    void multiply_add_piece(const IntervalSet& piece, std::span<const T> x,
+                            std::span<T> y) const override {
+        this->check_vectors(x, y);
+        const auto& rows = row_rel_->targets();
+        const auto& cols = col_rel_->targets();
+        piece.for_each_interval([&](const Interval& iv) {
+            for (gidx k = iv.lo; k < iv.hi; ++k) {
+                const auto ku = static_cast<std::size_t>(k);
+                y[static_cast<std::size_t>(rows[ku])] +=
+                    entries_[ku] * x[static_cast<std::size_t>(cols[ku])];
+            }
+        });
+    }
+
+    void multiply_add_transpose_piece(const IntervalSet& piece, std::span<const T> x,
+                                      std::span<T> y) const override {
+        this->check_vectors_transpose(x, y);
+        const auto& rows = row_rel_->targets();
+        const auto& cols = col_rel_->targets();
+        piece.for_each_interval([&](const Interval& iv) {
+            for (gidx k = iv.lo; k < iv.hi; ++k) {
+                const auto ku = static_cast<std::size_t>(k);
+                y[static_cast<std::size_t>(cols[ku])] +=
+                    entries_[ku] * x[static_cast<std::size_t>(rows[ku])];
+            }
+        });
+    }
+
+    [[nodiscard]] std::vector<Triplet<T>> to_triplets() const override {
+        const auto& rows = row_rel_->targets();
+        const auto& cols = col_rel_->targets();
+        std::vector<Triplet<T>> ts;
+        ts.reserve(entries_.size());
+        for (std::size_t k = 0; k < entries_.size(); ++k)
+            ts.push_back({rows[k], cols[k], entries_[k]});
+        return ts;
+    }
+
+    [[nodiscard]] const std::vector<T>& entries() const noexcept { return entries_; }
+
+private:
+    IndexSpace domain_;
+    IndexSpace range_;
+    IndexSpace kernel_;
+    std::vector<T> entries_;
+    std::shared_ptr<ArrayFunctionRelation> row_rel_;
+    std::shared_ptr<ArrayFunctionRelation> col_rel_;
+};
+
+} // namespace kdr

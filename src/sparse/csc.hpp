@@ -1,0 +1,134 @@
+#pragma once
+
+/// \file csc.hpp
+/// CSC format (paper Fig 3): the transpose-mirror of CSR — column relation is
+/// `colptr : D → [K, K]`, row relation is a stored array `row : K → R`.
+
+#include <algorithm>
+#include <memory>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "sparse/linear_operator.hpp"
+#include "sparse/relations.hpp"
+
+namespace kdr {
+
+template <typename T>
+class CscMatrix final : public LinearOperator<T> {
+public:
+    /// Build from CSC arrays. `colptr` has domain.size()+1 entries.
+    CscMatrix(IndexSpace domain, IndexSpace range, std::vector<gidx> colptr,
+              std::vector<gidx> rows, std::vector<T> entries)
+        : domain_(std::move(domain)),
+          range_(std::move(range)),
+          kernel_(IndexSpace::create(static_cast<gidx>(entries.size()), "csc_kernel")),
+          entries_(std::move(entries)) {
+        KDR_REQUIRE(rows.size() == entries_.size(), "CscMatrix: rows/entries length mismatch");
+        col_rel_ = std::make_shared<RowPtrRelation>(kernel_, domain_, std::move(colptr));
+        row_rel_ = std::make_shared<ArrayFunctionRelation>(kernel_, range_, std::move(rows));
+    }
+
+    /// Build from triplets (coalesced, column-major kernel order).
+    static CscMatrix from_triplets(IndexSpace domain, IndexSpace range,
+                                   std::vector<Triplet<T>> ts) {
+        ts = coalesce_triplets(std::move(ts));
+        std::sort(ts.begin(), ts.end(), [](const Triplet<T>& a, const Triplet<T>& b) {
+            return a.col != b.col ? a.col < b.col : a.row < b.row;
+        });
+        std::vector<gidx> colptr(static_cast<std::size_t>(domain.size()) + 1, 0);
+        std::vector<gidx> rows;
+        std::vector<T> vals;
+        rows.reserve(ts.size());
+        vals.reserve(ts.size());
+        for (const Triplet<T>& t : ts) {
+            KDR_REQUIRE(t.col >= 0 && t.col < domain.size(), "CscMatrix: col ", t.col,
+                        " out of range");
+            ++colptr[static_cast<std::size_t>(t.col) + 1];
+            rows.push_back(t.row);
+            vals.push_back(t.value);
+        }
+        for (std::size_t i = 1; i < colptr.size(); ++i) colptr[i] += colptr[i - 1];
+        return CscMatrix(std::move(domain), std::move(range), std::move(colptr), std::move(rows),
+                         std::move(vals));
+    }
+
+    [[nodiscard]] const IndexSpace& domain() const override { return domain_; }
+    [[nodiscard]] const IndexSpace& range() const override { return range_; }
+    [[nodiscard]] const IndexSpace& kernel() const override { return kernel_; }
+
+    [[nodiscard]] std::shared_ptr<const Relation> col_relation() const override {
+        // RowPtrRelation already exposes the K-side as its source, so the
+        // colptr map doubles directly as the K×D column relation.
+        return col_rel_;
+    }
+    [[nodiscard]] std::shared_ptr<const Relation> row_relation() const override {
+        return row_rel_;
+    }
+
+    [[nodiscard]] const char* format_name() const override { return "csc"; }
+
+    void multiply_add_piece(const IntervalSet& piece, std::span<const T> x,
+                            std::span<T> y) const override {
+        this->check_vectors(x, y);
+        const auto& colptr = col_rel_->offsets();
+        const auto& rows = row_rel_->targets();
+        piece.for_each_interval([&](const Interval& iv) {
+            auto it = std::upper_bound(colptr.begin() + 1, colptr.end(), iv.lo);
+            gidx col = it - (colptr.begin() + 1);
+            for (gidx k = iv.lo; k < iv.hi; ++k) {
+                while (k >= colptr[static_cast<std::size_t>(col) + 1]) ++col;
+                const auto ku = static_cast<std::size_t>(k);
+                y[static_cast<std::size_t>(rows[ku])] +=
+                    entries_[ku] * x[static_cast<std::size_t>(col)];
+            }
+        });
+    }
+
+    void multiply_add_transpose_piece(const IntervalSet& piece, std::span<const T> x,
+                                      std::span<T> y) const override {
+        this->check_vectors_transpose(x, y);
+        const auto& colptr = col_rel_->offsets();
+        const auto& rows = row_rel_->targets();
+        piece.for_each_interval([&](const Interval& iv) {
+            auto it = std::upper_bound(colptr.begin() + 1, colptr.end(), iv.lo);
+            gidx col = it - (colptr.begin() + 1);
+            for (gidx k = iv.lo; k < iv.hi; ++k) {
+                while (k >= colptr[static_cast<std::size_t>(col) + 1]) ++col;
+                const auto ku = static_cast<std::size_t>(k);
+                y[static_cast<std::size_t>(col)] +=
+                    entries_[ku] * x[static_cast<std::size_t>(rows[ku])];
+            }
+        });
+    }
+
+    [[nodiscard]] std::vector<Triplet<T>> to_triplets() const override {
+        const auto& colptr = col_rel_->offsets();
+        const auto& rows = row_rel_->targets();
+        std::vector<Triplet<T>> ts;
+        ts.reserve(entries_.size());
+        for (gidx j = 0; j < domain_.size(); ++j) {
+            for (gidx k = colptr[static_cast<std::size_t>(j)];
+                 k < colptr[static_cast<std::size_t>(j) + 1]; ++k) {
+                const auto ku = static_cast<std::size_t>(k);
+                ts.push_back({rows[ku], j, entries_[ku]});
+            }
+        }
+        return ts;
+    }
+
+    [[nodiscard]] const std::vector<gidx>& colptr() const noexcept { return col_rel_->offsets(); }
+    [[nodiscard]] const std::vector<gidx>& rows() const noexcept { return row_rel_->targets(); }
+    [[nodiscard]] const std::vector<T>& entries() const noexcept { return entries_; }
+
+private:
+    IndexSpace domain_;
+    IndexSpace range_;
+    IndexSpace kernel_;
+    std::vector<T> entries_;
+    std::shared_ptr<RowPtrRelation> col_rel_;      // D -> [K,K]
+    std::shared_ptr<ArrayFunctionRelation> row_rel_; // K -> R
+};
+
+} // namespace kdr

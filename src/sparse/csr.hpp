@@ -1,0 +1,147 @@
+#pragma once
+
+/// \file csr.hpp
+/// CSR format (paper Fig 3): kernel space totally ordered; column relation is
+/// a stored array `col : K → D`, row relation is `rowptr : R → [K, K]`
+/// (contiguous kernel interval per row). The interval structure makes both
+/// projections O(#rows / #intervals), which is why CSR is the workhorse of
+/// the paper's benchmarks (and the only GPU format PETSc supports).
+
+#include <algorithm>
+#include <memory>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "sparse/linear_operator.hpp"
+#include "sparse/relations.hpp"
+
+namespace kdr {
+
+template <typename T>
+class CsrMatrix final : public LinearOperator<T> {
+public:
+    /// Build from CSR arrays. `rowptr` has range.size()+1 entries.
+    CsrMatrix(IndexSpace domain, IndexSpace range, std::vector<gidx> rowptr,
+              std::vector<gidx> cols, std::vector<T> entries)
+        : domain_(std::move(domain)),
+          range_(std::move(range)),
+          kernel_(IndexSpace::create(static_cast<gidx>(entries.size()), "csr_kernel")),
+          entries_(std::move(entries)) {
+        KDR_REQUIRE(cols.size() == entries_.size(), "CsrMatrix: cols/entries length mismatch (",
+                    cols.size(), "/", entries_.size(), ")");
+        row_rel_ = std::make_shared<RowPtrRelation>(kernel_, range_, std::move(rowptr));
+        col_rel_ = std::make_shared<ArrayFunctionRelation>(kernel_, domain_, std::move(cols));
+    }
+
+    /// Build from triplets (coalesced: duplicates summed, rows sorted).
+    static CsrMatrix from_triplets(IndexSpace domain, IndexSpace range,
+                                   std::vector<Triplet<T>> ts) {
+        ts = coalesce_triplets(std::move(ts));
+        std::vector<gidx> rowptr(static_cast<std::size_t>(range.size()) + 1, 0);
+        std::vector<gidx> cols;
+        std::vector<T> vals;
+        cols.reserve(ts.size());
+        vals.reserve(ts.size());
+        for (const Triplet<T>& t : ts) {
+            KDR_REQUIRE(t.row >= 0 && t.row < range.size(), "CsrMatrix: row ", t.row,
+                        " out of range");
+            ++rowptr[static_cast<std::size_t>(t.row) + 1];
+            cols.push_back(t.col);
+            vals.push_back(t.value);
+        }
+        for (std::size_t i = 1; i < rowptr.size(); ++i) rowptr[i] += rowptr[i - 1];
+        return CsrMatrix(std::move(domain), std::move(range), std::move(rowptr), std::move(cols),
+                         std::move(vals));
+    }
+
+    [[nodiscard]] const IndexSpace& domain() const override { return domain_; }
+    [[nodiscard]] const IndexSpace& range() const override { return range_; }
+    [[nodiscard]] const IndexSpace& kernel() const override { return kernel_; }
+
+    [[nodiscard]] std::shared_ptr<const Relation> col_relation() const override {
+        return col_rel_;
+    }
+    [[nodiscard]] std::shared_ptr<const Relation> row_relation() const override {
+        return row_rel_;
+    }
+
+    [[nodiscard]] const char* format_name() const override { return "csr"; }
+
+    void multiply_add_piece(const IntervalSet& piece, std::span<const T> x,
+                            std::span<T> y) const override {
+        this->check_vectors(x, y);
+        const auto& rowptr = row_rel_->offsets();
+        const auto& cols = col_rel_->targets();
+        piece.for_each_interval([&](const Interval& iv) {
+            // Locate the row containing iv.lo, then walk forward.
+            auto it = std::upper_bound(rowptr.begin() + 1, rowptr.end(), iv.lo);
+            gidx row = it - (rowptr.begin() + 1);
+            for (gidx k = iv.lo; k < iv.hi; ++k) {
+                while (k >= rowptr[static_cast<std::size_t>(row) + 1]) ++row;
+                const auto ku = static_cast<std::size_t>(k);
+                y[static_cast<std::size_t>(row)] +=
+                    entries_[ku] * x[static_cast<std::size_t>(cols[ku])];
+            }
+        });
+    }
+
+    void multiply_add_transpose_piece(const IntervalSet& piece, std::span<const T> x,
+                                      std::span<T> y) const override {
+        this->check_vectors_transpose(x, y);
+        const auto& rowptr = row_rel_->offsets();
+        const auto& cols = col_rel_->targets();
+        piece.for_each_interval([&](const Interval& iv) {
+            auto it = std::upper_bound(rowptr.begin() + 1, rowptr.end(), iv.lo);
+            gidx row = it - (rowptr.begin() + 1);
+            for (gidx k = iv.lo; k < iv.hi; ++k) {
+                while (k >= rowptr[static_cast<std::size_t>(row) + 1]) ++row;
+                const auto ku = static_cast<std::size_t>(k);
+                y[static_cast<std::size_t>(cols[ku])] +=
+                    entries_[ku] * x[static_cast<std::size_t>(row)];
+            }
+        });
+    }
+
+    [[nodiscard]] std::vector<Triplet<T>> to_triplets() const override {
+        const auto& rowptr = row_rel_->offsets();
+        const auto& cols = col_rel_->targets();
+        std::vector<Triplet<T>> ts;
+        ts.reserve(entries_.size());
+        for (gidx i = 0; i < range_.size(); ++i) {
+            for (gidx k = rowptr[static_cast<std::size_t>(i)];
+                 k < rowptr[static_cast<std::size_t>(i) + 1]; ++k) {
+                const auto ku = static_cast<std::size_t>(k);
+                ts.push_back({i, cols[ku], entries_[ku]});
+            }
+        }
+        return ts;
+    }
+
+    void add_diagonal(std::span<T> diag) const override {
+        KDR_REQUIRE(domain_.size() == range_.size(), "add_diagonal: not square");
+        const auto& rowptr = row_rel_->offsets();
+        const auto& cols = col_rel_->targets();
+        for (gidx i = 0; i < range_.size(); ++i) {
+            for (gidx k = rowptr[static_cast<std::size_t>(i)];
+                 k < rowptr[static_cast<std::size_t>(i) + 1]; ++k) {
+                if (cols[static_cast<std::size_t>(k)] == i)
+                    diag[static_cast<std::size_t>(i)] += entries_[static_cast<std::size_t>(k)];
+            }
+        }
+    }
+
+    [[nodiscard]] const std::vector<gidx>& rowptr() const noexcept { return row_rel_->offsets(); }
+    [[nodiscard]] const std::vector<gidx>& cols() const noexcept { return col_rel_->targets(); }
+    [[nodiscard]] const std::vector<T>& entries() const noexcept { return entries_; }
+
+private:
+    IndexSpace domain_;
+    IndexSpace range_;
+    IndexSpace kernel_;
+    std::vector<T> entries_;
+    std::shared_ptr<RowPtrRelation> row_rel_;
+    std::shared_ptr<ArrayFunctionRelation> col_rel_;
+};
+
+} // namespace kdr

@@ -1,0 +1,104 @@
+#pragma once
+
+/// \file dense.hpp
+/// Dense format (paper Fig 3): the structural assumption `K = R × D` plus an
+/// *empty* metadata structure — both relations are the implicit projections
+/// π₁ (quotient by |D|) and π₂ (remainder mod |D|) of the row-major
+/// linearization. Dense matrices in KDRSolvers are "a structural assumption
+/// paired with an empty data structure" (paper §3).
+
+#include <memory>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "sparse/linear_operator.hpp"
+#include "sparse/relations.hpp"
+
+namespace kdr {
+
+template <typename T>
+class DenseMatrix final : public LinearOperator<T> {
+public:
+    /// Build from row-major entries (entries.size() == |R| * |D|).
+    DenseMatrix(IndexSpace domain, IndexSpace range, std::vector<T> entries)
+        : domain_(std::move(domain)),
+          range_(std::move(range)),
+          kernel_(IndexSpace::create(range_.size() * domain_.size(), "dense_kernel")),
+          entries_(std::move(entries)) {
+        KDR_REQUIRE(static_cast<gidx>(entries_.size()) == kernel_.size(),
+                    "DenseMatrix: entries size ", entries_.size(), " != |R|*|D| ",
+                    kernel_.size());
+        row_rel_ = std::make_shared<QuotientRelation>(kernel_, range_, domain_.size());
+        col_rel_ = std::make_shared<RemainderRelation>(kernel_, domain_, domain_.size());
+    }
+
+    static DenseMatrix from_triplets(IndexSpace domain, IndexSpace range,
+                                     const std::vector<Triplet<T>>& ts) {
+        std::vector<T> entries(static_cast<std::size_t>(range.size() * domain.size()), T{});
+        for (const Triplet<T>& t : ts)
+            entries[static_cast<std::size_t>(t.row * domain.size() + t.col)] += t.value;
+        return DenseMatrix(std::move(domain), std::move(range), std::move(entries));
+    }
+
+    [[nodiscard]] const IndexSpace& domain() const override { return domain_; }
+    [[nodiscard]] const IndexSpace& range() const override { return range_; }
+    [[nodiscard]] const IndexSpace& kernel() const override { return kernel_; }
+
+    [[nodiscard]] std::shared_ptr<const Relation> col_relation() const override {
+        return col_rel_;
+    }
+    [[nodiscard]] std::shared_ptr<const Relation> row_relation() const override {
+        return row_rel_;
+    }
+
+    [[nodiscard]] const char* format_name() const override { return "dense"; }
+
+    void multiply_add_piece(const IntervalSet& piece, std::span<const T> x,
+                            std::span<T> y) const override {
+        this->check_vectors(x, y);
+        const gidx d = domain_.size();
+        piece.for_each_interval([&](const Interval& iv) {
+            for (gidx k = iv.lo; k < iv.hi; ++k) {
+                y[static_cast<std::size_t>(k / d)] +=
+                    entries_[static_cast<std::size_t>(k)] * x[static_cast<std::size_t>(k % d)];
+            }
+        });
+    }
+
+    void multiply_add_transpose_piece(const IntervalSet& piece, std::span<const T> x,
+                                      std::span<T> y) const override {
+        this->check_vectors_transpose(x, y);
+        const gidx d = domain_.size();
+        piece.for_each_interval([&](const Interval& iv) {
+            for (gidx k = iv.lo; k < iv.hi; ++k) {
+                y[static_cast<std::size_t>(k % d)] +=
+                    entries_[static_cast<std::size_t>(k)] * x[static_cast<std::size_t>(k / d)];
+            }
+        });
+    }
+
+    [[nodiscard]] std::vector<Triplet<T>> to_triplets() const override {
+        std::vector<Triplet<T>> ts;
+        const gidx d = domain_.size();
+        for (gidx k = 0; k < kernel_.size(); ++k) {
+            const T v = entries_[static_cast<std::size_t>(k)];
+            if (v != T{}) ts.push_back({k / d, k % d, v});
+        }
+        return ts;
+    }
+
+    [[nodiscard]] T at(gidx i, gidx j) const {
+        return entries_[static_cast<std::size_t>(i * domain_.size() + j)];
+    }
+
+private:
+    IndexSpace domain_;
+    IndexSpace range_;
+    IndexSpace kernel_;
+    std::vector<T> entries_;
+    std::shared_ptr<QuotientRelation> row_rel_;
+    std::shared_ptr<RemainderRelation> col_rel_;
+};
+
+} // namespace kdr

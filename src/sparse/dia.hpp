@@ -1,0 +1,138 @@
+#pragma once
+
+/// \file dia.hpp
+/// DIA format (paper Fig 3): kernel space `K = K₀ × {1..d}` where K₀ indexes
+/// the stored diagonals and each diagonal stores d slots (one per domain
+/// column). Both relations are implicit: `col(k₀,j) = j` and
+/// `row(k₀,j) = j − offset(k₀)`; slots whose implied row falls outside
+/// [0, r) are padding.
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "sparse/linear_operator.hpp"
+#include "sparse/relations.hpp"
+
+namespace kdr {
+
+template <typename T>
+class DiaMatrix final : public LinearOperator<T> {
+public:
+    /// Build from per-diagonal offsets and entries (entries.size() ==
+    /// offsets.size() * |D|, diagonal-major, slot j holds A[j-off][j]).
+    DiaMatrix(IndexSpace domain, IndexSpace range, std::vector<gidx> offsets,
+              std::vector<T> entries)
+        : domain_(std::move(domain)),
+          range_(std::move(range)),
+          kernel_(IndexSpace::create(static_cast<gidx>(offsets.size()) * domain_.size(),
+                                     "dia_kernel")),
+          offsets_(std::move(offsets)),
+          entries_(std::move(entries)) {
+        KDR_REQUIRE(static_cast<gidx>(entries_.size()) == kernel_.size(),
+                    "DiaMatrix: entries size ", entries_.size(), " != #diagonals*d ",
+                    kernel_.size());
+        row_rel_ = std::make_shared<DiagonalRelation>(kernel_, range_, domain_.size(), offsets_);
+        col_rel_ = std::make_shared<RemainderRelation>(kernel_, domain_, domain_.size());
+    }
+
+    static DiaMatrix from_triplets(IndexSpace domain, IndexSpace range,
+                                   std::vector<Triplet<T>> ts) {
+        ts = coalesce_triplets(std::move(ts));
+        std::map<gidx, std::size_t> diag_index; // offset -> k0
+        for (const Triplet<T>& t : ts) diag_index.emplace(t.col - t.row, 0);
+        std::vector<gidx> offsets;
+        offsets.reserve(diag_index.size());
+        for (auto& [off, idx] : diag_index) {
+            idx = offsets.size();
+            offsets.push_back(off);
+        }
+        const gidx d = domain.size();
+        std::vector<T> entries(static_cast<std::size_t>(static_cast<gidx>(offsets.size()) * d),
+                               T{});
+        for (const Triplet<T>& t : ts) {
+            const std::size_t k0 = diag_index.at(t.col - t.row);
+            entries[k0 * static_cast<std::size_t>(d) + static_cast<std::size_t>(t.col)] +=
+                t.value;
+        }
+        return DiaMatrix(std::move(domain), std::move(range), std::move(offsets),
+                         std::move(entries));
+    }
+
+    [[nodiscard]] const IndexSpace& domain() const override { return domain_; }
+    [[nodiscard]] const IndexSpace& range() const override { return range_; }
+    [[nodiscard]] const IndexSpace& kernel() const override { return kernel_; }
+
+    [[nodiscard]] std::shared_ptr<const Relation> col_relation() const override {
+        return col_rel_;
+    }
+    [[nodiscard]] std::shared_ptr<const Relation> row_relation() const override {
+        return row_rel_;
+    }
+
+    [[nodiscard]] const char* format_name() const override { return "dia"; }
+    [[nodiscard]] const std::vector<gidx>& diagonal_offsets() const noexcept { return offsets_; }
+
+    void multiply_add_piece(const IntervalSet& piece, std::span<const T> x,
+                            std::span<T> y) const override {
+        this->check_vectors(x, y);
+        const gidx d = domain_.size();
+        const gidx r = range_.size();
+        piece.for_each_interval([&](const Interval& iv) {
+            for (gidx k = iv.lo; k < iv.hi; ++k) {
+                const gidx k0 = k / d;
+                const gidx j = k % d;
+                const gidx i = j - offsets_[static_cast<std::size_t>(k0)];
+                if (i < 0 || i >= r) continue; // padding slot
+                y[static_cast<std::size_t>(i)] +=
+                    entries_[static_cast<std::size_t>(k)] * x[static_cast<std::size_t>(j)];
+            }
+        });
+    }
+
+    void multiply_add_transpose_piece(const IntervalSet& piece, std::span<const T> x,
+                                      std::span<T> y) const override {
+        this->check_vectors_transpose(x, y);
+        const gidx d = domain_.size();
+        const gidx r = range_.size();
+        piece.for_each_interval([&](const Interval& iv) {
+            for (gidx k = iv.lo; k < iv.hi; ++k) {
+                const gidx k0 = k / d;
+                const gidx j = k % d;
+                const gidx i = j - offsets_[static_cast<std::size_t>(k0)];
+                if (i < 0 || i >= r) continue;
+                y[static_cast<std::size_t>(j)] +=
+                    entries_[static_cast<std::size_t>(k)] * x[static_cast<std::size_t>(i)];
+            }
+        });
+    }
+
+    [[nodiscard]] std::vector<Triplet<T>> to_triplets() const override {
+        std::vector<Triplet<T>> ts;
+        const gidx d = domain_.size();
+        const gidx r = range_.size();
+        for (gidx k = 0; k < kernel_.size(); ++k) {
+            const gidx k0 = k / d;
+            const gidx j = k % d;
+            const gidx i = j - offsets_[static_cast<std::size_t>(k0)];
+            if (i < 0 || i >= r) continue;
+            const T v = entries_[static_cast<std::size_t>(k)];
+            if (v != T{}) ts.push_back({i, j, v});
+        }
+        return ts;
+    }
+
+private:
+    IndexSpace domain_;
+    IndexSpace range_;
+    IndexSpace kernel_;
+    std::vector<gidx> offsets_;
+    std::vector<T> entries_;
+    std::shared_ptr<DiagonalRelation> row_rel_;
+    std::shared_ptr<RemainderRelation> col_rel_;
+};
+
+} // namespace kdr

@@ -1,0 +1,234 @@
+#pragma once
+
+/// \file ell.hpp
+/// ELL and ELL' formats (paper Fig 3).
+///
+/// ELL : structural assumption `K = R × K₀` (K₀ slots per row); the row
+/// relation is the implicit projection π₁ and the column relation is a
+/// stored array `col : K → D`. Rows with fewer than K₀ nonzeros pad with the
+/// `kNoTarget` sentinel — padded kernel points relate to nothing, which
+/// eq. (2)'s relational semantics absorbs silently.
+///
+/// ELL' (ELLt here): the transpose arrangement `K = D × K₀` with a stored
+/// `row : K → R` and implicit column relation.
+
+#include <memory>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "sparse/linear_operator.hpp"
+#include "sparse/relations.hpp"
+
+namespace kdr {
+
+template <typename T>
+class EllMatrix final : public LinearOperator<T> {
+public:
+    /// Build from padded arrays: slot (i, s) at index i*slots+s; cols may be
+    /// kNoTarget for padding (entry value ignored).
+    EllMatrix(IndexSpace domain, IndexSpace range, gidx slots, std::vector<gidx> cols,
+              std::vector<T> entries)
+        : domain_(std::move(domain)),
+          range_(std::move(range)),
+          kernel_(IndexSpace::create(range_.size() * slots, "ell_kernel")),
+          slots_(slots),
+          entries_(std::move(entries)) {
+        KDR_REQUIRE(slots_ > 0, "EllMatrix: need at least one slot per row");
+        KDR_REQUIRE(static_cast<gidx>(entries_.size()) == kernel_.size(),
+                    "EllMatrix: entries size mismatch");
+        KDR_REQUIRE(cols.size() == entries_.size(), "EllMatrix: cols size mismatch");
+        row_rel_ = std::make_shared<QuotientRelation>(kernel_, range_, slots_);
+        col_rel_ = std::make_shared<ArrayFunctionRelation>(kernel_, domain_, std::move(cols));
+    }
+
+    /// Build from triplets; slots = max row occupancy.
+    static EllMatrix from_triplets(IndexSpace domain, IndexSpace range,
+                                   std::vector<Triplet<T>> ts) {
+        ts = coalesce_triplets(std::move(ts));
+        std::vector<gidx> occupancy(static_cast<std::size_t>(range.size()), 0);
+        for (const Triplet<T>& t : ts) ++occupancy[static_cast<std::size_t>(t.row)];
+        gidx slots = 1;
+        for (gidx occ : occupancy) slots = std::max(slots, occ);
+        std::vector<gidx> cols(static_cast<std::size_t>(range.size() * slots), kNoTarget);
+        std::vector<T> vals(static_cast<std::size_t>(range.size() * slots), T{});
+        std::vector<gidx> cursor(static_cast<std::size_t>(range.size()), 0);
+        for (const Triplet<T>& t : ts) {
+            const auto slot = static_cast<std::size_t>(
+                t.row * slots + cursor[static_cast<std::size_t>(t.row)]++);
+            cols[slot] = t.col;
+            vals[slot] = t.value;
+        }
+        return EllMatrix(std::move(domain), std::move(range), slots, std::move(cols),
+                         std::move(vals));
+    }
+
+    [[nodiscard]] const IndexSpace& domain() const override { return domain_; }
+    [[nodiscard]] const IndexSpace& range() const override { return range_; }
+    [[nodiscard]] const IndexSpace& kernel() const override { return kernel_; }
+
+    [[nodiscard]] std::shared_ptr<const Relation> col_relation() const override {
+        return col_rel_;
+    }
+    [[nodiscard]] std::shared_ptr<const Relation> row_relation() const override {
+        return row_rel_;
+    }
+
+    [[nodiscard]] const char* format_name() const override { return "ell"; }
+    [[nodiscard]] gidx slots_per_row() const noexcept { return slots_; }
+
+    void multiply_add_piece(const IntervalSet& piece, std::span<const T> x,
+                            std::span<T> y) const override {
+        this->check_vectors(x, y);
+        const auto& cols = col_rel_->targets();
+        piece.for_each_interval([&](const Interval& iv) {
+            for (gidx k = iv.lo; k < iv.hi; ++k) {
+                const auto ku = static_cast<std::size_t>(k);
+                const gidx c = cols[ku];
+                if (c == kNoTarget) continue;
+                y[static_cast<std::size_t>(k / slots_)] +=
+                    entries_[ku] * x[static_cast<std::size_t>(c)];
+            }
+        });
+    }
+
+    void multiply_add_transpose_piece(const IntervalSet& piece, std::span<const T> x,
+                                      std::span<T> y) const override {
+        this->check_vectors_transpose(x, y);
+        const auto& cols = col_rel_->targets();
+        piece.for_each_interval([&](const Interval& iv) {
+            for (gidx k = iv.lo; k < iv.hi; ++k) {
+                const auto ku = static_cast<std::size_t>(k);
+                const gidx c = cols[ku];
+                if (c == kNoTarget) continue;
+                y[static_cast<std::size_t>(c)] +=
+                    entries_[ku] * x[static_cast<std::size_t>(k / slots_)];
+            }
+        });
+    }
+
+    [[nodiscard]] std::vector<Triplet<T>> to_triplets() const override {
+        const auto& cols = col_rel_->targets();
+        std::vector<Triplet<T>> ts;
+        for (gidx k = 0; k < kernel_.size(); ++k) {
+            const auto ku = static_cast<std::size_t>(k);
+            if (cols[ku] != kNoTarget) ts.push_back({k / slots_, cols[ku], entries_[ku]});
+        }
+        return ts;
+    }
+
+private:
+    IndexSpace domain_;
+    IndexSpace range_;
+    IndexSpace kernel_;
+    gidx slots_;
+    std::vector<T> entries_;
+    std::shared_ptr<QuotientRelation> row_rel_;
+    std::shared_ptr<ArrayFunctionRelation> col_rel_;
+};
+
+/// ELL' — the column-major twin: K = D × K₀, stored row indices, implicit
+/// column relation.
+template <typename T>
+class EllTransposedMatrix final : public LinearOperator<T> {
+public:
+    EllTransposedMatrix(IndexSpace domain, IndexSpace range, gidx slots, std::vector<gidx> rows,
+                        std::vector<T> entries)
+        : domain_(std::move(domain)),
+          range_(std::move(range)),
+          kernel_(IndexSpace::create(domain_.size() * slots, "ellt_kernel")),
+          slots_(slots),
+          entries_(std::move(entries)) {
+        KDR_REQUIRE(slots_ > 0, "EllTransposedMatrix: need at least one slot per column");
+        KDR_REQUIRE(static_cast<gidx>(entries_.size()) == kernel_.size(),
+                    "EllTransposedMatrix: entries size mismatch");
+        KDR_REQUIRE(rows.size() == entries_.size(), "EllTransposedMatrix: rows size mismatch");
+        col_rel_ = std::make_shared<QuotientRelation>(kernel_, domain_, slots_);
+        row_rel_ = std::make_shared<ArrayFunctionRelation>(kernel_, range_, std::move(rows));
+    }
+
+    static EllTransposedMatrix from_triplets(IndexSpace domain, IndexSpace range,
+                                             std::vector<Triplet<T>> ts) {
+        ts = coalesce_triplets(std::move(ts));
+        std::vector<gidx> occupancy(static_cast<std::size_t>(domain.size()), 0);
+        for (const Triplet<T>& t : ts) ++occupancy[static_cast<std::size_t>(t.col)];
+        gidx slots = 1;
+        for (gidx occ : occupancy) slots = std::max(slots, occ);
+        std::vector<gidx> rows(static_cast<std::size_t>(domain.size() * slots), kNoTarget);
+        std::vector<T> vals(static_cast<std::size_t>(domain.size() * slots), T{});
+        std::vector<gidx> cursor(static_cast<std::size_t>(domain.size()), 0);
+        for (const Triplet<T>& t : ts) {
+            const auto slot = static_cast<std::size_t>(
+                t.col * slots + cursor[static_cast<std::size_t>(t.col)]++);
+            rows[slot] = t.row;
+            vals[slot] = t.value;
+        }
+        return EllTransposedMatrix(std::move(domain), std::move(range), slots, std::move(rows),
+                                   std::move(vals));
+    }
+
+    [[nodiscard]] const IndexSpace& domain() const override { return domain_; }
+    [[nodiscard]] const IndexSpace& range() const override { return range_; }
+    [[nodiscard]] const IndexSpace& kernel() const override { return kernel_; }
+
+    [[nodiscard]] std::shared_ptr<const Relation> col_relation() const override {
+        return col_rel_;
+    }
+    [[nodiscard]] std::shared_ptr<const Relation> row_relation() const override {
+        return row_rel_;
+    }
+
+    [[nodiscard]] const char* format_name() const override { return "ellt"; }
+    [[nodiscard]] gidx slots_per_col() const noexcept { return slots_; }
+
+    void multiply_add_piece(const IntervalSet& piece, std::span<const T> x,
+                            std::span<T> y) const override {
+        this->check_vectors(x, y);
+        const auto& rows = row_rel_->targets();
+        piece.for_each_interval([&](const Interval& iv) {
+            for (gidx k = iv.lo; k < iv.hi; ++k) {
+                const auto ku = static_cast<std::size_t>(k);
+                const gidx r = rows[ku];
+                if (r == kNoTarget) continue;
+                y[static_cast<std::size_t>(r)] +=
+                    entries_[ku] * x[static_cast<std::size_t>(k / slots_)];
+            }
+        });
+    }
+
+    void multiply_add_transpose_piece(const IntervalSet& piece, std::span<const T> x,
+                                      std::span<T> y) const override {
+        this->check_vectors_transpose(x, y);
+        const auto& rows = row_rel_->targets();
+        piece.for_each_interval([&](const Interval& iv) {
+            for (gidx k = iv.lo; k < iv.hi; ++k) {
+                const auto ku = static_cast<std::size_t>(k);
+                const gidx r = rows[ku];
+                if (r == kNoTarget) continue;
+                y[static_cast<std::size_t>(k / slots_)] +=
+                    entries_[ku] * x[static_cast<std::size_t>(r)];
+            }
+        });
+    }
+
+    [[nodiscard]] std::vector<Triplet<T>> to_triplets() const override {
+        const auto& rows = row_rel_->targets();
+        std::vector<Triplet<T>> ts;
+        for (gidx k = 0; k < kernel_.size(); ++k) {
+            const auto ku = static_cast<std::size_t>(k);
+            if (rows[ku] != kNoTarget) ts.push_back({rows[ku], k / slots_, entries_[ku]});
+        }
+        return ts;
+    }
+
+private:
+    IndexSpace domain_;
+    IndexSpace range_;
+    IndexSpace kernel_;
+    gidx slots_;
+    std::vector<T> entries_;
+    std::shared_ptr<QuotientRelation> col_rel_;
+    std::shared_ptr<ArrayFunctionRelation> row_rel_;
+};
+
+} // namespace kdr

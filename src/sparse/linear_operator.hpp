@@ -1,0 +1,136 @@
+#pragma once
+
+/// \file linear_operator.hpp
+/// The KDR view of a sparse matrix (paper §3, Fig 1): numbers indexed by a
+/// kernel space `K`, plus a column relation `col ⊆ K×D` and row relation
+/// `row ⊆ K×R` that place them on the `R × D` grid. Relations may be
+/// many-to-many (a stored number aliased into several grid cells) and partial
+/// (padding slots related to nothing), exactly as eq. (2) allows.
+///
+/// Kernels operate on *global* vectors: `x` spans the whole domain space and
+/// `y` the whole range space, and piece-restricted variants limit work to a
+/// kernel subset — this is what index-task launches dispatch per color.
+
+#include <algorithm>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "geometry/index_space.hpp"
+#include "geometry/interval_set.hpp"
+#include "partition/relation.hpp"
+#include "support/error.hpp"
+
+namespace kdr {
+
+/// One nonzero in coordinate form: value at (row, col).
+template <typename T>
+struct Triplet {
+    gidx row = 0;
+    gidx col = 0;
+    T value{};
+
+    friend bool operator==(const Triplet& a, const Triplet& b) {
+        return a.row == b.row && a.col == b.col && a.value == b.value;
+    }
+};
+
+template <typename T>
+class LinearOperator {
+public:
+    virtual ~LinearOperator() = default;
+
+    /// The solution-vector space `D`.
+    [[nodiscard]] virtual const IndexSpace& domain() const = 0;
+    /// The right-hand-side space `R`.
+    [[nodiscard]] virtual const IndexSpace& range() const = 0;
+    /// The nonzero-entry space `K`.
+    [[nodiscard]] virtual const IndexSpace& kernel() const = 0;
+
+    /// Column relation `col ⊆ K × D` (Fig 3 column).
+    [[nodiscard]] virtual std::shared_ptr<const Relation> col_relation() const = 0;
+    /// Row relation `row ⊆ K × R` (Fig 3 column).
+    [[nodiscard]] virtual std::shared_ptr<const Relation> row_relation() const = 0;
+
+    /// Human-readable format name ("csr", "coo", ...).
+    [[nodiscard]] virtual const char* format_name() const = 0;
+
+    /// y += A x over the whole kernel space.
+    virtual void multiply_add(std::span<const T> x, std::span<T> y) const {
+        multiply_add_piece(kernel().universe(), x, y);
+    }
+
+    /// y += Aᵀ x over the whole kernel space (adjoint for real entries).
+    virtual void multiply_add_transpose(std::span<const T> x, std::span<T> y) const {
+        multiply_add_transpose_piece(kernel().universe(), x, y);
+    }
+
+    /// y += A x restricted to the kernel subset `piece` — the unit of work an
+    /// index-task launch dispatches per color.
+    virtual void multiply_add_piece(const IntervalSet& piece, std::span<const T> x,
+                                    std::span<T> y) const = 0;
+
+    /// y += Aᵀ x restricted to a kernel subset.
+    virtual void multiply_add_transpose_piece(const IntervalSet& piece, std::span<const T> x,
+                                              std::span<T> y) const = 0;
+
+    /// Emit every nonzero as a (row, col, value) triplet. Aliased entries are
+    /// emitted once per (row, col) placement.
+    [[nodiscard]] virtual std::vector<Triplet<T>> to_triplets() const = 0;
+
+    /// Number of stored numbers (|K|, including any padding slots).
+    [[nodiscard]] gidx stored_count() const { return kernel().size(); }
+
+    /// diag[i] += A_ii for square operators. Default: via triplets.
+    virtual void add_diagonal(std::span<T> diag) const {
+        KDR_REQUIRE(domain().size() == range().size(),
+                    "add_diagonal: operator is not square (", range().size(), "x",
+                    domain().size(), ")");
+        KDR_REQUIRE(static_cast<gidx>(diag.size()) == range().size(),
+                    "add_diagonal: diag size mismatch");
+        for (const Triplet<T>& t : to_triplets())
+            if (t.row == t.col) diag[static_cast<std::size_t>(t.row)] += t.value;
+    }
+
+protected:
+    void check_vectors(std::span<const T> x, std::span<T> y) const {
+        KDR_REQUIRE(static_cast<gidx>(x.size()) == domain().size(),
+                    "multiply_add: |x| ", x.size(), " != |D| ", domain().size());
+        KDR_REQUIRE(static_cast<gidx>(y.size()) == range().size(), "multiply_add: |y| ",
+                    y.size(), " != |R| ", range().size());
+    }
+    void check_vectors_transpose(std::span<const T> x, std::span<T> y) const {
+        KDR_REQUIRE(static_cast<gidx>(x.size()) == range().size(),
+                    "multiply_add_transpose: |x| ", x.size(), " != |R| ", range().size());
+        KDR_REQUIRE(static_cast<gidx>(y.size()) == domain().size(),
+                    "multiply_add_transpose: |y| ", y.size(), " != |D| ", domain().size());
+    }
+};
+
+/// Sort triplets row-major and sum duplicates (standard assembly semantics).
+template <typename T>
+std::vector<Triplet<T>> coalesce_triplets(std::vector<Triplet<T>> ts) {
+    std::sort(ts.begin(), ts.end(), [](const Triplet<T>& a, const Triplet<T>& b) {
+        return a.row != b.row ? a.row < b.row : a.col < b.col;
+    });
+    std::vector<Triplet<T>> out;
+    out.reserve(ts.size());
+    for (const Triplet<T>& t : ts) {
+        if (!out.empty() && out.back().row == t.row && out.back().col == t.col) {
+            out.back().value += t.value;
+        } else {
+            out.push_back(t);
+        }
+    }
+    return out;
+}
+
+/// Dense reference multiply for testing: y += A x computed from triplets.
+template <typename T>
+void reference_multiply_add(const std::vector<Triplet<T>>& ts, const std::vector<T>& x,
+                            std::vector<T>& y) {
+    for (const Triplet<T>& t : ts)
+        y[static_cast<std::size_t>(t.row)] += t.value * x[static_cast<std::size_t>(t.col)];
+}
+
+} // namespace kdr

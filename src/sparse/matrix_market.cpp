@@ -1,0 +1,105 @@
+#include "sparse/matrix_market.hpp"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace kdr::mm {
+
+namespace {
+
+std::string lower(std::string s) {
+    for (char& c : s) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    return s;
+}
+
+} // namespace
+
+MatrixMarketData read_matrix_market(std::istream& in) {
+    std::string line;
+    KDR_REQUIRE(static_cast<bool>(std::getline(in, line)), "matrix market: empty input");
+
+    // Banner: %%MatrixMarket matrix coordinate <field> <symmetry>
+    std::istringstream banner(line);
+    std::string magic, object, format, field, symmetry;
+    banner >> magic >> object >> format >> field >> symmetry;
+    KDR_REQUIRE(lower(magic) == "%%matrixmarket", "matrix market: bad banner '", line, "'");
+    KDR_REQUIRE(lower(object) == "matrix", "matrix market: unsupported object '", object, "'");
+    KDR_REQUIRE(lower(format) == "coordinate",
+                "matrix market: only the coordinate format is supported, got '", format, "'");
+    field = lower(field);
+    symmetry = lower(symmetry);
+    KDR_REQUIRE(field == "real" || field == "integer" || field == "pattern",
+                "matrix market: unsupported field '", field, "'");
+    KDR_REQUIRE(symmetry == "general" || symmetry == "symmetric" ||
+                    symmetry == "skew-symmetric",
+                "matrix market: unsupported symmetry '", symmetry, "'");
+
+    // Skip comments; first non-comment line is the size header.
+    while (std::getline(in, line)) {
+        if (!line.empty() && line[0] != '%') break;
+    }
+    std::istringstream size_line(line);
+    MatrixMarketData data;
+    gidx nnz = 0;
+    size_line >> data.rows >> data.cols >> nnz;
+    KDR_REQUIRE(!size_line.fail() && data.rows > 0 && data.cols > 0 && nnz >= 0,
+                "matrix market: malformed size line '", line, "'");
+
+    data.was_symmetric = symmetry != "general";
+    data.was_pattern = field == "pattern";
+    data.triplets.reserve(static_cast<std::size_t>(nnz));
+
+    for (gidx k = 0; k < nnz; ++k) {
+        KDR_REQUIRE(static_cast<bool>(std::getline(in, line)), "matrix market: expected ", nnz,
+                    " entries, stream ended after ", k);
+        if (line.empty() || line[0] == '%') {
+            --k;
+            continue;
+        }
+        std::istringstream entry(line);
+        gidx i = 0;
+        gidx j = 0;
+        double v = 1.0;
+        entry >> i >> j;
+        if (!data.was_pattern) entry >> v;
+        KDR_REQUIRE(!entry.fail(), "matrix market: malformed entry '", line, "'");
+        KDR_REQUIRE(i >= 1 && i <= data.rows && j >= 1 && j <= data.cols,
+                    "matrix market: entry (", i, ",", j, ") outside ", data.rows, "x",
+                    data.cols);
+        data.triplets.push_back({i - 1, j - 1, v});
+        if (symmetry == "symmetric" && i != j) {
+            data.triplets.push_back({j - 1, i - 1, v});
+        } else if (symmetry == "skew-symmetric" && i != j) {
+            data.triplets.push_back({j - 1, i - 1, -v});
+        }
+    }
+    return data;
+}
+
+MatrixMarketData read_matrix_market_file(const std::string& path) {
+    std::ifstream in(path);
+    KDR_REQUIRE(in.good(), "matrix market: cannot open '", path, "'");
+    return read_matrix_market(in);
+}
+
+void write_matrix_market(std::ostream& out, const LinearOperator<double>& op) {
+    const auto ts = coalesce_triplets(op.to_triplets());
+    out << "%%MatrixMarket matrix coordinate real general\n";
+    out << "% written by KDRSolvers (" << op.format_name() << ")\n";
+    out << op.range().size() << " " << op.domain().size() << " " << ts.size() << "\n";
+    out.precision(17);
+    for (const auto& t : ts) {
+        out << t.row + 1 << " " << t.col + 1 << " " << t.value << "\n";
+    }
+}
+
+void write_matrix_market_file(const std::string& path, const LinearOperator<double>& op) {
+    std::ofstream out(path);
+    KDR_REQUIRE(out.good(), "matrix market: cannot open '", path, "' for writing");
+    write_matrix_market(out, op);
+}
+
+} // namespace kdr::mm

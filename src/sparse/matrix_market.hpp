@@ -1,0 +1,37 @@
+#pragma once
+
+/// \file matrix_market.hpp
+/// Matrix Market (.mtx) exchange-format I/O — the lingua franca for sparse
+/// test matrices (SuiteSparse collection et al.). Supports the coordinate
+/// format with real/integer/pattern fields and general/symmetric/
+/// skew-symmetric storage. Reads produce triplets (1-based indices converted
+/// to 0-based, symmetric entries expanded), which feed any storage format's
+/// `from_triplets`; writes emit the `general` coordinate form.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sparse/linear_operator.hpp"
+
+namespace kdr::mm {
+
+struct MatrixMarketData {
+    gidx rows = 0;
+    gidx cols = 0;
+    std::vector<Triplet<double>> triplets; ///< symmetric storage already expanded
+    bool was_symmetric = false;
+    bool was_pattern = false;
+};
+
+/// Parse a Matrix Market stream. Throws kdr::Error on malformed input.
+[[nodiscard]] MatrixMarketData read_matrix_market(std::istream& in);
+
+/// Parse a Matrix Market file by path.
+[[nodiscard]] MatrixMarketData read_matrix_market_file(const std::string& path);
+
+/// Write an operator's triplets as `matrix coordinate real general`.
+void write_matrix_market(std::ostream& out, const LinearOperator<double>& op);
+void write_matrix_market_file(const std::string& path, const LinearOperator<double>& op);
+
+} // namespace kdr::mm

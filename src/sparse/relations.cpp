@@ -1,0 +1,414 @@
+#include "sparse/relations.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace kdr {
+
+// ---------------------------------------------------------------- ArrayFunctionRelation
+
+ArrayFunctionRelation::ArrayFunctionRelation(IndexSpace source, IndexSpace target,
+                                             std::vector<gidx> targets)
+    : source_(std::move(source)), target_(std::move(target)), targets_(std::move(targets)) {
+    KDR_REQUIRE(static_cast<gidx>(targets_.size()) == source_.size(),
+                "ArrayFunctionRelation: targets array size ", targets_.size(),
+                " != source space size ", source_.size());
+    for (gidx t : targets_) {
+        KDR_REQUIRE(t == kNoTarget || (t >= 0 && t < target_.size()),
+                    "ArrayFunctionRelation: target index ", t, " out of range [0,",
+                    target_.size(), ")");
+    }
+}
+
+IntervalSet ArrayFunctionRelation::image_of(const IntervalSet& src) const {
+    std::vector<gidx> hits;
+    hits.reserve(static_cast<std::size_t>(src.volume()));
+    src.for_each([&](gidx k) {
+        const gidx t = targets_[static_cast<std::size_t>(k)];
+        if (t != kNoTarget) hits.push_back(t);
+    });
+    return IntervalSet::from_points(std::move(hits));
+}
+
+void ArrayFunctionRelation::build_inverse() const {
+    if (inverse_built_) return;
+    inv_offsets_.assign(static_cast<std::size_t>(target_.size()) + 1, 0);
+    for (gidx t : targets_)
+        if (t != kNoTarget) ++inv_offsets_[static_cast<std::size_t>(t) + 1];
+    for (std::size_t i = 1; i < inv_offsets_.size(); ++i) inv_offsets_[i] += inv_offsets_[i - 1];
+    inv_sources_.resize(static_cast<std::size_t>(inv_offsets_.back()));
+    std::vector<gidx> cursor(inv_offsets_.begin(), inv_offsets_.end() - 1);
+    for (gidx k = 0; k < static_cast<gidx>(targets_.size()); ++k) {
+        const gidx t = targets_[static_cast<std::size_t>(k)];
+        if (t != kNoTarget)
+            inv_sources_[static_cast<std::size_t>(cursor[static_cast<std::size_t>(t)]++)] = k;
+    }
+    inverse_built_ = true;
+}
+
+IntervalSet ArrayFunctionRelation::preimage_of(const IntervalSet& dst) const {
+    build_inverse();
+    std::vector<gidx> hits;
+    dst.for_each([&](gidx t) {
+        const auto lo = static_cast<std::size_t>(inv_offsets_[static_cast<std::size_t>(t)]);
+        const auto hi = static_cast<std::size_t>(inv_offsets_[static_cast<std::size_t>(t) + 1]);
+        hits.insert(hits.end(), inv_sources_.begin() + static_cast<std::ptrdiff_t>(lo),
+                    inv_sources_.begin() + static_cast<std::ptrdiff_t>(hi));
+    });
+    return IntervalSet::from_points(std::move(hits));
+}
+
+std::vector<std::pair<gidx, gidx>> ArrayFunctionRelation::enumerate() const {
+    std::vector<std::pair<gidx, gidx>> pairs;
+    pairs.reserve(targets_.size());
+    for (gidx k = 0; k < static_cast<gidx>(targets_.size()); ++k) {
+        const gidx t = targets_[static_cast<std::size_t>(k)];
+        if (t != kNoTarget) pairs.emplace_back(k, t);
+    }
+    return pairs;
+}
+
+// ---------------------------------------------------------------- RowPtrRelation
+
+RowPtrRelation::RowPtrRelation(IndexSpace kernel, IndexSpace rows, std::vector<gidx> offsets)
+    : kernel_(std::move(kernel)), rows_(std::move(rows)), offsets_(std::move(offsets)) {
+    KDR_REQUIRE(static_cast<gidx>(offsets_.size()) == rows_.size() + 1,
+                "RowPtrRelation: offsets size ", offsets_.size(), " != rows+1 ",
+                rows_.size() + 1);
+    KDR_REQUIRE(offsets_.front() == 0, "RowPtrRelation: offsets must start at 0");
+    KDR_REQUIRE(offsets_.back() == kernel_.size(), "RowPtrRelation: offsets must end at |K| ",
+                kernel_.size(), ", got ", offsets_.back());
+    for (std::size_t i = 1; i < offsets_.size(); ++i)
+        KDR_REQUIRE(offsets_[i] >= offsets_[i - 1], "RowPtrRelation: offsets not monotone at ", i);
+}
+
+IntervalSet RowPtrRelation::image_of(const IntervalSet& src) const {
+    // Rows whose kernel interval intersects the source subset. Rows in the
+    // candidate range with empty kernel intervals are excluded (they relate
+    // to nothing).
+    std::vector<Interval> rows;
+    src.for_each_interval([&](const Interval& iv) {
+        // First row whose interval end exceeds iv.lo:
+        auto lo_it = std::upper_bound(offsets_.begin() + 1, offsets_.end(), iv.lo);
+        const gidx row_lo = lo_it - (offsets_.begin() + 1);
+        // First row whose interval start is >= iv.hi:
+        auto hi_it = std::lower_bound(offsets_.begin(), offsets_.end() - 1, iv.hi);
+        const gidx row_hi = hi_it - offsets_.begin();
+        gidx run_start = -1;
+        for (gidx i = row_lo; i < row_hi; ++i) {
+            const bool nonempty =
+                offsets_[static_cast<std::size_t>(i)] < offsets_[static_cast<std::size_t>(i) + 1];
+            if (nonempty && run_start < 0) run_start = i;
+            if (!nonempty && run_start >= 0) {
+                rows.push_back({run_start, i});
+                run_start = -1;
+            }
+        }
+        if (run_start >= 0) rows.push_back({run_start, row_hi});
+    });
+    return IntervalSet::from_intervals(std::move(rows));
+}
+
+IntervalSet RowPtrRelation::preimage_of(const IntervalSet& dst) const {
+    std::vector<Interval> kernels;
+    dst.for_each_interval([&](const Interval& iv) {
+        const gidx lo = offsets_[static_cast<std::size_t>(iv.lo)];
+        const gidx hi = offsets_[static_cast<std::size_t>(iv.hi)];
+        if (lo < hi) kernels.push_back({lo, hi});
+    });
+    return IntervalSet::from_intervals(std::move(kernels));
+}
+
+std::vector<std::pair<gidx, gidx>> RowPtrRelation::enumerate() const {
+    std::vector<std::pair<gidx, gidx>> pairs;
+    pairs.reserve(static_cast<std::size_t>(kernel_.size()));
+    for (gidx i = 0; i < rows_.size(); ++i) {
+        for (gidx k = offsets_[static_cast<std::size_t>(i)];
+             k < offsets_[static_cast<std::size_t>(i) + 1]; ++k) {
+            pairs.emplace_back(k, i);
+        }
+    }
+    return pairs;
+}
+
+// ---------------------------------------------------------------- QuotientRelation
+
+QuotientRelation::QuotientRelation(IndexSpace source, IndexSpace target, gidx divisor)
+    : source_(std::move(source)), target_(std::move(target)), divisor_(divisor) {
+    KDR_REQUIRE(divisor_ > 0, "QuotientRelation: nonpositive divisor ", divisor_);
+    KDR_REQUIRE(source_.size() == target_.size() * divisor_,
+                "QuotientRelation: |source| ", source_.size(), " != |target| * divisor ",
+                target_.size() * divisor_);
+}
+
+IntervalSet QuotientRelation::image_of(const IntervalSet& src) const {
+    std::vector<Interval> out;
+    src.for_each_interval([&](const Interval& iv) {
+        out.push_back({iv.lo / divisor_, (iv.hi - 1) / divisor_ + 1});
+    });
+    return IntervalSet::from_intervals(std::move(out));
+}
+
+IntervalSet QuotientRelation::preimage_of(const IntervalSet& dst) const {
+    std::vector<Interval> out;
+    dst.for_each_interval(
+        [&](const Interval& iv) { out.push_back({iv.lo * divisor_, iv.hi * divisor_}); });
+    return IntervalSet::from_intervals(std::move(out));
+}
+
+std::vector<std::pair<gidx, gidx>> QuotientRelation::enumerate() const {
+    std::vector<std::pair<gidx, gidx>> pairs;
+    pairs.reserve(static_cast<std::size_t>(source_.size()));
+    for (gidx k = 0; k < source_.size(); ++k) pairs.emplace_back(k, k / divisor_);
+    return pairs;
+}
+
+// ---------------------------------------------------------------- RemainderRelation
+
+RemainderRelation::RemainderRelation(IndexSpace source, IndexSpace target, gidx modulus)
+    : source_(std::move(source)), target_(std::move(target)), modulus_(modulus) {
+    KDR_REQUIRE(modulus_ > 0, "RemainderRelation: nonpositive modulus ", modulus_);
+    KDR_REQUIRE(modulus_ == target_.size(), "RemainderRelation: modulus ", modulus_,
+                " != |target| ", target_.size());
+    KDR_REQUIRE(source_.size() % modulus_ == 0, "RemainderRelation: |source| ", source_.size(),
+                " not a multiple of modulus ", modulus_);
+}
+
+IntervalSet RemainderRelation::image_of(const IntervalSet& src) const {
+    std::vector<Interval> out;
+    src.for_each_interval([&](const Interval& iv) {
+        if (iv.size() >= modulus_) {
+            out.push_back({0, modulus_}); // wraps the whole target
+            return;
+        }
+        const gidx lo = iv.lo % modulus_;
+        const gidx hi = lo + iv.size();
+        if (hi <= modulus_) {
+            out.push_back({lo, hi});
+        } else {
+            out.push_back({lo, modulus_});
+            out.push_back({0, hi - modulus_});
+        }
+    });
+    return IntervalSet::from_intervals(std::move(out));
+}
+
+IntervalSet RemainderRelation::preimage_of(const IntervalSet& dst) const {
+    const gidx reps = source_.size() / modulus_;
+    std::vector<Interval> out;
+    out.reserve(static_cast<std::size_t>(reps) * dst.interval_count());
+    for (gidx r = 0; r < reps; ++r) {
+        dst.for_each_interval([&](const Interval& iv) {
+            out.push_back({r * modulus_ + iv.lo, r * modulus_ + iv.hi});
+        });
+    }
+    return IntervalSet::from_intervals(std::move(out));
+}
+
+std::vector<std::pair<gidx, gidx>> RemainderRelation::enumerate() const {
+    std::vector<std::pair<gidx, gidx>> pairs;
+    pairs.reserve(static_cast<std::size_t>(source_.size()));
+    for (gidx k = 0; k < source_.size(); ++k) pairs.emplace_back(k, k % modulus_);
+    return pairs;
+}
+
+// ---------------------------------------------------------------- DiagonalRelation
+
+DiagonalRelation::DiagonalRelation(IndexSpace kernel, IndexSpace rows, gidx domain_size,
+                                   std::vector<gidx> diag_offsets)
+    : kernel_(std::move(kernel)),
+      rows_(std::move(rows)),
+      d_(domain_size),
+      diag_offsets_(std::move(diag_offsets)) {
+    KDR_REQUIRE(d_ > 0, "DiagonalRelation: nonpositive domain size");
+    KDR_REQUIRE(kernel_.size() == static_cast<gidx>(diag_offsets_.size()) * d_,
+                "DiagonalRelation: |K| ", kernel_.size(), " != #diagonals * d ",
+                static_cast<gidx>(diag_offsets_.size()) * d_);
+}
+
+IntervalSet DiagonalRelation::image_of(const IntervalSet& src) const {
+    std::vector<Interval> out;
+    src.for_each_interval([&](const Interval& iv) {
+        // Split the kernel interval by diagonal, then shift by -offset.
+        gidx lo = iv.lo;
+        while (lo < iv.hi) {
+            const gidx k0 = lo / d_;
+            const gidx seg_hi = std::min(iv.hi, (k0 + 1) * d_);
+            const gidx off = diag_offsets_[static_cast<std::size_t>(k0)];
+            const gidx row_lo = (lo - k0 * d_) - off;
+            const gidx row_hi = (seg_hi - k0 * d_) - off;
+            const gidx clamped_lo = std::max<gidx>(row_lo, 0);
+            const gidx clamped_hi = std::min<gidx>(row_hi, rows_.size());
+            if (clamped_lo < clamped_hi) out.push_back({clamped_lo, clamped_hi});
+            lo = seg_hi;
+        }
+    });
+    return IntervalSet::from_intervals(std::move(out));
+}
+
+IntervalSet DiagonalRelation::preimage_of(const IntervalSet& dst) const {
+    std::vector<Interval> out;
+    for (std::size_t k0 = 0; k0 < diag_offsets_.size(); ++k0) {
+        const gidx off = diag_offsets_[k0];
+        const gidx base = static_cast<gidx>(k0) * d_;
+        dst.for_each_interval([&](const Interval& iv) {
+            // row i stored at kernel position base + (i + off), valid if in [0, d).
+            const gidx lo = std::max<gidx>(iv.lo + off, 0);
+            const gidx hi = std::min<gidx>(iv.hi + off, d_);
+            if (lo < hi) out.push_back({base + lo, base + hi});
+        });
+    }
+    return IntervalSet::from_intervals(std::move(out));
+}
+
+std::vector<std::pair<gidx, gidx>> DiagonalRelation::enumerate() const {
+    std::vector<std::pair<gidx, gidx>> pairs;
+    for (std::size_t k0 = 0; k0 < diag_offsets_.size(); ++k0) {
+        const gidx off = diag_offsets_[k0];
+        for (gidx j = 0; j < d_; ++j) {
+            const gidx i = j - off;
+            if (i >= 0 && i < rows_.size())
+                pairs.emplace_back(static_cast<gidx>(k0) * d_ + j, i);
+        }
+    }
+    return pairs;
+}
+
+// ---------------------------------------------------------------- BlockExpandedRelation
+
+BlockExpandedRelation::BlockExpandedRelation(IndexSpace kernel, IndexSpace target,
+                                             std::shared_ptr<const Relation> base,
+                                             gidx block_rows, gidx block_cols, gidx target_block,
+                                             bool use_row_block)
+    : kernel_(std::move(kernel)),
+      target_(std::move(target)),
+      base_(std::move(base)),
+      br_(block_rows),
+      bd_(block_cols),
+      tb_(target_block),
+      use_row_block_(use_row_block) {
+    KDR_REQUIRE(br_ > 0 && bd_ > 0, "BlockExpandedRelation: nonpositive block dims");
+    KDR_REQUIRE(kernel_.size() == base_->source().size() * br_ * bd_,
+                "BlockExpandedRelation: |K| mismatch");
+    KDR_REQUIRE(target_.size() == base_->target().size() * tb_,
+                "BlockExpandedRelation: |target| mismatch");
+}
+
+IntervalSet BlockExpandedRelation::image_of(const IntervalSet& src) const {
+    // Fully covered kernel blocks expand through the base relation in bulk;
+    // partially covered head/tail blocks are resolved exactly per block.
+    const gidx bvol = br_ * bd_;
+    std::vector<Interval> out;
+    std::vector<Interval> full_blocks;
+
+    auto handle_partial = [&](gidx k0, gidx wlo, gidx whi) {
+        // Within-block element positions [wlo, whi); find covered target-block
+        // coordinates b.
+        std::vector<Interval> bs;
+        if (use_row_block_) {
+            bs.push_back({wlo / bd_, (whi - 1) / bd_ + 1});
+        } else if (whi - wlo >= bd_) {
+            bs.push_back({0, bd_});
+        } else {
+            const gidx l = wlo % bd_;
+            const gidx h = l + (whi - wlo);
+            if (h <= bd_) {
+                bs.push_back({l, h});
+            } else {
+                bs.push_back({l, bd_});
+                bs.push_back({0, h - bd_});
+            }
+        }
+        base_->image_of(IntervalSet(k0, k0 + 1)).for_each([&](gidx x0) {
+            for (const Interval& b : bs) out.push_back({x0 * tb_ + b.lo, x0 * tb_ + b.hi});
+        });
+    };
+
+    src.for_each_interval([&](const Interval& iv) {
+        const gidx first_full = (iv.lo + bvol - 1) / bvol; // ceil
+        const gidx last_full = iv.hi / bvol;               // floor
+        if (first_full < last_full) {
+            full_blocks.push_back({first_full, last_full});
+            if (iv.lo < first_full * bvol)
+                handle_partial(iv.lo / bvol, iv.lo % bvol, bvol);
+            if (iv.hi > last_full * bvol) handle_partial(last_full, 0, iv.hi % bvol);
+        } else {
+            const gidx head_k0 = iv.lo / bvol;
+            const gidx tail_k0 = (iv.hi - 1) / bvol;
+            if (head_k0 == tail_k0) {
+                handle_partial(head_k0, iv.lo % bvol, iv.hi - head_k0 * bvol);
+            } else {
+                handle_partial(head_k0, iv.lo % bvol, bvol);
+                handle_partial(tail_k0, 0, iv.hi - tail_k0 * bvol);
+            }
+        }
+    });
+    if (!full_blocks.empty()) {
+        base_->image_of(IntervalSet::from_intervals(std::move(full_blocks)))
+            .for_each_interval(
+                [&](const Interval& iv) { out.push_back({iv.lo * tb_, iv.hi * tb_}); });
+    }
+    return IntervalSet::from_intervals(std::move(out));
+}
+
+IntervalSet BlockExpandedRelation::preimage_of(const IntervalSet& dst) const {
+    const gidx bvol = br_ * bd_;
+    std::vector<Interval> out;
+    std::vector<Interval> full_blocks;
+
+    auto handle_partial = [&](gidx x0, gidx blo, gidx bhi) {
+        base_->preimage_of(IntervalSet(x0, x0 + 1)).for_each([&](gidx k0) {
+            const gidx base_k = k0 * bvol;
+            if (use_row_block_) {
+                // rows blo..bhi of the block: one contiguous run.
+                out.push_back({base_k + blo * bd_, base_k + bhi * bd_});
+            } else {
+                // cols blo..bhi of the block: one run per block row.
+                for (gidx r = 0; r < br_; ++r)
+                    out.push_back({base_k + r * bd_ + blo, base_k + r * bd_ + bhi});
+            }
+        });
+    };
+
+    dst.for_each_interval([&](const Interval& iv) {
+        const gidx first_full = (iv.lo + tb_ - 1) / tb_; // ceil
+        const gidx last_full = iv.hi / tb_;              // floor
+        if (first_full < last_full) {
+            full_blocks.push_back({first_full, last_full});
+            if (iv.lo < first_full * tb_) handle_partial(iv.lo / tb_, iv.lo % tb_, tb_);
+            if (iv.hi > last_full * tb_) handle_partial(last_full, 0, iv.hi % tb_);
+        } else {
+            const gidx head_x0 = iv.lo / tb_;
+            const gidx tail_x0 = (iv.hi - 1) / tb_;
+            if (head_x0 == tail_x0) {
+                handle_partial(head_x0, iv.lo % tb_, iv.hi - head_x0 * tb_);
+            } else {
+                handle_partial(head_x0, iv.lo % tb_, tb_);
+                handle_partial(tail_x0, 0, iv.hi - tail_x0 * tb_);
+            }
+        }
+    });
+    if (!full_blocks.empty()) {
+        base_->preimage_of(IntervalSet::from_intervals(std::move(full_blocks)))
+            .for_each_interval(
+                [&](const Interval& iv) { out.push_back({iv.lo * bvol, iv.hi * bvol}); });
+    }
+    return IntervalSet::from_intervals(std::move(out));
+}
+
+std::vector<std::pair<gidx, gidx>> BlockExpandedRelation::enumerate() const {
+    std::vector<std::pair<gidx, gidx>> pairs;
+    for (const auto& [k0, x0] : base_->enumerate()) {
+        for (gidx r = 0; r < br_; ++r) {
+            for (gidx c = 0; c < bd_; ++c) {
+                const gidx k = (k0 * br_ + r) * bd_ + c;
+                const gidx b = use_row_block_ ? r : c;
+                pairs.emplace_back(k, x0 * tb_ + b);
+            }
+        }
+    }
+    return pairs;
+}
+
+} // namespace kdr

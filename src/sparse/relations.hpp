@@ -1,0 +1,175 @@
+#pragma once
+
+/// \file relations.hpp
+/// Reusable row/col relation implementations backing the storage-format
+/// catalog of paper Fig 3. Each class implements `kdr::Relation` with a
+/// format-specific fast path, so dependent-partitioning projections never
+/// need to enumerate nonzeros for the structured formats:
+///
+///   ArrayFunctionRelation  — col : K → D stored as an index array (COO, CSR,
+///                            ELL with padding sentinel, …)
+///   RowPtrRelation         — rowptr : R → [K, K] contiguous-interval maps
+///                            (CSR, CSC, BCSR, BCSC)
+///   QuotientRelation       — implicit π1 : R × K0 → R, i.e. k ↦ k / K0
+///                            (ELL, ELL', Dense row relation)
+///   RemainderRelation      — implicit π2 : R × D → D, i.e. k ↦ k mod D
+///                            (Dense column relation)
+///   DiagonalRelation       — DIA's implicit row relation k=(k0,i) ↦ i−offset(k0)
+///   BlockExpandedRelation  — lifts a K0 → X0 relation to K = K0×B_R×B_D →
+///                            X = X0×B_X (BCSR/BCSC row & col relations)
+///
+/// Relations here may be *partial* (a kernel point related to no grid point):
+/// padding slots in ELL/DIA are modeled as unrelated kernel points, which the
+/// generalized matrix semantics of eq. (2) handles naturally.
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "partition/relation.hpp"
+
+namespace kdr {
+
+/// Sentinel meaning "this kernel point is related to nothing" (ELL padding).
+inline constexpr gidx kNoTarget = -1;
+
+/// Function I → J stored as an array of target indices (kNoTarget allowed).
+class ArrayFunctionRelation final : public Relation {
+public:
+    ArrayFunctionRelation(IndexSpace source, IndexSpace target, std::vector<gidx> targets);
+
+    [[nodiscard]] const IndexSpace& source() const override { return source_; }
+    [[nodiscard]] const IndexSpace& target() const override { return target_; }
+
+    [[nodiscard]] IntervalSet image_of(const IntervalSet& src) const override;
+    [[nodiscard]] IntervalSet preimage_of(const IntervalSet& dst) const override;
+
+    [[nodiscard]] std::vector<std::pair<gidx, gidx>> enumerate() const override;
+
+    [[nodiscard]] const std::vector<gidx>& targets() const noexcept { return targets_; }
+
+private:
+    void build_inverse() const;
+
+    IndexSpace source_;
+    IndexSpace target_;
+    std::vector<gidx> targets_;
+    // Lazily built inverse adjacency (target -> sources), used by preimage_of.
+    mutable bool inverse_built_ = false;
+    mutable std::vector<gidx> inv_offsets_;
+    mutable std::vector<gidx> inv_sources_;
+};
+
+/// Relation K ⇄ R where row i ∈ R owns the contiguous kernel interval
+/// [offsets[i], offsets[i+1]). Source is K, target is R.
+class RowPtrRelation final : public Relation {
+public:
+    RowPtrRelation(IndexSpace kernel, IndexSpace rows, std::vector<gidx> offsets);
+
+    [[nodiscard]] const IndexSpace& source() const override { return kernel_; }
+    [[nodiscard]] const IndexSpace& target() const override { return rows_; }
+
+    [[nodiscard]] IntervalSet image_of(const IntervalSet& src) const override;
+    [[nodiscard]] IntervalSet preimage_of(const IntervalSet& dst) const override;
+
+    [[nodiscard]] std::vector<std::pair<gidx, gidx>> enumerate() const override;
+
+    [[nodiscard]] const std::vector<gidx>& offsets() const noexcept { return offsets_; }
+
+private:
+    IndexSpace kernel_;
+    IndexSpace rows_;
+    std::vector<gidx> offsets_; // size rows+1, nondecreasing, spans [0, |K|]
+};
+
+/// Implicit projection k ↦ k / divisor (π1 of K = R × K0 in row-major order).
+class QuotientRelation final : public Relation {
+public:
+    QuotientRelation(IndexSpace source, IndexSpace target, gidx divisor);
+
+    [[nodiscard]] const IndexSpace& source() const override { return source_; }
+    [[nodiscard]] const IndexSpace& target() const override { return target_; }
+
+    [[nodiscard]] IntervalSet image_of(const IntervalSet& src) const override;
+    [[nodiscard]] IntervalSet preimage_of(const IntervalSet& dst) const override;
+
+    [[nodiscard]] std::vector<std::pair<gidx, gidx>> enumerate() const override;
+
+private:
+    IndexSpace source_;
+    IndexSpace target_;
+    gidx divisor_;
+};
+
+/// Implicit projection k ↦ k mod modulus (π2 of K = R × D in row-major order).
+class RemainderRelation final : public Relation {
+public:
+    RemainderRelation(IndexSpace source, IndexSpace target, gidx modulus);
+
+    [[nodiscard]] const IndexSpace& source() const override { return source_; }
+    [[nodiscard]] const IndexSpace& target() const override { return target_; }
+
+    [[nodiscard]] IntervalSet image_of(const IntervalSet& src) const override;
+    [[nodiscard]] IntervalSet preimage_of(const IntervalSet& dst) const override;
+
+    [[nodiscard]] std::vector<std::pair<gidx, gidx>> enumerate() const override;
+
+private:
+    IndexSpace source_;
+    IndexSpace target_;
+    gidx modulus_;
+};
+
+/// DIA's implicit row relation: kernel k = (k0, j) with j = k mod d relates
+/// to range index j − offset(k0) when that lies in [0, r); otherwise the
+/// kernel point is padding.
+class DiagonalRelation final : public Relation {
+public:
+    DiagonalRelation(IndexSpace kernel, IndexSpace rows, gidx domain_size,
+                     std::vector<gidx> diag_offsets);
+
+    [[nodiscard]] const IndexSpace& source() const override { return kernel_; }
+    [[nodiscard]] const IndexSpace& target() const override { return rows_; }
+
+    [[nodiscard]] IntervalSet image_of(const IntervalSet& src) const override;
+    [[nodiscard]] IntervalSet preimage_of(const IntervalSet& dst) const override;
+
+    [[nodiscard]] std::vector<std::pair<gidx, gidx>> enumerate() const override;
+
+private:
+    IndexSpace kernel_;
+    IndexSpace rows_;
+    gidx d_; // domain size (diagonal length as stored)
+    std::vector<gidx> diag_offsets_;
+};
+
+/// Lifts a block-level relation K0 → X0 to the element level for blocked
+/// formats: kernel k = (k0·B_R + b_r)·B_D + b_d relates to x = x0·B + b,
+/// where x0 ranges over the base relation's images of k0 and b is the block
+/// coordinate selected by `use_row_block` (b_r for the row relation, b_d for
+/// the column relation).
+class BlockExpandedRelation final : public Relation {
+public:
+    BlockExpandedRelation(IndexSpace kernel, IndexSpace target,
+                          std::shared_ptr<const Relation> base, gidx block_rows,
+                          gidx block_cols, gidx target_block, bool use_row_block);
+
+    [[nodiscard]] const IndexSpace& source() const override { return kernel_; }
+    [[nodiscard]] const IndexSpace& target() const override { return target_; }
+
+    [[nodiscard]] IntervalSet image_of(const IntervalSet& src) const override;
+    [[nodiscard]] IntervalSet preimage_of(const IntervalSet& dst) const override;
+
+    [[nodiscard]] std::vector<std::pair<gidx, gidx>> enumerate() const override;
+
+private:
+    IndexSpace kernel_;
+    IndexSpace target_;
+    std::shared_ptr<const Relation> base_; // K0 -> X0
+    gidx br_;
+    gidx bd_;
+    gidx tb_;       // target block size B (B_R or B_D)
+    bool use_row_block_;
+};
+
+} // namespace kdr

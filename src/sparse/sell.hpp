@@ -1,0 +1,190 @@
+#pragma once
+
+/// \file sell.hpp
+/// SELL-C-σ ("sliced ELL") — the modern SIMD/GPU-friendly format of
+/// Kreutzer et al., expressed in the KDR framework to show the catalog of
+/// Fig 3 is open-ended. Rows are grouped into slices of C; within a sorting
+/// window of σ slices·C rows, rows are ordered by descending occupancy so
+/// each slice pads only to its own longest row.
+///
+/// KDR view: the kernel space is the concatenation of slice blocks, slice s
+/// occupying width(s)·C slots laid out column-major within the slice
+/// (slot = slice_offset(s)·C + j·C + c for lane c, position j). Both
+/// relations are stored index arrays here (`row` must be stored anyway
+/// because of the σ-window permutation; `col` as in ELL, with the padding
+/// sentinel); a production implementation could supply an analytic row
+/// relation from (slice_ptr, permutation) alone.
+
+#include <algorithm>
+#include <memory>
+#include <numeric>
+#include <span>
+#include <vector>
+
+#include "sparse/linear_operator.hpp"
+#include "sparse/relations.hpp"
+
+namespace kdr {
+
+template <typename T>
+class SellMatrix final : public LinearOperator<T> {
+public:
+    /// Build from triplets with slice height C and sorting window σ (in
+    /// slices). σ = 1 disables sorting; σ covering all slices is full
+    /// occupancy sort.
+    static SellMatrix from_triplets(IndexSpace domain, IndexSpace range, gidx slice_height,
+                                    gidx sigma, std::vector<Triplet<T>> ts) {
+        KDR_REQUIRE(slice_height > 0, "SellMatrix: nonpositive slice height");
+        KDR_REQUIRE(sigma > 0, "SellMatrix: nonpositive sorting window");
+        ts = coalesce_triplets(std::move(ts));
+        const gidx nrows = range.size();
+        const gidx nslices = (nrows + slice_height - 1) / slice_height;
+
+        // Per-row entry lists.
+        std::vector<std::vector<std::pair<gidx, T>>> rows(static_cast<std::size_t>(nrows));
+        for (const Triplet<T>& t : ts) {
+            KDR_REQUIRE(t.row >= 0 && t.row < nrows, "SellMatrix: row out of range");
+            rows[static_cast<std::size_t>(t.row)].emplace_back(t.col, t.value);
+        }
+
+        // σ-window occupancy sort: permutation maps lane position -> row.
+        std::vector<gidx> perm(static_cast<std::size_t>(nrows));
+        std::iota(perm.begin(), perm.end(), 0);
+        const gidx window = sigma * slice_height;
+        for (gidx lo = 0; lo < nrows; lo += window) {
+            const gidx hi = std::min(lo + window, nrows);
+            std::sort(perm.begin() + lo, perm.begin() + hi, [&](gidx a, gidx b) {
+                return rows[static_cast<std::size_t>(a)].size() >
+                       rows[static_cast<std::size_t>(b)].size();
+            });
+        }
+
+        // Slice widths and offsets.
+        std::vector<gidx> widths(static_cast<std::size_t>(nslices), 1);
+        for (gidx s = 0; s < nslices; ++s) {
+            for (gidx c = 0; c < slice_height; ++c) {
+                const gidx lane = s * slice_height + c;
+                if (lane >= nrows) break;
+                widths[static_cast<std::size_t>(s)] = std::max(
+                    widths[static_cast<std::size_t>(s)],
+                    static_cast<gidx>(rows[static_cast<std::size_t>(perm[static_cast<std::size_t>(lane)])].size()));
+            }
+        }
+        std::vector<gidx> slice_offsets(static_cast<std::size_t>(nslices) + 1, 0);
+        for (gidx s = 0; s < nslices; ++s) {
+            slice_offsets[static_cast<std::size_t>(s) + 1] =
+                slice_offsets[static_cast<std::size_t>(s)] +
+                widths[static_cast<std::size_t>(s)] * slice_height;
+        }
+
+        // Fill column/row/value arrays, column-major within each slice.
+        const gidx total = slice_offsets.back();
+        std::vector<gidx> cols(static_cast<std::size_t>(total), kNoTarget);
+        std::vector<gidx> row_ids(static_cast<std::size_t>(total), kNoTarget);
+        std::vector<T> vals(static_cast<std::size_t>(total), T{});
+        for (gidx s = 0; s < nslices; ++s) {
+            const gidx base = slice_offsets[static_cast<std::size_t>(s)];
+            for (gidx c = 0; c < slice_height; ++c) {
+                const gidx lane = s * slice_height + c;
+                if (lane >= nrows) continue;
+                const gidx r = perm[static_cast<std::size_t>(lane)];
+                const auto& entries = rows[static_cast<std::size_t>(r)];
+                for (std::size_t j = 0; j < entries.size(); ++j) {
+                    const auto slot =
+                        static_cast<std::size_t>(base + static_cast<gidx>(j) * slice_height + c);
+                    cols[slot] = entries[j].first;
+                    row_ids[slot] = r;
+                    vals[slot] = entries[j].second;
+                }
+            }
+        }
+        return SellMatrix(std::move(domain), std::move(range), slice_height, sigma,
+                          std::move(slice_offsets), std::move(cols), std::move(row_ids),
+                          std::move(vals));
+    }
+
+    [[nodiscard]] const IndexSpace& domain() const override { return domain_; }
+    [[nodiscard]] const IndexSpace& range() const override { return range_; }
+    [[nodiscard]] const IndexSpace& kernel() const override { return kernel_; }
+
+    [[nodiscard]] std::shared_ptr<const Relation> col_relation() const override {
+        return col_rel_;
+    }
+    [[nodiscard]] std::shared_ptr<const Relation> row_relation() const override {
+        return row_rel_;
+    }
+
+    [[nodiscard]] const char* format_name() const override { return "sell"; }
+    [[nodiscard]] gidx slice_height() const noexcept { return c_; }
+    [[nodiscard]] gidx sigma() const noexcept { return sigma_; }
+    [[nodiscard]] const std::vector<gidx>& slice_offsets() const noexcept {
+        return slice_offsets_;
+    }
+
+    void multiply_add_piece(const IntervalSet& piece, std::span<const T> x,
+                            std::span<T> y) const override {
+        this->check_vectors(x, y);
+        const auto& cols = col_rel_->targets();
+        const auto& rows = row_rel_->targets();
+        piece.for_each_interval([&](const Interval& iv) {
+            for (gidx k = iv.lo; k < iv.hi; ++k) {
+                const auto ku = static_cast<std::size_t>(k);
+                if (cols[ku] == kNoTarget) continue;
+                y[static_cast<std::size_t>(rows[ku])] +=
+                    entries_[ku] * x[static_cast<std::size_t>(cols[ku])];
+            }
+        });
+    }
+
+    void multiply_add_transpose_piece(const IntervalSet& piece, std::span<const T> x,
+                                      std::span<T> y) const override {
+        this->check_vectors_transpose(x, y);
+        const auto& cols = col_rel_->targets();
+        const auto& rows = row_rel_->targets();
+        piece.for_each_interval([&](const Interval& iv) {
+            for (gidx k = iv.lo; k < iv.hi; ++k) {
+                const auto ku = static_cast<std::size_t>(k);
+                if (cols[ku] == kNoTarget) continue;
+                y[static_cast<std::size_t>(cols[ku])] +=
+                    entries_[ku] * x[static_cast<std::size_t>(rows[ku])];
+            }
+        });
+    }
+
+    [[nodiscard]] std::vector<Triplet<T>> to_triplets() const override {
+        const auto& cols = col_rel_->targets();
+        const auto& rows = row_rel_->targets();
+        std::vector<Triplet<T>> ts;
+        for (std::size_t k = 0; k < entries_.size(); ++k) {
+            if (cols[k] != kNoTarget) ts.push_back({rows[k], cols[k], entries_[k]});
+        }
+        return ts;
+    }
+
+private:
+    SellMatrix(IndexSpace domain, IndexSpace range, gidx slice_height, gidx sigma,
+               std::vector<gidx> slice_offsets, std::vector<gidx> cols,
+               std::vector<gidx> row_ids, std::vector<T> entries)
+        : domain_(std::move(domain)),
+          range_(std::move(range)),
+          kernel_(IndexSpace::create(static_cast<gidx>(entries.size()), "sell_kernel")),
+          c_(slice_height),
+          sigma_(sigma),
+          slice_offsets_(std::move(slice_offsets)),
+          entries_(std::move(entries)) {
+        col_rel_ = std::make_shared<ArrayFunctionRelation>(kernel_, domain_, std::move(cols));
+        row_rel_ = std::make_shared<ArrayFunctionRelation>(kernel_, range_, std::move(row_ids));
+    }
+
+    IndexSpace domain_;
+    IndexSpace range_;
+    IndexSpace kernel_;
+    gidx c_;
+    gidx sigma_;
+    std::vector<gidx> slice_offsets_;
+    std::vector<T> entries_;
+    std::shared_ptr<ArrayFunctionRelation> col_rel_;
+    std::shared_ptr<ArrayFunctionRelation> row_rel_;
+};
+
+} // namespace kdr

@@ -1,0 +1,216 @@
+#include "stencil/stencil.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace kdr::stencil {
+
+const char* kind_name(Kind k) {
+    switch (k) {
+        case Kind::D1P3: return "3pt-1D";
+        case Kind::D2P5: return "5pt-2D";
+        case Kind::D3P7: return "7pt-3D";
+        case Kind::D3P27: return "27pt-3D";
+    }
+    KDR_UNREACHABLE("bad stencil kind");
+}
+
+int Spec::dims() const {
+    switch (kind) {
+        case Kind::D1P3: return 1;
+        case Kind::D2P5: return 2;
+        case Kind::D3P7:
+        case Kind::D3P27: return 3;
+    }
+    KDR_UNREACHABLE("bad stencil kind");
+}
+
+gidx Spec::unknowns() const { return nx * ny * nz; }
+
+int Spec::points() const {
+    switch (kind) {
+        case Kind::D1P3: return 3;
+        case Kind::D2P5: return 5;
+        case Kind::D3P7: return 7;
+        case Kind::D3P27: return 27;
+    }
+    KDR_UNREACHABLE("bad stencil kind");
+}
+
+gidx Spec::total_nnz() const {
+    switch (kind) {
+        case Kind::D1P3: return 3 * nx - 2;
+        case Kind::D2P5: return 5 * nx * ny - 2 * nx - 2 * ny;
+        case Kind::D3P7:
+            return nx * ny * nz + 2 * ((nx - 1) * ny * nz + nx * (ny - 1) * nz +
+                                       nx * ny * (nz - 1));
+        case Kind::D3P27: return (3 * nx - 2) * (3 * ny - 2) * (3 * nz - 2);
+    }
+    KDR_UNREACHABLE("bad stencil kind");
+}
+
+gidx Spec::bandwidth() const {
+    switch (kind) {
+        case Kind::D1P3: return 1;
+        case Kind::D2P5: return ny;
+        case Kind::D3P7: return ny * nz;
+        case Kind::D3P27: return ny * nz + nz + 1;
+    }
+    KDR_UNREACHABLE("bad stencil kind");
+}
+
+std::vector<std::array<gidx, 3>> Spec::offsets() const {
+    std::vector<std::array<gidx, 3>> out;
+    switch (kind) {
+        case Kind::D1P3:
+            out = {{{-1, 0, 0}}, {{0, 0, 0}}, {{1, 0, 0}}};
+            break;
+        case Kind::D2P5:
+            out = {{{-1, 0, 0}}, {{0, -1, 0}}, {{0, 0, 0}}, {{0, 1, 0}}, {{1, 0, 0}}};
+            break;
+        case Kind::D3P7:
+            out = {{{-1, 0, 0}}, {{0, -1, 0}}, {{0, 0, -1}}, {{0, 0, 0}},
+                   {{0, 0, 1}},  {{0, 1, 0}},  {{1, 0, 0}}};
+            break;
+        case Kind::D3P27:
+            for (gidx dx = -1; dx <= 1; ++dx)
+                for (gidx dy = -1; dy <= 1; ++dy)
+                    for (gidx dz = -1; dz <= 1; ++dz) out.push_back({{dx, dy, dz}});
+            break;
+    }
+    return out;
+}
+
+std::vector<gidx> Spec::extents() const {
+    switch (dims()) {
+        case 1: return {nx};
+        case 2: return {nx, ny};
+        default: return {nx, ny, nz};
+    }
+}
+
+std::string Spec::describe() const {
+    std::ostringstream os;
+    os << kind_name(kind) << " " << nx;
+    if (dims() >= 2) os << "x" << ny;
+    if (dims() >= 3) os << "x" << nz;
+    os << " (" << unknowns() << " unknowns)";
+    return os.str();
+}
+
+Spec Spec::cube(Kind kind, gidx target_unknowns) {
+    KDR_REQUIRE(target_unknowns > 0, "Spec::cube: nonpositive target");
+    Spec s;
+    s.kind = kind;
+    const int d = s.dims();
+    // Pick power-of-two extents whose product is >= target and near-cubic.
+    gidx ext[3] = {1, 1, 1};
+    gidx total = 1;
+    int axis = 0;
+    while (total < target_unknowns) {
+        ext[axis] *= 2;
+        total *= 2;
+        axis = (axis + 1) % d;
+    }
+    s.nx = ext[0];
+    s.ny = ext[1];
+    s.nz = ext[2];
+    return s;
+}
+
+namespace {
+
+/// Visit every (row, col) placement of the stencil with boundary clipping.
+template <typename F>
+void for_each_entry(const Spec& spec, F&& f) {
+    const auto offs = spec.offsets();
+    const gidx nx = spec.nx;
+    const gidx ny = spec.ny;
+    const gidx nz = spec.nz;
+    for (gidx x = 0; x < nx; ++x) {
+        for (gidx y = 0; y < ny; ++y) {
+            for (gidx z = 0; z < nz; ++z) {
+                const gidx i = (x * ny + y) * nz + z;
+                for (const auto& o : offs) {
+                    const gidx xx = x + o[0];
+                    const gidx yy = y + o[1];
+                    const gidx zz = z + o[2];
+                    if (xx < 0 || xx >= nx || yy < 0 || yy >= ny || zz < 0 || zz >= nz)
+                        continue;
+                    const gidx j = (xx * ny + yy) * nz + zz;
+                    const double v =
+                        (i == j) ? static_cast<double>(spec.points() - 1) : -1.0;
+                    f(i, j, v);
+                }
+            }
+        }
+    }
+}
+
+} // namespace
+
+std::vector<Triplet<double>> laplacian_triplets(const Spec& spec) {
+    std::vector<Triplet<double>> ts;
+    ts.reserve(static_cast<std::size_t>(spec.total_nnz()));
+    for_each_entry(spec, [&](gidx i, gidx j, double v) { ts.push_back({i, j, v}); });
+    return ts;
+}
+
+CsrMatrix<double> laplacian_csr(const Spec& spec, const IndexSpace& domain,
+                                const IndexSpace& range) {
+    const gidx n = spec.unknowns();
+    KDR_REQUIRE(domain.size() == n && range.size() == n, "laplacian_csr: spaces must have ", n,
+                " points");
+    std::vector<gidx> rowptr(static_cast<std::size_t>(n) + 1, 0);
+    std::vector<gidx> cols;
+    std::vector<double> vals;
+    cols.reserve(static_cast<std::size_t>(spec.total_nnz()));
+    vals.reserve(static_cast<std::size_t>(spec.total_nnz()));
+    // Entries are generated row-major and columns ascending per row because
+    // offsets() is lexicographically sorted and linearization is row-major.
+    gidx last_row = -1;
+    for_each_entry(spec, [&](gidx i, gidx j, double v) {
+        KDR_ASSERT(i >= last_row, "stencil entries must arrive row-major");
+        last_row = i;
+        ++rowptr[static_cast<std::size_t>(i) + 1];
+        cols.push_back(j);
+        vals.push_back(v);
+    });
+    for (std::size_t i = 1; i < rowptr.size(); ++i) rowptr[i] += rowptr[i - 1];
+    KDR_ASSERT(static_cast<gidx>(vals.size()) == spec.total_nnz(),
+               "nnz formula disagrees with enumeration");
+    return CsrMatrix<double>(domain, range, std::move(rowptr), std::move(cols),
+                             std::move(vals));
+}
+
+std::vector<double> random_rhs(gidx n, std::uint64_t seed) {
+    Rng rng(seed);
+    std::vector<double> b(static_cast<std::size_t>(n));
+    for (double& v : b) v = rng.uniform();
+    return b;
+}
+
+CoPartition co_partition(const Spec& spec, const IndexSpace& domain, const IndexSpace& range,
+                         Color pieces) {
+    const gidx n = spec.unknowns();
+    KDR_REQUIRE(domain.size() == n && range.size() == n, "co_partition: spaces must have ", n,
+                " points");
+    CoPartition out{Partition::equal(range, pieces), Partition(), {}};
+    const gidx bw = spec.bandwidth();
+    std::vector<IntervalSet> halo_pieces;
+    halo_pieces.reserve(static_cast<std::size_t>(pieces));
+    out.nnz.reserve(static_cast<std::size_t>(pieces));
+    const double nnz_per_row =
+        static_cast<double>(spec.total_nnz()) / static_cast<double>(n);
+    for (Color c = 0; c < pieces; ++c) {
+        const Interval rows = out.rows.piece(c).bounds();
+        halo_pieces.emplace_back(std::max<gidx>(0, rows.lo - bw), std::min<gidx>(n, rows.hi + bw));
+        out.nnz.push_back(static_cast<gidx>(nnz_per_row * static_cast<double>(rows.size())));
+    }
+    out.halo = Partition(domain, std::move(halo_pieces));
+    return out;
+}
+
+} // namespace kdr::stencil

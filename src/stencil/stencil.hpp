@@ -1,0 +1,88 @@
+#pragma once
+
+/// \file stencil.hpp
+/// The paper's benchmark workloads (§6.1): double-precision linear systems
+/// from finite-difference discretizations of Poisson's equation on Cartesian
+/// meshes — 3-point 1D, 5-point 2D, 7-point 3D, and 27-point 3D Laplacians.
+/// Matrices use Dirichlet boundary conditions: diagonal = (#stencil points −
+/// 1), off-diagonals = −1 where the neighbor exists, making every system
+/// symmetric positive definite.
+///
+/// Two construction paths:
+///  * exact materialization (triplets / CSR) for functional-mode tests,
+///    examples, and small benchmark sizes;
+///  * analytic metadata (`co_partition`, nnz counts) for timing-mode
+///    benchmark sizes that exceed host memory, where only the virtual-time
+///    schedule is needed. Halos use the closed form rows ± bandwidth, the
+///    same ghost-region shape a row-partitioned stencil exchange has in
+///    practice (edge clipping changes byte counts negligibly; see DESIGN.md).
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "partition/partition.hpp"
+#include "sparse/csr.hpp"
+#include "support/rng.hpp"
+
+namespace kdr::stencil {
+
+enum class Kind {
+    D1P3,  ///< 3-point 1D
+    D2P5,  ///< 5-point 2D
+    D3P7,  ///< 7-point 3D
+    D3P27, ///< 27-point 3D
+};
+
+[[nodiscard]] const char* kind_name(Kind k);
+
+struct Spec {
+    Kind kind = Kind::D2P5;
+    gidx nx = 1;
+    gidx ny = 1;
+    gidx nz = 1;
+
+    [[nodiscard]] int dims() const;
+    [[nodiscard]] gidx unknowns() const;
+    /// Number of stencil points (3, 5, 7, 27); diagonal entry = points-1.
+    [[nodiscard]] int points() const;
+    /// Exact stored-nonzero count with boundary clipping.
+    [[nodiscard]] gidx total_nnz() const;
+    /// Max |linearized offset| — the halo width of a row-block partition.
+    [[nodiscard]] gidx bandwidth() const;
+    /// Coordinate offsets of the stencil (excluding no-op center? no —
+    /// including center).
+    [[nodiscard]] std::vector<std::array<gidx, 3>> offsets() const;
+    /// Grid extents as a vector sized dims().
+    [[nodiscard]] std::vector<gidx> extents() const;
+
+    [[nodiscard]] std::string describe() const;
+
+    /// Square spec with ~`target` unknowns for a given kind (powers of two).
+    static Spec cube(Kind kind, gidx target_unknowns);
+};
+
+/// Exact triplets (small scale: O(points · unknowns) memory).
+[[nodiscard]] std::vector<Triplet<double>> laplacian_triplets(const Spec& spec);
+
+/// Exact CSR matrix over the given spaces (must match spec.unknowns()).
+[[nodiscard]] CsrMatrix<double> laplacian_csr(const Spec& spec, const IndexSpace& domain,
+                                              const IndexSpace& range);
+
+/// The paper's right-hand side: entries uniform in [0, 1].
+[[nodiscard]] std::vector<double> random_rhs(gidx n, std::uint64_t seed);
+
+/// Analytic co-partition of a row-block decomposition: `rows` is the equal
+/// partition of R, `halo` the corresponding domain coverage (rows ±
+/// bandwidth, clipped — aliased and complete), `nnz` the per-piece stored
+/// nonzero count (rows × points, the timing-mode cost input).
+struct CoPartition {
+    Partition rows;
+    Partition halo;
+    std::vector<gidx> nnz;
+};
+
+[[nodiscard]] CoPartition co_partition(const Spec& spec, const IndexSpace& domain,
+                                       const IndexSpace& range, Color pieces);
+
+} // namespace kdr::stencil

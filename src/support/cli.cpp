@@ -1,0 +1,52 @@
+#include "support/cli.hpp"
+
+#include <cstdlib>
+
+#include "support/error.hpp"
+
+namespace kdr {
+
+CliArgs::CliArgs(int argc, const char* const* argv) {
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg.size() < 2 || arg[0] != '-') continue;
+        std::string key = arg.substr(1);
+        if (i + 1 < argc && argv[i + 1][0] != '-') {
+            values_[key] = argv[++i];
+        } else {
+            values_[key] = "1"; // bare flag
+        }
+    }
+}
+
+bool CliArgs::has(const std::string& key) const { return values_.count(key) != 0; }
+
+std::string CliArgs::get_string(const std::string& key, std::string fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+}
+
+std::int64_t CliArgs::get_int(const std::string& key, std::int64_t fallback) const {
+    auto it = values_.find(key);
+    if (it == values_.end()) return fallback;
+    char* end = nullptr;
+    const std::int64_t v = std::strtoll(it->second.c_str(), &end, 10);
+    KDR_REQUIRE(end && *end == '\0', "flag -", key, " expects an integer, got '", it->second, "'");
+    return v;
+}
+
+double CliArgs::get_double(const std::string& key, double fallback) const {
+    auto it = values_.find(key);
+    if (it == values_.end()) return fallback;
+    char* end = nullptr;
+    const double v = std::strtod(it->second.c_str(), &end);
+    KDR_REQUIRE(end && *end == '\0', "flag -", key, " expects a number, got '", it->second, "'");
+    return v;
+}
+
+bool CliArgs::get_flag(const std::string& key) const {
+    auto it = values_.find(key);
+    return it != values_.end() && it->second != "0";
+}
+
+} // namespace kdr

@@ -1,0 +1,27 @@
+#pragma once
+
+/// \file cli.hpp
+/// Minimal `-key value` command-line parser matching the style of the paper's
+/// `BenchmarkStencil` driver (`-dim 2 -solver 1 -nx 4096 ...`).
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace kdr {
+
+class CliArgs {
+public:
+    CliArgs(int argc, const char* const* argv);
+
+    [[nodiscard]] bool has(const std::string& key) const;
+    [[nodiscard]] std::string get_string(const std::string& key, std::string fallback) const;
+    [[nodiscard]] std::int64_t get_int(const std::string& key, std::int64_t fallback) const;
+    [[nodiscard]] double get_double(const std::string& key, double fallback) const;
+    [[nodiscard]] bool get_flag(const std::string& key) const;
+
+private:
+    std::map<std::string, std::string> values_;
+};
+
+} // namespace kdr

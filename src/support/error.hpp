@@ -1,0 +1,71 @@
+#pragma once
+
+/// \file error.hpp
+/// Error handling primitives shared by every KDRSolvers module.
+///
+/// The library distinguishes two classes of failure:
+///  * `kdr::Error`     — user-visible misuse of the public API (bad sizes,
+///                       incompatible spaces, malformed formats). Raised by
+///                       `KDR_REQUIRE`, carries a formatted message.
+///  * internal defects — checked by `KDR_ASSERT`, which compiles to a cheap
+///                       check in all build types (solver state machines are
+///                       inexpensive relative to the numerical kernels).
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace kdr {
+
+/// Exception thrown on misuse of the public API.
+class Error : public std::runtime_error {
+public:
+    explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+
+template <typename... Args>
+[[nodiscard]] std::string concat_message(Args&&... args) {
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    return os.str();
+}
+
+[[noreturn]] inline void throw_error(std::string_view file, int line, std::string msg) {
+    std::ostringstream os;
+    os << "kdr error [" << file << ":" << line << "]: " << msg;
+    throw Error(os.str());
+}
+
+} // namespace detail
+
+} // namespace kdr
+
+/// Validate a user-facing precondition; throws kdr::Error with context.
+#define KDR_REQUIRE(cond, ...)                                                         \
+    do {                                                                               \
+        if (!(cond)) {                                                                 \
+            ::kdr::detail::throw_error(__FILE__, __LINE__,                             \
+                                       ::kdr::detail::concat_message(__VA_ARGS__));    \
+        }                                                                              \
+    } while (0)
+
+/// Internal invariant check. Enabled in all build types; these guards sit on
+/// control paths, not inner numerical loops.
+#define KDR_ASSERT(cond, ...)                                                          \
+    do {                                                                               \
+        if (!(cond)) {                                                                 \
+            ::kdr::detail::throw_error(__FILE__, __LINE__,                             \
+                                       ::kdr::detail::concat_message(                  \
+                                           "internal invariant violated: ",           \
+                                           #cond, " — ", __VA_ARGS__));                \
+        }                                                                              \
+    } while (0)
+
+/// Marks unreachable control flow.
+#define KDR_UNREACHABLE(msg)                                                           \
+    ::kdr::detail::throw_error(__FILE__, __LINE__,                                     \
+                               ::kdr::detail::concat_message("unreachable: ", msg))

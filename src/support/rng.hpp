@@ -1,0 +1,94 @@
+#pragma once
+
+/// \file rng.hpp
+/// Deterministic, seedable random number generation.
+///
+/// Every stochastic component of the reproduction (right-hand sides, the
+/// Figure 10 background-load process, property-test inputs) draws from these
+/// generators so experiments are bit-reproducible across runs.
+
+#include <cstdint>
+#include <limits>
+
+namespace kdr {
+
+/// SplitMix64 — used to expand a single user seed into generator state.
+class SplitMix64 {
+public:
+    explicit constexpr SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+    constexpr std::uint64_t next() noexcept {
+        std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+        z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+        z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+        return z ^ (z >> 31);
+    }
+
+private:
+    std::uint64_t state_;
+};
+
+/// Xoshiro256** — the workhorse generator. Fast, high quality, tiny state.
+class Rng {
+public:
+    using result_type = std::uint64_t;
+
+    explicit Rng(std::uint64_t seed = 0x1234ABCDULL) noexcept { reseed(seed); }
+
+    void reseed(std::uint64_t seed) noexcept {
+        SplitMix64 sm(seed);
+        for (auto& s : state_) s = sm.next();
+    }
+
+    std::uint64_t next() noexcept {
+        const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    // UniformRandomBitGenerator interface so <random> distributions work too.
+    std::uint64_t operator()() noexcept { return next(); }
+    static constexpr std::uint64_t min() noexcept { return 0; }
+    static constexpr std::uint64_t max() noexcept {
+        return std::numeric_limits<std::uint64_t>::max();
+    }
+
+    /// Uniform double in [0, 1).
+    double uniform() noexcept {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /// Uniform double in [lo, hi).
+    double uniform(double lo, double hi) noexcept { return lo + (hi - lo) * uniform(); }
+
+    /// Uniform integer in [0, n). Unbiased via rejection.
+    std::uint64_t uniform_index(std::uint64_t n) noexcept {
+        if (n == 0) return 0;
+        const std::uint64_t threshold = (0 - n) % n; // 2^64 mod n
+        for (;;) {
+            const std::uint64_t r = next();
+            if (r >= threshold) return r % n;
+        }
+    }
+
+    /// Uniform integer in [lo, hi] inclusive.
+    std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) noexcept {
+        return lo + static_cast<std::int64_t>(
+                        uniform_index(static_cast<std::uint64_t>(hi - lo + 1)));
+    }
+
+private:
+    static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t state_[4]{};
+};
+
+} // namespace kdr

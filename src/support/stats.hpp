@@ -1,0 +1,66 @@
+#pragma once
+
+/// \file stats.hpp
+/// Small statistics helpers used by the benchmark harnesses: running moments,
+/// geometric means (the paper reports geometric-mean speedups), and the
+/// min-of-k reduction the paper's artifact description prescribes.
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace kdr {
+
+/// Streaming mean / variance (Welford) plus min/max.
+class RunningStat {
+public:
+    void add(double x) noexcept {
+        ++n_;
+        const double delta = x - mean_;
+        mean_ += delta / static_cast<double>(n_);
+        m2_ += delta * (x - mean_);
+        if (x < min_ || n_ == 1) min_ = x;
+        if (x > max_ || n_ == 1) max_ = x;
+    }
+
+    [[nodiscard]] std::size_t count() const noexcept { return n_; }
+    [[nodiscard]] double mean() const noexcept { return mean_; }
+    [[nodiscard]] double min() const noexcept { return min_; }
+    [[nodiscard]] double max() const noexcept { return max_; }
+
+    [[nodiscard]] double variance() const noexcept {
+        return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+    }
+    [[nodiscard]] double stddev() const noexcept { return std::sqrt(variance()); }
+
+private:
+    std::size_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/// Geometric mean of strictly positive values.
+[[nodiscard]] inline double geometric_mean(const std::vector<double>& xs) {
+    KDR_REQUIRE(!xs.empty(), "geometric_mean: empty input");
+    double log_sum = 0.0;
+    for (double x : xs) {
+        KDR_REQUIRE(x > 0.0, "geometric_mean: nonpositive value ", x);
+        log_sum += std::log(x);
+    }
+    return std::exp(log_sum / static_cast<double>(xs.size()));
+}
+
+/// Minimum over repeated measurements (the paper reports min of 3 runs).
+[[nodiscard]] inline double min_of(const std::vector<double>& xs) {
+    KDR_REQUIRE(!xs.empty(), "min_of: empty input");
+    double m = xs.front();
+    for (double x : xs)
+        if (x < m) m = x;
+    return m;
+}
+
+} // namespace kdr

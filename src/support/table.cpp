@@ -1,0 +1,68 @@
+#include "support/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace kdr {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+    KDR_REQUIRE(!headers_.empty(), "Table: need at least one column");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+    KDR_REQUIRE(cells.size() == headers_.size(), "Table: row arity ", cells.size(),
+                " != header arity ", headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+std::string Table::num(double v, int precision) {
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << v;
+    return os.str();
+}
+
+std::string Table::eng(double v, int precision) {
+    static constexpr const char* suffixes[] = {"", "k", "M", "G", "T"};
+    int tier = 0;
+    double mag = std::fabs(v);
+    while (mag >= 1000.0 && tier < 4) {
+        mag /= 1000.0;
+        v /= 1000.0;
+        ++tier;
+    }
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << v << suffixes[tier];
+    return os.str();
+}
+
+void Table::print(std::ostream& os) const {
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+    for (const auto& row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto print_row = [&](const std::vector<std::string>& row) {
+        os << "|";
+        for (std::size_t c = 0; c < row.size(); ++c)
+            os << " " << std::setw(static_cast<int>(widths[c])) << row[c] << " |";
+        os << "\n";
+    };
+    auto print_rule = [&]() {
+        os << "+";
+        for (std::size_t w : widths) os << std::string(w + 2, '-') << "+";
+        os << "\n";
+    };
+
+    print_rule();
+    print_row(headers_);
+    print_rule();
+    for (const auto& row : rows_) print_row(row);
+    print_rule();
+}
+
+} // namespace kdr

@@ -1,0 +1,34 @@
+#pragma once
+
+/// \file table.hpp
+/// Aligned ASCII table printer. The benchmark harnesses use this to emit the
+/// same rows/series the paper's figures report, in a grep-friendly layout.
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace kdr {
+
+class Table {
+public:
+    explicit Table(std::vector<std::string> headers);
+
+    /// Append one row; must have the same arity as the header.
+    void add_row(std::vector<std::string> cells);
+
+    /// Convenience: format a double with fixed precision.
+    static std::string num(double v, int precision = 3);
+    /// Convenience: format with SI-style engineering suffix (k, M, G).
+    static std::string eng(double v, int precision = 2);
+
+    void print(std::ostream& os) const;
+
+    [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace kdr

@@ -1,0 +1,179 @@
+#include <gtest/gtest.h>
+
+#include "baselines/ksp.hpp"
+#include "stencil/stencil.hpp"
+
+namespace kdr::baselines {
+namespace {
+
+struct BaselineFixture {
+    sim::SimCluster cluster;
+    bsp::BspWorld world;
+    StencilBaseline engine;
+
+    BaselineFixture(stencil::Kind kind, gidx target, Profile profile, int nodes = 2,
+                    bool functional = true)
+        : cluster([&] {
+              sim::MachineDesc m = sim::MachineDesc::lassen(nodes);
+              m.gpus_per_node = 2;
+              return m;
+          }()),
+          world(cluster, sim::ProcKind::GPU),
+          engine(world, stencil::Spec::cube(kind, target), profile, functional) {}
+};
+
+TEST(StencilBaseline, VectorOpsComputeCorrectly) {
+    BaselineFixture f(stencil::Kind::D1P3, 64, Profile::petsc());
+    auto& e = f.engine;
+    auto& b = e.data(StencilBaseline::B);
+    for (std::size_t i = 0; i < b.size(); ++i) b[i] = static_cast<double>(i);
+    e.copy(StencilBaseline::X, StencilBaseline::B);
+    EXPECT_DOUBLE_EQ(e.data(StencilBaseline::X)[10], 10.0);
+    e.scal(StencilBaseline::X, 2.0);
+    EXPECT_DOUBLE_EQ(e.data(StencilBaseline::X)[10], 20.0);
+    e.axpy(StencilBaseline::X, -1.0, StencilBaseline::B);
+    EXPECT_DOUBLE_EQ(e.data(StencilBaseline::X)[10], 10.0);
+    e.xpay(StencilBaseline::X, 0.0, StencilBaseline::B);
+    EXPECT_DOUBLE_EQ(e.data(StencilBaseline::X)[10], 10.0);
+    e.zero(StencilBaseline::X);
+    EXPECT_DOUBLE_EQ(e.data(StencilBaseline::X)[10], 0.0);
+}
+
+TEST(StencilBaseline, DotMatchesDirectSum) {
+    BaselineFixture f(stencil::Kind::D1P3, 64, Profile::petsc());
+    auto& e = f.engine;
+    auto& b = e.data(StencilBaseline::B);
+    for (std::size_t i = 0; i < b.size(); ++i) b[i] = 1.0;
+    e.copy(StencilBaseline::X, StencilBaseline::B);
+    EXPECT_DOUBLE_EQ(e.dot(StencilBaseline::X, StencilBaseline::B), 64.0);
+}
+
+TEST(StencilBaseline, MatvecMatchesCsrReference) {
+    BaselineFixture f(stencil::Kind::D2P5, 256, Profile::trilinos());
+    auto& e = f.engine;
+    const auto b = stencil::random_rhs(e.unknowns(), 3);
+    e.data(StencilBaseline::B) = b;
+    const auto y = e.allocate_vector();
+    e.matvec(y, StencilBaseline::B);
+    const stencil::Spec spec = e.spec();
+    const IndexSpace D = IndexSpace::create(e.unknowns());
+    const IndexSpace R = IndexSpace::create(e.unknowns());
+    const auto csr = stencil::laplacian_csr(spec, D, R);
+    std::vector<double> expect(static_cast<std::size_t>(e.unknowns()), 0.0);
+    csr.multiply_add(b, expect);
+    for (std::size_t i = 0; i < expect.size(); ++i) {
+        EXPECT_NEAR(e.data(y)[i], expect[i], 1e-12);
+    }
+}
+
+TEST(StencilBaseline, ClockAdvancesAndCommBytesAccumulate) {
+    BaselineFixture f(stencil::Kind::D2P5, 1024, Profile::petsc());
+    auto& e = f.engine;
+    const double t0 = e.now();
+    const auto y = e.allocate_vector();
+    e.matvec(y, StencilBaseline::B);
+    EXPECT_GT(e.now(), t0);
+    EXPECT_GT(e.comm_bytes(), 0.0) << "halo exchange crosses node boundaries";
+}
+
+TEST(StencilBaseline, TimingModeRefusesDataAccess) {
+    BaselineFixture f(stencil::Kind::D2P5, 1 << 14, Profile::petsc(), 2, /*functional=*/false);
+    EXPECT_THROW(f.engine.data(StencilBaseline::X), Error);
+    // Timing-only operations still advance the clock.
+    const auto y = f.engine.allocate_vector();
+    f.engine.matvec(y, StencilBaseline::B);
+    EXPECT_GT(f.engine.now(), 0.0);
+}
+
+TEST(StencilBaseline, OverlapProfileBeatsBlockingProfileOnSameWork) {
+    // PETSc's overlapped MatMult must be no slower than a Trilinos-style
+    // blocking import for identical workload and machine.
+    Profile overlap = Profile::petsc();
+    Profile blocking = Profile::petsc();
+    blocking.overlap_spmv = false;
+    blocking.split_offdiag = false;
+    double t_overlap;
+    double t_blocking;
+    {
+        BaselineFixture f(stencil::Kind::D2P5, 1 << 16, overlap, 4, false);
+        const auto y = f.engine.allocate_vector();
+        for (int i = 0; i < 10; ++i) f.engine.matvec(y, StencilBaseline::B);
+        t_overlap = f.engine.now();
+    }
+    {
+        BaselineFixture f(stencil::Kind::D2P5, 1 << 16, blocking, 4, false);
+        const auto y = f.engine.allocate_vector();
+        for (int i = 0; i < 10; ++i) f.engine.matvec(y, StencilBaseline::B);
+        t_blocking = f.engine.now();
+    }
+    EXPECT_LT(t_overlap, t_blocking);
+}
+
+class KspMethodTest : public ::testing::TestWithParam<Method> {};
+
+TEST_P(KspMethodTest, ConvergesOnPoisson2d) {
+    BaselineFixture f(stencil::Kind::D2P5, 256, Profile::petsc());
+    auto& e = f.engine;
+    e.data(StencilBaseline::B) = stencil::random_rhs(e.unknowns(), 5);
+    KspSolver solver(e, GetParam(), 10);
+    int iters = 0;
+    while (solver.residual_norm() > 1e-8 && iters < 1500) {
+        solver.step();
+        ++iters;
+    }
+    solver.finalize(); // restarted methods apply their partial update on stop
+    EXPECT_LT(iters, 1500) << method_name(GetParam());
+
+    // True residual check.
+    const IndexSpace D = IndexSpace::create(e.unknowns());
+    const IndexSpace R = IndexSpace::create(e.unknowns());
+    const auto csr = stencil::laplacian_csr(e.spec(), D, R);
+    std::vector<double> ax(static_cast<std::size_t>(e.unknowns()), 0.0);
+    csr.multiply_add(e.data(StencilBaseline::X), ax);
+    double r2 = 0.0;
+    for (std::size_t i = 0; i < ax.size(); ++i) {
+        const double d = e.data(StencilBaseline::B)[i] - ax[i];
+        r2 += d * d;
+    }
+    EXPECT_LT(std::sqrt(r2), 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Methods, KspMethodTest,
+                         ::testing::Values(Method::CG, Method::BiCGStab, Method::GmresStatic,
+                                           Method::GmresDynamic),
+                         [](const ::testing::TestParamInfo<Method>& info) {
+                             std::string n = method_name(info.param);
+                             for (char& c : n)
+                                 if (c == '-') c = '_';
+                             return n;
+                         });
+
+TEST(KspSolver, DynamicRestartShortCircuitsCycles) {
+    // The dynamic policy restarts earlier than the static one on a fast-
+    // converging system — the behavioral difference that makes PETSc's GMRES
+    // incomparable in the paper's Fig 8.
+    // 8x8 Poisson: well enough conditioned that GMRES(10) converges quickly
+    // and the dynamic policy's early restarts are visible.
+    BaselineFixture fs(stencil::Kind::D2P5, 64, Profile::petsc());
+    BaselineFixture fd(stencil::Kind::D2P5, 64, Profile::petsc());
+    fs.engine.data(StencilBaseline::B) = stencil::random_rhs(64, 6);
+    fd.engine.data(StencilBaseline::B) = stencil::random_rhs(64, 6);
+    KspSolver stat(fs.engine, Method::GmresStatic, 10);
+    KspSolver dyn(fd.engine, Method::GmresDynamic, 10);
+    int stat_iters = 0;
+    int dyn_iters = 0;
+    while (stat.residual_norm() > 1e-8 && stat_iters < 500) {
+        stat.step();
+        ++stat_iters;
+    }
+    while (dyn.residual_norm() > 1e-8 && dyn_iters < 500) {
+        dyn.step();
+        ++dyn_iters;
+    }
+    EXPECT_LT(stat_iters, 500);
+    EXPECT_LT(dyn_iters, 500);
+    EXPECT_NE(stat_iters, dyn_iters) << "policies must actually differ";
+}
+
+} // namespace
+} // namespace kdr::baselines

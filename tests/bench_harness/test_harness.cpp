@@ -1,0 +1,85 @@
+/// Smoke tests for the benchmark harness helpers (bench/harness.hpp): the
+/// Fig 8/9 system builder and the measurement loop must stay consistent with
+/// the library — a broken harness silently invalidates every reported
+/// number, so it gets tests like everything else.
+
+#include <gtest/gtest.h>
+
+#include "harness.hpp"
+
+namespace kdr::bench {
+namespace {
+
+TEST(BenchHarness, BuildsTimingSystemForEveryStencil) {
+    const sim::MachineDesc machine = sim::MachineDesc::lassen(2);
+    for (const stencil::Kind kind : {stencil::Kind::D1P3, stencil::Kind::D2P5,
+                                     stencil::Kind::D3P7, stencil::Kind::D3P27}) {
+        const stencil::Spec spec = stencil::Spec::cube(kind, 1 << 12);
+        LegionStencilSystem sys = make_legion_stencil(spec, machine, 8);
+        EXPECT_FALSE(sys.runtime->functional());
+        EXPECT_TRUE(sys.planner->is_square());
+        EXPECT_EQ(sys.planner->total_domain_size(), spec.unknowns());
+        EXPECT_EQ(sys.planner->operator_count(), 1u);
+    }
+}
+
+TEST(BenchHarness, SolverFactoryCoversTheFig8Trio) {
+    const sim::MachineDesc machine = sim::MachineDesc::lassen(2);
+    const stencil::Spec spec = stencil::Spec::cube(stencil::Kind::D2P5, 1 << 12);
+    for (const char* name : {"cg", "bicg", "bicgstab", "gmres", "minres"}) {
+        LegionStencilSystem sys = make_legion_stencil(spec, machine, 8);
+        auto solver = make_solver(name, *sys.planner);
+        ASSERT_NE(solver, nullptr);
+        EXPECT_STREQ(solver->name(), name);
+        solver->step();
+        EXPECT_GT(sys.runtime->current_time(), 0.0);
+    }
+    LegionStencilSystem sys = make_legion_stencil(spec, machine, 8);
+    EXPECT_THROW(make_solver("nope", *sys.planner), Error);
+}
+
+TEST(BenchHarness, MeasureReturnsSteadyStatePerIteration) {
+    const sim::MachineDesc machine = sim::MachineDesc::lassen(2);
+    const stencil::Spec spec = stencil::Spec::cube(stencil::Kind::D2P5, 1 << 14);
+    LegionStencilSystem sys = make_legion_stencil(spec, machine, 8);
+    auto solver = make_solver("cg", *sys.planner);
+    const double a = measure_per_iteration(*sys.runtime, *solver, 3, 10, false);
+    EXPECT_GT(a, 0.0);
+    // A second measurement on the same warmed system agrees (steady state).
+    const double b = measure_per_iteration(*sys.runtime, *solver, 1, 10, false);
+    EXPECT_NEAR(a, b, a * 0.05);
+}
+
+TEST(BenchHarness, TracedMeasurementIsNoSlower) {
+    const sim::MachineDesc machine = sim::MachineDesc::lassen(2);
+    const stencil::Spec spec = stencil::Spec::cube(stencil::Kind::D2P5, 1 << 14);
+    double t_dyn, t_tr;
+    {
+        LegionStencilSystem sys = make_legion_stencil(spec, machine, 8);
+        auto solver = make_solver("cg", *sys.planner);
+        t_dyn = measure_per_iteration(*sys.runtime, *solver, 3, 10, false);
+    }
+    {
+        LegionStencilSystem sys = make_legion_stencil(spec, machine, 8);
+        auto solver = make_solver("cg", *sys.planner);
+        t_tr = measure_per_iteration(*sys.runtime, *solver, 3, 10, true);
+    }
+    EXPECT_LE(t_tr, t_dyn);
+}
+
+TEST(BenchHarness, GmresTracePeriodCoversRestartCycle) {
+    EXPECT_EQ(trace_period("gmres"), 10);
+    EXPECT_EQ(trace_period("cg"), 1);
+    // GMRES measured WITH tracing must complete without trace divergence
+    // (each of the 10 Arnoldi shapes gets its own trace id).
+    const sim::MachineDesc machine = sim::MachineDesc::lassen(2);
+    const stencil::Spec spec = stencil::Spec::cube(stencil::Kind::D2P5, 1 << 12);
+    LegionStencilSystem sys = make_legion_stencil(spec, machine, 8);
+    auto solver = make_solver("gmres", *sys.planner);
+    const double t = measure_per_iteration(*sys.runtime, *solver, 12, 25, true,
+                                           trace_period("gmres"));
+    EXPECT_GT(t, 0.0);
+}
+
+} // namespace
+} // namespace kdr::bench

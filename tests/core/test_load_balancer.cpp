@@ -1,0 +1,109 @@
+#include "core/load_balancer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace kdr::core {
+namespace {
+
+TEST(ThermodynamicBalancer, NoGiveawayAtOrBelowReference) {
+    const ThermodynamicBalancer b(1.0, 0.010, 42);
+    EXPECT_DOUBLE_EQ(b.giveaway_probability(0.010), 0.0);
+    EXPECT_DOUBLE_EQ(b.giveaway_probability(0.005), 0.0);
+}
+
+TEST(ThermodynamicBalancer, ProbabilityGrowsWithOverloadAndSaturates) {
+    const ThermodynamicBalancer b(1.0, 0.010, 42);
+    const double p1 = b.giveaway_probability(0.011);
+    const double p2 = b.giveaway_probability(0.10);
+    const double p3 = b.giveaway_probability(10.0);
+    EXPECT_GT(p1, 0.0);
+    EXPECT_GT(p2, p1);
+    EXPECT_DOUBLE_EQ(p3, 1.0);
+}
+
+TEST(ThermodynamicBalancer, BetaControlsAdaptationRate) {
+    const ThermodynamicBalancer slow(0.1, 0.010, 1);
+    const ThermodynamicBalancer fast(10.0, 0.010, 1);
+    EXPECT_LT(slow.giveaway_probability(0.05), fast.giveaway_probability(0.05));
+}
+
+TEST(ThermodynamicBalancer, RejectsBadParameters) {
+    EXPECT_THROW(ThermodynamicBalancer(0.0, 1.0, 1), Error);
+    EXPECT_THROW(ThermodynamicBalancer(1.0, 0.0, 1), Error);
+}
+
+TEST(ThermodynamicBalancer, RebalanceMovesOverloadedTilesOnly) {
+    ThermodynamicBalancer b(1000.0, 0.010, 7); // steep: overload => certain giveaway
+    std::vector<Tile> tiles = {
+        {0, 100, /*owner_a=*/0, /*owner_b=*/1, /*current=*/0},
+        {1, 101, 0, 2, 0},
+        {2, 102, 1, 3, 3},
+    };
+    // Node 0 badly overloaded; nodes 1..3 healthy.
+    const std::vector<double> times = {10.0, 0.005, 0.005, 0.005};
+    const int moved = b.rebalance(tiles, times);
+    EXPECT_EQ(moved, 2);
+    EXPECT_EQ(tiles[0].current, 1) << "tile 0 given to its alternate owner";
+    EXPECT_EQ(tiles[1].current, 2);
+    EXPECT_EQ(tiles[2].current, 3) << "healthy node keeps its tile";
+}
+
+TEST(ThermodynamicBalancer, GiveawayTargetAlternates) {
+    // A tile bounced twice returns to its first owner — only two legal
+    // owners exist (paper §6.3: "the target node of each giveaway is
+    // uniquely determined").
+    Tile t{0, 0, 4, 9, 4};
+    EXPECT_EQ(t.other_owner(), 9);
+    t.current = 9;
+    EXPECT_EQ(t.other_owner(), 4);
+}
+
+TEST(TileTableMapper, RoutesTaggedColorsThroughTable) {
+    auto table = std::make_shared<std::unordered_map<Color, int>>();
+    (*table)[500] = 3;
+    TileTableMapper mapper(table, sim::ProcKind::CPU);
+    sim::MachineDesc m = sim::MachineDesc::lassen(8);
+
+    rt::TaskLaunch tagged;
+    tagged.color = 500;
+    tagged.proc_kind = sim::ProcKind::CPU;
+    const sim::ProcId p = mapper.select_processor(tagged, m);
+    EXPECT_EQ(p.node, 3);
+    EXPECT_EQ(p.kind, sim::ProcKind::CPU);
+
+    rt::TaskLaunch untagged;
+    untagged.color = 5;
+    untagged.proc_kind = sim::ProcKind::CPU;
+    const sim::ProcId q = mapper.select_processor(untagged, m);
+    EXPECT_EQ(q.node, 5) << "fallback round-robin";
+}
+
+TEST(TileTableMapper, TableUpdatesAreSeenByMapper) {
+    auto table = std::make_shared<std::unordered_map<Color, int>>();
+    (*table)[7] = 1;
+    TileTableMapper mapper(table, sim::ProcKind::CPU);
+    sim::MachineDesc m = sim::MachineDesc::lassen(4);
+    rt::TaskLaunch l;
+    l.color = 7;
+    l.proc_kind = sim::ProcKind::CPU;
+    EXPECT_EQ(mapper.select_processor(l, m).node, 1);
+    (*table)[7] = 2; // the balancer mutates the shared table
+    EXPECT_EQ(mapper.select_processor(l, m).node, 2);
+}
+
+TEST(ThermodynamicBalancer, StochasticGiveawayRespectsProbability) {
+    ThermodynamicBalancer b(1.0, 0.010, 123);
+    // Overload chosen so probability is ~e^{0.04}-1 ≈ 0.0408.
+    const double p = b.giveaway_probability(0.050);
+    ASSERT_GT(p, 0.03);
+    ASSERT_LT(p, 0.06);
+    int moved_total = 0;
+    for (int trial = 0; trial < 2000; ++trial) {
+        std::vector<Tile> tiles = {{0, 0, 0, 1, 0}};
+        moved_total += b.rebalance(tiles, {0.050, 0.0});
+    }
+    EXPECT_NEAR(static_cast<double>(moved_total) / 2000.0, p, 0.02);
+}
+
+} // namespace
+} // namespace kdr::core

@@ -1,0 +1,107 @@
+#include "core/monitor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+
+#include "stencil/stencil.hpp"
+
+namespace kdr::core {
+namespace {
+
+struct MonitorSetup {
+    std::unique_ptr<rt::Runtime> runtime;
+    std::unique_ptr<Planner<double>> planner;
+
+    MonitorSetup() {
+        runtime = std::make_unique<rt::Runtime>(sim::MachineDesc::lassen(1));
+        stencil::Spec spec = stencil::Spec::cube(stencil::Kind::D2P5, 256);
+        const IndexSpace D = IndexSpace::create(spec.unknowns(), "D");
+        const rt::RegionId xr = runtime->create_region(D, "x");
+        const rt::RegionId br = runtime->create_region(D, "b");
+        const rt::FieldId xf = runtime->add_field<double>(xr, "v");
+        const rt::FieldId bf = runtime->add_field<double>(br, "v");
+        const auto b = stencil::random_rhs(spec.unknowns(), 8);
+        auto bd = runtime->field_data<double>(br, bf);
+        std::copy(b.begin(), b.end(), bd.begin());
+        planner = std::make_unique<Planner<double>>(*runtime);
+        planner->add_sol_vector(xr, xf, Partition::equal(D, 2));
+        planner->add_rhs_vector(br, bf, Partition::equal(D, 2));
+        planner->add_operator(
+            std::make_shared<CsrMatrix<double>>(stencil::laplacian_csr(spec, D, D)), 0, 0);
+    }
+};
+
+TEST(SolverMonitor, RecordsOneSamplePerIteration) {
+    MonitorSetup s;
+    CgSolver<double> cg(*s.planner);
+    SolverMonitor<double> mon(cg);
+    for (int i = 0; i < 10; ++i) mon.step();
+    ASSERT_EQ(mon.history().size(), 11u) << "initial sample + 10 steps";
+    EXPECT_EQ(mon.history().front().iteration, 0);
+    EXPECT_EQ(mon.history().back().iteration, 10);
+    EXPECT_GT(mon.history().front().residual, mon.history().back().residual);
+}
+
+TEST(SolverMonitor, VirtualTimesAreMonotone) {
+    MonitorSetup s;
+    CgSolver<double> cg(*s.planner);
+    SolverMonitor<double> mon(cg);
+    for (int i = 0; i < 5; ++i) mon.step();
+    for (std::size_t i = 1; i < mon.history().size(); ++i) {
+        EXPECT_GE(mon.history()[i].virtual_time, mon.history()[i - 1].virtual_time);
+    }
+    EXPECT_GT(mon.history().back().virtual_time, 0.0);
+}
+
+TEST(SolverMonitor, IterationsToReduction) {
+    MonitorSetup s;
+    CgSolver<double> cg(*s.planner);
+    SolverMonitor<double> mon(cg);
+    for (int i = 0; i < 100; ++i) mon.step();
+    const int k = mon.iterations_to_reduction(1e-3);
+    ASSERT_GT(k, 0);
+    EXPECT_LE(mon.history()[static_cast<std::size_t>(k)].residual,
+              mon.history().front().residual * 1e-3);
+    EXPECT_EQ(mon.iterations_to_reduction(1e-300), -1) << "unreached target";
+    EXPECT_THROW(mon.iterations_to_reduction(2.0), Error);
+}
+
+TEST(SolverMonitor, AverageConvergenceRateBelowOne) {
+    MonitorSetup s;
+    CgSolver<double> cg(*s.planner);
+    SolverMonitor<double> mon(cg);
+    for (int i = 0; i < 50; ++i) mon.step();
+    const double rate = mon.average_convergence_rate();
+    EXPECT_GT(rate, 0.0);
+    EXPECT_LT(rate, 1.0);
+}
+
+TEST(SolverMonitor, DelegatesInterface) {
+    MonitorSetup s;
+    CgSolver<double> cg(*s.planner);
+    SolverMonitor<double> mon(cg);
+    EXPECT_STREQ(mon.name(), "cg");
+    const int iters = solve_to_tolerance<double>(mon, 1e-8, 1000);
+    EXPECT_LT(iters, 1000);
+    EXPECT_DOUBLE_EQ(mon.get_convergence_measure().value,
+                     cg.get_convergence_measure().value);
+}
+
+TEST(SolverMonitor, PrintHistoryEmitsRows) {
+    MonitorSetup s;
+    CgSolver<double> cg(*s.planner);
+    SolverMonitor<double> mon(cg);
+    for (int i = 0; i < 4; ++i) mon.step();
+    std::ostringstream os;
+    mon.print_history(os, 2);
+    int lines = 0;
+    std::string line;
+    std::istringstream is(os.str());
+    while (std::getline(is, line)) ++lines;
+    EXPECT_EQ(lines, 3) << "iterations 0, 2, 4";
+}
+
+} // namespace
+} // namespace kdr::core

@@ -1,0 +1,276 @@
+/// Multi-operator system tests (paper §4): a logical system assembled from
+/// several non-contiguous component matrices/vectors must behave exactly
+/// like the amalgamated single-operator system — including the aliasing
+/// patterns of §4.2 (multiple right-hand sides, related systems) where one
+/// matrix object backs several components without duplication.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/solvers.hpp"
+#include "stencil/stencil.hpp"
+#include "support/rng.hpp"
+
+namespace kdr::core {
+namespace {
+
+sim::MachineDesc machine() {
+    sim::MachineDesc m = sim::MachineDesc::lassen(2);
+    m.gpus_per_node = 2;
+    return m;
+}
+
+/// Split a square matrix over [0, n) into the four blocks induced by halving
+/// the index range — the Fig 9 formulation.
+struct FourBlocks {
+    std::shared_ptr<CsrMatrix<double>> a11, a12, a21, a22;
+    IndexSpace d1, d2;
+};
+
+FourBlocks split_in_half(const std::vector<Triplet<double>>& ts, gidx n) {
+    const gidx h = n / 2;
+    FourBlocks fb;
+    fb.d1 = IndexSpace::create(h, "D1");
+    fb.d2 = IndexSpace::create(n - h, "D2");
+    std::vector<Triplet<double>> t11, t12, t21, t22;
+    for (const auto& t : ts) {
+        if (t.row < h && t.col < h) {
+            t11.push_back(t);
+        } else if (t.row < h) {
+            t12.push_back({t.row, t.col - h, t.value});
+        } else if (t.col < h) {
+            t21.push_back({t.row - h, t.col, t.value});
+        } else {
+            t22.push_back({t.row - h, t.col - h, t.value});
+        }
+    }
+    fb.a11 = std::make_shared<CsrMatrix<double>>(
+        CsrMatrix<double>::from_triplets(fb.d1, fb.d1, std::move(t11)));
+    fb.a12 = std::make_shared<CsrMatrix<double>>(
+        CsrMatrix<double>::from_triplets(fb.d2, fb.d1, std::move(t12)));
+    fb.a21 = std::make_shared<CsrMatrix<double>>(
+        CsrMatrix<double>::from_triplets(fb.d1, fb.d2, std::move(t21)));
+    fb.a22 = std::make_shared<CsrMatrix<double>>(
+        CsrMatrix<double>::from_triplets(fb.d2, fb.d2, std::move(t22)));
+    return fb;
+}
+
+TEST(MultiOperator, SplitSystemMatchesWholeSystemCg) {
+    // Solve the same 2-D Poisson problem as (a) one operator over one domain
+    // space, (b) four operators over two domain spaces (Fig 9). Iterates
+    // must agree to roundoff.
+    stencil::Spec spec;
+    spec.kind = stencil::Kind::D2P5;
+    spec.nx = 16;
+    spec.ny = 16;
+    const gidx n = spec.unknowns();
+    const auto ts = stencil::laplacian_triplets(spec);
+    const auto b = stencil::random_rhs(n, 17);
+
+    // (a) single-operator reference.
+    std::vector<double> x_single;
+    {
+        rt::Runtime runtime(machine());
+        const IndexSpace D = IndexSpace::create(n, "D");
+        const rt::RegionId xr = runtime.create_region(D, "x");
+        const rt::RegionId br = runtime.create_region(D, "b");
+        const rt::FieldId xf = runtime.add_field<double>(xr, "v");
+        const rt::FieldId bf = runtime.add_field<double>(br, "v");
+        auto bd = runtime.field_data<double>(br, bf);
+        std::copy(b.begin(), b.end(), bd.begin());
+        Planner<double> planner(runtime);
+        planner.add_sol_vector(xr, xf, Partition::equal(D, 4));
+        planner.add_rhs_vector(br, bf, Partition::equal(D, 4));
+        planner.add_operator(std::make_shared<CsrMatrix<double>>(
+                                 CsrMatrix<double>::from_triplets(D, D, ts)),
+                             0, 0);
+        CgSolver<double> cg(planner);
+        for (int i = 0; i < 40; ++i) cg.step();
+        auto xd = runtime.field_data<double>(xr, xf);
+        x_single.assign(xd.begin(), xd.end());
+    }
+
+    // (b) multi-operator formulation: two domain spaces, four matrices.
+    std::vector<double> x_multi;
+    {
+        rt::Runtime runtime(machine());
+        FourBlocks fb = split_in_half(ts, n);
+        const rt::RegionId x1r = runtime.create_region(fb.d1, "x1");
+        const rt::RegionId x2r = runtime.create_region(fb.d2, "x2");
+        const rt::RegionId b1r = runtime.create_region(fb.d1, "b1");
+        const rt::RegionId b2r = runtime.create_region(fb.d2, "b2");
+        const rt::FieldId x1f = runtime.add_field<double>(x1r, "v");
+        const rt::FieldId x2f = runtime.add_field<double>(x2r, "v");
+        const rt::FieldId b1f = runtime.add_field<double>(b1r, "v");
+        const rt::FieldId b2f = runtime.add_field<double>(b2r, "v");
+        const gidx h = n / 2;
+        {
+            auto b1 = runtime.field_data<double>(b1r, b1f);
+            auto b2 = runtime.field_data<double>(b2r, b2f);
+            std::copy(b.begin(), b.begin() + h, b1.begin());
+            std::copy(b.begin() + h, b.end(), b2.begin());
+        }
+        Planner<double> planner(runtime);
+        const CompId s1 = planner.add_sol_vector(x1r, x1f, Partition::equal(fb.d1, 2));
+        const CompId s2 = planner.add_sol_vector(x2r, x2f, Partition::equal(fb.d2, 2));
+        const CompId r1 = planner.add_rhs_vector(b1r, b1f, Partition::equal(fb.d1, 2));
+        const CompId r2 = planner.add_rhs_vector(b2r, b2f, Partition::equal(fb.d2, 2));
+        planner.add_operator(fb.a11, s1, r1);
+        planner.add_operator(fb.a12, s2, r1);
+        planner.add_operator(fb.a21, s1, r2);
+        planner.add_operator(fb.a22, s2, r2);
+        EXPECT_TRUE(planner.is_square());
+        EXPECT_EQ(planner.total_domain_size(), n);
+        CgSolver<double> cg(planner);
+        for (int i = 0; i < 40; ++i) cg.step();
+        auto x1 = runtime.field_data<double>(x1r, x1f);
+        auto x2 = runtime.field_data<double>(x2r, x2f);
+        x_multi.assign(x1.begin(), x1.end());
+        x_multi.insert(x_multi.end(), x2.begin(), x2.end());
+    }
+
+    ASSERT_EQ(x_single.size(), x_multi.size());
+    for (std::size_t i = 0; i < x_single.size(); ++i) {
+        EXPECT_NEAR(x_single[i], x_multi[i], 1e-9 + 1e-9 * std::abs(x_single[i])) << i;
+    }
+}
+
+TEST(MultiOperator, AliasedOperatorSolvesMultipleRhs) {
+    // Paper §4.2 eq. (10): {(K, A, 1, 1), (K, A, 2, 2)} — one matrix object
+    // added twice solves two independent systems in a single CG run; the
+    // physical matrix data exists once.
+    const gidx n = 32;
+    std::vector<Triplet<double>> ts;
+    for (gidx i = 0; i < n; ++i) {
+        if (i > 0) ts.push_back({i, i - 1, -1.0});
+        ts.push_back({i, i, 3.0});
+        if (i < n - 1) ts.push_back({i, i + 1, -1.0});
+    }
+    rt::Runtime runtime(machine());
+    const IndexSpace D = IndexSpace::create(n, "D");
+    auto A = std::make_shared<CsrMatrix<double>>(CsrMatrix<double>::from_triplets(D, D, ts));
+
+    const rt::RegionId x1r = runtime.create_region(D, "x1");
+    const rt::RegionId x2r = runtime.create_region(D, "x2");
+    const rt::RegionId b1r = runtime.create_region(D, "b1");
+    const rt::RegionId b2r = runtime.create_region(D, "b2");
+    const rt::FieldId x1f = runtime.add_field<double>(x1r, "v");
+    const rt::FieldId x2f = runtime.add_field<double>(x2r, "v");
+    const rt::FieldId b1f = runtime.add_field<double>(b1r, "v");
+    const rt::FieldId b2f = runtime.add_field<double>(b2r, "v");
+    const auto b1 = stencil::random_rhs(n, 100);
+    const auto b2 = stencil::random_rhs(n, 200);
+    {
+        auto d1 = runtime.field_data<double>(b1r, b1f);
+        auto d2 = runtime.field_data<double>(b2r, b2f);
+        std::copy(b1.begin(), b1.end(), d1.begin());
+        std::copy(b2.begin(), b2.end(), d2.begin());
+    }
+
+    Planner<double> planner(runtime);
+    const CompId s1 = planner.add_sol_vector(x1r, x1f, Partition::equal(D, 2));
+    const CompId s2 = planner.add_sol_vector(x2r, x2f, Partition::equal(D, 2));
+    const CompId r1 = planner.add_rhs_vector(b1r, b1f, Partition::equal(D, 2));
+    const CompId r2 = planner.add_rhs_vector(b2r, b2f, Partition::equal(D, 2));
+    planner.add_operator(A, s1, r1); // same object, two slots: aliasing
+    planner.add_operator(A, s2, r2);
+    EXPECT_EQ(A.use_count(), 3) << "one physical matrix backs both slots";
+
+    CgSolver<double> cg(planner);
+    const int iters = solve_to_tolerance(cg, 1e-10, 300);
+    EXPECT_LT(iters, 300);
+
+    // Both component solutions satisfy their own system.
+    auto check = [&](rt::RegionId xr, rt::FieldId xf, const std::vector<double>& b) {
+        auto xd = runtime.field_data<double>(xr, xf);
+        std::vector<double> ax(static_cast<std::size_t>(n), 0.0);
+        A->multiply_add(std::vector<double>(xd.begin(), xd.end()), ax);
+        for (gidx i = 0; i < n; ++i) {
+            EXPECT_NEAR(ax[static_cast<std::size_t>(i)], b[static_cast<std::size_t>(i)], 1e-7);
+        }
+    };
+    check(x1r, x1f, b1);
+    check(x2r, x2f, b2);
+}
+
+TEST(MultiOperator, RelatedSystemsSharedBasePlusPerturbation) {
+    // Paper §4.2 eq. (12): (A0 + ΔA) x = b expressed as two operator slots on
+    // the same component pair — A0 stored once, ΔA tiny.
+    const gidx n = 24;
+    std::vector<Triplet<double>> base;
+    for (gidx i = 0; i < n; ++i) {
+        if (i > 0) base.push_back({i, i - 1, -1.0});
+        base.push_back({i, i, 4.0});
+        if (i < n - 1) base.push_back({i, i + 1, -1.0});
+    }
+    std::vector<Triplet<double>> delta = {{3, 3, 1.5}, {10, 11, -0.5}, {11, 10, -0.5}};
+
+    rt::Runtime runtime(machine());
+    const IndexSpace D = IndexSpace::create(n, "D");
+    auto A0 = std::make_shared<CsrMatrix<double>>(CsrMatrix<double>::from_triplets(D, D, base));
+    auto dA = std::make_shared<CsrMatrix<double>>(CsrMatrix<double>::from_triplets(D, D, delta));
+
+    const rt::RegionId xr = runtime.create_region(D, "x");
+    const rt::RegionId br = runtime.create_region(D, "b");
+    const rt::FieldId xf = runtime.add_field<double>(xr, "v");
+    const rt::FieldId bf = runtime.add_field<double>(br, "v");
+    const auto b = stencil::random_rhs(n, 300);
+    {
+        auto bd = runtime.field_data<double>(br, bf);
+        std::copy(b.begin(), b.end(), bd.begin());
+    }
+
+    Planner<double> planner(runtime);
+    planner.add_sol_vector(xr, xf, Partition::equal(D, 2));
+    planner.add_rhs_vector(br, bf, Partition::equal(D, 2));
+    planner.add_operator(A0, 0, 0);
+    planner.add_operator(dA, 0, 0); // implicit sum per eq. (8)
+
+    CgSolver<double> cg(planner);
+    const int iters = solve_to_tolerance(cg, 1e-10, 300);
+    EXPECT_LT(iters, 300);
+
+    // Verify against (A0 + ΔA) x = b computed directly.
+    auto xd = runtime.field_data<double>(xr, xf);
+    std::vector<double> ax(static_cast<std::size_t>(n), 0.0);
+    const std::vector<double> x(xd.begin(), xd.end());
+    A0->multiply_add(x, ax);
+    dA->multiply_add(x, ax);
+    for (gidx i = 0; i < n; ++i) {
+        EXPECT_NEAR(ax[static_cast<std::size_t>(i)], b[static_cast<std::size_t>(i)], 1e-7);
+    }
+}
+
+TEST(MultiOperator, NonContiguousComponentsViaStridedPieces) {
+    // P4: a component's canonical partition may be non-contiguous (strided
+    // tiles); the solve is unaffected.
+    stencil::Spec spec;
+    spec.kind = stencil::Kind::D2P5;
+    spec.nx = 8;
+    spec.ny = 8;
+    const gidx n = spec.unknowns();
+    rt::Runtime runtime(machine());
+    const IndexSpace D = IndexSpace::create_grid({spec.nx, spec.ny}, "grid");
+    const rt::RegionId xr = runtime.create_region(D, "x");
+    const rt::RegionId br = runtime.create_region(D, "b");
+    const rt::FieldId xf = runtime.add_field<double>(xr, "v");
+    const rt::FieldId bf = runtime.add_field<double>(br, "v");
+    const auto b = stencil::random_rhs(n, 7);
+    {
+        auto bd = runtime.field_data<double>(br, bf);
+        std::copy(b.begin(), b.end(), bd.begin());
+    }
+    Planner<double> planner(runtime);
+    const Partition tiles = Partition::tiles2d(D, 2, 2); // strided pieces
+    planner.add_sol_vector(xr, xf, tiles);
+    planner.add_rhs_vector(br, bf, tiles);
+    auto A = std::make_shared<CsrMatrix<double>>(stencil::laplacian_csr(spec, D, D));
+    planner.add_operator(A, 0, 0);
+    CgSolver<double> cg(planner);
+    const int iters = solve_to_tolerance(cg, 1e-9, 400);
+    EXPECT_LT(iters, 400);
+}
+
+} // namespace
+} // namespace kdr::core

@@ -1,0 +1,269 @@
+#include "core/solvers_extra.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "stencil/stencil.hpp"
+
+namespace kdr::core {
+namespace {
+
+struct ExtraSetup {
+    std::unique_ptr<rt::Runtime> runtime;
+    std::unique_ptr<Planner<double>> planner;
+    std::shared_ptr<CsrMatrix<double>> A;
+    rt::RegionId xr{}, br{};
+    rt::FieldId xf{}, bf{};
+    gidx n = 0;
+
+    explicit ExtraSetup(gidx target = 256, Color pieces = 4, std::uint64_t seed = 11) {
+        sim::MachineDesc m = sim::MachineDesc::lassen(2);
+        m.gpus_per_node = 2;
+        runtime = std::make_unique<rt::Runtime>(m);
+        stencil::Spec spec = stencil::Spec::cube(stencil::Kind::D2P5, target);
+        n = spec.unknowns();
+        const IndexSpace D = IndexSpace::create(n, "D");
+        A = std::make_shared<CsrMatrix<double>>(stencil::laplacian_csr(spec, D, D));
+        xr = runtime->create_region(D, "x");
+        br = runtime->create_region(D, "b");
+        xf = runtime->add_field<double>(xr, "v");
+        bf = runtime->add_field<double>(br, "v");
+        const auto b = stencil::random_rhs(n, seed);
+        auto bd = runtime->field_data<double>(br, bf);
+        std::copy(b.begin(), b.end(), bd.begin());
+        planner = std::make_unique<Planner<double>>(*runtime);
+        planner->add_sol_vector(xr, xf, Partition::equal(D, pieces));
+        planner->add_rhs_vector(br, bf, Partition::equal(D, pieces));
+        planner->add_operator(A, 0, 0);
+    }
+
+    double true_residual() {
+        auto x = runtime->field_data<double>(xr, xf);
+        auto b = runtime->field_data<double>(br, bf);
+        std::vector<double> ax(static_cast<std::size_t>(n), 0.0);
+        A->multiply_add(std::vector<double>(x.begin(), x.end()), ax);
+        double s = 0.0;
+        for (std::size_t i = 0; i < ax.size(); ++i) {
+            const double d = b[i] - ax[i];
+            s += d * d;
+        }
+        return std::sqrt(s);
+    }
+};
+
+TEST(CgsSolver, ConvergesOnPoisson) {
+    ExtraSetup s;
+    CgsSolver<double> cgs(*s.planner);
+    const int iters = solve_to_tolerance(cgs, 1e-8, 1000);
+    EXPECT_LT(iters, 1000);
+    EXPECT_LT(s.true_residual(), 1e-6);
+}
+
+TEST(PipelinedCg, ConvergesOnPoisson) {
+    ExtraSetup s;
+    PipelinedCgSolver<double> pcg(*s.planner);
+    const int iters = solve_to_tolerance(pcg, 1e-8, 2000);
+    EXPECT_LT(iters, 2000);
+    EXPECT_LT(s.true_residual(), 1e-6);
+}
+
+TEST(PipelinedCg, MatchesCgIterateCount) {
+    // In exact arithmetic pipelined CG is CG; iteration counts agree closely.
+    ExtraSetup s1, s2;
+    CgSolver<double> cg(*s1.planner);
+    PipelinedCgSolver<double> pipe(*s2.planner);
+    const int cg_iters = solve_to_tolerance(cg, 1e-8, 2000);
+    const int pipe_iters = solve_to_tolerance(pipe, 1e-8, 2000);
+    EXPECT_NEAR(cg_iters, pipe_iters, 3);
+}
+
+TEST(PipelinedCg, HidesReductionLatencyAtSmallSizes) {
+    // The structural point of pipelining: at latency-bound sizes, the two
+    // reductions overlap the matvec, so virtual time per iteration drops
+    // below standard CG on the same machine. Measure with exaggerated
+    // collective latency to make the effect unambiguous.
+    auto measure = [](bool pipelined) {
+        sim::MachineDesc m = sim::MachineDesc::lassen(4);
+        m.collective_hop_latency = 2.0e-5; // 10x: latency-dominated dots
+        rt::Runtime runtime(m, rt::RuntimeOptions{.materialize = false});
+        stencil::Spec spec = stencil::Spec::cube(stencil::Kind::D2P5, 1 << 14);
+        const IndexSpace D = IndexSpace::create(spec.unknowns(), "D");
+        const rt::RegionId xr = runtime.create_region(D, "x");
+        const rt::RegionId br = runtime.create_region(D, "b");
+        const rt::FieldId xf = runtime.add_field<double>(xr, "v");
+        const rt::FieldId bf = runtime.add_field<double>(br, "v");
+        Planner<double> planner(runtime);
+        const Color pieces = 16;
+        const stencil::CoPartition cp = stencil::co_partition(spec, D, D, pieces);
+        planner.add_sol_vector(xr, xf, Partition::equal(D, pieces));
+        planner.add_rhs_vector(br, bf, cp.rows);
+        const IndexSpace K = IndexSpace::create(spec.total_nnz(), "K");
+        std::vector<IntervalSet> kp;
+        gidx cursor = 0;
+        for (Color c = 0; c < pieces; ++c) {
+            const gidx take =
+                std::min(cp.nnz[static_cast<std::size_t>(c)], spec.total_nnz() - cursor);
+            kp.emplace_back(cursor, cursor + take);
+            cursor += take;
+        }
+        OperatorPlan plan;
+        plan.kernel_pieces = Partition(K, std::move(kp));
+        plan.domain_needs = cp.halo;
+        plan.row_pieces = cp.rows;
+        plan.nnz = cp.nnz;
+        planner.add_operator_planned(nullptr, std::move(plan), 0, 0);
+
+        std::unique_ptr<Solver<double>> solver;
+        if (pipelined) {
+            solver = std::make_unique<PipelinedCgSolver<double>>(planner);
+        } else {
+            solver = std::make_unique<CgSolver<double>>(planner);
+        }
+        // Trace the iterations so the analysis pipeline is not the floor —
+        // the point is the *reduction latency*, which pipelining hides.
+        auto one = [&] {
+            runtime.begin_trace(1);
+            solver->step();
+            runtime.end_trace();
+        };
+        for (int i = 0; i < 5; ++i) one();
+        const double t0 = runtime.current_time();
+        for (int i = 0; i < 10; ++i) one();
+        return (runtime.current_time() - t0) / 10.0;
+    };
+    const double cg_time = measure(false);
+    const double pipe_time = measure(true);
+    EXPECT_LT(pipe_time, cg_time)
+        << "pipelined CG must hide reduction latency behind the matvec";
+}
+
+TEST(TfqmrSolver, ConvergesOnPoisson) {
+    ExtraSetup s;
+    TfqmrSolver<double> tfqmr(*s.planner);
+    const int iters = solve_to_tolerance(tfqmr, 1e-9, 2000);
+    EXPECT_LT(iters, 2000);
+    EXPECT_LT(s.true_residual(), 1e-6);
+}
+
+TEST(TfqmrSolver, ConvergesOnNonsymmetricSystem) {
+    ExtraSetup s;
+    // Make it nonsymmetric through a skew perturbation slot (aliases the
+    // same component pair — contributions sum per eq. 8).
+    const gidx n = s.n;
+    std::vector<Triplet<double>> skew;
+    for (gidx i = 0; i + 1 < n; ++i) {
+        skew.push_back({i, i + 1, 0.2});
+        skew.push_back({i + 1, i, -0.2});
+    }
+    auto S = std::make_shared<CsrMatrix<double>>(
+        CsrMatrix<double>::from_triplets(s.A->domain(), s.A->range(), std::move(skew)));
+    s.planner->add_operator(S, 0, 0);
+    TfqmrSolver<double> tfqmr(*s.planner);
+    const int iters = solve_to_tolerance(tfqmr, 1e-9, 3000);
+    EXPECT_LT(iters, 3000);
+    // True residual of the PERTURBED system.
+    auto x = s.runtime->field_data<double>(s.xr, s.xf);
+    auto b = s.runtime->field_data<double>(s.br, s.bf);
+    std::vector<double> ax(static_cast<std::size_t>(n), 0.0);
+    const std::vector<double> xv(x.begin(), x.end());
+    s.A->multiply_add(xv, ax);
+    S->multiply_add(xv, ax);
+    double r2 = 0.0;
+    for (std::size_t i = 0; i < ax.size(); ++i) {
+        const double d = b[i] - ax[i];
+        r2 += d * d;
+    }
+    EXPECT_LT(std::sqrt(r2), 1e-6);
+}
+
+TEST(TfqmrSolver, QuasiResidualDecreasesMonotonically) {
+    // τ is nonincreasing by construction — the "smoothed" property that
+    // distinguishes TFQMR from CGS.
+    ExtraSetup s;
+    TfqmrSolver<double> tfqmr(*s.planner);
+    double prev = tfqmr.get_convergence_measure().value;
+    for (int i = 0; i < 40; ++i) {
+        tfqmr.step();
+        const double cur = tfqmr.get_convergence_measure().value;
+        EXPECT_LE(cur, prev * (1.0 + 1e-12)) << "iteration " << i;
+        prev = cur;
+    }
+}
+
+TEST(ChebyshevSolver, ConvergesWithTrueBounds) {
+    ExtraSetup s;
+    // 2-D Laplacian spectrum is inside (0, 8); use safe bounds.
+    ChebyshevSolver<double> cheb(*s.planner, 0.01, 8.0);
+    const int iters = solve_to_tolerance(cheb, 1e-8, 5000);
+    EXPECT_LT(iters, 5000);
+    EXPECT_LT(s.true_residual(), 1e-6);
+}
+
+TEST(ChebyshevSolver, NoDotsBetweenMeasurements) {
+    ExtraSetup s;
+    ChebyshevSolver<double> cheb(*s.planner, 0.01, 8.0, /*measure_every=*/10);
+    const auto tasks_before = s.runtime->tasks_launched();
+    for (int i = 0; i < 9; ++i) cheb.step();
+    // 9 steps, no measurement: only axpy/scal/matmul tasks, no "dot".
+    // Verify indirectly: a 10th step adds the measurement dot.
+    const auto tasks_9 = s.runtime->tasks_launched() - tasks_before;
+    cheb.step();
+    const auto tasks_10 = s.runtime->tasks_launched() - tasks_before - tasks_9;
+    EXPECT_GT(tasks_10, tasks_9 / 9) << "measurement step launches extra dot tasks";
+}
+
+TEST(ChebyshevSolver, RejectsBadBounds) {
+    ExtraSetup s;
+    EXPECT_THROW(ChebyshevSolver<double>(*s.planner, 0.0, 8.0), Error);
+    EXPECT_THROW(ChebyshevSolver<double>(*s.planner, 8.0, 1.0), Error);
+    EXPECT_THROW(ChebyshevSolver<double>(*s.planner, 0.1, 8.0, 0), Error);
+}
+
+TEST(RichardsonSolver, ConvergesWithSafeDamping) {
+    ExtraSetup s;
+    RichardsonSolver<double> rich(*s.planner, 0.2); // < 2/8
+    const int iters = solve_to_tolerance(rich, 1e-6, 20000);
+    EXPECT_LT(iters, 20000);
+    EXPECT_LT(s.true_residual(), 1e-4);
+}
+
+TEST(RichardsonSolver, RejectsNonpositiveDamping) {
+    ExtraSetup s;
+    EXPECT_THROW(RichardsonSolver<double>(*s.planner, 0.0), Error);
+}
+
+TEST(EstimateLambdaMax, ApproachesSpectralRadius) {
+    ExtraSetup s;
+    const double est = estimate_lambda_max(*s.planner, 50);
+    // 2-D 5pt Laplacian: λmax = 4(sin² + sin²) < 8, approaching 8 for large n.
+    EXPECT_GT(est, 6.0);
+    EXPECT_LT(est, 8.0 + 1e-9);
+}
+
+TEST(EstimateLambdaMax, FeedsChebyshev) {
+    ExtraSetup s;
+    const double lmax = estimate_lambda_max(*s.planner, 30);
+    ChebyshevSolver<double> cheb(*s.planner, lmax / 200.0, lmax * 1.05);
+    const int iters = solve_to_tolerance(cheb, 1e-8, 5000);
+    EXPECT_LT(iters, 5000);
+}
+
+TEST(ExtraSolvers, AllExposeDropInInterface) {
+    ExtraSetup s1, s2, s3, s4;
+    std::vector<std::unique_ptr<Solver<double>>> solvers;
+    solvers.push_back(std::make_unique<CgsSolver<double>>(*s1.planner));
+    solvers.push_back(std::make_unique<PipelinedCgSolver<double>>(*s2.planner));
+    solvers.push_back(std::make_unique<ChebyshevSolver<double>>(*s3.planner, 0.01, 8.0));
+    solvers.push_back(std::make_unique<RichardsonSolver<double>>(*s4.planner, 0.2));
+    for (auto& s : solvers) {
+        const double before = s->get_convergence_measure().value;
+        // CG-family residual 2-norms may oscillate over a step or two (only
+        // the A-norm of the error is monotone); 25 steps must show progress.
+        for (int i = 0; i < 25; ++i) s->step();
+        EXPECT_LT(s->get_convergence_measure().value, before) << s->name();
+    }
+}
+
+} // namespace
+} // namespace kdr::core

@@ -1,0 +1,139 @@
+#include "core/solvers_preconditioned.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/preconditioners.hpp"
+#include "stencil/stencil.hpp"
+
+namespace kdr::core {
+namespace {
+
+/// Graded-diagonal SPD system where Jacobi genuinely matters.
+struct PreconSetup {
+    std::unique_ptr<rt::Runtime> runtime;
+    std::unique_ptr<Planner<double>> planner;
+    std::shared_ptr<CsrMatrix<double>> A;
+    rt::RegionId xr{}, br{};
+    rt::FieldId xf{}, bf{};
+    static constexpr gidx kN = 128;
+
+    explicit PreconSetup(bool add_jacobi = true) {
+        sim::MachineDesc m = sim::MachineDesc::lassen(2);
+        runtime = std::make_unique<rt::Runtime>(m);
+        const IndexSpace D = IndexSpace::create(kN, "D");
+        std::vector<Triplet<double>> ts;
+        auto scale = [](gidx i) {
+            return std::pow(10.0, 2.0 * static_cast<double>(i) / (kN - 1));
+        };
+        for (gidx i = 0; i < kN; ++i) {
+            if (i > 0) ts.push_back({i, i - 1, -0.1 * std::sqrt(scale(i) * scale(i - 1))});
+            ts.push_back({i, i, scale(i)});
+            if (i < kN - 1) ts.push_back({i, i + 1, -0.1 * std::sqrt(scale(i) * scale(i + 1))});
+        }
+        A = std::make_shared<CsrMatrix<double>>(
+            CsrMatrix<double>::from_triplets(D, D, std::move(ts)));
+        xr = runtime->create_region(D, "x");
+        br = runtime->create_region(D, "b");
+        xf = runtime->add_field<double>(xr, "v");
+        bf = runtime->add_field<double>(br, "v");
+        const auto b = stencil::random_rhs(kN, 4);
+        auto bd = runtime->field_data<double>(br, bf);
+        std::copy(b.begin(), b.end(), bd.begin());
+        planner = std::make_unique<Planner<double>>(*runtime);
+        planner->add_sol_vector(xr, xf, Partition::equal(D, 2));
+        planner->add_rhs_vector(br, bf, Partition::equal(D, 2));
+        planner->add_operator(A, 0, 0);
+        if (add_jacobi) add_jacobi_preconditioner<double>(*planner, {{A}});
+    }
+
+    double true_residual() {
+        auto x = runtime->field_data<double>(xr, xf);
+        auto b = runtime->field_data<double>(br, bf);
+        std::vector<double> ax(static_cast<std::size_t>(kN), 0.0);
+        A->multiply_add(std::vector<double>(x.begin(), x.end()), ax);
+        double s = 0.0;
+        for (std::size_t i = 0; i < ax.size(); ++i) {
+            const double d = b[i] - ax[i];
+            s += d * d;
+        }
+        return std::sqrt(s);
+    }
+};
+
+TEST(FGmres, ConvergesWithJacobi) {
+    PreconSetup s;
+    FGmresSolver<double> fgmres(*s.planner, 10);
+    const int iters = solve_to_tolerance(fgmres, 1e-8, 2000);
+    EXPECT_LT(iters, 2000);
+    EXPECT_LT(s.true_residual(), 1e-5);
+}
+
+TEST(FGmres, BeatsUnpreconditionedGmresHere) {
+    PreconSetup pre;
+    PreconSetup plain(false);
+    FGmresSolver<double> fgmres(*pre.planner, 10);
+    GmresSolver<double> gmres(*plain.planner, 10);
+    const int f_iters = solve_to_tolerance(fgmres, 1e-8, 4000);
+    const int g_iters = solve_to_tolerance(gmres, 1e-8, 4000);
+    EXPECT_LT(f_iters, g_iters);
+}
+
+TEST(FGmres, ToleratesIterationVaryingPreconditioner) {
+    // The "flexible" part: psolve that changes every call. Plain right-
+    // preconditioned GMRES would lose the Arnoldi relation; FGMRES stores
+    // Z explicitly and stays consistent.
+    PreconSetup s(false);
+    std::vector<double> diag(PreconSetup::kN, 0.0);
+    s.A->add_diagonal(diag);
+    int call = 0;
+    s.planner->set_matrix_free_psolve([&, diag](VecId dst, VecId src) {
+        // Alternate between exact Jacobi and damped Jacobi.
+        const double damp = (call++ % 2 == 0) ? 1.0 : 0.5;
+        s.planner->copy(dst, src);
+        // elementwise scaling via scal is uniform; emulate variable scaling
+        // through two half-steps: dst = damp * D^{-1} src, done on the host
+        // via a uniform scal of a Jacobi-applied vector is not expressible,
+        // so use the uniform damping on top of a true Jacobi matrix apply.
+        // Build once: a DIA inverse-diagonal operator applied through a
+        // second planner op would be overkill here; a damped copy suffices
+        // to exercise the varying-psolve path.
+        s.planner->scal(dst, make_scalar(damp * 0.1));
+    });
+    FGmresSolver<double> fgmres(*s.planner, 10);
+    const int iters = solve_to_tolerance(fgmres, 1e-8, 4000);
+    EXPECT_LT(iters, 4000);
+    EXPECT_LT(s.true_residual(), 1e-5);
+}
+
+TEST(FGmres, RequiresPreconditionerAndSquare) {
+    PreconSetup s(false);
+    EXPECT_THROW(FGmresSolver<double> solver(*s.planner), Error);
+}
+
+TEST(PBiCgStab, ConvergesWithJacobi) {
+    PreconSetup s;
+    PBiCgStabSolver<double> solver(*s.planner);
+    const int iters = solve_to_tolerance(solver, 1e-8, 2000);
+    EXPECT_LT(iters, 2000);
+    EXPECT_LT(s.true_residual(), 1e-5);
+}
+
+TEST(PBiCgStab, BeatsPlainBiCgStabHere) {
+    PreconSetup pre;
+    PreconSetup plain(false);
+    PBiCgStabSolver<double> p(*pre.planner);
+    BiCgStabSolver<double> u(*plain.planner);
+    const int p_iters = solve_to_tolerance(p, 1e-8, 4000);
+    const int u_iters = solve_to_tolerance(u, 1e-8, 4000);
+    EXPECT_LT(p_iters, u_iters);
+}
+
+TEST(PBiCgStab, RequiresPreconditioner) {
+    PreconSetup s(false);
+    EXPECT_THROW(PBiCgStabSolver<double> solver(*s.planner), Error);
+}
+
+} // namespace
+} // namespace kdr::core

@@ -1,0 +1,36 @@
+/// Compile-and-use check of the umbrella header: everything a downstream
+/// user reaches through #include "kdr.hpp" is present and consistent.
+
+#include "kdr.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+TEST(Umbrella, EndToEndThroughSingleInclude) {
+    kdr::rt::Runtime runtime(kdr::sim::MachineDesc::lassen(1));
+    kdr::stencil::Spec spec;
+    spec.kind = kdr::stencil::Kind::D1P3;
+    spec.nx = 32;
+    const kdr::IndexSpace D = kdr::IndexSpace::create(32, "D");
+    const kdr::rt::RegionId xr = runtime.create_region(D, "x");
+    const kdr::rt::RegionId br = runtime.create_region(D, "b");
+    const kdr::rt::FieldId xf = runtime.add_field<double>(xr, "v");
+    const kdr::rt::FieldId bf = runtime.add_field<double>(br, "v");
+    {
+        auto bd = runtime.field_data<double>(br, bf);
+        for (auto& v : bd) v = 1.0;
+    }
+    kdr::core::Planner<double> planner(runtime);
+    planner.add_sol_vector(xr, xf, kdr::Partition::equal(D, 2));
+    planner.add_rhs_vector(br, bf, kdr::Partition::equal(D, 2));
+    planner.add_operator(std::make_shared<kdr::CsrMatrix<double>>(
+                             kdr::stencil::laplacian_csr(spec, D, D)),
+                         0, 0);
+    kdr::core::CgSolver<double> cg(planner);
+    kdr::core::SolverMonitor<double> mon(cg);
+    EXPECT_LT(kdr::core::solve_to_tolerance<double>(mon, 1e-10, 200), 200);
+    EXPECT_GE(mon.history().size(), 2u);
+}
+
+} // namespace

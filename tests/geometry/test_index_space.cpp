@@ -1,0 +1,86 @@
+#include "geometry/index_space.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+
+namespace kdr {
+namespace {
+
+TEST(IndexSpace, DefaultIsInvalid) {
+    const IndexSpace s;
+    EXPECT_FALSE(s.valid());
+    EXPECT_EQ(s.size(), 0);
+}
+
+TEST(IndexSpace, CreateAssignsUniqueIds) {
+    const IndexSpace a = IndexSpace::create(10);
+    const IndexSpace b = IndexSpace::create(10);
+    EXPECT_TRUE(a.valid());
+    EXPECT_NE(a.id(), b.id());
+    EXPECT_NE(a, b) << "same size but distinct spaces";
+    EXPECT_EQ(a, a);
+}
+
+TEST(IndexSpace, CopyPreservesIdentity) {
+    const IndexSpace a = IndexSpace::create(5, "D");
+    const IndexSpace c = a;
+    EXPECT_EQ(a, c);
+    EXPECT_EQ(c.name(), "D");
+}
+
+TEST(IndexSpace, RejectsNegativeSize) { EXPECT_THROW(IndexSpace::create(-1), Error); }
+
+TEST(IndexSpace, GridShapeAndSize) {
+    const IndexSpace g = IndexSpace::create_grid({4, 8});
+    EXPECT_TRUE(g.structured());
+    EXPECT_EQ(g.dims(), 2);
+    EXPECT_EQ(g.size(), 32);
+    EXPECT_EQ(g.extent(0), 4);
+    EXPECT_EQ(g.extent(1), 8);
+}
+
+TEST(IndexSpace, UnstructuredHasNoDims) {
+    const IndexSpace s = IndexSpace::create(7);
+    EXPECT_FALSE(s.structured());
+    EXPECT_EQ(s.dims(), 0);
+    EXPECT_THROW(s.extent(0), Error);
+}
+
+TEST(IndexSpace, GridRejectsBadExtents) {
+    EXPECT_THROW(IndexSpace::create_grid({}), Error);
+    EXPECT_THROW(IndexSpace::create_grid({4, 0}), Error);
+    EXPECT_THROW(IndexSpace::create_grid({1, 2, 3, 4}), Error);
+}
+
+TEST(IndexSpace, LinearizeRowMajor) {
+    const IndexSpace g = IndexSpace::create_grid({3, 5});
+    EXPECT_EQ(g.linearize(Point2{{0, 0}}), 0);
+    EXPECT_EQ(g.linearize(Point2{{0, 4}}), 4);
+    EXPECT_EQ(g.linearize(Point2{{1, 0}}), 5);
+    EXPECT_EQ(g.linearize(Point2{{2, 4}}), 14);
+}
+
+TEST(IndexSpace, LinearizeRoundTrip3d) {
+    const IndexSpace g = IndexSpace::create_grid({2, 3, 4});
+    for (gidx i = 0; i < g.size(); ++i) {
+        EXPECT_EQ(g.linearize(g.delinearize<3>(i)), i);
+    }
+}
+
+TEST(IndexSpace, LinearizeRejectsDimMismatch) {
+    const IndexSpace g = IndexSpace::create_grid({3, 5});
+    EXPECT_THROW(g.linearize(Point1{{0}}), Error);
+}
+
+TEST(IndexSpace, UniverseCoversWholeSpace) {
+    const IndexSpace s = IndexSpace::create(12);
+    const IntervalSet u = s.universe();
+    EXPECT_EQ(u.volume(), 12);
+    EXPECT_TRUE(u.contains(0));
+    EXPECT_TRUE(u.contains(11));
+    EXPECT_FALSE(u.contains(12));
+}
+
+} // namespace
+} // namespace kdr

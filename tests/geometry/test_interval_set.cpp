@@ -1,0 +1,199 @@
+#include "geometry/interval_set.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace kdr {
+namespace {
+
+TEST(IntervalSet, DefaultIsEmpty) {
+    const IntervalSet s;
+    EXPECT_TRUE(s.empty());
+    EXPECT_EQ(s.volume(), 0);
+    EXPECT_EQ(s.interval_count(), 0u);
+}
+
+TEST(IntervalSet, SingleInterval) {
+    const IntervalSet s(3, 8);
+    EXPECT_EQ(s.volume(), 5);
+    EXPECT_TRUE(s.contains(3));
+    EXPECT_TRUE(s.contains(7));
+    EXPECT_FALSE(s.contains(8));
+    EXPECT_FALSE(s.contains(2));
+}
+
+TEST(IntervalSet, DegenerateIntervalIsEmpty) {
+    const IntervalSet s(5, 5);
+    EXPECT_TRUE(s.empty());
+}
+
+TEST(IntervalSet, RejectsInvertedInterval) { EXPECT_THROW(IntervalSet(5, 3), Error); }
+
+TEST(IntervalSet, FromIntervalsCoalescesOverlaps) {
+    const IntervalSet s = IntervalSet::from_intervals({{0, 3}, {2, 5}, {7, 9}, {5, 7}});
+    EXPECT_EQ(s.interval_count(), 1u); // [0,5)+[5,7)+[7,9) merge to [0,9)
+    EXPECT_EQ(s.volume(), 9);
+}
+
+TEST(IntervalSet, FromIntervalsKeepsGaps) {
+    const IntervalSet s = IntervalSet::from_intervals({{0, 2}, {4, 6}});
+    EXPECT_EQ(s.interval_count(), 2u);
+    EXPECT_FALSE(s.contains(2));
+    EXPECT_FALSE(s.contains(3));
+    EXPECT_TRUE(s.contains(4));
+}
+
+TEST(IntervalSet, FromPointsMergesRunsAndDuplicates) {
+    const IntervalSet s = IntervalSet::from_points({5, 1, 2, 3, 5, 9});
+    EXPECT_EQ(s.volume(), 5);
+    EXPECT_EQ(s.interval_count(), 3u); // [1,4) [5,6) [9,10)
+    EXPECT_EQ(s, IntervalSet::from_intervals({{1, 4}, {5, 6}, {9, 10}}));
+}
+
+TEST(IntervalSet, UnionBasic) {
+    const IntervalSet a(0, 4);
+    const IntervalSet b(6, 8);
+    const IntervalSet u = a.set_union(b);
+    EXPECT_EQ(u.volume(), 6);
+    EXPECT_EQ(u.interval_count(), 2u);
+}
+
+TEST(IntervalSet, UnionMergesAdjacent) {
+    const IntervalSet u = IntervalSet(0, 4).set_union(IntervalSet(4, 8));
+    EXPECT_EQ(u.interval_count(), 1u);
+    EXPECT_EQ(u, IntervalSet(0, 8));
+}
+
+TEST(IntervalSet, IntersectionBasic) {
+    const IntervalSet a = IntervalSet::from_intervals({{0, 5}, {10, 15}});
+    const IntervalSet b = IntervalSet::from_intervals({{3, 12}});
+    const IntervalSet i = a.set_intersection(b);
+    EXPECT_EQ(i, IntervalSet::from_intervals({{3, 5}, {10, 12}}));
+}
+
+TEST(IntervalSet, IntersectionDisjointIsEmpty) {
+    EXPECT_TRUE(IntervalSet(0, 3).set_intersection(IntervalSet(5, 9)).empty());
+}
+
+TEST(IntervalSet, DifferencePunchesHoles) {
+    const IntervalSet a(0, 10);
+    const IntervalSet b = IntervalSet::from_intervals({{2, 4}, {6, 7}});
+    const IntervalSet d = a.set_difference(b);
+    EXPECT_EQ(d, IntervalSet::from_intervals({{0, 2}, {4, 6}, {7, 10}}));
+}
+
+TEST(IntervalSet, DifferenceWithSelfIsEmpty) {
+    const IntervalSet a = IntervalSet::from_intervals({{1, 4}, {9, 20}});
+    EXPECT_TRUE(a.set_difference(a).empty());
+}
+
+TEST(IntervalSet, IntersectsDetectsTouching) {
+    const IntervalSet a(0, 5);
+    EXPECT_TRUE(a.intersects(IntervalSet(4, 9)));
+    EXPECT_FALSE(a.intersects(IntervalSet(5, 9))); // half-open: [0,5) vs [5,9)
+}
+
+TEST(IntervalSet, ContainsAll) {
+    const IntervalSet big = IntervalSet::from_intervals({{0, 10}, {20, 30}});
+    EXPECT_TRUE(big.contains_all(IntervalSet::from_intervals({{2, 5}, {25, 28}})));
+    EXPECT_FALSE(big.contains_all(IntervalSet(8, 12)));
+    EXPECT_TRUE(big.contains_all(IntervalSet{}));
+}
+
+TEST(IntervalSet, BoundsSpanTheSet) {
+    const IntervalSet s = IntervalSet::from_intervals({{3, 5}, {11, 20}});
+    EXPECT_EQ(s.bounds(), (Interval{3, 20}));
+    EXPECT_EQ(IntervalSet{}.bounds(), (Interval{0, 0}));
+}
+
+TEST(IntervalSet, ShiftedTranslates) {
+    const IntervalSet s = IntervalSet::from_intervals({{0, 2}, {5, 6}});
+    EXPECT_EQ(s.shifted(10), IntervalSet::from_intervals({{10, 12}, {15, 16}}));
+    EXPECT_EQ(s.shifted(-0), s);
+}
+
+TEST(IntervalSet, RankAndSelectRoundTrip) {
+    const IntervalSet s = IntervalSet::from_intervals({{2, 5}, {8, 10}});
+    // members: 2 3 4 8 9
+    EXPECT_EQ(s.rank_of(2), 0);
+    EXPECT_EQ(s.rank_of(4), 2);
+    EXPECT_EQ(s.rank_of(8), 3);
+    EXPECT_EQ(s.select(0), 2);
+    EXPECT_EQ(s.select(3), 8);
+    EXPECT_EQ(s.select(4), 9);
+    for (gidx r = 0; r < s.volume(); ++r) EXPECT_EQ(s.rank_of(s.select(r)), r);
+}
+
+TEST(IntervalSet, RankOfMissingThrows) {
+    const IntervalSet s(2, 5);
+    EXPECT_THROW(s.rank_of(7), Error);
+    EXPECT_THROW(s.rank_of(1), Error);
+}
+
+TEST(IntervalSet, SelectOutOfRangeThrows) {
+    const IntervalSet s(0, 3);
+    EXPECT_THROW(s.select(3), Error);
+    EXPECT_THROW(s.select(-1), Error);
+}
+
+TEST(IntervalSet, ToPointsEnumeratesAscending) {
+    const IntervalSet s = IntervalSet::from_intervals({{7, 9}, {1, 3}});
+    EXPECT_EQ(s.to_points(), (std::vector<gidx>{1, 2, 7, 8}));
+}
+
+/// Property test: interval-set algebra agrees with std::set algebra on random
+/// inputs (the IntervalSet is the foundation of dependence analysis, so this
+/// must be watertight).
+class IntervalSetPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(IntervalSetPropertyTest, AlgebraMatchesReferenceSets) {
+    Rng rng(GetParam());
+    auto random_set = [&](int max_intervals, gidx universe) {
+        std::vector<Interval> ivs;
+        const int n = static_cast<int>(rng.uniform_index(static_cast<std::uint64_t>(max_intervals)) + 1);
+        for (int i = 0; i < n; ++i) {
+            const gidx lo = static_cast<gidx>(rng.uniform_index(static_cast<std::uint64_t>(universe)));
+            const gidx len = static_cast<gidx>(rng.uniform_index(12));
+            ivs.push_back({lo, std::min(lo + len, universe)});
+        }
+        return IntervalSet::from_intervals(std::move(ivs));
+    };
+    auto as_std_set = [](const IntervalSet& s) {
+        std::set<gidx> out;
+        s.for_each([&](gidx i) { out.insert(i); });
+        return out;
+    };
+
+    for (int trial = 0; trial < 50; ++trial) {
+        const IntervalSet a = random_set(6, 80);
+        const IntervalSet b = random_set(6, 80);
+        const std::set<gidx> sa = as_std_set(a);
+        const std::set<gidx> sb = as_std_set(b);
+
+        std::set<gidx> expect_union = sa;
+        expect_union.insert(sb.begin(), sb.end());
+        EXPECT_EQ(as_std_set(a.set_union(b)), expect_union);
+
+        std::set<gidx> expect_inter;
+        std::ranges::set_intersection(sa, sb, std::inserter(expect_inter, expect_inter.end()));
+        EXPECT_EQ(as_std_set(a.set_intersection(b)), expect_inter);
+
+        std::set<gidx> expect_diff;
+        std::ranges::set_difference(sa, sb, std::inserter(expect_diff, expect_diff.end()));
+        EXPECT_EQ(as_std_set(a.set_difference(b)), expect_diff);
+
+        EXPECT_EQ(a.intersects(b), !expect_inter.empty());
+        EXPECT_EQ(a.volume(), static_cast<gidx>(sa.size()));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IntervalSetPropertyTest,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 42u, 1337u, 9001u));
+
+} // namespace
+} // namespace kdr

@@ -1,0 +1,77 @@
+#include "geometry/point.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace kdr {
+namespace {
+
+TEST(Point, ArithmeticAndComparison) {
+    const Point2 a{{1, 2}};
+    const Point2 b{{3, 4}};
+    EXPECT_EQ((a + b), (Point2{{4, 6}}));
+    EXPECT_EQ((b - a), (Point2{{2, 2}}));
+    EXPECT_NE(a, b);
+    EXPECT_EQ(a, (Point2{{1, 2}}));
+}
+
+TEST(Rect, VolumeAndEmpty) {
+    const Rect2 r{{{0, 0}}, {{4, 3}}};
+    EXPECT_EQ(r.volume(), 12);
+    EXPECT_FALSE(r.empty());
+    const Rect2 e{{{2, 2}}, {{2, 5}}};
+    EXPECT_TRUE(e.empty());
+    EXPECT_EQ(e.volume(), 0);
+}
+
+TEST(Rect, ContainsIsHalfOpen) {
+    const Rect1 r{{{2}}, {{5}}};
+    EXPECT_FALSE(r.contains(Point1{{1}}));
+    EXPECT_TRUE(r.contains(Point1{{2}}));
+    EXPECT_TRUE(r.contains(Point1{{4}}));
+    EXPECT_FALSE(r.contains(Point1{{5}}));
+}
+
+TEST(Rect, Intersection) {
+    const Rect2 a{{{0, 0}}, {{4, 4}}};
+    const Rect2 b{{{2, 1}}, {{6, 3}}};
+    const Rect2 c = a.intersection(b);
+    EXPECT_EQ(c, (Rect2{{{2, 1}}, {{4, 3}}}));
+    const Rect2 d{{{10, 10}}, {{12, 12}}};
+    EXPECT_TRUE(a.intersection(d).empty());
+}
+
+TEST(Linearize, RowMajorOrder) {
+    const Rect2 bounds{{{0, 0}}, {{3, 4}}}; // 3 rows of 4
+    EXPECT_EQ(linearize(bounds, Point2{{0, 0}}), 0);
+    EXPECT_EQ(linearize(bounds, Point2{{0, 3}}), 3);
+    EXPECT_EQ(linearize(bounds, Point2{{1, 0}}), 4);
+    EXPECT_EQ(linearize(bounds, Point2{{2, 3}}), 11);
+}
+
+TEST(Linearize, RoundTripsWithDelinearize) {
+    const Rect3 bounds{{{1, 2, 3}}, {{4, 6, 8}}};
+    for (gidx i = 0; i < bounds.volume(); ++i) {
+        EXPECT_EQ(linearize(bounds, delinearize(bounds, i)), i);
+    }
+}
+
+TEST(ForEachPoint, VisitsAllInOrder) {
+    const Rect2 r{{{0, 0}}, {{2, 3}}};
+    std::vector<gidx> seen;
+    for_each_point(r, [&](const Point2& p) { seen.push_back(linearize(r, p)); });
+    ASSERT_EQ(seen.size(), 6u);
+    for (std::size_t i = 0; i < seen.size(); ++i)
+        EXPECT_EQ(seen[i], static_cast<gidx>(i));
+}
+
+TEST(ForEachPoint, EmptyRectVisitsNothing) {
+    const Rect1 r{{{3}}, {{3}}};
+    int count = 0;
+    for_each_point(r, [&](const Point1&) { ++count; });
+    EXPECT_EQ(count, 0);
+}
+
+} // namespace
+} // namespace kdr

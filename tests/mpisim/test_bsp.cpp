@@ -1,0 +1,120 @@
+#include "mpisim/bsp.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+
+namespace kdr::bsp {
+namespace {
+
+sim::MachineDesc machine2x2() {
+    sim::MachineDesc m = sim::MachineDesc::lassen(2);
+    m.gpus_per_node = 2;
+    m.gpu_launch_overhead = 0.0;
+    m.nic_latency = 0.0;
+    return m;
+}
+
+TEST(BspWorld, GpuRanksEnumerateNodeMajor) {
+    sim::SimCluster cluster(machine2x2());
+    BspWorld world(cluster, sim::ProcKind::GPU);
+    EXPECT_EQ(world.nranks(), 4);
+    EXPECT_EQ(world.proc_of(0).node, 0);
+    EXPECT_EQ(world.proc_of(1).node, 0);
+    EXPECT_EQ(world.proc_of(1).index, 1);
+    EXPECT_EQ(world.proc_of(3).node, 1);
+    EXPECT_THROW(world.proc_of(4), Error);
+}
+
+TEST(BspWorld, CpuRanksAreOnePerNode) {
+    sim::SimCluster cluster(machine2x2());
+    BspWorld world(cluster, sim::ProcKind::CPU);
+    EXPECT_EQ(world.nranks(), 2);
+    EXPECT_EQ(world.proc_of(1).kind, sim::ProcKind::CPU);
+    EXPECT_EQ(world.proc_of(1).node, 1);
+}
+
+TEST(BspWorld, ComputePhaseAdvancesToSlowestRank) {
+    sim::SimCluster cluster(machine2x2());
+    BspWorld world(cluster, sim::ProcKind::GPU);
+    const double f = cluster.machine().gpu_flops;
+    // Rank 2 does 2 seconds of flops; everyone else 1 second.
+    std::vector<sim::TaskCost> costs(4, {f, 0.0});
+    costs[2] = {2.0 * f, 0.0};
+    world.compute_phase(costs, 0.0);
+    EXPECT_DOUBLE_EQ(world.now(), 2.0) << "bulk-synchronous: the phase ends with the slowest";
+}
+
+TEST(BspWorld, ComputePhaseRejectsWrongArity) {
+    sim::SimCluster cluster(machine2x2());
+    BspWorld world(cluster, sim::ProcKind::GPU);
+    EXPECT_THROW(world.compute_phase({{1.0, 0.0}}, 0.0), Error);
+}
+
+TEST(BspWorld, OverheadChargedPerRank) {
+    sim::SimCluster cluster(machine2x2());
+    BspWorld world(cluster, sim::ProcKind::GPU);
+    world.compute_uniform_phase({0.0, 0.0}, 0.5);
+    EXPECT_DOUBLE_EQ(world.now(), 0.5);
+}
+
+TEST(BspWorld, ExchangePhaseMovesBytesAndAccumulates) {
+    sim::SimCluster cluster(machine2x2());
+    BspWorld world(cluster, sim::ProcKind::GPU);
+    const double bytes = cluster.machine().nic_bandwidth; // 1 second of wire
+    world.exchange_phase({{0, 3, bytes}}); // rank 0 (node 0) -> rank 3 (node 1)
+    EXPECT_NEAR(world.now(), 1.0, 1e-9);
+    EXPECT_DOUBLE_EQ(world.comm_bytes(), bytes);
+    // Same-node messages move over the intra-node path (faster).
+    const double t = world.now();
+    world.exchange_phase({{0, 1, cluster.machine().intra_node_bandwidth}});
+    EXPECT_NEAR(world.now() - t, 1.0, 1e-9);
+}
+
+TEST(BspWorld, AllreduceCostsLog2TreeLatency) {
+    sim::SimCluster cluster(machine2x2());
+    BspWorld world(cluster, sim::ProcKind::GPU);
+    const double hop = cluster.machine().collective_hop_latency;
+    world.allreduce_phase();
+    EXPECT_DOUBLE_EQ(world.now(), 2.0 * 2.0 * hop) << "4 ranks: 2 levels, up+down";
+    const double t = world.now();
+    world.barrier_phase();
+    EXPECT_DOUBLE_EQ(world.now() - t, 2.0 * hop);
+}
+
+TEST(BspWorld, ClockNeverGoesBackwards) {
+    sim::SimCluster cluster(machine2x2());
+    BspWorld world(cluster, sim::ProcKind::GPU);
+    world.advance_to(5.0);
+    EXPECT_THROW(world.advance_to(4.0), Error);
+    EXPECT_DOUBLE_EQ(world.now(), 5.0);
+}
+
+TEST(BspWorld, ExplicitPrimitivesAllowOverlapComposition) {
+    // The *_at primitives let a baseline express PETSc-style overlap: a
+    // compute starting at t and an exchange starting at t finish
+    // independently; the caller advances to the max.
+    sim::SimCluster cluster(machine2x2());
+    BspWorld world(cluster, sim::ProcKind::GPU);
+    const double f = cluster.machine().gpu_flops;
+    const double compute_done =
+        world.compute_uniform_at(0.0, {2.0 * f, 0.0}, 0.0); // 2 s
+    const double comm_done =
+        world.exchange_at(0.0, {{0, 3, cluster.machine().nic_bandwidth}}); // 1 s
+    EXPECT_DOUBLE_EQ(compute_done, 2.0);
+    EXPECT_NEAR(comm_done, 1.0, 1e-9);
+    world.advance_to(std::max(compute_done, comm_done));
+    EXPECT_DOUBLE_EQ(world.now(), 2.0) << "communication fully hidden under compute";
+}
+
+TEST(BspWorld, PhasesSerializeOnTheSameRanks) {
+    sim::SimCluster cluster(machine2x2());
+    BspWorld world(cluster, sim::ProcKind::GPU);
+    const double f = cluster.machine().gpu_flops;
+    world.compute_uniform_phase({f, 0.0}, 0.0);
+    world.compute_uniform_phase({f, 0.0}, 0.0);
+    EXPECT_DOUBLE_EQ(world.now(), 2.0);
+}
+
+} // namespace
+} // namespace kdr::bsp

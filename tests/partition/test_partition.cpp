@@ -1,0 +1,149 @@
+#include "partition/partition.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+
+namespace kdr {
+namespace {
+
+TEST(Partition, EqualSplitsEvenly) {
+    const IndexSpace s = IndexSpace::create(12);
+    const Partition p = Partition::equal(s, 4);
+    EXPECT_EQ(p.color_count(), 4);
+    for (Color c = 0; c < 4; ++c) EXPECT_EQ(p.piece(c).volume(), 3);
+    EXPECT_TRUE(p.is_complete());
+    EXPECT_TRUE(p.is_disjoint());
+}
+
+TEST(Partition, EqualDistributesRemainderToLeadingColors) {
+    const IndexSpace s = IndexSpace::create(10);
+    const Partition p = Partition::equal(s, 4);
+    EXPECT_EQ(p.piece(0).volume(), 3);
+    EXPECT_EQ(p.piece(1).volume(), 3);
+    EXPECT_EQ(p.piece(2).volume(), 2);
+    EXPECT_EQ(p.piece(3).volume(), 2);
+    EXPECT_TRUE(p.is_complete());
+    EXPECT_TRUE(p.is_disjoint());
+}
+
+TEST(Partition, EqualMoreColorsThanPoints) {
+    const IndexSpace s = IndexSpace::create(2);
+    const Partition p = Partition::equal(s, 5);
+    EXPECT_EQ(p.color_count(), 5);
+    EXPECT_EQ(p.total_assignments(), 2);
+    EXPECT_TRUE(p.is_complete());
+    EXPECT_TRUE(p.is_disjoint());
+}
+
+TEST(Partition, EqualRejectsZeroColors) {
+    const IndexSpace s = IndexSpace::create(4);
+    EXPECT_THROW(Partition::equal(s, 0), Error);
+}
+
+TEST(Partition, BlockedSplitsByBlockSize) {
+    const IndexSpace s = IndexSpace::create(10);
+    const Partition p = Partition::blocked(s, 4);
+    EXPECT_EQ(p.color_count(), 3);
+    EXPECT_EQ(p.piece(0), IntervalSet(0, 4));
+    EXPECT_EQ(p.piece(2), IntervalSet(8, 10));
+    EXPECT_TRUE(p.is_complete());
+    EXPECT_TRUE(p.is_disjoint());
+}
+
+TEST(Partition, SingleIsTrivial) {
+    const IndexSpace s = IndexSpace::create(9);
+    const Partition p = Partition::single(s);
+    EXPECT_EQ(p.color_count(), 1);
+    EXPECT_EQ(p.piece(0), s.universe());
+}
+
+TEST(Partition, Tiles2dCoversGridDisjointly) {
+    const IndexSpace g = IndexSpace::create_grid({8, 6});
+    const Partition p = Partition::tiles2d(g, 2, 3);
+    EXPECT_EQ(p.color_count(), 6);
+    EXPECT_TRUE(p.is_complete());
+    EXPECT_TRUE(p.is_disjoint());
+    // Tile (0,0) holds rows 0-3 of columns 0-1: strided runs.
+    const IntervalSet& t00 = p.piece(0);
+    EXPECT_EQ(t00.volume(), 4 * 2);
+    EXPECT_TRUE(t00.contains(g.linearize(Point2{{0, 0}})));
+    EXPECT_TRUE(t00.contains(g.linearize(Point2{{3, 1}})));
+    EXPECT_FALSE(t00.contains(g.linearize(Point2{{0, 2}})));
+    EXPECT_FALSE(t00.contains(g.linearize(Point2{{4, 0}})));
+}
+
+TEST(Partition, Tiles2dUnevenSizes) {
+    const IndexSpace g = IndexSpace::create_grid({5, 5});
+    const Partition p = Partition::tiles2d(g, 2, 2);
+    EXPECT_TRUE(p.is_complete());
+    EXPECT_TRUE(p.is_disjoint());
+    EXPECT_EQ(p.total_assignments(), 25);
+}
+
+TEST(Partition, Tiles3dCoversGridDisjointly) {
+    const IndexSpace g = IndexSpace::create_grid({4, 4, 4});
+    const Partition p = Partition::tiles3d(g, 2, 2, 2);
+    EXPECT_EQ(p.color_count(), 8);
+    EXPECT_TRUE(p.is_complete());
+    EXPECT_TRUE(p.is_disjoint());
+    for (Color c = 0; c < 8; ++c) EXPECT_EQ(p.piece(c).volume(), 8);
+}
+
+TEST(Partition, TilesRejectUnstructuredSpace) {
+    const IndexSpace s = IndexSpace::create(16);
+    EXPECT_THROW(Partition::tiles2d(s, 2, 2), Error);
+    EXPECT_THROW(Partition::tiles3d(s, 2, 2, 2), Error);
+}
+
+TEST(Partition, IncompletePartitionDetected) {
+    const IndexSpace s = IndexSpace::create(10);
+    const Partition p(s, {IntervalSet(0, 4), IntervalSet(6, 10)});
+    EXPECT_FALSE(p.is_complete());
+    EXPECT_TRUE(p.is_disjoint());
+}
+
+TEST(Partition, AliasedPartitionDetected) {
+    const IndexSpace s = IndexSpace::create(10);
+    const Partition p(s, {IntervalSet(0, 6), IntervalSet(4, 10)});
+    EXPECT_TRUE(p.is_complete());
+    EXPECT_FALSE(p.is_disjoint());
+    EXPECT_EQ(p.total_assignments(), 12);
+}
+
+TEST(Partition, PieceOutOfRangeThrows) {
+    const IndexSpace s = IndexSpace::create(4);
+    const Partition p = Partition::equal(s, 2);
+    EXPECT_THROW(p.piece(2), Error);
+    EXPECT_THROW(p.piece(-1), Error);
+}
+
+TEST(Partition, RejectsPieceBeyondSpace) {
+    const IndexSpace s = IndexSpace::create(4);
+    EXPECT_THROW(Partition(s, {IntervalSet(0, 5)}), Error);
+}
+
+TEST(Partition, PiecewiseUnionAndIntersection) {
+    const IndexSpace s = IndexSpace::create(10);
+    const Partition a(s, {IntervalSet(0, 4), IntervalSet(4, 8)});
+    const Partition b(s, {IntervalSet(2, 6), IntervalSet(6, 10)});
+    const Partition u = a.piecewise_union(b);
+    EXPECT_EQ(u.piece(0), IntervalSet(0, 6));
+    EXPECT_EQ(u.piece(1), IntervalSet(4, 10));
+    const Partition i = a.piecewise_intersection(b);
+    EXPECT_EQ(i.piece(0), IntervalSet(2, 4));
+    EXPECT_EQ(i.piece(1), IntervalSet(6, 8));
+}
+
+TEST(Partition, PiecewiseOpsRejectMismatchedSpaces) {
+    const IndexSpace s = IndexSpace::create(10);
+    const IndexSpace t = IndexSpace::create(10);
+    const Partition a = Partition::equal(s, 2);
+    const Partition b = Partition::equal(t, 2);
+    EXPECT_THROW(a.piecewise_union(b), Error);
+    const Partition c = Partition::equal(s, 3);
+    EXPECT_THROW(a.piecewise_union(c), Error);
+}
+
+} // namespace
+} // namespace kdr

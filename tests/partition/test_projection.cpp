@@ -1,0 +1,123 @@
+#include "partition/projection.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "support/error.hpp"
+
+namespace kdr {
+namespace {
+
+/// Build the COO-style relations of a 1-D 3-point stencil matrix on n rows:
+/// kernel points enumerate (row, col) with col ∈ {row-1, row, row+1} ∩ [0,n).
+struct Stencil3 {
+    IndexSpace D;
+    IndexSpace R;
+    IndexSpace K;
+    std::shared_ptr<MaterializedRelation> col; // K -> D
+    std::shared_ptr<MaterializedRelation> row; // K -> R
+
+    explicit Stencil3(gidx n)
+        : D(IndexSpace::create(n, "D")), R(IndexSpace::create(n, "R")) {
+        std::vector<std::pair<gidx, gidx>> col_pairs;
+        std::vector<std::pair<gidx, gidx>> row_pairs;
+        gidx k = 0;
+        for (gidx i = 0; i < n; ++i) {
+            for (gidx j = i - 1; j <= i + 1; ++j) {
+                if (j < 0 || j >= n) continue;
+                col_pairs.emplace_back(k, j);
+                row_pairs.emplace_back(k, i);
+                ++k;
+            }
+        }
+        K = IndexSpace::create(k, "K");
+        col = std::make_shared<MaterializedRelation>(K, D, std::move(col_pairs));
+        row = std::make_shared<MaterializedRelation>(K, R, std::move(row_pairs));
+    }
+};
+
+TEST(Projection, ImagePartitionHasMatchingColors) {
+    const Stencil3 s(16);
+    const Partition pk = Partition::equal(s.K, 4);
+    const Partition pd = image(pk, *s.col);
+    EXPECT_EQ(pd.color_count(), 4);
+    EXPECT_EQ(pd.space(), s.D);
+    EXPECT_TRUE(pd.is_complete());
+}
+
+TEST(Projection, RowPartitionPreimageGivesKernelPieces) {
+    // Paper §3.1: given a partition P of R, row_{R→K}[P] selects the matrix
+    // pieces needed to compute each piece of y = A x.
+    const Stencil3 s(16);
+    const Partition pr = Partition::equal(s.R, 4);
+    const Partition pk = preimage(pr, *s.row);
+    EXPECT_EQ(pk.space(), s.K);
+    EXPECT_TRUE(pk.is_complete()) << "every kernel entry belongs to some row piece";
+    EXPECT_TRUE(pk.is_disjoint()) << "rows are disjoint, so kernel pieces are too";
+}
+
+TEST(Projection, DomainImageAliasesAtStencilBoundaries) {
+    // col_{K→D}[row_{R→K}[P]] is the finest partition of D from which the
+    // pieces of y can be computed independently; for a 3-point stencil the
+    // pieces overlap by one halo point on each side.
+    const Stencil3 s(16);
+    const Partition pr = Partition::equal(s.R, 4);
+    const Partition pd = image(preimage(pr, *s.row), *s.col);
+    EXPECT_TRUE(pd.is_complete());
+    EXPECT_FALSE(pd.is_disjoint()) << "halo points are shared between colors";
+    // Color 0 owns rows 0..3 and needs domain points 0..4 (one halo).
+    EXPECT_EQ(pd.piece(0), IntervalSet(0, 5));
+    // Color 1 owns rows 4..7 and needs domain points 3..8.
+    EXPECT_EQ(pd.piece(1), IntervalSet(3, 9));
+}
+
+TEST(Projection, Equation5GrowsHaloTwice) {
+    // Eq. (5): col[row[col[row[P]]]] yields the finest partition of D needed
+    // to compute A²x — the halo grows to two points per side.
+    const Stencil3 s(32);
+    const Partition pr = Partition::equal(s.R, 4);
+    const Partition once = image(preimage(pr, *s.row), *s.col);
+    const Partition twice = image(preimage(once, *s.col), *s.row);
+    // One application: rows 8..15 -> domain 7..16. Note: `twice` projects
+    // back through col/row, giving range rows reachable in two hops.
+    EXPECT_EQ(once.piece(1), IntervalSet(7, 17));
+    EXPECT_EQ(twice.piece(1), IntervalSet(6, 18));
+    for (Color c = 0; c < 4; ++c) {
+        EXPECT_TRUE(twice.piece(c).contains_all(once.piece(c)))
+            << "two-hop reach includes one-hop reach";
+    }
+}
+
+TEST(Projection, RejectsMismatchedSpaces) {
+    const Stencil3 s(8);
+    const Partition pd = Partition::equal(s.D, 2);
+    // image() expects a partition of the relation's source (K), not D.
+    EXPECT_THROW(image(pd, *s.col), Error);
+    const Partition pk = Partition::equal(s.K, 2);
+    // preimage() expects a partition of the relation's target (D), not K.
+    EXPECT_THROW(preimage(pk, *s.col), Error);
+}
+
+TEST(Projection, EmptyPiecesProjectToEmpty) {
+    const Stencil3 s(8);
+    const Partition pk(s.K, {IntervalSet{}, s.K.universe()});
+    const Partition pd = image(pk, *s.col);
+    EXPECT_TRUE(pd.piece(0).empty());
+    EXPECT_EQ(pd.piece(1), s.D.universe());
+}
+
+TEST(Projection, ImageAndPreimageAreAdjoint) {
+    // Galois-connection sanity: S ⊆ preimage(image(S)) for every piece when
+    // the relation is total on S.
+    const Stencil3 s(12);
+    const Partition pk = Partition::equal(s.K, 3);
+    const Partition pd = image(pk, *s.col);
+    const Partition pk2 = preimage(pd, *s.col);
+    for (Color c = 0; c < 3; ++c) {
+        EXPECT_TRUE(pk2.piece(c).contains_all(pk.piece(c)));
+    }
+}
+
+} // namespace
+} // namespace kdr

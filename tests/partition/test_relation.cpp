@@ -1,0 +1,91 @@
+#include "partition/relation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace kdr {
+namespace {
+
+class MaterializedRelationTest : public ::testing::Test {
+protected:
+    IndexSpace src = IndexSpace::create(6, "I");
+    IndexSpace dst = IndexSpace::create(4, "J");
+    // rel = {(0,1),(1,1),(2,3),(3,0),(3,2),(5,3)} — many-to-many.
+    MaterializedRelation rel{src, dst, {{0, 1}, {1, 1}, {2, 3}, {3, 0}, {3, 2}, {5, 3}}};
+};
+
+TEST_F(MaterializedRelationTest, ImageOfSubset) {
+    EXPECT_EQ(rel.image_of(IntervalSet(0, 2)), IntervalSet(1, 2));            // {1}
+    EXPECT_EQ(rel.image_of(IntervalSet(3, 4)), IntervalSet::from_points({0, 2}));
+    EXPECT_EQ(rel.image_of(IntervalSet(4, 5)), IntervalSet{}); // 4 unrelated
+}
+
+TEST_F(MaterializedRelationTest, PreimageOfSubset) {
+    EXPECT_EQ(rel.preimage_of(IntervalSet(1, 2)), IntervalSet(0, 2));             // {0,1}
+    EXPECT_EQ(rel.preimage_of(IntervalSet(3, 4)), IntervalSet::from_points({2, 5}));
+    EXPECT_EQ(rel.preimage_of(IntervalSet(0, 1)), IntervalSet(3, 4)); // {3}
+}
+
+TEST_F(MaterializedRelationTest, ImageOfEmptyIsEmpty) {
+    EXPECT_TRUE(rel.image_of(IntervalSet{}).empty());
+    EXPECT_TRUE(rel.preimage_of(IntervalSet{}).empty());
+}
+
+TEST_F(MaterializedRelationTest, ImageOfUniverse) {
+    EXPECT_EQ(rel.image_of(src.universe()), dst.universe());
+    EXPECT_EQ(rel.preimage_of(dst.universe()), IntervalSet::from_points({0, 1, 2, 3, 5}));
+}
+
+TEST_F(MaterializedRelationTest, EnumerateReturnsAllPairsSorted) {
+    auto pairs = rel.enumerate();
+    EXPECT_EQ(pairs.size(), 6u);
+    EXPECT_TRUE(std::is_sorted(pairs.begin(), pairs.end()));
+    EXPECT_EQ(pairs.front(), (std::pair<gidx, gidx>{0, 1}));
+    EXPECT_EQ(pairs.back(), (std::pair<gidx, gidx>{5, 3}));
+}
+
+TEST_F(MaterializedRelationTest, InverseSwapsDirections) {
+    auto base = std::make_shared<MaterializedRelation>(rel);
+    InverseRelation inv(base);
+    EXPECT_EQ(inv.source(), dst);
+    EXPECT_EQ(inv.target(), src);
+    EXPECT_EQ(inv.image_of(IntervalSet(1, 2)), rel.preimage_of(IntervalSet(1, 2)));
+    EXPECT_EQ(inv.preimage_of(IntervalSet(0, 2)), rel.image_of(IntervalSet(0, 2)));
+    auto pairs = inv.enumerate();
+    for (const auto& [j, i] : pairs) {
+        EXPECT_GE(i, 0);
+        EXPECT_LT(i, src.size());
+        EXPECT_GE(j, 0);
+        EXPECT_LT(j, dst.size());
+    }
+}
+
+TEST(MaterializedRelation, RejectsOutOfRangePairs) {
+    const IndexSpace src = IndexSpace::create(3);
+    const IndexSpace dst = IndexSpace::create(3);
+    EXPECT_THROW(MaterializedRelation(src, dst, {{3, 0}}), Error);
+    EXPECT_THROW(MaterializedRelation(src, dst, {{0, 3}}), Error);
+    EXPECT_THROW(MaterializedRelation(src, dst, {{-1, 0}}), Error);
+}
+
+TEST(MaterializedRelation, EmptyRelation) {
+    const IndexSpace src = IndexSpace::create(3);
+    const IndexSpace dst = IndexSpace::create(3);
+    const MaterializedRelation rel(src, dst, {});
+    EXPECT_TRUE(rel.image_of(src.universe()).empty());
+    EXPECT_TRUE(rel.preimage_of(dst.universe()).empty());
+    EXPECT_EQ(rel.pair_count(), 0u);
+}
+
+TEST(MaterializedRelation, DuplicatePairsHandled) {
+    const IndexSpace src = IndexSpace::create(2);
+    const IndexSpace dst = IndexSpace::create(2);
+    const MaterializedRelation rel(src, dst, {{0, 1}, {0, 1}});
+    EXPECT_EQ(rel.image_of(IntervalSet(0, 1)), IntervalSet(1, 2));
+}
+
+} // namespace
+} // namespace kdr

@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include "runtime/runtime.hpp"
+#include "support/error.hpp"
+
+namespace kdr::rt {
+namespace {
+
+sim::MachineDesc machine4() {
+    sim::MachineDesc m = sim::MachineDesc::lassen(4);
+    m.gpus_per_node = 1;
+    return m;
+}
+
+TEST(Regions, CreateAndAccessFields) {
+    Runtime rt(machine4());
+    const IndexSpace space = IndexSpace::create(100, "D");
+    const RegionId r = rt.create_region(space, "x_region");
+    const FieldId f = rt.add_field<double>(r, "values");
+    auto data = rt.field_data<double>(r, f);
+    EXPECT_EQ(data.size(), 100u);
+    data[42] = 3.5;
+    EXPECT_DOUBLE_EQ(rt.field_data<double>(r, f)[42], 3.5);
+    EXPECT_EQ(rt.region(r).name(), "x_region");
+    EXPECT_EQ(rt.region(r).space(), space);
+}
+
+TEST(Regions, FieldsZeroInitialized) {
+    Runtime rt(machine4());
+    const RegionId r = rt.create_region(IndexSpace::create(10), "r");
+    const FieldId f = rt.add_field<double>(r, "v");
+    for (double v : rt.field_data<double>(r, f)) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(Regions, MultipleFieldsIndependent) {
+    Runtime rt(machine4());
+    const RegionId r = rt.create_region(IndexSpace::create(8), "r");
+    const FieldId a = rt.add_field<double>(r, "a");
+    const FieldId b = rt.add_field<double>(r, "b");
+    rt.field_data<double>(r, a)[0] = 1.0;
+    EXPECT_DOUBLE_EQ(rt.field_data<double>(r, b)[0], 0.0);
+    EXPECT_EQ(rt.region(r).field_count(), 2u);
+}
+
+TEST(Regions, TypedAccessChecksElementSize) {
+    Runtime rt(machine4());
+    const RegionId r = rt.create_region(IndexSpace::create(8), "r");
+    const FieldId f = rt.add_field<double>(r, "v");
+    EXPECT_THROW(rt.field_data<float>(r, f), Error);
+}
+
+TEST(Regions, PhantomFieldsRefuseDataAccess) {
+    Runtime rt(machine4(), {.materialize = false});
+    const RegionId r = rt.create_region(IndexSpace::create(1 << 20), "big");
+    const FieldId f = rt.add_field<double>(r, "v");
+    EXPECT_THROW(rt.field_data<double>(r, f), Error);
+    EXPECT_FALSE(rt.functional());
+}
+
+TEST(Regions, UnknownIdsThrow) {
+    Runtime rt(machine4());
+    EXPECT_THROW(rt.region(0), Error);
+    const RegionId r = rt.create_region(IndexSpace::create(4), "r");
+    EXPECT_THROW(rt.region(r).field(0), Error);
+}
+
+TEST(Regions, DefaultHomeIsNodeZero) {
+    Runtime rt(machine4());
+    const RegionId r = rt.create_region(IndexSpace::create(16), "r");
+    const FieldId f = rt.add_field<double>(r, "v");
+    EXPECT_EQ(rt.home_node(r, f, IntervalSet(0, 16)), 0);
+}
+
+TEST(Regions, SetHomeFromPartition) {
+    Runtime rt(machine4());
+    const IndexSpace space = IndexSpace::create(16);
+    const RegionId r = rt.create_region(space, "r");
+    const FieldId f = rt.add_field<double>(r, "v");
+    const Partition p = Partition::equal(space, 4);
+    rt.set_home_from_partition(r, f, p, {0, 1, 2, 3});
+    EXPECT_EQ(rt.home_node(r, f, p.piece(0)), 0);
+    EXPECT_EQ(rt.home_node(r, f, p.piece(2)), 2);
+    EXPECT_EQ(rt.home_node(r, f, IntervalSet(4, 8)), 1);
+}
+
+TEST(Regions, SetHomeValidatesNodes) {
+    Runtime rt(machine4());
+    const IndexSpace space = IndexSpace::create(16);
+    const RegionId r = rt.create_region(space, "r");
+    const FieldId f = rt.add_field<double>(r, "v");
+    EXPECT_THROW(rt.set_home(r, f, {{IntervalSet(0, 16), 9}}), Error);
+    EXPECT_THROW(rt.set_home(r, f, {}), Error);
+    const Partition p = Partition::equal(space, 2);
+    EXPECT_THROW(rt.set_home_from_partition(r, f, p, {0}), Error);
+}
+
+} // namespace
+} // namespace kdr::rt

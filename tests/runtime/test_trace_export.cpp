@@ -1,0 +1,77 @@
+#include "runtime/trace_export.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "runtime/runtime.hpp"
+#include "support/error.hpp"
+
+namespace kdr::rt {
+namespace {
+
+std::vector<TaskProfile> sample_profiles() {
+    return {
+        {"matmul", {0, sim::ProcKind::GPU, 1}, 0.0, 1.5e-3, 5},
+        {"dot \"quoted\"\n", {1, sim::ProcKind::CPU, 0}, 2.0e-3, 2.5e-3, 7},
+    };
+}
+
+TEST(ChromeTrace, EmitsCompleteEventsWithVirtualMicroseconds) {
+    const std::string json = to_chrome_trace(sample_profiles());
+    EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(json.find("\"name\":\"matmul\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+    EXPECT_NE(json.find("\"dur\":1500"), std::string::npos) << "1.5 ms -> 1500 us";
+    EXPECT_NE(json.find("\"pid\":0"), std::string::npos);
+    EXPECT_NE(json.find("\"pid\":1"), std::string::npos);
+    EXPECT_NE(json.find("gpu1"), std::string::npos);
+    EXPECT_NE(json.find("cpu0"), std::string::npos);
+}
+
+TEST(ChromeTrace, EscapesJsonSpecials) {
+    const std::string json = to_chrome_trace(sample_profiles());
+    EXPECT_NE(json.find("\\\"quoted\\\""), std::string::npos);
+    EXPECT_NE(json.find("\\n"), std::string::npos);
+    EXPECT_EQ(json.find("\"quoted\"\n\""), std::string::npos);
+}
+
+TEST(ChromeTrace, EmptyProfileIsValidJson) {
+    const std::string json = to_chrome_trace({});
+    EXPECT_EQ(json, "{\"traceEvents\":[],\"displayTimeUnit\":\"ms\"}");
+}
+
+TEST(ChromeTrace, WritesFileAndRejectsBadPath) {
+    const std::string path = ::testing::TempDir() + "/kdr_trace.json";
+    write_chrome_trace(path, sample_profiles());
+    std::ifstream in(path);
+    std::string content((std::istreambuf_iterator<char>(in)),
+                        std::istreambuf_iterator<char>());
+    EXPECT_EQ(content, to_chrome_trace(sample_profiles()));
+    EXPECT_THROW(write_chrome_trace("/nonexistent/dir/x.json", {}), Error);
+}
+
+TEST(ChromeTrace, EndToEndFromRuntimeProfiles) {
+    sim::MachineDesc m = sim::MachineDesc::lassen(1);
+    Runtime rt(m, {.materialize = true, .profiling = true});
+    const RegionId r = rt.create_region(IndexSpace::create(64), "v");
+    const FieldId f = rt.add_field<double>(r, "x");
+    for (int i = 0; i < 3; ++i) {
+        TaskLaunch l;
+        l.name = "step" + std::to_string(i);
+        l.requirements.push_back({r, f, Privilege::ReadWrite, IntervalSet(0, 64)});
+        l.cost = {1e6, 1e6};
+        rt.launch(std::move(l));
+    }
+    const auto profiles = rt.take_profiles();
+    ASSERT_EQ(profiles.size(), 3u);
+    const std::string json = to_chrome_trace(profiles);
+    EXPECT_NE(json.find("step0"), std::string::npos);
+    EXPECT_NE(json.find("step2"), std::string::npos);
+    // Events are ordered and non-overlapping on the single GPU row.
+    EXPECT_LT(profiles[0].finish, profiles[1].start + 1e-12);
+    EXPECT_LT(profiles[1].finish, profiles[2].start + 1e-12);
+}
+
+} // namespace
+} // namespace kdr::rt

@@ -1,0 +1,110 @@
+/// Dynamic-tracing tests (paper §5 / Lee et al. [12]): a repeated launch
+/// sequence recorded once replays with reduced per-task overhead; divergence
+/// from the recorded sequence is an error.
+
+#include <gtest/gtest.h>
+
+#include "runtime/runtime.hpp"
+#include "support/error.hpp"
+
+namespace kdr::rt {
+namespace {
+
+struct TraceFixture : ::testing::Test {
+    sim::MachineDesc machine = [] {
+        sim::MachineDesc m = sim::MachineDesc::lassen(1);
+        m.gpus_per_node = 1;
+        m.task_launch_overhead = 1.0;   // exaggerated so effects are visible
+        m.traced_launch_overhead = 0.25;
+        m.gpu_launch_overhead = 0.0;
+        return m;
+    }();
+    Runtime rt{machine};
+    RegionId r = rt.create_region(IndexSpace::create(100), "vec");
+    FieldId f = rt.add_field<double>(r, "v");
+
+    double iteration(const std::string& tag) {
+        const double before = rt.current_time();
+        TaskLaunch l;
+        l.name = tag;
+        l.requirements.push_back({r, f, Privilege::ReadWrite, IntervalSet(0, 100)});
+        rt.launch(std::move(l));
+        return rt.current_time() - before;
+    }
+};
+
+TEST_F(TraceFixture, FirstIterationRecordsSecondReplays) {
+    rt.begin_trace(1);
+    const double recording = iteration("step");
+    rt.end_trace();
+    EXPECT_DOUBLE_EQ(recording, 1.0) << "recording pays full dynamic overhead";
+
+    rt.begin_trace(1);
+    EXPECT_TRUE(rt.replaying());
+    const double replaying = iteration("step");
+    rt.end_trace();
+    EXPECT_DOUBLE_EQ(replaying, 0.25) << "replay pays traced overhead";
+}
+
+TEST_F(TraceFixture, ReplayRepeatsManyTimes) {
+    rt.begin_trace(7);
+    iteration("step");
+    rt.end_trace();
+    for (int i = 0; i < 5; ++i) {
+        rt.begin_trace(7);
+        EXPECT_DOUBLE_EQ(iteration("step"), 0.25);
+        rt.end_trace();
+    }
+}
+
+TEST_F(TraceFixture, OutsideTracePaysDynamicOverhead) {
+    EXPECT_DOUBLE_EQ(iteration("solo"), 1.0);
+    EXPECT_FALSE(rt.replaying());
+}
+
+TEST_F(TraceFixture, DivergentReplayThrows) {
+    rt.begin_trace(2);
+    iteration("a");
+    rt.end_trace();
+    rt.begin_trace(2);
+    EXPECT_THROW(iteration("b"), Error) << "different task name diverges from the trace";
+}
+
+TEST_F(TraceFixture, ShortReplayThrowsAtEnd) {
+    rt.begin_trace(3);
+    iteration("a");
+    iteration("a2");
+    rt.end_trace();
+    rt.begin_trace(3);
+    iteration("a");
+    EXPECT_THROW(rt.end_trace(), Error) << "replay must run the full recorded sequence";
+}
+
+TEST_F(TraceFixture, ExtraLaunchInReplayThrows) {
+    rt.begin_trace(4);
+    iteration("a");
+    rt.end_trace();
+    rt.begin_trace(4);
+    iteration("a");
+    EXPECT_THROW(iteration("a"), Error);
+}
+
+TEST_F(TraceFixture, NestedTracesRejected) {
+    rt.begin_trace(5);
+    EXPECT_THROW(rt.begin_trace(6), Error);
+    rt.end_trace();
+    EXPECT_THROW(rt.end_trace(), Error);
+}
+
+TEST_F(TraceFixture, DistinctTraceIdsAreIndependent) {
+    rt.begin_trace(10);
+    iteration("x");
+    rt.end_trace();
+    rt.begin_trace(11);
+    const double other = iteration("y"); // different trace: records, not replays
+    rt.end_trace();
+    EXPECT_DOUBLE_EQ(other, 1.0);
+}
+
+} // namespace
+} // namespace kdr::rt

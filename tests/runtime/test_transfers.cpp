@@ -1,0 +1,135 @@
+/// Data-movement tests: remote reads charge transfers, read-only pieces are
+/// cached until invalidated by writes, off-home writes charge write-backs,
+/// and piece migration (move_home) charges and redirects. These mechanisms
+/// produce the steady-state communication pattern of the paper's solvers:
+/// the matrix moves once, vector halos move every iteration.
+
+#include <gtest/gtest.h>
+
+#include "runtime/runtime.hpp"
+
+namespace kdr::rt {
+namespace {
+
+struct XferFixture : ::testing::Test {
+    static constexpr double kBw = 1.0e6;  // 1 MB/s: transfers clearly visible
+    static constexpr gidx kN = 1000;      // 8 KB per field
+
+    sim::MachineDesc machine = [] {
+        sim::MachineDesc m = sim::MachineDesc::lassen(2);
+        m.gpus_per_node = 1;
+        m.task_launch_overhead = 0.0;
+        m.gpu_launch_overhead = 0.0;
+        m.nic_latency = 0.0;
+        m.nic_bandwidth = kBw;
+        return m;
+    }();
+    Runtime rt{machine};
+    IndexSpace space = IndexSpace::create(kN, "D");
+    RegionId r = rt.create_region(space, "vec");
+    FieldId f = rt.add_field<double>(r, "v");
+
+    static constexpr double kFullXfer = static_cast<double>(kN) * 8.0 / kBw; // 8 ms
+
+    FutureScalar run_on(Color color, Privilege priv, IntervalSet subset) {
+        TaskLaunch l;
+        l.name = "t";
+        l.requirements.push_back({r, f, priv, std::move(subset)});
+        l.color = color; // with 1 GPU/node, color == node
+        return rt.launch(std::move(l));
+    }
+};
+
+TEST_F(XferFixture, LocalReadIsFree) {
+    const FutureScalar local = run_on(0, Privilege::ReadOnly, IntervalSet(0, kN));
+    EXPECT_DOUBLE_EQ(local.ready_time, 0.0);
+    EXPECT_EQ(rt.transfer_count(), 0u);
+}
+
+TEST_F(XferFixture, RemoteReadChargesTransfer) {
+    const FutureScalar remote = run_on(1, Privilege::ReadOnly, IntervalSet(0, kN));
+    EXPECT_NEAR(remote.ready_time, kFullXfer, 1e-12);
+    EXPECT_EQ(rt.transfer_count(), 1u);
+    EXPECT_DOUBLE_EQ(rt.transfer_bytes(), kN * 8.0);
+}
+
+TEST_F(XferFixture, ReadOnlyPieceIsCachedAcrossReads) {
+    run_on(1, Privilege::ReadOnly, IntervalSet(0, kN));
+    const auto count_after_first = rt.transfer_count();
+    const FutureScalar second = run_on(1, Privilege::ReadOnly, IntervalSet(0, kN));
+    EXPECT_EQ(rt.transfer_count(), count_after_first) << "second read hits the cache";
+    EXPECT_NEAR(second.ready_time, kFullXfer, 1e-12) << "no new transfer delay";
+}
+
+TEST_F(XferFixture, WriteInvalidatesRemoteCaches) {
+    run_on(1, Privilege::ReadOnly, IntervalSet(0, kN));
+    run_on(0, Privilege::WriteOnly, IntervalSet(0, kN)); // bump version locally
+    run_on(1, Privilege::ReadOnly, IntervalSet(0, kN));
+    EXPECT_EQ(rt.transfer_count(), 2u) << "post-write read must re-fetch";
+}
+
+TEST_F(XferFixture, PartialRemoteReadMovesOnlyTheOverlap) {
+    const Partition p = Partition::equal(space, 2);
+    rt.set_home_from_partition(r, f, p, {0, 1});
+    // Node 0 reads [400, 600): [400,500) is local, [500,600) lives on node 1.
+    run_on(0, Privilege::ReadOnly, IntervalSet(400, 600));
+    EXPECT_EQ(rt.transfer_count(), 1u);
+    EXPECT_DOUBLE_EQ(rt.transfer_bytes(), 100 * 8.0);
+}
+
+TEST_F(XferFixture, OffHomeWriteChargesWriteBack) {
+    // Node 1 writes data homed on node 0: the result must flow back.
+    const FutureScalar w = run_on(1, Privilege::WriteOnly, IntervalSet(0, kN));
+    EXPECT_EQ(rt.transfer_count(), 1u);
+    EXPECT_NEAR(w.ready_time, 0.0, 1e-12) << "task itself finishes immediately";
+    // A subsequent local read on node 0 must wait for the write-back arrival.
+    const FutureScalar rd = run_on(0, Privilege::ReadOnly, IntervalSet(0, kN));
+    EXPECT_NEAR(rd.ready_time, kFullXfer, 1e-12);
+}
+
+TEST_F(XferFixture, MoveHomeChargesMigrationAndRedirects) {
+    run_on(0, Privilege::WriteOnly, IntervalSet(0, kN));
+    const auto before = rt.transfer_bytes();
+    rt.move_home(r, f, IntervalSet(0, kN), 1);
+    EXPECT_DOUBLE_EQ(rt.transfer_bytes() - before, kN * 8.0);
+    EXPECT_EQ(rt.home_node(r, f, IntervalSet(0, kN)), 1);
+    // Now node 1 reads locally...
+    const auto count = rt.transfer_count();
+    run_on(1, Privilege::ReadOnly, IntervalSet(0, kN));
+    EXPECT_EQ(rt.transfer_count(), count);
+    // ...and node 0 reads remotely.
+    run_on(0, Privilege::ReadOnly, IntervalSet(0, kN));
+    EXPECT_EQ(rt.transfer_count(), count + 1);
+}
+
+TEST_F(XferFixture, MoveHomeToSameNodeIsFree) {
+    const auto before = rt.transfer_bytes();
+    rt.move_home(r, f, IntervalSet(0, kN), 0);
+    EXPECT_DOUBLE_EQ(rt.transfer_bytes(), before);
+}
+
+TEST_F(XferFixture, MatrixLikeSteadyState) {
+    // Read-only data referenced every "iteration" from two nodes: transferred
+    // exactly once, then cached forever — matrices don't move after startup.
+    for (int iter = 0; iter < 10; ++iter) {
+        run_on(0, Privilege::ReadOnly, IntervalSet(0, kN));
+        run_on(1, Privilege::ReadOnly, IntervalSet(0, kN));
+    }
+    EXPECT_EQ(rt.transfer_count(), 1u);
+}
+
+TEST_F(XferFixture, VectorLikeSteadyState) {
+    // Write-then-read-remotely each iteration: one halo transfer per
+    // iteration, like the solver's x vector.
+    const Partition p = Partition::equal(space, 2);
+    rt.set_home_from_partition(r, f, p, {0, 1});
+    for (int iter = 0; iter < 10; ++iter) {
+        run_on(0, Privilege::WriteOnly, IntervalSet(0, 500));
+        run_on(1, Privilege::ReadOnly, IntervalSet(400, 600)); // needs [400,500) from node 0
+    }
+    EXPECT_EQ(rt.transfer_count(), 10u);
+    EXPECT_DOUBLE_EQ(rt.transfer_bytes(), 10 * 100 * 8.0);
+}
+
+} // namespace
+} // namespace kdr::rt

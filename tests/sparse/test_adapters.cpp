@@ -1,0 +1,173 @@
+#include "sparse/adapters.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "partition/projection.hpp"
+#include "sparse/csr.hpp"
+#include "support/rng.hpp"
+
+namespace kdr {
+namespace {
+
+std::shared_ptr<CsrMatrix<double>> test_matrix(IndexSpace& D, IndexSpace& R) {
+    D = IndexSpace::create(6, "D");
+    R = IndexSpace::create(5, "R");
+    // Non-symmetric rectangular matrix.
+    return std::make_shared<CsrMatrix<double>>(CsrMatrix<double>::from_triplets(
+        D, R,
+        {{0, 0, 2.0}, {0, 3, -1.0}, {1, 1, 4.0}, {2, 0, 1.5}, {2, 5, 3.0}, {4, 2, -2.5}}));
+}
+
+std::vector<double> rand_vec(gidx n, std::uint64_t seed) {
+    Rng rng(seed);
+    std::vector<double> v(static_cast<std::size_t>(n));
+    for (double& x : v) x = rng.uniform(-1, 1);
+    return v;
+}
+
+TEST(TransposeOperator, SwapsSpacesAndRelations) {
+    IndexSpace D, R;
+    auto A = test_matrix(D, R);
+    TransposeOperator<double> At(A);
+    EXPECT_EQ(At.domain(), R);
+    EXPECT_EQ(At.range(), D);
+    EXPECT_EQ(At.kernel(), A->kernel());
+    EXPECT_EQ(At.row_relation(), A->col_relation());
+    EXPECT_EQ(At.col_relation(), A->row_relation());
+}
+
+TEST(TransposeOperator, MultiplyIsBaseTranspose) {
+    IndexSpace D, R;
+    auto A = test_matrix(D, R);
+    TransposeOperator<double> At(A);
+    const auto x = rand_vec(R.size(), 1);
+    std::vector<double> y1(static_cast<std::size_t>(D.size()), 0.0);
+    std::vector<double> y2(static_cast<std::size_t>(D.size()), 0.0);
+    At.multiply_add(x, y1);
+    A->multiply_add_transpose(x, y2);
+    for (std::size_t i = 0; i < y1.size(); ++i) EXPECT_DOUBLE_EQ(y1[i], y2[i]);
+}
+
+TEST(TransposeOperator, DoubleTransposeRoundTrips) {
+    IndexSpace D, R;
+    auto A = test_matrix(D, R);
+    auto At = std::make_shared<TransposeOperator<double>>(A);
+    TransposeOperator<double> Att(At);
+    EXPECT_EQ(coalesce_triplets(Att.to_triplets()), coalesce_triplets(A->to_triplets()));
+}
+
+TEST(TransposeOperator, ProjectionsWorkThroughView) {
+    // The view's relations are the base's, swapped — projections just work.
+    IndexSpace D, R;
+    auto A = test_matrix(D, R);
+    TransposeOperator<double> At(A);
+    const Partition rows = Partition::equal(At.range(), 2);
+    const Partition pk = preimage(rows, *At.row_relation());
+    const Partition needs = image(pk, *At.col_relation());
+    EXPECT_EQ(pk.space(), At.kernel());
+    EXPECT_EQ(needs.space(), At.domain());
+}
+
+TEST(ScaledOperator, ScalesMultiplyAndTriplets) {
+    IndexSpace D, R;
+    auto A = test_matrix(D, R);
+    ScaledOperator<double> sA(A, -3.0);
+    EXPECT_DOUBLE_EQ(sA.alpha(), -3.0);
+    const auto x = rand_vec(D.size(), 2);
+    std::vector<double> y1(static_cast<std::size_t>(R.size()), 0.0);
+    std::vector<double> y2(static_cast<std::size_t>(R.size()), 0.0);
+    sA.multiply_add(x, y1);
+    A->multiply_add(x, y2);
+    for (std::size_t i = 0; i < y1.size(); ++i) EXPECT_NEAR(y1[i], -3.0 * y2[i], 1e-12);
+    for (const auto& [t1, t2] :
+         [&] {
+             auto a = coalesce_triplets(sA.to_triplets());
+             auto b = coalesce_triplets(A->to_triplets());
+             std::vector<std::pair<Triplet<double>, Triplet<double>>> z;
+             for (std::size_t i = 0; i < a.size(); ++i) z.emplace_back(a[i], b[i]);
+             return z;
+         }()) {
+        EXPECT_DOUBLE_EQ(t1.value, -3.0 * t2.value);
+    }
+}
+
+TEST(ScaledOperator, AccumulatesIntoExistingY) {
+    IndexSpace D, R;
+    auto A = test_matrix(D, R);
+    ScaledOperator<double> sA(A, 2.0);
+    const auto x = rand_vec(D.size(), 3);
+    std::vector<double> y(static_cast<std::size_t>(R.size()), 7.0);
+    std::vector<double> expect(static_cast<std::size_t>(R.size()), 7.0);
+    sA.multiply_add(x, y);
+    std::vector<double> ax(static_cast<std::size_t>(R.size()), 0.0);
+    A->multiply_add(x, ax);
+    for (std::size_t i = 0; i < y.size(); ++i) EXPECT_NEAR(y[i], 7.0 + 2.0 * ax[i], 1e-12);
+}
+
+TEST(ScaledOperator, PieceRestrictedMultiply) {
+    IndexSpace D, R;
+    auto A = test_matrix(D, R);
+    ScaledOperator<double> sA(A, 0.5);
+    const auto x = rand_vec(D.size(), 4);
+    std::vector<double> whole(static_cast<std::size_t>(R.size()), 0.0);
+    sA.multiply_add(x, whole);
+    std::vector<double> pieces(static_cast<std::size_t>(R.size()), 0.0);
+    const Partition pk = Partition::equal(sA.kernel(), 3);
+    for (Color c = 0; c < 3; ++c) sA.multiply_add_piece(pk.piece(c), x, pieces);
+    for (std::size_t i = 0; i < whole.size(); ++i) EXPECT_NEAR(whole[i], pieces[i], 1e-12);
+}
+
+TEST(ShiftedOperator, AddsSigmaOnDiagonal) {
+    const IndexSpace D = IndexSpace::create(4, "D");
+    const IndexSpace R = IndexSpace::create(4, "R");
+    auto A = std::make_shared<CsrMatrix<double>>(
+        CsrMatrix<double>::from_triplets(D, R, {{0, 1, 1.0}, {2, 2, 3.0}}));
+    ShiftedOperator<double> shifted(A, 5.0);
+    EXPECT_EQ(shifted.kernel().size(), A->kernel().size() + 4);
+    const std::vector<double> x{1.0, 2.0, 3.0, 4.0};
+    std::vector<double> y(4, 0.0);
+    shifted.multiply_add(x, y);
+    EXPECT_DOUBLE_EQ(y[0], 2.0 + 5.0);       // A(0,1)*x1 + sigma*x0
+    EXPECT_DOUBLE_EQ(y[1], 10.0);            // sigma*x1
+    EXPECT_DOUBLE_EQ(y[2], 9.0 + 15.0);      // 3*x2 + sigma*x2
+    EXPECT_DOUBLE_EQ(y[3], 20.0);
+}
+
+TEST(ShiftedOperator, RelationsCoverDiagonalBlock) {
+    const IndexSpace D = IndexSpace::create(4, "D");
+    const IndexSpace R = IndexSpace::create(4, "R");
+    auto A = std::make_shared<CsrMatrix<double>>(
+        CsrMatrix<double>::from_triplets(D, R, {{0, 1, 1.0}}));
+    ShiftedOperator<double> shifted(A, 1.0);
+    // Every range row is now reachable through the shifted kernel.
+    EXPECT_EQ(shifted.row_relation()->image_of(shifted.kernel().universe()), R.universe());
+    // Preimage of row 3 includes the diagonal slot (base had nothing there).
+    const IntervalSet pre = shifted.row_relation()->preimage_of(IntervalSet(3, 4));
+    EXPECT_TRUE(pre.contains(A->kernel().size() + 3));
+}
+
+TEST(ShiftedOperator, RequiresSquareBase) {
+    const IndexSpace D = IndexSpace::create(4, "D");
+    const IndexSpace R = IndexSpace::create(5, "R");
+    auto A = std::make_shared<CsrMatrix<double>>(
+        CsrMatrix<double>::from_triplets(D, R, {{0, 0, 1.0}}));
+    EXPECT_THROW(ShiftedOperator<double>(A, 1.0), Error);
+}
+
+TEST(Adapters, ComposeTransposeOfScaled) {
+    IndexSpace D, R;
+    auto A = test_matrix(D, R);
+    auto sA = std::make_shared<ScaledOperator<double>>(A, 2.0);
+    TransposeOperator<double> view(sA);
+    const auto x = rand_vec(R.size(), 5);
+    std::vector<double> y1(static_cast<std::size_t>(D.size()), 0.0);
+    std::vector<double> y2(static_cast<std::size_t>(D.size()), 0.0);
+    view.multiply_add(x, y1);
+    A->multiply_add_transpose(x, y2);
+    for (std::size_t i = 0; i < y1.size(); ++i) EXPECT_NEAR(y1[i], 2.0 * y2[i], 1e-12);
+}
+
+} // namespace
+} // namespace kdr

@@ -1,0 +1,125 @@
+#include "sparse/matrix_market.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sparse/csr.hpp"
+#include "support/error.hpp"
+
+namespace kdr::mm {
+namespace {
+
+TEST(MatrixMarket, ReadsGeneralRealCoordinate) {
+    std::istringstream in(
+        "%%MatrixMarket matrix coordinate real general\n"
+        "% a comment\n"
+        "3 4 3\n"
+        "1 1 2.5\n"
+        "2 3 -1.0\n"
+        "3 4 7\n");
+    const MatrixMarketData d = read_matrix_market(in);
+    EXPECT_EQ(d.rows, 3);
+    EXPECT_EQ(d.cols, 4);
+    EXPECT_FALSE(d.was_symmetric);
+    ASSERT_EQ(d.triplets.size(), 3u);
+    EXPECT_EQ(d.triplets[0], (Triplet<double>{0, 0, 2.5}));
+    EXPECT_EQ(d.triplets[1], (Triplet<double>{1, 2, -1.0}));
+    EXPECT_EQ(d.triplets[2], (Triplet<double>{2, 3, 7.0}));
+}
+
+TEST(MatrixMarket, ExpandsSymmetricStorage) {
+    std::istringstream in(
+        "%%MatrixMarket matrix coordinate real symmetric\n"
+        "3 3 3\n"
+        "1 1 4.0\n"
+        "2 1 -1.0\n"
+        "3 2 -2.0\n");
+    const MatrixMarketData d = read_matrix_market(in);
+    EXPECT_TRUE(d.was_symmetric);
+    EXPECT_EQ(d.triplets.size(), 5u) << "two off-diagonal entries mirrored";
+    const auto cs = coalesce_triplets(d.triplets);
+    EXPECT_EQ(cs.size(), 5u);
+    // (0,1) mirror of (1,0)
+    bool found = false;
+    for (const auto& t : cs)
+        if (t.row == 0 && t.col == 1) {
+            EXPECT_DOUBLE_EQ(t.value, -1.0);
+            found = true;
+        }
+    EXPECT_TRUE(found);
+}
+
+TEST(MatrixMarket, ExpandsSkewSymmetric) {
+    std::istringstream in(
+        "%%MatrixMarket matrix coordinate real skew-symmetric\n"
+        "2 2 1\n"
+        "2 1 3.0\n");
+    const MatrixMarketData d = read_matrix_market(in);
+    ASSERT_EQ(d.triplets.size(), 2u);
+    EXPECT_EQ(d.triplets[0], (Triplet<double>{1, 0, 3.0}));
+    EXPECT_EQ(d.triplets[1], (Triplet<double>{0, 1, -3.0}));
+}
+
+TEST(MatrixMarket, PatternEntriesDefaultToOne) {
+    std::istringstream in(
+        "%%MatrixMarket matrix coordinate pattern general\n"
+        "2 2 2\n"
+        "1 2\n"
+        "2 1\n");
+    const MatrixMarketData d = read_matrix_market(in);
+    EXPECT_TRUE(d.was_pattern);
+    EXPECT_DOUBLE_EQ(d.triplets[0].value, 1.0);
+    EXPECT_DOUBLE_EQ(d.triplets[1].value, 1.0);
+}
+
+TEST(MatrixMarket, RejectsMalformedInput) {
+    {
+        std::istringstream in("not a banner\n1 1 0\n");
+        EXPECT_THROW(read_matrix_market(in), Error);
+    }
+    {
+        std::istringstream in("%%MatrixMarket matrix array real general\n2 2\n");
+        EXPECT_THROW(read_matrix_market(in), Error);
+    }
+    {
+        std::istringstream in(
+            "%%MatrixMarket matrix coordinate real general\n2 2 1\n5 1 3.0\n");
+        EXPECT_THROW(read_matrix_market(in), Error) << "index out of bounds";
+    }
+    {
+        std::istringstream in("%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n");
+        EXPECT_THROW(read_matrix_market(in), Error) << "fewer entries than declared";
+    }
+    {
+        std::istringstream in("%%MatrixMarket matrix coordinate complex general\n1 1 0\n");
+        EXPECT_THROW(read_matrix_market(in), Error) << "complex unsupported";
+    }
+}
+
+TEST(MatrixMarket, WriteReadRoundTrip) {
+    const IndexSpace D = IndexSpace::create(5, "D");
+    const IndexSpace R = IndexSpace::create(4, "R");
+    const auto A = CsrMatrix<double>::from_triplets(
+        D, R, {{0, 0, 1.25}, {1, 4, -2.5}, {3, 2, 1e-3}, {2, 2, 42.0}});
+    std::stringstream io;
+    write_matrix_market(io, A);
+    const MatrixMarketData d = read_matrix_market(io);
+    EXPECT_EQ(d.rows, 4);
+    EXPECT_EQ(d.cols, 5);
+    EXPECT_EQ(coalesce_triplets(d.triplets), A.to_triplets());
+}
+
+TEST(MatrixMarket, FileRoundTrip) {
+    const IndexSpace D = IndexSpace::create(3, "D");
+    const IndexSpace R = IndexSpace::create(3, "R");
+    const auto A = CsrMatrix<double>::from_triplets(D, R, {{0, 1, 0.5}, {2, 0, -7.0}});
+    const std::string path = ::testing::TempDir() + "/kdr_roundtrip.mtx";
+    write_matrix_market_file(path, A);
+    const MatrixMarketData d = read_matrix_market_file(path);
+    EXPECT_EQ(coalesce_triplets(d.triplets), A.to_triplets());
+    EXPECT_THROW(read_matrix_market_file("/nonexistent/nope.mtx"), Error);
+}
+
+} // namespace
+} // namespace kdr::mm

@@ -1,0 +1,175 @@
+#include "sparse/relations.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "support/error.hpp"
+
+namespace kdr {
+namespace {
+
+/// Cross-check a relation's fast-path image/preimage against the generic
+/// MaterializedRelation built from its enumerated pairs, on a family of
+/// probe subsets.
+void check_against_materialized(const Relation& rel) {
+    MaterializedRelation ref(rel.source(), rel.target(), rel.enumerate());
+    const gidx ns = rel.source().size();
+    const gidx nt = rel.target().size();
+    std::vector<IntervalSet> src_probes = {
+        IntervalSet{},
+        rel.source().universe(),
+        IntervalSet(0, std::min<gidx>(1, ns)),
+        IntervalSet(ns / 2, ns),
+        IntervalSet::from_intervals({{0, ns / 3}, {2 * ns / 3, ns}}),
+    };
+    for (const IntervalSet& probe : src_probes) {
+        EXPECT_EQ(rel.image_of(probe), ref.image_of(probe)) << "image of " << probe;
+    }
+    std::vector<IntervalSet> dst_probes = {
+        IntervalSet{},
+        rel.target().universe(),
+        IntervalSet(0, std::min<gidx>(1, nt)),
+        IntervalSet(nt / 2, nt),
+        IntervalSet::from_intervals({{0, nt / 3}, {2 * nt / 3, nt}}),
+    };
+    for (const IntervalSet& probe : dst_probes) {
+        EXPECT_EQ(rel.preimage_of(probe), ref.preimage_of(probe)) << "preimage of " << probe;
+    }
+}
+
+TEST(ArrayFunctionRelation, ImageGathersTargets) {
+    const IndexSpace K = IndexSpace::create(5);
+    const IndexSpace D = IndexSpace::create(4);
+    const ArrayFunctionRelation rel(K, D, {2, 0, 2, kNoTarget, 3});
+    EXPECT_EQ(rel.image_of(IntervalSet(0, 3)), IntervalSet::from_points({0, 2}));
+    EXPECT_EQ(rel.image_of(IntervalSet(3, 4)), IntervalSet{}) << "sentinel relates to nothing";
+    check_against_materialized(rel);
+}
+
+TEST(ArrayFunctionRelation, PreimageUsesLazyInverse) {
+    const IndexSpace K = IndexSpace::create(6);
+    const IndexSpace D = IndexSpace::create(3);
+    const ArrayFunctionRelation rel(K, D, {0, 1, 0, 2, 1, 0});
+    EXPECT_EQ(rel.preimage_of(IntervalSet(0, 1)), IntervalSet::from_points({0, 2, 5}));
+    EXPECT_EQ(rel.preimage_of(IntervalSet(1, 3)), IntervalSet::from_points({1, 3, 4}));
+    check_against_materialized(rel);
+}
+
+TEST(ArrayFunctionRelation, RejectsBadSizesAndIndices) {
+    const IndexSpace K = IndexSpace::create(3);
+    const IndexSpace D = IndexSpace::create(2);
+    EXPECT_THROW(ArrayFunctionRelation(K, D, {0}), Error);         // wrong length
+    EXPECT_THROW(ArrayFunctionRelation(K, D, {0, 1, 2}), Error);   // 2 out of range
+    EXPECT_THROW(ArrayFunctionRelation(K, D, {0, -2, 1}), Error);  // bad sentinel
+}
+
+TEST(RowPtrRelation, IntervalLookups) {
+    const IndexSpace K = IndexSpace::create(7);
+    const IndexSpace R = IndexSpace::create(4);
+    // rows own kernel intervals [0,2) [2,2) [2,5) [5,7) — row 1 is empty.
+    const RowPtrRelation rel(K, R, {0, 2, 2, 5, 7});
+    EXPECT_EQ(rel.preimage_of(IntervalSet(0, 1)), IntervalSet(0, 2));
+    EXPECT_EQ(rel.preimage_of(IntervalSet(1, 2)), IntervalSet{}) << "empty row";
+    EXPECT_EQ(rel.preimage_of(IntervalSet(2, 4)), IntervalSet(2, 7));
+    EXPECT_EQ(rel.image_of(IntervalSet(0, 2)), IntervalSet(0, 1));
+    EXPECT_EQ(rel.image_of(IntervalSet(1, 3)), IntervalSet::from_points({0, 2}));
+    EXPECT_EQ(rel.image_of(IntervalSet(4, 6)), IntervalSet(2, 4));
+    check_against_materialized(rel);
+}
+
+TEST(RowPtrRelation, RejectsMalformedOffsets) {
+    const IndexSpace K = IndexSpace::create(4);
+    const IndexSpace R = IndexSpace::create(2);
+    EXPECT_THROW(RowPtrRelation(K, R, {0, 2}), Error);       // wrong length
+    EXPECT_THROW(RowPtrRelation(K, R, {1, 2, 4}), Error);    // doesn't start at 0
+    EXPECT_THROW(RowPtrRelation(K, R, {0, 2, 3}), Error);    // doesn't end at |K|
+    EXPECT_THROW(RowPtrRelation(K, R, {0, 3, 2}), Error);    // not monotone... ends wrong too
+}
+
+TEST(QuotientRelation, DivRoundsToRows) {
+    const IndexSpace K = IndexSpace::create(12);
+    const IndexSpace R = IndexSpace::create(4);
+    const QuotientRelation rel(K, R, 3);
+    EXPECT_EQ(rel.image_of(IntervalSet(0, 3)), IntervalSet(0, 1));
+    EXPECT_EQ(rel.image_of(IntervalSet(2, 4)), IntervalSet(0, 2));
+    EXPECT_EQ(rel.preimage_of(IntervalSet(1, 3)), IntervalSet(3, 9));
+    check_against_materialized(rel);
+}
+
+TEST(QuotientRelation, RejectsSizeMismatch) {
+    const IndexSpace K = IndexSpace::create(10);
+    const IndexSpace R = IndexSpace::create(4);
+    EXPECT_THROW(QuotientRelation(K, R, 3), Error);
+    EXPECT_THROW(QuotientRelation(K, R, 0), Error);
+}
+
+TEST(RemainderRelation, ModWrapsColumns) {
+    const IndexSpace K = IndexSpace::create(12);
+    const IndexSpace D = IndexSpace::create(4);
+    const RemainderRelation rel(K, D, 4);
+    EXPECT_EQ(rel.image_of(IntervalSet(0, 2)), IntervalSet(0, 2));
+    EXPECT_EQ(rel.image_of(IntervalSet(3, 6)), IntervalSet::from_intervals({{3, 4}, {0, 2}}));
+    EXPECT_EQ(rel.image_of(IntervalSet(0, 12)), D.universe());
+    EXPECT_EQ(rel.preimage_of(IntervalSet(1, 2)), IntervalSet::from_points({1, 5, 9}));
+    check_against_materialized(rel);
+}
+
+TEST(DiagonalRelation, MainAndOffDiagonals) {
+    // 4x4 matrix with diagonals at offsets {-1, 0, +1}; d = 4.
+    const IndexSpace K = IndexSpace::create(12);
+    const IndexSpace R = IndexSpace::create(4);
+    const DiagonalRelation rel(K, R, 4, {-1, 0, 1});
+    // Diagonal 0 (offset -1): slot j holds row j+1 → rows 1..3 valid (j=0..2),
+    // j=3 would be row 4: padding.
+    EXPECT_EQ(rel.image_of(IntervalSet(0, 4)), IntervalSet(1, 4));
+    // Diagonal 1 (offset 0): slots 4..7 are rows 0..3.
+    EXPECT_EQ(rel.image_of(IntervalSet(4, 8)), IntervalSet(0, 4));
+    // Diagonal 2 (offset +1): slot j holds row j-1 → j=0 is padding.
+    EXPECT_EQ(rel.image_of(IntervalSet(8, 9)), IntervalSet{});
+    EXPECT_EQ(rel.image_of(IntervalSet(9, 12)), IntervalSet(0, 3));
+    check_against_materialized(rel);
+}
+
+TEST(DiagonalRelation, PreimageCollectsAllDiagonals) {
+    const IndexSpace K = IndexSpace::create(12);
+    const IndexSpace R = IndexSpace::create(4);
+    const DiagonalRelation rel(K, R, 4, {-1, 0, 1});
+    // Row 0 appears in: diag -1 at j where j+... : offset -1 → j = i + off = -1 (invalid);
+    // diag 0 at j=0 → k=4; diag +1 at j=1 → k=9.
+    EXPECT_EQ(rel.preimage_of(IntervalSet(0, 1)), IntervalSet::from_points({4, 9}));
+    check_against_materialized(rel);
+}
+
+TEST(BlockExpandedRelation, LiftsBlockCsrRowRelation) {
+    // 2 block rows, 3 block cols, blocks of 2x2; stored blocks:
+    // (0,0), (0,2), (1,1) — block rowptr {0,2,3}, block cols {0,2,1}.
+    const IndexSpace K0 = IndexSpace::create(3);
+    const IndexSpace R0 = IndexSpace::create(2);
+    const IndexSpace D0 = IndexSpace::create(3);
+    const IndexSpace K = IndexSpace::create(12);
+    const IndexSpace R = IndexSpace::create(4);
+    const IndexSpace D = IndexSpace::create(6);
+    auto base_row = std::make_shared<RowPtrRelation>(K0, R0, std::vector<gidx>{0, 2, 3});
+    auto base_col =
+        std::make_shared<ArrayFunctionRelation>(K0, D0, std::vector<gidx>{0, 2, 1});
+    const BlockExpandedRelation row_rel(K, R, base_row, 2, 2, 2, /*use_row_block=*/true);
+    const BlockExpandedRelation col_rel(K, D, base_col, 2, 2, 2, /*use_row_block=*/false);
+
+    // First stored block (kernel 0..3) is in block row 0 → element rows 0..1.
+    EXPECT_EQ(row_rel.image_of(IntervalSet(0, 4)), IntervalSet(0, 2));
+    // Third stored block (kernel 8..11) is block row 1 → rows 2..3.
+    EXPECT_EQ(row_rel.image_of(IntervalSet(8, 12)), IntervalSet(2, 4));
+    // Block row 1 owns kernel block 2 → elements 8..11.
+    EXPECT_EQ(row_rel.preimage_of(IntervalSet(2, 4)), IntervalSet(8, 12));
+    // Second stored block (kernel 4..7) has block col 2 → domain cols 4..5.
+    EXPECT_EQ(col_rel.image_of(IntervalSet(4, 8)), IntervalSet(4, 6));
+    EXPECT_EQ(col_rel.preimage_of(IntervalSet(4, 6)), IntervalSet(4, 8));
+
+    // The lift is exact on arbitrary (even block-misaligned) subsets.
+    check_against_materialized(row_rel);
+    check_against_materialized(col_rel);
+}
+
+} // namespace
+} // namespace kdr

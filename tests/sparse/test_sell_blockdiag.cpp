@@ -1,0 +1,179 @@
+#include <gtest/gtest.h>
+
+#include "partition/partition.hpp"
+#include "sparse/block_diagonal.hpp"
+#include "sparse/convert.hpp"
+#include "sparse/sell.hpp"
+#include "support/rng.hpp"
+
+namespace kdr {
+namespace {
+
+std::vector<Triplet<double>> random_ts(gidx rows, gidx cols, double density,
+                                       std::uint64_t seed) {
+    Rng rng(seed);
+    std::vector<Triplet<double>> ts;
+    for (gidx i = 0; i < rows; ++i)
+        for (gidx j = 0; j < cols; ++j)
+            if (rng.uniform() < density) ts.push_back({i, j, rng.uniform(-2, 2)});
+    if (ts.empty()) ts.push_back({0, 0, 1.0});
+    return ts;
+}
+
+// ------------------------------------------------------------------ SELL
+
+class SellParamTest
+    : public ::testing::TestWithParam<std::tuple<gidx /*C*/, gidx /*sigma*/>> {};
+
+TEST_P(SellParamTest, MultiplyMatchesReference) {
+    const auto [c, sigma] = GetParam();
+    const IndexSpace D = IndexSpace::create(20, "D");
+    const IndexSpace R = IndexSpace::create(17, "R");
+    const auto ts = coalesce_triplets(random_ts(17, 20, 0.3, 99));
+    const auto A = SellMatrix<double>::from_triplets(D, R, c, sigma, ts);
+    Rng rng(5);
+    std::vector<double> x(20);
+    for (double& v : x) v = rng.uniform(-1, 1);
+    std::vector<double> y(17, 0.0), y_ref(17, 0.0);
+    A.multiply_add(x, y);
+    reference_multiply_add(ts, x, y_ref);
+    for (std::size_t i = 0; i < y.size(); ++i) EXPECT_NEAR(y[i], y_ref[i], 1e-12);
+    EXPECT_EQ(coalesce_triplets(A.to_triplets()), ts);
+}
+
+TEST_P(SellParamTest, TransposeAndPiecesAgree) {
+    const auto [c, sigma] = GetParam();
+    const IndexSpace D = IndexSpace::create(12, "D");
+    const IndexSpace R = IndexSpace::create(12, "R");
+    const auto ts = coalesce_triplets(random_ts(12, 12, 0.4, 7));
+    const auto A = SellMatrix<double>::from_triplets(D, R, c, sigma, ts);
+    Rng rng(6);
+    std::vector<double> x(12);
+    for (double& v : x) v = rng.uniform(-1, 1);
+    // Pieces sum to whole.
+    std::vector<double> whole(12, 0.0), pieces(12, 0.0);
+    A.multiply_add(x, whole);
+    const Partition pk = Partition::equal(A.kernel(), 3);
+    for (Color p = 0; p < 3; ++p) A.multiply_add_piece(pk.piece(p), x, pieces);
+    for (std::size_t i = 0; i < 12; ++i) EXPECT_NEAR(whole[i], pieces[i], 1e-12);
+    // Adjoint identity <Ax, w> == <x, A^T w>.
+    std::vector<double> w(12);
+    for (double& v : w) v = rng.uniform(-1, 1);
+    std::vector<double> atw(12, 0.0);
+    A.multiply_add_transpose(w, atw);
+    double lhs = 0, rhs = 0;
+    for (std::size_t i = 0; i < 12; ++i) {
+        lhs += whole[i] * w[i];
+        rhs += x[i] * atw[i];
+    }
+    EXPECT_NEAR(lhs, rhs, 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, SellParamTest,
+                         ::testing::Values(std::tuple<gidx, gidx>{1, 1},
+                                           std::tuple<gidx, gidx>{4, 1},
+                                           std::tuple<gidx, gidx>{4, 2},
+                                           std::tuple<gidx, gidx>{8, 4},
+                                           std::tuple<gidx, gidx>{32, 8}));
+
+TEST(SellMatrix, SortingReducesPadding) {
+    // One long row among short ones: with σ covering everything the long row
+    // gets sorted into its own slice neighborhood, shrinking total storage.
+    const IndexSpace D = IndexSpace::create(16, "D");
+    const IndexSpace R = IndexSpace::create(16, "R");
+    std::vector<Triplet<double>> ts;
+    for (gidx j = 0; j < 16; ++j) ts.push_back({5, j, 1.0}); // dense row 5
+    for (gidx i = 0; i < 16; ++i) ts.push_back({i, i, 2.0});
+    const auto unsorted = SellMatrix<double>::from_triplets(D, R, 4, 1, ts);
+    const auto sorted = SellMatrix<double>::from_triplets(D, R, 4, 4, ts);
+    EXPECT_LE(sorted.kernel().size(), unsorted.kernel().size());
+    // Both are the same matrix.
+    EXPECT_EQ(coalesce_triplets(sorted.to_triplets()),
+              coalesce_triplets(unsorted.to_triplets()));
+}
+
+TEST(SellMatrix, RelationsFeedProjections) {
+    const IndexSpace D = IndexSpace::create(16, "D");
+    const IndexSpace R = IndexSpace::create(16, "R");
+    const auto A =
+        SellMatrix<double>::from_triplets(D, R, 4, 2, random_ts(16, 16, 0.3, 3));
+    EXPECT_EQ(A.row_relation()->source(), A.kernel());
+    // image of the whole kernel covers exactly the nonempty rows.
+    const IntervalSet rows = A.row_relation()->image_of(A.kernel().universe());
+    std::vector<gidx> expect_rows;
+    for (const auto& t : A.to_triplets()) expect_rows.push_back(t.row);
+    EXPECT_EQ(rows, IntervalSet::from_points(std::move(expect_rows)));
+}
+
+TEST(SellMatrix, RejectsBadParameters) {
+    const IndexSpace D = IndexSpace::create(4, "D");
+    const IndexSpace R = IndexSpace::create(4, "R");
+    EXPECT_THROW(SellMatrix<double>::from_triplets(D, R, 0, 1, {{0, 0, 1.0}}), Error);
+    EXPECT_THROW(SellMatrix<double>::from_triplets(D, R, 4, 0, {{0, 0, 1.0}}), Error);
+}
+
+// ---------------------------------------------------------- dense inverse
+
+TEST(InvertDense, InvertsKnownMatrix) {
+    // [[4,7],[2,6]]^{-1} = [[0.6,-0.7],[-0.2,0.4]]
+    std::vector<double> a{4, 7, 2, 6};
+    invert_dense(a, 2);
+    EXPECT_NEAR(a[0], 0.6, 1e-12);
+    EXPECT_NEAR(a[1], -0.7, 1e-12);
+    EXPECT_NEAR(a[2], -0.2, 1e-12);
+    EXPECT_NEAR(a[3], 0.4, 1e-12);
+}
+
+TEST(InvertDense, NeedsPivoting) {
+    std::vector<double> a{0, 1, 1, 0}; // permutation matrix: own inverse
+    invert_dense(a, 2);
+    EXPECT_NEAR(a[0], 0.0, 1e-12);
+    EXPECT_NEAR(a[1], 1.0, 1e-12);
+}
+
+TEST(InvertDense, DetectsSingular) {
+    std::vector<double> a{1, 2, 2, 4};
+    EXPECT_THROW(invert_dense(a, 2), Error);
+}
+
+// ------------------------------------------------------- block diagonal
+
+TEST(BlockDiagonal, MultiplyAppliesEachBlockOnItsSubset) {
+    const IndexSpace D = IndexSpace::create(6, "D");
+    // Block 1 on {0,1}; block 2 on the non-contiguous {2, 5}.
+    BlockDiagonalOperator<double> P(
+        D, {{IntervalSet(0, 2), {1.0, 2.0, 3.0, 4.0}},
+            {IntervalSet::from_points({2, 5}), {5.0, 0.0, 0.0, 7.0}}});
+    const std::vector<double> x{1, 1, 1, 9, 9, 1};
+    std::vector<double> y(6, 0.0);
+    P.multiply_add(x, y);
+    EXPECT_DOUBLE_EQ(y[0], 3.0);
+    EXPECT_DOUBLE_EQ(y[1], 7.0);
+    EXPECT_DOUBLE_EQ(y[2], 5.0);
+    EXPECT_DOUBLE_EQ(y[3], 0.0) << "uncovered index untouched";
+    EXPECT_DOUBLE_EQ(y[5], 7.0);
+}
+
+TEST(BlockDiagonal, TripletsAndRelationsConsistent) {
+    const IndexSpace D = IndexSpace::create(4, "D");
+    BlockDiagonalOperator<double> P(D, {{IntervalSet(0, 2), {1, 2, 3, 4}},
+                                        {IntervalSet(2, 4), {5, 6, 7, 8}}});
+    EXPECT_EQ(P.kernel().size(), 8);
+    EXPECT_EQ(P.block_count(), 2u);
+    const auto ts = P.to_triplets();
+    EXPECT_EQ(ts.size(), 8u);
+    // Relations describe the same placements as the triplets.
+    const IntervalSet rows = P.row_relation()->image_of(P.kernel().universe());
+    EXPECT_EQ(rows, D.universe());
+}
+
+TEST(BlockDiagonal, ValidatesBlockShapes) {
+    const IndexSpace D = IndexSpace::create(4, "D");
+    EXPECT_THROW(BlockDiagonalOperator<double>(D, {{IntervalSet(0, 2), {1.0}}}), Error);
+    EXPECT_THROW(BlockDiagonalOperator<double>(D, {{IntervalSet(2, 6), {1, 2, 3, 4}}}),
+                 Error);
+    EXPECT_THROW(BlockDiagonalOperator<double>(D, {{IntervalSet{}, {}}}), Error);
+}
+
+} // namespace
+} // namespace kdr

@@ -1,0 +1,171 @@
+#include "stencil/stencil.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "partition/projection.hpp"
+
+namespace kdr::stencil {
+namespace {
+
+TEST(Spec, PointsAndDims) {
+    EXPECT_EQ(Spec{Kind::D1P3}.points(), 3);
+    EXPECT_EQ(Spec{Kind::D2P5}.points(), 5);
+    EXPECT_EQ(Spec{Kind::D3P7}.points(), 7);
+    EXPECT_EQ(Spec{Kind::D3P27}.points(), 27);
+    EXPECT_EQ(Spec{Kind::D1P3}.dims(), 1);
+    EXPECT_EQ(Spec{Kind::D2P5}.dims(), 2);
+    EXPECT_EQ(Spec{Kind::D3P27}.dims(), 3);
+}
+
+class StencilKindTest : public ::testing::TestWithParam<Kind> {
+protected:
+    Spec make_spec() const {
+        Spec s;
+        s.kind = GetParam();
+        switch (s.dims()) {
+            case 1: s.nx = 24; break;
+            case 2: s.nx = 6; s.ny = 5; break;
+            default: s.nx = 4; s.ny = 3; s.nz = 5; break;
+        }
+        return s;
+    }
+};
+
+TEST_P(StencilKindTest, NnzFormulaMatchesEnumeration) {
+    const Spec s = make_spec();
+    EXPECT_EQ(static_cast<gidx>(laplacian_triplets(s).size()), s.total_nnz());
+}
+
+TEST_P(StencilKindTest, MatrixIsSymmetric) {
+    const Spec s = make_spec();
+    const auto ts = laplacian_triplets(s);
+    std::map<std::pair<gidx, gidx>, double> entries;
+    for (const auto& t : ts) entries[{t.row, t.col}] += t.value;
+    for (const auto& [rc, v] : entries) {
+        auto it = entries.find({rc.second, rc.first});
+        ASSERT_NE(it, entries.end()) << "missing transpose of (" << rc.first << "," << rc.second
+                                     << ")";
+        EXPECT_DOUBLE_EQ(it->second, v);
+    }
+}
+
+TEST_P(StencilKindTest, MatrixIsDiagonallyDominant) {
+    // diag = points-1, off-diagonals are -1 and at most points-1 of them per
+    // row exist => weak diagonal dominance, strict at boundaries => SPD.
+    const Spec s = make_spec();
+    const auto ts = laplacian_triplets(s);
+    std::map<gidx, double> diag;
+    std::map<gidx, double> offsum;
+    for (const auto& t : ts) {
+        if (t.row == t.col) {
+            diag[t.row] += t.value;
+        } else {
+            offsum[t.row] += std::abs(t.value);
+        }
+    }
+    bool strict_somewhere = false;
+    for (const auto& [row, d] : diag) {
+        EXPECT_GE(d, offsum[row]) << "row " << row;
+        strict_somewhere |= (d > offsum[row]);
+    }
+    EXPECT_TRUE(strict_somewhere) << "boundary rows must be strictly dominant";
+}
+
+TEST_P(StencilKindTest, CsrAgreesWithTriplets) {
+    const Spec s = make_spec();
+    const IndexSpace D = IndexSpace::create(s.unknowns());
+    const IndexSpace R = IndexSpace::create(s.unknowns());
+    const auto csr = laplacian_csr(s, D, R);
+    EXPECT_EQ(csr.to_triplets(), coalesce_triplets(laplacian_triplets(s)));
+}
+
+TEST_P(StencilKindTest, CoPartitionHaloCoversTrueNeeds) {
+    // The analytic halo must contain (and for row blocks wider than the
+    // bandwidth, exactly match) the dependent-partitioning image.
+    const Spec s = make_spec();
+    const IndexSpace D = IndexSpace::create(s.unknowns());
+    const IndexSpace R = IndexSpace::create(s.unknowns());
+    const auto csr = laplacian_csr(s, D, R);
+    const CoPartition cp = co_partition(s, D, R, 3);
+    const Partition pk = preimage(cp.rows, *csr.row_relation());
+    const Partition pd = image(pk, *csr.col_relation());
+    for (Color c = 0; c < 3; ++c) {
+        EXPECT_TRUE(cp.halo.piece(c).contains_all(pd.piece(c))) << "color " << c;
+    }
+    EXPECT_TRUE(cp.halo.is_complete());
+    EXPECT_TRUE(cp.rows.is_complete());
+    EXPECT_TRUE(cp.rows.is_disjoint());
+}
+
+TEST_P(StencilKindTest, RowSumsVanishInInterior) {
+    // Interior rows of a Laplacian sum to zero; Dirichlet boundary rows are
+    // positive.
+    const Spec s = make_spec();
+    const auto ts = laplacian_triplets(s);
+    std::map<gidx, double> row_sums;
+    std::map<gidx, int> row_counts;
+    for (const auto& t : ts) {
+        row_sums[t.row] += t.value;
+        ++row_counts[t.row];
+    }
+    for (const auto& [row, sum] : row_sums) {
+        if (row_counts[row] == s.points()) {
+            EXPECT_NEAR(sum, 0.0, 1e-12) << "interior row " << row;
+        } else {
+            EXPECT_GT(sum, 0.0) << "boundary row " << row;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, StencilKindTest,
+                         ::testing::Values(Kind::D1P3, Kind::D2P5, Kind::D3P7, Kind::D3P27),
+                         [](const ::testing::TestParamInfo<Kind>& info) {
+                             std::string n = kind_name(info.param);
+                             for (char& c : n)
+                                 if (c == '-') c = '_';
+                             return n;
+                         });
+
+TEST(SpecCube, HitsTargetWithPowerOfTwoExtents) {
+    const Spec s1 = Spec::cube(Kind::D1P3, 4096);
+    EXPECT_EQ(s1.unknowns(), 4096);
+    EXPECT_EQ(s1.ny, 1);
+    const Spec s2 = Spec::cube(Kind::D2P5, 4096);
+    EXPECT_EQ(s2.unknowns(), 4096);
+    EXPECT_EQ(s2.nx, 64);
+    EXPECT_EQ(s2.ny, 64);
+    const Spec s3 = Spec::cube(Kind::D3P7, 4096);
+    EXPECT_EQ(s3.unknowns(), 4096);
+    EXPECT_EQ(s3.nx, 16);
+}
+
+TEST(RandomRhs, EntriesInUnitIntervalAndReproducible) {
+    const auto b1 = random_rhs(1000, 7);
+    const auto b2 = random_rhs(1000, 7);
+    EXPECT_EQ(b1, b2);
+    for (double v : b1) {
+        EXPECT_GE(v, 0.0);
+        EXPECT_LT(v, 1.0);
+    }
+    EXPECT_NE(random_rhs(10, 1), random_rhs(10, 2));
+}
+
+TEST(CoPartition, NnzRoughlyProportionalToRows) {
+    Spec s;
+    s.kind = Kind::D2P5;
+    s.nx = 32;
+    s.ny = 32;
+    const IndexSpace D = IndexSpace::create(s.unknowns());
+    const IndexSpace R = IndexSpace::create(s.unknowns());
+    const CoPartition cp = co_partition(s, D, R, 4);
+    gidx total = 0;
+    for (gidx v : cp.nnz) total += v;
+    EXPECT_NEAR(static_cast<double>(total), static_cast<double>(s.total_nnz()),
+                static_cast<double>(s.total_nnz()) * 0.01);
+}
+
+} // namespace
+} // namespace kdr::stencil

@@ -1,0 +1,59 @@
+#include "support/cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+
+namespace kdr {
+namespace {
+
+CliArgs make(std::initializer_list<const char*> argv) {
+    std::vector<const char*> v{"prog"};
+    v.insert(v.end(), argv.begin(), argv.end());
+    return CliArgs(static_cast<int>(v.size()), v.data());
+}
+
+TEST(CliArgs, ParsesKeyValuePairs) {
+    const CliArgs args = make({"-dim", "2", "-solver", "1", "-nx", "4096"});
+    EXPECT_EQ(args.get_int("dim", 0), 2);
+    EXPECT_EQ(args.get_int("solver", 0), 1);
+    EXPECT_EQ(args.get_int("nx", 0), 4096);
+}
+
+TEST(CliArgs, FallbackWhenMissing) {
+    const CliArgs args = make({"-dim", "2"});
+    EXPECT_EQ(args.get_int("ny", 128), 128);
+    EXPECT_EQ(args.get_string("solver", "cg"), "cg");
+    EXPECT_DOUBLE_EQ(args.get_double("beta", 1e-3), 1e-3);
+}
+
+TEST(CliArgs, ParsesDoubles) {
+    const CliArgs args = make({"-beta", "0.001"});
+    EXPECT_DOUBLE_EQ(args.get_double("beta", 0.0), 0.001);
+}
+
+TEST(CliArgs, BareFlagIsTrue) {
+    const CliArgs args = make({"-verbose", "-nx", "8"});
+    EXPECT_TRUE(args.get_flag("verbose"));
+    EXPECT_FALSE(args.get_flag("quiet"));
+    EXPECT_EQ(args.get_int("nx", 0), 8);
+}
+
+TEST(CliArgs, HasDetectsPresence) {
+    const CliArgs args = make({"-x", "1"});
+    EXPECT_TRUE(args.has("x"));
+    EXPECT_FALSE(args.has("y"));
+}
+
+TEST(CliArgs, RejectsMalformedInt) {
+    const CliArgs args = make({"-nx", "abc"});
+    EXPECT_THROW(args.get_int("nx", 0), Error);
+}
+
+TEST(CliArgs, StringValues) {
+    const CliArgs args = make({"-solver", "bicgstab"});
+    EXPECT_EQ(args.get_string("solver", ""), "bicgstab");
+}
+
+} // namespace
+} // namespace kdr

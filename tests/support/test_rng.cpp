@@ -1,0 +1,89 @@
+#include "support/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace kdr {
+namespace {
+
+TEST(SplitMix64, DeterministicForSeed) {
+    SplitMix64 a(42);
+    SplitMix64 b(42);
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge) {
+    SplitMix64 a(1);
+    SplitMix64 b(2);
+    EXPECT_NE(a.next(), b.next());
+}
+
+TEST(Rng, ReproducibleAcrossReseed) {
+    Rng r(7);
+    std::vector<std::uint64_t> first;
+    for (int i = 0; i < 32; ++i) first.push_back(r.next());
+    r.reseed(7);
+    for (int i = 0; i < 32; ++i) EXPECT_EQ(r.next(), first[static_cast<std::size_t>(i)]);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+    Rng r(123);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = r.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+    Rng r(9);
+    for (int i = 0; i < 1000; ++i) {
+        const double u = r.uniform(-3.0, 5.0);
+        EXPECT_GE(u, -3.0);
+        EXPECT_LT(u, 5.0);
+    }
+}
+
+TEST(Rng, UniformIndexCoversRange) {
+    Rng r(55);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 2000; ++i) {
+        const std::uint64_t v = r.uniform_index(10);
+        EXPECT_LT(v, 10u);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 10u) << "all 10 values should appear in 2000 draws";
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+    Rng r(77);
+    bool saw_lo = false;
+    bool saw_hi = false;
+    for (int i = 0; i < 5000; ++i) {
+        const std::int64_t v = r.uniform_int(0, 39); // Fig 10 background-load range
+        EXPECT_GE(v, 0);
+        EXPECT_LE(v, 39);
+        saw_lo |= (v == 0);
+        saw_hi |= (v == 39);
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformIndexZeroIsZero) {
+    Rng r(3);
+    EXPECT_EQ(r.uniform_index(0), 0u);
+}
+
+TEST(Rng, MeanOfUniformApproachesHalf) {
+    Rng r(2024);
+    double sum = 0.0;
+    constexpr int kN = 100000;
+    for (int i = 0; i < kN; ++i) sum += r.uniform();
+    EXPECT_NEAR(sum / kN, 0.5, 0.01);
+}
+
+} // namespace
+} // namespace kdr

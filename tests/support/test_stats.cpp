@@ -1,0 +1,60 @@
+#include "support/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+
+namespace kdr {
+namespace {
+
+TEST(RunningStat, EmptyHasZeroCount) {
+    RunningStat s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStat, SingleValue) {
+    RunningStat s;
+    s.add(4.5);
+    EXPECT_EQ(s.count(), 1u);
+    EXPECT_DOUBLE_EQ(s.mean(), 4.5);
+    EXPECT_DOUBLE_EQ(s.min(), 4.5);
+    EXPECT_DOUBLE_EQ(s.max(), 4.5);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStat, KnownMoments) {
+    RunningStat s;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+    EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12); // sample variance
+}
+
+TEST(RunningStat, NegativeValues) {
+    RunningStat s;
+    s.add(-3.0);
+    s.add(-1.0);
+    EXPECT_DOUBLE_EQ(s.mean(), -2.0);
+    EXPECT_DOUBLE_EQ(s.min(), -3.0);
+    EXPECT_DOUBLE_EQ(s.max(), -1.0);
+}
+
+TEST(GeometricMean, SingleValue) { EXPECT_DOUBLE_EQ(geometric_mean({8.0}), 8.0); }
+
+TEST(GeometricMean, TwoValues) { EXPECT_NEAR(geometric_mean({2.0, 8.0}), 4.0, 1e-12); }
+
+TEST(GeometricMean, RejectsEmpty) { EXPECT_THROW(geometric_mean({}), Error); }
+
+TEST(GeometricMean, RejectsNonpositive) {
+    EXPECT_THROW(geometric_mean({1.0, 0.0}), Error);
+    EXPECT_THROW(geometric_mean({1.0, -2.0}), Error);
+}
+
+TEST(MinOf, PicksMinimum) { EXPECT_DOUBLE_EQ(min_of({3.0, 1.5, 2.0}), 1.5); }
+
+TEST(MinOf, RejectsEmpty) { EXPECT_THROW(min_of({}), Error); }
+
+} // namespace
+} // namespace kdr

@@ -1,0 +1,59 @@
+#include "support/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace kdr {
+namespace {
+
+TEST(Table, PrintsHeaderAndRows) {
+    Table t({"size", "time"});
+    t.add_row({"1024", "0.5"});
+    t.add_row({"2048", "1.1"});
+    std::ostringstream os;
+    t.print(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("size"), std::string::npos);
+    EXPECT_NE(out.find("2048"), std::string::npos);
+    EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, RejectsArityMismatch) {
+    Table t({"a", "b"});
+    EXPECT_THROW(t.add_row({"only-one"}), Error);
+}
+
+TEST(Table, RejectsEmptyHeader) { EXPECT_THROW(Table({}), Error); }
+
+TEST(Table, NumFormatsFixedPrecision) {
+    EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+    EXPECT_EQ(Table::num(1.0, 0), "1");
+}
+
+TEST(Table, EngScalesUnits) {
+    EXPECT_EQ(Table::eng(1500.0, 1), "1.5k");
+    EXPECT_EQ(Table::eng(2.5e6, 1), "2.5M");
+    EXPECT_EQ(Table::eng(999.0, 0), "999");
+    EXPECT_EQ(Table::eng(1.0e9, 0), "1G");
+}
+
+TEST(Table, ColumnsAlign) {
+    Table t({"x", "longheader"});
+    t.add_row({"verylongcell", "1"});
+    std::ostringstream os;
+    t.print(os);
+    // All lines between rules have equal length.
+    std::istringstream is(os.str());
+    std::string line;
+    std::size_t len = 0;
+    while (std::getline(is, line)) {
+        if (len == 0) len = line.size();
+        EXPECT_EQ(line.size(), len);
+    }
+}
+
+} // namespace
+} // namespace kdr
