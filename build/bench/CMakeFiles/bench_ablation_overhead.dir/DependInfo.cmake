@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation_overhead.cpp" "bench/CMakeFiles/bench_ablation_overhead.dir/bench_ablation_overhead.cpp.o" "gcc" "bench/CMakeFiles/bench_ablation_overhead.dir/bench_ablation_overhead.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/baselines/CMakeFiles/kdr_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/kdr_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/stencil/CMakeFiles/kdr_stencil.dir/DependInfo.cmake"
+  "/root/repo/build/src/sparse/CMakeFiles/kdr_sparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/partition/CMakeFiles/kdr_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpisim/CMakeFiles/kdr_mpisim.dir/DependInfo.cmake"
+  "/root/repo/build/src/simcluster/CMakeFiles/kdr_simcluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/kdr_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/kdr_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

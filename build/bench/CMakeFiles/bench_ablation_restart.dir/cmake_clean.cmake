@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_restart.dir/bench_ablation_restart.cpp.o"
+  "CMakeFiles/bench_ablation_restart.dir/bench_ablation_restart.cpp.o.d"
+  "bench_ablation_restart"
+  "bench_ablation_restart.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_restart.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_multiop.dir/bench_fig9_multiop.cpp.o"
+  "CMakeFiles/bench_fig9_multiop.dir/bench_fig9_multiop.cpp.o.d"
+  "bench_fig9_multiop"
+  "bench_fig9_multiop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_multiop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_planner_ops.dir/bench_planner_ops.cpp.o"
+  "CMakeFiles/bench_planner_ops.dir/bench_planner_ops.cpp.o.d"
+  "bench_planner_ops"
+  "bench_planner_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_planner_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamic_load_balance.dir/dynamic_load_balance.cpp.o"
+  "CMakeFiles/dynamic_load_balance.dir/dynamic_load_balance.cpp.o.d"
+  "dynamic_load_balance"
+  "dynamic_load_balance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamic_load_balance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mixed_formats.dir/mixed_formats.cpp.o"
+  "CMakeFiles/mixed_formats.dir/mixed_formats.cpp.o.d"
+  "mixed_formats"
+  "mixed_formats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mixed_formats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multiple_rhs.dir/multiple_rhs.cpp.o"
+  "CMakeFiles/multiple_rhs.dir/multiple_rhs.cpp.o.d"
+  "multiple_rhs"
+  "multiple_rhs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multiple_rhs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for multiple_rhs.
+# This may be replaced when dependencies are built.

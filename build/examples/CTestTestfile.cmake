@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test([=[example_quickstart]=] "/root/repo/build/examples/quickstart" "-n" "24" "-pieces" "4")
+set_tests_properties([=[example_quickstart]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;17;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_boundary_coupling]=] "/root/repo/build/examples/boundary_coupling" "-n" "6")
+set_tests_properties([=[example_boundary_coupling]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_multiple_rhs]=] "/root/repo/build/examples/multiple_rhs" "-n" "32" "-systems" "2")
+set_tests_properties([=[example_multiple_rhs]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;19;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_custom_format]=] "/root/repo/build/examples/custom_format" "-n" "24")
+set_tests_properties([=[example_custom_format]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;20;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_mixed_formats]=] "/root/repo/build/examples/mixed_formats" "-n" "16")
+set_tests_properties([=[example_mixed_formats]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;21;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_matrix_market]=] "/root/repo/build/examples/matrix_market_solve")
+set_tests_properties([=[example_matrix_market]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;22;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test([=[example_dynamic_load_balance]=] "/root/repo/build/examples/dynamic_load_balance" "-nodes" "2" "-windows" "3")
+set_tests_properties([=[example_dynamic_load_balance]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;23;add_test;/root/repo/examples/CMakeLists.txt;0;")

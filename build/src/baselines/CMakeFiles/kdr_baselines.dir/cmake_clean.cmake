@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kdr_baselines.dir/ksp.cpp.o"
+  "CMakeFiles/kdr_baselines.dir/ksp.cpp.o.d"
+  "CMakeFiles/kdr_baselines.dir/stencil_baseline.cpp.o"
+  "CMakeFiles/kdr_baselines.dir/stencil_baseline.cpp.o.d"
+  "libkdr_baselines.a"
+  "libkdr_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kdr_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geometry/index_space.cpp" "src/geometry/CMakeFiles/kdr_geometry.dir/index_space.cpp.o" "gcc" "src/geometry/CMakeFiles/kdr_geometry.dir/index_space.cpp.o.d"
+  "/root/repo/src/geometry/interval_set.cpp" "src/geometry/CMakeFiles/kdr_geometry.dir/interval_set.cpp.o" "gcc" "src/geometry/CMakeFiles/kdr_geometry.dir/interval_set.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/kdr_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kdr_geometry.dir/index_space.cpp.o"
+  "CMakeFiles/kdr_geometry.dir/index_space.cpp.o.d"
+  "CMakeFiles/kdr_geometry.dir/interval_set.cpp.o"
+  "CMakeFiles/kdr_geometry.dir/interval_set.cpp.o.d"
+  "libkdr_geometry.a"
+  "libkdr_geometry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kdr_geometry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kdr_mpisim.dir/bsp.cpp.o"
+  "CMakeFiles/kdr_mpisim.dir/bsp.cpp.o.d"
+  "libkdr_mpisim.a"
+  "libkdr_mpisim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kdr_mpisim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for kdr_mpisim.
+# This may be replaced when dependencies are built.

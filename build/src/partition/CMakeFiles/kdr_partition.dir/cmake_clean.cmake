@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kdr_partition.dir/partition.cpp.o"
+  "CMakeFiles/kdr_partition.dir/partition.cpp.o.d"
+  "CMakeFiles/kdr_partition.dir/projection.cpp.o"
+  "CMakeFiles/kdr_partition.dir/projection.cpp.o.d"
+  "CMakeFiles/kdr_partition.dir/relation.cpp.o"
+  "CMakeFiles/kdr_partition.dir/relation.cpp.o.d"
+  "libkdr_partition.a"
+  "libkdr_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kdr_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libkdr_partition.a"
+)

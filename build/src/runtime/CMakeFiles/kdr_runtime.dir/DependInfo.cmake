@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/region.cpp" "src/runtime/CMakeFiles/kdr_runtime.dir/region.cpp.o" "gcc" "src/runtime/CMakeFiles/kdr_runtime.dir/region.cpp.o.d"
+  "/root/repo/src/runtime/runtime.cpp" "src/runtime/CMakeFiles/kdr_runtime.dir/runtime.cpp.o" "gcc" "src/runtime/CMakeFiles/kdr_runtime.dir/runtime.cpp.o.d"
+  "/root/repo/src/runtime/trace_export.cpp" "src/runtime/CMakeFiles/kdr_runtime.dir/trace_export.cpp.o" "gcc" "src/runtime/CMakeFiles/kdr_runtime.dir/trace_export.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/partition/CMakeFiles/kdr_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/simcluster/CMakeFiles/kdr_simcluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/kdr_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/kdr_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

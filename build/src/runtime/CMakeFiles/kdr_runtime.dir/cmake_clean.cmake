@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kdr_runtime.dir/region.cpp.o"
+  "CMakeFiles/kdr_runtime.dir/region.cpp.o.d"
+  "CMakeFiles/kdr_runtime.dir/runtime.cpp.o"
+  "CMakeFiles/kdr_runtime.dir/runtime.cpp.o.d"
+  "CMakeFiles/kdr_runtime.dir/trace_export.cpp.o"
+  "CMakeFiles/kdr_runtime.dir/trace_export.cpp.o.d"
+  "libkdr_runtime.a"
+  "libkdr_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kdr_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kdr_simcluster.dir/cluster.cpp.o"
+  "CMakeFiles/kdr_simcluster.dir/cluster.cpp.o.d"
+  "libkdr_simcluster.a"
+  "libkdr_simcluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kdr_simcluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for kdr_simcluster.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kdr_sparse.dir/matrix_market.cpp.o"
+  "CMakeFiles/kdr_sparse.dir/matrix_market.cpp.o.d"
+  "CMakeFiles/kdr_sparse.dir/relations.cpp.o"
+  "CMakeFiles/kdr_sparse.dir/relations.cpp.o.d"
+  "libkdr_sparse.a"
+  "libkdr_sparse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kdr_sparse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

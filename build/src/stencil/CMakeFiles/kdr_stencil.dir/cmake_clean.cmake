@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kdr_stencil.dir/stencil.cpp.o"
+  "CMakeFiles/kdr_stencil.dir/stencil.cpp.o.d"
+  "libkdr_stencil.a"
+  "libkdr_stencil.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kdr_stencil.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kdr_support.dir/cli.cpp.o"
+  "CMakeFiles/kdr_support.dir/cli.cpp.o.d"
+  "CMakeFiles/kdr_support.dir/table.cpp.o"
+  "CMakeFiles/kdr_support.dir/table.cpp.o.d"
+  "libkdr_support.a"
+  "libkdr_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kdr_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/test_load_balancer.cpp" "tests/CMakeFiles/test_core.dir/core/test_load_balancer.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_load_balancer.cpp.o.d"
+  "/root/repo/tests/core/test_monitor.cpp" "tests/CMakeFiles/test_core.dir/core/test_monitor.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_monitor.cpp.o.d"
+  "/root/repo/tests/core/test_multiop.cpp" "tests/CMakeFiles/test_core.dir/core/test_multiop.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_multiop.cpp.o.d"
+  "/root/repo/tests/core/test_multiop_fuzz.cpp" "tests/CMakeFiles/test_core.dir/core/test_multiop_fuzz.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_multiop_fuzz.cpp.o.d"
+  "/root/repo/tests/core/test_planner.cpp" "tests/CMakeFiles/test_core.dir/core/test_planner.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_planner.cpp.o.d"
+  "/root/repo/tests/core/test_preconditioners.cpp" "tests/CMakeFiles/test_core.dir/core/test_preconditioners.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_preconditioners.cpp.o.d"
+  "/root/repo/tests/core/test_rebalance_integration.cpp" "tests/CMakeFiles/test_core.dir/core/test_rebalance_integration.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_rebalance_integration.cpp.o.d"
+  "/root/repo/tests/core/test_solvers.cpp" "tests/CMakeFiles/test_core.dir/core/test_solvers.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_solvers.cpp.o.d"
+  "/root/repo/tests/core/test_solvers_extra.cpp" "tests/CMakeFiles/test_core.dir/core/test_solvers_extra.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_solvers_extra.cpp.o.d"
+  "/root/repo/tests/core/test_solvers_preconditioned.cpp" "tests/CMakeFiles/test_core.dir/core/test_solvers_preconditioned.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_solvers_preconditioned.cpp.o.d"
+  "/root/repo/tests/core/test_timing_mode.cpp" "tests/CMakeFiles/test_core.dir/core/test_timing_mode.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_timing_mode.cpp.o.d"
+  "/root/repo/tests/core/test_umbrella.cpp" "tests/CMakeFiles/test_core.dir/core/test_umbrella.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_umbrella.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runtime/CMakeFiles/kdr_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/simcluster/CMakeFiles/kdr_simcluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/stencil/CMakeFiles/kdr_stencil.dir/DependInfo.cmake"
+  "/root/repo/build/src/sparse/CMakeFiles/kdr_sparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/partition/CMakeFiles/kdr_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/kdr_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/kdr_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,34 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/test_load_balancer.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_load_balancer.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_monitor.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_monitor.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_multiop.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_multiop.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_multiop_fuzz.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_multiop_fuzz.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_planner.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_planner.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_preconditioners.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_preconditioners.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_rebalance_integration.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_rebalance_integration.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_solvers.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_solvers.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_solvers_extra.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_solvers_extra.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_solvers_preconditioned.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_solvers_preconditioned.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_timing_mode.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_timing_mode.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_umbrella.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_umbrella.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

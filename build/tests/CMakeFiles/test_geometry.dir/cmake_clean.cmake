@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_geometry.dir/geometry/test_index_space.cpp.o"
+  "CMakeFiles/test_geometry.dir/geometry/test_index_space.cpp.o.d"
+  "CMakeFiles/test_geometry.dir/geometry/test_interval_set.cpp.o"
+  "CMakeFiles/test_geometry.dir/geometry/test_interval_set.cpp.o.d"
+  "CMakeFiles/test_geometry.dir/geometry/test_point.cpp.o"
+  "CMakeFiles/test_geometry.dir/geometry/test_point.cpp.o.d"
+  "test_geometry"
+  "test_geometry.pdb"
+  "test_geometry[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_geometry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/mpisim/test_bsp.cpp" "tests/CMakeFiles/test_mpisim.dir/mpisim/test_bsp.cpp.o" "gcc" "tests/CMakeFiles/test_mpisim.dir/mpisim/test_bsp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mpisim/CMakeFiles/kdr_mpisim.dir/DependInfo.cmake"
+  "/root/repo/build/src/simcluster/CMakeFiles/kdr_simcluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/kdr_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/kdr_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

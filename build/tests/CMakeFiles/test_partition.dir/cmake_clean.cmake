@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_partition.dir/partition/test_partition.cpp.o"
+  "CMakeFiles/test_partition.dir/partition/test_partition.cpp.o.d"
+  "CMakeFiles/test_partition.dir/partition/test_projection.cpp.o"
+  "CMakeFiles/test_partition.dir/partition/test_projection.cpp.o.d"
+  "CMakeFiles/test_partition.dir/partition/test_relation.cpp.o"
+  "CMakeFiles/test_partition.dir/partition/test_relation.cpp.o.d"
+  "test_partition"
+  "test_partition.pdb"
+  "test_partition[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/runtime/test_dependence.cpp" "tests/CMakeFiles/test_runtime.dir/runtime/test_dependence.cpp.o" "gcc" "tests/CMakeFiles/test_runtime.dir/runtime/test_dependence.cpp.o.d"
+  "/root/repo/tests/runtime/test_dependence_fuzz.cpp" "tests/CMakeFiles/test_runtime.dir/runtime/test_dependence_fuzz.cpp.o" "gcc" "tests/CMakeFiles/test_runtime.dir/runtime/test_dependence_fuzz.cpp.o.d"
+  "/root/repo/tests/runtime/test_mapper.cpp" "tests/CMakeFiles/test_runtime.dir/runtime/test_mapper.cpp.o" "gcc" "tests/CMakeFiles/test_runtime.dir/runtime/test_mapper.cpp.o.d"
+  "/root/repo/tests/runtime/test_regions.cpp" "tests/CMakeFiles/test_runtime.dir/runtime/test_regions.cpp.o" "gcc" "tests/CMakeFiles/test_runtime.dir/runtime/test_regions.cpp.o.d"
+  "/root/repo/tests/runtime/test_trace_export.cpp" "tests/CMakeFiles/test_runtime.dir/runtime/test_trace_export.cpp.o" "gcc" "tests/CMakeFiles/test_runtime.dir/runtime/test_trace_export.cpp.o.d"
+  "/root/repo/tests/runtime/test_tracing.cpp" "tests/CMakeFiles/test_runtime.dir/runtime/test_tracing.cpp.o" "gcc" "tests/CMakeFiles/test_runtime.dir/runtime/test_tracing.cpp.o.d"
+  "/root/repo/tests/runtime/test_transfers.cpp" "tests/CMakeFiles/test_runtime.dir/runtime/test_transfers.cpp.o" "gcc" "tests/CMakeFiles/test_runtime.dir/runtime/test_transfers.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runtime/CMakeFiles/kdr_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/partition/CMakeFiles/kdr_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/simcluster/CMakeFiles/kdr_simcluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/kdr_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/kdr_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

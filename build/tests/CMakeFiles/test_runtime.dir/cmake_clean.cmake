@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_runtime.dir/runtime/test_dependence.cpp.o"
+  "CMakeFiles/test_runtime.dir/runtime/test_dependence.cpp.o.d"
+  "CMakeFiles/test_runtime.dir/runtime/test_dependence_fuzz.cpp.o"
+  "CMakeFiles/test_runtime.dir/runtime/test_dependence_fuzz.cpp.o.d"
+  "CMakeFiles/test_runtime.dir/runtime/test_mapper.cpp.o"
+  "CMakeFiles/test_runtime.dir/runtime/test_mapper.cpp.o.d"
+  "CMakeFiles/test_runtime.dir/runtime/test_regions.cpp.o"
+  "CMakeFiles/test_runtime.dir/runtime/test_regions.cpp.o.d"
+  "CMakeFiles/test_runtime.dir/runtime/test_trace_export.cpp.o"
+  "CMakeFiles/test_runtime.dir/runtime/test_trace_export.cpp.o.d"
+  "CMakeFiles/test_runtime.dir/runtime/test_tracing.cpp.o"
+  "CMakeFiles/test_runtime.dir/runtime/test_tracing.cpp.o.d"
+  "CMakeFiles/test_runtime.dir/runtime/test_transfers.cpp.o"
+  "CMakeFiles/test_runtime.dir/runtime/test_transfers.cpp.o.d"
+  "test_runtime"
+  "test_runtime.pdb"
+  "test_runtime[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

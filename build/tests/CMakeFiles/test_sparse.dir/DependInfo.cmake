@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sparse/test_adapters.cpp" "tests/CMakeFiles/test_sparse.dir/sparse/test_adapters.cpp.o" "gcc" "tests/CMakeFiles/test_sparse.dir/sparse/test_adapters.cpp.o.d"
+  "/root/repo/tests/sparse/test_conversion_matrix.cpp" "tests/CMakeFiles/test_sparse.dir/sparse/test_conversion_matrix.cpp.o" "gcc" "tests/CMakeFiles/test_sparse.dir/sparse/test_conversion_matrix.cpp.o.d"
+  "/root/repo/tests/sparse/test_formats.cpp" "tests/CMakeFiles/test_sparse.dir/sparse/test_formats.cpp.o" "gcc" "tests/CMakeFiles/test_sparse.dir/sparse/test_formats.cpp.o.d"
+  "/root/repo/tests/sparse/test_matrix_market.cpp" "tests/CMakeFiles/test_sparse.dir/sparse/test_matrix_market.cpp.o" "gcc" "tests/CMakeFiles/test_sparse.dir/sparse/test_matrix_market.cpp.o.d"
+  "/root/repo/tests/sparse/test_projection_formats.cpp" "tests/CMakeFiles/test_sparse.dir/sparse/test_projection_formats.cpp.o" "gcc" "tests/CMakeFiles/test_sparse.dir/sparse/test_projection_formats.cpp.o.d"
+  "/root/repo/tests/sparse/test_relations.cpp" "tests/CMakeFiles/test_sparse.dir/sparse/test_relations.cpp.o" "gcc" "tests/CMakeFiles/test_sparse.dir/sparse/test_relations.cpp.o.d"
+  "/root/repo/tests/sparse/test_sell_blockdiag.cpp" "tests/CMakeFiles/test_sparse.dir/sparse/test_sell_blockdiag.cpp.o" "gcc" "tests/CMakeFiles/test_sparse.dir/sparse/test_sell_blockdiag.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sparse/CMakeFiles/kdr_sparse.dir/DependInfo.cmake"
+  "/root/repo/build/src/partition/CMakeFiles/kdr_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/geometry/CMakeFiles/kdr_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/kdr_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

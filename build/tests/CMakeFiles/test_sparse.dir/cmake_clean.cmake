@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sparse.dir/sparse/test_adapters.cpp.o"
+  "CMakeFiles/test_sparse.dir/sparse/test_adapters.cpp.o.d"
+  "CMakeFiles/test_sparse.dir/sparse/test_conversion_matrix.cpp.o"
+  "CMakeFiles/test_sparse.dir/sparse/test_conversion_matrix.cpp.o.d"
+  "CMakeFiles/test_sparse.dir/sparse/test_formats.cpp.o"
+  "CMakeFiles/test_sparse.dir/sparse/test_formats.cpp.o.d"
+  "CMakeFiles/test_sparse.dir/sparse/test_matrix_market.cpp.o"
+  "CMakeFiles/test_sparse.dir/sparse/test_matrix_market.cpp.o.d"
+  "CMakeFiles/test_sparse.dir/sparse/test_projection_formats.cpp.o"
+  "CMakeFiles/test_sparse.dir/sparse/test_projection_formats.cpp.o.d"
+  "CMakeFiles/test_sparse.dir/sparse/test_relations.cpp.o"
+  "CMakeFiles/test_sparse.dir/sparse/test_relations.cpp.o.d"
+  "CMakeFiles/test_sparse.dir/sparse/test_sell_blockdiag.cpp.o"
+  "CMakeFiles/test_sparse.dir/sparse/test_sell_blockdiag.cpp.o.d"
+  "test_sparse"
+  "test_sparse.pdb"
+  "test_sparse[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sparse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
