@@ -134,6 +134,7 @@ Fig10Run run(bool dynamic_balancing, int nodes, gidx nx, gidx ny, int iters, dou
     const double beta = beta_arg > 0.0 ? beta_arg : 0.1 / t0_ref;
 
     core::ThermodynamicBalancer balancer(beta, t0_ref, seed ^ 0xB411A9CEULL);
+    balancer.set_metrics(&runtime.metrics());
     Rng background(seed);
     std::vector<double> busy_prev(static_cast<std::size_t>(nodes));
     for (int n = 0; n < nodes; ++n)

@@ -12,13 +12,18 @@
 /// run (see EXPERIMENTS.md).
 ///
 /// Usage: bench_fig8_stencil [-nodes 16] [-minlog 18] [-maxlog 28]
-///                           [-steplog 2] [-it 50]
+///                           [-steplog 2] [-it 50] [-report]
+///
+/// -report additionally prints a structured solve report (per-task-kind
+/// virtual time, node utilization, transfer matrix, phase totals) for the
+/// largest size of every kind/solver cell.
 
 #include <iostream>
 #include <map>
 
 #include "baselines/ksp.hpp"
 #include "harness.hpp"
+#include "obs/report.hpp"
 #include "support/cli.hpp"
 #include "support/stats.hpp"
 
@@ -30,12 +35,17 @@ using namespace kdr;
 // artifact's jsrun line enables no tracing); bench_ablation_tracing measures
 // what tracing would buy.
 double run_legion(const stencil::Spec& spec, const sim::MachineDesc& machine,
-                  const std::string& solver_name, int timed, bool trace) {
+                  const std::string& solver_name, int timed, bool trace,
+                  obs::SolveReport* report_out = nullptr) {
     bench::LegionStencilSystem sys = bench::make_legion_stencil(
         spec, machine, static_cast<Color>(machine.total_gpus()));
+    if (report_out != nullptr) sys.runtime->set_profiling(true);
     auto solver = bench::make_solver(solver_name, *sys.planner);
-    return bench::measure_per_iteration(*sys.runtime, *solver, 20, timed, trace,
-                                        bench::trace_period(solver_name));
+    const double per_it = bench::measure_per_iteration(*sys.runtime, *solver, 20, timed,
+                                                       trace,
+                                                       bench::trace_period(solver_name));
+    if (report_out != nullptr) *report_out = sys.runtime->build_solve_report();
+    return per_it;
 }
 
 double run_baseline(const stencil::Spec& spec, const sim::MachineDesc& machine,
@@ -63,6 +73,7 @@ int main(int argc, char** argv) {
     const int steplog = static_cast<int>(args.get_int("steplog", 2));
     const int timed = static_cast<int>(args.get_int("it", 50));
     const bool trace = args.get_flag("trace");
+    const bool want_report = args.get_flag("report");
 
     const sim::MachineDesc machine = sim::MachineDesc::lassen(nodes);
     std::cout << "=== Figure 8: time/iteration vs problem size ===\n"
@@ -91,9 +102,13 @@ int main(int argc, char** argv) {
                                  : std::vector<std::string>{"unknowns", "legion us/it",
                                                             "trilinos us/it", "vs trilinos"});
             std::vector<double> legion_hist, petsc_hist, trilinos_hist;
+            kdr::obs::SolveReport cell_report;
             for (int lg = minlog; lg <= maxlog; lg += steplog) {
                 const stencil::Spec spec = stencil::Spec::cube(kind, gidx{1} << lg);
-                const double legion = run_legion(spec, machine, solver, timed, trace);
+                const bool largest = lg + steplog > maxlog;
+                const double legion =
+                    run_legion(spec, machine, solver, timed, trace,
+                               want_report && largest ? &cell_report : nullptr);
                 const double trilinos =
                     run_baseline(spec, machine, baselines::Profile::trilinos(), solver, timed);
                 legion_hist.push_back(legion);
@@ -116,6 +131,11 @@ int main(int argc, char** argv) {
             }
             table.print(std::cout);
             std::cout << "\n";
+            if (want_report) {
+                std::cout << "solve report, largest size:\n";
+                cell_report.print(std::cout);
+                std::cout << "\n";
+            }
             // Three largest sizes feed the headline geomean.
             const std::size_t n = legion_hist.size();
             for (std::size_t i = n >= 3 ? n - 3 : 0; i < n; ++i) {

@@ -77,6 +77,7 @@ int main(int argc, char** argv) {
     for (int k = 0; k < 5; ++k) cg.step();
     const double t_ref = (runtime.current_time() - t0) / 5.0;
     core::ThermodynamicBalancer balancer(0.3 / t_ref, t_ref, 99);
+    balancer.set_metrics(&runtime.metrics());
 
     std::cout << "window | per-node occupancy | ms/iter | tiles per node\n";
     Rng load(7);

@@ -8,10 +8,19 @@
 ///   4. construct a solver from the planner and step it to tolerance.
 ///
 /// Usage: quickstart [-n 64] [-pieces 8] [-tol 1e-8]
+///                   [-report] [-report_json report.json] [-trace trace.json]
+///
+/// -report prints the structured solve report (per-task-kind virtual time,
+/// node utilization, transfer matrix, phase totals, convergence history);
+/// -report_json writes the same report as JSON; -trace exports a Chrome
+/// trace (chrome://tracing) with per-processor task rows and a solver-phase
+/// span track.
 
 #include <iostream>
 
+#include "core/monitor.hpp"
 #include "core/solvers.hpp"
+#include "runtime/trace_export.hpp"
 #include "stencil/stencil.hpp"
 #include "support/cli.hpp"
 
@@ -21,10 +30,14 @@ int main(int argc, char** argv) {
     const gidx n_side = args.get_int("n", 64);
     const Color pieces = args.get_int("pieces", 8);
     const double tol = args.get_double("tol", 1e-8);
+    const bool want_report = args.get_flag("report");
+    const std::string report_json = args.get_string("report_json", "");
+    const std::string trace_path = args.get_string("trace", "");
 
     // The simulated machine the virtual-time schedule runs on; the numerics
     // are computed for real on the host either way.
     rt::Runtime runtime(sim::MachineDesc::lassen(2));
+    runtime.set_profiling(want_report || !report_json.empty() || !trace_path.empty());
 
     // Problem: Δu = f on an n x n grid, 5-point stencil, SPD.
     stencil::Spec spec;
@@ -54,8 +67,10 @@ int main(int argc, char** argv) {
     planner.add_operator(
         std::make_shared<CsrMatrix<double>>(stencil::laplacian_csr(spec, D, R)), 0, 0);
 
-    // Solve (paper Fig 7's CG behind the drop-in Solver interface).
-    core::CgSolver<double> cg(planner);
+    // Solve (paper Fig 7's CG behind the drop-in Solver interface). The
+    // monitor records the residual history the solve report embeds.
+    core::CgSolver<double> inner(planner);
+    core::SolverMonitor<double> cg(inner);
     int iters = 0;
     std::cout << "iter   residual\n";
     while (cg.get_convergence_measure().value > tol && iters < 10 * n) {
@@ -70,6 +85,20 @@ int main(int argc, char** argv) {
               << "virtual time on the simulated cluster: "
               << runtime.current_time() * 1e3 << " ms, " << runtime.tasks_launched()
               << " tasks\n";
+
+    if (want_report || !report_json.empty()) {
+        const obs::SolveReport report = runtime.build_solve_report(cg.report_samples());
+        if (want_report) report.print(std::cout);
+        if (!report_json.empty()) {
+            obs::write_solve_report(report_json, report);
+            std::cout << "solve report written to " << report_json << "\n";
+        }
+    }
+    if (!trace_path.empty()) {
+        rt::write_chrome_trace(trace_path, runtime.take_profiles(),
+                               runtime.spans().completed());
+        std::cout << "chrome trace written to " << trace_path << "\n";
+    }
 
     // Spot-check the solution against the matrix directly.
     const auto A = stencil::laplacian_csr(spec, D, R);

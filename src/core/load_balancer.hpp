@@ -18,6 +18,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/registry.hpp"
 #include "runtime/mapper.hpp"
 #include "runtime/runtime.hpp"
 #include "support/rng.hpp"
@@ -87,15 +88,26 @@ public:
                 ++moved;
             }
         }
+        if (metrics_ != nullptr) {
+            metrics_->counter("rebalance_rounds").inc();
+            metrics_->counter("rebalance_migrations").add(static_cast<double>(moved));
+        }
         return moved;
     }
 
     [[nodiscard]] double reference_time() const noexcept { return t0_; }
 
+    /// Report rebalance rounds and tile migrations into `registry` (counters
+    /// `rebalance_rounds` / `rebalance_migrations`); pass the runtime's
+    /// metrics() so balancer activity lands in the same solve report.
+    /// nullptr disables reporting.
+    void set_metrics(obs::Registry* registry) noexcept { metrics_ = registry; }
+
 private:
     double beta_;
     double t0_;
     Rng rng_;
+    obs::Registry* metrics_ = nullptr;
 };
 
 } // namespace kdr::core

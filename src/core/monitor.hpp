@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "core/solvers.hpp"
+#include "obs/report.hpp"
 
 namespace kdr::core {
 
@@ -41,9 +42,12 @@ public:
     [[nodiscard]] const std::vector<Sample>& history() const noexcept { return history_; }
 
     /// Iterations needed to reduce the initial residual by `factor` (or -1).
+    /// A zero initial residual means the system started converged: every
+    /// reduction target is met at iteration 0.
     [[nodiscard]] int iterations_to_reduction(double factor) const {
         KDR_REQUIRE(factor > 0.0 && factor < 1.0,
                     "iterations_to_reduction: factor must be in (0,1)");
+        if (history_.front().residual == 0.0) return 0;
         const double target = history_.front().residual * factor;
         for (const Sample& s : history_) {
             if (s.residual <= target) return s.iteration;
@@ -52,14 +56,26 @@ public:
     }
 
     /// Average convergence rate: geometric mean of per-iteration residual
-    /// ratios over the recorded history.
+    /// ratios over the recorded history. 0 for an already-converged start
+    /// (zero initial residual — there is no decay to measure).
     [[nodiscard]] double average_convergence_rate() const {
-        KDR_REQUIRE(history_.size() >= 2, "average_convergence_rate: need >= 2 samples");
         const double first = history_.front().residual;
+        if (first == 0.0) return 0.0;
+        KDR_REQUIRE(history_.size() >= 2, "average_convergence_rate: need >= 2 samples");
         const double last = history_.back().residual;
-        KDR_REQUIRE(first > 0.0, "average_convergence_rate: zero initial residual");
         return std::pow(last / first,
                         1.0 / static_cast<double>(history_.size() - 1));
+    }
+
+    /// History converted to solve-report samples
+    /// (for rt::Runtime::build_solve_report).
+    [[nodiscard]] std::vector<obs::ConvergenceSample> report_samples() const {
+        std::vector<obs::ConvergenceSample> out;
+        out.reserve(history_.size());
+        for (const Sample& s : history_) {
+            out.push_back({s.iteration, s.residual, s.virtual_time});
+        }
+        return out;
     }
 
     /// Print "iter residual virtual_ms" rows.

@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "core/scalar.hpp"
+#include "obs/span.hpp"
 #include "partition/projection.hpp"
 #include "runtime/runtime.hpp"
 #include "sparse/linear_operator.hpp"
@@ -187,6 +188,7 @@ public:
 
     /// dst ← src
     void copy(VecId dst, VecId src) {
+        const obs::Span span = phase_span("copy");
         elementwise("copy", dst, {}, src,
                     [](T* d, const T* s, double) { *d = *s; },
                     /*dst_reads=*/false, sim::KernelCosts::copy(1));
@@ -194,6 +196,7 @@ public:
 
     /// dst ← α · dst
     void scal(VecId dst, const Scalar& alpha) {
+        const obs::Span span = phase_span("scal");
         elementwise("scal", dst, alpha, dst,
                     [](T* d, const T*, double a) { *d *= static_cast<T>(a); },
                     /*dst_reads=*/true, sim::KernelCosts::scal(1), /*unary=*/true);
@@ -201,6 +204,7 @@ public:
 
     /// dst ← dst + α · src
     void axpy(VecId dst, const Scalar& alpha, VecId src) {
+        const obs::Span span = phase_span("axpy");
         elementwise("axpy", dst, alpha, src,
                     [](T* d, const T* s, double a) { *d += static_cast<T>(a) * *s; },
                     /*dst_reads=*/true, sim::KernelCosts::axpy(1));
@@ -208,6 +212,7 @@ public:
 
     /// dst ← src + α · dst
     void xpay(VecId dst, const Scalar& alpha, VecId src) {
+        const obs::Span span = phase_span("xpay");
         elementwise("xpay", dst, alpha, src,
                     [](T* d, const T* s, double a) { *d = *s + static_cast<T>(a) * *d; },
                     /*dst_reads=*/true, sim::KernelCosts::axpy(1));
@@ -215,12 +220,14 @@ public:
 
     /// dst ← 0
     void zero(VecId dst) {
+        const obs::Span span = phase_span("zero");
         elementwise("zero", dst, {}, dst, [](T* d, const T*, double) { *d = T{}; },
                     /*dst_reads=*/false, sim::TaskCost{0.0, 8.0}, /*unary=*/true);
     }
 
     /// return v · w (scalar future; tree-reduction latency modeled)
     [[nodiscard]] Scalar dot(VecId v, VecId w) {
+        const obs::Span span = phase_span("dot");
         const VecDesc& dv = vec(v);
         const VecDesc& dw = vec(w);
         check_compatible(dv, dw, "dot");
@@ -276,12 +283,16 @@ public:
 
     /// dst ← A_total(src): eq. (8) — zero dst, then one multiply-add task per
     /// (operator, piece) reducing into the output component.
-    void matmul(VecId dst, VecId src) { apply_slots(operators_, dst, src); }
+    void matmul(VecId dst, VecId src) {
+        const obs::Span span = phase_span("spmv");
+        apply_slots(operators_, dst, src);
+    }
 
     /// dst ← P_total(src) (paper Fig 6). Falls back to a matrix-free
     /// callback when one was installed.
     void psolve(VecId dst, VecId src) {
         KDR_REQUIRE(has_preconditioner(), "psolve: no preconditioner registered");
+        const obs::Span span = phase_span("psolve");
         if (matrix_free_psolve_) {
             matrix_free_psolve_(dst, src);
             return;
@@ -292,6 +303,7 @@ public:
     /// dst ← A_totalᵀ(src) — adjoint multiply (BiCG). Requires functional
     /// operators (transpose plans derive from the col relation lazily).
     void matmul_transpose(VecId dst, VecId src) {
+        const obs::Span span = phase_span("spmvT");
         const VecDesc& dv = vec(dst);
         const VecDesc& sv = vec(src);
         if (dv.kind != VecKind::SOL || sv.kind != VecKind::RHS) {
@@ -387,6 +399,13 @@ private:
         VecKind kind = VecKind::SOL;
         std::vector<rt::FieldId> fields; // parallel to components(kind)
     };
+
+    /// Open a solver-phase span on the runtime's tracker and count the op in
+    /// its metrics registry (metric "planner_ops", label op=<name>).
+    [[nodiscard]] obs::Span phase_span(const char* name) {
+        rt_.metrics().counter("planner_ops", {{"op", name}}).inc();
+        return {rt_.spans(), name};
+    }
 
     struct OperatorSlot {
         std::shared_ptr<const LinearOperator<T>> op; // null in timing mode

@@ -19,6 +19,7 @@
 
 #include "core/planner.hpp"
 #include "core/scalar.hpp"
+#include "obs/span.hpp"
 #include "support/error.hpp"
 
 namespace kdr::core {
@@ -67,6 +68,7 @@ class CgSolver final : public Solver<T> {
 public:
     explicit CgSolver(Planner<T>& planner) : planner_(planner) {
         KDR_REQUIRE(planner_.is_square(), "CG requires a square system");
+        const obs::Span span(planner_.runtime().spans(), "setup");
         p_ = planner_.allocate_workspace_vector();
         q_ = planner_.allocate_workspace_vector();
         r_ = planner_.allocate_workspace_vector();
@@ -108,6 +110,7 @@ public:
     explicit PcgSolver(Planner<T>& planner) : planner_(planner) {
         KDR_REQUIRE(planner_.is_square(), "PCG requires a square system");
         KDR_REQUIRE(planner_.has_preconditioner(), "PCG requires a preconditioner");
+        const obs::Span span(planner_.runtime().spans(), "setup");
         p_ = planner_.allocate_workspace_vector();
         q_ = planner_.allocate_workspace_vector();
         r_ = planner_.allocate_workspace_vector();
@@ -152,6 +155,7 @@ class BiCgSolver final : public Solver<T> {
 public:
     explicit BiCgSolver(Planner<T>& planner) : planner_(planner) {
         KDR_REQUIRE(planner_.is_square(), "BiCG requires a square system");
+        const obs::Span span(planner_.runtime().spans(), "setup");
         r_ = planner_.allocate_workspace_vector();
         rt_ = planner_.allocate_workspace_vector();
         p_ = planner_.allocate_workspace_vector();
@@ -201,6 +205,7 @@ class BiCgStabSolver final : public Solver<T> {
 public:
     explicit BiCgStabSolver(Planner<T>& planner) : planner_(planner) {
         KDR_REQUIRE(planner_.is_square(), "BiCGStab requires a square system");
+        const obs::Span span(planner_.runtime().spans(), "setup");
         r_ = planner_.allocate_workspace_vector();
         rhat_ = planner_.allocate_workspace_vector();
         p_ = planner_.allocate_workspace_vector();
@@ -263,6 +268,7 @@ public:
         : planner_(planner), m_(restart) {
         KDR_REQUIRE(planner_.is_square(), "GMRES requires a square system");
         KDR_REQUIRE(m_ >= 1, "GMRES restart length must be >= 1");
+        const obs::Span span(planner_.runtime().spans(), "setup");
         for (int i = 0; i <= m_; ++i) v_.push_back(planner_.allocate_workspace_vector());
         w_ = planner_.allocate_workspace_vector();
         h_.assign(static_cast<std::size_t>(m_ + 1) * static_cast<std::size_t>(m_), {});
@@ -301,6 +307,7 @@ public:
         res_norm_ = Scalar{std::abs(g_[j + 1].value), g_[j + 1].ready_time};
         ++j_;
         if (j_ == m_) {
+            const obs::Span restart(planner_.runtime().spans(), "restart");
             update_solution(m_);
             begin_cycle();
         }
@@ -312,6 +319,7 @@ public:
     /// Apply the current cycle's partial correction (stop mid-cycle).
     void finalize() override {
         if (j_ > 0) {
+            const obs::Span restart(planner_.runtime().spans(), "restart");
             update_solution(j_);
             begin_cycle();
         }
@@ -373,6 +381,7 @@ class MinresSolver final : public Solver<T> {
 public:
     explicit MinresSolver(Planner<T>& planner) : planner_(planner) {
         KDR_REQUIRE(planner_.is_square(), "MINRES requires a square system");
+        const obs::Span span(planner_.runtime().spans(), "setup");
         v_prev_ = planner_.allocate_workspace_vector();
         v_ = planner_.allocate_workspace_vector();
         v_next_ = planner_.allocate_workspace_vector();

@@ -27,6 +27,12 @@
 #include "sparse/matrix_market.hpp"
 #include "sparse/sell.hpp"
 
+// Observability: metrics registry, solver-phase spans, solve reports.
+#include "obs/json.hpp"
+#include "obs/registry.hpp"
+#include "obs/report.hpp"
+#include "obs/span.hpp"
+
 // Simulated machine and task runtime.
 #include "runtime/mapper.hpp"
 #include "runtime/runtime.hpp"

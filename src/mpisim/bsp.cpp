@@ -11,6 +11,10 @@ BspWorld::BspWorld(sim::SimCluster& cluster, sim::ProcKind kind)
     const sim::MachineDesc& m = cluster.machine();
     nranks_ = kind == sim::ProcKind::GPU ? m.total_gpus() : m.nodes;
     KDR_REQUIRE(nranks_ > 0, "BspWorld: machine has no processors of the requested kind");
+    compute_phase_ctr_ = &metrics_.counter("bsp_compute_phases");
+    exchange_msg_ctr_ = &metrics_.counter("bsp_exchange_messages");
+    exchange_bytes_ctr_ = &metrics_.counter("bsp_exchange_bytes");
+    collective_ctr_ = &metrics_.counter("bsp_collectives");
 }
 
 sim::ProcId BspWorld::proc_of(int rank) const {
@@ -27,6 +31,7 @@ double BspWorld::compute_at(double start, const std::vector<sim::TaskCost>& per_
                             double per_rank_overhead) {
     KDR_REQUIRE(static_cast<int>(per_rank.size()) == nranks_, "BspWorld: got ",
                 per_rank.size(), " costs for ", nranks_, " ranks");
+    compute_phase_ctr_->inc();
     double finish = start;
     for (int r = 0; r < nranks_; ++r) {
         finish = std::max(finish, cluster_.exec(proc_of(r), start,
@@ -49,16 +54,20 @@ double BspWorld::exchange_at(double start, const std::vector<Message>& msgs) {
         const int dst = node_of(m.dst_rank);
         arrival = std::max(arrival, cluster_.transfer(src, dst, start, m.bytes));
         comm_bytes_ += m.bytes;
+        exchange_msg_ctr_->inc();
+        exchange_bytes_ctr_->add(m.bytes);
     }
     return arrival;
 }
 
 double BspWorld::allreduce_at(double start) const {
+    collective_ctr_->inc();
     const double hops = std::ceil(std::log2(std::max(2, nranks_)));
     return start + 2.0 * hops * cluster_.machine().collective_hop_latency;
 }
 
 double BspWorld::barrier_at(double start) const {
+    collective_ctr_->inc();
     const double hops = std::ceil(std::log2(std::max(2, nranks_)));
     return start + hops * cluster_.machine().collective_hop_latency;
 }

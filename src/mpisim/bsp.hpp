@@ -18,6 +18,7 @@
 #include <cmath>
 #include <vector>
 
+#include "obs/registry.hpp"
 #include "simcluster/cluster.hpp"
 
 namespace kdr::bsp {
@@ -40,6 +41,12 @@ public:
     [[nodiscard]] double now() const noexcept { return now_; }
     [[nodiscard]] sim::SimCluster& cluster() noexcept { return cluster_; }
     [[nodiscard]] double comm_bytes() const noexcept { return comm_bytes_; }
+
+    /// Aggregate telemetry of the BSP substrate: counters
+    /// `bsp_compute_phases`, `bsp_exchange_messages`, `bsp_exchange_bytes`,
+    /// and `bsp_collectives`.
+    [[nodiscard]] obs::Registry& metrics() noexcept { return metrics_; }
+    [[nodiscard]] const obs::Registry& metrics() const noexcept { return metrics_; }
 
     // ------------- explicit primitives (no clock advance) -------------
     /// Run `cost[r]` on every rank starting at `start`; returns slowest finish.
@@ -68,6 +75,14 @@ private:
     int nranks_;
     double now_ = 0.0;
     double comm_bytes_ = 0.0;
+
+    // Counter handles cached at construction; non-const pointees so const
+    // query primitives (allreduce_at) can still count through them.
+    obs::Registry metrics_;
+    obs::Counter* compute_phase_ctr_ = nullptr;
+    obs::Counter* exchange_msg_ctr_ = nullptr;
+    obs::Counter* exchange_bytes_ctr_ = nullptr;
+    obs::Counter* collective_ctr_ = nullptr;
 };
 
 } // namespace kdr::bsp

@@ -1,0 +1,319 @@
+#include "obs/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "support/error.hpp"
+
+namespace kdr::obs::json {
+
+bool Value::as_bool() const {
+    KDR_REQUIRE(is_bool(), "json: value is not a bool");
+    return bool_;
+}
+
+double Value::as_number() const {
+    KDR_REQUIRE(is_number(), "json: value is not a number");
+    return num_;
+}
+
+const std::string& Value::as_string() const {
+    KDR_REQUIRE(is_string(), "json: value is not a string");
+    return str_;
+}
+
+const Value::Array& Value::as_array() const {
+    KDR_REQUIRE(is_array(), "json: value is not an array");
+    return arr_;
+}
+
+const Value::Object& Value::as_object() const {
+    KDR_REQUIRE(is_object(), "json: value is not an object");
+    return obj_;
+}
+
+const Value& Value::operator[](const std::string& key) const {
+    KDR_REQUIRE(is_object(), "json: member '", key, "' requested from a non-object");
+    auto it = obj_.find(key);
+    KDR_REQUIRE(it != obj_.end(), "json: missing member '", key, "'");
+    return it->second;
+}
+
+const Value& Value::at(std::size_t i) const {
+    KDR_REQUIRE(is_array(), "json: element ", i, " requested from a non-array");
+    KDR_REQUIRE(i < arr_.size(), "json: element ", i, " out of range [0,", arr_.size(), ")");
+    return arr_[i];
+}
+
+bool Value::has(const std::string& key) const {
+    return is_object() && obj_.count(key) != 0;
+}
+
+std::size_t Value::size() const {
+    if (is_array()) return arr_.size();
+    if (is_object()) return obj_.size();
+    return 0;
+}
+
+Value::Array& Value::array() {
+    if (is_null()) type_ = Type::Array;
+    KDR_REQUIRE(is_array(), "json: array() on a non-array value");
+    return arr_;
+}
+
+Value::Object& Value::object() {
+    if (is_null()) type_ = Type::Object;
+    KDR_REQUIRE(is_object(), "json: object() on a non-object value");
+    return obj_;
+}
+
+std::string escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\n': out += "\\n"; break;
+            case '\r': out += "\\r"; break;
+            case '\t': out += "\\t"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                    out += buf;
+                } else {
+                    out += c;
+                }
+        }
+    }
+    return out;
+}
+
+namespace {
+
+void format_number(std::string& out, double v) {
+    KDR_REQUIRE(std::isfinite(v), "json: cannot serialize non-finite number");
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    out += buf;
+}
+
+void dump_value(std::string& out, const Value& v) {
+    switch (v.type()) {
+        case Value::Type::Null: out += "null"; break;
+        case Value::Type::Bool: out += v.as_bool() ? "true" : "false"; break;
+        case Value::Type::Number: format_number(out, v.as_number()); break;
+        case Value::Type::String:
+            out += '"';
+            out += escape(v.as_string());
+            out += '"';
+            break;
+        case Value::Type::Array: {
+            out += '[';
+            bool first = true;
+            for (const Value& e : v.as_array()) {
+                if (!first) out += ',';
+                first = false;
+                dump_value(out, e);
+            }
+            out += ']';
+            break;
+        }
+        case Value::Type::Object: {
+            out += '{';
+            bool first = true;
+            for (const auto& [k, e] : v.as_object()) {
+                if (!first) out += ',';
+                first = false;
+                out += '"';
+                out += escape(k);
+                out += "\":";
+                dump_value(out, e);
+            }
+            out += '}';
+            break;
+        }
+    }
+}
+
+class Parser {
+public:
+    explicit Parser(std::string_view text) : text_(text) {}
+
+    Value run() {
+        Value v = parse_value();
+        skip_ws();
+        KDR_REQUIRE(pos_ == text_.size(), "json: trailing characters at offset ", pos_);
+        return v;
+    }
+
+private:
+    void skip_ws() {
+        while (pos_ < text_.size()) {
+            const char c = text_[pos_];
+            if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+            ++pos_;
+        }
+    }
+
+    [[nodiscard]] char peek() {
+        skip_ws();
+        KDR_REQUIRE(pos_ < text_.size(), "json: unexpected end of input");
+        return text_[pos_];
+    }
+
+    void expect(char c) {
+        KDR_REQUIRE(peek() == c, "json: expected '", c, "' at offset ", pos_, ", got '",
+                    text_[pos_], "'");
+        ++pos_;
+    }
+
+    bool consume_literal(std::string_view lit) {
+        if (text_.substr(pos_, lit.size()) != lit) return false;
+        pos_ += lit.size();
+        return true;
+    }
+
+    Value parse_value() {
+        const char c = peek();
+        switch (c) {
+            case '{': return parse_object();
+            case '[': return parse_array();
+            case '"': return Value(parse_string());
+            case 't':
+                KDR_REQUIRE(consume_literal("true"), "json: bad literal at offset ", pos_);
+                return Value(true);
+            case 'f':
+                KDR_REQUIRE(consume_literal("false"), "json: bad literal at offset ", pos_);
+                return Value(false);
+            case 'n':
+                KDR_REQUIRE(consume_literal("null"), "json: bad literal at offset ", pos_);
+                return Value();
+            default: return parse_number();
+        }
+    }
+
+    Value parse_object() {
+        expect('{');
+        Value::Object obj;
+        if (peek() == '}') {
+            ++pos_;
+            return Value(std::move(obj));
+        }
+        while (true) {
+            std::string key = parse_string();
+            expect(':');
+            obj.emplace(std::move(key), parse_value());
+            const char c = peek();
+            ++pos_;
+            if (c == '}') break;
+            KDR_REQUIRE(c == ',', "json: expected ',' or '}' at offset ", pos_ - 1);
+        }
+        return Value(std::move(obj));
+    }
+
+    Value parse_array() {
+        expect('[');
+        Value::Array arr;
+        if (peek() == ']') {
+            ++pos_;
+            return Value(std::move(arr));
+        }
+        while (true) {
+            arr.push_back(parse_value());
+            const char c = peek();
+            ++pos_;
+            if (c == ']') break;
+            KDR_REQUIRE(c == ',', "json: expected ',' or ']' at offset ", pos_ - 1);
+        }
+        return Value(std::move(arr));
+    }
+
+    std::string parse_string() {
+        expect('"');
+        std::string out;
+        while (true) {
+            KDR_REQUIRE(pos_ < text_.size(), "json: unterminated string");
+            const char c = text_[pos_++];
+            if (c == '"') break;
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            KDR_REQUIRE(pos_ < text_.size(), "json: unterminated escape");
+            const char e = text_[pos_++];
+            switch (e) {
+                case '"': out += '"'; break;
+                case '\\': out += '\\'; break;
+                case '/': out += '/'; break;
+                case 'n': out += '\n'; break;
+                case 'r': out += '\r'; break;
+                case 't': out += '\t'; break;
+                case 'b': out += '\b'; break;
+                case 'f': out += '\f'; break;
+                case 'u': {
+                    KDR_REQUIRE(pos_ + 4 <= text_.size(), "json: truncated \\u escape");
+                    unsigned code = 0;
+                    for (int i = 0; i < 4; ++i) {
+                        const char h = text_[pos_++];
+                        code <<= 4;
+                        if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+                        else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+                        else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+                        else KDR_REQUIRE(false, "json: bad hex digit in \\u escape");
+                    }
+                    // The observability layer only emits ASCII control escapes;
+                    // reject surrogate pairs rather than mis-decode them.
+                    KDR_REQUIRE(code < 0x80, "json: non-ASCII \\u escape unsupported");
+                    out += static_cast<char>(code);
+                    break;
+                }
+                default: KDR_REQUIRE(false, "json: bad escape '\\", e, "'");
+            }
+        }
+        return out;
+    }
+
+    Value parse_number() {
+        const std::size_t start = pos_;
+        // Build a bounded, NUL-terminated copy for strtod.
+        std::string buf;
+        auto take = [&](auto pred) {
+            while (pos_ < text_.size() && pred(text_[pos_])) buf += text_[pos_++];
+        };
+        if (pos_ < text_.size() && text_[pos_] == '-') buf += text_[pos_++];
+        take([](char c) { return c >= '0' && c <= '9'; });
+        if (pos_ < text_.size() && text_[pos_] == '.') {
+            buf += text_[pos_++];
+            take([](char c) { return c >= '0' && c <= '9'; });
+        }
+        if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+            buf += text_[pos_++];
+            if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-'))
+                buf += text_[pos_++];
+            take([](char c) { return c >= '0' && c <= '9'; });
+        }
+        char* end = nullptr;
+        const double v = std::strtod(buf.c_str(), &end);
+        KDR_REQUIRE(!buf.empty() && end == buf.c_str() + buf.size(),
+                    "json: malformed number at offset ", start);
+        return Value(v);
+    }
+
+    std::string_view text_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+std::string Value::dump() const {
+    std::string out;
+    dump_value(out, *this);
+    return out;
+}
+
+Value Value::parse(std::string_view text) { return Parser(text).run(); }
+
+} // namespace kdr::obs::json

@@ -1,0 +1,75 @@
+#pragma once
+
+/// \file json.hpp
+/// Minimal JSON document model used by the observability layer: parse,
+/// build, and serialize. Exists so solve reports and metric dumps round-trip
+/// without an external dependency; not a general-purpose JSON library
+/// (numbers are doubles, objects are lexicographically ordered).
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace kdr::obs::json {
+
+class Value {
+public:
+    enum class Type : std::uint8_t { Null, Bool, Number, String, Array, Object };
+    using Array = std::vector<Value>;
+    using Object = std::map<std::string, Value>;
+
+    Value() = default;
+    Value(bool b) : type_(Type::Bool), bool_(b) {}
+    Value(double d) : type_(Type::Number), num_(d) {}
+    Value(std::string s) : type_(Type::String), str_(std::move(s)) {}
+    Value(const char* s) : type_(Type::String), str_(s) {}
+    Value(Array a) : type_(Type::Array), arr_(std::move(a)) {}
+    Value(Object o) : type_(Type::Object), obj_(std::move(o)) {}
+
+    [[nodiscard]] Type type() const noexcept { return type_; }
+    [[nodiscard]] bool is_null() const noexcept { return type_ == Type::Null; }
+    [[nodiscard]] bool is_bool() const noexcept { return type_ == Type::Bool; }
+    [[nodiscard]] bool is_number() const noexcept { return type_ == Type::Number; }
+    [[nodiscard]] bool is_string() const noexcept { return type_ == Type::String; }
+    [[nodiscard]] bool is_array() const noexcept { return type_ == Type::Array; }
+    [[nodiscard]] bool is_object() const noexcept { return type_ == Type::Object; }
+
+    [[nodiscard]] bool as_bool() const;
+    [[nodiscard]] double as_number() const;
+    [[nodiscard]] const std::string& as_string() const;
+    [[nodiscard]] const Array& as_array() const;
+    [[nodiscard]] const Object& as_object() const;
+
+    /// Object member access; requires an object holding `key`.
+    [[nodiscard]] const Value& operator[](const std::string& key) const;
+    /// Array element access; requires an array with `i` in range.
+    [[nodiscard]] const Value& at(std::size_t i) const;
+    [[nodiscard]] bool has(const std::string& key) const;
+    [[nodiscard]] std::size_t size() const;
+
+    /// Mutable builders (switch the value to the requested type if null).
+    Array& array();
+    Object& object();
+
+    /// Serialize; doubles use enough digits to round-trip exactly.
+    [[nodiscard]] std::string dump() const;
+
+    /// Parse a complete document (throws kdr::Error on malformed input or
+    /// trailing garbage).
+    [[nodiscard]] static Value parse(std::string_view text);
+
+private:
+    Type type_ = Type::Null;
+    bool bool_ = false;
+    double num_ = 0.0;
+    std::string str_;
+    Array arr_;
+    Object obj_;
+};
+
+/// Escape a string for embedding in a JSON document (without quotes).
+[[nodiscard]] std::string escape(const std::string& s);
+
+} // namespace kdr::obs::json

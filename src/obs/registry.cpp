@@ -1,0 +1,191 @@
+#include "obs/registry.hpp"
+
+#include <algorithm>
+
+#include "obs/json.hpp"
+
+namespace kdr::obs {
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+    for (std::size_t i = 1; i < bounds_.size(); ++i) {
+        KDR_REQUIRE(bounds_[i - 1] < bounds_[i],
+                    "Histogram: bounds must be strictly increasing");
+    }
+    counts_.assign(bounds_.size() + 1, 0);
+}
+
+void Histogram::observe(double v) {
+    const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+    ++counts_[static_cast<std::size_t>(it - bounds_.begin())];
+    sum_ += v;
+    ++count_;
+}
+
+std::vector<double> Histogram::exponential_bounds(double start, double factor, int count) {
+    KDR_REQUIRE(start > 0.0 && factor > 1.0 && count >= 1,
+                "Histogram::exponential_bounds: need start > 0, factor > 1, count >= 1");
+    std::vector<double> bounds;
+    bounds.reserve(static_cast<std::size_t>(count));
+    double b = start;
+    for (int i = 0; i < count; ++i) {
+        bounds.push_back(b);
+        b *= factor;
+    }
+    return bounds;
+}
+
+namespace {
+
+/// Canonical key: name + labels sorted by key ("name{a=1,b=2}").
+std::pair<std::string, MetricId> canonicalize(const std::string& name, const Labels& labels) {
+    MetricId id{name, labels};
+    std::sort(id.labels.begin(), id.labels.end(),
+              [](const Label& a, const Label& b) { return a.key < b.key; });
+    for (std::size_t i = 1; i < id.labels.size(); ++i) {
+        KDR_REQUIRE(id.labels[i - 1].key != id.labels[i].key, "Registry: duplicate label key '",
+                    id.labels[i].key, "' on metric '", name, "'");
+    }
+    std::string key = name;
+    key += '{';
+    for (std::size_t i = 0; i < id.labels.size(); ++i) {
+        if (i > 0) key += ',';
+        key += id.labels[i].key;
+        key += '=';
+        key += id.labels[i].value;
+    }
+    key += '}';
+    return {std::move(key), std::move(id)};
+}
+
+json::Value labels_json(const Labels& labels) {
+    json::Value::Object obj;
+    for (const Label& l : labels) obj.emplace(l.key, json::Value(l.value));
+    return json::Value(std::move(obj));
+}
+
+} // namespace
+
+Counter& Registry::counter(const std::string& name, const Labels& labels) {
+    auto [key, id] = canonicalize(name, labels);
+    auto it = counters_.find(key);
+    if (it == counters_.end()) {
+        it = counters_.emplace(std::move(key), Entry<Counter>{std::move(id), Counter{}}).first;
+    }
+    return it->second.metric;
+}
+
+Gauge& Registry::gauge(const std::string& name, const Labels& labels) {
+    auto [key, id] = canonicalize(name, labels);
+    auto it = gauges_.find(key);
+    if (it == gauges_.end()) {
+        it = gauges_.emplace(std::move(key), Entry<Gauge>{std::move(id), Gauge{}}).first;
+    }
+    return it->second.metric;
+}
+
+Histogram& Registry::histogram(const std::string& name, const std::vector<double>& bounds,
+                               const Labels& labels) {
+    auto [key, id] = canonicalize(name, labels);
+    auto it = histograms_.find(key);
+    if (it == histograms_.end()) {
+        it = histograms_
+                 .emplace(std::move(key), Entry<Histogram>{std::move(id), Histogram(bounds)})
+                 .first;
+    } else {
+        KDR_REQUIRE(it->second.metric.bounds() == bounds,
+                    "Registry: histogram '", name, "' re-registered with different bounds");
+    }
+    return it->second.metric;
+}
+
+double Registry::counter_value(const std::string& name, const Labels& labels) const {
+    const auto [key, id] = canonicalize(name, labels);
+    const auto it = counters_.find(key);
+    return it == counters_.end() ? 0.0 : it->second.metric.value();
+}
+
+double Registry::counter_total(const std::string& name) const {
+    double total = 0.0;
+    for (const auto& [key, entry] : counters_) {
+        if (entry.id.name == name) total += entry.metric.value();
+    }
+    return total;
+}
+
+void Registry::for_each_counter(
+    const std::function<void(const MetricId&, const Counter&)>& fn) const {
+    for (const auto& [key, entry] : counters_) fn(entry.id, entry.metric);
+}
+
+void Registry::for_each_gauge(
+    const std::function<void(const MetricId&, const Gauge&)>& fn) const {
+    for (const auto& [key, entry] : gauges_) fn(entry.id, entry.metric);
+}
+
+void Registry::for_each_histogram(
+    const std::function<void(const MetricId&, const Histogram&)>& fn) const {
+    for (const auto& [key, entry] : histograms_) fn(entry.id, entry.metric);
+}
+
+std::string Registry::to_json() const {
+    json::Value doc;
+    auto& root = doc.object();
+
+    json::Value counters;
+    counters.array();
+    for (const auto& [key, entry] : counters_) {
+        json::Value::Object o;
+        o.emplace("name", json::Value(entry.id.name));
+        o.emplace("labels", labels_json(entry.id.labels));
+        o.emplace("value", json::Value(entry.metric.value()));
+        counters.array().emplace_back(std::move(o));
+    }
+    root.emplace("counters", std::move(counters));
+
+    json::Value gauges;
+    gauges.array();
+    for (const auto& [key, entry] : gauges_) {
+        json::Value::Object o;
+        o.emplace("name", json::Value(entry.id.name));
+        o.emplace("labels", labels_json(entry.id.labels));
+        o.emplace("value", json::Value(entry.metric.value()));
+        gauges.array().emplace_back(std::move(o));
+    }
+    root.emplace("gauges", std::move(gauges));
+
+    json::Value histograms;
+    histograms.array();
+    for (const auto& [key, entry] : histograms_) {
+        const Histogram& h = entry.metric;
+        json::Value::Object o;
+        o.emplace("name", json::Value(entry.id.name));
+        o.emplace("labels", labels_json(entry.id.labels));
+        o.emplace("count", json::Value(static_cast<double>(h.count())));
+        o.emplace("sum", json::Value(h.sum()));
+        json::Value buckets;
+        buckets.array();
+        for (std::size_t i = 0; i < h.bucket_counts().size(); ++i) {
+            json::Value::Object b;
+            if (i < h.bounds().size()) {
+                b.emplace("le", json::Value(h.bounds()[i]));
+            } else {
+                b.emplace("le", json::Value("+inf"));
+            }
+            b.emplace("count", json::Value(static_cast<double>(h.bucket_counts()[i])));
+            buckets.array().emplace_back(std::move(b));
+        }
+        o.emplace("buckets", std::move(buckets));
+        histograms.array().emplace_back(std::move(o));
+    }
+    root.emplace("histograms", std::move(histograms));
+
+    return doc.dump();
+}
+
+void Registry::reset() {
+    counters_.clear();
+    gauges_.clear();
+    histograms_.clear();
+}
+
+} // namespace kdr::obs

@@ -1,0 +1,137 @@
+#pragma once
+
+/// \file registry.hpp
+/// The library-wide metrics registry: named counters, gauges, and
+/// fixed-bucket histograms, each optionally qualified by labels (task name,
+/// processor kind, node pair, ...). The Runtime, Planner, load balancer, and
+/// BSP simulator all report into a Registry, giving every layer a common
+/// place to publish what happened — the same role `-log_view` plays in PETSc
+/// and the metrics endpoint plays in a production service.
+///
+/// Identity follows the Prometheus convention: a metric is (name, label
+/// set); label order does not matter (labels are canonicalized by key).
+/// Returned metric references stay valid for the registry's lifetime, so hot
+/// paths look a handle up once and update it thereafter.
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace kdr::obs {
+
+struct Label {
+    std::string key;
+    std::string value;
+};
+using Labels = std::vector<Label>;
+
+/// Monotonically increasing value (counts, accumulated seconds or bytes).
+class Counter {
+public:
+    void add(double v) {
+        KDR_REQUIRE(v >= 0.0, "Counter: negative increment ", v);
+        value_ += v;
+    }
+    void inc() noexcept { value_ += 1.0; }
+    [[nodiscard]] double value() const noexcept { return value_; }
+
+private:
+    double value_ = 0.0;
+};
+
+/// Point-in-time value (queue depths, occupancy, current imbalance).
+class Gauge {
+public:
+    void set(double v) noexcept { value_ = v; }
+    void add(double v) noexcept { value_ += v; }
+    [[nodiscard]] double value() const noexcept { return value_; }
+
+private:
+    double value_ = 0.0;
+};
+
+/// Fixed-bucket histogram: `bounds` are strictly increasing upper bounds; an
+/// implicit +inf bucket catches the overflow. Observation `v` lands in the
+/// first bucket with v <= bound.
+class Histogram {
+public:
+    explicit Histogram(std::vector<double> bounds);
+
+    void observe(double v);
+
+    [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+    [[nodiscard]] double sum() const noexcept { return sum_; }
+    [[nodiscard]] const std::vector<double>& bounds() const noexcept { return bounds_; }
+    /// bounds().size() + 1 entries; the last is the overflow bucket.
+    [[nodiscard]] const std::vector<std::uint64_t>& bucket_counts() const noexcept {
+        return counts_;
+    }
+
+    /// Convenience: `count` geometrically spaced bounds from `start`.
+    [[nodiscard]] static std::vector<double> exponential_bounds(double start, double factor,
+                                                                int count);
+
+private:
+    std::vector<double> bounds_;
+    std::vector<std::uint64_t> counts_;
+    double sum_ = 0.0;
+    std::uint64_t count_ = 0;
+};
+
+/// A metric's identity: name plus canonicalized (key-sorted) labels.
+struct MetricId {
+    std::string name;
+    Labels labels;
+};
+
+class Registry {
+public:
+    Registry() = default;
+    Registry(const Registry&) = delete;
+    Registry& operator=(const Registry&) = delete;
+
+    /// Find-or-create. References remain valid for the registry's lifetime.
+    Counter& counter(const std::string& name, const Labels& labels = {});
+    Gauge& gauge(const std::string& name, const Labels& labels = {});
+    /// `bounds` must match the existing histogram's bounds on re-access.
+    Histogram& histogram(const std::string& name, const std::vector<double>& bounds,
+                         const Labels& labels = {});
+
+    /// Value of one counter (0 if never created) / sum across all label sets.
+    [[nodiscard]] double counter_value(const std::string& name,
+                                       const Labels& labels = {}) const;
+    [[nodiscard]] double counter_total(const std::string& name) const;
+
+    void for_each_counter(
+        const std::function<void(const MetricId&, const Counter&)>& fn) const;
+    void for_each_gauge(const std::function<void(const MetricId&, const Gauge&)>& fn) const;
+    void for_each_histogram(
+        const std::function<void(const MetricId&, const Histogram&)>& fn) const;
+
+    [[nodiscard]] std::size_t metric_count() const noexcept {
+        return counters_.size() + gauges_.size() + histograms_.size();
+    }
+
+    /// Serialize every metric (deterministic order) as a JSON document.
+    [[nodiscard]] std::string to_json() const;
+
+    /// Drop all metrics (new benchmark repetition). Invalidates references.
+    void reset();
+
+private:
+    template <typename M>
+    struct Entry {
+        MetricId id;
+        M metric;
+    };
+
+    std::map<std::string, Entry<Counter>> counters_;
+    std::map<std::string, Entry<Gauge>> gauges_;
+    std::map<std::string, Entry<Histogram>> histograms_;
+};
+
+} // namespace kdr::obs

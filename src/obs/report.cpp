@@ -1,0 +1,185 @@
+#include "obs/report.hpp"
+
+#include <fstream>
+
+#include "obs/json.hpp"
+#include "support/error.hpp"
+#include "support/table.hpp"
+
+namespace kdr::obs {
+
+namespace {
+
+json::Value to_value(const SolveReport& r) {
+    json::Value doc;
+    auto& root = doc.object();
+    root.emplace("makespan_seconds", json::Value(r.makespan));
+    root.emplace("tasks_launched", json::Value(static_cast<double>(r.tasks)));
+    root.emplace("busy_seconds_total", json::Value(r.busy_total));
+    root.emplace("load_imbalance", json::Value(r.load_imbalance));
+    root.emplace("transfer_bytes_total", json::Value(r.transfer_bytes));
+    root.emplace("transfer_count_total", json::Value(static_cast<double>(r.transfer_count)));
+
+    json::Value kinds;
+    kinds.array();
+    for (const TaskKindStats& k : r.task_kinds) {
+        json::Value::Object o;
+        o.emplace("name", json::Value(k.name));
+        o.emplace("count", json::Value(static_cast<double>(k.count)));
+        o.emplace("total_seconds", json::Value(k.total));
+        o.emplace("mean_seconds", json::Value(k.mean));
+        o.emplace("max_seconds", json::Value(k.max));
+        kinds.array().emplace_back(std::move(o));
+    }
+    root.emplace("task_kinds", std::move(kinds));
+
+    json::Value nodes;
+    nodes.array();
+    for (const NodeStats& n : r.nodes) {
+        json::Value::Object o;
+        o.emplace("node", json::Value(static_cast<double>(n.node)));
+        o.emplace("busy_seconds", json::Value(n.busy));
+        o.emplace("utilization", json::Value(n.utilization));
+        nodes.array().emplace_back(std::move(o));
+    }
+    root.emplace("nodes", std::move(nodes));
+
+    json::Value transfers;
+    transfers.array();
+    for (const TransferEdge& t : r.transfers) {
+        json::Value::Object o;
+        o.emplace("src", json::Value(static_cast<double>(t.src)));
+        o.emplace("dst", json::Value(static_cast<double>(t.dst)));
+        o.emplace("bytes", json::Value(t.bytes));
+        o.emplace("count", json::Value(static_cast<double>(t.count)));
+        transfers.array().emplace_back(std::move(o));
+    }
+    root.emplace("transfers", std::move(transfers));
+
+    json::Value phases;
+    phases.array();
+    for (const PhaseStats& p : r.phases) {
+        json::Value::Object o;
+        o.emplace("name", json::Value(p.name));
+        o.emplace("count", json::Value(static_cast<double>(p.count)));
+        o.emplace("total_seconds", json::Value(p.total));
+        phases.array().emplace_back(std::move(o));
+    }
+    root.emplace("phases", std::move(phases));
+
+    json::Value convergence;
+    convergence.array();
+    for (const ConvergenceSample& s : r.convergence) {
+        json::Value::Object o;
+        o.emplace("iteration", json::Value(static_cast<double>(s.iteration)));
+        o.emplace("residual", json::Value(s.residual));
+        o.emplace("virtual_time", json::Value(s.virtual_time));
+        convergence.array().emplace_back(std::move(o));
+    }
+    root.emplace("convergence", std::move(convergence));
+
+    return doc;
+}
+
+} // namespace
+
+std::string SolveReport::to_json() const { return to_value(*this).dump(); }
+
+SolveReport SolveReport::from_json(const std::string& text) {
+    const json::Value doc = json::Value::parse(text);
+    SolveReport r;
+    r.makespan = doc["makespan_seconds"].as_number();
+    r.tasks = static_cast<std::uint64_t>(doc["tasks_launched"].as_number());
+    r.busy_total = doc["busy_seconds_total"].as_number();
+    r.load_imbalance = doc["load_imbalance"].as_number();
+    r.transfer_bytes = doc["transfer_bytes_total"].as_number();
+    r.transfer_count = static_cast<std::uint64_t>(doc["transfer_count_total"].as_number());
+    for (const json::Value& v : doc["task_kinds"].as_array()) {
+        r.task_kinds.push_back({v["name"].as_string(),
+                                static_cast<std::uint64_t>(v["count"].as_number()),
+                                v["total_seconds"].as_number(), v["mean_seconds"].as_number(),
+                                v["max_seconds"].as_number()});
+    }
+    for (const json::Value& v : doc["nodes"].as_array()) {
+        r.nodes.push_back({static_cast<int>(v["node"].as_number()),
+                           v["busy_seconds"].as_number(), v["utilization"].as_number()});
+    }
+    for (const json::Value& v : doc["transfers"].as_array()) {
+        r.transfers.push_back({static_cast<int>(v["src"].as_number()),
+                               static_cast<int>(v["dst"].as_number()),
+                               v["bytes"].as_number(),
+                               static_cast<std::uint64_t>(v["count"].as_number())});
+    }
+    for (const json::Value& v : doc["phases"].as_array()) {
+        r.phases.push_back({v["name"].as_string(),
+                            static_cast<std::uint64_t>(v["count"].as_number()),
+                            v["total_seconds"].as_number()});
+    }
+    for (const json::Value& v : doc["convergence"].as_array()) {
+        r.convergence.push_back({static_cast<int>(v["iteration"].as_number()),
+                                 v["residual"].as_number(), v["virtual_time"].as_number()});
+    }
+    return r;
+}
+
+void SolveReport::print(std::ostream& os) const {
+    os << "=== solve report ===\n"
+       << "makespan: " << Table::num(makespan * 1e3, 3) << " ms virtual, " << tasks
+       << " tasks, busy " << Table::num(busy_total * 1e3, 3) << " ms, load imbalance "
+       << Table::num(load_imbalance, 3) << "x\n"
+       << "transfers: " << Table::eng(transfer_bytes, 2) << "B in " << transfer_count
+       << " messages\n";
+
+    if (!task_kinds.empty()) {
+        Table t({"task kind", "count", "total ms", "mean us", "max us", "% busy"});
+        for (const TaskKindStats& k : task_kinds) {
+            t.add_row({k.name, std::to_string(k.count), Table::num(k.total * 1e3, 3),
+                       Table::num(k.mean * 1e6, 2), Table::num(k.max * 1e6, 2),
+                       Table::num(busy_total > 0.0 ? 100.0 * k.total / busy_total : 0.0, 1)});
+        }
+        t.print(os);
+    }
+
+    if (!nodes.empty()) {
+        Table t({"node", "busy ms", "utilization"});
+        for (const NodeStats& n : nodes) {
+            t.add_row({std::to_string(n.node), Table::num(n.busy * 1e3, 3),
+                       Table::num(n.utilization * 100.0, 1) + "%"});
+        }
+        t.print(os);
+    }
+
+    if (!transfers.empty()) {
+        Table t({"src", "dst", "bytes", "messages"});
+        for (const TransferEdge& e : transfers) {
+            t.add_row({std::to_string(e.src), std::to_string(e.dst), Table::eng(e.bytes, 2),
+                       std::to_string(e.count)});
+        }
+        t.print(os);
+    }
+
+    if (!phases.empty()) {
+        Table t({"phase", "count", "total ms"});
+        for (const PhaseStats& p : phases) {
+            t.add_row({p.name, std::to_string(p.count), Table::num(p.total * 1e3, 3)});
+        }
+        t.print(os);
+    }
+
+    if (!convergence.empty()) {
+        const ConvergenceSample& first = convergence.front();
+        const ConvergenceSample& last = convergence.back();
+        os << "convergence: residual " << first.residual << " -> " << last.residual << " over "
+           << (last.iteration - first.iteration) << " iterations ("
+           << Table::num(last.virtual_time * 1e3, 3) << " ms virtual)\n";
+    }
+}
+
+void write_solve_report(const std::string& path, const SolveReport& report) {
+    std::ofstream out(path);
+    KDR_REQUIRE(out.good(), "write_solve_report: cannot open '", path, "'");
+    out << report.to_json() << "\n";
+    KDR_REQUIRE(out.good(), "write_solve_report: write to '", path, "' failed");
+}
+
+} // namespace kdr::obs

@@ -1,0 +1,81 @@
+#pragma once
+
+/// \file report.hpp
+/// Structured solve reports: the single artifact that answers "where did the
+/// virtual time go?" after a solve or benchmark run. Aggregates per-task-kind
+/// busy time, per-node utilization and load imbalance, the node-to-node
+/// transfer matrix, solver-phase totals, and the convergence history.
+/// Serializable to JSON (round-trippable via obs::json) and renderable as
+/// aligned tables via support/table.hpp — the reproduction's analogue of
+/// PETSc's `-log_view` summary.
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace kdr::obs {
+
+/// Virtual-time statistics of one task kind (grouped by task name).
+struct TaskKindStats {
+    std::string name;
+    std::uint64_t count = 0;
+    double total = 0.0; ///< summed busy seconds
+    double mean = 0.0;
+    double max = 0.0;
+};
+
+/// Busy time and utilization of one node (all processors of the node).
+struct NodeStats {
+    int node = 0;
+    double busy = 0.0;        ///< summed busy seconds across the node's processors
+    double utilization = 0.0; ///< busy / (makespan * processors on node)
+};
+
+/// One directed edge of the transfer matrix.
+struct TransferEdge {
+    int src = 0;
+    int dst = 0;
+    double bytes = 0.0;
+    std::uint64_t count = 0;
+};
+
+/// Aggregate of one solver phase (spans grouped by name).
+struct PhaseStats {
+    std::string name;
+    std::uint64_t count = 0;
+    double total = 0.0; ///< summed span durations (virtual seconds)
+};
+
+/// One convergence-history sample (SolverMonitor's view).
+struct ConvergenceSample {
+    int iteration = 0;
+    double residual = 0.0;
+    double virtual_time = 0.0;
+};
+
+struct SolveReport {
+    double makespan = 0.0;     ///< virtual time at which all work completed
+    std::uint64_t tasks = 0;   ///< tasks launched
+    double busy_total = 0.0;   ///< summed processor busy seconds
+    std::vector<TaskKindStats> task_kinds; ///< sorted by total, descending
+    std::vector<NodeStats> nodes;
+    double load_imbalance = 1.0; ///< max node busy / mean node busy
+    std::vector<TransferEdge> transfers;
+    double transfer_bytes = 0.0;
+    std::uint64_t transfer_count = 0;
+    std::vector<PhaseStats> phases; ///< sorted by total, descending
+    std::vector<ConvergenceSample> convergence;
+
+    [[nodiscard]] std::string to_json() const;
+    [[nodiscard]] static SolveReport from_json(const std::string& text);
+
+    /// Render as aligned tables (summary, task kinds, nodes, transfers,
+    /// phases, convergence endpoints).
+    void print(std::ostream& os) const;
+};
+
+/// Write `report.to_json()` to a file (throws kdr::Error on I/O failure).
+void write_solve_report(const std::string& path, const SolveReport& report);
+
+} // namespace kdr::obs

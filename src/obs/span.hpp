@@ -1,0 +1,112 @@
+#pragma once
+
+/// \file span.hpp
+/// Solver-phase spans: lightweight intervals of *virtual* time that name why
+/// the underlying tasks ran (spmv, dot, axpy, psolve, restart, ...). Spans
+/// nest with strict LIFO discipline and are recorded by a SpanTracker whose
+/// clock is supplied by the owner (the Runtime reads its cluster horizon).
+/// The Chrome-trace exporter renders completed spans as a separate track
+/// above the per-processor task rows, one row per nesting depth.
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace kdr::obs {
+
+/// One completed span in virtual time; depth 0 is outermost.
+struct SpanRecord {
+    std::string name;
+    double start = 0.0;
+    double finish = 0.0;
+    int depth = 0;
+};
+
+class SpanTracker {
+public:
+    using Clock = std::function<double()>;
+
+    explicit SpanTracker(Clock clock) : clock_(std::move(clock)) {
+        KDR_REQUIRE(clock_ != nullptr, "SpanTracker: null clock");
+    }
+
+    SpanTracker(const SpanTracker&) = delete;
+    SpanTracker& operator=(const SpanTracker&) = delete;
+
+    /// Open a span; returns a token to pass to close(). When disabled,
+    /// returns a sentinel close() ignores.
+    std::size_t open(std::string name) {
+        if (!enabled_) return kDisabledToken;
+        const std::size_t token = stack_.size();
+        stack_.push_back({std::move(name), clock_()});
+        return token;
+    }
+
+    /// Close the innermost open span (tokens enforce LIFO nesting).
+    void close(std::size_t token) {
+        if (token == kDisabledToken) return;
+        KDR_REQUIRE(!stack_.empty() && token == stack_.size() - 1,
+                    "SpanTracker: spans must close innermost-first (token ", token,
+                    ", open depth ", stack_.size(), ")");
+        OpenSpan& top = stack_.back();
+        completed_.push_back({std::move(top.name), top.start, clock_(),
+                              static_cast<int>(token)});
+        stack_.pop_back();
+    }
+
+    [[nodiscard]] std::size_t open_depth() const noexcept { return stack_.size(); }
+    [[nodiscard]] const std::vector<SpanRecord>& completed() const noexcept {
+        return completed_;
+    }
+
+    /// Drain completed spans (open spans are unaffected).
+    [[nodiscard]] std::vector<SpanRecord> take() {
+        std::vector<SpanRecord> out;
+        out.swap(completed_);
+        return out;
+    }
+
+    void set_enabled(bool on) noexcept { enabled_ = on; }
+    [[nodiscard]] bool enabled() const noexcept { return enabled_; }
+
+private:
+    static constexpr std::size_t kDisabledToken = static_cast<std::size_t>(-1);
+
+    struct OpenSpan {
+        std::string name;
+        double start = 0.0;
+    };
+
+    Clock clock_;
+    std::vector<OpenSpan> stack_;
+    std::vector<SpanRecord> completed_;
+    bool enabled_ = true;
+};
+
+/// RAII span: opens on construction, closes on destruction.
+class Span {
+public:
+    Span(SpanTracker& tracker, std::string name)
+        : tracker_(&tracker), token_(tracker.open(std::move(name))) {}
+
+    Span(Span&& other) noexcept : tracker_(other.tracker_), token_(other.token_) {
+        other.tracker_ = nullptr;
+    }
+    Span(const Span&) = delete;
+    Span& operator=(const Span&) = delete;
+    Span& operator=(Span&&) = delete;
+
+    ~Span() {
+        if (tracker_ != nullptr) tracker_->close(token_);
+    }
+
+private:
+    SpanTracker* tracker_;
+    std::size_t token_;
+};
+
+} // namespace kdr::obs

@@ -1,11 +1,52 @@
 #include "runtime/runtime.hpp"
 
 #include <algorithm>
+#include <map>
 
 namespace kdr::rt {
 
 Runtime::Runtime(sim::MachineDesc machine, Options options)
-    : options_(options), cluster_(machine), mapper_(std::make_unique<RoundRobinMapper>()) {}
+    : options_(options), cluster_(machine), mapper_(std::make_unique<RoundRobinMapper>()),
+      spans_([this] { return cluster_.horizon(); }) {
+    transfer_counters_.resize(static_cast<std::size_t>(this->machine().nodes) *
+                              static_cast<std::size_t>(this->machine().nodes));
+    analysis_stall_ctr_ = &metrics_.counter("analysis_stall_seconds");
+    trace_record_ctr_ = &metrics_.counter("trace_recorded_tasks");
+    trace_replay_ctr_ = &metrics_.counter("trace_replayed_tasks");
+    migration_ctr_ = &metrics_.counter("home_migrations");
+    task_duration_hist_ = &metrics_.histogram(
+        "task_duration_seconds", obs::Histogram::exponential_bounds(1e-7, 10.0, 7));
+}
+
+obs::Counter& Runtime::launch_counter(const std::string& name, sim::ProcKind kind) {
+    const bool gpu = kind == sim::ProcKind::GPU;
+    std::string key = name;
+    key += gpu ? "|g" : "|c";
+    auto it = launch_counters_.find(key);
+    if (it == launch_counters_.end()) {
+        obs::Counter& c = metrics_.counter(
+            "tasks_launched", {{"task", name}, {"proc", gpu ? "gpu" : "cpu"}});
+        it = launch_counters_.emplace(std::move(key), &c).first;
+    }
+    return *it->second;
+}
+
+void Runtime::record_transfer(int src_node, int dst_node, double bytes) {
+    transfer_bytes_ += bytes;
+    ++transfer_count_;
+    const std::size_t slot = static_cast<std::size_t>(src_node) *
+                                 static_cast<std::size_t>(machine().nodes) +
+                             static_cast<std::size_t>(dst_node);
+    TransferCounters& tc = transfer_counters_[slot];
+    if (tc.bytes == nullptr) {
+        const obs::Labels labels = {{"src", std::to_string(src_node)},
+                                    {"dst", std::to_string(dst_node)}};
+        tc.bytes = &metrics_.counter("transfer_bytes", labels);
+        tc.count = &metrics_.counter("transfer_count", labels);
+    }
+    tc.bytes->add(bytes);
+    tc.count->inc();
+}
 
 RegionId Runtime::create_region(IndexSpace space, std::string name) {
     const RegionId id = regions_.size();
@@ -62,6 +103,7 @@ int Runtime::home_node(RegionId r, FieldId f, const IntervalSet& piece) const {
 void Runtime::move_home(RegionId r, FieldId f, const IntervalSet& piece, int new_node) {
     KDR_REQUIRE(new_node >= 0 && new_node < machine().nodes, "move_home: node out of range");
     FieldStorage& fs = region(r).field(f);
+    migration_ctr_->inc();
 
     // Find where the data currently lives and charge the migration transfer.
     double ready = fs.data_ready;
@@ -79,8 +121,7 @@ void Runtime::move_home(RegionId r, FieldId f, const IntervalSet& piece, int new
             const double bytes = static_cast<double>(moved.volume()) *
                                  static_cast<double>(fs.elem_size());
             arrival = std::max(arrival, cluster_.transfer(h.node, new_node, ready, bytes));
-            transfer_bytes_ += bytes;
-            ++transfer_count_;
+            record_transfer(h.node, new_node, bytes);
         }
         const IntervalSet kept = h.subset.set_difference(piece);
         if (!kept.empty()) next.push_back({kept, h.node});
@@ -245,8 +286,7 @@ double Runtime::issue_read_transfers(const RegionReq& req, int dst_node, double 
         const double bytes =
             static_cast<double>(part.volume()) * static_cast<double>(fs.elem_size());
         arrival = std::max(arrival, cluster_.transfer(h.node, dst_node, ready, bytes));
-        transfer_bytes_ += bytes;
-        ++transfer_count_;
+        record_transfer(h.node, dst_node, bytes);
         node_cache[key] = fs.version;
     }
     return arrival;
@@ -262,8 +302,7 @@ double Runtime::issue_write_backs(const RegionReq& req, int src_node, double fin
         const double bytes =
             static_cast<double>(part.volume()) * static_cast<double>(fs.elem_size());
         arrival = std::max(arrival, cluster_.transfer(src_node, h.node, finish, bytes));
-        transfer_bytes_ += bytes;
-        ++transfer_count_;
+        record_transfer(src_node, h.node, bytes);
     }
     return arrival;
 }
@@ -272,6 +311,7 @@ double Runtime::issue_write_backs(const RegionReq& req, int src_node, double fin
 
 FutureScalar Runtime::launch(TaskLaunch launch) {
     const TaskSeq seq = ++task_counter_;
+    launch_counter(launch.name, launch.proc_kind).inc();
 
     // Tracing: validate / record the launch signature and pick the overhead.
     double overhead = machine().task_launch_overhead;
@@ -280,6 +320,7 @@ FutureScalar Runtime::launch(TaskLaunch launch) {
         const std::uint64_t sig = launch_signature(launch);
         if (!t.recorded) {
             t.signatures.push_back(sig);
+            trace_record_ctr_->inc();
         } else {
             KDR_REQUIRE(trace_cursor_ < t.signatures.size(),
                         "trace replay: more launches than recorded (task '", launch.name, "')");
@@ -287,6 +328,7 @@ FutureScalar Runtime::launch(TaskLaunch launch) {
                         "trace replay: launch sequence diverged at task '", launch.name, "'");
             ++trace_cursor_;
             overhead = machine().traced_launch_overhead;
+            trace_replay_ctr_->inc();
         }
     }
 
@@ -298,16 +340,28 @@ FutureScalar Runtime::launch(TaskLaunch launch) {
     // analysis per iteration — and becomes the floor on tiny problems.
     const double analysis_done = cluster_.analyze(proc.node, overhead);
 
-    // Region dependences + input transfers (transfers are issued by the
-    // analysis stage, so they start no earlier than it completes).
-    double ready = analysis_done;
-    for (double t : launch.scalar_deps) ready = std::max(ready, t);
+    // Dependence-only ready time: what the task would wait on if analysis
+    // were free. The gap up to analysis_done is time the task spends stalled
+    // behind the runtime pipeline rather than behind real data dependences.
+    double dep_ready = 0.0;
+    for (double t : launch.scalar_deps) dep_ready = std::max(dep_ready, t);
+    std::vector<double> req_dep;
+    req_dep.reserve(launch.requirements.size());
     for (const RegionReq& req : launch.requirements) {
         const double dep = analyze_requirement(req, seq);
-        ready = std::max(ready, dep);
+        req_dep.push_back(dep);
+        dep_ready = std::max(dep_ready, dep);
+    }
+    analysis_stall_ctr_->add(std::max(0.0, analysis_done - dep_ready));
+
+    // Input transfers are issued by the analysis stage, so they start no
+    // earlier than it completes.
+    double ready = std::max(dep_ready, analysis_done);
+    for (std::size_t i = 0; i < launch.requirements.size(); ++i) {
+        const RegionReq& req = launch.requirements[i];
         if (reads(req.privilege) || req.privilege == Privilege::Reduce) {
-            ready = std::max(ready,
-                             issue_read_transfers(req, proc.node, std::max(dep, analysis_done)));
+            ready = std::max(ready, issue_read_transfers(req, proc.node,
+                                                         std::max(req_dep[i], analysis_done)));
         }
     }
 
@@ -331,8 +385,9 @@ FutureScalar Runtime::launch(TaskLaunch launch) {
         commit_requirement(req, seq, effective);
     }
 
+    const double duration = cluster_.duration_of(proc, launch.cost);
+    task_duration_hist_->observe(duration);
     if (options_.profiling) {
-        const double duration = cluster_.duration_of(proc, launch.cost);
         profiles_.push_back({launch.name, proc, finish - duration, finish, launch.color});
     }
 
@@ -343,6 +398,82 @@ std::vector<TaskProfile> Runtime::take_profiles() {
     std::vector<TaskProfile> out;
     out.swap(profiles_);
     return out;
+}
+
+// ---------------------------------------------------------- solve reports
+
+obs::SolveReport Runtime::build_solve_report(
+    std::vector<obs::ConvergenceSample> convergence) const {
+    obs::SolveReport r;
+    r.makespan = cluster_.horizon();
+    r.tasks = task_counter_;
+    r.convergence = std::move(convergence);
+
+    // Per-task-kind stats from the profiles still held by the runtime (call
+    // before take_profiles). Profile durations are exactly the busy seconds
+    // charged to the executing processor, so kind totals partition busy time.
+    std::map<std::string, obs::TaskKindStats> kinds;
+    for (const TaskProfile& p : profiles_) {
+        obs::TaskKindStats& k = kinds[p.name];
+        k.name = p.name;
+        ++k.count;
+        const double d = p.finish - p.start;
+        k.total += d;
+        k.max = std::max(k.max, d);
+    }
+    for (auto& [name, k] : kinds) {
+        k.mean = k.count > 0 ? k.total / static_cast<double>(k.count) : 0.0;
+        r.task_kinds.push_back(std::move(k));
+    }
+    std::sort(r.task_kinds.begin(), r.task_kinds.end(),
+              [](const obs::TaskKindStats& a, const obs::TaskKindStats& b) {
+                  return a.total > b.total;
+              });
+
+    // Per-node busy time over the node's processors (aggregated CPU + GPUs).
+    const int nodes = machine().nodes;
+    const int procs_per_node = 1 + machine().gpus_per_node;
+    double max_busy = 0.0;
+    for (int n = 0; n < nodes; ++n) {
+        double busy = cluster_.proc_busy({n, sim::ProcKind::CPU, 0});
+        for (int g = 0; g < machine().gpus_per_node; ++g) {
+            busy += cluster_.proc_busy({n, sim::ProcKind::GPU, g});
+        }
+        const double denom = r.makespan * static_cast<double>(procs_per_node);
+        r.nodes.push_back({n, busy, denom > 0.0 ? busy / denom : 0.0});
+        r.busy_total += busy;
+        max_busy = std::max(max_busy, busy);
+    }
+    const double mean_busy = r.busy_total / static_cast<double>(nodes);
+    r.load_imbalance = mean_busy > 0.0 ? max_busy / mean_busy : 1.0;
+
+    // Transfer matrix from the cached per-pair counters (slot order = src-major).
+    r.transfer_bytes = transfer_bytes_;
+    r.transfer_count = transfer_count_;
+    for (std::size_t slot = 0; slot < transfer_counters_.size(); ++slot) {
+        const TransferCounters& tc = transfer_counters_[slot];
+        if (tc.bytes == nullptr) continue;
+        r.transfers.push_back({static_cast<int>(slot / static_cast<std::size_t>(nodes)),
+                               static_cast<int>(slot % static_cast<std::size_t>(nodes)),
+                               tc.bytes->value(),
+                               static_cast<std::uint64_t>(tc.count->value())});
+    }
+
+    // Solver-phase totals from the completed spans.
+    std::map<std::string, obs::PhaseStats> phases;
+    for (const obs::SpanRecord& s : spans_.completed()) {
+        obs::PhaseStats& p = phases[s.name];
+        p.name = s.name;
+        ++p.count;
+        p.total += s.finish - s.start;
+    }
+    for (auto& [name, p] : phases) r.phases.push_back(std::move(p));
+    std::sort(r.phases.begin(), r.phases.end(),
+              [](const obs::PhaseStats& a, const obs::PhaseStats& b) {
+                  return a.total > b.total;
+              });
+
+    return r;
 }
 
 } // namespace kdr::rt

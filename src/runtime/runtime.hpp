@@ -25,6 +25,9 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/registry.hpp"
+#include "obs/report.hpp"
+#include "obs/span.hpp"
 #include "partition/partition.hpp"
 #include "runtime/mapper.hpp"
 #include "runtime/region.hpp"
@@ -130,6 +133,23 @@ public:
     void set_profiling(bool on) { options_.profiling = on; }
     [[nodiscard]] std::vector<TaskProfile> take_profiles();
 
+    // ------------------------------------------------------- observability
+    /// Metrics registry every layer reports into: task launches (per task
+    /// name and proc kind), dependence-analysis stall seconds, transfer
+    /// bytes/count per node pair, trace record/replay counts, migrations.
+    [[nodiscard]] obs::Registry& metrics() noexcept { return metrics_; }
+    [[nodiscard]] const obs::Registry& metrics() const noexcept { return metrics_; }
+
+    /// Solver-phase spans, recorded against this runtime's virtual clock.
+    [[nodiscard]] obs::SpanTracker& spans() noexcept { return spans_; }
+    [[nodiscard]] const obs::SpanTracker& spans() const noexcept { return spans_; }
+
+    /// Aggregate everything observed so far (profiles, metrics, spans, the
+    /// cluster's busy timelines) into a structured report. Task-kind rows
+    /// require profiling to have been enabled for the whole run.
+    [[nodiscard]] obs::SolveReport build_solve_report(
+        std::vector<obs::ConvergenceSample> convergence = {}) const;
+
 private:
     struct Access {
         TaskSeq task = 0;
@@ -143,8 +163,11 @@ private:
         std::vector<Access> reducers;
     };
 
+    /// FieldId is 32-bit, so the region id must shift past all 32 field
+    /// bits — a 16-bit shift collides (region 1, field 0) with
+    /// (region 0, field 65536).
     [[nodiscard]] static std::uint64_t field_key(RegionId r, FieldId f) {
-        return (r << 16) | f;
+        return (r << 32) | f;
     }
 
     /// Dependence time of a requirement and update of the access lists.
@@ -159,6 +182,14 @@ private:
 
     static void replace_or_append(std::vector<Access>& list, Access access);
 
+    /// Charge a transfer to the aggregate totals and the per-node-pair
+    /// metrics (counter handles are cached; the registry lookup happens once
+    /// per pair).
+    void record_transfer(int src_node, int dst_node, double bytes);
+
+    /// Cached per-(task name, proc kind) launch counter.
+    obs::Counter& launch_counter(const std::string& name, sim::ProcKind kind);
+
     Options options_;
     sim::SimCluster cluster_;
     std::unique_ptr<Mapper> mapper_;
@@ -170,6 +201,22 @@ private:
     double transfer_bytes_ = 0.0;
     std::uint64_t transfer_count_ = 0;
     std::vector<TaskProfile> profiles_;
+
+    // Observability. Hot-path counters are resolved once and cached as
+    // pointers into metrics_ (registry references are stable).
+    obs::Registry metrics_;
+    obs::SpanTracker spans_;
+    std::unordered_map<std::string, obs::Counter*> launch_counters_;
+    struct TransferCounters {
+        obs::Counter* bytes = nullptr;
+        obs::Counter* count = nullptr;
+    };
+    std::vector<TransferCounters> transfer_counters_; ///< nodes x nodes, lazy
+    obs::Counter* analysis_stall_ctr_ = nullptr;
+    obs::Counter* trace_record_ctr_ = nullptr;
+    obs::Counter* trace_replay_ctr_ = nullptr;
+    obs::Counter* migration_ctr_ = nullptr;
+    obs::Histogram* task_duration_hist_ = nullptr;
 
     // Tracing.
     struct TraceState {

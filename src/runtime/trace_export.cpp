@@ -42,10 +42,10 @@ const char* tname_of(const sim::ProcId& p) {
 
 } // namespace
 
-std::string to_chrome_trace(const std::vector<TaskProfile>& profiles) {
-    std::ostringstream os;
-    os << "{\"traceEvents\":[";
-    bool first = true;
+namespace {
+
+void emit_task_events(std::ostringstream& os, const std::vector<TaskProfile>& profiles,
+                      bool& first) {
     for (const TaskProfile& p : profiles) {
         if (!first) os << ",";
         first = false;
@@ -55,14 +55,59 @@ std::string to_chrome_trace(const std::vector<TaskProfile>& profiles) {
            << ",\"args\":{\"color\":" << p.color << ",\"proc\":\"" << tname_of(p.proc)
            << p.proc.index << "\"}}";
     }
+}
+
+void emit_span_events(std::ostringstream& os, const std::vector<obs::SpanRecord>& spans,
+                      bool& first) {
+    if (spans.empty()) return;
+    // Metadata: name the phase track and sort it above the per-node rows.
+    auto meta = [&](const char* what, const char* key, const char* value, bool quoted) {
+        if (!first) os << ",";
+        first = false;
+        os << "{\"name\":\"" << what << "\",\"ph\":\"M\",\"pid\":" << kPhaseTrackPid
+           << ",\"args\":{\"" << key << "\":";
+        if (quoted) {
+            os << "\"" << value << "\"";
+        } else {
+            os << value;
+        }
+        os << "}}";
+    };
+    meta("process_name", "name", "solver phases", true);
+    meta("process_sort_index", "sort_index", "-1", false);
+    for (const obs::SpanRecord& s : spans) {
+        os << ",{\"name\":\"" << escape_json(s.name) << "\",\"cat\":\"phase\",\"ph\":\"X\""
+           << ",\"ts\":" << s.start * 1e6 << ",\"dur\":" << (s.finish - s.start) * 1e6
+           << ",\"pid\":" << kPhaseTrackPid << ",\"tid\":" << s.depth << "}";
+    }
+}
+
+} // namespace
+
+std::string to_chrome_trace(const std::vector<TaskProfile>& profiles) {
+    return to_chrome_trace(profiles, {});
+}
+
+std::string to_chrome_trace(const std::vector<TaskProfile>& profiles,
+                            const std::vector<obs::SpanRecord>& spans) {
+    std::ostringstream os;
+    os << "{\"traceEvents\":[";
+    bool first = true;
+    emit_task_events(os, profiles, first);
+    emit_span_events(os, spans, first);
     os << "],\"displayTimeUnit\":\"ms\"}";
     return os.str();
 }
 
 void write_chrome_trace(const std::string& path, const std::vector<TaskProfile>& profiles) {
+    write_chrome_trace(path, profiles, {});
+}
+
+void write_chrome_trace(const std::string& path, const std::vector<TaskProfile>& profiles,
+                        const std::vector<obs::SpanRecord>& spans) {
     std::ofstream out(path);
     KDR_REQUIRE(out.good(), "write_chrome_trace: cannot open '", path, "'");
-    out << to_chrome_trace(profiles);
+    out << to_chrome_trace(profiles, spans);
     KDR_REQUIRE(out.good(), "write_chrome_trace: write to '", path, "' failed");
 }
 

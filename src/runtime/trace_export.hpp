@@ -9,15 +9,28 @@
 #include <string>
 #include <vector>
 
+#include "obs/span.hpp"
 #include "runtime/types.hpp"
 
 namespace kdr::rt {
+
+/// Synthetic pid of the solver-phase span track. Far above any node id, and
+/// given a negative process_sort_index so viewers place it above the
+/// per-processor task rows.
+inline constexpr int kPhaseTrackPid = 1 << 20;
 
 /// Render profiles as a Chrome-trace JSON string ("traceEvents" array of
 /// complete events). Times are converted from virtual seconds to µs.
 [[nodiscard]] std::string to_chrome_trace(const std::vector<TaskProfile>& profiles);
 
+/// Same, plus a solver-phase track: spans become slices on pid
+/// `kPhaseTrackPid` with tid = nesting depth, sorted above the processors.
+[[nodiscard]] std::string to_chrome_trace(const std::vector<TaskProfile>& profiles,
+                                          const std::vector<obs::SpanRecord>& spans);
+
 /// Write the trace to a file (throws kdr::Error on I/O failure).
 void write_chrome_trace(const std::string& path, const std::vector<TaskProfile>& profiles);
+void write_chrome_trace(const std::string& path, const std::vector<TaskProfile>& profiles,
+                        const std::vector<obs::SpanRecord>& spans);
 
 } // namespace kdr::rt

@@ -78,7 +78,7 @@ TEST(StencilBaseline, ClockAdvancesAndCommBytesAccumulate) {
 
 TEST(StencilBaseline, TimingModeRefusesDataAccess) {
     BaselineFixture f(stencil::Kind::D2P5, 1 << 14, Profile::petsc(), 2, /*functional=*/false);
-    EXPECT_THROW(f.engine.data(StencilBaseline::X), Error);
+    EXPECT_THROW((void)f.engine.data(StencilBaseline::X), Error);
     // Timing-only operations still advance the clock.
     const auto y = f.engine.allocate_vector();
     f.engine.matvec(y, StencilBaseline::B);
@@ -141,8 +141,8 @@ TEST_P(KspMethodTest, ConvergesOnPoisson2d) {
 INSTANTIATE_TEST_SUITE_P(Methods, KspMethodTest,
                          ::testing::Values(Method::CG, Method::BiCGStab, Method::GmresStatic,
                                            Method::GmresDynamic),
-                         [](const ::testing::TestParamInfo<Method>& info) {
-                             std::string n = method_name(info.param);
+                         [](const ::testing::TestParamInfo<Method>& pinfo) {
+                             std::string n = method_name(pinfo.param);
                              for (char& c : n)
                                  if (c == '-') c = '_';
                              return n;

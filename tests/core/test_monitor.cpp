@@ -65,7 +65,7 @@ TEST(SolverMonitor, IterationsToReduction) {
     EXPECT_LE(mon.history()[static_cast<std::size_t>(k)].residual,
               mon.history().front().residual * 1e-3);
     EXPECT_EQ(mon.iterations_to_reduction(1e-300), -1) << "unreached target";
-    EXPECT_THROW(mon.iterations_to_reduction(2.0), Error);
+    EXPECT_THROW((void)mon.iterations_to_reduction(2.0), Error);
 }
 
 TEST(SolverMonitor, AverageConvergenceRateBelowOne) {
@@ -87,6 +87,29 @@ TEST(SolverMonitor, DelegatesInterface) {
     EXPECT_LT(iters, 1000);
     EXPECT_DOUBLE_EQ(mon.get_convergence_measure().value,
                      cg.get_convergence_measure().value);
+}
+
+/// Stands in for a solver handed an already-converged system (zero RHS with
+/// a zero initial guess): the reported residual is exactly 0 from the start.
+struct ConvergedSolver final : Solver<double> {
+    void step() override {}
+    [[nodiscard]] Scalar get_convergence_measure() const override { return {0.0, 0.0}; }
+    [[nodiscard]] const char* name() const override { return "converged"; }
+};
+
+TEST(SolverMonitor, ZeroInitialResidualIsNotAnError) {
+    ConvergedSolver inner;
+    SolverMonitor<double> mon(inner);
+    // Regression: both statistics used to divide by the initial residual and
+    // abort; a converged start must report "done at iteration 0, no decay".
+    EXPECT_EQ(mon.iterations_to_reduction(0.5), 0);
+    EXPECT_EQ(mon.iterations_to_reduction(1e-12), 0);
+    EXPECT_DOUBLE_EQ(mon.average_convergence_rate(), 0.0);
+    EXPECT_THROW((void)mon.iterations_to_reduction(2.0), Error)
+        << "factor validation still precedes the zero-residual early-out";
+    mon.step();
+    EXPECT_EQ(mon.iterations_to_reduction(0.5), 0);
+    EXPECT_DOUBLE_EQ(mon.average_convergence_rate(), 0.0);
 }
 
 TEST(SolverMonitor, PrintHistoryEmitsRows) {

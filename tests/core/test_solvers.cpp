@@ -165,8 +165,8 @@ TEST_P(SolverTest, VirtualTimeAdvancesPerStep) {
 }
 
 INSTANTIATE_TEST_SUITE_P(AllSolvers, SolverTest, ::testing::ValuesIn(solver_cases()),
-                         [](const ::testing::TestParamInfo<SolverCase>& info) {
-                             return info.param.name;
+                         [](const ::testing::TestParamInfo<SolverCase>& pinfo) {
+                             return pinfo.param.name;
                          });
 
 TEST(CgSolver, RequiresSquareSystem) {

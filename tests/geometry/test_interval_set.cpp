@@ -131,14 +131,14 @@ TEST(IntervalSet, RankAndSelectRoundTrip) {
 
 TEST(IntervalSet, RankOfMissingThrows) {
     const IntervalSet s(2, 5);
-    EXPECT_THROW(s.rank_of(7), Error);
-    EXPECT_THROW(s.rank_of(1), Error);
+    EXPECT_THROW((void)s.rank_of(7), Error);
+    EXPECT_THROW((void)s.rank_of(1), Error);
 }
 
 TEST(IntervalSet, SelectOutOfRangeThrows) {
     const IntervalSet s(0, 3);
-    EXPECT_THROW(s.select(3), Error);
-    EXPECT_THROW(s.select(-1), Error);
+    EXPECT_THROW((void)s.select(3), Error);
+    EXPECT_THROW((void)s.select(-1), Error);
 }
 
 TEST(IntervalSet, ToPointsEnumeratesAscending) {

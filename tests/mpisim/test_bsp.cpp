@@ -23,7 +23,7 @@ TEST(BspWorld, GpuRanksEnumerateNodeMajor) {
     EXPECT_EQ(world.proc_of(1).node, 0);
     EXPECT_EQ(world.proc_of(1).index, 1);
     EXPECT_EQ(world.proc_of(3).node, 1);
-    EXPECT_THROW(world.proc_of(4), Error);
+    EXPECT_THROW((void)world.proc_of(4), Error);
 }
 
 TEST(BspWorld, CpuRanksAreOnePerNode) {

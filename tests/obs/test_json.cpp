@@ -1,0 +1,87 @@
+#include "obs/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace kdr::obs::json {
+namespace {
+
+TEST(Json, ParsesScalars) {
+    EXPECT_TRUE(Value::parse("null").is_null());
+    EXPECT_TRUE(Value::parse("true").as_bool());
+    EXPECT_FALSE(Value::parse("false").as_bool());
+    EXPECT_DOUBLE_EQ(Value::parse("42").as_number(), 42.0);
+    EXPECT_DOUBLE_EQ(Value::parse("-1.5e3").as_number(), -1500.0);
+    EXPECT_EQ(Value::parse("\"hi\"").as_string(), "hi");
+}
+
+TEST(Json, ParsesNestedContainers) {
+    const Value v = Value::parse(R"({"a": [1, 2, {"b": true}], "c": "x"})");
+    ASSERT_TRUE(v.is_object());
+    EXPECT_EQ(v.size(), 2u);
+    EXPECT_TRUE(v.has("a"));
+    EXPECT_FALSE(v.has("missing"));
+    const Value& a = v["a"];
+    ASSERT_EQ(a.size(), 3u);
+    EXPECT_DOUBLE_EQ(a.at(0).as_number(), 1.0);
+    EXPECT_TRUE(a.at(2)["b"].as_bool());
+    EXPECT_EQ(v["c"].as_string(), "x");
+}
+
+TEST(Json, ParsesStringEscapes) {
+    const Value v = Value::parse(R"("line\nquote\"back\\slash\ttabA")");
+    EXPECT_EQ(v.as_string(), "line\nquote\"back\\slash\ttabA");
+}
+
+TEST(Json, RejectsMalformedInput) {
+    EXPECT_THROW((void)Value::parse(""), Error);
+    EXPECT_THROW((void)Value::parse("{"), Error);
+    EXPECT_THROW((void)Value::parse("[1,]"), Error);
+    EXPECT_THROW((void)Value::parse("{\"a\" 1}"), Error);
+    EXPECT_THROW((void)Value::parse("tru"), Error);
+    EXPECT_THROW((void)Value::parse("1 2"), Error) << "trailing garbage";
+    EXPECT_THROW((void)Value::parse("\"unterminated"), Error);
+}
+
+TEST(Json, AccessorsCheckTypes) {
+    const Value v = Value::parse("[1]");
+    EXPECT_THROW((void)v.as_object(), Error);
+    EXPECT_THROW((void)v["k"], Error);
+    EXPECT_THROW((void)v.at(5), Error);
+    EXPECT_THROW((void)Value(true).as_number(), Error);
+}
+
+TEST(Json, DumpParseRoundTripPreservesDoubles) {
+    Value doc;
+    auto& obj = doc.object();
+    obj.emplace("pi", Value(3.141592653589793));
+    obj.emplace("tiny", Value(1.5e-300));
+    obj.emplace("arr", Value(Value::Array{Value(1.0), Value("s"), Value(false)}));
+    const Value back = Value::parse(doc.dump());
+    EXPECT_DOUBLE_EQ(back["pi"].as_number(), 3.141592653589793);
+    EXPECT_DOUBLE_EQ(back["tiny"].as_number(), 1.5e-300);
+    EXPECT_EQ(back["arr"].at(1).as_string(), "s");
+    EXPECT_FALSE(back["arr"].at(2).as_bool());
+    EXPECT_EQ(back.dump(), doc.dump()) << "dump is a fixed point";
+}
+
+TEST(Json, EscapeHandlesSpecials) {
+    EXPECT_EQ(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    EXPECT_EQ(escape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(Json, BuildersPromoteNull) {
+    Value v;
+    v.array().emplace_back(Value(1.0));
+    EXPECT_TRUE(v.is_array());
+    Value o;
+    o.object().emplace("k", Value("v"));
+    EXPECT_TRUE(o.is_object());
+    EXPECT_THROW((void)v.object(), Error) << "array cannot become an object";
+}
+
+} // namespace
+} // namespace kdr::obs::json

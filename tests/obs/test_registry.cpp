@@ -1,0 +1,150 @@
+#include "obs/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include "obs/json.hpp"
+#include "support/error.hpp"
+
+namespace kdr::obs {
+namespace {
+
+TEST(Counter, AccumulatesAndRejectsNegative) {
+    Counter c;
+    EXPECT_DOUBLE_EQ(c.value(), 0.0);
+    c.inc();
+    c.add(2.5);
+    EXPECT_DOUBLE_EQ(c.value(), 3.5);
+    EXPECT_THROW(c.add(-1.0), Error);
+    EXPECT_DOUBLE_EQ(c.value(), 3.5) << "failed add must not change the value";
+}
+
+TEST(Gauge, SetAndAdd) {
+    Gauge g;
+    g.set(4.0);
+    g.add(-1.5);
+    EXPECT_DOUBLE_EQ(g.value(), 2.5);
+}
+
+TEST(Histogram, ObservationsLandInFirstBucketWithValueLeBound) {
+    Histogram h({1.0, 10.0, 100.0});
+    h.observe(0.5);   // <= 1     -> bucket 0
+    h.observe(1.0);   // == bound -> bucket 0 (le semantics)
+    h.observe(5.0);   //          -> bucket 1
+    h.observe(100.0); //          -> bucket 2
+    h.observe(1e6);   // overflow -> bucket 3 (+inf)
+    EXPECT_EQ(h.count(), 5u);
+    EXPECT_DOUBLE_EQ(h.sum(), 0.5 + 1.0 + 5.0 + 100.0 + 1e6);
+    ASSERT_EQ(h.bucket_counts().size(), 4u);
+    EXPECT_EQ(h.bucket_counts()[0], 2u);
+    EXPECT_EQ(h.bucket_counts()[1], 1u);
+    EXPECT_EQ(h.bucket_counts()[2], 1u);
+    EXPECT_EQ(h.bucket_counts()[3], 1u);
+}
+
+TEST(Histogram, RejectsNonIncreasingBounds) {
+    EXPECT_THROW(Histogram({1.0, 1.0}), Error);
+    EXPECT_THROW(Histogram({2.0, 1.0}), Error);
+}
+
+TEST(Histogram, ExponentialBounds) {
+    const auto b = Histogram::exponential_bounds(1e-6, 10.0, 3);
+    ASSERT_EQ(b.size(), 3u);
+    EXPECT_DOUBLE_EQ(b[0], 1e-6);
+    EXPECT_DOUBLE_EQ(b[1], 1e-5);
+    EXPECT_DOUBLE_EQ(b[2], 1e-4);
+    EXPECT_THROW(Histogram::exponential_bounds(0.0, 10.0, 3), Error);
+}
+
+TEST(Registry, FindOrCreateReturnsStableReferences) {
+    Registry reg;
+    Counter& a = reg.counter("tasks");
+    a.inc();
+    Counter& b = reg.counter("tasks");
+    EXPECT_EQ(&a, &b) << "same identity -> same metric";
+    // Creating more metrics must not invalidate the first handle.
+    for (int i = 0; i < 100; ++i) reg.counter("c" + std::to_string(i));
+    a.inc();
+    EXPECT_DOUBLE_EQ(reg.counter_value("tasks"), 2.0);
+}
+
+TEST(Registry, LabelOrderDoesNotMatterButValuesDo) {
+    Registry reg;
+    reg.counter("m", {{"a", "1"}, {"b", "2"}}).inc();
+    reg.counter("m", {{"b", "2"}, {"a", "1"}}).inc(); // same metric, swapped order
+    reg.counter("m", {{"a", "1"}, {"b", "3"}}).inc(); // different value -> new metric
+    EXPECT_DOUBLE_EQ(reg.counter_value("m", {{"b", "2"}, {"a", "1"}}), 2.0);
+    EXPECT_DOUBLE_EQ(reg.counter_value("m", {{"a", "1"}, {"b", "3"}}), 1.0);
+    EXPECT_DOUBLE_EQ(reg.counter_total("m"), 3.0);
+    EXPECT_EQ(reg.metric_count(), 2u);
+}
+
+TEST(Registry, RejectsDuplicateLabelKeys) {
+    Registry reg;
+    EXPECT_THROW(reg.counter("m", {{"a", "1"}, {"a", "2"}}), Error);
+}
+
+TEST(Registry, UnknownCounterReadsAsZero) {
+    const Registry reg;
+    EXPECT_DOUBLE_EQ(reg.counter_value("never_created"), 0.0);
+    EXPECT_DOUBLE_EQ(reg.counter_total("never_created"), 0.0);
+}
+
+TEST(Registry, HistogramBoundsMustMatchOnReaccess) {
+    Registry reg;
+    reg.histogram("lat", {1.0, 2.0});
+    EXPECT_NO_THROW(reg.histogram("lat", {1.0, 2.0}));
+    EXPECT_THROW(reg.histogram("lat", {1.0, 3.0}), Error);
+}
+
+TEST(Registry, MetricsOfDifferentKindsShareNamespacesIndependently) {
+    Registry reg;
+    reg.counter("x").inc();
+    reg.gauge("x").set(7.0);
+    EXPECT_DOUBLE_EQ(reg.counter_value("x"), 1.0);
+    EXPECT_EQ(reg.metric_count(), 2u);
+}
+
+TEST(Registry, ToJsonIsParseableAndComplete) {
+    Registry reg;
+    reg.counter("tasks", {{"proc", "gpu"}}).add(5.0);
+    reg.gauge("occupancy").set(0.5);
+    reg.histogram("dur", {1.0}, {}).observe(0.5);
+    const json::Value doc = json::Value::parse(reg.to_json());
+    ASSERT_EQ(doc["counters"].size(), 1u);
+    EXPECT_EQ(doc["counters"].at(0)["name"].as_string(), "tasks");
+    EXPECT_EQ(doc["counters"].at(0)["labels"]["proc"].as_string(), "gpu");
+    EXPECT_DOUBLE_EQ(doc["counters"].at(0)["value"].as_number(), 5.0);
+    ASSERT_EQ(doc["gauges"].size(), 1u);
+    EXPECT_DOUBLE_EQ(doc["gauges"].at(0)["value"].as_number(), 0.5);
+    ASSERT_EQ(doc["histograms"].size(), 1u);
+    const json::Value& h = doc["histograms"].at(0);
+    EXPECT_DOUBLE_EQ(h["count"].as_number(), 1.0);
+    ASSERT_EQ(h["buckets"].size(), 2u);
+    EXPECT_DOUBLE_EQ(h["buckets"].at(0)["count"].as_number(), 1.0);
+    EXPECT_EQ(h["buckets"].at(1)["le"].as_string(), "+inf");
+}
+
+TEST(Registry, ResetDropsEverything) {
+    Registry reg;
+    reg.counter("a").inc();
+    reg.gauge("b");
+    reg.reset();
+    EXPECT_EQ(reg.metric_count(), 0u);
+    EXPECT_DOUBLE_EQ(reg.counter_value("a"), 0.0);
+}
+
+TEST(Registry, ForEachVisitsCanonicalLabelOrder) {
+    Registry reg;
+    reg.counter("m", {{"z", "1"}, {"a", "2"}});
+    int visits = 0;
+    reg.for_each_counter([&](const MetricId& id, const Counter&) {
+        ++visits;
+        ASSERT_EQ(id.labels.size(), 2u);
+        EXPECT_EQ(id.labels[0].key, "a") << "labels canonicalized by key";
+        EXPECT_EQ(id.labels[1].key, "z");
+    });
+    EXPECT_EQ(visits, 1);
+}
+
+} // namespace
+} // namespace kdr::obs

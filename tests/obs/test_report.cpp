@@ -1,0 +1,273 @@
+/// Solve-report tests: JSON round-trip, file output, table rendering, and the
+/// end-to-end accounting invariants on a real CG solve — per-task-kind
+/// virtual times must sum to the cluster's total busy time (within 1%), node
+/// rows must be consistent with utilization and imbalance, and the Chrome
+/// trace must carry the solver-phase span track next to the task rows.
+
+#include "obs/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <set>
+#include <sstream>
+
+#include "core/monitor.hpp"
+#include "core/solvers.hpp"
+#include "obs/json.hpp"
+#include "runtime/trace_export.hpp"
+#include "stencil/stencil.hpp"
+#include "support/error.hpp"
+
+namespace kdr::obs {
+namespace {
+
+SolveReport sample_report() {
+    SolveReport r;
+    r.makespan = 1.25;
+    r.tasks = 42;
+    r.busy_total = 3.5;
+    r.task_kinds = {{"spmv", 10, 2.0, 0.2, 0.4}, {"dot", 20, 1.5, 0.075, 0.1}};
+    r.nodes = {{0, 2.0, 0.8}, {1, 1.5, 0.6}};
+    r.load_imbalance = 2.0 / 1.75;
+    r.transfers = {{0, 1, 4096.0, 3}, {1, 0, 128.0, 1}};
+    r.transfer_bytes = 4224.0;
+    r.transfer_count = 4;
+    r.phases = {{"spmv", 10, 0.9}, {"setup", 1, 0.1}};
+    r.convergence = {{0, 1.0, 0.0}, {1, 0.25, 0.5}};
+    return r;
+}
+
+TEST(SolveReport, JsonRoundTripPreservesEveryField) {
+    const SolveReport r = sample_report();
+    const SolveReport back = SolveReport::from_json(r.to_json());
+
+    EXPECT_DOUBLE_EQ(back.makespan, r.makespan);
+    EXPECT_EQ(back.tasks, r.tasks);
+    EXPECT_DOUBLE_EQ(back.busy_total, r.busy_total);
+    EXPECT_DOUBLE_EQ(back.load_imbalance, r.load_imbalance);
+    EXPECT_DOUBLE_EQ(back.transfer_bytes, r.transfer_bytes);
+    EXPECT_EQ(back.transfer_count, r.transfer_count);
+
+    ASSERT_EQ(back.task_kinds.size(), r.task_kinds.size());
+    for (std::size_t i = 0; i < r.task_kinds.size(); ++i) {
+        EXPECT_EQ(back.task_kinds[i].name, r.task_kinds[i].name);
+        EXPECT_EQ(back.task_kinds[i].count, r.task_kinds[i].count);
+        EXPECT_DOUBLE_EQ(back.task_kinds[i].total, r.task_kinds[i].total);
+        EXPECT_DOUBLE_EQ(back.task_kinds[i].mean, r.task_kinds[i].mean);
+        EXPECT_DOUBLE_EQ(back.task_kinds[i].max, r.task_kinds[i].max);
+    }
+    ASSERT_EQ(back.nodes.size(), r.nodes.size());
+    for (std::size_t i = 0; i < r.nodes.size(); ++i) {
+        EXPECT_EQ(back.nodes[i].node, r.nodes[i].node);
+        EXPECT_DOUBLE_EQ(back.nodes[i].busy, r.nodes[i].busy);
+        EXPECT_DOUBLE_EQ(back.nodes[i].utilization, r.nodes[i].utilization);
+    }
+    ASSERT_EQ(back.transfers.size(), r.transfers.size());
+    for (std::size_t i = 0; i < r.transfers.size(); ++i) {
+        EXPECT_EQ(back.transfers[i].src, r.transfers[i].src);
+        EXPECT_EQ(back.transfers[i].dst, r.transfers[i].dst);
+        EXPECT_DOUBLE_EQ(back.transfers[i].bytes, r.transfers[i].bytes);
+        EXPECT_EQ(back.transfers[i].count, r.transfers[i].count);
+    }
+    ASSERT_EQ(back.phases.size(), r.phases.size());
+    for (std::size_t i = 0; i < r.phases.size(); ++i) {
+        EXPECT_EQ(back.phases[i].name, r.phases[i].name);
+        EXPECT_EQ(back.phases[i].count, r.phases[i].count);
+        EXPECT_DOUBLE_EQ(back.phases[i].total, r.phases[i].total);
+    }
+    ASSERT_EQ(back.convergence.size(), r.convergence.size());
+    for (std::size_t i = 0; i < r.convergence.size(); ++i) {
+        EXPECT_EQ(back.convergence[i].iteration, r.convergence[i].iteration);
+        EXPECT_DOUBLE_EQ(back.convergence[i].residual, r.convergence[i].residual);
+        EXPECT_DOUBLE_EQ(back.convergence[i].virtual_time, r.convergence[i].virtual_time);
+    }
+}
+
+TEST(SolveReport, WriteSolveReportProducesParseableFile) {
+    const std::string path = "test_report_tmp.json";
+    write_solve_report(path, sample_report());
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::stringstream text;
+    text << in.rdbuf();
+    const SolveReport back = SolveReport::from_json(text.str());
+    EXPECT_EQ(back.tasks, 42u);
+    std::remove(path.c_str());
+
+    EXPECT_THROW(write_solve_report("no_such_dir/x/report.json", sample_report()), Error);
+}
+
+TEST(SolveReport, PrintRendersAllSections) {
+    std::ostringstream os;
+    sample_report().print(os);
+    const std::string text = os.str();
+    EXPECT_NE(text.find("makespan"), std::string::npos);
+    EXPECT_NE(text.find("spmv"), std::string::npos);
+    EXPECT_NE(text.find("imbalance"), std::string::npos);
+    EXPECT_NE(text.find("node"), std::string::npos);
+}
+
+// ------------------------------------------------------------- integration
+
+/// A small functional CG solve with profiling on, everything retained.
+struct CgRun {
+    std::unique_ptr<rt::Runtime> runtime;
+    SolveReport report;
+    std::vector<rt::TaskProfile> profiles;
+    std::vector<SpanRecord> spans;
+    int iterations = 0;
+    int procs_per_node = 0;
+};
+
+CgRun run_small_cg() {
+    CgRun out;
+    sim::MachineDesc m = sim::MachineDesc::lassen(2);
+    m.gpus_per_node = 2;
+    out.procs_per_node = 1 + m.gpus_per_node;
+    out.runtime = std::make_unique<rt::Runtime>(m);
+    out.runtime->set_profiling(true);
+
+    const stencil::Spec spec = stencil::Spec::cube(stencil::Kind::D2P5, gidx{256});
+    const gidx n = spec.unknowns();
+    const IndexSpace D = IndexSpace::create(n, "D");
+    const IndexSpace R = IndexSpace::create(n, "R");
+    const rt::RegionId xr = out.runtime->create_region(D, "x");
+    const rt::RegionId br = out.runtime->create_region(R, "b");
+    const rt::FieldId xf = out.runtime->add_field<double>(xr, "v");
+    const rt::FieldId bf = out.runtime->add_field<double>(br, "v");
+    const auto b = stencil::random_rhs(n, 7);
+    auto bd = out.runtime->field_data<double>(br, bf);
+    std::copy(b.begin(), b.end(), bd.begin());
+
+    core::Planner<double> planner(*out.runtime);
+    planner.add_sol_vector(xr, xf, Partition::equal(D, 4));
+    planner.add_rhs_vector(br, bf, Partition::equal(R, 4));
+    planner.add_operator(
+        std::make_shared<CsrMatrix<double>>(stencil::laplacian_csr(spec, D, R)), 0, 0);
+
+    core::CgSolver<double> inner(planner);
+    core::SolverMonitor<double> cg(inner);
+    while (cg.get_convergence_measure().value > 1e-8 && out.iterations < 500) {
+        cg.step();
+        ++out.iterations;
+    }
+    out.report = out.runtime->build_solve_report(cg.report_samples());
+    out.spans = out.runtime->spans().completed();
+    out.profiles = out.runtime->take_profiles();
+    return out;
+}
+
+TEST(SolveReportIntegration, TaskKindTimesSumToBusyTotalWithinOnePercent) {
+    const CgRun run = run_small_cg();
+    const SolveReport& r = run.report;
+    ASSERT_GT(run.iterations, 0);
+    ASSERT_FALSE(r.task_kinds.empty());
+    ASSERT_GT(r.busy_total, 0.0);
+
+    // The acceptance invariant: profiling accounts for every busy second.
+    double kinds_total = 0.0;
+    for (const TaskKindStats& k : r.task_kinds) {
+        kinds_total += k.total;
+        EXPECT_GT(k.count, 0u);
+        EXPECT_NEAR(k.mean * static_cast<double>(k.count), k.total, 1e-9 * k.total);
+        EXPECT_GE(k.max, k.mean);
+    }
+    EXPECT_NEAR(kinds_total, r.busy_total, 0.01 * r.busy_total);
+
+    // Task-kind rows are sorted by total time, descending.
+    for (std::size_t i = 1; i < r.task_kinds.size(); ++i) {
+        EXPECT_GE(r.task_kinds[i - 1].total, r.task_kinds[i].total);
+    }
+
+    EXPECT_EQ(r.tasks, run.runtime->tasks_launched());
+    EXPECT_DOUBLE_EQ(r.makespan, run.runtime->current_time());
+}
+
+TEST(SolveReportIntegration, NodeRowsAreConsistent) {
+    const CgRun run = run_small_cg();
+    const SolveReport& r = run.report;
+    ASSERT_EQ(r.nodes.size(), 2u);
+    double node_busy = 0.0;
+    for (const NodeStats& n : r.nodes) {
+        node_busy += n.busy;
+        const double expected =
+            n.busy / (r.makespan * static_cast<double>(run.procs_per_node));
+        EXPECT_NEAR(n.utilization, expected, 1e-12);
+        EXPECT_GE(n.utilization, 0.0);
+        EXPECT_LE(n.utilization, 1.0);
+    }
+    EXPECT_NEAR(node_busy, r.busy_total, 1e-9 * r.busy_total);
+    EXPECT_GE(r.load_imbalance, 1.0);
+
+    // Transfer matrix edges sum to the runtime's totals.
+    double edge_bytes = 0.0;
+    std::uint64_t edge_count = 0;
+    for (const TransferEdge& e : r.transfers) {
+        edge_bytes += e.bytes;
+        edge_count += e.count;
+    }
+    EXPECT_DOUBLE_EQ(edge_bytes, r.transfer_bytes);
+    EXPECT_EQ(edge_count, r.transfer_count);
+    EXPECT_DOUBLE_EQ(r.transfer_bytes, run.runtime->transfer_bytes());
+}
+
+TEST(SolveReportIntegration, PhasesAndConvergenceAreRecorded) {
+    const CgRun run = run_small_cg();
+    const SolveReport& r = run.report;
+    std::set<std::string> phase_names;
+    for (const PhaseStats& p : r.phases) {
+        phase_names.insert(p.name);
+        EXPECT_GT(p.count, 0u);
+        EXPECT_GE(p.total, 0.0);
+    }
+    EXPECT_TRUE(phase_names.count("spmv")) << "CG must record spmv phase spans";
+    EXPECT_TRUE(phase_names.count("dot"));
+    EXPECT_TRUE(phase_names.count("setup"));
+
+    // Monitor records one sample at construction plus one per step.
+    ASSERT_EQ(r.convergence.size(), static_cast<std::size_t>(run.iterations) + 1);
+    EXPECT_LT(r.convergence.back().residual, r.convergence.front().residual);
+    EXPECT_LE(r.convergence.back().residual, 1e-8);
+    for (std::size_t i = 1; i < r.convergence.size(); ++i) {
+        EXPECT_GE(r.convergence[i].virtual_time, r.convergence[i - 1].virtual_time);
+    }
+}
+
+TEST(SolveReportIntegration, ChromeTraceCarriesPhaseTrackAndTaskRows) {
+    const CgRun run = run_small_cg();
+    ASSERT_FALSE(run.profiles.empty());
+    ASSERT_FALSE(run.spans.empty());
+    const std::string trace = rt::to_chrome_trace(run.profiles, run.spans);
+
+    // The trace is valid JSON with both categories of slices present.
+    const json::Value doc = json::Value::parse(trace);
+    const json::Value& events = doc["traceEvents"];
+    ASSERT_TRUE(events.is_array());
+    bool saw_task = false, saw_phase = false, saw_track_meta = false;
+    for (std::size_t i = 0; i < events.size(); ++i) {
+        const json::Value& e = events.at(i);
+        if (e["ph"].as_string() == "M" && e["name"].as_string() == "process_name" &&
+            e["args"]["name"].as_string() == "solver phases") {
+            saw_track_meta = true;
+            EXPECT_DOUBLE_EQ(e["pid"].as_number(), double{rt::kPhaseTrackPid});
+        }
+        if (!e.has("cat")) continue;
+        if (e["cat"].as_string() == "task") {
+            saw_task = true;
+            EXPECT_LT(e["pid"].as_number(), double{rt::kPhaseTrackPid});
+        }
+        if (e["cat"].as_string() == "phase") {
+            saw_phase = true;
+            EXPECT_DOUBLE_EQ(e["pid"].as_number(), double{rt::kPhaseTrackPid});
+        }
+    }
+    EXPECT_TRUE(saw_task) << "per-processor task slices missing";
+    EXPECT_TRUE(saw_phase) << "solver-phase span slices missing";
+    EXPECT_TRUE(saw_track_meta) << "phase track metadata missing";
+}
+
+} // namespace
+} // namespace kdr::obs

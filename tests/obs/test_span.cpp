@@ -1,0 +1,113 @@
+#include "obs/span.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+
+namespace kdr::obs {
+namespace {
+
+/// Clock the tests advance by hand — spans record whatever it reads.
+struct ManualClock {
+    double now = 0.0;
+    SpanTracker::Clock fn() {
+        return [this] { return now; };
+    }
+};
+
+TEST(SpanTracker, RecordsStartFinishAndNestingDepth) {
+    ManualClock clk;
+    SpanTracker tracker(clk.fn());
+    const std::size_t outer = tracker.open("solve");
+    clk.now = 1.0;
+    const std::size_t inner = tracker.open("spmv");
+    EXPECT_EQ(tracker.open_depth(), 2u);
+    clk.now = 3.0;
+    tracker.close(inner);
+    clk.now = 5.0;
+    tracker.close(outer);
+    EXPECT_EQ(tracker.open_depth(), 0u);
+
+    const auto& done = tracker.completed();
+    ASSERT_EQ(done.size(), 2u);
+    // Innermost closes first.
+    EXPECT_EQ(done[0].name, "spmv");
+    EXPECT_DOUBLE_EQ(done[0].start, 1.0);
+    EXPECT_DOUBLE_EQ(done[0].finish, 3.0);
+    EXPECT_EQ(done[0].depth, 1);
+    EXPECT_EQ(done[1].name, "solve");
+    EXPECT_DOUBLE_EQ(done[1].start, 0.0);
+    EXPECT_DOUBLE_EQ(done[1].finish, 5.0);
+    EXPECT_EQ(done[1].depth, 0);
+}
+
+TEST(SpanTracker, EnforcesLifoClosing) {
+    ManualClock clk;
+    SpanTracker tracker(clk.fn());
+    const std::size_t outer = tracker.open("a");
+    (void)tracker.open("b");
+    EXPECT_THROW(tracker.close(outer), Error) << "outer may not close before inner";
+    EXPECT_THROW(tracker.close(99), Error) << "token for a span that was never opened";
+}
+
+TEST(SpanTracker, DisabledTrackerRecordsNothing) {
+    ManualClock clk;
+    SpanTracker tracker(clk.fn());
+    tracker.set_enabled(false);
+    EXPECT_FALSE(tracker.enabled());
+    const std::size_t token = tracker.open("ignored");
+    tracker.close(token); // sentinel token: a no-op, never a LIFO violation
+    EXPECT_EQ(tracker.open_depth(), 0u);
+    EXPECT_TRUE(tracker.completed().empty());
+
+    tracker.set_enabled(true);
+    tracker.close(tracker.open("counted"));
+    EXPECT_EQ(tracker.completed().size(), 1u);
+}
+
+TEST(SpanTracker, TakeDrainsCompletedOnly) {
+    ManualClock clk;
+    SpanTracker tracker(clk.fn());
+    tracker.close(tracker.open("done"));
+    const std::size_t open = tracker.open("still-open");
+    const std::vector<SpanRecord> drained = tracker.take();
+    ASSERT_EQ(drained.size(), 1u);
+    EXPECT_EQ(drained[0].name, "done");
+    EXPECT_TRUE(tracker.completed().empty());
+    EXPECT_EQ(tracker.open_depth(), 1u) << "take() must not disturb open spans";
+    tracker.close(open);
+    EXPECT_EQ(tracker.completed().size(), 1u);
+}
+
+TEST(SpanTracker, NullClockRejected) {
+    EXPECT_THROW(SpanTracker(nullptr), Error);
+}
+
+TEST(Span, RaiiOpensAndCloses) {
+    ManualClock clk;
+    SpanTracker tracker(clk.fn());
+    {
+        const Span span(tracker, "phase");
+        EXPECT_EQ(tracker.open_depth(), 1u);
+        clk.now = 2.0;
+    }
+    EXPECT_EQ(tracker.open_depth(), 0u);
+    ASSERT_EQ(tracker.completed().size(), 1u);
+    EXPECT_EQ(tracker.completed()[0].name, "phase");
+    EXPECT_DOUBLE_EQ(tracker.completed()[0].finish, 2.0);
+}
+
+TEST(Span, MoveTransfersOwnership) {
+    ManualClock clk;
+    SpanTracker tracker(clk.fn());
+    {
+        Span a(tracker, "moved");
+        const Span b(std::move(a));
+        // `a`'s destructor must not close the span a second time.
+    }
+    ASSERT_EQ(tracker.completed().size(), 1u);
+    EXPECT_EQ(tracker.completed()[0].name, "moved");
+}
+
+} // namespace
+} // namespace kdr::obs

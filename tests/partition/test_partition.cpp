@@ -114,8 +114,8 @@ TEST(Partition, AliasedPartitionDetected) {
 TEST(Partition, PieceOutOfRangeThrows) {
     const IndexSpace s = IndexSpace::create(4);
     const Partition p = Partition::equal(s, 2);
-    EXPECT_THROW(p.piece(2), Error);
-    EXPECT_THROW(p.piece(-1), Error);
+    EXPECT_THROW((void)p.piece(2), Error);
+    EXPECT_THROW((void)p.piece(-1), Error);
 }
 
 TEST(Partition, RejectsPieceBeyondSpace) {

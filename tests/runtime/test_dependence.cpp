@@ -143,6 +143,45 @@ TEST_F(Fixture, FunctionalBodyRunsAtSubmission) {
     EXPECT_DOUBLE_EQ(rt.field_data<double>(r, f)[7], 4.25);
 }
 
+TEST(FieldKey, FieldIdsBeyond16BitsDoNotAliasAcrossRegions) {
+    // Regression: the old field key was (region << 16) | field, so
+    // (region 0, field 65536) and (region 1, field 0) shared a key and their
+    // writers were falsely serialized. Timing-only mode keeps the 65537
+    // phantom fields free.
+    sim::MachineDesc m = sim::MachineDesc::lassen(2);
+    m.gpus_per_node = 2;
+    m.task_launch_overhead = 0.0;
+    m.gpu_launch_overhead = 0.0;
+    m.nic_latency = 0.0;
+    m.nic_bandwidth = 1e30;
+    m.intra_node_bandwidth = 1e30;
+    Runtime rt(m, {.materialize = false, .profiling = false});
+    const IndexSpace space = IndexSpace::create(8, "D");
+    const RegionId a = rt.create_region(space, "a");
+    const RegionId b = rt.create_region(space, "b");
+    FieldId high = 0;
+    for (int i = 0; i <= 65536; ++i) {
+        high = rt.add_field<double>(a, "f" + std::to_string(i));
+    }
+    ASSERT_EQ(high, 65536u);
+    const FieldId low = rt.add_field<double>(b, "v");
+    ASSERT_EQ(low, 0u);
+
+    const auto write = [&](RegionId reg, FieldId f, Color color) {
+        TaskLaunch l;
+        l.name = "w";
+        l.requirements.push_back({reg, f, Privilege::WriteOnly, IntervalSet(0, 8)});
+        l.cost = {m.gpu_flops, 0.0};
+        l.color = color;
+        return rt.launch(std::move(l));
+    };
+    const FutureScalar w1 = write(a, high, 0);
+    const FutureScalar w2 = write(b, low, 1);
+    EXPECT_DOUBLE_EQ(w1.ready_time, 1.0);
+    EXPECT_DOUBLE_EQ(w2.ready_time, 1.0)
+        << "independent (region, field) pairs must not conflict";
+}
+
 TEST_F(Fixture, TaskCounterAdvances) {
     EXPECT_EQ(rt.tasks_launched(), 0u);
     run(Privilege::WriteOnly, IntervalSet(0, 10), 0);

@@ -46,22 +46,22 @@ TEST(Regions, TypedAccessChecksElementSize) {
     Runtime rt(machine4());
     const RegionId r = rt.create_region(IndexSpace::create(8), "r");
     const FieldId f = rt.add_field<double>(r, "v");
-    EXPECT_THROW(rt.field_data<float>(r, f), Error);
+    EXPECT_THROW((void)rt.field_data<float>(r, f), Error);
 }
 
 TEST(Regions, PhantomFieldsRefuseDataAccess) {
     Runtime rt(machine4(), {.materialize = false});
     const RegionId r = rt.create_region(IndexSpace::create(1 << 20), "big");
     const FieldId f = rt.add_field<double>(r, "v");
-    EXPECT_THROW(rt.field_data<double>(r, f), Error);
+    EXPECT_THROW((void)rt.field_data<double>(r, f), Error);
     EXPECT_FALSE(rt.functional());
 }
 
 TEST(Regions, UnknownIdsThrow) {
     Runtime rt(machine4());
-    EXPECT_THROW(rt.region(0), Error);
+    EXPECT_THROW((void)rt.region(0), Error);
     const RegionId r = rt.create_region(IndexSpace::create(4), "r");
-    EXPECT_THROW(rt.region(r).field(0), Error);
+    EXPECT_THROW((void)rt.region(r).field(0), Error);
 }
 
 TEST(Regions, DefaultHomeIsNodeZero) {

@@ -116,10 +116,10 @@ INSTANTIATE_TEST_SUITE_P(
     AllPairs, ConversionMatrixTest,
     ::testing::Combine(::testing::Range<std::size_t>(0, 10),
                        ::testing::Range<std::size_t>(0, 10)),
-    [](const ::testing::TestParamInfo<std::tuple<std::size_t, std::size_t>>& info) {
+    [](const ::testing::TestParamInfo<std::tuple<std::size_t, std::size_t>>& pinfo) {
         const auto entries = catalog();
-        return entries[std::get<0>(info.param)].name + "_to_" +
-               entries[std::get<1>(info.param)].name;
+        return entries[std::get<0>(pinfo.param)].name + "_to_" +
+               entries[std::get<1>(pinfo.param)].name;
     });
 
 } // namespace

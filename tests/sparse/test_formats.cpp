@@ -206,8 +206,8 @@ TEST_P(FormatTest, MultiplyRejectsWrongSizes) {
 }
 
 INSTANTIATE_TEST_SUITE_P(AllFormats, FormatTest, ::testing::ValuesIn(all_formats()),
-                         [](const ::testing::TestParamInfo<FormatCase>& info) {
-                             return info.param.name;
+                         [](const ::testing::TestParamInfo<FormatCase>& pinfo) {
+                             return pinfo.param.name;
                          });
 
 // ---- square-matrix battery (diagonal extraction) ----
@@ -235,8 +235,8 @@ TEST_P(SquareFormatTest, DiagonalExtraction) {
 }
 
 INSTANTIATE_TEST_SUITE_P(AllFormats, SquareFormatTest, ::testing::ValuesIn(all_formats()),
-                         [](const ::testing::TestParamInfo<FormatCase>& info) {
-                             return info.param.name;
+                         [](const ::testing::TestParamInfo<FormatCase>& pinfo) {
+                             return pinfo.param.name;
                          });
 
 // ---- format-specific details ----

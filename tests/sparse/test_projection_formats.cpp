@@ -169,8 +169,8 @@ TEST_P(ProjectionFormatTest, UniversalOperatorIsFormatIndependent) {
 
 INSTANTIATE_TEST_SUITE_P(Formats, ProjectionFormatTest,
                          ::testing::ValuesIn(projection_formats()),
-                         [](const ::testing::TestParamInfo<ProjCase>& info) {
-                             return info.param.name;
+                         [](const ::testing::TestParamInfo<ProjCase>& pinfo) {
+                             return pinfo.param.name;
                          });
 
 } // namespace

@@ -122,8 +122,8 @@ TEST_P(StencilKindTest, RowSumsVanishInInterior) {
 
 INSTANTIATE_TEST_SUITE_P(AllKinds, StencilKindTest,
                          ::testing::Values(Kind::D1P3, Kind::D2P5, Kind::D3P7, Kind::D3P27),
-                         [](const ::testing::TestParamInfo<Kind>& info) {
-                             std::string n = kind_name(info.param);
+                         [](const ::testing::TestParamInfo<Kind>& pinfo) {
+                             std::string n = kind_name(pinfo.param);
                              for (char& c : n)
                                  if (c == '-') c = '_';
                              return n;

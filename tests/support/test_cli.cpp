@@ -47,7 +47,7 @@ TEST(CliArgs, HasDetectsPresence) {
 
 TEST(CliArgs, RejectsMalformedInt) {
     const CliArgs args = make({"-nx", "abc"});
-    EXPECT_THROW(args.get_int("nx", 0), Error);
+    EXPECT_THROW((void)args.get_int("nx", 0), Error);
 }
 
 TEST(CliArgs, StringValues) {

@@ -45,16 +45,16 @@ TEST(GeometricMean, SingleValue) { EXPECT_DOUBLE_EQ(geometric_mean({8.0}), 8.0);
 
 TEST(GeometricMean, TwoValues) { EXPECT_NEAR(geometric_mean({2.0, 8.0}), 4.0, 1e-12); }
 
-TEST(GeometricMean, RejectsEmpty) { EXPECT_THROW(geometric_mean({}), Error); }
+TEST(GeometricMean, RejectsEmpty) { EXPECT_THROW((void)geometric_mean({}), Error); }
 
 TEST(GeometricMean, RejectsNonpositive) {
-    EXPECT_THROW(geometric_mean({1.0, 0.0}), Error);
-    EXPECT_THROW(geometric_mean({1.0, -2.0}), Error);
+    EXPECT_THROW((void)geometric_mean({1.0, 0.0}), Error);
+    EXPECT_THROW((void)geometric_mean({1.0, -2.0}), Error);
 }
 
 TEST(MinOf, PicksMinimum) { EXPECT_DOUBLE_EQ(min_of({3.0, 1.5, 2.0}), 1.5); }
 
-TEST(MinOf, RejectsEmpty) { EXPECT_THROW(min_of({}), Error); }
+TEST(MinOf, RejectsEmpty) { EXPECT_THROW((void)min_of({}), Error); }
 
 } // namespace
 } // namespace kdr
