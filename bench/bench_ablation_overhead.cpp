@@ -28,10 +28,11 @@ int main(int argc, char** argv) {
             const stencil::Spec spec =
                 stencil::Spec::cube(stencil::Kind::D2P5, gidx{1} << lg);
             bench::LegionStencilSystem sys = bench::make_legion_stencil(
-                spec, machine, static_cast<Color>(machine.total_gpus()));
+                spec, machine, static_cast<Color>(machine.total_gpus()),
+                bench::TraceMode::None);
             core::CgSolver<double> cg(*sys.planner);
             row.push_back(bench::us(
-                bench::measure_per_iteration(*sys.runtime, cg, 10, timed, false)));
+                bench::measure_per_iteration(*sys.runtime, cg, 10, timed)));
         }
         table.add_row(std::move(row));
     }

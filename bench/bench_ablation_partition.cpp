@@ -28,9 +28,10 @@ int main(int argc, char** argv) {
     for (Color mult : {1, 2, 4, 8, 16, 32}) {
         const Color pieces = machine.total_gpus() * mult / 4;
         if (pieces < 1) continue;
-        bench::LegionStencilSystem sys = bench::make_legion_stencil(spec, machine, pieces);
+        bench::LegionStencilSystem sys =
+            bench::make_legion_stencil(spec, machine, pieces, bench::TraceMode::None);
         core::CgSolver<double> cg(*sys.planner);
-        const double t = bench::measure_per_iteration(*sys.runtime, cg, 10, timed, false);
+        const double t = bench::measure_per_iteration(*sys.runtime, cg, 10, timed);
         table.add_row({std::to_string(pieces),
                        Table::num(static_cast<double>(pieces) / machine.total_gpus(), 2),
                        bench::us(t)});

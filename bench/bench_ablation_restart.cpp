@@ -54,10 +54,10 @@ int main(int argc, char** argv) {
         double per_iter;
         {
             bench::LegionStencilSystem sys = bench::make_legion_stencil(
-                spec, machine, static_cast<Color>(machine.total_gpus()));
+                spec, machine, static_cast<Color>(machine.total_gpus()),
+                bench::TraceMode::None);
             core::GmresSolver<double> gmres(*sys.planner, m);
-            per_iter = bench::measure_per_iteration(*sys.runtime, gmres, m + 2, 3 * m, false,
-                                                    m);
+            per_iter = bench::measure_per_iteration(*sys.runtime, gmres, m + 2, 3 * m, m);
         }
         table.add_row({std::to_string(m), std::to_string(iters), bench::us(per_iter),
                        Table::num(iters * per_iter * 1e3, 2)});

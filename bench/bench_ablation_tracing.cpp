@@ -1,49 +1,166 @@
 /// Ablation: dynamic tracing (paper §5, Lee et al. [12]). The Fig 8 runs use
 /// dynamic dependence analysis; this harness measures what replaying
-/// memoized traces buys per iteration across problem sizes. Expected shape:
-/// large wins at small sizes (the analysis pipeline is the floor), no
-/// effect at large sizes (analysis is hidden behind compute — the paper's
-/// P1 "overhead hidden by spare cycles" claim, visible directly here).
+/// memoized traces buys per iteration across problem sizes, split into the
+/// two ingredients the runtime provides:
 ///
-/// Usage: bench_ablation_tracing [-nodes 16] [-minlog 16] [-maxlog 28] [-it 40]
+///  * verify-only replay — signatures are checked but every launch still
+///    walks dependence analysis and pays its full dynamic cost (the
+///    pre-fast-path behavior, kept as an ablation point; it times the same
+///    as not tracing at all);
+///  * fast-path replay — the captured dependence schedule is reused,
+///    analysis is skipped entirely (`trace_depanalysis_skipped` counts it),
+///    and only this path earns the reduced traced launch overhead;
+///
+/// each crossed with fused (axpy+dot / xpay+norm² single launches) vs
+/// unfused solver kernels. Expected shape: large wins at small sizes (the
+/// analysis pipeline is the per-iteration floor — the stall column drops to
+/// ~0 under the fast path), no effect at large sizes (analysis is hidden
+/// behind compute — the paper's P1 "overhead hidden by spare cycles" claim,
+/// visible directly here). A functional CG run asserts that tracing and
+/// fusion leave the convergence history bitwise unchanged.
+///
+/// Usage: bench_ablation_tracing [-nodes 16] [-minlog 16] [-maxlog 28]
+///                               [-it 40] [-solver cg] [-smoke]
+/// -smoke: tiny sizes and 2 timed iterations — a CI-friendly pass that
+/// still exercises record, capture, fast replay, and the fused kernels.
 
+#include <cmath>
 #include <iostream>
+#include <vector>
 
 #include "harness.hpp"
+#include "sparse/csr.hpp"
 #include "support/cli.hpp"
+
+namespace {
+
+using namespace kdr;
+
+struct ModeResult {
+    double per_iter = 0.0;  ///< virtual seconds per timed iteration
+    double stall = 0.0;     ///< analysis-stall seconds per timed iteration
+    double skipped = 0.0;   ///< launches that skipped analysis, per iteration
+};
+
+ModeResult run_mode(const stencil::Spec& spec, const sim::MachineDesc& machine,
+                    const std::string& solver_name, int timed, bench::TraceMode mode,
+                    bool fused) {
+    bench::LegionStencilSystem sys = bench::make_legion_stencil(
+        spec, machine, static_cast<Color>(machine.total_gpus()), mode, fused);
+    auto solver = bench::make_solver(solver_name, *sys.planner);
+    const int period = bench::trace_period(solver_name);
+    // Warm past record + capture so the timed loop sees steady state.
+    for (int i = 0; i < std::max(10, 2 * std::max(period, 3) + 1); ++i) solver->step();
+    const obs::Registry& m = sys.runtime->metrics();
+    const double stall0 = m.counter_value("analysis_stall_seconds");
+    const double skip0 = m.counter_value("trace_depanalysis_skipped");
+    const double t0 = sys.runtime->current_time();
+    for (int i = 0; i < timed; ++i) solver->step();
+    ModeResult r;
+    r.per_iter = (sys.runtime->current_time() - t0) / timed;
+    r.stall = (m.counter_value("analysis_stall_seconds") - stall0) / timed;
+    r.skipped = (m.counter_value("trace_depanalysis_skipped") - skip0) / timed;
+    return r;
+}
+
+/// Functional CG on a small Poisson system: the convergence history with
+/// fast-path tracing + fused kernels must match the untraced, unfused run
+/// bitwise — tracing replays the *same* schedule and fusion performs the
+/// *same* arithmetic in the same order.
+bool check_convergence_identity(const sim::MachineDesc& machine, int iters) {
+    const stencil::Spec spec = stencil::Spec::cube(stencil::Kind::D2P5, 1 << 10);
+    auto history = [&](bench::TraceMode mode, bool fused) {
+        rt::Runtime runtime(machine,
+                            rt::RuntimeOptions{.trace_fast_path =
+                                                   mode == bench::TraceMode::Fast});
+        const gidx n = spec.unknowns();
+        const IndexSpace D = IndexSpace::create(n, "D");
+        const rt::RegionId xr = runtime.create_region(D, "x");
+        const rt::RegionId br = runtime.create_region(D, "b");
+        const rt::FieldId xf = runtime.add_field<double>(xr, "v");
+        const rt::FieldId bf = runtime.add_field<double>(br, "v");
+        const auto b = stencil::random_rhs(n, 17);
+        auto bd = runtime.field_data<double>(br, bf);
+        std::copy(b.begin(), b.end(), bd.begin());
+        core::PlannerOptions popts;
+        popts.trace_solver_loops = mode != bench::TraceMode::None;
+        popts.fused_kernels = fused;
+        core::Planner<double> planner(runtime, popts);
+        const Color pieces = static_cast<Color>(machine.total_gpus());
+        planner.add_sol_vector(xr, xf, Partition::equal(D, pieces));
+        planner.add_rhs_vector(br, bf, Partition::equal(D, pieces));
+        planner.add_operator(
+            std::make_shared<CsrMatrix<double>>(stencil::laplacian_csr(spec, D, D)), 0, 0);
+        core::CgSolver<double> cg(planner);
+        std::vector<double> res;
+        res.reserve(static_cast<std::size_t>(iters));
+        for (int i = 0; i < iters; ++i) {
+            cg.step();
+            res.push_back(cg.get_convergence_measure().value);
+        }
+        return res;
+    };
+    const std::vector<double> baseline = history(bench::TraceMode::None, false);
+    const std::vector<double> traced = history(bench::TraceMode::Fast, true);
+    for (std::size_t i = 0; i < baseline.size(); ++i) {
+        if (baseline[i] != traced[i]) {
+            std::cout << "MISMATCH at iteration " << i << ": untraced/unfused "
+                      << baseline[i] << " vs fast/fused " << traced[i] << "\n";
+            return false;
+        }
+    }
+    return true;
+}
+
+} // namespace
 
 int main(int argc, char** argv) {
     using namespace kdr;
     const CliArgs args(argc, argv);
-    const int nodes = static_cast<int>(args.get_int("nodes", 16));
-    const int minlog = static_cast<int>(args.get_int("minlog", 16));
-    const int maxlog = static_cast<int>(args.get_int("maxlog", 28));
-    const int timed = static_cast<int>(args.get_int("it", 40));
+    const bool smoke = args.get_flag("smoke");
+    const int nodes = static_cast<int>(args.get_int("nodes", smoke ? 1 : 16));
+    const int minlog = static_cast<int>(args.get_int("minlog", smoke ? 10 : 16));
+    const int maxlog = static_cast<int>(args.get_int("maxlog", smoke ? 12 : 28));
+    const int timed = static_cast<int>(args.get_int("it", smoke ? 2 : 40));
+    const std::string solver = args.get_string("solver", "cg");
     const sim::MachineDesc machine = sim::MachineDesc::lassen(nodes);
 
-    std::cout << "=== Ablation: dynamic tracing (CG, 5pt-2D, " << machine.total_gpus()
-              << " GPUs) ===\n"
+    std::cout << "=== Ablation: dynamic tracing (" << solver << ", 5pt-2D, "
+              << machine.total_gpus() << " GPUs) ===\n"
               << "dynamic analysis: " << machine.task_launch_overhead * 1e6
               << " us/task; traced replay: " << machine.traced_launch_overhead * 1e6
               << " us/task\n\n";
 
-    Table table({"unknowns", "dynamic us/it", "traced us/it", "speedup"});
+    const bench::TraceMode modes[] = {bench::TraceMode::None, bench::TraceMode::Verify,
+                                      bench::TraceMode::Fast};
+    Table table({"unknowns", "dynamic us/it", "verify us/it", "fast us/it",
+                 "fast+fused us/it", "speedup", "stall dyn->fast us/it"});
     for (int lg = minlog; lg <= maxlog; lg += 2) {
         const stencil::Spec spec = stencil::Spec::cube(stencil::Kind::D2P5, gidx{1} << lg);
-        double times[2];
-        for (int traced = 0; traced < 2; ++traced) {
-            bench::LegionStencilSystem sys = bench::make_legion_stencil(
-                spec, machine, static_cast<Color>(machine.total_gpus()));
-            core::CgSolver<double> cg(*sys.planner);
-            times[traced] =
-                bench::measure_per_iteration(*sys.runtime, cg, 10, timed, traced == 1);
-        }
+        ModeResult unfused[3];
+        for (int m = 0; m < 3; ++m)
+            unfused[m] = run_mode(spec, machine, solver, timed, modes[m], false);
+        const ModeResult fast_fused =
+            run_mode(spec, machine, solver, timed, bench::TraceMode::Fast, true);
         table.add_row({Table::eng(static_cast<double>(spec.unknowns()), 0),
-                       bench::us(times[0]), bench::us(times[1]),
-                       Table::num(times[0] / times[1], 3) + "x"});
+                       bench::us(unfused[0].per_iter), bench::us(unfused[1].per_iter),
+                       bench::us(unfused[2].per_iter), bench::us(fast_fused.per_iter),
+                       Table::num(unfused[0].per_iter / fast_fused.per_iter, 3) + "x",
+                       bench::us(unfused[0].stall) + " -> " + bench::us(unfused[2].stall)});
+        if (unfused[2].skipped <= 0.0) {
+            std::cout << "ERROR: fast-path replay skipped no dependence analysis at 2^"
+                      << lg << "\n";
+            return 1;
+        }
     }
     table.print(std::cout);
-    std::cout << "\nshape: tracing wins where analysis is the per-iteration floor (small\n"
-                 "problems) and is neutral once compute hides the pipeline (large ones).\n";
-    return 0;
+    std::cout << "\nshape: the fast path wins where analysis is the per-iteration floor\n"
+                 "(small problems; its stall column collapses to ~0) and is neutral once\n"
+                 "compute hides the pipeline (large ones). Fused kernels shave the extra\n"
+                 "launch per update+reduction pair on top.\n\n";
+
+    const bool identical = check_convergence_identity(machine, smoke ? 8 : 25);
+    std::cout << "functional CG convergence history, fast+fused vs untraced+unfused: "
+              << (identical ? "bitwise identical" : "DIVERGED") << "\n";
+    return identical ? 0 : 1;
 }

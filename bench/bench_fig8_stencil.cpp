@@ -33,16 +33,16 @@ using namespace kdr;
 
 // The paper's Fig 8 runs LegionSolvers with dynamic dependence analysis (the
 // artifact's jsrun line enables no tracing); bench_ablation_tracing measures
-// what tracing would buy.
+// what tracing would buy. -trace turns on the fast-path replay.
 double run_legion(const stencil::Spec& spec, const sim::MachineDesc& machine,
                   const std::string& solver_name, int timed, bool trace,
                   obs::SolveReport* report_out = nullptr) {
     bench::LegionStencilSystem sys = bench::make_legion_stencil(
-        spec, machine, static_cast<Color>(machine.total_gpus()));
+        spec, machine, static_cast<Color>(machine.total_gpus()),
+        trace ? bench::TraceMode::Fast : bench::TraceMode::None);
     if (report_out != nullptr) sys.runtime->set_profiling(true);
     auto solver = bench::make_solver(solver_name, *sys.planner);
     const double per_it = bench::measure_per_iteration(*sys.runtime, *solver, 20, timed,
-                                                       trace,
                                                        bench::trace_period(solver_name));
     if (report_out != nullptr) *report_out = sys.runtime->build_solve_report();
     return per_it;

@@ -51,7 +51,9 @@ double run_multiop(gidx n_side, const sim::MachineDesc& machine, int timed) {
     const rt::FieldId b1f = runtime->add_field<double>(b1r, "v");
     const rt::FieldId b2f = runtime->add_field<double>(b2r, "v");
 
-    core::Planner<double> planner(*runtime);
+    core::PlannerOptions popts;
+    popts.trace_solver_loops = false; // untraced, like the paper's Fig 9 runs
+    core::Planner<double> planner(*runtime, popts);
     const Partition p1 = Partition::equal(D1, pieces_half);
     const Partition p2 = Partition::equal(D2, pieces_half);
     const core::CompId s1 = planner.add_sol_vector(x1r, x1f, p1);
@@ -130,7 +132,7 @@ double run_multiop(gidx n_side, const sim::MachineDesc& machine, int timed) {
     add_seam(D1, p2, s1, r2, /*src_col_offset=*/hy - 1);
 
     core::BiCgStabSolver<double> solver(planner);
-    return bench::measure_per_iteration(*runtime, solver, 10, timed, /*trace=*/false);
+    return bench::measure_per_iteration(*runtime, solver, 10, timed);
 }
 
 double run_single(gidx n_side, const sim::MachineDesc& machine, int timed) {
@@ -139,9 +141,9 @@ double run_single(gidx n_side, const sim::MachineDesc& machine, int timed) {
     spec.nx = n_side;
     spec.ny = n_side;
     bench::LegionStencilSystem sys = bench::make_legion_stencil(
-        spec, machine, static_cast<Color>(machine.total_gpus()));
+        spec, machine, static_cast<Color>(machine.total_gpus()), bench::TraceMode::None);
     core::BiCgStabSolver<double> solver(*sys.planner);
-    return bench::measure_per_iteration(*sys.runtime, solver, 10, timed, /*trace=*/false);
+    return bench::measure_per_iteration(*sys.runtime, solver, 10, timed);
 }
 
 } // namespace

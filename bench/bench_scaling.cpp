@@ -24,9 +24,9 @@ using namespace kdr;
 
 double legion_time(const stencil::Spec& spec, const sim::MachineDesc& machine, int timed) {
     bench::LegionStencilSystem sys = bench::make_legion_stencil(
-        spec, machine, static_cast<Color>(machine.total_gpus()));
+        spec, machine, static_cast<Color>(machine.total_gpus()), bench::TraceMode::None);
     core::CgSolver<double> cg(*sys.planner);
-    return bench::measure_per_iteration(*sys.runtime, cg, 10, timed, false);
+    return bench::measure_per_iteration(*sys.runtime, cg, 10, timed);
 }
 
 double petsc_time(const stencil::Spec& spec, const sim::MachineDesc& machine, int timed) {

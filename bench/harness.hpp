@@ -3,9 +3,11 @@
 /// \file harness.hpp
 /// Shared machinery of the paper-reproduction benchmark binaries: building
 /// timing-mode LegionSolvers stencil systems (the Fig 8/9 configurations),
-/// solver factories, and the warmup + timed-iteration measurement loop with
-/// per-iteration dynamic tracing (the Fig 8 experiments run with tracing
-/// enabled; §6.3 notes only the load-balancing experiment disables it).
+/// solver factories, and the warmup + timed-iteration measurement loop.
+/// Solvers trace their own iteration loops (GMRES: per restart cycle); the
+/// harness selects the trace mode when building the system (the Fig 8
+/// experiments run with tracing enabled; §6.3 notes only the load-balancing
+/// experiment disables it).
 ///
 /// All times reported by these harnesses are *virtual* seconds on the
 /// simulated Lassen-class cluster (see DESIGN.md): the host machine executes
@@ -27,14 +29,24 @@ struct LegionStencilSystem {
     std::unique_ptr<core::Planner<double>> planner;
 };
 
+/// How the system's solvers interact with the runtime tracer:
+///   None   — untraced (every launch pays dynamic analysis at full overhead),
+///   Verify — traced, but replay still runs dependence analysis per launch
+///            (the pre-fast-path behavior, kept as an ablation point),
+///   Fast   — traced with the captured-schedule replay that skips analysis.
+enum class TraceMode { None, Verify, Fast };
+
 /// Build the Fig 8 configuration: CSR-format stencil matrix, row-based
 /// partition into `pieces` (the paper's -vp, 4 × node count), phantom data.
 inline LegionStencilSystem make_legion_stencil(const stencil::Spec& spec,
                                                const sim::MachineDesc& machine,
-                                               Color pieces) {
+                                               Color pieces,
+                                               TraceMode trace = TraceMode::Fast,
+                                               bool fused = true) {
     LegionStencilSystem sys;
-    sys.runtime =
-        std::make_unique<rt::Runtime>(machine, rt::RuntimeOptions{.materialize = false});
+    sys.runtime = std::make_unique<rt::Runtime>(
+        machine, rt::RuntimeOptions{.materialize = false,
+                                    .trace_fast_path = trace == TraceMode::Fast});
     const gidx n = spec.unknowns();
     const IndexSpace D = IndexSpace::create(n, "D");
     const IndexSpace R = IndexSpace::create(n, "R");
@@ -44,7 +56,10 @@ inline LegionStencilSystem make_legion_stencil(const stencil::Spec& spec,
     const rt::FieldId bf = sys.runtime->add_field<double>(br, "v");
 
     const stencil::CoPartition cp = stencil::co_partition(spec, D, R, pieces);
-    sys.planner = std::make_unique<core::Planner<double>>(*sys.runtime);
+    core::PlannerOptions popts;
+    popts.trace_solver_loops = trace != TraceMode::None;
+    popts.fused_kernels = fused;
+    sys.planner = std::make_unique<core::Planner<double>>(*sys.runtime, popts);
     sys.planner->add_sol_vector(xr, xf, Partition::equal(D, pieces));
     sys.planner->add_rhs_vector(br, bf, cp.rows);
 
@@ -80,26 +95,22 @@ inline std::unique_ptr<core::Solver<double>> make_solver(const std::string& name
     return nullptr;
 }
 
-/// Number of distinct per-iteration launch patterns a solver cycles through
-/// (GMRES(10): 10 Arnoldi shapes; everything else: 1).
+/// Number of iterations one trace instance spans for a solver (GMRES traces
+/// whole restart cycles; everything else traces single steps). Warmups must
+/// cover one recording instance plus one capture instance before replay is
+/// at full speed.
 inline int trace_period(const std::string& solver) { return solver == "gmres" ? 10 : 1; }
 
 /// Warmup then measure: returns average virtual seconds per iteration.
-/// With tracing, iteration k replays trace id (k mod period) after its first
-/// recording — warmup covers at least one full period.
+/// Solvers trace their own loops, so `warmup` only needs to be deep enough
+/// for the record + capture instances to complete — at least 2·period + 1
+/// iterations (MINRES rotates three traces; 2·3 + 1 covers it too).
 inline double measure_per_iteration(rt::Runtime& runtime, core::Solver<double>& solver,
-                                    int warmup, int timed, bool trace, int period = 1) {
-    int k = 0;
-    auto one = [&] {
-        if (trace) runtime.begin_trace(static_cast<std::uint64_t>(k % period) + 1);
-        solver.step();
-        if (trace) runtime.end_trace();
-        ++k;
-    };
-    warmup = std::max(warmup, period + 1);
-    for (int i = 0; i < warmup; ++i) one();
+                                    int warmup, int timed, int period = 1) {
+    warmup = std::max(warmup, 2 * std::max(period, 3) + 1);
+    for (int i = 0; i < warmup; ++i) solver.step();
     const double t0 = runtime.current_time();
-    for (int i = 0; i < timed; ++i) one();
+    for (int i = 0; i < timed; ++i) solver.step();
     return (runtime.current_time() - t0) / timed;
 }
 

@@ -49,6 +49,15 @@ struct PlannerOptions {
     /// output owner's colors — required by mappers that place multiplication
     /// tasks by *matrix-tile* ownership (the Fig 10 load-balancing setup).
     bool per_operator_task_colors = false;
+    /// Solvers built against this planner wrap their steady-state iteration
+    /// loops in runtime traces automatically (GMRES uses the restart cycle as
+    /// the trace unit). Opt out when the caller manages traces itself or
+    /// wants untraced-baseline timings.
+    bool trace_solver_loops = true;
+    /// Use the fused update+reduction kernels (axpy_dot / xpay_norm2). Off =
+    /// decompose into the separate axpy/xpay and dot launches; the numerics
+    /// are bitwise-identical either way.
+    bool fused_kernels = true;
 };
 
 /// Precomputed partitioning plan for one operator component — either derived
@@ -281,6 +290,35 @@ public:
         return {partial_sum, ready};
     }
 
+    /// dst ← dst + α·src, returning dst·w. Fused update + partial reduction:
+    /// one task per piece where the unfused form takes two, halving the
+    /// launches the trace has to replay on the CG/BiCGStab hot path (the
+    /// matrix-free fusion argument of the tensor-product solver literature).
+    /// Bitwise-identical to axpy followed by dot.
+    [[nodiscard]] Scalar axpy_dot(VecId dst, const Scalar& alpha, VecId src, VecId w) {
+        if (!opts_.fused_kernels) {
+            axpy(dst, alpha, src);
+            return dot(dst, w);
+        }
+        return fused_update_reduce("axpy_dot", dst, alpha, src, w,
+                                   [](T* d, const T* s, double a) {
+                                       *d += static_cast<T>(a) * *s;
+                                   });
+    }
+
+    /// dst ← src + α·dst, returning dst·dst (the update fused with ‖dst‖²).
+    /// Bitwise-identical to xpay followed by dot(dst, dst).
+    [[nodiscard]] Scalar xpay_norm2(VecId dst, const Scalar& alpha, VecId src) {
+        if (!opts_.fused_kernels) {
+            xpay(dst, alpha, src);
+            return dot(dst, dst);
+        }
+        return fused_update_reduce("xpay_norm2", dst, alpha, src, dst,
+                                   [](T* d, const T* s, double a) {
+                                       *d = *s + static_cast<T>(a) * *d;
+                                   });
+    }
+
     /// dst ← A_total(src): eq. (8) — zero dst, then one multiply-add task per
     /// (operator, piece) reducing into the output component.
     void matmul(VecId dst, VecId src) {
@@ -349,6 +387,7 @@ public:
     // ------------------------------------------------------- introspection
 
     [[nodiscard]] rt::Runtime& runtime() noexcept { return rt_; }
+    [[nodiscard]] const PlannerOptions& options() const noexcept { return opts_; }
 
     /// Field backing component `comp` of vector `v` (result inspection).
     [[nodiscard]] rt::FieldId vector_field(VecId v, CompId comp = 0) const {
@@ -791,6 +830,85 @@ private:
                 rt_.launch(std::move(l));
             }
         }
+    }
+
+    /// Shared machinery of axpy_dot / xpay_norm2: per-piece tasks that update
+    /// dst in place and emit the piece's partial of dst·w, combined by the
+    /// same scalar tree reduction as dot(). Reading w through its own
+    /// requirement is skipped when it aliases dst or src (the common
+    /// residual-norm case), which also drops the third memory stream from the
+    /// roofline cost.
+    template <typename Fn>
+    [[nodiscard]] Scalar fused_update_reduce(const char* name, VecId dst, const Scalar& alpha,
+                                             VecId src, VecId w, Fn update) {
+        const obs::Span span = phase_span(name);
+        const VecDesc& dv = vec(dst);
+        const VecDesc& sv = vec(src);
+        const VecDesc& wv = vec(w);
+        check_compatible(dv, sv, name);
+        check_compatible(dv, wv, name);
+        double partial_sum = 0.0;
+        double ready = 0.0;
+        int piece_count = 0;
+        const auto& comps = components(dv.kind);
+        for (std::size_t ci = 0; ci < comps.size(); ++ci) {
+            const Component& dcomp = comps[ci];
+            const Component& scomp = components(sv.kind)[ci];
+            const Component& wcomp = components(wv.kind)[ci];
+            const rt::FieldId fd = dv.fields[ci];
+            const rt::FieldId fs = sv.fields[ci];
+            const rt::FieldId fw = wv.fields[ci];
+            const bool w_aliases = (wcomp.region == dcomp.region && fw == fd) ||
+                                   (wcomp.region == scomp.region && fw == fs);
+            for (Color c = 0; c < dcomp.canonical.color_count(); ++c) {
+                const IntervalSet piece = dcomp.canonical.piece(c);
+                rt::TaskLaunch l;
+                l.name = name;
+                l.proc_kind = opts_.proc_kind;
+                l.color = dcomp.color_base + c;
+                l.requirements.push_back(
+                    {dcomp.region, fd, rt::Privilege::ReadWrite, piece});
+                l.requirements.push_back(
+                    {scomp.region, fs, rt::Privilege::ReadOnly, piece});
+                if (!w_aliases) {
+                    l.requirements.push_back(
+                        {wcomp.region, fw, rt::Privilege::ReadOnly, piece});
+                }
+                l.cost = sim::KernelCosts::fused_update_reduce(piece.volume(), !w_aliases);
+                l.scalar_deps.push_back(alpha.ready_time);
+                if (rt_.functional()) {
+                    const double a = alpha.value;
+                    const rt::RegionId dr = dcomp.region;
+                    const rt::RegionId sr = scomp.region;
+                    const rt::RegionId wr = wcomp.region;
+                    l.body = [dr, fd, sr, fs, wr, fw, piece, a,
+                              update](rt::TaskContext& ctx) {
+                        auto d = ctx.field<T>(dr, fd);
+                        auto s = ctx.field<T>(sr, fs);
+                        auto wd = ctx.field<T>(wr, fw);
+                        double sum = 0.0;
+                        piece.for_each_interval([&](const Interval& iv) {
+                            for (gidx i = iv.lo; i < iv.hi; ++i) {
+                                const auto k = static_cast<std::size_t>(i);
+                                update(&d[k], &s[k], a);
+                                sum += static_cast<double>(d[k] * wd[k]);
+                            }
+                        });
+                        ctx.set_scalar(sum);
+                    };
+                }
+                const Scalar part = rt_.launch(std::move(l));
+                partial_sum += part.value;
+                ready = std::max(ready, part.ready_time);
+                ++piece_count;
+            }
+        }
+        rt_.metrics()
+            .counter("fused_kernel_launches", {{"kernel", name}})
+            .add(piece_count);
+        const double hops = std::ceil(std::log2(std::max(2, piece_count)));
+        ready += hops * rt_.machine().collective_hop_latency;
+        return {partial_sum, ready};
     }
 
     rt::Runtime& rt_;

@@ -15,6 +15,7 @@
 /// implementations form the true initial residual r₀ = b − A x₀, so nonzero
 /// initial guesses work; with x₀ = 0 they reduce to the listing exactly.
 
+#include <exception>
 #include <vector>
 
 #include "core/planner.hpp"
@@ -23,6 +24,44 @@
 #include "support/error.hpp"
 
 namespace kdr::core {
+
+namespace detail {
+
+/// Trace id for a solver's iteration loop: a fresh runtime-allocated id when
+/// the planner enables solver-loop tracing, 0 (= disabled) otherwise.
+template <typename T>
+[[nodiscard]] std::uint64_t solver_trace_id(Planner<T>& planner) {
+    return planner.options().trace_solver_loops ? planner.runtime().allocate_trace_id() : 0;
+}
+
+/// RAII for one trace instance around a solver step. Ends the trace on
+/// normal exit; cancels it when unwinding, so a step that throws mid-launch
+/// neither poisons the recorded trace nor leaves the runtime mid-trace.
+/// Id 0 means tracing is disabled and the scope is a no-op.
+class TraceScope {
+public:
+    TraceScope(rt::Runtime& rtm, std::uint64_t id)
+        : rt_(rtm), id_(id), exceptions_(std::uncaught_exceptions()) {
+        if (id_ != 0) rt_.begin_trace(id_);
+    }
+    ~TraceScope() {
+        if (id_ == 0) return;
+        if (std::uncaught_exceptions() > exceptions_) {
+            rt_.cancel_trace();
+        } else {
+            rt_.end_trace();
+        }
+    }
+    TraceScope(const TraceScope&) = delete;
+    TraceScope& operator=(const TraceScope&) = delete;
+
+private:
+    rt::Runtime& rt_;
+    std::uint64_t id_;
+    int exceptions_;
+};
+
+} // namespace detail
 
 /// Common drop-in interface (paper §5: "a common interface that allows
 /// drop-in replacement").
@@ -78,15 +117,17 @@ public:
         planner_.axpy(r_, make_scalar(-1.0), q_);
         planner_.copy(p_, r_);
         res_ = planner_.dot(r_, r_);
+        trace_id_ = detail::solver_trace_id(planner_);
     }
 
     void step() override {
+        const detail::TraceScope trace(planner_.runtime(), trace_id_);
         planner_.matmul(q_, p_);
         const Scalar p_norm = planner_.dot(p_, q_);
         const Scalar alpha = res_ / p_norm;
         planner_.axpy(Planner<T>::SOL, alpha, p_);
-        planner_.axpy(r_, -alpha, q_);
-        const Scalar new_res = planner_.dot(r_, r_);
+        // r -= alpha q fused with the new ‖r‖² partial.
+        const Scalar new_res = planner_.axpy_dot(r_, -alpha, q_, r_);
         planner_.xpay(p_, new_res / res_, r_);
         res_ = new_res;
     }
@@ -98,6 +139,7 @@ private:
     Planner<T>& planner_;
     VecId p_{}, q_{}, r_{};
     Scalar res_; ///< squared residual, as in Fig 7
+    std::uint64_t trace_id_ = 0;
 };
 
 // ====================================================== preconditioned CG
@@ -122,18 +164,21 @@ public:
         planner_.copy(p_, z_);
         rz_ = planner_.dot(r_, z_);
         res_ = planner_.dot(r_, r_);
+        trace_id_ = detail::solver_trace_id(planner_);
     }
 
     void step() override {
+        const detail::TraceScope trace(planner_.runtime(), trace_id_);
         planner_.matmul(q_, p_);
         const Scalar alpha = rz_ / planner_.dot(p_, q_);
         planner_.axpy(Planner<T>::SOL, alpha, p_);
-        planner_.axpy(r_, -alpha, q_);
+        // r -= alpha q fused with ‖r‖² (hoisted ahead of psolve; r does not
+        // change afterwards, so the measure is the same).
+        res_ = planner_.axpy_dot(r_, -alpha, q_, r_);
         planner_.psolve(z_, r_);
         const Scalar new_rz = planner_.dot(r_, z_);
         planner_.xpay(p_, new_rz / rz_, z_);
         rz_ = new_rz;
-        res_ = planner_.dot(r_, r_);
     }
 
     [[nodiscard]] Scalar get_convergence_measure() const override { return sqrt(res_); }
@@ -144,6 +189,7 @@ private:
     VecId p_{}, q_{}, r_{}, z_{};
     Scalar rz_;
     Scalar res_;
+    std::uint64_t trace_id_ = 0;
 };
 
 // ==================================================================== BiCG
@@ -170,9 +216,11 @@ public:
         planner_.copy(pt_, rt_);
         rho_ = planner_.dot(rt_, r_);
         res_ = planner_.dot(r_, r_);
+        trace_id_ = detail::solver_trace_id(planner_);
     }
 
     void step() override {
+        const detail::TraceScope trace(planner_.runtime(), trace_id_);
         planner_.matmul(q_, p_);
         planner_.matmul_transpose(qt_, pt_);
         const Scalar alpha = rho_ / planner_.dot(pt_, q_);
@@ -195,6 +243,7 @@ private:
     VecId r_{}, rt_{}, p_{}, pt_{}, q_{}, qt_{};
     Scalar rho_;
     Scalar res_;
+    std::uint64_t trace_id_ = 0;
 };
 
 // ================================================================ BiCGStab
@@ -222,9 +271,11 @@ public:
         alpha_ = make_scalar(1.0);
         omega_ = make_scalar(1.0);
         res_ = planner_.dot(r_, r_);
+        trace_id_ = detail::solver_trace_id(planner_);
     }
 
     void step() override {
+        const detail::TraceScope trace(planner_.runtime(), trace_id_);
         const Scalar new_rho = planner_.dot(rhat_, r_);
         const Scalar beta = (new_rho / rho_) * (alpha_ / omega_);
         // p = r + beta (p - omega v)
@@ -239,11 +290,11 @@ public:
         omega_ = planner_.dot(t_, s_) / planner_.dot(t_, t_);
         planner_.axpy(Planner<T>::SOL, alpha_, p_);
         planner_.axpy(Planner<T>::SOL, omega_, s_);
-        // r = s - omega t
-        planner_.copy(r_, s_);
-        planner_.axpy(r_, -omega_, t_);
+        // r = s - omega t, fused with the new ‖r‖² partial.
+        planner_.copy(r_, t_);
+        const Scalar new_res = planner_.xpay_norm2(r_, -omega_, s_);
         rho_ = new_rho;
-        res_ = planner_.dot(r_, r_);
+        res_ = new_res;
     }
 
     [[nodiscard]] Scalar get_convergence_measure() const override { return sqrt(res_); }
@@ -254,6 +305,7 @@ private:
     VecId r_{}, rhat_{}, p_{}, v_{}, s_{}, t_{};
     Scalar rho_, alpha_, omega_;
     Scalar res_;
+    std::uint64_t trace_id_ = 0;
 };
 
 // ================================================================== GMRES
@@ -276,10 +328,24 @@ public:
         sn_.assign(static_cast<std::size_t>(m_), {});
         g_.assign(static_cast<std::size_t>(m_ + 1), {});
         begin_cycle();
+        trace_id_ = detail::solver_trace_id(planner_);
     }
 
-    /// One Arnoldi iteration; restarts automatically after m of them.
+    ~GmresSolver() override {
+        // A cycle trace left open by an abandoned mid-cycle solve must not
+        // outlive the solver.
+        if (cycle_trace_open_) planner_.runtime().cancel_trace();
+    }
+
+    /// One Arnoldi iteration; restarts automatically after m of them. The
+    /// trace unit is the whole restart cycle (m Arnoldi steps + the restart),
+    /// since the Gram-Schmidt launch sequence varies within a cycle but
+    /// repeats exactly across cycles.
     void step() override {
+        if (trace_id_ != 0 && j_ == 0 && !cycle_trace_open_) {
+            planner_.runtime().begin_trace(trace_id_);
+            cycle_trace_open_ = true;
+        }
         const std::size_t j = static_cast<std::size_t>(j_);
         planner_.matmul(w_, v_[j]);
         // Modified Gram-Schmidt.
@@ -310,14 +376,24 @@ public:
             const obs::Span restart(planner_.runtime().spans(), "restart");
             update_solution(m_);
             begin_cycle();
+            if (cycle_trace_open_) {
+                planner_.runtime().end_trace();
+                cycle_trace_open_ = false;
+            }
         }
     }
 
     [[nodiscard]] Scalar get_convergence_measure() const override { return res_norm_; }
     [[nodiscard]] const char* name() const override { return "gmres"; }
 
-    /// Apply the current cycle's partial correction (stop mid-cycle).
+    /// Apply the current cycle's partial correction (stop mid-cycle). A
+    /// partial cycle never matches the recorded trace, so the open instance
+    /// is cancelled rather than ended.
     void finalize() override {
+        if (cycle_trace_open_) {
+            planner_.runtime().cancel_trace();
+            cycle_trace_open_ = false;
+        }
         if (j_ > 0) {
             const obs::Span restart(planner_.runtime().spans(), "restart");
             update_solution(j_);
@@ -370,6 +446,8 @@ private:
     VecId w_{};
     std::vector<Scalar> h_, cs_, sn_, g_;
     Scalar res_norm_;
+    std::uint64_t trace_id_ = 0;
+    bool cycle_trace_open_ = false;
 };
 
 // ================================================================== MINRES
@@ -403,9 +481,20 @@ public:
         sigma_prev_ = make_scalar(0.0);
         sigma_ = make_scalar(0.0);
         res_norm_ = beta_;
+        if (planner_.options().trace_solver_loops) {
+            for (std::uint64_t& id : trace_ids_) {
+                id = planner_.runtime().allocate_trace_id();
+            }
+        }
     }
 
     void step() override {
+        // The workspace rotation below permutes the vector ids with period 3,
+        // so the launch signature repeats every third step: three rotating
+        // traces, each replayed once per period.
+        const detail::TraceScope trace(planner_.runtime(),
+                                       trace_ids_[static_cast<std::size_t>(step_count_ % 3)]);
+        ++step_count_;
         // Lanczos: v_next = A v - alpha v - beta v_prev.
         planner_.matmul(v_next_, v_);
         const Scalar alpha = planner_.dot(v_, v_next_);
@@ -453,6 +542,8 @@ private:
     VecId v_prev_{}, v_{}, v_next_{}, w_prev_{}, w_{}, w_next_{};
     Scalar beta_, eta_, gamma_prev_, gamma_, sigma_prev_, sigma_;
     Scalar res_norm_;
+    std::uint64_t trace_ids_[3] = {0, 0, 0};
+    int step_count_ = 0;
 };
 
 } // namespace kdr::core

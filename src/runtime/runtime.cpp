@@ -13,7 +13,10 @@ Runtime::Runtime(sim::MachineDesc machine, Options options)
     analysis_stall_ctr_ = &metrics_.counter("analysis_stall_seconds");
     trace_record_ctr_ = &metrics_.counter("trace_recorded_tasks");
     trace_replay_ctr_ = &metrics_.counter("trace_replayed_tasks");
+    trace_skip_ctr_ = &metrics_.counter("trace_depanalysis_skipped");
+    trace_invalid_ctr_ = &metrics_.counter("trace_invalidations");
     migration_ctr_ = &metrics_.counter("home_migrations");
+    commit_ring_.resize(1024); // grown at end-of-recording to span the trace
     task_duration_hist_ = &metrics_.histogram(
         "task_duration_seconds", obs::Histogram::exponential_bounds(1e-7, 10.0, 7));
 }
@@ -49,6 +52,7 @@ void Runtime::record_transfer(int src_node, int dst_node, double bytes) {
 }
 
 RegionId Runtime::create_region(IndexSpace space, std::string name) {
+    ++structure_epoch_;
     const RegionId id = regions_.size();
     regions_.push_back(std::make_unique<Region>(id, std::move(space), std::move(name)));
     return id;
@@ -70,6 +74,7 @@ void Runtime::set_home(RegionId r, FieldId f, std::vector<HomePiece> pieces) {
         KDR_REQUIRE(p.node >= 0 && p.node < machine().nodes, "set_home: node ", p.node,
                     " out of range");
     }
+    ++structure_epoch_;
     region(r).field(f).home = std::move(pieces);
 }
 
@@ -104,6 +109,7 @@ void Runtime::move_home(RegionId r, FieldId f, const IntervalSet& piece, int new
     KDR_REQUIRE(new_node >= 0 && new_node < machine().nodes, "move_home: node out of range");
     FieldStorage& fs = region(r).field(f);
     migration_ctr_->inc();
+    ++structure_epoch_;
 
     // Find where the data currently lives and charge the migration transfer.
     double ready = fs.data_ready;
@@ -169,29 +175,109 @@ std::uint64_t launch_signature(const TaskLaunch& l) {
 } // namespace
 
 void Runtime::begin_trace(std::uint64_t trace_id) {
+    KDR_REQUIRE(trace_id != 0,
+                "begin_trace: trace id 0 is reserved (aliases the no-active-trace sentinel)");
     KDR_REQUIRE(!trace_active_, "begin_trace: trace ", active_trace_, " already active");
     trace_active_ = true;
     active_trace_ = trace_id;
     trace_cursor_ = 0;
+    trace_begin_seq_ = task_counter_;
+    trace_begin_struct_epoch_ = structure_epoch_;
+
+    TraceState& t = traces_[trace_id];
+    if (!t.recorded) {
+        trace_mode_ = TraceInstanceMode::Record;
+        t.record_base = trace_begin_seq_;
+        return;
+    }
+    if (t.captured) {
+        // A captured schedule is only valid if nothing moved under it: same
+        // region/home structure, no untraced launches interleaved, and the
+        // same number of launches since the previous instance (the cached
+        // edges are *relative*, so a different gap would misalign them).
+        const bool stale = t.struct_epoch != structure_epoch_ ||
+                           t.quiet_epoch != quiet_epoch_ ||
+                           task_counter_ - t.end_seq != t.prev_gap;
+        if (stale) {
+            t.captured = false;
+            t.recipes.clear();
+            trace_invalid_ctr_->inc();
+        }
+    }
+    if (!options_.trace_fast_path) {
+        trace_mode_ = TraceInstanceMode::Replay;
+        return;
+    }
+    if (t.captured) {
+        trace_mode_ = TraceInstanceMode::Fast;
+        return;
+    }
+    trace_mode_ = TraceInstanceMode::Capture;
+    t.prev_gap = task_counter_ - t.end_seq;
+    t.recipes.clear();
+    t.recipes.reserve(t.signatures.size());
+}
+
+void Runtime::invalidate_replay(TraceState& t) {
+    t.signatures.resize(trace_cursor_);
+    t.recipes.clear();
+    t.captured = false;
+    trace_invalid_ctr_->inc();
 }
 
 void Runtime::end_trace() {
     KDR_REQUIRE(trace_active_, "end_trace: no active trace");
     TraceState& t = traces_[active_trace_];
-    if (!t.recorded) {
-        t.recorded = true;
-    } else {
-        KDR_REQUIRE(trace_cursor_ == t.signatures.size(), "end_trace: replay of trace ",
-                    active_trace_, " stopped after ", trace_cursor_, " of ",
-                    t.signatures.size(), " recorded launches");
+    switch (trace_mode_) {
+        case TraceInstanceMode::Record:
+            t.recorded = true;
+            // Size the commit ring so edges reaching back through one full
+            // instance stay resolvable across the next two.
+            ensure_ring_capacity(4 * t.signatures.size() + 64);
+            break;
+        case TraceInstanceMode::Capture:
+            if (trace_cursor_ == t.signatures.size() &&
+                structure_epoch_ == trace_begin_struct_epoch_) {
+                t.captured = true;
+                t.struct_epoch = structure_epoch_;
+                t.quiet_epoch = quiet_epoch_;
+            } else {
+                // Short or structure-disturbed capture: adopt the verified
+                // prefix as the trace, drop the partial schedule.
+                invalidate_replay(t);
+            }
+            break;
+        case TraceInstanceMode::Replay:
+        case TraceInstanceMode::Fast:
+            if (trace_cursor_ != t.signatures.size()) invalidate_replay(t);
+            break;
+        case TraceInstanceMode::None:
+            break;
+    }
+    t.end_seq = task_counter_;
+    trace_active_ = false;
+    trace_mode_ = TraceInstanceMode::None;
+}
+
+void Runtime::cancel_trace() noexcept {
+    if (!trace_active_) return;
+    if (auto it = traces_.find(active_trace_); it != traces_.end()) {
+        if (trace_mode_ == TraceInstanceMode::Record) {
+            traces_.erase(it); // a partial recording is useless
+        } else if (trace_mode_ == TraceInstanceMode::Capture) {
+            it->second.recipes.clear();
+            it->second.captured = false;
+        }
+        // Fast/Replay: nothing persisted mid-instance; the cached schedule
+        // (if any) stays valid for the next complete instance.
     }
     trace_active_ = false;
+    trace_mode_ = TraceInstanceMode::None;
 }
 
 bool Runtime::replaying() const noexcept {
-    if (!trace_active_) return false;
-    auto it = traces_.find(active_trace_);
-    return it != traces_.end() && it->second.recorded;
+    return trace_active_ && trace_mode_ != TraceInstanceMode::Record &&
+           trace_mode_ != TraceInstanceMode::None;
 }
 
 // ------------------------------------------------------------- dependence
@@ -205,6 +291,7 @@ void Runtime::replace_or_append(std::vector<Access>& list, Access access) {
             // queued elsewhere, and dropping the older finish would lose a
             // WAR/WAW ordering edge.
             a.task = access.task;
+            a.req_index = access.req_index;
             a.finish = std::max(a.finish, access.finish);
             return;
         }
@@ -212,12 +299,16 @@ void Runtime::replace_or_append(std::vector<Access>& list, Access access) {
     list.push_back(std::move(access));
 }
 
-double Runtime::analyze_requirement(const RegionReq& req, TaskSeq /*seq*/) {
+double Runtime::analyze_requirement(const RegionReq& req,
+                                    std::vector<const Access*>* contributors) {
     FieldState& st = field_states_[field_key(req.region, req.field)];
     double dep = region(req.region).field(req.field).data_ready;
     auto consider = [&](const std::vector<Access>& list) {
         for (const Access& a : list) {
-            if (a.subset.intersects(req.subset)) dep = std::max(dep, a.finish);
+            if (a.subset.intersects(req.subset)) {
+                dep = std::max(dep, a.finish);
+                if (contributors != nullptr) contributors->push_back(&a);
+            }
         }
     };
     switch (req.privilege) {
@@ -235,15 +326,49 @@ double Runtime::analyze_requirement(const RegionReq& req, TaskSeq /*seq*/) {
             consider(st.writers);
             consider(st.readers);
             for (const Access& a : st.reducers) {
-                if (a.redop != req.redop && a.subset.intersects(req.subset))
+                if (a.redop != req.redop && a.subset.intersects(req.subset)) {
                     dep = std::max(dep, a.finish);
+                    if (contributors != nullptr) contributors->push_back(&a);
+                }
             }
             break;
     }
     return dep;
 }
 
-void Runtime::commit_requirement(const RegionReq& req, TaskSeq seq, double finish) {
+void Runtime::capture_requirement(LaunchRecipe& recipe, const RegionReq& req, TaskSeq seq,
+                                  const TraceState& t,
+                                  const std::vector<const Access*>& contributors) {
+    ReqRecipe rr;
+    // The home data-ready fence only moves with structure changes, which
+    // invalidate the capture anyway — an exact constant.
+    rr.external_dep = region(req.region).field(req.field).data_ready;
+    const std::uint64_t ring_span = commit_ring_.size();
+    for (const Access* a : contributors) {
+        // Accesses from before the recording instance (setup tasks, home
+        // migrations) never re-execute: fold their finish as a constant. An
+        // edge would alias whatever launch later lands at that ring slot.
+        if (a->req_index == kExternalAccess || a->task <= t.record_base ||
+            seq - a->task > ring_span) {
+            rr.external_dep = std::max(rr.external_dep, a->finish);
+            continue;
+        }
+        rr.edges.push_back({seq - a->task, a->req_index});
+        // Coalesced list entries can carry a finish later than the producing
+        // launch's own commit (replace_or_append keeps the max over merged
+        // accesses). Keep the capture-time value as a floor in that case;
+        // monotone virtual time makes a stale floor harmless.
+        const CommitRecord& cr = commit_ring_[a->task & (ring_span - 1)];
+        if (cr.seq != a->task || a->req_index >= cr.req_finish.size() ||
+            a->finish > cr.req_finish[a->req_index]) {
+            rr.external_dep = std::max(rr.external_dep, a->finish);
+        }
+    }
+    recipe.reqs.push_back(std::move(rr));
+}
+
+void Runtime::commit_requirement(const RegionReq& req, TaskSeq seq, double finish,
+                                 std::uint32_t req_index) {
     FieldState& st = field_states_[field_key(req.region, req.field)];
     FieldStorage& fs = region(req.region).field(req.field);
     auto drop_covered = [&](std::vector<Access>& list) {
@@ -252,21 +377,40 @@ void Runtime::commit_requirement(const RegionReq& req, TaskSeq seq, double finis
     };
     switch (req.privilege) {
         case Privilege::ReadOnly:
-            replace_or_append(st.readers, Access{seq, finish, req.subset});
+            replace_or_append(st.readers,
+                              Access{seq, finish, req.subset, kNoReduction, req_index});
             break;
         case Privilege::WriteOnly:
         case Privilege::ReadWrite:
             drop_covered(st.writers);
             drop_covered(st.readers);
             drop_covered(st.reducers);
-            st.writers.push_back(Access{seq, finish, req.subset});
+            st.writers.push_back(Access{seq, finish, req.subset, kNoReduction, req_index});
             ++fs.version;
             break;
         case Privilege::Reduce:
-            replace_or_append(st.reducers, Access{seq, finish, req.subset, req.redop});
+            replace_or_append(st.reducers,
+                              Access{seq, finish, req.subset, req.redop, req_index});
             ++fs.version;
             break;
     }
+}
+
+void Runtime::ring_store(TaskSeq seq, const std::vector<double>& finishes) {
+    CommitRecord& cr = commit_ring_[seq & (commit_ring_.size() - 1)];
+    cr.seq = seq;
+    cr.req_finish.assign(finishes.begin(), finishes.end());
+}
+
+void Runtime::ensure_ring_capacity(std::size_t needed) {
+    std::size_t cap = commit_ring_.size();
+    if (cap >= needed) return;
+    while (cap < needed) cap *= 2;
+    std::vector<CommitRecord> grown(cap);
+    for (CommitRecord& cr : commit_ring_) {
+        if (cr.seq != 0) grown[cr.seq & (cap - 1)] = std::move(cr);
+    }
+    commit_ring_ = std::move(grown);
 }
 
 // ---------------------------------------------------------- data movement
@@ -313,55 +457,142 @@ FutureScalar Runtime::launch(TaskLaunch launch) {
     const TaskSeq seq = ++task_counter_;
     launch_counter(launch.name, launch.proc_kind).inc();
 
-    // Tracing: validate / record the launch signature and pick the overhead.
+    // Tracing: validate / record the launch signature and pick the path.
     double overhead = machine().task_launch_overhead;
+    const LaunchRecipe* recipe = nullptr;
+    bool capturing = false;
     if (trace_active_) {
         TraceState& t = traces_[active_trace_];
         const std::uint64_t sig = launch_signature(launch);
-        if (!t.recorded) {
+        if (trace_mode_ != TraceInstanceMode::Record &&
+            (trace_cursor_ >= t.signatures.size() || t.signatures[trace_cursor_] != sig)) {
+            // The launch stream no longer matches the memoized trace. Keep
+            // the verified prefix, drop the cached schedule, and record the
+            // new tail — replay resumes once the new sequence repeats. This
+            // is a graceful re-record, not an error.
+            invalidate_replay(t);
+            trace_mode_ = TraceInstanceMode::Record;
+            t.record_base = trace_begin_seq_;
+        }
+        if (trace_mode_ == TraceInstanceMode::Record) {
             t.signatures.push_back(sig);
             trace_record_ctr_->inc();
         } else {
-            KDR_REQUIRE(trace_cursor_ < t.signatures.size(),
-                        "trace replay: more launches than recorded (task '", launch.name, "')");
-            KDR_REQUIRE(t.signatures[trace_cursor_] == sig,
-                        "trace replay: launch sequence diverged at task '", launch.name, "'");
-            ++trace_cursor_;
-            overhead = machine().traced_launch_overhead;
+            // Replaying, but only the fast path below skips analysis. A
+            // verify/capture instance re-runs full dependence analysis, so
+            // it pays the full dynamic launch overhead — claiming the traced
+            // overhead while still analyzing was the bug this path fixes.
             trace_replay_ctr_->inc();
+            if (trace_mode_ == TraceInstanceMode::Fast &&
+                structure_epoch_ != trace_begin_struct_epoch_) {
+                // Region/home structure changed mid-replay: fall back to
+                // full analysis for the rest of this instance.
+                t.captured = false;
+                t.recipes.clear();
+                trace_invalid_ctr_->inc();
+                trace_mode_ = TraceInstanceMode::Replay;
+            }
+            if (trace_mode_ == TraceInstanceMode::Fast) recipe = &t.recipes[trace_cursor_];
+            capturing = trace_mode_ == TraceInstanceMode::Capture;
+            ++trace_cursor_;
         }
+    } else {
+        ++quiet_epoch_;
     }
 
     const sim::ProcId proc = mapper_->select_processor(launch, machine());
+    const std::size_t nreq = launch.requirements.size();
 
-    // Dependence analysis runs through the target node's runtime pipeline
-    // (utility processors). It serializes per node but runs *ahead of*
-    // execution, so it is hidden whenever compute per iteration exceeds
-    // analysis per iteration — and becomes the floor on tiny problems.
-    const double analysis_done = cluster_.analyze(proc.node, overhead);
-
-    // Dependence-only ready time: what the task would wait on if analysis
-    // were free. The gap up to analysis_done is time the task spends stalled
-    // behind the runtime pipeline rather than behind real data dependences.
     double dep_ready = 0.0;
     for (double t : launch.scalar_deps) dep_ready = std::max(dep_ready, t);
-    std::vector<double> req_dep;
-    req_dep.reserve(launch.requirements.size());
-    for (const RegionReq& req : launch.requirements) {
-        const double dep = analyze_requirement(req, seq);
-        req_dep.push_back(dep);
-        dep_ready = std::max(dep_ready, dep);
-    }
-    analysis_stall_ctr_->add(std::max(0.0, analysis_done - dep_ready));
+    std::vector<double> req_dep(nreq, 0.0);
 
-    // Input transfers are issued by the analysis stage, so they start no
-    // earlier than it completes.
-    double ready = std::max(dep_ready, analysis_done);
-    for (std::size_t i = 0; i < launch.requirements.size(); ++i) {
-        const RegionReq& req = launch.requirements[i];
-        if (reads(req.privilege) || req.privilege == Privilege::Reduce) {
-            ready = std::max(ready, issue_read_transfers(req, proc.node,
-                                                         std::max(req_dep[i], analysis_done)));
+    if (recipe != nullptr) {
+        // Fast path: resolve predecessors from the captured event edges —
+        // no dependence analysis at all. Each edge addresses a producer by
+        // launch-stream offset; the commit ring maps it to that producer's
+        // finish time in *this* run.
+        const std::uint64_t mask = commit_ring_.size() - 1;
+        for (std::size_t i = 0; i < nreq && recipe != nullptr; ++i) {
+            const ReqRecipe& rr = recipe->reqs[i];
+            double dep = rr.external_dep;
+            for (const TraceEdge& e : rr.edges) {
+                const CommitRecord& cr = commit_ring_[(seq - e.delta) & mask];
+                if (cr.seq != seq - e.delta || e.req >= cr.req_finish.size()) {
+                    recipe = nullptr; // producer evicted: re-analyze
+                    break;
+                }
+                dep = std::max(dep, cr.req_finish[e.req]);
+            }
+            req_dep[i] = dep;
+        }
+        if (recipe == nullptr) {
+            // Safety net: this launch falls back to analysis and the trace
+            // recaptures on its next instance.
+            TraceState& t = traces_[active_trace_];
+            t.captured = false;
+            t.recipes.clear();
+            trace_invalid_ctr_->inc();
+            trace_mode_ = TraceInstanceMode::Replay;
+        }
+    }
+
+    double ready;
+    if (recipe != nullptr) {
+        trace_skip_ctr_->inc();
+        for (std::size_t i = 0; i < nreq; ++i) dep_ready = std::max(dep_ready, req_dep[i]);
+        // The replay trigger (signature check + popping the memoized
+        // schedule) still occupies the node's runtime pipeline for the
+        // traced overhead — that is the replay *throughput* bound — but
+        // unlike the analysis path the task does not wait for the pipeline:
+        // dependences come from the captured event edges, so the analysis
+        // stall disappears and input transfers are issued straight off the
+        // replayed edges.
+        cluster_.analyze(proc.node, machine().traced_launch_overhead);
+        ready = dep_ready;
+        for (std::size_t i = 0; i < nreq; ++i) {
+            const RegionReq& req = launch.requirements[i];
+            if (reads(req.privilege) || req.privilege == Privilege::Reduce) {
+                ready = std::max(ready, issue_read_transfers(req, proc.node, req_dep[i]));
+            }
+        }
+    } else {
+        // Dependence analysis runs through the target node's runtime pipeline
+        // (utility processors). It serializes per node but runs *ahead of*
+        // execution, so it is hidden whenever compute per iteration exceeds
+        // analysis per iteration — and becomes the floor on tiny problems.
+        const double analysis_done = cluster_.analyze(proc.node, overhead);
+
+        // Dependence-only ready time: what the task would wait on if analysis
+        // were free. The gap up to analysis_done is time the task spends
+        // stalled behind the runtime pipeline rather than behind real data
+        // dependences.
+        std::vector<const Access*> contributors;
+        LaunchRecipe rec;
+        for (std::size_t i = 0; i < nreq; ++i) {
+            const RegionReq& req = launch.requirements[i];
+            const double dep =
+                analyze_requirement(req, capturing ? &contributors : nullptr);
+            req_dep[i] = dep;
+            dep_ready = std::max(dep_ready, dep);
+            if (capturing) {
+                capture_requirement(rec, req, seq, traces_[active_trace_], contributors);
+                contributors.clear();
+            }
+        }
+        if (capturing) traces_[active_trace_].recipes.push_back(std::move(rec));
+        analysis_stall_ctr_->add(std::max(0.0, analysis_done - dep_ready));
+
+        // Input transfers are issued by the analysis stage, so they start no
+        // earlier than it completes.
+        ready = std::max(dep_ready, analysis_done);
+        for (std::size_t i = 0; i < nreq; ++i) {
+            const RegionReq& req = launch.requirements[i];
+            if (reads(req.privilege) || req.privilege == Privilege::Reduce) {
+                ready = std::max(ready, issue_read_transfers(
+                                            req, proc.node,
+                                            std::max(req_dep[i], analysis_done)));
+            }
         }
     }
 
@@ -376,14 +607,17 @@ FutureScalar Runtime::launch(TaskLaunch launch) {
         scalar = ctx.scalar();
     }
 
-    // Write-backs and access-list updates.
-    for (const RegionReq& req : launch.requirements) {
-        double effective = finish;
+    // Write-backs and access-list updates. Effective finishes also land in
+    // the commit ring so future trace captures/replays can reference them.
+    std::vector<double> req_finish(nreq, finish);
+    for (std::size_t i = 0; i < nreq; ++i) {
+        const RegionReq& req = launch.requirements[i];
         if (writes(req.privilege) || req.privilege == Privilege::Reduce) {
-            effective = issue_write_backs(req, proc.node, finish);
+            req_finish[i] = issue_write_backs(req, proc.node, finish);
         }
-        commit_requirement(req, seq, effective);
+        commit_requirement(req, seq, req_finish[i], static_cast<std::uint32_t>(i));
     }
+    ring_store(seq, req_finish);
 
     const double duration = cluster_.duration_of(proc, launch.cost);
     task_duration_hist_->observe(duration);

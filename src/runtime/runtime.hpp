@@ -10,8 +10,11 @@
 ///  * the runtime derives task dependences from requirement conflicts,
 ///    inserts transfer events for remote reads, and schedules each task on
 ///    the processor a pluggable Mapper selects;
-///  * `begin_trace`/`end_trace` memoize a repeated launch sequence, replaying
-///    it with reduced per-task overhead (Legion's dynamic tracing [Lee 2018]).
+///  * `begin_trace`/`end_trace` memoize a repeated launch sequence (Legion's
+///    dynamic tracing [Lee 2018]): the first replay verifies signatures and
+///    captures each launch's resolved dependence schedule, and every replay
+///    after that skips dependence analysis entirely, resolving predecessors
+///    from the captured event edges at the reduced traced overhead.
 ///
 /// Execution is *eager-functional, lazy-temporal*: task bodies run for real
 /// at submission (program order is always a valid serialization of the task
@@ -63,6 +66,12 @@ private:
 struct RuntimeOptions {
     bool materialize = true; ///< false = phantom fields, timing-only
     bool profiling = false;  ///< record per-task virtual-time profiles
+    /// Replay traces from the captured dependence schedule (skipping the
+    /// analysis pipeline) once a verification pass has captured it. false =
+    /// verify-only replay: signatures are checked and the traced overhead is
+    /// charged, but every launch still runs full dependence analysis — the
+    /// pre-capture behavior, kept for ablations.
+    bool trace_fast_path = true;
 };
 
 class Runtime {
@@ -78,6 +87,7 @@ public:
 
     template <typename T>
     FieldId add_field(RegionId r, std::string name) {
+        ++structure_epoch_;
         return region(r).add_field(std::move(name), sizeof(T), options_.materialize);
     }
 
@@ -109,10 +119,23 @@ public:
 
     // ------------------------------------------------------------ tracing
     /// Begin a (possibly previously recorded) trace. Launches inside a
-    /// replayed trace are charged the traced launch overhead.
+    /// replayed trace are charged the traced launch overhead. Trace id 0 is
+    /// reserved (it aliases the "no active trace" sentinel) and rejected.
     void begin_trace(std::uint64_t trace_id);
     void end_trace();
+
+    /// Abandon the active trace instance without completing it: a partial
+    /// recording is discarded, a partial capture keeps its verified prefix
+    /// but no cached schedule. Safe to call with no trace active (no-op) and
+    /// from unwinding destructors.
+    void cancel_trace() noexcept;
+
+    [[nodiscard]] bool trace_active() const noexcept { return trace_active_; }
     [[nodiscard]] bool replaying() const noexcept;
+
+    /// Fresh trace id for internal users (solvers). Allocated ids start at
+    /// 2^32 so they never collide with application-chosen small ids.
+    [[nodiscard]] std::uint64_t allocate_trace_id() noexcept { return next_trace_id_++; }
 
     // ---------------------------------------------------------- launching
     FutureScalar launch(TaskLaunch launch);
@@ -151,11 +174,17 @@ public:
         std::vector<obs::ConvergenceSample> convergence = {}) const;
 
 private:
+    /// Requirement index marking accesses that did not come from a task
+    /// launch (home migrations, setup fences) — never replayed, so trace
+    /// capture folds their finish time into a constant instead of an edge.
+    static constexpr std::uint32_t kExternalAccess = 0xffffffffu;
+
     struct Access {
         TaskSeq task = 0;
         double finish = 0.0;
         IntervalSet subset;
         ReductionOp redop = kNoReduction;
+        std::uint32_t req_index = kExternalAccess;
     };
     struct FieldState {
         std::vector<Access> writers;
@@ -170,9 +199,13 @@ private:
         return (r << 32) | f;
     }
 
-    /// Dependence time of a requirement and update of the access lists.
-    double analyze_requirement(const RegionReq& req, TaskSeq seq);
-    void commit_requirement(const RegionReq& req, TaskSeq seq, double finish);
+    /// Dependence time of a requirement. When `contributors` is non-null
+    /// (trace capture), every access that bounded the result is collected so
+    /// the dependence can be memoized as event edges.
+    double analyze_requirement(const RegionReq& req,
+                               std::vector<const Access*>* contributors = nullptr);
+    void commit_requirement(const RegionReq& req, TaskSeq seq, double finish,
+                            std::uint32_t req_index);
 
     /// Transfers needed to satisfy a read; returns latest arrival.
     double issue_read_transfers(const RegionReq& req, int dst_node, double ready);
@@ -215,18 +248,92 @@ private:
     obs::Counter* analysis_stall_ctr_ = nullptr;
     obs::Counter* trace_record_ctr_ = nullptr;
     obs::Counter* trace_replay_ctr_ = nullptr;
+    obs::Counter* trace_skip_ctr_ = nullptr;
+    obs::Counter* trace_invalid_ctr_ = nullptr;
     obs::Counter* migration_ctr_ = nullptr;
     obs::Histogram* task_duration_hist_ = nullptr;
 
-    // Tracing.
+    // Tracing. A trace goes through three phases (DESIGN.md §5):
+    //   record  — first instance: signatures are memoized, full dynamic
+    //             analysis runs at the dynamic launch overhead;
+    //   capture — next instance: signatures verify, analysis still runs
+    //             (charged at the traced overhead) and each launch's resolved
+    //             dependence schedule is captured as event edges;
+    //   fast    — later instances: signatures verify and the captured
+    //             schedule replays; dependence analysis is skipped entirely.
+    // Divergence is not an error: the trace keeps its verified prefix and
+    // flips back to recording, so a changed loop re-memoizes transparently.
+    enum class TraceInstanceMode : std::uint8_t { None, Record, Replay, Capture, Fast };
+
+    /// One captured dependence edge: the producing launch addressed relative
+    /// to the consumer (`delta` launches earlier) and which of its
+    /// requirements produced the event. Relative addressing is what lets one
+    /// recipe replay at any absolute position in the launch stream.
+    struct TraceEdge {
+        std::uint64_t delta = 0;
+        std::uint32_t req = 0;
+    };
+    struct ReqRecipe {
+        /// Dependences on events that never re-execute (setup tasks, home
+        /// data readiness, migrations) fold into one capture-time constant.
+        /// Virtual time is monotone, so a stale constant can only be a slack
+        /// lower bound — it never delays a replayed launch incorrectly.
+        double external_dep = 0.0;
+        std::vector<TraceEdge> edges;
+    };
+    struct LaunchRecipe {
+        std::vector<ReqRecipe> reqs;
+    };
     struct TraceState {
         std::vector<std::uint64_t> signatures;
+        std::vector<LaunchRecipe> recipes; ///< parallel to signatures once captured
         bool recorded = false;
+        bool captured = false;
+        TaskSeq record_base = 0;     ///< last seq before the recording instance
+        TaskSeq end_seq = 0;         ///< seq when the last instance ended
+        std::uint64_t prev_gap = 0;  ///< launches between instances at capture
+        std::uint64_t struct_epoch = 0;
+        std::uint64_t quiet_epoch = 0;
     };
+
+    /// Ring of every launch's per-requirement effective finish times, so a
+    /// replayed edge (delta, req) resolves to the producer's *current-run*
+    /// finish. Sized (power of two) at end-of-recording to span two full
+    /// trace instances plus slack.
+    struct CommitRecord {
+        TaskSeq seq = 0; ///< 0 = empty slot (task seqs start at 1)
+        std::vector<double> req_finish;
+    };
+    void ring_store(TaskSeq seq, const std::vector<double>& finishes);
+    void ensure_ring_capacity(std::size_t needed);
+
+    /// Build the recipe for one requirement from the accesses that bounded
+    /// its dependence time during a capture instance.
+    void capture_requirement(LaunchRecipe& recipe, const RegionReq& req, TaskSeq seq,
+                             const TraceState& t,
+                             const std::vector<const Access*>& contributors);
+
+    /// Drop a replay that diverged or came up short: keep the verified
+    /// signature prefix, discard the cached schedule.
+    void invalidate_replay(TraceState& t);
+
     std::unordered_map<std::uint64_t, TraceState> traces_;
     std::uint64_t active_trace_ = 0;
     bool trace_active_ = false;
+    TraceInstanceMode trace_mode_ = TraceInstanceMode::None;
     std::size_t trace_cursor_ = 0;
+    TaskSeq trace_begin_seq_ = 0;
+    std::uint64_t trace_begin_struct_epoch_ = 0;
+    std::uint64_t next_trace_id_ = std::uint64_t{1} << 32;
+    std::vector<CommitRecord> commit_ring_;
+
+    /// Bumped when the region/field/home structure changes; captured
+    /// schedules from an older epoch are invalid.
+    std::uint64_t structure_epoch_ = 0;
+    /// Bumped by every untraced launch; untraced work interleaved between
+    /// trace instances may change the dependence structure, so fast replay
+    /// requires a quiet gap identical to the one seen at capture.
+    std::uint64_t quiet_epoch_ = 0;
 };
 
 template <typename T>

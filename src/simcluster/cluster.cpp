@@ -99,6 +99,12 @@ double SimCluster::horizon() const {
     for (const Timeline& t : procs_) h = std::max(h, t.free_at);
     for (const Timeline& t : nic_send_) h = std::max(h, t.free_at);
     for (const Timeline& t : nic_recv_) h = std::max(h, t.free_at);
+    // The per-node analysis pipelines bound replay throughput: on the trace
+    // fast path tasks no longer *wait* for the pipeline, but the runtime work
+    // still has to happen somewhere, so it can be the last thing running.
+    // (On the analysis path tasks finish at or after their analysis_done, so
+    // this term never dominates there.)
+    for (const Timeline& t : util_) h = std::max(h, t.free_at);
     return h;
 }
 

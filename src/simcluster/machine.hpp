@@ -118,6 +118,14 @@ struct KernelCosts {
         const double d = static_cast<double>(n);
         return {static_cast<double>(n), 16.0 * d};
     }
+    /// Fused vector update + partial reduction over n elements (axpy_dot /
+    /// xpay_norm2): the update's store feeds the reduction from registers, so
+    /// the fused kernel streams one pass instead of two. `extra_stream` adds
+    /// the third input vector when the reduction partner is a distinct field.
+    static TaskCost fused_update_reduce(gidx n, bool extra_stream) {
+        const double d = static_cast<double>(n);
+        return {4.0 * d, (extra_stream ? 32.0 : 24.0) * d};
+    }
 };
 
 } // namespace kdr::sim

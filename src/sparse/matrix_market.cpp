@@ -69,6 +69,13 @@ MatrixMarketData read_matrix_market(std::istream& in) {
         KDR_REQUIRE(i >= 1 && i <= data.rows && j >= 1 && j <= data.cols,
                     "matrix market: entry (", i, ",", j, ") outside ", data.rows, "x",
                     data.cols);
+        if (symmetry == "skew-symmetric" && i == j) {
+            // A = -A^T forces a zero diagonal; the format stores the strictly
+            // lower triangle, so an explicit nonzero diagonal entry is a
+            // malformed file, not data. (Pattern files imply value 1.)
+            KDR_REQUIRE(v == 0.0, "matrix market: skew-symmetric file has nonzero diagonal "
+                                  "entry (", i, ",", j, ") = ", v);
+        }
         data.triplets.push_back({i - 1, j - 1, v});
         if (symmetry == "symmetric" && i != j) {
             data.triplets.push_back({j - 1, i - 1, v});

@@ -6,12 +6,26 @@
 
 namespace kdr {
 
+namespace {
+
+/// A token serves as a flag's value if it does not look like a flag itself —
+/// or if it parses fully as a number, so `-shift -1.5` and `-seed -1` bind
+/// the negative number instead of treating it as a second bare flag.
+bool is_flag_value(const char* tok) {
+    if (tok[0] != '-') return true;
+    char* end = nullptr;
+    (void)std::strtod(tok, &end);
+    return end != tok && *end == '\0';
+}
+
+} // namespace
+
 CliArgs::CliArgs(int argc, const char* const* argv) {
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
         if (arg.size() < 2 || arg[0] != '-') continue;
         std::string key = arg.substr(1);
-        if (i + 1 < argc && argv[i + 1][0] != '-') {
+        if (i + 1 < argc && is_flag_value(argv[i + 1])) {
             values_[key] = argv[++i];
         } else {
             values_[key] = "1"; // bare flag

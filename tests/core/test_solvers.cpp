@@ -7,6 +7,7 @@
 #include <functional>
 #include <memory>
 
+#include "core/preconditioners.hpp"
 #include "core/solvers.hpp"
 #include "stencil/stencil.hpp"
 
@@ -38,7 +39,7 @@ struct SolveSetup {
 };
 
 SolveSetup make_setup(stencil::Kind kind, gidx target, Color pieces, bool nonsymmetric,
-                      std::uint64_t seed) {
+                      std::uint64_t seed, PlannerOptions popts = {}) {
     SolveSetup s;
     sim::MachineDesc m = sim::MachineDesc::lassen(2);
     m.gpus_per_node = 2;
@@ -65,7 +66,7 @@ SolveSetup make_setup(stencil::Kind kind, gidx target, Color pieces, bool nonsym
     auto bd = s.runtime->field_data<double>(s.br, s.bf);
     std::copy(b.begin(), b.end(), bd.begin());
 
-    s.planner = std::make_unique<Planner<double>>(*s.runtime);
+    s.planner = std::make_unique<Planner<double>>(*s.runtime, popts);
     const Partition dp = Partition::equal(D, pieces);
     const Partition rp = Partition::equal(R, pieces);
     s.planner->add_sol_vector(s.xr, s.xf, dp);
@@ -168,6 +169,78 @@ INSTANTIATE_TEST_SUITE_P(AllSolvers, SolverTest, ::testing::ValuesIn(solver_case
                          [](const ::testing::TestParamInfo<SolverCase>& pinfo) {
                              return pinfo.param.name;
                          });
+
+TEST(FusedKernels, ResidualHistoryIsBitwiseIdenticalToUnfused) {
+    // axpy_dot / xpay_norm2 interleave the update with the reduction but
+    // perform the same arithmetic on the same elements in the same order, so
+    // fusing must not change a single bit of the convergence history.
+    auto history = [](const SolverCase& sc, bool fused) {
+        PlannerOptions popts;
+        popts.fused_kernels = fused;
+        SolveSetup s =
+            make_setup(stencil::Kind::D2P5, 256, 4, sc.nonsymmetric, 11, popts);
+        auto solver = sc.make(*s.planner);
+        std::vector<double> res;
+        for (int i = 0; i < 25; ++i) {
+            solver->step();
+            res.push_back(solver->get_convergence_measure().value);
+        }
+        return res;
+    };
+    for (const SolverCase& sc : solver_cases()) {
+        if (sc.name != "cg" && sc.name != "bicgstab") continue; // the fused users
+        const std::vector<double> unfused = history(sc, false);
+        const std::vector<double> fused = history(sc, true);
+        for (std::size_t i = 0; i < unfused.size(); ++i) {
+            EXPECT_EQ(unfused[i], fused[i])
+                << sc.name << " diverged at iteration " << i;
+        }
+    }
+}
+
+TEST(FusedKernels, PcgResidualHistoryIsBitwiseIdenticalToUnfused) {
+    // Jacobi needs domain == range, so this builds its own square system.
+    auto history = [](bool fused) {
+        rt::Runtime runtime(sim::MachineDesc::lassen(2));
+        const stencil::Spec spec = stencil::Spec::cube(stencil::Kind::D2P5, 256);
+        const gidx n = spec.unknowns();
+        const IndexSpace D = IndexSpace::create(n, "D");
+        auto A = std::make_shared<CsrMatrix<double>>(stencil::laplacian_csr(spec, D, D));
+        const rt::RegionId xr = runtime.create_region(D, "x");
+        const rt::RegionId br = runtime.create_region(D, "b");
+        const rt::FieldId xf = runtime.add_field<double>(xr, "v");
+        const rt::FieldId bf = runtime.add_field<double>(br, "v");
+        const auto b = stencil::random_rhs(n, 12);
+        auto bd = runtime.field_data<double>(br, bf);
+        std::copy(b.begin(), b.end(), bd.begin());
+        PlannerOptions popts;
+        popts.fused_kernels = fused;
+        Planner<double> planner(runtime, popts);
+        planner.add_sol_vector(xr, xf, Partition::equal(D, 4));
+        planner.add_rhs_vector(br, bf, Partition::equal(D, 4));
+        planner.add_operator(A, 0, 0);
+        add_jacobi_preconditioner<double>(planner, {{A}});
+        PcgSolver<double> pcg(planner);
+        std::vector<double> res;
+        for (int i = 0; i < 25; ++i) {
+            pcg.step();
+            res.push_back(pcg.get_convergence_measure().value);
+        }
+        return res;
+    };
+    const std::vector<double> unfused = history(false);
+    const std::vector<double> fused = history(true);
+    for (std::size_t i = 0; i < unfused.size(); ++i) {
+        EXPECT_EQ(unfused[i], fused[i]) << "PCG diverged at iteration " << i;
+    }
+}
+
+TEST(FusedKernels, FusedLaunchesAreCounted) {
+    SolveSetup s = make_setup(stencil::Kind::D2P5, 256, 4, false, 13);
+    CgSolver<double> cg(*s.planner);
+    for (int i = 0; i < 3; ++i) cg.step();
+    EXPECT_GT(s.runtime->metrics().counter_total("fused_kernel_launches"), 0.0);
+}
 
 TEST(CgSolver, RequiresSquareSystem) {
     rt::Runtime runtime(sim::MachineDesc::lassen(1));

@@ -15,9 +15,12 @@ struct TimingSetup {
     std::unique_ptr<rt::Runtime> runtime;
     std::unique_ptr<Planner<double>> planner;
 
-    TimingSetup(stencil::Kind kind, gidx target, int nodes, Color pieces) {
-        sim::MachineDesc m = sim::MachineDesc::lassen(nodes);
-        runtime = std::make_unique<rt::Runtime>(m, rt::RuntimeOptions{.materialize = false});
+    TimingSetup(stencil::Kind kind, gidx target, int nodes, Color pieces,
+                PlannerOptions popts = {}, rt::RuntimeOptions ropts = {.materialize = false},
+                const sim::MachineDesc* machine = nullptr) {
+        const sim::MachineDesc m = machine ? *machine : sim::MachineDesc::lassen(nodes);
+        ropts.materialize = false;
+        runtime = std::make_unique<rt::Runtime>(m, ropts);
         const stencil::Spec spec = stencil::Spec::cube(kind, target);
         const gidx n = spec.unknowns();
         const IndexSpace D = IndexSpace::create(n, "D");
@@ -28,7 +31,7 @@ struct TimingSetup {
         const rt::FieldId bf = runtime->add_field<double>(br, "v");
 
         const stencil::CoPartition cp = stencil::co_partition(spec, D, R, pieces);
-        planner = std::make_unique<Planner<double>>(*runtime);
+        planner = std::make_unique<Planner<double>>(*runtime, popts);
         planner->add_sol_vector(xr, xf, Partition::equal(D, pieces));
         planner->add_rhs_vector(br, bf, cp.rows);
 
@@ -99,31 +102,55 @@ TEST(TimingMode, SteadyStateIterationTimeIsStable) {
 }
 
 TEST(TimingMode, TracingReducesIterationTime) {
+    // Solvers trace their own iteration loops by default; the untraced run
+    // opts out through PlannerOptions.
+    PlannerOptions untraced_opts;
+    untraced_opts.trace_solver_loops = false;
     TimingSetup traced(stencil::Kind::D2P5, 1 << 14, 2, 8);
-    TimingSetup dynamic(stencil::Kind::D2P5, 1 << 14, 2, 8);
+    TimingSetup dynamic(stencil::Kind::D2P5, 1 << 14, 2, 8, untraced_opts);
     CgSolver<double> cg_t(*traced.planner);
     CgSolver<double> cg_d(*dynamic.planner);
 
-    auto run = [](rt::Runtime& rt, CgSolver<double>& cg, bool trace) {
-        // Warmup (records the trace on the first traced iteration).
-        for (int i = 0; i < 3; ++i) {
-            if (trace) rt.begin_trace(1);
-            cg.step();
-            if (trace) rt.end_trace();
-        }
+    auto run = [](rt::Runtime& rt, CgSolver<double>& cg) {
+        // Warmup (covers the record and capture instances when tracing).
+        for (int i = 0; i < 3; ++i) cg.step();
         const double t0 = rt.current_time();
-        for (int i = 0; i < 10; ++i) {
-            if (trace) rt.begin_trace(1);
-            cg.step();
-            if (trace) rt.end_trace();
-        }
+        for (int i = 0; i < 10; ++i) cg.step();
         return (rt.current_time() - t0) / 10.0;
     };
 
-    const double with_trace = run(*traced.runtime, cg_t, true);
-    const double without = run(*dynamic.runtime, cg_d, false);
+    const double with_trace = run(*traced.runtime, cg_t);
+    const double without = run(*dynamic.runtime, cg_d);
     EXPECT_LT(with_trace, without)
         << "replayed traces must beat dynamic analysis at this small size";
+    EXPECT_GT(traced.runtime->metrics().counter_value("trace_depanalysis_skipped"), 0.0)
+        << "steady-state iterations must ride the fast path";
+    EXPECT_DOUBLE_EQ(
+        dynamic.runtime->metrics().counter_value("trace_depanalysis_skipped"), 0.0);
+}
+
+TEST(TimingMode, FastPathReproducesAnalysisPathSchedule) {
+    // With launch overheads zeroed, skipping dependence analysis must be a
+    // pure no-op on the schedule: the captured event edges have to resolve
+    // to exactly the dependence times full analysis would compute.
+    sim::MachineDesc m = sim::MachineDesc::lassen(2);
+    m.task_launch_overhead = 0.0;
+    m.traced_launch_overhead = 0.0;
+    rt::RuntimeOptions fast_opts{.materialize = false, .trace_fast_path = true};
+    rt::RuntimeOptions verify_opts{.materialize = false, .trace_fast_path = false};
+    TimingSetup fast(stencil::Kind::D2P5, 1 << 14, 2, 8, {}, fast_opts, &m);
+    TimingSetup verify(stencil::Kind::D2P5, 1 << 14, 2, 8, {}, verify_opts, &m);
+    CgSolver<double> cg_f(*fast.planner);
+    CgSolver<double> cg_v(*verify.planner);
+    for (int i = 0; i < 12; ++i) {
+        cg_f.step();
+        cg_v.step();
+        EXPECT_DOUBLE_EQ(fast.runtime->current_time(), verify.runtime->current_time())
+            << "schedules diverged at iteration " << i;
+    }
+    EXPECT_GT(fast.runtime->metrics().counter_value("trace_depanalysis_skipped"), 0.0);
+    EXPECT_DOUBLE_EQ(
+        verify.runtime->metrics().counter_value("trace_depanalysis_skipped"), 0.0);
 }
 
 TEST(TimingMode, MatrixMovesOnceVectorsMoveEveryIteration) {

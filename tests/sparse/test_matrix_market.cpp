@@ -61,6 +61,28 @@ TEST(MatrixMarket, ExpandsSkewSymmetric) {
     EXPECT_EQ(d.triplets[1], (Triplet<double>{0, 1, -3.0}));
 }
 
+TEST(MatrixMarket, RejectsNonzeroSkewSymmetricDiagonal) {
+    // A = -Aᵀ forces a zero diagonal; a nonzero entry means the file is
+    // corrupt (and silently mirroring it would double it).
+    std::istringstream in(
+        "%%MatrixMarket matrix coordinate real skew-symmetric\n"
+        "2 2 2\n"
+        "1 1 0.5\n"
+        "2 1 3.0\n");
+    EXPECT_THROW(read_matrix_market(in), Error);
+}
+
+TEST(MatrixMarket, AcceptsExplicitZeroSkewSymmetricDiagonal) {
+    std::istringstream in(
+        "%%MatrixMarket matrix coordinate real skew-symmetric\n"
+        "2 2 2\n"
+        "1 1 0.0\n"
+        "2 1 3.0\n");
+    const MatrixMarketData d = read_matrix_market(in);
+    // The zero diagonal entry is kept once (not mirrored onto itself).
+    ASSERT_EQ(d.triplets.size(), 3u);
+}
+
 TEST(MatrixMarket, PatternEntriesDefaultToOne) {
     std::istringstream in(
         "%%MatrixMarket matrix coordinate pattern general\n"

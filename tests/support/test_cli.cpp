@@ -50,6 +50,29 @@ TEST(CliArgs, RejectsMalformedInt) {
     EXPECT_THROW((void)args.get_int("nx", 0), Error);
 }
 
+TEST(CliArgs, NegativeNumbersAreValuesNotFlags) {
+    // Regression: "-shift -1.5" used to parse as two bare flags because the
+    // value starts with '-'.
+    const CliArgs args = make({"-shift", "-1.5", "-seed", "-1", "-nx", "8"});
+    EXPECT_DOUBLE_EQ(args.get_double("shift", 0.0), -1.5);
+    EXPECT_EQ(args.get_int("seed", 0), -1);
+    EXPECT_EQ(args.get_int("nx", 0), 8);
+    EXPECT_FALSE(args.has("1.5")) << "-1.5 must not register as a flag";
+}
+
+TEST(CliArgs, NegativeScientificNotationIsAValue) {
+    const CliArgs args = make({"-tol", "-1e-8"});
+    EXPECT_DOUBLE_EQ(args.get_double("tol", 0.0), -1e-8);
+}
+
+TEST(CliArgs, NonNumericDashTokenStaysAFlag) {
+    // "-verbose -quiet": the token after -verbose is not a number, so both
+    // remain bare flags.
+    const CliArgs args = make({"-verbose", "-quiet"});
+    EXPECT_TRUE(args.get_flag("verbose"));
+    EXPECT_TRUE(args.get_flag("quiet"));
+}
+
 TEST(CliArgs, StringValues) {
     const CliArgs args = make({"-solver", "bicgstab"});
     EXPECT_EQ(args.get_string("solver", ""), "bicgstab");
