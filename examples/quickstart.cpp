@@ -9,14 +9,19 @@
 ///
 /// Usage: quickstart [-n 64] [-pieces 8] [-tol 1e-8]
 ///                   [-report] [-report_json report.json] [-trace trace.json]
+///                   [-fault_rate 0] [-fault_seed 42]
 ///
 /// -report prints the structured solve report (per-task-kind virtual time,
-/// node utilization, transfer matrix, phase totals, convergence history);
-/// -report_json writes the same report as JSON; -trace exports a Chrome
-/// trace (chrome://tracing) with per-processor task rows and a solver-phase
-/// span track.
+/// node utilization, transfer matrix, phase totals, convergence history,
+/// classified solve status, fault/recovery tallies); -report_json writes the
+/// same report as JSON; -trace exports a Chrome trace (chrome://tracing)
+/// with per-processor task rows and a solver-phase span track; -fault_rate
+/// attaches a seeded fault model injecting transient task failures at that
+/// per-task probability (the runtime retries them transparently).
 
+#include <cstdint>
 #include <iostream>
+#include <memory>
 
 #include "core/monitor.hpp"
 #include "core/solvers.hpp"
@@ -33,11 +38,21 @@ int main(int argc, char** argv) {
     const bool want_report = args.get_flag("report");
     const std::string report_json = args.get_string("report_json", "");
     const std::string trace_path = args.get_string("trace", "");
+    const double fault_rate = args.get_double("fault_rate", 0.0);
+    const std::uint64_t fault_seed =
+        static_cast<std::uint64_t>(args.get_int("fault_seed", 42));
 
     // The simulated machine the virtual-time schedule runs on; the numerics
     // are computed for real on the host either way.
     rt::Runtime runtime(sim::MachineDesc::lassen(2));
     runtime.set_profiling(want_report || !report_json.empty() || !trace_path.empty());
+    if (fault_rate > 0.0) {
+        sim::FaultSpec fs;
+        fs.seed = fault_seed;
+        fs.task_fail_prob = fault_rate;
+        fs.slowdown_prob = fault_rate / 2.0;
+        runtime.cluster().set_fault_model(std::make_shared<sim::FaultModel>(fs));
+    }
 
     // Problem: Δu = f on an n x n grid, 5-point stencil, SPD.
     stencil::Spec spec;
@@ -68,26 +83,24 @@ int main(int argc, char** argv) {
         std::make_shared<CsrMatrix<double>>(stencil::laplacian_csr(spec, D, R)), 0, 0);
 
     // Solve (paper Fig 7's CG behind the drop-in Solver interface). The
-    // monitor records the residual history the solve report embeds.
+    // monitor records the residual history the solve report embeds; the
+    // solve() driver classifies the outcome (converged, breakdown, ...).
     core::CgSolver<double> inner(planner);
     core::SolverMonitor<double> cg(inner);
-    int iters = 0;
+    const core::SolveResult result = core::solve(cg, tol, static_cast<int>(10 * n));
     std::cout << "iter   residual\n";
-    while (cg.get_convergence_measure().value > tol && iters < 10 * n) {
-        if (iters % 10 == 0) {
-            std::cout << iters << "   " << cg.get_convergence_measure().value << "\n";
-        }
-        cg.step();
-        ++iters;
+    for (const auto& s : cg.history()) {
+        if (s.iteration % 10 == 0) std::cout << s.iteration << "   " << s.residual << "\n";
     }
-    std::cout << "converged in " << iters
-              << " iterations, residual = " << cg.get_convergence_measure().value << "\n"
+    std::cout << "status: " << core::to_string(result.status) << " after "
+              << result.iterations << " iterations, residual = " << result.residual << "\n"
               << "virtual time on the simulated cluster: "
               << runtime.current_time() * 1e3 << " ms, " << runtime.tasks_launched()
               << " tasks\n";
 
     if (want_report || !report_json.empty()) {
-        const obs::SolveReport report = runtime.build_solve_report(cg.report_samples());
+        const obs::SolveReport report = runtime.build_solve_report(
+            cg.report_samples(), core::to_string(result.status));
         if (want_report) report.print(std::cout);
         if (!report_json.empty()) {
             obs::write_solve_report(report_json, report);

@@ -37,6 +37,7 @@ public:
     [[nodiscard]] Scalar get_convergence_measure() const override {
         return inner_.get_convergence_measure();
     }
+    [[nodiscard]] SolveStatus status() const noexcept override { return inner_.status(); }
     [[nodiscard]] const char* name() const override { return inner_.name(); }
 
     [[nodiscard]] const std::vector<Sample>& history() const noexcept { return history_; }

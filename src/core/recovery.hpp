@@ -1,0 +1,198 @@
+#pragma once
+
+/// \file recovery.hpp
+/// Policy-driven solver recovery on top of the classified SolveStatus layer:
+///
+///  * periodic lightweight checkpoints of the iterate (one planner copy of
+///    SOL into a workspace vector — no matrix or basis state is saved, since
+///    every Krylov method here can cold-start from an iterate);
+///  * restart-from-checkpoint when an attempt ends in breakdown, divergence,
+///    stagnation, or a fault-aborted task (bounded by max_restarts);
+///  * fallback switching to a second, more robust method (typically GMRES
+///    for a breakdown-prone short-recurrence method) once the restart budget
+///    is spent, with a fresh restart budget of its own.
+///
+/// The controller is solver-agnostic: attempts are built through factories,
+/// so it composes with any Solver<T>. Recovery actions are published as
+/// counters (solver_checkpoints / restores / restarts / fallbacks) in the
+/// runtime's metrics registry, which build_solve_report folds into the
+/// report's fault block.
+
+#include <functional>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "core/planner.hpp"
+#include "core/solvers.hpp"
+#include "obs/report.hpp"
+
+namespace kdr::core {
+
+struct RecoveryOptions {
+    /// Checkpoint the iterate after this many consecutive healthy iterations.
+    int checkpoint_every = 25;
+    /// Restart-from-checkpoint budget per method.
+    int max_restarts = 2;
+    /// How many times the controller may switch to the fallback factory.
+    int max_fallbacks = 1;
+    /// Guards applied to every attempt (divergence + stagnation windows).
+    SolveOptions solve;
+};
+
+template <typename T>
+using SolverFactory = std::function<std::unique_ptr<Solver<T>>(Planner<T>&)>;
+
+/// Outcome of a recovered solve: final classification plus what the
+/// controller had to do to get there. `iterations` counts successful solver
+/// steps across all attempts (the shared budget).
+struct SolveOutcome {
+    SolveStatus status = SolveStatus::running;
+    int iterations = 0;
+    double residual = 0.0;
+    int checkpoints = 0;
+    int restores = 0;
+    int restarts = 0;
+    int fallbacks = 0;
+    std::vector<obs::ConvergenceSample> history;
+};
+
+/// Drive `primary` to convergence with checkpoint/restart/fallback recovery.
+/// Terminal outcomes are converged, max_iter, or — once every recovery
+/// budget is exhausted — the last attempt's classification. A fault that
+/// strikes outside a solver step (during a checkpoint copy, a restore, or an
+/// attempt's setup) ends the run as fault_aborted: the controller cannot
+/// retry work whose effects it cannot roll back itself.
+template <typename T>
+SolveOutcome solve_with_recovery(Planner<T>& planner, SolverFactory<T> primary, double tol,
+                                 int max_iterations, const RecoveryOptions& opts = {},
+                                 SolverFactory<T> fallback = {}) {
+    KDR_REQUIRE(primary != nullptr, "solve_with_recovery: null primary factory");
+    KDR_REQUIRE(opts.checkpoint_every >= 1,
+                "solve_with_recovery: checkpoint_every must be >= 1");
+    obs::Registry& metrics = planner.runtime().metrics();
+    obs::Counter& ckpt_ctr = metrics.counter("solver_checkpoints");
+    obs::Counter& restore_ctr = metrics.counter("solver_restores");
+    obs::Counter& restart_ctr = metrics.counter("solver_restarts");
+    obs::Counter& fallback_ctr = metrics.counter("solver_fallbacks");
+
+    SolveOutcome out;
+    std::unique_ptr<Solver<T>> solver;
+    bool on_fallback = false;
+    int restarts_used = 0;
+    int fallbacks_used = 0;
+    double best = 0.0; // attempt-scoped stagnation state
+    int since_best = 0;
+
+    auto build_attempt = [&] {
+        solver = on_fallback ? fallback(planner) : primary(planner);
+        best = solver->get_convergence_measure().value;
+        since_best = 0;
+    };
+    auto record = [&] {
+        const Scalar m = solver->get_convergence_measure();
+        out.history.push_back({out.iterations, m.value, m.ready_time});
+    };
+
+    VecId ckpt{};
+    auto checkpoint = [&] {
+        planner.copy(ckpt, Planner<T>::SOL);
+        ++out.checkpoints;
+        ckpt_ctr.inc();
+    };
+    /// Restore + rebuild for another attempt; false when every budget is out.
+    auto try_recover = [&]() -> bool {
+        if (!on_fallback && restarts_used < opts.max_restarts) {
+            ++restarts_used;
+            ++out.restarts;
+            restart_ctr.inc();
+        } else if (fallback != nullptr && fallbacks_used < opts.max_fallbacks) {
+            on_fallback = true;
+            ++fallbacks_used;
+            ++out.fallbacks;
+            fallback_ctr.inc();
+            restarts_used = 0; // the fallback gets its own restart budget
+        } else {
+            return false;
+        }
+        planner.copy(Planner<T>::SOL, ckpt);
+        ++out.restores;
+        restore_ctr.inc();
+        build_attempt();
+        return true;
+    };
+
+    try {
+        ckpt = planner.allocate_workspace_vector();
+        checkpoint();
+        build_attempt();
+        record();
+        const double r0 = std::max(solver->get_convergence_measure().value, 0.0);
+        int healthy_since_ckpt = 0;
+
+        for (;;) {
+            // Classify the current state (mirrors solve(), plus recovery).
+            SolveStatus st = solver->status();
+            const double r = solver->get_convergence_measure().value;
+            out.residual = r;
+            if (st == SolveStatus::running) {
+                if (!std::isfinite(r)) {
+                    st = SolveStatus::breakdown_nonfinite;
+                } else if (r <= tol) {
+                    solver->finalize();
+                    st = solver->status() == SolveStatus::running ? SolveStatus::converged
+                                                                  : solver->status();
+                } else if (out.iterations >= max_iterations) {
+                    solver->finalize();
+                    st = SolveStatus::max_iter;
+                } else if (r > opts.solve.divergence_factor * std::max(r0, 1.0)) {
+                    st = SolveStatus::diverged;
+                } else if (opts.solve.stagnation_window > 0) {
+                    if (r < best * (1.0 - opts.solve.stagnation_rtol)) {
+                        best = r;
+                        since_best = 0;
+                    } else if (++since_best >= opts.solve.stagnation_window) {
+                        st = SolveStatus::stagnated;
+                    }
+                }
+            }
+            if (st != SolveStatus::running) {
+                if (st == SolveStatus::converged || st == SolveStatus::max_iter ||
+                    !try_recover()) {
+                    out.status = st;
+                    return out;
+                }
+                healthy_since_ckpt = 0;
+                record();
+                continue;
+            }
+
+            try {
+                solver->step();
+            } catch (const rt::TaskFailedError&) {
+                // The failed task's writes were never committed, but the
+                // attempt's control state is suspect: restore and rebuild.
+                if (!try_recover()) {
+                    out.status = SolveStatus::fault_aborted;
+                    return out;
+                }
+                healthy_since_ckpt = 0;
+                record();
+                continue;
+            }
+            ++out.iterations;
+            record();
+            if (solver->status() == SolveStatus::running &&
+                std::isfinite(solver->get_convergence_measure().value) &&
+                ++healthy_since_ckpt >= opts.checkpoint_every) {
+                checkpoint();
+                healthy_since_ckpt = 0;
+            }
+        }
+    } catch (const rt::TaskFailedError&) {
+        out.status = SolveStatus::fault_aborted;
+        return out;
+    }
+}
+
+} // namespace kdr::core

@@ -1,0 +1,58 @@
+#pragma once
+
+/// \file solve_status.hpp
+/// Classified solver outcomes. Krylov methods can terminate for many reasons
+/// besides convergence: short recurrences break down when a pivot or inner
+/// product vanishes, indefinite operators violate CG's assumptions, injected
+/// faults can exhaust the runtime's retry budget mid-iteration. Every solver
+/// run ends in exactly one of these states — never a silent NaN or a hang —
+/// so recovery policies (core/recovery.hpp) and reports (obs) can act on it.
+
+#include <cstdint>
+
+namespace kdr::core {
+
+enum class SolveStatus : std::uint8_t {
+    running,             ///< iteration may continue
+    converged,           ///< residual measure reached the tolerance
+    max_iter,            ///< iteration budget exhausted without converging
+    breakdown_rho_zero,  ///< Lanczos/BiCG rho = <rhat, r> vanished
+    breakdown_omega_zero,///< BiCGStab stabilization denominator vanished
+    breakdown_pivot_zero,///< recurrence pivot (pAp, H diagonal, ...) vanished
+    breakdown_indefinite,///< CG pivot went negative: operator not SPD
+    breakdown_nonfinite, ///< NaN/Inf appeared in a recurrence scalar
+    diverged,            ///< residual grew past the divergence guard
+    stagnated,           ///< no relative progress over the stagnation window
+    fault_aborted,       ///< runtime retry budget exhausted (TaskFailedError)
+};
+
+[[nodiscard]] constexpr const char* to_string(SolveStatus s) noexcept {
+    switch (s) {
+        case SolveStatus::running: return "running";
+        case SolveStatus::converged: return "converged";
+        case SolveStatus::max_iter: return "max_iter";
+        case SolveStatus::breakdown_rho_zero: return "breakdown_rho_zero";
+        case SolveStatus::breakdown_omega_zero: return "breakdown_omega_zero";
+        case SolveStatus::breakdown_pivot_zero: return "breakdown_pivot_zero";
+        case SolveStatus::breakdown_indefinite: return "breakdown_indefinite";
+        case SolveStatus::breakdown_nonfinite: return "breakdown_nonfinite";
+        case SolveStatus::diverged: return "diverged";
+        case SolveStatus::stagnated: return "stagnated";
+        case SolveStatus::fault_aborted: return "fault_aborted";
+    }
+    return "unknown";
+}
+
+[[nodiscard]] constexpr bool is_breakdown(SolveStatus s) noexcept {
+    return s == SolveStatus::breakdown_rho_zero || s == SolveStatus::breakdown_omega_zero ||
+           s == SolveStatus::breakdown_pivot_zero ||
+           s == SolveStatus::breakdown_indefinite || s == SolveStatus::breakdown_nonfinite;
+}
+
+/// Terminal states end the current solve attempt (a recovery controller may
+/// still restart or fall back to another method).
+[[nodiscard]] constexpr bool is_terminal(SolveStatus s) noexcept {
+    return s != SolveStatus::running;
+}
+
+} // namespace kdr::core

@@ -15,17 +15,31 @@
 /// implementations form the true initial residual r₀ = b − A x₀, so nonzero
 /// initial guesses work; with x₀ = 0 they reduce to the listing exactly.
 
+#include <algorithm>
+#include <cmath>
 #include <exception>
 #include <vector>
 
 #include "core/planner.hpp"
 #include "core/scalar.hpp"
+#include "core/solve_status.hpp"
 #include "obs/span.hpp"
+#include "runtime/types.hpp"
 #include "support/error.hpp"
 
 namespace kdr::core {
 
 namespace detail {
+
+/// Breakdown guard: `denom` has vanished relative to `ref` (pass 1.0 for an
+/// absolute test). Scale-aware so that tiny-but-meaningful pivots on
+/// well-conditioned problems never trip it — only true (near-)zeros do,
+/// which is what makes fault-rate-0 runs bitwise identical to the pre-guard
+/// histories.
+inline constexpr double kBreakdownTiny = 1e-30;
+[[nodiscard]] inline bool vanished(double denom, double ref) noexcept {
+    return std::abs(denom) <= kBreakdownTiny * std::max(1.0, std::abs(ref));
+}
 
 /// Trace id for a solver's iteration loop: a fresh runtime-allocated id when
 /// the planner enables solver-loop tracing, 0 (= disabled) otherwise.
@@ -81,22 +95,132 @@ public:
     /// mid-cycle requires this). Default: nothing pending.
     virtual void finalize() {}
 
+    /// Classified outcome of the run so far: `running` while iteration may
+    /// continue; any other value is terminal and makes step() a no-op.
+    /// Breakdown detection sets this *before* applying an update driven by a
+    /// vanished or non-finite scalar, so the iterate and the recorded history
+    /// stay at the last healthy state.
+    [[nodiscard]] virtual SolveStatus status() const noexcept { return status_; }
+
     [[nodiscard]] virtual const char* name() const = 0;
+
+protected:
+    /// Record a terminal status; the first terminal status wins.
+    void fail(SolveStatus s) noexcept {
+        if (status_ == SolveStatus::running) status_ = s;
+    }
+
+    /// Arm or disarm value-based breakdown classification. Timing-only
+    /// (non-materializing) runtimes leave every scalar at 0.0 — or NaN where
+    /// a host-side ratio divides 0 by 0 — so solvers disarm the guards there
+    /// and step purely for the virtual-time schedule, exactly as before the
+    /// breakdown layer existed. Solver constructors call
+    /// `arm_guards(planner.runtime().functional())`.
+    void arm_guards(bool on) noexcept { guards_ = on; }
+
+    /// Guarded form of detail::vanished — always false while disarmed.
+    [[nodiscard]] bool vanished(double denom, double ref) const noexcept {
+        return guards_ && detail::vanished(denom, ref);
+    }
+
+    /// Guarded non-finiteness test — always false while disarmed.
+    [[nodiscard]] bool nonfinite(double v) const noexcept {
+        return guards_ && !std::isfinite(v);
+    }
+
+private:
+    SolveStatus status_ = SolveStatus::running;
+    bool guards_ = true;
 };
 
-/// Drive a solver until its convergence measure drops below `tol` or
-/// `max_iterations` elapse, then finalize. Returns iterations performed.
+/// Outcome of one solve() attempt.
+struct SolveResult {
+    SolveStatus status = SolveStatus::running;
+    int iterations = 0;
+    double residual = 0.0; ///< last convergence measure observed
+};
+
+/// Safety guards for the solve() driver beyond plain tolerance/budget.
+struct SolveOptions {
+    /// Classify as diverged once the measure exceeds this multiple of
+    /// max(initial measure, 1).
+    double divergence_factor = 1e8;
+    /// Classify as stagnated after this many consecutive iterations without
+    /// relative progress; 0 disables the guard.
+    int stagnation_window = 0;
+    double stagnation_rtol = 1e-12;
+};
+
+/// Drive a solver until it converges, exhausts `max_iterations`, breaks
+/// down, diverges, stagnates, or a task under fault injection exhausts its
+/// retry budget. Every run ends with a classified terminal status — never a
+/// silent NaN, hang, or escaped TaskFailedError.
+template <typename T>
+SolveResult solve(Solver<T>& solver, double tol, int max_iterations,
+                  const SolveOptions& opts = {}) {
+    SolveResult out;
+    // finalize() may itself launch tasks (GMRES applies the pending cycle
+    // correction), so it can also hit the retry-budget wall.
+    const auto finish = [&](SolveStatus s) {
+        try {
+            solver.finalize();
+            out.status = s;
+        } catch (const rt::TaskFailedError&) {
+            out.status = SolveStatus::fault_aborted;
+        }
+    };
+    double r0 = 0.0;
+    double best = 0.0;
+    int since_best = 0;
+    for (int it = 0;; ++it) {
+        out.iterations = it;
+        if (solver.status() != SolveStatus::running) {
+            out.status = solver.status();
+            out.residual = solver.get_convergence_measure().value;
+            return out;
+        }
+        const double r = solver.get_convergence_measure().value;
+        out.residual = r;
+        if (!std::isfinite(r)) {
+            out.status = SolveStatus::breakdown_nonfinite;
+            return out;
+        }
+        if (it == 0) best = r0 = r;
+        if (r <= tol) {
+            finish(SolveStatus::converged);
+            return out;
+        }
+        if (it >= max_iterations) {
+            finish(SolveStatus::max_iter);
+            return out;
+        }
+        if (r > opts.divergence_factor * std::max(r0, 1.0)) {
+            out.status = SolveStatus::diverged;
+            return out;
+        }
+        if (opts.stagnation_window > 0) {
+            if (r < best * (1.0 - opts.stagnation_rtol)) {
+                best = r;
+                since_best = 0;
+            } else if (++since_best >= opts.stagnation_window) {
+                finish(SolveStatus::stagnated);
+                return out;
+            }
+        }
+        try {
+            solver.step();
+        } catch (const rt::TaskFailedError&) {
+            out.status = SolveStatus::fault_aborted;
+            return out;
+        }
+    }
+}
+
+/// Back-compatible driver: iterations performed until the measure dropped
+/// below `tol` (or the budget ran out / the attempt ended otherwise).
 template <typename T>
 int solve_to_tolerance(Solver<T>& solver, double tol, int max_iterations) {
-    for (int it = 0; it < max_iterations; ++it) {
-        if (solver.get_convergence_measure().value <= tol) {
-            solver.finalize();
-            return it;
-        }
-        solver.step();
-    }
-    solver.finalize();
-    return max_iterations;
+    return solve(solver, tol, max_iterations).iterations;
 }
 
 // ===================================================================== CG
@@ -107,6 +231,7 @@ class CgSolver final : public Solver<T> {
 public:
     explicit CgSolver(Planner<T>& planner) : planner_(planner) {
         KDR_REQUIRE(planner_.is_square(), "CG requires a square system");
+        this->arm_guards(planner_.runtime().functional());
         const obs::Span span(planner_.runtime().spans(), "setup");
         p_ = planner_.allocate_workspace_vector();
         q_ = planner_.allocate_workspace_vector();
@@ -117,17 +242,42 @@ public:
         planner_.axpy(r_, make_scalar(-1.0), q_);
         planner_.copy(p_, r_);
         res_ = planner_.dot(r_, r_);
+        if (this->nonfinite(res_.value)) this->fail(SolveStatus::breakdown_nonfinite);
         trace_id_ = detail::solver_trace_id(planner_);
     }
 
     void step() override {
+        if (this->status() != SolveStatus::running) return;
+        if (this->vanished(res_.value, 1.0)) {
+            // ‖r‖² = 0: already at the exact solution; stepping on would
+            // divide by it forming beta.
+            this->fail(SolveStatus::breakdown_rho_zero);
+            return;
+        }
         const detail::TraceScope trace(planner_.runtime(), trace_id_);
         planner_.matmul(q_, p_);
         const Scalar p_norm = planner_.dot(p_, q_);
+        if (this->nonfinite(p_norm.value)) {
+            this->fail(SolveStatus::breakdown_nonfinite);
+            return;
+        }
+        if (this->vanished(p_norm.value, res_.value)) {
+            this->fail(SolveStatus::breakdown_pivot_zero);
+            return;
+        }
+        if (p_norm.value < 0.0) {
+            // <p, A p> < 0: the operator is not SPD; CG's recurrence is void.
+            this->fail(SolveStatus::breakdown_indefinite);
+            return;
+        }
         const Scalar alpha = res_ / p_norm;
         planner_.axpy(Planner<T>::SOL, alpha, p_);
         // r -= alpha q fused with the new ‖r‖² partial.
         const Scalar new_res = planner_.axpy_dot(r_, -alpha, q_, r_);
+        if (this->nonfinite(new_res.value)) {
+            this->fail(SolveStatus::breakdown_nonfinite);
+            return;
+        }
         planner_.xpay(p_, new_res / res_, r_);
         res_ = new_res;
     }
@@ -151,6 +301,7 @@ class PcgSolver final : public Solver<T> {
 public:
     explicit PcgSolver(Planner<T>& planner) : planner_(planner) {
         KDR_REQUIRE(planner_.is_square(), "PCG requires a square system");
+        this->arm_guards(planner_.runtime().functional());
         KDR_REQUIRE(planner_.has_preconditioner(), "PCG requires a preconditioner");
         const obs::Span span(planner_.runtime().spans(), "setup");
         p_ = planner_.allocate_workspace_vector();
@@ -164,19 +315,48 @@ public:
         planner_.copy(p_, z_);
         rz_ = planner_.dot(r_, z_);
         res_ = planner_.dot(r_, r_);
+        if (this->nonfinite(res_.value) || this->nonfinite(rz_.value)) {
+            this->fail(SolveStatus::breakdown_nonfinite);
+        }
         trace_id_ = detail::solver_trace_id(planner_);
     }
 
     void step() override {
+        if (this->status() != SolveStatus::running) return;
+        if (this->vanished(rz_.value, 1.0)) {
+            this->fail(SolveStatus::breakdown_rho_zero);
+            return;
+        }
         const detail::TraceScope trace(planner_.runtime(), trace_id_);
         planner_.matmul(q_, p_);
-        const Scalar alpha = rz_ / planner_.dot(p_, q_);
+        const Scalar pq = planner_.dot(p_, q_);
+        if (this->nonfinite(pq.value)) {
+            this->fail(SolveStatus::breakdown_nonfinite);
+            return;
+        }
+        if (this->vanished(pq.value, rz_.value)) {
+            this->fail(SolveStatus::breakdown_pivot_zero);
+            return;
+        }
+        if (pq.value < 0.0) {
+            this->fail(SolveStatus::breakdown_indefinite);
+            return;
+        }
+        const Scalar alpha = rz_ / pq;
         planner_.axpy(Planner<T>::SOL, alpha, p_);
         // r -= alpha q fused with ‖r‖² (hoisted ahead of psolve; r does not
         // change afterwards, so the measure is the same).
         res_ = planner_.axpy_dot(r_, -alpha, q_, r_);
+        if (this->nonfinite(res_.value)) {
+            this->fail(SolveStatus::breakdown_nonfinite);
+            return;
+        }
         planner_.psolve(z_, r_);
         const Scalar new_rz = planner_.dot(r_, z_);
+        if (this->nonfinite(new_rz.value)) {
+            this->fail(SolveStatus::breakdown_nonfinite);
+            return;
+        }
         planner_.xpay(p_, new_rz / rz_, z_);
         rz_ = new_rz;
     }
@@ -201,6 +381,7 @@ class BiCgSolver final : public Solver<T> {
 public:
     explicit BiCgSolver(Planner<T>& planner) : planner_(planner) {
         KDR_REQUIRE(planner_.is_square(), "BiCG requires a square system");
+        this->arm_guards(planner_.runtime().functional());
         const obs::Span span(planner_.runtime().spans(), "setup");
         r_ = planner_.allocate_workspace_vector();
         rt_ = planner_.allocate_workspace_vector();
@@ -216,23 +397,43 @@ public:
         planner_.copy(pt_, rt_);
         rho_ = planner_.dot(rt_, r_);
         res_ = planner_.dot(r_, r_);
+        if (this->nonfinite(res_.value)) this->fail(SolveStatus::breakdown_nonfinite);
         trace_id_ = detail::solver_trace_id(planner_);
     }
 
     void step() override {
+        if (this->status() != SolveStatus::running) return;
+        if (this->vanished(rho_.value, 1.0)) {
+            this->fail(SolveStatus::breakdown_rho_zero);
+            return;
+        }
         const detail::TraceScope trace(planner_.runtime(), trace_id_);
         planner_.matmul(q_, p_);
         planner_.matmul_transpose(qt_, pt_);
-        const Scalar alpha = rho_ / planner_.dot(pt_, q_);
+        const Scalar ptq = planner_.dot(pt_, q_);
+        if (this->nonfinite(ptq.value)) {
+            this->fail(SolveStatus::breakdown_nonfinite);
+            return;
+        }
+        if (this->vanished(ptq.value, rho_.value)) {
+            this->fail(SolveStatus::breakdown_pivot_zero);
+            return;
+        }
+        const Scalar alpha = rho_ / ptq;
         planner_.axpy(Planner<T>::SOL, alpha, p_);
         planner_.axpy(r_, -alpha, q_);
         planner_.axpy(rt_, -alpha, qt_);
         const Scalar new_rho = planner_.dot(rt_, r_);
+        if (this->nonfinite(new_rho.value)) {
+            this->fail(SolveStatus::breakdown_nonfinite);
+            return;
+        }
         const Scalar beta = new_rho / rho_;
         planner_.xpay(p_, beta, r_);
         planner_.xpay(pt_, beta, rt_);
         rho_ = new_rho;
         res_ = planner_.dot(r_, r_);
+        if (this->nonfinite(res_.value)) this->fail(SolveStatus::breakdown_nonfinite);
     }
 
     [[nodiscard]] Scalar get_convergence_measure() const override { return sqrt(res_); }
@@ -254,6 +455,7 @@ class BiCgStabSolver final : public Solver<T> {
 public:
     explicit BiCgStabSolver(Planner<T>& planner) : planner_(planner) {
         KDR_REQUIRE(planner_.is_square(), "BiCGStab requires a square system");
+        this->arm_guards(planner_.runtime().functional());
         const obs::Span span(planner_.runtime().spans(), "setup");
         r_ = planner_.allocate_workspace_vector();
         rhat_ = planner_.allocate_workspace_vector();
@@ -271,28 +473,83 @@ public:
         alpha_ = make_scalar(1.0);
         omega_ = make_scalar(1.0);
         res_ = planner_.dot(r_, r_);
+        if (this->nonfinite(res_.value)) this->fail(SolveStatus::breakdown_nonfinite);
         trace_id_ = detail::solver_trace_id(planner_);
     }
 
     void step() override {
+        if (this->status() != SolveStatus::running) return;
         const detail::TraceScope trace(planner_.runtime(), trace_id_);
         const Scalar new_rho = planner_.dot(rhat_, r_);
+        if (this->nonfinite(new_rho.value)) {
+            this->fail(SolveStatus::breakdown_nonfinite);
+            return;
+        }
+        if (this->vanished(new_rho.value, 1.0)) {
+            // <rhat, r> = 0: the BiCG recurrence underlying BiCGStab is lost.
+            this->fail(SolveStatus::breakdown_rho_zero);
+            return;
+        }
         const Scalar beta = (new_rho / rho_) * (alpha_ / omega_);
         // p = r + beta (p - omega v)
         planner_.axpy(p_, -omega_, v_);
         planner_.xpay(p_, beta, r_);
         planner_.matmul(v_, p_);
-        alpha_ = new_rho / planner_.dot(rhat_, v_);
+        const Scalar rv = planner_.dot(rhat_, v_);
+        if (this->nonfinite(rv.value)) {
+            this->fail(SolveStatus::breakdown_nonfinite);
+            return;
+        }
+        if (this->vanished(rv.value, new_rho.value)) {
+            this->fail(SolveStatus::breakdown_pivot_zero);
+            return;
+        }
+        alpha_ = new_rho / rv;
         // s = r - alpha v
         planner_.copy(s_, r_);
         planner_.axpy(s_, -alpha_, v_);
         planner_.matmul(t_, s_);
-        omega_ = planner_.dot(t_, s_) / planner_.dot(t_, t_);
+        const Scalar ts = planner_.dot(t_, s_);
+        const Scalar tt = planner_.dot(t_, t_);
+        if (this->nonfinite(tt.value) || this->nonfinite(ts.value)) {
+            this->fail(SolveStatus::breakdown_nonfinite);
+            return;
+        }
+        if (this->vanished(tt.value, 1.0)) {
+            // t = A s ~ 0: either s itself vanished (the alpha half-step
+            // already reached the solution) or A annihilates s. Keep the
+            // half-step so the iterate retains that progress and expose
+            // ‖s‖² as the measure; a vanished s is convergence, not
+            // breakdown — the driver's tolerance check picks it up.
+            planner_.axpy(Planner<T>::SOL, alpha_, p_);
+            planner_.copy(r_, s_);
+            res_ = planner_.dot(r_, r_);
+            rho_ = new_rho;
+            if (!this->vanished(res_.value, 1.0)) {
+                this->fail(SolveStatus::breakdown_omega_zero);
+            }
+            return;
+        }
+        omega_ = ts / tt;
+        if (this->vanished(omega_.value, 1.0)) {
+            // omega = 0 stalls the stabilization step and poisons the next
+            // beta; keep the alpha half-step, classify before the s-step.
+            planner_.axpy(Planner<T>::SOL, alpha_, p_);
+            planner_.copy(r_, s_);
+            res_ = planner_.dot(r_, r_);
+            rho_ = new_rho;
+            this->fail(SolveStatus::breakdown_omega_zero);
+            return;
+        }
         planner_.axpy(Planner<T>::SOL, alpha_, p_);
         planner_.axpy(Planner<T>::SOL, omega_, s_);
         // r = s - omega t, fused with the new ‖r‖² partial.
         planner_.copy(r_, t_);
         const Scalar new_res = planner_.xpay_norm2(r_, -omega_, s_);
+        if (this->nonfinite(new_res.value)) {
+            this->fail(SolveStatus::breakdown_nonfinite);
+            return;
+        }
         rho_ = new_rho;
         res_ = new_res;
     }
@@ -319,6 +576,7 @@ public:
     explicit GmresSolver(Planner<T>& planner, int restart = 10)
         : planner_(planner), m_(restart) {
         KDR_REQUIRE(planner_.is_square(), "GMRES requires a square system");
+        this->arm_guards(planner_.runtime().functional());
         KDR_REQUIRE(m_ >= 1, "GMRES restart length must be >= 1");
         const obs::Span span(planner_.runtime().spans(), "setup");
         for (int i = 0; i <= m_; ++i) v_.push_back(planner_.allocate_workspace_vector());
@@ -342,6 +600,7 @@ public:
     /// since the Gram-Schmidt launch sequence varies within a cycle but
     /// repeats exactly across cycles.
     void step() override {
+        if (this->status() != SolveStatus::running) return;
         if (trace_id_ != 0 && j_ == 0 && !cycle_trace_open_) {
             planner_.runtime().begin_trace(trace_id_);
             cycle_trace_open_ = true;
@@ -354,8 +613,22 @@ public:
             planner_.axpy(w_, -h(i, j), v_[i]);
         }
         h(j + 1, j) = sqrt(planner_.dot(w_, w_));
-        planner_.copy(v_[j + 1], w_);
-        planner_.scal(v_[j + 1], make_scalar(1.0) / h(j + 1, j));
+        if (this->nonfinite(h(j + 1, j).value)) {
+            abandon_cycle_trace();
+            this->fail(SolveStatus::breakdown_nonfinite);
+            return;
+        }
+        // "Happy" breakdown: w already lies in the Krylov subspace, so the
+        // exact solution is in reach. Skip the normalization (the quotient
+        // would be 0/0) and let the rotations drive the residual to zero —
+        // the driver then finalizes and classifies the run converged.
+        const bool lucky = this->vanished(h(j + 1, j).value, res_norm_.value);
+        if (lucky) {
+            h(j + 1, j) = make_scalar(0.0);
+        } else {
+            planner_.copy(v_[j + 1], w_);
+            planner_.scal(v_[j + 1], make_scalar(1.0) / h(j + 1, j));
+        }
         // Apply accumulated Givens rotations to the new column.
         for (std::size_t i = 0; i < j; ++i) {
             const Scalar tmp = cs_[i] * h(i, j) + sn_[i] * h(i + 1, j);
@@ -364,6 +637,12 @@ public:
         }
         // New rotation annihilating h(j+1, j).
         const Scalar denom = sqrt(h(j, j) * h(j, j) + h(j + 1, j) * h(j + 1, j));
+        if (this->vanished(denom.value, 1.0) || this->nonfinite(denom.value)) {
+            abandon_cycle_trace();
+            this->fail(std::isfinite(denom.value) ? SolveStatus::breakdown_pivot_zero
+                                                  : SolveStatus::breakdown_nonfinite);
+            return;
+        }
         cs_[j] = h(j, j) / denom;
         sn_[j] = h(j + 1, j) / denom;
         h(j, j) = cs_[j] * h(j, j) + sn_[j] * h(j + 1, j);
@@ -394,7 +673,9 @@ public:
             planner_.runtime().cancel_trace();
             cycle_trace_open_ = false;
         }
-        if (j_ > 0) {
+        // A broken-down cycle's partial correction is contaminated; leave x
+        // at the last healthy state (checkpoint/restart recovers from there).
+        if (j_ > 0 && this->status() == SolveStatus::running) {
             const obs::Span restart(planner_.runtime().spans(), "restart");
             update_solution(j_);
             begin_cycle();
@@ -408,20 +689,37 @@ private:
         return h_[i * static_cast<std::size_t>(m_) + j];
     }
 
+    void abandon_cycle_trace() {
+        if (cycle_trace_open_) {
+            planner_.runtime().cancel_trace();
+            cycle_trace_open_ = false;
+        }
+    }
+
     void begin_cycle() {
         // r = b - A x; v0 = r / ||r||; g = ||r|| e1.
         planner_.matmul(w_, Planner<T>::SOL);
         planner_.copy(v_[0], Planner<T>::RHS);
         planner_.axpy(v_[0], make_scalar(-1.0), w_);
         const Scalar beta = sqrt(planner_.dot(v_[0], v_[0]));
-        planner_.scal(v_[0], make_scalar(1.0) / beta);
+        if (this->nonfinite(beta.value)) {
+            this->fail(SolveStatus::breakdown_nonfinite);
+        } else if (this->vanished(beta.value, 1.0)) {
+            // Exact solution already: leave v0 unnormalized (0/0); the zero
+            // residual below stops the driver before another step runs.
+        } else {
+            planner_.scal(v_[0], make_scalar(1.0) / beta);
+        }
         for (auto& gi : g_) gi = make_scalar(0.0);
         g_[0] = beta;
         res_norm_ = beta;
         j_ = 0;
     }
 
-    /// x += V_k y where H y = g (back substitution on host scalars).
+    /// x += V_k y where H y = g (back substitution on host scalars). A
+    /// vanished diagonal entry means the least-squares system is singular:
+    /// classify and leave x at the last healthy state instead of applying a
+    /// correction contaminated by the division.
     void update_solution(int k) {
         std::vector<Scalar> y(static_cast<std::size_t>(k));
         for (int i = k - 1; i >= 0; --i) {
@@ -430,8 +728,13 @@ private:
                 sum = sum - h(static_cast<std::size_t>(i), static_cast<std::size_t>(l)) *
                                 y[static_cast<std::size_t>(l)];
             }
-            y[static_cast<std::size_t>(i)] =
-                sum / h(static_cast<std::size_t>(i), static_cast<std::size_t>(i));
+            const Scalar hii = h(static_cast<std::size_t>(i), static_cast<std::size_t>(i));
+            if (this->vanished(hii.value, 1.0) || this->nonfinite(hii.value)) {
+                this->fail(std::isfinite(hii.value) ? SolveStatus::breakdown_pivot_zero
+                                                    : SolveStatus::breakdown_nonfinite);
+                return;
+            }
+            y[static_cast<std::size_t>(i)] = sum / hii;
         }
         for (int i = 0; i < k; ++i) {
             planner_.axpy(Planner<T>::SOL, y[static_cast<std::size_t>(i)],
@@ -459,6 +762,7 @@ class MinresSolver final : public Solver<T> {
 public:
     explicit MinresSolver(Planner<T>& planner) : planner_(planner) {
         KDR_REQUIRE(planner_.is_square(), "MINRES requires a square system");
+        this->arm_guards(planner_.runtime().functional());
         const obs::Span span(planner_.runtime().spans(), "setup");
         v_prev_ = planner_.allocate_workspace_vector();
         v_ = planner_.allocate_workspace_vector();
@@ -471,7 +775,11 @@ public:
         planner_.copy(v_, Planner<T>::RHS);
         planner_.axpy(v_, make_scalar(-1.0), v_next_);
         beta_ = sqrt(planner_.dot(v_, v_));
-        planner_.scal(v_, make_scalar(1.0) / beta_);
+        if (this->nonfinite(beta_.value)) {
+            this->fail(SolveStatus::breakdown_nonfinite);
+        } else if (!this->vanished(beta_.value, 1.0)) {
+            planner_.scal(v_, make_scalar(1.0) / beta_);
+        } // else: zero initial residual — the driver stops before a step
         planner_.zero(v_prev_);
         planner_.zero(w_prev_);
         planner_.zero(w_);
@@ -489,6 +797,7 @@ public:
     }
 
     void step() override {
+        if (this->status() != SolveStatus::running) return;
         // The workspace rotation below permutes the vector ids with period 3,
         // so the launch signature repeats every third step: three rotating
         // traces, each replayed once per period.
@@ -498,14 +807,33 @@ public:
         // Lanczos: v_next = A v - alpha v - beta v_prev.
         planner_.matmul(v_next_, v_);
         const Scalar alpha = planner_.dot(v_, v_next_);
+        if (this->nonfinite(alpha.value)) {
+            this->fail(SolveStatus::breakdown_nonfinite);
+            return;
+        }
         planner_.axpy(v_next_, -alpha, v_);
         planner_.axpy(v_next_, -beta_, v_prev_);
-        const Scalar beta_next = sqrt(planner_.dot(v_next_, v_next_));
-        planner_.scal(v_next_, make_scalar(1.0) / beta_next);
+        Scalar beta_next = sqrt(planner_.dot(v_next_, v_next_));
+        if (this->nonfinite(beta_next.value)) {
+            this->fail(SolveStatus::breakdown_nonfinite);
+            return;
+        }
+        // "Lucky" Lanczos termination: the Krylov space is exhausted and the
+        // rotation below drives the residual to zero. Skip the 0/0 normalize.
+        if (this->vanished(beta_next.value, res_norm_.value)) {
+            beta_next = make_scalar(0.0);
+        } else {
+            planner_.scal(v_next_, make_scalar(1.0) / beta_next);
+        }
 
         // QR via Givens rotations.
         const Scalar delta = gamma_ * alpha - gamma_prev_ * sigma_ * beta_;
         const Scalar rho1 = sqrt(delta * delta + beta_next * beta_next);
+        if (this->vanished(rho1.value, 1.0) || this->nonfinite(rho1.value)) {
+            this->fail(std::isfinite(rho1.value) ? SolveStatus::breakdown_pivot_zero
+                                                 : SolveStatus::breakdown_nonfinite);
+            return;
+        }
         const Scalar rho2 = sigma_ * alpha + gamma_prev_ * gamma_ * beta_;
         const Scalar rho3 = sigma_prev_ * beta_;
         const Scalar gamma_next = delta / rho1;

@@ -33,6 +33,7 @@ class CgsSolver final : public Solver<T> {
 public:
     explicit CgsSolver(Planner<T>& planner) : planner_(planner) {
         KDR_REQUIRE(planner_.is_square(), "CGS requires a square system");
+        this->arm_guards(planner_.runtime().functional());
         r_ = planner_.allocate_workspace_vector();
         rt_ = planner_.allocate_workspace_vector();
         u_ = planner_.allocate_workspace_vector();
@@ -49,10 +50,20 @@ public:
         rho_ = make_scalar(1.0);
         first_ = true;
         res_ = planner_.dot(r_, r_);
+        if (this->nonfinite(res_.value)) this->fail(SolveStatus::breakdown_nonfinite);
     }
 
     void step() override {
+        if (this->status() != SolveStatus::running) return;
         const Scalar new_rho = planner_.dot(rt_, r_);
+        if (this->nonfinite(new_rho.value)) {
+            this->fail(SolveStatus::breakdown_nonfinite);
+            return;
+        }
+        if (this->vanished(new_rho.value, 1.0)) {
+            this->fail(SolveStatus::breakdown_rho_zero);
+            return;
+        }
         if (first_) {
             planner_.copy(u_, r_);
             planner_.copy(p_, u_);
@@ -67,7 +78,13 @@ public:
             planner_.xpay(p_, beta, u_); // p <- u + beta p  (= u + beta q + beta^2 p)
         }
         planner_.matmul(v_, p_);
-        const Scalar alpha = new_rho / planner_.dot(rt_, v_);
+        const Scalar rtv = planner_.dot(rt_, v_);
+        if (this->vanished(rtv.value, new_rho.value) || this->nonfinite(rtv.value)) {
+            this->fail(std::isfinite(rtv.value) ? SolveStatus::breakdown_pivot_zero
+                                                : SolveStatus::breakdown_nonfinite);
+            return;
+        }
+        const Scalar alpha = new_rho / rtv;
         // q = u - alpha v
         planner_.copy(q_, u_);
         planner_.axpy(q_, -alpha, v_);
@@ -79,6 +96,7 @@ public:
         planner_.axpy(r_, -alpha, v_);
         rho_ = new_rho;
         res_ = planner_.dot(r_, r_);
+        if (this->nonfinite(res_.value)) this->fail(SolveStatus::breakdown_nonfinite);
     }
 
     [[nodiscard]] Scalar get_convergence_measure() const override { return sqrt(res_); }
@@ -99,6 +117,7 @@ class PipelinedCgSolver final : public Solver<T> {
 public:
     explicit PipelinedCgSolver(Planner<T>& planner) : planner_(planner) {
         KDR_REQUIRE(planner_.is_square(), "pipelined CG requires a square system");
+        this->arm_guards(planner_.runtime().functional());
         r_ = planner_.allocate_workspace_vector();
         w_ = planner_.allocate_workspace_vector();
         p_ = planner_.allocate_workspace_vector();
@@ -116,22 +135,44 @@ public:
         alpha_ = make_scalar(0.0);
         first_ = true;
         res_ = planner_.dot(r_, r_);
+        if (this->nonfinite(res_.value)) this->fail(SolveStatus::breakdown_nonfinite);
     }
 
     void step() override {
+        if (this->status() != SolveStatus::running) return;
         // Both reductions issue back-to-back, then the matvec: the scalar
         // tree latency overlaps the SpMV in the task schedule.
         const Scalar gamma = planner_.dot(r_, r_);
         const Scalar delta = planner_.dot(w_, r_);
+        if (this->nonfinite(gamma.value) || this->nonfinite(delta.value)) {
+            this->fail(SolveStatus::breakdown_nonfinite);
+            return;
+        }
+        if (this->vanished(gamma.value, 1.0)) {
+            this->fail(SolveStatus::breakdown_rho_zero);
+            return;
+        }
         planner_.matmul(q_, w_); // q = A w, overlapping the reductions
         Scalar beta = make_scalar(0.0);
         Scalar alpha;
         if (first_) {
+            if (this->vanished(delta.value, gamma.value)) {
+                this->fail(SolveStatus::breakdown_pivot_zero);
+                return;
+            }
             alpha = gamma / delta;
             first_ = false;
         } else {
             beta = gamma / gamma_;
-            alpha = gamma / (delta - beta * gamma / alpha_);
+            const Scalar pivot = delta - beta * gamma / alpha_;
+            if (this->vanished(pivot.value, gamma.value) ||
+                this->nonfinite(pivot.value)) {
+                this->fail(std::isfinite(pivot.value)
+                               ? SolveStatus::breakdown_pivot_zero
+                               : SolveStatus::breakdown_nonfinite);
+                return;
+            }
+            alpha = gamma / pivot;
         }
         // z = q + beta z; s = w + beta s; p = r + beta p.
         planner_.xpay(z_, beta, q_);
@@ -166,6 +207,7 @@ class TfqmrSolver final : public Solver<T> {
 public:
     explicit TfqmrSolver(Planner<T>& planner) : planner_(planner) {
         KDR_REQUIRE(planner_.is_square(), "TFQMR requires a square system");
+        this->arm_guards(planner_.runtime().functional());
         r_ = planner_.allocate_workspace_vector();
         rt_ = planner_.allocate_workspace_vector();
         w_ = planner_.allocate_workspace_vector();
@@ -188,10 +230,21 @@ public:
         eta_ = make_scalar(0.0);
         rho_ = planner_.dot(rt_, r_);
         res_est_ = tau_;
+        if (this->nonfinite(tau_.value)) this->fail(SolveStatus::breakdown_nonfinite);
     }
 
     void step() override {
+        if (this->status() != SolveStatus::running) return;
+        if (this->vanished(rho_.value, 1.0)) {
+            this->fail(SolveStatus::breakdown_rho_zero);
+            return;
+        }
         const Scalar sigma = planner_.dot(rt_, v_);
+        if (this->vanished(sigma.value, rho_.value) || this->nonfinite(sigma.value)) {
+            this->fail(std::isfinite(sigma.value) ? SolveStatus::breakdown_pivot_zero
+                                                  : SolveStatus::breakdown_nonfinite);
+            return;
+        }
         const Scalar alpha = rho_ / sigma;
         // y2 = y1 - alpha v.
         planner_.copy(y2_, y1_);
@@ -204,7 +257,17 @@ public:
             // d = y + (theta^2 eta / alpha) d.
             const Scalar c = theta_ * theta_ * eta_ / alpha;
             planner_.xpay(d_, c, y);
+            if (this->vanished(tau_.value, 1.0)) {
+                // tau = 0 means the quasi-residual already vanished; dividing
+                // by it would poison theta.
+                this->fail(SolveStatus::breakdown_pivot_zero);
+                return;
+            }
             theta_ = sqrt(planner_.dot(w_, w_)) / tau_;
+            if (this->nonfinite(theta_.value)) {
+                this->fail(SolveStatus::breakdown_nonfinite);
+                return;
+            }
             const Scalar cfac =
                 make_scalar(1.0) / sqrt(make_scalar(1.0) + theta_ * theta_);
             tau_ = tau_ * theta_ * cfac;
@@ -213,6 +276,10 @@ public:
             res_est_ = tau_;
         }
         const Scalar new_rho = planner_.dot(rt_, w_);
+        if (this->nonfinite(new_rho.value)) {
+            this->fail(SolveStatus::breakdown_nonfinite);
+            return;
+        }
         const Scalar beta = new_rho / rho_;
         // y1 = w + beta y2; v = A y1 + beta (A y2 + beta v).
         planner_.copy(y1_, w_);
@@ -250,6 +317,7 @@ public:
                     int measure_every = 1)
         : planner_(planner), measure_every_(measure_every) {
         KDR_REQUIRE(planner_.is_square(), "Chebyshev requires a square system");
+        this->arm_guards(planner_.runtime().functional());
         KDR_REQUIRE(0.0 < lambda_min && lambda_min < lambda_max,
                     "Chebyshev: need 0 < lambda_min < lambda_max, got [", lambda_min, ",",
                     lambda_max, "]");
@@ -268,10 +336,12 @@ public:
         planner_.copy(p_, r_);
         planner_.scal(p_, make_scalar(1.0 / theta_));
         res_ = planner_.dot(r_, r_);
+        if (this->nonfinite(res_.value)) this->fail(SolveStatus::breakdown_nonfinite);
         k_ = 0;
     }
 
     void step() override {
+        if (this->status() != SolveStatus::running) return;
         // x += d;  r -= A d;  ρ' = 1/(2σ₁ − ρ);  d = ρ'ρ d + (2ρ'/δ) r.
         planner_.axpy(Planner<T>::SOL, make_scalar(1.0), p_);
         planner_.matmul(q_, p_);
@@ -281,7 +351,10 @@ public:
         planner_.axpy(p_, make_scalar(2.0 * rho_next / delta_), r_);
         rho_ = rho_next;
         ++k_;
-        if (k_ % measure_every_ == 0) res_ = planner_.dot(r_, r_);
+        if (k_ % measure_every_ == 0) {
+            res_ = planner_.dot(r_, r_);
+            if (this->nonfinite(res_.value)) this->fail(SolveStatus::breakdown_nonfinite);
+        }
     }
 
     [[nodiscard]] Scalar get_convergence_measure() const override { return sqrt(res_); }
@@ -306,6 +379,7 @@ public:
     RichardsonSolver(Planner<T>& planner, double omega)
         : planner_(planner), omega_(omega) {
         KDR_REQUIRE(planner_.is_square(), "Richardson requires a square system");
+        this->arm_guards(planner_.runtime().functional());
         KDR_REQUIRE(omega_ > 0.0, "Richardson: damping must be positive");
         r_ = planner_.allocate_workspace_vector();
         q_ = planner_.allocate_workspace_vector();
@@ -313,6 +387,7 @@ public:
     }
 
     void step() override {
+        if (this->status() != SolveStatus::running) return;
         planner_.axpy(Planner<T>::SOL, make_scalar(omega_), r_);
         refresh_residual();
     }
@@ -326,6 +401,7 @@ private:
         planner_.copy(r_, Planner<T>::RHS);
         planner_.axpy(r_, make_scalar(-1.0), q_);
         res_ = planner_.dot(r_, r_);
+        if (this->nonfinite(res_.value)) this->fail(SolveStatus::breakdown_nonfinite);
     }
 
     Planner<T>& planner_;

@@ -25,6 +25,7 @@ public:
     explicit FGmresSolver(Planner<T>& planner, int restart = 10)
         : planner_(planner), m_(restart) {
         KDR_REQUIRE(planner_.is_square(), "FGMRES requires a square system");
+        this->arm_guards(planner_.runtime().functional());
         KDR_REQUIRE(planner_.has_preconditioner(), "FGMRES requires a preconditioner");
         KDR_REQUIRE(m_ >= 1, "FGMRES restart length must be >= 1");
         for (int i = 0; i <= m_; ++i) v_.push_back(planner_.allocate_workspace_vector());
@@ -38,6 +39,7 @@ public:
     }
 
     void step() override {
+        if (this->status() != SolveStatus::running) return;
         const std::size_t j = static_cast<std::size_t>(j_);
         planner_.psolve(z_[j], v_[j]); // z_j = P v_j (flexible: P may vary)
         planner_.matmul(w_, z_[j]);
@@ -46,14 +48,30 @@ public:
             planner_.axpy(w_, -h(i, j), v_[i]);
         }
         h(j + 1, j) = sqrt(planner_.dot(w_, w_));
-        planner_.copy(v_[j + 1], w_);
-        planner_.scal(v_[j + 1], make_scalar(1.0) / h(j + 1, j));
+        if (this->nonfinite(h(j + 1, j).value)) {
+            this->fail(SolveStatus::breakdown_nonfinite);
+            return;
+        }
+        // Happy breakdown: skip the 0/0 normalize and let the rotations
+        // drive the residual to zero (see GmresSolver::step).
+        const bool lucky = this->vanished(h(j + 1, j).value, res_norm_.value);
+        if (lucky) {
+            h(j + 1, j) = make_scalar(0.0);
+        } else {
+            planner_.copy(v_[j + 1], w_);
+            planner_.scal(v_[j + 1], make_scalar(1.0) / h(j + 1, j));
+        }
         for (std::size_t i = 0; i < j; ++i) {
             const Scalar tmp = cs_[i] * h(i, j) + sn_[i] * h(i + 1, j);
             h(i + 1, j) = -sn_[i] * h(i, j) + cs_[i] * h(i + 1, j);
             h(i, j) = tmp;
         }
         const Scalar denom = sqrt(h(j, j) * h(j, j) + h(j + 1, j) * h(j + 1, j));
+        if (this->vanished(denom.value, 1.0) || this->nonfinite(denom.value)) {
+            this->fail(std::isfinite(denom.value) ? SolveStatus::breakdown_pivot_zero
+                                                  : SolveStatus::breakdown_nonfinite);
+            return;
+        }
         cs_[j] = h(j, j) / denom;
         sn_[j] = h(j + 1, j) / denom;
         h(j, j) = cs_[j] * h(j, j) + sn_[j] * h(j + 1, j);
@@ -71,9 +89,11 @@ public:
     [[nodiscard]] Scalar get_convergence_measure() const override { return res_norm_; }
     [[nodiscard]] const char* name() const override { return "fgmres"; }
 
-    /// Apply the current cycle's partial correction (stop mid-cycle).
+    /// Apply the current cycle's partial correction (stop mid-cycle). A
+    /// broken-down cycle is abandoned: its partial correction is
+    /// contaminated, so x stays at the last healthy state.
     void finalize() override {
-        if (j_ > 0) {
+        if (j_ > 0 && this->status() == SolveStatus::running) {
             update_solution(j_);
             begin_cycle();
         }
@@ -89,7 +109,11 @@ private:
         planner_.copy(v_[0], Planner<T>::RHS);
         planner_.axpy(v_[0], make_scalar(-1.0), w_);
         const Scalar beta = sqrt(planner_.dot(v_[0], v_[0]));
-        planner_.scal(v_[0], make_scalar(1.0) / beta);
+        if (this->nonfinite(beta.value)) {
+            this->fail(SolveStatus::breakdown_nonfinite);
+        } else if (!this->vanished(beta.value, 1.0)) {
+            planner_.scal(v_[0], make_scalar(1.0) / beta);
+        } // else: zero residual — the driver stops before another step
         for (auto& gi : g_) gi = make_scalar(0.0);
         g_[0] = beta;
         res_norm_ = beta;
@@ -105,8 +129,13 @@ private:
                 sum = sum - h(static_cast<std::size_t>(i), static_cast<std::size_t>(l)) *
                                 y[static_cast<std::size_t>(l)];
             }
-            y[static_cast<std::size_t>(i)] =
-                sum / h(static_cast<std::size_t>(i), static_cast<std::size_t>(i));
+            const Scalar hii = h(static_cast<std::size_t>(i), static_cast<std::size_t>(i));
+            if (this->vanished(hii.value, 1.0) || this->nonfinite(hii.value)) {
+                this->fail(std::isfinite(hii.value) ? SolveStatus::breakdown_pivot_zero
+                                                    : SolveStatus::breakdown_nonfinite);
+                return;
+            }
+            y[static_cast<std::size_t>(i)] = sum / hii;
         }
         for (int i = 0; i < k; ++i) {
             planner_.axpy(Planner<T>::SOL, y[static_cast<std::size_t>(i)],
@@ -130,6 +159,7 @@ class PBiCgStabSolver final : public Solver<T> {
 public:
     explicit PBiCgStabSolver(Planner<T>& planner) : planner_(planner) {
         KDR_REQUIRE(planner_.is_square(), "PBiCGStab requires a square system");
+        this->arm_guards(planner_.runtime().functional());
         KDR_REQUIRE(planner_.has_preconditioner(), "PBiCGStab requires a preconditioner");
         r_ = planner_.allocate_workspace_vector();
         rhat_ = planner_.allocate_workspace_vector();
@@ -147,27 +177,70 @@ public:
         planner_.zero(v_);
         rho_ = alpha_ = omega_ = make_scalar(1.0);
         res_ = planner_.dot(r_, r_);
+        if (this->nonfinite(res_.value)) this->fail(SolveStatus::breakdown_nonfinite);
     }
 
     void step() override {
+        if (this->status() != SolveStatus::running) return;
         const Scalar new_rho = planner_.dot(rhat_, r_);
+        if (this->nonfinite(new_rho.value)) {
+            this->fail(SolveStatus::breakdown_nonfinite);
+            return;
+        }
+        if (this->vanished(new_rho.value, 1.0)) {
+            this->fail(SolveStatus::breakdown_rho_zero);
+            return;
+        }
         const Scalar beta = (new_rho / rho_) * (alpha_ / omega_);
         planner_.axpy(p_, -omega_, v_);
         planner_.xpay(p_, beta, r_);
         planner_.psolve(phat_, p_);
         planner_.matmul(v_, phat_);
-        alpha_ = new_rho / planner_.dot(rhat_, v_);
+        const Scalar rv = planner_.dot(rhat_, v_);
+        if (this->vanished(rv.value, new_rho.value) || this->nonfinite(rv.value)) {
+            this->fail(std::isfinite(rv.value) ? SolveStatus::breakdown_pivot_zero
+                                               : SolveStatus::breakdown_nonfinite);
+            return;
+        }
+        alpha_ = new_rho / rv;
         planner_.copy(s_, r_);
         planner_.axpy(s_, -alpha_, v_);
         planner_.psolve(shat_, s_);
         planner_.matmul(t_, shat_);
-        omega_ = planner_.dot(t_, s_) / planner_.dot(t_, t_);
+        const Scalar ts = planner_.dot(t_, s_);
+        const Scalar tt = planner_.dot(t_, t_);
+        if (this->nonfinite(tt.value) || this->nonfinite(ts.value)) {
+            this->fail(SolveStatus::breakdown_nonfinite);
+            return;
+        }
+        if (this->vanished(tt.value, 1.0)) {
+            // As in BiCGStab: keep the alpha half-step, expose ‖s‖² as the
+            // measure; a vanished s is convergence, not breakdown.
+            planner_.axpy(Planner<T>::SOL, alpha_, phat_);
+            planner_.copy(r_, s_);
+            res_ = planner_.dot(r_, r_);
+            rho_ = new_rho;
+            if (!this->vanished(res_.value, 1.0)) {
+                this->fail(SolveStatus::breakdown_omega_zero);
+            }
+            return;
+        }
+        omega_ = ts / tt;
+        if (this->vanished(omega_.value, 1.0)) {
+            planner_.axpy(Planner<T>::SOL, alpha_, phat_);
+            planner_.copy(r_, s_);
+            res_ = planner_.dot(r_, r_);
+            rho_ = new_rho;
+            this->fail(SolveStatus::breakdown_omega_zero);
+            return;
+        }
         planner_.axpy(Planner<T>::SOL, alpha_, phat_);
         planner_.axpy(Planner<T>::SOL, omega_, shat_);
         planner_.copy(r_, s_);
         planner_.axpy(r_, -omega_, t_);
         rho_ = new_rho;
         res_ = planner_.dot(r_, r_);
+        if (this->nonfinite(res_.value)) this->fail(SolveStatus::breakdown_nonfinite);
     }
 
     [[nodiscard]] Scalar get_convergence_measure() const override { return sqrt(res_); }

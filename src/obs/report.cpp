@@ -19,6 +19,26 @@ json::Value to_value(const SolveReport& r) {
     root.emplace("load_imbalance", json::Value(r.load_imbalance));
     root.emplace("transfer_bytes_total", json::Value(r.transfer_bytes));
     root.emplace("transfer_count_total", json::Value(static_cast<double>(r.transfer_count)));
+    root.emplace("status", json::Value(r.status));
+
+    {
+        json::Value::Object o;
+        const auto num = [](std::uint64_t v) { return json::Value(static_cast<double>(v)); };
+        o.emplace("task_faults", num(r.faults.task_faults));
+        o.emplace("task_retries", num(r.faults.task_retries));
+        o.emplace("retries_exhausted", num(r.faults.retries_exhausted));
+        o.emplace("rollbacks", num(r.faults.rollbacks));
+        o.emplace("stragglers", num(r.faults.stragglers));
+        o.emplace("nic_degraded", num(r.faults.nic_degraded));
+        o.emplace("nic_retransmits", num(r.faults.nic_retransmits));
+        o.emplace("checkpoints", num(r.faults.checkpoints));
+        o.emplace("restores", num(r.faults.restores));
+        o.emplace("restarts", num(r.faults.restarts));
+        o.emplace("fallbacks", num(r.faults.fallbacks));
+        json::Value faults;
+        faults.object() = std::move(o);
+        root.emplace("faults", std::move(faults));
+    }
 
     json::Value kinds;
     kinds.array();
@@ -94,6 +114,26 @@ SolveReport SolveReport::from_json(const std::string& text) {
     r.load_imbalance = doc["load_imbalance"].as_number();
     r.transfer_bytes = doc["transfer_bytes_total"].as_number();
     r.transfer_count = static_cast<std::uint64_t>(doc["transfer_count_total"].as_number());
+    // status/faults are has()-guarded: reports written before the fault layer
+    // (or by trimmed-down tools) still parse.
+    if (doc.has("status")) r.status = doc["status"].as_string();
+    if (doc.has("faults")) {
+        const json::Value& f = doc["faults"];
+        const auto u64 = [&f](const char* key) {
+            return f.has(key) ? static_cast<std::uint64_t>(f[key].as_number()) : 0;
+        };
+        r.faults.task_faults = u64("task_faults");
+        r.faults.task_retries = u64("task_retries");
+        r.faults.retries_exhausted = u64("retries_exhausted");
+        r.faults.rollbacks = u64("rollbacks");
+        r.faults.stragglers = u64("stragglers");
+        r.faults.nic_degraded = u64("nic_degraded");
+        r.faults.nic_retransmits = u64("nic_retransmits");
+        r.faults.checkpoints = u64("checkpoints");
+        r.faults.restores = u64("restores");
+        r.faults.restarts = u64("restarts");
+        r.faults.fallbacks = u64("fallbacks");
+    }
     for (const json::Value& v : doc["task_kinds"].as_array()) {
         r.task_kinds.push_back({v["name"].as_string(),
                                 static_cast<std::uint64_t>(v["count"].as_number()),
@@ -124,11 +164,21 @@ SolveReport SolveReport::from_json(const std::string& text) {
 
 void SolveReport::print(std::ostream& os) const {
     os << "=== solve report ===\n"
+       << "status: " << status << "\n"
        << "makespan: " << Table::num(makespan * 1e3, 3) << " ms virtual, " << tasks
        << " tasks, busy " << Table::num(busy_total * 1e3, 3) << " ms, load imbalance "
        << Table::num(load_imbalance, 3) << "x\n"
        << "transfers: " << Table::eng(transfer_bytes, 2) << "B in " << transfer_count
        << " messages\n";
+    if (faults.any()) {
+        os << "faults: " << faults.task_faults << " injected, " << faults.task_retries
+           << " retried, " << faults.retries_exhausted << " exhausted, " << faults.rollbacks
+           << " rollbacks, " << faults.stragglers << " stragglers; nic "
+           << faults.nic_degraded << " degraded / " << faults.nic_retransmits
+           << " retransmits; recovery " << faults.checkpoints << " ckpt / "
+           << faults.restores << " restore / " << faults.restarts << " restart / "
+           << faults.fallbacks << " fallback\n";
+    }
 
     if (!task_kinds.empty()) {
         Table t({"task kind", "count", "total ms", "mean us", "max us", "% busy"});

@@ -54,6 +54,28 @@ struct ConvergenceSample {
     double virtual_time = 0.0;
 };
 
+/// Fault-injection and recovery tallies for one run. All zero when no fault
+/// model was attached and no recovery controller ran.
+struct FaultStats {
+    std::uint64_t task_faults = 0;      ///< transient task failures injected
+    std::uint64_t task_retries = 0;     ///< failed attempts retried in place
+    std::uint64_t retries_exhausted = 0;///< tasks that ran out of retries
+    std::uint64_t rollbacks = 0;        ///< write-holding tasks rolled back
+    std::uint64_t stragglers = 0;       ///< slowed (but successful) attempts
+    std::uint64_t nic_degraded = 0;     ///< transfers on a degraded link
+    std::uint64_t nic_retransmits = 0;  ///< dropped-and-resent transfers
+    std::uint64_t checkpoints = 0;      ///< recovery controller checkpoints
+    std::uint64_t restores = 0;         ///< iterate restores from checkpoint
+    std::uint64_t restarts = 0;         ///< same-method restarts
+    std::uint64_t fallbacks = 0;        ///< switches to the fallback method
+
+    [[nodiscard]] bool any() const noexcept {
+        return (task_faults | task_retries | retries_exhausted | rollbacks | stragglers |
+                nic_degraded | nic_retransmits | checkpoints | restores | restarts |
+                fallbacks) != 0;
+    }
+};
+
 struct SolveReport {
     double makespan = 0.0;     ///< virtual time at which all work completed
     std::uint64_t tasks = 0;   ///< tasks launched
@@ -66,6 +88,8 @@ struct SolveReport {
     std::uint64_t transfer_count = 0;
     std::vector<PhaseStats> phases; ///< sorted by total, descending
     std::vector<ConvergenceSample> convergence;
+    std::string status = "unknown"; ///< core::to_string of the SolveStatus
+    FaultStats faults;
 
     [[nodiscard]] std::string to_json() const;
     [[nodiscard]] static SolveReport from_json(const std::string& text);

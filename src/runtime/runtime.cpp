@@ -11,6 +11,11 @@ Runtime::Runtime(sim::MachineDesc machine, Options options)
     transfer_counters_.resize(static_cast<std::size_t>(this->machine().nodes) *
                               static_cast<std::size_t>(this->machine().nodes));
     analysis_stall_ctr_ = &metrics_.counter("analysis_stall_seconds");
+    task_fault_ctr_ = &metrics_.counter("task_faults_injected");
+    task_retry_ctr_ = &metrics_.counter("task_retries");
+    retry_exhausted_ctr_ = &metrics_.counter("task_retries_exhausted");
+    rollback_ctr_ = &metrics_.counter("region_rollbacks");
+    straggler_ctr_ = &metrics_.counter("task_stragglers");
     trace_record_ctr_ = &metrics_.counter("trace_recorded_tasks");
     trace_replay_ctr_ = &metrics_.counter("trace_replayed_tasks");
     trace_skip_ctr_ = &metrics_.counter("trace_depanalysis_skipped");
@@ -596,8 +601,19 @@ FutureScalar Runtime::launch(TaskLaunch launch) {
         }
     }
 
-    // Schedule the task.
-    const double finish = cluster_.exec(proc, ready, launch.cost, 0.0);
+    // Schedule the task. Under an active fault model an attempt may fail
+    // transiently or run slowed; the retry loop charges wasted time and
+    // re-executes in place. Region-version rollback is by construction:
+    // the functional body and the requirement commits below run only after
+    // a successful attempt, so a failed attempt's writes are never visible
+    // and every retry replays against the pre-task versions.
+    double finish;
+    if (sim::FaultModel* fm = cluster_.fault_model();
+        fm != nullptr && fm->active()) {
+        finish = exec_with_faults(launch, proc, ready, *fm);
+    } else {
+        finish = cluster_.exec(proc, ready, launch.cost, 0.0);
+    }
 
     // Functional execution.
     std::optional<double> scalar;
@@ -628,6 +644,58 @@ FutureScalar Runtime::launch(TaskLaunch launch) {
     return {scalar.value_or(0.0), finish};
 }
 
+double Runtime::exec_with_faults(const TaskLaunch& launch, sim::ProcId proc, double ready,
+                                 sim::FaultModel& fm) {
+    const double base = cluster_.duration_of(proc, launch.cost);
+    int failures = 0;
+    for (;;) {
+        const sim::TaskFault f = fm.sample_task();
+        if (f.slowdown > 1.0) straggler_ctr_->inc();
+        if (!f.fail) {
+            return cluster_.exec_duration(proc, ready, base * f.slowdown);
+        }
+        // Failed attempt: the processor ran for a fraction of the (possibly
+        // slowed) duration before dying. Charge that wasted slice — the next
+        // attempt cannot start earlier than the failure was detected.
+        task_fault_ctr_->inc();
+        bool writes_state = false;
+        for (const RegionReq& req : launch.requirements) {
+            if (writes(req.privilege) || req.privilege == Privilege::Reduce) {
+                writes_state = true;
+                break;
+            }
+        }
+        if (writes_state) rollback_ctr_->inc();
+        ready = cluster_.exec_duration(proc, ready, base * f.slowdown * f.waste_frac);
+        abort_trace_schedule();
+        ++failures;
+        if (failures > options_.max_task_retries) {
+            retry_exhausted_ctr_->inc();
+            throw TaskFailedError("task '" + launch.name + "' failed " +
+                                  std::to_string(failures) +
+                                  " times, exceeding the retry budget of " +
+                                  std::to_string(options_.max_task_retries));
+        }
+        task_retry_ctr_->inc();
+    }
+}
+
+void Runtime::abort_trace_schedule() {
+    if (!trace_active_) return;
+    if (trace_mode_ != TraceInstanceMode::Capture && trace_mode_ != TraceInstanceMode::Fast) {
+        return;
+    }
+    // The captured schedule embeds attempt-free finish times; a fault makes
+    // them wrong for the rest of this instance. Drop the schedule (the
+    // verified signature prefix survives) and finish the instance with full
+    // dependence analysis, which sees the post-retry commit times.
+    TraceState& t = traces_[active_trace_];
+    t.captured = false;
+    t.recipes.clear();
+    trace_invalid_ctr_->inc();
+    trace_mode_ = TraceInstanceMode::Replay;
+}
+
 std::vector<TaskProfile> Runtime::take_profiles() {
     std::vector<TaskProfile> out;
     out.swap(profiles_);
@@ -636,12 +704,32 @@ std::vector<TaskProfile> Runtime::take_profiles() {
 
 // ---------------------------------------------------------- solve reports
 
-obs::SolveReport Runtime::build_solve_report(
-    std::vector<obs::ConvergenceSample> convergence) const {
+obs::SolveReport Runtime::build_solve_report(std::vector<obs::ConvergenceSample> convergence,
+                                             std::string status) const {
     obs::SolveReport r;
     r.makespan = cluster_.horizon();
     r.tasks = task_counter_;
     r.convergence = std::move(convergence);
+    r.status = std::move(status);
+
+    // Fault-injection and recovery counters. All read through counter_value so
+    // a run without faults (or without a recovery controller) reports zeros.
+    auto u64 = [this](const char* name) {
+        return static_cast<std::uint64_t>(metrics_.counter_value(name));
+    };
+    r.faults.task_faults = u64("task_faults_injected");
+    r.faults.task_retries = u64("task_retries");
+    r.faults.retries_exhausted = u64("task_retries_exhausted");
+    r.faults.rollbacks = u64("region_rollbacks");
+    r.faults.stragglers = u64("task_stragglers");
+    r.faults.checkpoints = u64("solver_checkpoints");
+    r.faults.restores = u64("solver_restores");
+    r.faults.restarts = u64("solver_restarts");
+    r.faults.fallbacks = u64("solver_fallbacks");
+    if (const sim::FaultModel* fm = cluster_.fault_model(); fm != nullptr) {
+        r.faults.nic_degraded = fm->nic_degraded();
+        r.faults.nic_retransmits = fm->nic_retransmits();
+    }
 
     // Per-task-kind stats from the profiles still held by the runtime (call
     // before take_profiles). Profile durations are exactly the busy seconds

@@ -72,6 +72,10 @@ struct RuntimeOptions {
     /// charged, but every launch still runs full dependence analysis — the
     /// pre-capture behavior, kept for ablations.
     bool trace_fast_path = true;
+    /// Retry budget for transiently failed task attempts (fault injection):
+    /// a task may fail up to this many times and still succeed on a later
+    /// attempt; one more failure raises TaskFailedError. 0 = no retries.
+    int max_task_retries = 3;
 };
 
 class Runtime {
@@ -170,8 +174,12 @@ public:
     /// Aggregate everything observed so far (profiles, metrics, spans, the
     /// cluster's busy timelines) into a structured report. Task-kind rows
     /// require profiling to have been enabled for the whole run.
+    /// `status` is the solver-classified outcome (core::to_string of a
+    /// SolveStatus); fault/retry/rollback/checkpoint counters and NIC fault
+    /// tallies are folded in from the metrics registry and the fault model.
     [[nodiscard]] obs::SolveReport build_solve_report(
-        std::vector<obs::ConvergenceSample> convergence = {}) const;
+        std::vector<obs::ConvergenceSample> convergence = {},
+        std::string status = "unknown") const;
 
 private:
     /// Requirement index marking accesses that did not come from a task
@@ -246,6 +254,11 @@ private:
     };
     std::vector<TransferCounters> transfer_counters_; ///< nodes x nodes, lazy
     obs::Counter* analysis_stall_ctr_ = nullptr;
+    obs::Counter* task_fault_ctr_ = nullptr;
+    obs::Counter* task_retry_ctr_ = nullptr;
+    obs::Counter* retry_exhausted_ctr_ = nullptr;
+    obs::Counter* rollback_ctr_ = nullptr;
+    obs::Counter* straggler_ctr_ = nullptr;
     obs::Counter* trace_record_ctr_ = nullptr;
     obs::Counter* trace_replay_ctr_ = nullptr;
     obs::Counter* trace_skip_ctr_ = nullptr;
@@ -316,6 +329,18 @@ private:
     /// Drop a replay that diverged or came up short: keep the verified
     /// signature prefix, discard the cached schedule.
     void invalidate_replay(TraceState& t);
+
+    /// Execute one task under the active fault model: bounded retries with
+    /// wasted-time charging for failed attempts. Returns the finish time of
+    /// the successful attempt; throws TaskFailedError when the budget runs
+    /// out. Called in place of the plain cluster exec.
+    double exec_with_faults(const TaskLaunch& launch, sim::ProcId proc, double ready,
+                            sim::FaultModel& fm);
+
+    /// A fault inside a traced instance cancels the cached schedule back to
+    /// the verified signature prefix (capture and fast replay only — the
+    /// remainder of the instance runs full dependence analysis).
+    void abort_trace_schedule();
 
     std::unordered_map<std::uint64_t, TraceState> traces_;
     std::uint64_t active_trace_ = 0;

@@ -19,8 +19,19 @@
 #include "geometry/interval_set.hpp"
 #include "partition/partition.hpp" // Color
 #include "simcluster/machine.hpp"
+#include "support/error.hpp"
 
 namespace kdr::rt {
+
+/// Thrown by Runtime::launch when a task exhausts its bounded retry budget
+/// under injected faults. None of the task's effects are visible (the retry
+/// protocol commits writes only on a successful attempt), so the launch
+/// stream is consistent up to — but excluding — the failed task. Solver
+/// drivers map this to SolveStatus::fault_aborted.
+class TaskFailedError : public Error {
+public:
+    explicit TaskFailedError(const std::string& what) : Error(what) {}
+};
 
 using RegionId = std::uint64_t;
 using FieldId = std::uint32_t;

@@ -66,7 +66,17 @@ double SimCluster::transfer(int src_node, int dst_node, double ready, double byt
     }
     Timeline& snd = nic_send_[static_cast<std::size_t>(src_node)];
     Timeline& rcv = nic_recv_[static_cast<std::size_t>(dst_node)];
-    const double wire = bytes / desc_.nic_bandwidth;
+    double wire = bytes / desc_.nic_bandwidth;
+    double fault_latency = 0.0;
+    if (fault_ != nullptr && fault_->active()) {
+        // NIC faults are pure timing: a degraded link stretches the wire
+        // time, and each dropped attempt re-occupies the wire and pays
+        // another propagation latency. Data still arrives (the retransmit
+        // cap bounds the delay), so functional results are unaffected.
+        const TransferFault f = fault_->sample_transfer();
+        wire *= f.degrade * (1.0 + static_cast<double>(f.retransmits));
+        fault_latency = static_cast<double>(f.retransmits) * desc_.nic_latency;
+    }
     // Send and receive directions occupy their queues independently (full-
     // duplex links with switch buffering): the sender streams as soon as its
     // send direction is free; delivery additionally waits for the receive
@@ -78,7 +88,7 @@ double SimCluster::transfer(int src_node, int dst_node, double ready, double byt
     const double recv_start = std::max(send_start, rcv.free_at);
     rcv.free_at = recv_start + wire;
     rcv.busy += wire;
-    const double arrival = recv_start + wire + desc_.nic_latency;
+    const double arrival = recv_start + wire + desc_.nic_latency + fault_latency;
     last_arrival_ = std::max(last_arrival_, arrival);
     return arrival;
 }

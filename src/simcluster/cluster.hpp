@@ -11,8 +11,10 @@
 /// this asymmetry versus the barrier-separated BSP substrate is exactly the
 /// paper's P1.
 
+#include <memory>
 #include <vector>
 
+#include "simcluster/fault_model.hpp"
 #include "simcluster/machine.hpp"
 
 namespace kdr::sim {
@@ -54,6 +56,16 @@ public:
     /// Total busy seconds accumulated on processor `p` (utilization probes).
     [[nodiscard]] double proc_busy(ProcId p) const;
 
+    /// Attach (or, with nullptr, detach) a fault model. NIC degradation and
+    /// drop are applied inside transfer(); task-level failures and slowdowns
+    /// are sampled by the runtime layer through fault_model(), which also
+    /// owns the retry policy. reset() leaves the model (and its RNG streams)
+    /// untouched — re-attach a fresh model for an independent repetition.
+    void set_fault_model(std::shared_ptr<FaultModel> model) noexcept {
+        fault_ = std::move(model);
+    }
+    [[nodiscard]] FaultModel* fault_model() const noexcept { return fault_.get(); }
+
     /// Fig 10 background load: mark `occupied` of the node's CPU cores as
     /// taken by an external application from the current horizon onward. The
     /// aggregated CPU processor's rate scales by free/total cores.
@@ -77,6 +89,7 @@ private:
     std::vector<Timeline> nic_recv_; // per node
     std::vector<Timeline> util_;     // per node: analysis pipeline
     std::vector<int> cpu_occupied_;  // per node
+    std::shared_ptr<FaultModel> fault_; // optional; NIC faults applied in transfer()
     double last_arrival_ = 0.0;      // latest in-flight delivery
 };
 

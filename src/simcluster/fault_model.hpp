@@ -1,0 +1,141 @@
+#pragma once
+
+/// \file fault_model.hpp
+/// Seeded fault injection for the discrete-event cluster. The model covers
+/// the three failure classes a production deployment of the paper's stack
+/// would face (§7 future work; the resilience experiments of §6 assume none
+/// of them):
+///
+///  * transient task failure — an execution attempt dies partway through,
+///    burning a fraction of its duration on the processor; the runtime layer
+///    retries it against the pre-task region versions;
+///  * node slowdown (stragglers) — an attempt runs at a multiple of its
+///    roofline duration;
+///  * NIC degradation / packet drop — an inter-node transfer streams at a
+///    fraction of the link bandwidth, or drops entirely and retransmits.
+///
+/// All sampling is derived from a single user seed through *independent*
+/// sub-streams (task-side and NIC-side), so attaching NIC faults never
+/// perturbs the task-fault schedule and a given `FaultSpec` reproduces the
+/// same fault history bit-for-bit on every run. A spec with all rates zero
+/// samples nothing at all: timings and numerics are identical to running
+/// with no model attached.
+
+#include <cstdint>
+
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace kdr::sim {
+
+/// Rates and magnitudes of the injected faults. Rates are per sampled event
+/// (per task attempt, per inter-node transfer).
+struct FaultSpec {
+    std::uint64_t seed = 0;
+
+    // Transient task failures.
+    double task_fail_prob = 0.0;  ///< probability a task attempt fails
+    double task_waste_min = 0.25; ///< failed attempt burns this fraction of its
+    double task_waste_max = 1.0;  ///<   duration, uniform in [min, max]
+
+    // Node slowdown / stragglers.
+    double slowdown_prob = 0.0;   ///< probability an attempt runs degraded
+    double slowdown_factor = 4.0; ///< duration multiplier when it does
+
+    // NIC degradation / drop.
+    double nic_degrade_prob = 0.0;   ///< probability a transfer streams degraded
+    double nic_degrade_factor = 4.0; ///< wire-time multiplier when it does
+    double nic_drop_prob = 0.0;      ///< probability each transfer attempt drops
+    int nic_max_retransmits = 4;     ///< cap on consecutive drops of one transfer
+
+    [[nodiscard]] bool active() const noexcept {
+        return task_fail_prob > 0.0 || slowdown_prob > 0.0 || nic_degrade_prob > 0.0 ||
+               nic_drop_prob > 0.0;
+    }
+};
+
+/// Sampled fate of one task attempt.
+struct TaskFault {
+    bool fail = false;
+    double waste_frac = 0.0; ///< fraction of the duration burnt when failing
+    double slowdown = 1.0;   ///< duration multiplier (1 = healthy)
+};
+
+/// Sampled fate of one inter-node transfer.
+struct TransferFault {
+    double degrade = 1.0; ///< wire-time multiplier (1 = healthy)
+    int retransmits = 0;  ///< dropped attempts before the one that lands
+};
+
+class FaultModel {
+public:
+    explicit FaultModel(FaultSpec spec)
+        : spec_(spec),
+          task_rng_(SplitMix64(spec.seed ^ 0x7461736b5f666c74ULL).next()),
+          nic_rng_(SplitMix64(spec.seed ^ 0x6e69635f64726f70ULL).next()) {
+        auto prob = [](double p) { return p >= 0.0 && p <= 1.0; };
+        KDR_REQUIRE(prob(spec_.task_fail_prob) && prob(spec_.slowdown_prob) &&
+                        prob(spec_.nic_degrade_prob) && prob(spec_.nic_drop_prob),
+                    "FaultModel: probabilities must lie in [0, 1]");
+        KDR_REQUIRE(spec_.task_waste_min >= 0.0 && spec_.task_waste_max <= 1.0 &&
+                        spec_.task_waste_min <= spec_.task_waste_max,
+                    "FaultModel: waste fraction range must satisfy 0 <= min <= max <= 1");
+        KDR_REQUIRE(spec_.slowdown_factor >= 1.0 && spec_.nic_degrade_factor >= 1.0,
+                    "FaultModel: degradation factors must be >= 1");
+        KDR_REQUIRE(spec_.nic_max_retransmits >= 0,
+                    "FaultModel: retransmit cap must be >= 0");
+    }
+
+    [[nodiscard]] const FaultSpec& spec() const noexcept { return spec_; }
+    [[nodiscard]] bool active() const noexcept { return spec_.active(); }
+
+    /// Sample the fate of one task attempt. Zero-rate components draw
+    /// nothing from the stream, so an all-zero spec is exactly a no-op.
+    TaskFault sample_task() noexcept {
+        TaskFault f;
+        if (spec_.task_fail_prob > 0.0 && task_rng_.uniform() < spec_.task_fail_prob) {
+            f.fail = true;
+            f.waste_frac = task_rng_.uniform(spec_.task_waste_min, spec_.task_waste_max);
+            ++task_faults_;
+        }
+        if (spec_.slowdown_prob > 0.0 && task_rng_.uniform() < spec_.slowdown_prob) {
+            f.slowdown = spec_.slowdown_factor;
+            ++stragglers_;
+        }
+        return f;
+    }
+
+    /// Sample the fate of one inter-node transfer (NIC sub-stream).
+    TransferFault sample_transfer() noexcept {
+        TransferFault f;
+        if (spec_.nic_degrade_prob > 0.0 && nic_rng_.uniform() < spec_.nic_degrade_prob) {
+            f.degrade = spec_.nic_degrade_factor;
+            ++nic_degraded_;
+        }
+        if (spec_.nic_drop_prob > 0.0) {
+            while (f.retransmits < spec_.nic_max_retransmits &&
+                   nic_rng_.uniform() < spec_.nic_drop_prob) {
+                ++f.retransmits;
+            }
+            nic_retransmits_ += static_cast<std::uint64_t>(f.retransmits);
+        }
+        return f;
+    }
+
+    // Injection tallies (what actually fired, for reports and assertions).
+    [[nodiscard]] std::uint64_t task_faults() const noexcept { return task_faults_; }
+    [[nodiscard]] std::uint64_t stragglers() const noexcept { return stragglers_; }
+    [[nodiscard]] std::uint64_t nic_degraded() const noexcept { return nic_degraded_; }
+    [[nodiscard]] std::uint64_t nic_retransmits() const noexcept { return nic_retransmits_; }
+
+private:
+    FaultSpec spec_;
+    Rng task_rng_; ///< task failure + slowdown stream
+    Rng nic_rng_;  ///< NIC degradation + drop stream
+    std::uint64_t task_faults_ = 0;
+    std::uint64_t stragglers_ = 0;
+    std::uint64_t nic_degraded_ = 0;
+    std::uint64_t nic_retransmits_ = 0;
+};
+
+} // namespace kdr::sim

@@ -1,0 +1,206 @@
+/// Fault-fuzz property suite: randomized fault schedules against every
+/// solver must always terminate with a *classified* SolveStatus — never a
+/// silent NaN, an unbounded loop, or an escaped exception. Runs in
+/// functional mode so sanitizers see real data paths.
+///
+/// Compile with KDR_LONG_FUZZ=1 for the extended nightly round count.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/monitor.hpp"
+#include "core/preconditioners.hpp"
+#include "core/recovery.hpp"
+#include "core/solvers.hpp"
+#include "core/solvers_extra.hpp"
+#include "core/solvers_preconditioned.hpp"
+#include "simcluster/fault_model.hpp"
+#include "stencil/stencil.hpp"
+#include "support/rng.hpp"
+
+namespace kdr::core {
+namespace {
+
+#ifdef KDR_LONG_FUZZ
+constexpr int kRounds = 2000;
+#else
+constexpr int kRounds = 220;
+#endif
+
+struct FuzzSystem {
+    std::unique_ptr<rt::Runtime> runtime;
+    std::unique_ptr<Planner<double>> planner;
+    std::shared_ptr<CsrMatrix<double>> A;
+};
+
+FuzzSystem make_poisson(std::uint64_t rhs_seed, bool trace, bool fused,
+                        int max_task_retries, bool preconditioned) {
+    FuzzSystem s;
+    rt::RuntimeOptions ropts;
+    ropts.max_task_retries = max_task_retries;
+    s.runtime = std::make_unique<rt::Runtime>(sim::MachineDesc::lassen(2), ropts);
+
+    stencil::Spec spec;
+    spec.kind = stencil::Kind::D2P5;
+    spec.nx = 8;
+    spec.ny = 8;
+    const gidx n = spec.unknowns();
+    // Shared index space: required by the preconditioned cases (partition
+    // projection through the operator relation).
+    const IndexSpace D = IndexSpace::create(n, "D");
+    const rt::RegionId xr = s.runtime->create_region(D, "x");
+    const rt::RegionId br = s.runtime->create_region(D, "b");
+    const rt::FieldId xf = s.runtime->add_field<double>(xr, "v");
+    const rt::FieldId bf = s.runtime->add_field<double>(br, "v");
+    {
+        const auto b = stencil::random_rhs(n, rhs_seed);
+        auto bd = s.runtime->field_data<double>(br, bf);
+        std::copy(b.begin(), b.end(), bd.begin());
+    }
+    PlannerOptions popts;
+    popts.trace_solver_loops = trace;
+    popts.fused_kernels = fused;
+    s.planner = std::make_unique<Planner<double>>(*s.runtime, popts);
+    s.planner->add_sol_vector(xr, xf, Partition::equal(D, 4));
+    s.planner->add_rhs_vector(br, bf, Partition::equal(D, 4));
+    s.A = std::make_shared<CsrMatrix<double>>(stencil::laplacian_csr(spec, D, D));
+    s.planner->add_operator(s.A, 0, 0);
+    if (preconditioned) {
+        add_jacobi_preconditioner<double>(*s.planner, {{s.A}});
+    }
+    return s;
+}
+
+struct FuzzCase {
+    std::string name;
+    bool preconditioned;
+    std::function<std::unique_ptr<Solver<double>>(Planner<double>&)> make;
+};
+
+std::vector<FuzzCase> fuzz_cases() {
+    return {
+        {"cg", false, [](Planner<double>& p) { return std::make_unique<CgSolver<double>>(p); }},
+        {"pcg", true, [](Planner<double>& p) { return std::make_unique<PcgSolver<double>>(p); }},
+        {"bicg", false, [](Planner<double>& p) { return std::make_unique<BiCgSolver<double>>(p); }},
+        {"bicgstab", false,
+         [](Planner<double>& p) { return std::make_unique<BiCgStabSolver<double>>(p); }},
+        {"gmres", false,
+         [](Planner<double>& p) { return std::make_unique<GmresSolver<double>>(p, 10); }},
+        {"minres", false,
+         [](Planner<double>& p) { return std::make_unique<MinresSolver<double>>(p); }},
+        {"cgs", false, [](Planner<double>& p) { return std::make_unique<CgsSolver<double>>(p); }},
+        {"pipecg", false,
+         [](Planner<double>& p) { return std::make_unique<PipelinedCgSolver<double>>(p); }},
+        {"tfqmr", false,
+         [](Planner<double>& p) { return std::make_unique<TfqmrSolver<double>>(p); }},
+        {"fgmres", true,
+         [](Planner<double>& p) { return std::make_unique<FGmresSolver<double>>(p, 10); }},
+        {"pbicgstab", true,
+         [](Planner<double>& p) { return std::make_unique<PBiCgStabSolver<double>>(p); }},
+    };
+}
+
+TEST(FaultFuzz, EveryScheduleTerminatesClassified) {
+    const std::vector<FuzzCase> cases = fuzz_cases();
+    Rng rng(0xfa17f422ULL);
+    int converged = 0;
+    int aborted = 0;
+    int other = 0;
+    for (int round = 0; round < kRounds; ++round) {
+        const FuzzCase& c = cases[rng.uniform_index(cases.size())];
+        const bool trace = rng.uniform() < 0.5;
+        const bool fused = rng.uniform() < 0.5;
+        const int retries = static_cast<int>(rng.uniform_int(0, 4));
+        const bool recover = rng.uniform() < 0.3;
+
+        sim::FaultSpec fs;
+        fs.seed = rng.next();
+        fs.task_fail_prob = rng.uniform(0.0, 0.4);
+        fs.slowdown_prob = rng.uniform(0.0, 0.2);
+        fs.nic_degrade_prob = rng.uniform(0.0, 0.2);
+        fs.nic_drop_prob = rng.uniform(0.0, 0.2);
+
+        SCOPED_TRACE("round " + std::to_string(round) + " solver=" + c.name +
+                     " fail_prob=" + std::to_string(fs.task_fail_prob) +
+                     " retries=" + std::to_string(retries) + (recover ? " recovered" : ""));
+
+        SolveStatus status = SolveStatus::running;
+        double residual = 0.0;
+        try {
+            FuzzSystem s =
+                make_poisson(1000 + static_cast<std::uint64_t>(round), trace, fused,
+                             retries, c.preconditioned);
+            s.runtime->cluster().set_fault_model(std::make_shared<sim::FaultModel>(fs));
+            SolveOptions sopts;
+            sopts.stagnation_window = 40;
+            if (recover) {
+                RecoveryOptions ropts;
+                ropts.solve = sopts;
+                ropts.checkpoint_every = 10;
+                const SolveOutcome out = solve_with_recovery<double>(
+                    *s.planner, c.make, 1e-8, 400, ropts,
+                    [](Planner<double>& p) {
+                        return std::make_unique<GmresSolver<double>>(p, 10);
+                    });
+                status = out.status;
+                residual = out.residual;
+            } else {
+                auto solver = c.make(*s.planner);
+                const SolveResult out = solve(*solver, 1e-8, 400, sopts);
+                status = out.status;
+                residual = out.residual;
+            }
+        } catch (const rt::TaskFailedError&) {
+            // Faults during solver *construction* (initial residual tasks)
+            // are outside any driver; classifying them is the caller's job.
+            status = SolveStatus::fault_aborted;
+        }
+        // Property 1: the run terminated with a classified, terminal status.
+        ASSERT_TRUE(is_terminal(status)) << "status=" << to_string(status);
+        // Property 2: convergence claims are backed by a finite residual.
+        if (status == SolveStatus::converged) {
+            ASSERT_TRUE(std::isfinite(residual));
+            ASSERT_LE(residual, 1e-6);
+            ++converged;
+        } else if (status == SolveStatus::fault_aborted) {
+            ++aborted;
+        } else {
+            ++other;
+        }
+    }
+    // Sanity on the mix: healthy schedules must mostly converge.
+    EXPECT_GT(converged, kRounds / 4)
+        << "converged=" << converged << " aborted=" << aborted << " other=" << other;
+}
+
+TEST(FaultFuzz, ZeroRateModelIsBitwiseNoOp) {
+    // Attaching an all-zero fault model must not perturb a single bit of the
+    // convergence history (the model samples nothing).
+    std::vector<double> baseline;
+    std::vector<double> modeled;
+    for (int variant = 0; variant < 2; ++variant) {
+        FuzzSystem s = make_poisson(77, true, true, 3, false);
+        if (variant == 1) {
+            s.runtime->cluster().set_fault_model(
+                std::make_shared<sim::FaultModel>(sim::FaultSpec{}));
+        }
+        CgSolver<double> cg(*s.planner);
+        std::vector<double>& hist = variant == 0 ? baseline : modeled;
+        for (int i = 0; i < 15; ++i) {
+            cg.step();
+            hist.push_back(cg.get_convergence_measure().value);
+        }
+    }
+    ASSERT_EQ(baseline.size(), modeled.size());
+    for (std::size_t i = 0; i < baseline.size(); ++i) {
+        EXPECT_EQ(baseline[i], modeled[i]) << "iteration " << i;
+    }
+}
+
+} // namespace
+} // namespace kdr::core

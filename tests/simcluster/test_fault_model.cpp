@@ -1,0 +1,141 @@
+/// FaultModel unit tests: seeded determinism, independence of the task and
+/// NIC sub-streams, rate calibration, and the inactive (all-zero) spec being
+/// a true no-op for transfer timing.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "simcluster/cluster.hpp"
+#include "simcluster/fault_model.hpp"
+
+namespace kdr::sim {
+namespace {
+
+FaultSpec spec_with(double fail, double slow, double degrade, double drop,
+                    std::uint64_t seed = 99) {
+    FaultSpec s;
+    s.seed = seed;
+    s.task_fail_prob = fail;
+    s.slowdown_prob = slow;
+    s.nic_degrade_prob = degrade;
+    s.nic_drop_prob = drop;
+    return s;
+}
+
+TEST(FaultModel, SameSeedSameFaultHistory) {
+    FaultModel a(spec_with(0.3, 0.2, 0.1, 0.1));
+    FaultModel b(spec_with(0.3, 0.2, 0.1, 0.1));
+    for (int i = 0; i < 500; ++i) {
+        const TaskFault fa = a.sample_task();
+        const TaskFault fb = b.sample_task();
+        EXPECT_EQ(fa.fail, fb.fail);
+        EXPECT_DOUBLE_EQ(fa.waste_frac, fb.waste_frac);
+        EXPECT_DOUBLE_EQ(fa.slowdown, fb.slowdown);
+        const TransferFault ta = a.sample_transfer();
+        const TransferFault tb = b.sample_transfer();
+        EXPECT_DOUBLE_EQ(ta.degrade, tb.degrade);
+        EXPECT_EQ(ta.retransmits, tb.retransmits);
+    }
+    EXPECT_EQ(a.task_faults(), b.task_faults());
+    EXPECT_EQ(a.nic_retransmits(), b.nic_retransmits());
+}
+
+TEST(FaultModel, NicStreamIndependentOfTaskStream) {
+    // Interleaving NIC sampling must not perturb the task-fault schedule.
+    FaultModel task_only(spec_with(0.3, 0.2, 0.5, 0.5));
+    FaultModel interleaved(spec_with(0.3, 0.2, 0.5, 0.5));
+    for (int i = 0; i < 300; ++i) {
+        const TaskFault fa = task_only.sample_task();
+        (void)interleaved.sample_transfer(); // extra NIC draws
+        const TaskFault fb = interleaved.sample_task();
+        EXPECT_EQ(fa.fail, fb.fail);
+        EXPECT_DOUBLE_EQ(fa.waste_frac, fb.waste_frac);
+        EXPECT_DOUBLE_EQ(fa.slowdown, fb.slowdown);
+    }
+}
+
+TEST(FaultModel, RatesAreHonoredApproximately) {
+    FaultModel m(spec_with(0.25, 0.1, 0.0, 0.0));
+    const int n = 4000;
+    for (int i = 0; i < n; ++i) (void)m.sample_task();
+    EXPECT_NEAR(static_cast<double>(m.task_faults()) / n, 0.25, 0.03);
+    EXPECT_NEAR(static_cast<double>(m.stragglers()) / n, 0.10, 0.03);
+}
+
+TEST(FaultModel, WasteFractionStaysInConfiguredRange) {
+    FaultSpec s = spec_with(1.0, 0.0, 0.0, 0.0);
+    s.task_waste_min = 0.4;
+    s.task_waste_max = 0.6;
+    FaultModel m(s);
+    for (int i = 0; i < 200; ++i) {
+        const TaskFault f = m.sample_task();
+        ASSERT_TRUE(f.fail);
+        EXPECT_GE(f.waste_frac, 0.4);
+        EXPECT_LE(f.waste_frac, 0.6);
+    }
+}
+
+TEST(FaultModel, RetransmitCapBoundsConsecutiveDrops) {
+    FaultSpec s = spec_with(0.0, 0.0, 0.0, 1.0); // every attempt drops
+    s.nic_max_retransmits = 3;
+    FaultModel m(s);
+    for (int i = 0; i < 50; ++i) {
+        EXPECT_EQ(m.sample_transfer().retransmits, 3);
+    }
+    EXPECT_EQ(m.nic_retransmits(), 150u);
+}
+
+TEST(FaultModel, InactiveSpecSamplesNothing) {
+    FaultModel m(FaultSpec{});
+    EXPECT_FALSE(m.active());
+    for (int i = 0; i < 100; ++i) {
+        const TaskFault f = m.sample_task();
+        EXPECT_FALSE(f.fail);
+        EXPECT_DOUBLE_EQ(f.slowdown, 1.0);
+        const TransferFault t = m.sample_transfer();
+        EXPECT_DOUBLE_EQ(t.degrade, 1.0);
+        EXPECT_EQ(t.retransmits, 0);
+    }
+    EXPECT_EQ(m.task_faults(), 0u);
+}
+
+TEST(FaultModel, InactiveModelLeavesTransferTimingUnchanged) {
+    const MachineDesc desc = MachineDesc::lassen(2);
+    SimCluster plain(desc);
+    SimCluster modeled(desc);
+    modeled.set_fault_model(std::make_shared<FaultModel>(FaultSpec{}));
+    const double a = plain.transfer(0, 1, 0.0, 1 << 20);
+    const double b = modeled.transfer(0, 1, 0.0, 1 << 20);
+    EXPECT_DOUBLE_EQ(a, b);
+}
+
+TEST(FaultModel, NicFaultsDelayTransfers) {
+    const MachineDesc desc = MachineDesc::lassen(2);
+    SimCluster plain(desc);
+    SimCluster degraded(desc);
+    FaultSpec s = spec_with(0.0, 0.0, 1.0, 0.0);
+    s.nic_degrade_factor = 8.0;
+    degraded.set_fault_model(std::make_shared<FaultModel>(s));
+    EXPECT_GT(degraded.transfer(0, 1, 0.0, 1 << 20), plain.transfer(0, 1, 0.0, 1 << 20));
+
+    SimCluster dropping(desc);
+    FaultSpec d = spec_with(0.0, 0.0, 0.0, 1.0);
+    d.nic_max_retransmits = 2;
+    dropping.set_fault_model(std::make_shared<FaultModel>(d));
+    EXPECT_GT(dropping.transfer(0, 1, 0.0, 1 << 20), plain.transfer(0, 1, 0.0, 1 << 20));
+}
+
+TEST(FaultModel, RejectsOutOfRangeSpecs) {
+    EXPECT_THROW(FaultModel{spec_with(1.5, 0.0, 0.0, 0.0)}, Error);
+    FaultSpec bad_waste = spec_with(0.1, 0.0, 0.0, 0.0);
+    bad_waste.task_waste_min = 0.9;
+    bad_waste.task_waste_max = 0.1;
+    EXPECT_THROW(FaultModel{bad_waste}, Error);
+    FaultSpec bad_factor = spec_with(0.0, 0.1, 0.0, 0.0);
+    bad_factor.slowdown_factor = 0.5;
+    EXPECT_THROW(FaultModel{bad_factor}, Error);
+}
+
+} // namespace
+} // namespace kdr::sim
