@@ -25,7 +25,9 @@
 /// still exercises record, capture, fast replay, and the fused kernels.
 
 #include <cmath>
+#include <cstdlib>
 #include <iostream>
+#include <string_view>
 #include <vector>
 
 #include "harness.hpp"
@@ -124,6 +126,15 @@ int main(int argc, char** argv) {
     const int timed = static_cast<int>(args.get_int("it", smoke ? 2 : 40));
     const std::string solver = args.get_string("solver", "cg");
     const sim::MachineDesc machine = sim::MachineDesc::lassen(nodes);
+
+    // Validation mode pins traced launches to the full-analysis path, so the
+    // fast-path-skipped-analysis assertion below cannot hold.
+    if (const char* e = std::getenv("KDR_VALIDATE");
+        e != nullptr && *e != '\0' && std::string_view(e) != "0") {
+        std::cout << "SKIP: KDR_VALIDATE disables the trace fast path this "
+                     "ablation measures\n";
+        return 0;
+    }
 
     std::cout << "=== Ablation: dynamic tracing (" << solver << ", 5pt-2D, "
               << machine.total_gpus() << " GPUs) ===\n"

@@ -56,8 +56,8 @@ public:
 
     static double entry(gidx s) { return s == 1 ? 2.0 : -1.0; } // computed, not stored
 
-    void multiply_add_piece(const IntervalSet& piece, std::span<const double> x,
-                            std::span<double> y) const override {
+    void multiply_add_piece(const IntervalSet& piece, VecView<const double> x,
+                            VecView<double> y) const override {
         const gidx n = space_.size();
         piece.for_each_interval([&](const Interval& iv) {
             for (gidx k = iv.lo; k < iv.hi; ++k) {
@@ -70,8 +70,8 @@ public:
         });
     }
 
-    void multiply_add_transpose_piece(const IntervalSet& piece, std::span<const double> x,
-                                      std::span<double> y) const override {
+    void multiply_add_transpose_piece(const IntervalSet& piece, VecView<const double> x,
+                                      VecView<double> y) const override {
         const gidx n = space_.size();
         piece.for_each_interval([&](const Interval& iv) {
             for (gidx k = iv.lo; k < iv.hi; ++k) {

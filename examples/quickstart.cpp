@@ -7,7 +7,7 @@
 ///   3. register the matrix (any storage format with row/col relations);
 ///   4. construct a solver from the planner and step it to tolerance.
 ///
-/// Usage: quickstart [-n 64] [-pieces 8] [-tol 1e-8]
+/// Usage: quickstart [-n 64] [-pieces 8] [-tol 1e-8] [-validate]
 ///                   [-report] [-report_json report.json] [-trace trace.json]
 ///                   [-fault_rate 0] [-fault_seed 42]
 ///
@@ -17,7 +17,11 @@
 /// same report as JSON; -trace exports a Chrome trace (chrome://tracing)
 /// with per-processor task rows and a solver-phase span track; -fault_rate
 /// attaches a seeded fault model injecting transient task failures at that
-/// per-task probability (the runtime retries them transparently).
+/// per-task probability (the runtime retries them transparently); -validate
+/// turns on validation mode — every element access in every kernel is
+/// checked against its declared subset and privilege, actual touched sets
+/// feed a shadow race detector, and over-declared requirements are linted
+/// (also enabled by the KDR_VALIDATE environment variable).
 
 #include <cstdint>
 #include <iostream>
@@ -41,10 +45,13 @@ int main(int argc, char** argv) {
     const double fault_rate = args.get_double("fault_rate", 0.0);
     const std::uint64_t fault_seed =
         static_cast<std::uint64_t>(args.get_int("fault_seed", 42));
+    const bool validate = args.get_flag("validate");
 
     // The simulated machine the virtual-time schedule runs on; the numerics
     // are computed for real on the host either way.
-    rt::Runtime runtime(sim::MachineDesc::lassen(2));
+    rt::RuntimeOptions opts;
+    opts.validate = validate;
+    rt::Runtime runtime(sim::MachineDesc::lassen(2), opts);
     runtime.set_profiling(want_report || !report_json.empty() || !trace_path.empty());
     if (fault_rate > 0.0) {
         sim::FaultSpec fs;
@@ -97,6 +104,13 @@ int main(int argc, char** argv) {
               << "virtual time on the simulated cluster: "
               << runtime.current_time() * 1e3 << " ms, " << runtime.tasks_launched()
               << " tasks\n";
+    if (runtime.validating()) {
+        const rt::Validator& v = *runtime.validator();
+        std::cout << "validation: " << v.tasks_checked() << " tasks checked, "
+                  << v.violations() << " privilege violations, " << v.race_pairs()
+                  << " race pairs, " << v.overdeclared() << " over-declared requirements\n";
+        for (const std::string& w : v.warnings()) std::cout << "  " << w << "\n";
+    }
 
     if (want_report || !report_json.empty()) {
         const obs::SolveReport report = runtime.build_solve_report(

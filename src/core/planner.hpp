@@ -67,6 +67,14 @@ struct OperatorPlan {
     Partition kernel_pieces; ///< partition of K_ℓ by output piece
     Partition domain_needs;  ///< per piece: the x subset read (image along col)
     Partition row_pieces;    ///< per piece: the y subset written
+    /// Per piece: the y rows the kernel actually accumulates into (image of
+    /// the kernel piece along the row relation) — a subset of `row_pieces`
+    /// when the operator has structurally empty rows. Reduce-privilege
+    /// launches declare this instead of the whole row piece, so sparse
+    /// secondary operators neither over-declare nor write back untouched
+    /// rows. Optional: when empty (analytic timing-mode plans), launches
+    /// fall back to `row_pieces`.
+    Partition row_touch;
     std::vector<gidx> nnz;   ///< stored entries per piece (cost model)
     double bytes_per_entry = 16.0; ///< matrix bytes moved per stored entry
     /// Structurally symmetric operator: the adjoint multiply may reuse this
@@ -199,7 +207,7 @@ public:
     void copy(VecId dst, VecId src) {
         const obs::Span span = phase_span("copy");
         elementwise("copy", dst, {}, src,
-                    [](T* d, const T* s, double) { *d = *s; },
+                    [](ElemRef<T> d, T s, double) { d = s; },
                     /*dst_reads=*/false, sim::KernelCosts::copy(1));
     }
 
@@ -207,7 +215,7 @@ public:
     void scal(VecId dst, const Scalar& alpha) {
         const obs::Span span = phase_span("scal");
         elementwise("scal", dst, alpha, dst,
-                    [](T* d, const T*, double a) { *d *= static_cast<T>(a); },
+                    [](ElemRef<T> d, T, double a) { d *= static_cast<T>(a); },
                     /*dst_reads=*/true, sim::KernelCosts::scal(1), /*unary=*/true);
     }
 
@@ -215,7 +223,7 @@ public:
     void axpy(VecId dst, const Scalar& alpha, VecId src) {
         const obs::Span span = phase_span("axpy");
         elementwise("axpy", dst, alpha, src,
-                    [](T* d, const T* s, double a) { *d += static_cast<T>(a) * *s; },
+                    [](ElemRef<T> d, T s, double a) { d += static_cast<T>(a) * s; },
                     /*dst_reads=*/true, sim::KernelCosts::axpy(1));
     }
 
@@ -223,14 +231,16 @@ public:
     void xpay(VecId dst, const Scalar& alpha, VecId src) {
         const obs::Span span = phase_span("xpay");
         elementwise("xpay", dst, alpha, src,
-                    [](T* d, const T* s, double a) { *d = *s + static_cast<T>(a) * *d; },
+                    [](ElemRef<T> d, T s, double a) {
+                        d = s + static_cast<T>(a) * static_cast<T>(d);
+                    },
                     /*dst_reads=*/true, sim::KernelCosts::axpy(1));
     }
 
     /// dst ← 0
     void zero(VecId dst) {
         const obs::Span span = phase_span("zero");
-        elementwise("zero", dst, {}, dst, [](T* d, const T*, double) { *d = T{}; },
+        elementwise("zero", dst, {}, dst, [](ElemRef<T> d, T, double) { d = T{}; },
                     /*dst_reads=*/false, sim::TaskCost{0.0, 8.0}, /*unary=*/true);
     }
 
@@ -261,11 +271,9 @@ public:
                     {wcomp.region, fw, rt::Privilege::ReadOnly, piece});
                 l.cost = sim::KernelCosts::dot(piece.volume());
                 if (rt_.functional()) {
-                    auto vr = comp.region;
-                    auto wr = wcomp.region;
-                    l.body = [vr, fv, wr, fw, piece](rt::TaskContext& ctx) {
-                        auto a = ctx.field<T>(vr, fv);
-                        auto b = ctx.field<T>(wr, fw);
+                    l.body = [piece](rt::TaskContext& ctx) {
+                        auto a = ctx.accessor<const T>(0);
+                        auto b = ctx.accessor<const T>(1);
                         double s = 0.0;
                         piece.for_each_interval([&](const Interval& iv) {
                             for (gidx i = iv.lo; i < iv.hi; ++i) {
@@ -301,8 +309,8 @@ public:
             return dot(dst, w);
         }
         return fused_update_reduce("axpy_dot", dst, alpha, src, w,
-                                   [](T* d, const T* s, double a) {
-                                       *d += static_cast<T>(a) * *s;
+                                   [](ElemRef<T> d, T s, double a) {
+                                       d += static_cast<T>(a) * s;
                                    });
     }
 
@@ -314,8 +322,8 @@ public:
             return dot(dst, dst);
         }
         return fused_update_reduce("xpay_norm2", dst, alpha, src, dst,
-                                   [](T* d, const T* s, double a) {
-                                       *d = *s + static_cast<T>(a) * *d;
+                                   [](ElemRef<T> d, T s, double a) {
+                                       d = s + static_cast<T>(a) * static_cast<T>(d);
                                    });
     }
 
@@ -567,6 +575,7 @@ private:
         plan.kernel_pieces = preimage(rows, *op.row_relation());
         plan.domain_needs = image(plan.kernel_pieces, *op.col_relation());
         plan.row_pieces = rows;
+        plan.row_touch = image(plan.kernel_pieces, *op.row_relation());
         plan.nnz.reserve(static_cast<std::size_t>(rows.color_count()));
         for (Color c = 0; c < rows.color_count(); ++c) {
             plan.nnz.push_back(plan.kernel_pieces.piece(c).volume());
@@ -582,6 +591,7 @@ private:
         plan.kernel_pieces = preimage(rows, *op.row_relation());
         plan.domain_needs = image(plan.kernel_pieces, *op.col_relation());
         plan.row_pieces = rows;
+        plan.row_touch = image(plan.kernel_pieces, *op.row_relation());
         for (Color c = 0; c < rows.color_count(); ++c)
             plan.nnz.push_back(plan.kernel_pieces.piece(c).volume());
         return plan;
@@ -649,6 +659,7 @@ private:
         tp->kernel_pieces = preimage(out_rows, *slot.op->col_relation());
         tp->domain_needs = image(tp->kernel_pieces, *slot.op->row_relation());
         tp->row_pieces = out_rows;
+        tp->row_touch = image(tp->kernel_pieces, *slot.op->col_relation());
         for (Color c = 0; c < out_rows.color_count(); ++c)
             tp->nnz.push_back(tp->kernel_pieces.piece(c).volume());
         slot.tplan = std::move(tp);
@@ -713,9 +724,8 @@ private:
             l.requirements.push_back({dcomp.region, fd, rt::Privilege::WriteOnly, piece});
             l.cost = {0.0, 8.0 * static_cast<double>(piece.volume())};
             if (rt_.functional()) {
-                const rt::RegionId dr = dcomp.region;
-                l.body = [dr, fd, piece](rt::TaskContext& ctx) {
-                    auto d = ctx.field<T>(dr, fd);
+                l.body = [piece](rt::TaskContext& ctx) {
+                    auto d = ctx.accessor<T>(0);
                     piece.for_each_interval([&](const Interval& iv) {
                         for (gidx i = iv.lo; i < iv.hi; ++i)
                             d[static_cast<std::size_t>(i)] = T{};
@@ -729,10 +739,16 @@ private:
     void launch_multiplies(OperatorSlot& slot, const OperatorPlan& plan, const Component& in,
                            rt::FieldId fin, const Component& out, rt::FieldId fout,
                            bool transpose, bool write_mode = false) {
+        const bool have_touch = plan.row_touch.color_count() == plan.row_pieces.color_count();
         for (Color c = 0; c < plan.row_pieces.color_count(); ++c) {
             const IntervalSet& kpiece = plan.kernel_pieces.piece(c);
             const IntervalSet& xpiece = plan.domain_needs.piece(c);
-            const IntervalSet& ypiece = plan.row_pieces.piece(c);
+            // A write-mode (primary) launch zero-initializes and so touches
+            // its whole row piece; a Reduce launch touches only the rows the
+            // kernel accumulates into.
+            const IntervalSet& ypiece = (!write_mode && have_touch)
+                                            ? plan.row_touch.piece(c)
+                                            : plan.row_pieces.piece(c);
             if (kpiece.empty() && !write_mode) continue;
             rt::TaskLaunch l;
             l.name = transpose ? "matmulT" : "matmul";
@@ -750,12 +766,9 @@ private:
             if (rt_.functional()) {
                 KDR_REQUIRE(slot.op != nullptr, "matmul: missing operator in functional mode");
                 auto op = slot.op;
-                const rt::RegionId in_r = in.region;
-                const rt::RegionId out_r = out.region;
-                l.body = [op, kpiece, ypiece, in_r, fin, out_r, fout, transpose,
-                          write_mode](rt::TaskContext& ctx) {
-                    auto x = ctx.field<T>(in_r, fin);
-                    auto y = ctx.field<T>(out_r, fout);
+                l.body = [op, kpiece, ypiece, transpose, write_mode](rt::TaskContext& ctx) {
+                    auto x = ctx.accessor<const T>(1);
+                    auto y = ctx.accessor<T>(2);
                     if (write_mode) {
                         // β=0 fused: initialize this piece's output rows.
                         ypiece.for_each_interval([&](const Interval& iv) {
@@ -808,21 +821,19 @@ private:
                 if (alpha) l.scalar_deps.push_back(alpha->ready_time);
                 if (rt_.functional()) {
                     const double a = alpha ? alpha->value : 0.0;
-                    const rt::RegionId dr = dcomp.region;
-                    const rt::RegionId sr = scomp.region;
-                    l.body = [dr, fd, sr, fs, piece, a, fn, unary](rt::TaskContext& ctx) {
-                        auto d = ctx.field<T>(dr, fd);
+                    l.body = [piece, a, fn, unary](rt::TaskContext& ctx) {
+                        auto d = ctx.accessor<T>(0);
                         if (unary) {
                             piece.for_each_interval([&](const Interval& iv) {
                                 for (gidx i = iv.lo; i < iv.hi; ++i)
-                                    fn(&d[static_cast<std::size_t>(i)], nullptr, a);
+                                    fn(d[static_cast<std::size_t>(i)], T{}, a);
                             });
                         } else {
-                            auto s = ctx.field<T>(sr, fs);
+                            auto s = ctx.accessor<const T>(1);
                             piece.for_each_interval([&](const Interval& iv) {
                                 for (gidx i = iv.lo; i < iv.hi; ++i)
-                                    fn(&d[static_cast<std::size_t>(i)],
-                                       &s[static_cast<std::size_t>(i)], a);
+                                    fn(d[static_cast<std::size_t>(i)],
+                                       s[static_cast<std::size_t>(i)], a);
                             });
                         }
                     };
@@ -858,8 +869,10 @@ private:
             const rt::FieldId fd = dv.fields[ci];
             const rt::FieldId fs = sv.fields[ci];
             const rt::FieldId fw = wv.fields[ci];
-            const bool w_aliases = (wcomp.region == dcomp.region && fw == fd) ||
-                                   (wcomp.region == scomp.region && fw == fs);
+            const bool w_alias_d = wcomp.region == dcomp.region && fw == fd;
+            const bool w_alias_s =
+                !w_alias_d && wcomp.region == scomp.region && fw == fs;
+            const bool w_aliases = w_alias_d || w_alias_s;
             for (Color c = 0; c < dcomp.canonical.color_count(); ++c) {
                 const IntervalSet piece = dcomp.canonical.piece(c);
                 rt::TaskLaunch l;
@@ -878,20 +891,24 @@ private:
                 l.scalar_deps.push_back(alpha.ready_time);
                 if (rt_.functional()) {
                     const double a = alpha.value;
-                    const rt::RegionId dr = dcomp.region;
-                    const rt::RegionId sr = scomp.region;
-                    const rt::RegionId wr = wcomp.region;
-                    l.body = [dr, fd, sr, fs, wr, fw, piece, a,
-                              update](rt::TaskContext& ctx) {
-                        auto d = ctx.field<T>(dr, fd);
-                        auto s = ctx.field<T>(sr, fs);
-                        auto wd = ctx.field<T>(wr, fw);
+                    l.body = [piece, a, update, w_alias_d,
+                              w_alias_s](rt::TaskContext& ctx) {
+                        auto d = ctx.accessor<T>(0);
+                        auto s = ctx.accessor<const T>(1);
+                        VecView<const T> wd;
+                        if (!w_alias_d && !w_alias_s) wd = ctx.accessor<const T>(2);
                         double sum = 0.0;
                         piece.for_each_interval([&](const Interval& iv) {
                             for (gidx i = iv.lo; i < iv.hi; ++i) {
                                 const auto k = static_cast<std::size_t>(i);
-                                update(&d[k], &s[k], a);
-                                sum += static_cast<double>(d[k] * wd[k]);
+                                update(d[k], s[k], a);
+                                // Read dst *after* the update, exactly as the
+                                // aliased whole-field form did.
+                                const T dval = d[k];
+                                const T wval = w_alias_d ? dval
+                                               : w_alias_s ? static_cast<T>(s[k])
+                                                           : wd[k];
+                                sum += static_cast<double>(dval * wval);
                             }
                         });
                         ctx.set_scalar(sum);

@@ -1,0 +1,144 @@
+#pragma once
+
+/// \file accessor.hpp
+/// Privilege-checkable vector views. `VecView<T>` is the element-access type
+/// every kernel body receives: in release mode it is a bare pointer + length
+/// (indexing compiles down to exactly the raw-span loads and stores it
+/// replaced), while under `RuntimeOptions::validate` the runtime attaches an
+/// `AccessHook` that sees every element read, write, and read-modify-write
+/// before it happens and can reject accesses that violate the task's declared
+/// region requirement (subset + privilege).
+///
+/// The split lives at geometry level (below sparse and runtime) because both
+/// `LinearOperator` kernel signatures and `TaskContext::accessor` traffic in
+/// it; neither may depend on the other's library.
+
+#include <cstddef>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+#include "geometry/point.hpp"
+
+namespace kdr {
+
+/// Observer for element accesses through a `VecView`. Indices are *global*
+/// (the view always spans the whole field). Implementations may throw to
+/// reject an access; in that case the underlying memory is not touched for
+/// writes (reads have no side effect to suppress).
+class AccessHook {
+public:
+    virtual ~AccessHook() = default;
+    /// Called before an element load.
+    virtual void on_read(gidx i) = 0;
+    /// Called before a blind store (no prior load of the element).
+    virtual void on_write(gidx i) = 0;
+    /// Called before a load-modify-store (`+=` and friends).
+    virtual void on_rmw(gidx i) = 0;
+};
+
+/// Proxy returned by `VecView<T>::operator[]` for non-const `T`: conversion
+/// to `T` is a read, `=` is a write, the compound assignments are RMWs. With
+/// a null hook every operation inlines to the raw memory access.
+template <typename T>
+class ElemRef {
+public:
+    constexpr ElemRef(T* p, AccessHook* hook, gidx index) noexcept
+        : p_(p), hook_(hook), index_(index) {}
+    constexpr ElemRef(const ElemRef&) = default;
+
+    constexpr operator T() const { // NOLINT(google-explicit-constructor)
+        if (hook_ != nullptr) hook_->on_read(index_);
+        return *p_;
+    }
+    constexpr ElemRef& operator=(T v) {
+        if (hook_ != nullptr) hook_->on_write(index_);
+        *p_ = v;
+        return *this;
+    }
+    constexpr ElemRef& operator=(const ElemRef& other) { return *this = static_cast<T>(other); }
+    constexpr ElemRef& operator+=(T v) {
+        if (hook_ != nullptr) hook_->on_rmw(index_);
+        *p_ += v;
+        return *this;
+    }
+    constexpr ElemRef& operator-=(T v) {
+        if (hook_ != nullptr) hook_->on_rmw(index_);
+        *p_ -= v;
+        return *this;
+    }
+    constexpr ElemRef& operator*=(T v) {
+        if (hook_ != nullptr) hook_->on_rmw(index_);
+        *p_ *= v;
+        return *this;
+    }
+    constexpr ElemRef& operator/=(T v) {
+        if (hook_ != nullptr) hook_->on_rmw(index_);
+        *p_ /= v;
+        return *this;
+    }
+
+private:
+    T* p_;
+    AccessHook* hook_;
+    gidx index_;
+};
+
+/// A length-checkable, hook-able view of one field's storage. `T` may be
+/// const-qualified; a `VecView<const T>` only reads. Implicitly constructible
+/// from `std::span` and `std::vector` so host-side callers (tests, examples,
+/// baselines) keep passing plain containers; those views carry no hook.
+template <typename T>
+class VecView {
+public:
+    using value_type = std::remove_const_t<T>;
+
+    constexpr VecView() noexcept = default;
+    constexpr VecView(T* data, std::size_t count, AccessHook* hook = nullptr) noexcept
+        : data_(data), count_(count), hook_(hook) {}
+    constexpr VecView(std::span<T> s) noexcept // NOLINT(google-explicit-constructor)
+        : data_(s.data()), count_(s.size()) {}
+    template <typename U = T, typename = std::enable_if_t<std::is_const_v<U>>>
+    constexpr VecView(std::span<value_type> s) noexcept // NOLINT(google-explicit-constructor)
+        : data_(s.data()), count_(s.size()) {}
+    constexpr VecView(std::vector<value_type>& v) noexcept // NOLINT(google-explicit-constructor)
+        : data_(v.data()), count_(v.size()) {}
+    template <typename U = T, typename = std::enable_if_t<std::is_const_v<U>>>
+    constexpr VecView(const std::vector<value_type>& v) noexcept // NOLINT
+        : data_(v.data()), count_(v.size()) {}
+
+    /// A mutable view decays to a read-only view (hook preserved).
+    constexpr operator VecView<const value_type>() const noexcept // NOLINT
+        requires(!std::is_const_v<T>)
+    {
+        return VecView<const value_type>(data_, count_, hook_);
+    }
+
+    [[nodiscard]] constexpr std::size_t size() const noexcept { return count_; }
+    [[nodiscard]] constexpr bool empty() const noexcept { return count_ == 0; }
+    [[nodiscard]] constexpr AccessHook* hook() const noexcept { return hook_; }
+    /// Raw storage, bypassing the hook — for size/shape math only.
+    [[nodiscard]] constexpr T* data_unchecked() const noexcept { return data_; }
+
+    /// Read-only views load the element directly (one hook call, one load).
+    [[nodiscard]] constexpr value_type operator[](std::size_t i) const
+        requires std::is_const_v<T>
+    {
+        if (hook_ != nullptr) hook_->on_read(static_cast<gidx>(i));
+        return data_[i];
+    }
+
+    /// Mutable views hand back a proxy that distinguishes read/write/RMW.
+    [[nodiscard]] constexpr ElemRef<T> operator[](std::size_t i) const
+        requires(!std::is_const_v<T>)
+    {
+        return ElemRef<T>(data_ + i, hook_, static_cast<gidx>(i));
+    }
+
+private:
+    T* data_ = nullptr;
+    std::size_t count_ = 0;
+    AccessHook* hook_ = nullptr;
+};
+
+} // namespace kdr

@@ -40,6 +40,19 @@ json::Value to_value(const SolveReport& r) {
         root.emplace("faults", std::move(faults));
     }
 
+    {
+        json::Value::Object o;
+        const auto num = [](std::uint64_t v) { return json::Value(static_cast<double>(v)); };
+        o.emplace("enabled", json::Value(r.validation.enabled));
+        o.emplace("tasks_checked", num(r.validation.tasks_checked));
+        o.emplace("violations", num(r.validation.violations));
+        o.emplace("race_pairs", num(r.validation.race_pairs));
+        o.emplace("overdeclared", num(r.validation.overdeclared));
+        json::Value validation;
+        validation.object() = std::move(o);
+        root.emplace("validation", std::move(validation));
+    }
+
     json::Value kinds;
     kinds.array();
     for (const TaskKindStats& k : r.task_kinds) {
@@ -134,6 +147,17 @@ SolveReport SolveReport::from_json(const std::string& text) {
         r.faults.restarts = u64("restarts");
         r.faults.fallbacks = u64("fallbacks");
     }
+    if (doc.has("validation")) {
+        const json::Value& v = doc["validation"];
+        const auto u64 = [&v](const char* key) {
+            return v.has(key) ? static_cast<std::uint64_t>(v[key].as_number()) : 0;
+        };
+        r.validation.enabled = v.has("enabled") && v["enabled"].as_bool();
+        r.validation.tasks_checked = u64("tasks_checked");
+        r.validation.violations = u64("violations");
+        r.validation.race_pairs = u64("race_pairs");
+        r.validation.overdeclared = u64("overdeclared");
+    }
     for (const json::Value& v : doc["task_kinds"].as_array()) {
         r.task_kinds.push_back({v["name"].as_string(),
                                 static_cast<std::uint64_t>(v["count"].as_number()),
@@ -178,6 +202,12 @@ void SolveReport::print(std::ostream& os) const {
            << " retransmits; recovery " << faults.checkpoints << " ckpt / "
            << faults.restores << " restore / " << faults.restarts << " restart / "
            << faults.fallbacks << " fallback\n";
+    }
+    if (validation.enabled) {
+        os << "validation: " << validation.tasks_checked << " tasks checked, "
+           << validation.violations << " privilege violations, " << validation.race_pairs
+           << " race pairs, " << validation.overdeclared << " over-declared requirements"
+           << (validation.any() ? "" : " (clean)") << "\n";
     }
 
     if (!task_kinds.empty()) {

@@ -76,6 +76,20 @@ struct FaultStats {
     }
 };
 
+/// Validation-mode tallies for one run (see runtime/validation.hpp). All
+/// zero — and `enabled` false — when `RuntimeOptions::validate` was off.
+struct ValidationStats {
+    bool enabled = false;               ///< validation mode was on for the run
+    std::uint64_t tasks_checked = 0;    ///< bodies run under accessor checking
+    std::uint64_t violations = 0;       ///< privilege/subset contract breaches
+    std::uint64_t race_pairs = 0;       ///< unordered conflicting task pairs
+    std::uint64_t overdeclared = 0;     ///< requirements with untouched subsets
+
+    [[nodiscard]] bool any() const noexcept {
+        return (violations | race_pairs | overdeclared) != 0;
+    }
+};
+
 struct SolveReport {
     double makespan = 0.0;     ///< virtual time at which all work completed
     std::uint64_t tasks = 0;   ///< tasks launched
@@ -90,6 +104,7 @@ struct SolveReport {
     std::vector<ConvergenceSample> convergence;
     std::string status = "unknown"; ///< core::to_string of the SolveStatus
     FaultStats faults;
+    ValidationStats validation;
 
     [[nodiscard]] std::string to_json() const;
     [[nodiscard]] static SolveReport from_json(const std::string& text);

@@ -2,8 +2,9 @@
 
 namespace kdr::rt {
 
-FieldStorage::FieldStorage(std::string name, std::size_t elem_size, gidx count, bool materialize)
-    : name_(std::move(name)), elem_size_(elem_size), count_(count) {
+FieldStorage::FieldStorage(std::string name, std::size_t elem_size, gidx count, bool materialize,
+                           const std::type_info& type)
+    : name_(std::move(name)), elem_size_(elem_size), count_(count), type_(type) {
     KDR_REQUIRE(elem_size_ > 0, "field '", name_, "': zero element size");
     KDR_REQUIRE(count >= 0, "field '", name_, "': negative element count");
     if (materialize) {
@@ -12,9 +13,10 @@ FieldStorage::FieldStorage(std::string name, std::size_t elem_size, gidx count, 
     home.push_back({IntervalSet::full(count), 0});
 }
 
-FieldId Region::add_field(std::string field_name, std::size_t elem_size, bool materialize) {
+FieldId Region::add_field(std::string field_name, std::size_t elem_size, bool materialize,
+                          const std::type_info& type) {
     fields_.push_back(std::make_unique<FieldStorage>(std::move(field_name), elem_size,
-                                                     space_.size(), materialize));
+                                                     space_.size(), materialize, type));
     return static_cast<FieldId>(fields_.size() - 1);
 }
 

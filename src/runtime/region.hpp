@@ -19,6 +19,8 @@
 #include <memory>
 #include <span>
 #include <string>
+#include <typeindex>
+#include <typeinfo>
 #include <unordered_map>
 #include <vector>
 
@@ -36,16 +38,24 @@ struct HomePiece {
 
 class FieldStorage {
 public:
-    FieldStorage(std::string name, std::size_t elem_size, gidx count, bool materialize);
+    FieldStorage(std::string name, std::size_t elem_size, gidx count, bool materialize,
+                 const std::type_info& type = typeid(void));
 
     [[nodiscard]] const std::string& name() const noexcept { return name_; }
     [[nodiscard]] std::size_t elem_size() const noexcept { return elem_size_; }
     [[nodiscard]] bool materialized() const noexcept { return !data_.empty() || count_ == 0; }
+    /// Element type recorded at add_field<T> time; typeid(void) for fields
+    /// declared by raw element size only (e.g. phantom matrix-entry fields).
+    [[nodiscard]] std::type_index type() const noexcept { return type_; }
 
     template <typename T>
     [[nodiscard]] std::span<T> as() {
         KDR_REQUIRE(sizeof(T) == elem_size_, "field '", name_, "': element size mismatch (",
                     sizeof(T), " vs ", elem_size_, ")");
+        KDR_REQUIRE(type_ == typeid(void) || type_ == std::type_index(typeid(T)), "field '",
+                    name_, "': stored element type '", type_.name(),
+                    "' cannot be reinterpreted as '", typeid(T).name(),
+                    "' (same size is not the same type)");
         KDR_REQUIRE(materialized(), "field '", name_,
                     "' is phantom (timing-only); data access is unavailable");
         return {reinterpret_cast<T*>(data_.data()), static_cast<std::size_t>(count_)};
@@ -63,6 +73,7 @@ private:
     std::string name_;
     std::size_t elem_size_;
     gidx count_;
+    std::type_index type_;
     std::vector<std::byte> data_;
 };
 
@@ -75,7 +86,8 @@ public:
     [[nodiscard]] const IndexSpace& space() const noexcept { return space_; }
     [[nodiscard]] const std::string& name() const noexcept { return name_; }
 
-    FieldId add_field(std::string field_name, std::size_t elem_size, bool materialize);
+    FieldId add_field(std::string field_name, std::size_t elem_size, bool materialize,
+                      const std::type_info& type = typeid(void));
     [[nodiscard]] FieldStorage& field(FieldId f);
     [[nodiscard]] const FieldStorage& field(FieldId f) const;
     [[nodiscard]] std::size_t field_count() const noexcept { return fields_.size(); }

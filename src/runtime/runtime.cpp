@@ -1,7 +1,9 @@
 #include "runtime/runtime.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 #include <map>
+#include <string_view>
 
 namespace kdr::rt {
 
@@ -24,6 +26,18 @@ Runtime::Runtime(sim::MachineDesc machine, Options options)
     commit_ring_.resize(1024); // grown at end-of-recording to span the trace
     task_duration_hist_ = &metrics_.histogram(
         "task_duration_seconds", obs::Histogram::exponential_bounds(1e-7, 10.0, 7));
+
+    // Validation mode: options, or the KDR_VALIDATE environment variable so
+    // whole test suites can be re-run under the checker without code changes.
+    if (options_.validate_warn_only) options_.validate = true;
+    if (const char* e = std::getenv("KDR_VALIDATE");
+        e != nullptr && *e != '\0' && std::string_view(e) != "0") {
+        options_.validate = true;
+    }
+    if (options_.validate) {
+        validator_ =
+            std::make_unique<Validator>(*this, metrics_, options_.validate_warn_only);
+    }
 }
 
 obs::Counter& Runtime::launch_counter(const std::string& name, sim::ProcKind kind) {
@@ -142,6 +156,7 @@ void Runtime::move_home(RegionId r, FieldId f, const IntervalSet& piece, int new
 
     // Conservative: migration republishes the range — future readers wait for
     // the arrival, and stale per-node piece caches of this field are dropped.
+    if (validator_ != nullptr) validator_->note_migration(r, f, piece);
     ++fs.version;
     fs.cache.clear();
     fs.data_ready = std::max(fs.data_ready, arrival);
@@ -209,7 +224,9 @@ void Runtime::begin_trace(std::uint64_t trace_id) {
             trace_invalid_ctr_->inc();
         }
     }
-    if (!options_.trace_fast_path) {
+    // Validation mode forces the verify path: the fast path skips the
+    // dependence resolution whose result the race detector audits.
+    if (!options_.trace_fast_path || validator_ != nullptr) {
         trace_mode_ = TraceInstanceMode::Replay;
         return;
     }
@@ -557,7 +574,7 @@ FutureScalar Runtime::launch(TaskLaunch launch) {
         ready = dep_ready;
         for (std::size_t i = 0; i < nreq; ++i) {
             const RegionReq& req = launch.requirements[i];
-            if (reads(req.privilege) || req.privilege == Privilege::Reduce) {
+            if (reads(req.privilege)) {
                 ready = std::max(ready, issue_read_transfers(req, proc.node, req_dep[i]));
             }
         }
@@ -572,28 +589,44 @@ FutureScalar Runtime::launch(TaskLaunch launch) {
         // were free. The gap up to analysis_done is time the task spends
         // stalled behind the runtime pipeline rather than behind real data
         // dependences.
+        const bool want_contributors = capturing || validator_ != nullptr;
         std::vector<const Access*> contributors;
+        std::vector<TaskSeq> preds;
         LaunchRecipe rec;
         for (std::size_t i = 0; i < nreq; ++i) {
             const RegionReq& req = launch.requirements[i];
             const double dep =
-                analyze_requirement(req, capturing ? &contributors : nullptr);
+                analyze_requirement(req, want_contributors ? &contributors : nullptr);
             req_dep[i] = dep;
             dep_ready = std::max(dep_ready, dep);
             if (capturing) {
                 capture_requirement(rec, req, seq, traces_[active_trace_], contributors);
-                contributors.clear();
             }
+            if (validator_ != nullptr) {
+                // The accesses that bounded this requirement ARE the task's
+                // DAG predecessor edges — the race detector audits exactly
+                // this resolution against the actual touched sets.
+                for (const Access* a : contributors) {
+                    if (a->req_index != kExternalAccess) preds.push_back(a->task);
+                }
+            }
+            contributors.clear();
         }
         if (capturing) traces_[active_trace_].recipes.push_back(std::move(rec));
+        if (validator_ != nullptr) validator_->note_task(seq, launch, std::move(preds));
         analysis_stall_ctr_->add(std::max(0.0, analysis_done - dep_ready));
 
         // Input transfers are issued by the analysis stage, so they start no
         // earlier than it completes.
+        // Only genuinely reading privileges fetch: WriteOnly produces fresh
+        // data, and a Reduce instance starts from the reduction identity and
+        // folds its contribution in via write-back — neither needs the old
+        // values on the executing node (fetching for Reduce double-charged
+        // every reduction task with a halo it never reads).
         ready = std::max(dep_ready, analysis_done);
         for (std::size_t i = 0; i < nreq; ++i) {
             const RegionReq& req = launch.requirements[i];
-            if (reads(req.privilege) || req.privilege == Privilege::Reduce) {
+            if (reads(req.privilege)) {
                 ready = std::max(ready, issue_read_transfers(
                                             req, proc.node,
                                             std::max(req_dep[i], analysis_done)));
@@ -615,11 +648,24 @@ FutureScalar Runtime::launch(TaskLaunch launch) {
         finish = cluster_.exec(proc, ready, launch.cost, 0.0);
     }
 
-    // Functional execution.
+    // Functional execution. Under validation the body runs with per-
+    // requirement access checkers installed; afterwards the actual touched
+    // sets are race-checked against the shadow frontier and linted.
     std::optional<double> scalar;
     if (options_.materialize && launch.body) {
         TaskContext ctx(*this, launch);
-        launch.body(ctx);
+        if (validator_ != nullptr) {
+            validator_->begin_task(seq, launch);
+            try {
+                launch.body(ctx);
+            } catch (...) {
+                validator_->abort_task();
+                throw;
+            }
+            validator_->commit_task();
+        } else {
+            launch.body(ctx);
+        }
         scalar = ctx.scalar();
     }
 
@@ -729,6 +775,14 @@ obs::SolveReport Runtime::build_solve_report(std::vector<obs::ConvergenceSample>
     if (const sim::FaultModel* fm = cluster_.fault_model(); fm != nullptr) {
         r.faults.nic_degraded = fm->nic_degraded();
         r.faults.nic_retransmits = fm->nic_retransmits();
+    }
+
+    if (validator_ != nullptr) {
+        r.validation.enabled = true;
+        r.validation.tasks_checked = validator_->tasks_checked();
+        r.validation.violations = validator_->violations();
+        r.validation.race_pairs = validator_->race_pairs();
+        r.validation.overdeclared = validator_->overdeclared();
     }
 
     // Per-task-kind stats from the profiles still held by the runtime (call

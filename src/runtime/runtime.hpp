@@ -28,6 +28,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "geometry/accessor.hpp"
 #include "obs/registry.hpp"
 #include "obs/report.hpp"
 #include "obs/span.hpp"
@@ -35,6 +36,7 @@
 #include "runtime/mapper.hpp"
 #include "runtime/region.hpp"
 #include "runtime/types.hpp"
+#include "runtime/validation.hpp"
 #include "simcluster/cluster.hpp"
 
 namespace kdr::rt {
@@ -46,8 +48,20 @@ class TaskContext {
 public:
     TaskContext(Runtime& rt, const TaskLaunch& launch) : rt_(rt), launch_(launch) {}
 
+    /// Requirement-scoped accessor — the preferred kernel access path. The
+    /// view spans the requirement's whole field; in validation mode it
+    /// carries a hook that checks every element access against the declared
+    /// subset and privilege (PrivilegeError on violation), in release mode
+    /// it is a raw pointer + length with zero per-access overhead. `T` may
+    /// be const-qualified (`accessor<const double>` for read views).
+    template <typename T>
+    [[nodiscard]] VecView<T> accessor(std::uint32_t req_index);
+
     /// Whole-field span; the task is expected to touch only its requirement
-    /// subsets (kernels take the subset explicitly).
+    /// subsets (kernels take the subset explicitly). Validation mode treats
+    /// this as a conservative whole-subset touch of every declared
+    /// requirement on (r, f) — element-level checking needs `accessor` — and
+    /// rejects undeclared (region, field) pairs.
     template <typename T>
     [[nodiscard]] std::span<T> field(RegionId r, FieldId f);
 
@@ -76,6 +90,18 @@ struct RuntimeOptions {
     /// a task may fail up to this many times and still succeed on a later
     /// attempt; one more failure raises TaskFailedError. 0 = no retries.
     int max_task_retries = 3;
+    /// Validation mode: every element access through a task accessor is
+    /// checked against the declared subset and privilege (PrivilegeError on
+    /// violation), actual touched sets feed a shadow race detector, and
+    /// declared-but-untouched subsets are linted as over-declaration. Traced
+    /// launches always run full dependence analysis (the trace fast path
+    /// would skip the resolution the detector audits). Also enabled by the
+    /// KDR_VALIDATE environment variable.
+    bool validate = false;
+    /// Record contract violations as warnings + counters instead of
+    /// throwing, letting the run continue so the race detector can observe
+    /// the downstream fallout of an under-declaration. Implies validate.
+    bool validate_warn_only = false;
 };
 
 class Runtime {
@@ -92,7 +118,8 @@ public:
     template <typename T>
     FieldId add_field(RegionId r, std::string name) {
         ++structure_epoch_;
-        return region(r).add_field(std::move(name), sizeof(T), options_.materialize);
+        return region(r).add_field(std::move(name), sizeof(T), options_.materialize,
+                                   typeid(T));
     }
 
     /// Direct host access for problem setup and result inspection
@@ -159,6 +186,21 @@ public:
 
     void set_profiling(bool on) { options_.profiling = on; }
     [[nodiscard]] std::vector<TaskProfile> take_profiles();
+
+    // -------------------------------------------------------- validation
+    [[nodiscard]] bool validating() const noexcept { return validator_ != nullptr; }
+    /// The validation engine (null when validation is off). Exposes the
+    /// violation/race/lint tallies and diagnostics for tests and reports.
+    [[nodiscard]] Validator* validator() noexcept { return validator_.get(); }
+    /// Element-access hook for requirement `req_index` of the task whose
+    /// body is currently executing; null when validation is off.
+    [[nodiscard]] AccessHook* validation_hook(std::uint32_t req_index) noexcept {
+        return validator_ != nullptr ? validator_->hook(req_index) : nullptr;
+    }
+    /// Whole-field ctx.field bookkeeping in validation mode (no-op otherwise).
+    void note_unscoped_field_access(RegionId r, FieldId f) {
+        if (validator_ != nullptr) validator_->note_unscoped_field(r, f);
+    }
 
     // ------------------------------------------------------- observability
     /// Metrics registry every layer reports into: task launches (per task
@@ -234,6 +276,7 @@ private:
     Options options_;
     sim::SimCluster cluster_;
     std::unique_ptr<Mapper> mapper_;
+    std::unique_ptr<Validator> validator_;
 
     std::vector<std::unique_ptr<Region>> regions_;
     std::unordered_map<std::uint64_t, FieldState> field_states_;
@@ -363,7 +406,20 @@ private:
 
 template <typename T>
 std::span<T> TaskContext::field(RegionId r, FieldId f) {
+    rt_.note_unscoped_field_access(r, f);
     return rt_.field_data<T>(r, f);
+}
+
+template <typename T>
+VecView<T> TaskContext::accessor(std::uint32_t req_index) {
+    if (req_index >= launch_.requirements.size()) {
+        throw PrivilegeError("task '" + launch_.name + "' requests an accessor for requirement " +
+                             std::to_string(req_index) + " but declares only " +
+                             std::to_string(launch_.requirements.size()) + " requirements");
+    }
+    const RegionReq& rq = launch_.requirements[req_index];
+    const auto span = rt_.field_data<std::remove_const_t<T>>(rq.region, rq.field);
+    return VecView<T>(span.data(), span.size(), rt_.validation_hook(req_index));
 }
 
 } // namespace kdr::rt

@@ -1,0 +1,381 @@
+#include "runtime/validation.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "runtime/runtime.hpp"
+
+namespace kdr::rt {
+
+namespace {
+
+const char* privilege_name(Privilege p) {
+    switch (p) {
+        case Privilege::ReadOnly: return "ReadOnly";
+        case Privilege::WriteOnly: return "WriteOnly";
+        case Privilege::ReadWrite: return "ReadWrite";
+        case Privilege::Reduce: return "Reduce";
+    }
+    return "?";
+}
+
+std::string set_to_string(const IntervalSet& s) {
+    std::ostringstream os;
+    os << s;
+    return os.str();
+}
+
+std::uint64_t shadow_key(RegionId r, FieldId f) { return (r << 32) | f; }
+
+} // namespace
+
+// ------------------------------------------------------------------ ReqCheck
+
+ReqCheck::ReqCheck(Validator& v, const TaskLaunch& launch, std::uint32_t req_index,
+                   gidx field_size)
+    : v_(v), launch_(launch), req_(req_index), field_size_(field_size) {}
+
+void ReqCheck::check_element(gidx i, const char* verb) {
+    used_ = true;
+    if (i < 0 || i >= field_size_) {
+        // Not continuable even in warn-only mode: the underlying load/store
+        // would land outside the field storage entirely.
+        throw PrivilegeError("privilege violation: " + v_.describe_req(launch_, req_) + ": " +
+                             verb + " at index " + std::to_string(i) +
+                             " outside the field storage [0, " + std::to_string(field_size_) +
+                             ")");
+    }
+    const IntervalSet& subset = launch_.requirements[req_].subset;
+    if (!subset.contains(i)) {
+        v_.violation(v_.describe_req(launch_, req_) + ": " + verb + " at index " +
+                     std::to_string(i) + " outside the declared subset " +
+                     set_to_string(subset));
+    }
+}
+
+void ReqCheck::on_read(gidx i) {
+    check_element(i, "read");
+    switch (launch_.requirements[req_].privilege) {
+        case Privilege::ReadOnly:
+        case Privilege::ReadWrite:
+            break;
+        case Privilege::WriteOnly:
+            if (!already_touched(i)) {
+                v_.violation(v_.describe_req(launch_, req_) + ": read at index " +
+                             std::to_string(i) +
+                             " of WriteOnly data not yet written by this task");
+            }
+            break;
+        case Privilege::Reduce:
+            v_.violation(v_.describe_req(launch_, req_) + ": non-reduction read at index " +
+                         std::to_string(i) + " violates Reduce");
+            break;
+    }
+    record(i);
+}
+
+void ReqCheck::on_write(gidx i) {
+    check_element(i, "write");
+    switch (launch_.requirements[req_].privilege) {
+        case Privilege::WriteOnly:
+        case Privilege::ReadWrite:
+            break;
+        case Privilege::ReadOnly:
+            v_.violation(v_.describe_req(launch_, req_) + ": write at index " +
+                         std::to_string(i) + " violates ReadOnly");
+            break;
+        case Privilege::Reduce:
+            v_.violation(v_.describe_req(launch_, req_) + ": non-reduction write at index " +
+                         std::to_string(i) + " violates Reduce");
+            break;
+    }
+    record(i);
+}
+
+void ReqCheck::on_rmw(gidx i) {
+    check_element(i, "read-modify-write");
+    switch (launch_.requirements[req_].privilege) {
+        case Privilege::ReadWrite:
+        case Privilege::Reduce: // the reduction combine is exactly an RMW
+            break;
+        case Privilege::ReadOnly:
+            v_.violation(v_.describe_req(launch_, req_) + ": read-modify-write at index " +
+                         std::to_string(i) + " violates ReadOnly");
+            break;
+        case Privilege::WriteOnly:
+            // Accumulating into an element this task already wrote (e.g. a
+            // zero-initialized output) is fine; reading anything older is not.
+            if (!already_touched(i)) {
+                v_.violation(v_.describe_req(launch_, req_) + ": read-modify-write at index " +
+                             std::to_string(i) +
+                             " of WriteOnly data not yet written by this task");
+            }
+            break;
+    }
+    record(i);
+}
+
+void ReqCheck::note_whole_subset() {
+    used_ = true;
+    compacted_ = compacted_.set_union(launch_.requirements[req_].subset);
+}
+
+void ReqCheck::record(gidx i) {
+    if (has_cur_) {
+        if (i == cur_.hi) {
+            ++cur_.hi;
+            return;
+        }
+        if (cur_.contains(i)) return;
+        runs_.push_back(cur_);
+    }
+    cur_ = {i, i + 1};
+    has_cur_ = true;
+    if (runs_.size() >= 4096) compact();
+}
+
+bool ReqCheck::already_touched(gidx i) const {
+    if (has_cur_ && cur_.contains(i)) return true;
+    if (compacted_.contains(i)) return true;
+    return std::any_of(runs_.begin(), runs_.end(),
+                       [i](const Interval& iv) { return iv.contains(i); });
+}
+
+void ReqCheck::compact() {
+    if (runs_.empty()) return;
+    compacted_ = compacted_.set_union(IntervalSet::from_intervals(std::move(runs_)));
+    runs_.clear();
+}
+
+IntervalSet ReqCheck::touched() const {
+    std::vector<Interval> all = runs_;
+    if (has_cur_) all.push_back(cur_);
+    return compacted_.set_union(IntervalSet::from_intervals(std::move(all)));
+}
+
+// ----------------------------------------------------------------- Validator
+
+Validator::Validator(Runtime& rt, obs::Registry& metrics, bool warn_only)
+    : rt_(rt), warn_only_(warn_only) {
+    violation_ctr_ = &metrics.counter("privilege_violations");
+    race_ctr_ = &metrics.counter("race_pairs");
+    overdecl_ctr_ = &metrics.counter("overdeclared_reqs");
+    checked_ctr_ = &metrics.counter("validated_tasks");
+    preds_.emplace_back(); // seq 0 is unused (task seqs start at 1)
+    task_names_.emplace_back();
+}
+
+void Validator::note_task(TaskSeq seq, const TaskLaunch& launch, std::vector<TaskSeq> preds) {
+    std::sort(preds.begin(), preds.end());
+    preds.erase(std::unique(preds.begin(), preds.end()), preds.end());
+    if (preds_.size() <= seq) {
+        preds_.resize(static_cast<std::size_t>(seq) + 1);
+        task_names_.resize(static_cast<std::size_t>(seq) + 1);
+    }
+    preds_[static_cast<std::size_t>(seq)] = std::move(preds);
+    task_names_[static_cast<std::size_t>(seq)] = launch.name;
+}
+
+void Validator::begin_task(TaskSeq seq, const TaskLaunch& launch) {
+    cur_launch_ = &launch;
+    cur_seq_ = seq;
+    cur_checks_.clear();
+    cur_checks_.reserve(launch.requirements.size());
+    for (std::uint32_t i = 0; i < launch.requirements.size(); ++i) {
+        const RegionReq& rq = launch.requirements[i];
+        cur_checks_.emplace_back(*this, launch, i, rt_.region(rq.region).space().size());
+    }
+    ++tasks_checked_;
+    checked_ctr_->inc();
+}
+
+AccessHook* Validator::hook(std::uint32_t req_index) {
+    if (cur_launch_ == nullptr || req_index >= cur_checks_.size()) return nullptr;
+    return &cur_checks_[req_index];
+}
+
+void Validator::note_unscoped_field(RegionId r, FieldId f) {
+    if (cur_launch_ == nullptr) return;
+    bool declared = false;
+    for (std::uint32_t i = 0; i < cur_launch_->requirements.size(); ++i) {
+        const RegionReq& rq = cur_launch_->requirements[i];
+        if (rq.region == r && rq.field == f) {
+            cur_checks_[i].note_whole_subset();
+            declared = true;
+        }
+    }
+    if (!declared) {
+        violation("task '" + cur_launch_->name + "' accesses region '" +
+                  rt_.region(r).name() + "' field '" + rt_.region(r).field(f).name() +
+                  "' with no declared requirement");
+    }
+}
+
+void Validator::commit_task() {
+    const TaskLaunch& launch = *cur_launch_;
+    for (ReqCheck& c : cur_checks_) {
+        // Requirements the body never took an accessor for exist only for
+        // cost/dependence modeling (e.g. phantom matrix entries) — there is
+        // no actual access to check or lint.
+        if (!c.used()) continue;
+        const std::uint32_t i = c.req_index();
+        const RegionReq& rq = launch.requirements[i];
+        const IntervalSet touched = c.touched();
+        if (!touched.empty()) {
+            ShadowAccess acc{cur_seq_, launch.name, rq.redop, touched};
+            race_check(acc, rq.privilege, rq.region, rq.field);
+            shadow_commit(std::move(acc), rq.privilege, shadow_key(rq.region, rq.field));
+        }
+        const IntervalSet unused = rq.subset.set_difference(touched);
+        if (!unused.empty()) {
+            ++overdeclared_;
+            overdecl_ctr_->inc();
+            if (lint_seen_.insert(launch.name + "#" + std::to_string(i)).second) {
+                warn("over-declaration: " + describe_req(launch, i) + " declared " +
+                     set_to_string(rq.subset) + " but touched only " + set_to_string(touched) +
+                     " (" + std::to_string(unused.volume()) + " elements never accessed)");
+            }
+        }
+    }
+    cur_launch_ = nullptr;
+    cur_checks_.clear();
+}
+
+void Validator::abort_task() noexcept {
+    cur_launch_ = nullptr;
+    cur_checks_.clear();
+}
+
+void Validator::race_check(const ShadowAccess& committed, Privilege priv, RegionId r,
+                           FieldId f) {
+    auto it = shadow_.find(shadow_key(r, f));
+    if (it == shadow_.end()) return;
+    const ShadowField& sf = it->second;
+    auto check = [&](const std::vector<ShadowAccess>& list, bool same_redop_commutes) {
+        for (const ShadowAccess& a : list) {
+            if (a.task == cur_seq_) continue;
+            if (same_redop_commutes && a.redop == committed.redop) continue;
+            if (!a.touched.intersects(committed.touched)) continue;
+            if (path_exists(a.task, cur_seq_)) continue;
+            ++races_;
+            race_ctr_->inc();
+            warn("possible race: task '" + a.name + "' #" + std::to_string(a.task) +
+                 " and task '" + committed.name + "' #" + std::to_string(committed.task) +
+                 " have conflicting unordered accesses to region '" + rt_.region(r).name() +
+                 "' field '" + rt_.region(r).field(f).name() + "' over " +
+                 set_to_string(a.touched.set_intersection(committed.touched)));
+        }
+    };
+    switch (priv) {
+        case Privilege::ReadOnly:
+            check(sf.writers, false);
+            check(sf.reducers, false);
+            break;
+        case Privilege::WriteOnly:
+        case Privilege::ReadWrite:
+            check(sf.writers, false);
+            check(sf.readers, false);
+            check(sf.reducers, false);
+            break;
+        case Privilege::Reduce:
+            check(sf.writers, false);
+            check(sf.readers, false);
+            check(sf.reducers, true);
+            break;
+    }
+}
+
+void Validator::shadow_commit(ShadowAccess access, Privilege priv, std::uint64_t key) {
+    ShadowField& sf = shadow_[key];
+    // Mirrors the runtime's access-list bookkeeping (commit_requirement):
+    // same-subset accesses in one class coalesce to the newest task (the
+    // dependence machinery guarantees the recorded availability covers both),
+    // and a write retires everything it fully covers — the retiring task took
+    // a dependence on each retired access, so reachability is preserved.
+    auto coalesce = [&](std::vector<ShadowAccess>& list) {
+        for (ShadowAccess& a : list) {
+            if (a.redop == access.redop && a.touched == access.touched) {
+                a.task = access.task;
+                a.name = std::move(access.name);
+                return;
+            }
+        }
+        list.push_back(std::move(access));
+    };
+    auto drop_covered = [&](std::vector<ShadowAccess>& list) {
+        std::erase_if(list, [&](const ShadowAccess& a) {
+            return access.touched.contains_all(a.touched);
+        });
+    };
+    switch (priv) {
+        case Privilege::ReadOnly:
+            coalesce(sf.readers);
+            break;
+        case Privilege::WriteOnly:
+        case Privilege::ReadWrite:
+            drop_covered(sf.writers);
+            drop_covered(sf.readers);
+            drop_covered(sf.reducers);
+            sf.writers.push_back(std::move(access));
+            break;
+        case Privilege::Reduce:
+            coalesce(sf.reducers);
+            break;
+    }
+}
+
+void Validator::note_migration(RegionId r, FieldId f, const IntervalSet& piece) {
+    auto it = shadow_.find(shadow_key(r, f));
+    if (it == shadow_.end()) return;
+    // A migration republishes the range with a hard temporal fence (future
+    // readers wait for the moved data), so accesses it fully covers can no
+    // longer race with anything later.
+    auto scrub = [&](std::vector<ShadowAccess>& list) {
+        std::erase_if(list,
+                      [&](const ShadowAccess& a) { return piece.contains_all(a.touched); });
+    };
+    scrub(it->second.writers);
+    scrub(it->second.readers);
+    scrub(it->second.reducers);
+}
+
+bool Validator::path_exists(TaskSeq from, TaskSeq to) const {
+    if (from == to) return true;
+    std::vector<TaskSeq> stack{to};
+    std::unordered_set<TaskSeq> visited;
+    while (!stack.empty()) {
+        const TaskSeq t = stack.back();
+        stack.pop_back();
+        if (t >= preds_.size()) continue;
+        for (const TaskSeq p : preds_[static_cast<std::size_t>(t)]) {
+            if (p < from) continue; // preds precede their task: no path back up
+            if (p == from) return true;
+            if (visited.insert(p).second) stack.push_back(p);
+        }
+    }
+    return false;
+}
+
+void Validator::violation(const std::string& msg) {
+    ++violations_;
+    violation_ctr_->inc();
+    const std::string full = "privilege violation: " + msg;
+    if (!warn_only_) throw PrivilegeError(full);
+    warn(full);
+}
+
+void Validator::warn(const std::string& msg) {
+    if (warnings_.size() < kMaxWarnings) warnings_.push_back(msg);
+}
+
+std::string Validator::describe_req(const TaskLaunch& launch, std::uint32_t req_index) const {
+    const RegionReq& rq = launch.requirements[req_index];
+    std::ostringstream os;
+    os << "task '" << launch.name << "' req " << req_index << " (region '"
+       << rt_.region(rq.region).name() << "' field '"
+       << rt_.region(rq.region).field(rq.field).name() << "', "
+       << privilege_name(rq.privilege) << ")";
+    return os.str();
+}
+
+} // namespace kdr::rt

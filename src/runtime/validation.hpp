@@ -1,0 +1,189 @@
+#pragma once
+
+/// \file validation.hpp
+/// Validation mode: privilege-checked accessors and a shadow race detector.
+///
+/// Everything the runtime computes — dependences, transfers, trace replays,
+/// multi-operator interference — trusts that a task touches exactly the
+/// (region, field, subset, privilege) it declared. Validation mode checks
+/// that contract at element granularity:
+///
+///  * every access through a `TaskContext::accessor` view is bounds-checked
+///    against the declared subset and privilege (`PrivilegeError` on
+///    violation, naming the task, requirement, and offending index);
+///  * the *actual* touched set of every requirement is recorded, and a
+///    shadow race detector flags conflicting actual accesses between tasks
+///    with no DAG ordering path (under-declaration the dependence analysis
+///    could not see);
+///  * declared-but-never-touched elements are reported as over-declaration
+///    lint (inflated transfers and false dependences).
+///
+/// Counters land in the runtime's metrics registry as
+/// `privilege_violations`, `race_pairs`, and `overdeclared_reqs`.
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "geometry/accessor.hpp"
+#include "geometry/interval_set.hpp"
+#include "obs/registry.hpp"
+#include "runtime/types.hpp"
+#include "support/error.hpp"
+
+namespace kdr::rt {
+
+class Runtime;
+class Validator;
+
+/// Raised (in strict validation mode) when a task body breaks its declared
+/// access contract: wrong privilege, outside the declared subset, or an
+/// undeclared (region, field).
+class PrivilegeError : public Error {
+public:
+    explicit PrivilegeError(const std::string& what) : Error(what) {}
+};
+
+/// Per-(task, requirement) element-access checker. Installed as the
+/// `AccessHook` of the views a validating `TaskContext::accessor` hands out;
+/// records the actual touched set as it checks.
+class ReqCheck final : public AccessHook {
+public:
+    ReqCheck(Validator& v, const TaskLaunch& launch, std::uint32_t req_index,
+             gidx field_size);
+
+    void on_read(gidx i) override;
+    void on_write(gidx i) override;
+    void on_rmw(gidx i) override;
+
+    /// Conservative escape hatch for whole-field `ctx.field` access: marks
+    /// the entire declared subset as touched (no element-level checking).
+    void note_whole_subset();
+
+    [[nodiscard]] bool used() const noexcept { return used_; }
+    [[nodiscard]] std::uint32_t req_index() const noexcept { return req_; }
+    /// The actual touched set, coalesced.
+    [[nodiscard]] IntervalSet touched() const;
+
+private:
+    void check_element(gidx i, const char* verb);
+    void record(gidx i);
+    [[nodiscard]] bool already_touched(gidx i) const;
+    void compact();
+
+    Validator& v_;
+    const TaskLaunch& launch_;
+    std::uint32_t req_;
+    gidx field_size_;
+    bool used_ = false;
+
+    // Touched-set accumulator: a current run (kernels sweep intervals), a
+    // small buffer of closed runs, and a compacted IntervalSet the buffer
+    // periodically folds into so membership queries stay cheap.
+    Interval cur_{0, 0};
+    bool has_cur_ = false;
+    std::vector<Interval> runs_;
+    IntervalSet compacted_;
+};
+
+/// The per-runtime validation engine. Owns the task DAG (predecessor edges
+/// as resolved by dependence analysis), the shadow frontier of actual
+/// accesses per field, and the violation/race/lint tallies.
+class Validator {
+public:
+    Validator(Runtime& rt, obs::Registry& metrics, bool warn_only);
+
+    /// Record a launched task and its DAG predecessors (every access that
+    /// bounded its dependence time). Called for every launch, body or not.
+    void note_task(TaskSeq seq, const TaskLaunch& launch, std::vector<TaskSeq> preds);
+
+    /// Begin checking a task body: builds one ReqCheck per requirement.
+    void begin_task(TaskSeq seq, const TaskLaunch& launch);
+    /// Hook for requirement `req_index` of the task currently in flight
+    /// (null when no body is being checked).
+    [[nodiscard]] AccessHook* hook(std::uint32_t req_index);
+    /// Whole-field `ctx.field(r, f)` access from the task in flight: rejects
+    /// undeclared (region, field); otherwise marks every declared requirement
+    /// on that field as fully touched.
+    void note_unscoped_field(RegionId r, FieldId f);
+    /// Finish the task in flight: race-check its actual accesses against the
+    /// shadow frontier, fold them in, and emit over-declaration lint.
+    void commit_task();
+    /// Drop the task in flight without committing (body threw).
+    void abort_task() noexcept;
+
+    /// A home migration republishes `piece` with a hard temporal fence; the
+    /// shadow frontier forgets accesses it supersedes so they are not
+    /// reported as races against later tasks.
+    void note_migration(RegionId r, FieldId f, const IntervalSet& piece);
+
+    /// Record one contract violation: bumps `privilege_violations` and either
+    /// throws PrivilegeError (strict) or stores a warning (warn-only).
+    void violation(const std::string& msg);
+
+    [[nodiscard]] bool warn_only() const noexcept { return warn_only_; }
+    [[nodiscard]] std::uint64_t violations() const noexcept { return violations_; }
+    [[nodiscard]] std::uint64_t race_pairs() const noexcept { return races_; }
+    [[nodiscard]] std::uint64_t overdeclared() const noexcept { return overdeclared_; }
+    [[nodiscard]] std::uint64_t tasks_checked() const noexcept { return tasks_checked_; }
+    /// Human-readable diagnostics (violations in warn-only mode, races,
+    /// over-declaration lint), capped to keep long runs bounded.
+    [[nodiscard]] const std::vector<std::string>& warnings() const noexcept {
+        return warnings_;
+    }
+
+    /// Formats "task 'name' req N (region 'r' field 'f', Privilege)".
+    [[nodiscard]] std::string describe_req(const TaskLaunch& launch,
+                                           std::uint32_t req_index) const;
+
+private:
+    struct ShadowAccess {
+        TaskSeq task = 0;
+        std::string name;
+        ReductionOp redop = kNoReduction;
+        IntervalSet touched;
+    };
+    struct ShadowField {
+        std::vector<ShadowAccess> writers;
+        std::vector<ShadowAccess> readers;
+        std::vector<ShadowAccess> reducers;
+    };
+
+    void race_check(const ShadowAccess& committed, Privilege priv, RegionId r, FieldId f);
+    void shadow_commit(ShadowAccess access, Privilege priv, std::uint64_t key);
+    /// Is there a DAG path `from` ⇝ `to`? (`from` launched earlier.)
+    [[nodiscard]] bool path_exists(TaskSeq from, TaskSeq to) const;
+    void warn(const std::string& msg);
+
+    Runtime& rt_;
+    bool warn_only_;
+
+    // Task DAG, indexed by TaskSeq (seqs start at 1).
+    std::vector<std::vector<TaskSeq>> preds_;
+    std::vector<std::string> task_names_;
+
+    std::unordered_map<std::uint64_t, ShadowField> shadow_;
+
+    // Task in flight (body executing). ReqChecks are stable because the
+    // vector is sized once in begin_task.
+    const TaskLaunch* cur_launch_ = nullptr;
+    TaskSeq cur_seq_ = 0;
+    std::vector<ReqCheck> cur_checks_;
+
+    std::uint64_t violations_ = 0;
+    std::uint64_t races_ = 0;
+    std::uint64_t overdeclared_ = 0;
+    std::uint64_t tasks_checked_ = 0;
+    std::vector<std::string> warnings_;
+    std::unordered_set<std::string> lint_seen_; ///< dedupe lint per (task, req)
+    obs::Counter* violation_ctr_;
+    obs::Counter* race_ctr_;
+    obs::Counter* overdecl_ctr_;
+    obs::Counter* checked_ctr_;
+
+    static constexpr std::size_t kMaxWarnings = 200;
+};
+
+} // namespace kdr::rt

@@ -43,12 +43,12 @@ public:
 
     [[nodiscard]] const char* format_name() const override { return "transpose-view"; }
 
-    void multiply_add_piece(const IntervalSet& piece, std::span<const T> x,
-                            std::span<T> y) const override {
+    void multiply_add_piece(const IntervalSet& piece, VecView<const T> x,
+                            VecView<T> y) const override {
         base_->multiply_add_transpose_piece(piece, x, y);
     }
-    void multiply_add_transpose_piece(const IntervalSet& piece, std::span<const T> x,
-                                      std::span<T> y) const override {
+    void multiply_add_transpose_piece(const IntervalSet& piece, VecView<const T> x,
+                                      VecView<T> y) const override {
         base_->multiply_add_piece(piece, x, y);
     }
 
@@ -86,14 +86,14 @@ public:
 
     [[nodiscard]] const char* format_name() const override { return "scaled-view"; }
 
-    void multiply_add_piece(const IntervalSet& piece, std::span<const T> x,
-                            std::span<T> y) const override {
+    void multiply_add_piece(const IntervalSet& piece, VecView<const T> x,
+                            VecView<T> y) const override {
         // y += α (A x) over the piece: scale through a staging pass on the
         // affected rows. The affected rows are the piece's row image.
         scaled_apply(piece, x, y, /*transpose=*/false);
     }
-    void multiply_add_transpose_piece(const IntervalSet& piece, std::span<const T> x,
-                                      std::span<T> y) const override {
+    void multiply_add_transpose_piece(const IntervalSet& piece, VecView<const T> x,
+                                      VecView<T> y) const override {
         scaled_apply(piece, x, y, /*transpose=*/true);
     }
 
@@ -106,7 +106,7 @@ public:
     [[nodiscard]] T alpha() const { return alpha_; }
 
 private:
-    void scaled_apply(const IntervalSet& piece, std::span<const T> x, std::span<T> y,
+    void scaled_apply(const IntervalSet& piece, VecView<const T> x, VecView<T> y,
                       bool transpose) const {
         const IntervalSet rows = transpose ? base_->col_relation()->image_of(piece)
                                            : base_->row_relation()->image_of(piece);
@@ -158,12 +158,12 @@ public:
 
     [[nodiscard]] const char* format_name() const override { return "shifted-view"; }
 
-    void multiply_add_piece(const IntervalSet& piece, std::span<const T> x,
-                            std::span<T> y) const override {
+    void multiply_add_piece(const IntervalSet& piece, VecView<const T> x,
+                            VecView<T> y) const override {
         apply_split(piece, x, y, /*transpose=*/false);
     }
-    void multiply_add_transpose_piece(const IntervalSet& piece, std::span<const T> x,
-                                      std::span<T> y) const override {
+    void multiply_add_transpose_piece(const IntervalSet& piece, VecView<const T> x,
+                                      VecView<T> y) const override {
         apply_split(piece, x, y, /*transpose=*/true);
     }
 
@@ -193,7 +193,7 @@ private:
         col_rel_ = extend(*base_->col_relation());
     }
 
-    void apply_split(const IntervalSet& piece, std::span<const T> x, std::span<T> y,
+    void apply_split(const IntervalSet& piece, VecView<const T> x, VecView<T> y,
                      bool transpose) const {
         const gidx kbase = base_->kernel().size();
         const IntervalSet base_piece =

@@ -116,8 +116,8 @@ public:
     [[nodiscard]] gidx block_row_dim() const noexcept { return br_; }
     [[nodiscard]] gidx block_col_dim() const noexcept { return bd_; }
 
-    void multiply_add_piece(const IntervalSet& piece, std::span<const T> x,
-                            std::span<T> y) const override {
+    void multiply_add_piece(const IntervalSet& piece, VecView<const T> x,
+                            VecView<T> y) const override {
         this->check_vectors(x, y);
         const auto& bcols = base_col_rel_->targets();
         const gidx bvol = br_ * bd_;
@@ -135,8 +135,8 @@ public:
         });
     }
 
-    void multiply_add_transpose_piece(const IntervalSet& piece, std::span<const T> x,
-                                      std::span<T> y) const override {
+    void multiply_add_transpose_piece(const IntervalSet& piece, VecView<const T> x,
+                                      VecView<T> y) const override {
         this->check_vectors_transpose(x, y);
         const auto& bcols = base_col_rel_->targets();
         const gidx bvol = br_ * bd_;
@@ -277,8 +277,8 @@ public:
 
     [[nodiscard]] const char* format_name() const override { return "bcsc"; }
 
-    void multiply_add_piece(const IntervalSet& piece, std::span<const T> x,
-                            std::span<T> y) const override {
+    void multiply_add_piece(const IntervalSet& piece, VecView<const T> x,
+                            VecView<T> y) const override {
         this->check_vectors(x, y);
         const auto& brows = base_row_rel_->targets();
         const gidx bvol = br_ * bd_;
@@ -294,8 +294,8 @@ public:
         });
     }
 
-    void multiply_add_transpose_piece(const IntervalSet& piece, std::span<const T> x,
-                                      std::span<T> y) const override {
+    void multiply_add_transpose_piece(const IntervalSet& piece, VecView<const T> x,
+                                      VecView<T> y) const override {
         this->check_vectors_transpose(x, y);
         const auto& brows = base_row_rel_->targets();
         const gidx bvol = br_ * bd_;

@@ -99,13 +99,13 @@ public:
     [[nodiscard]] const char* format_name() const override { return "block-diagonal"; }
     [[nodiscard]] std::size_t block_count() const noexcept { return blocks_.size(); }
 
-    void multiply_add_piece(const IntervalSet& piece, std::span<const T> x,
-                            std::span<T> y) const override {
+    void multiply_add_piece(const IntervalSet& piece, VecView<const T> x,
+                            VecView<T> y) const override {
         this->check_vectors(x, y);
         apply(piece, x, y, /*transpose=*/false);
     }
-    void multiply_add_transpose_piece(const IntervalSet& piece, std::span<const T> x,
-                                      std::span<T> y) const override {
+    void multiply_add_transpose_piece(const IntervalSet& piece, VecView<const T> x,
+                                      VecView<T> y) const override {
         this->check_vectors_transpose(x, y);
         apply(piece, x, y, /*transpose=*/true);
     }
@@ -148,7 +148,7 @@ private:
         col_rel_ = std::make_shared<MaterializedRelation>(kernel_, space_, std::move(col_pairs));
     }
 
-    void apply(const IntervalSet& piece, std::span<const T> x, std::span<T> y,
+    void apply(const IntervalSet& piece, VecView<const T> x, VecView<T> y,
                bool transpose) const {
         gidx base = 0;
         for (const Block& blk : blocks_) {

@@ -64,8 +64,8 @@ public:
 
     [[nodiscard]] const char* format_name() const override { return "coo"; }
 
-    void multiply_add_piece(const IntervalSet& piece, std::span<const T> x,
-                            std::span<T> y) const override {
+    void multiply_add_piece(const IntervalSet& piece, VecView<const T> x,
+                            VecView<T> y) const override {
         this->check_vectors(x, y);
         const auto& rows = row_rel_->targets();
         const auto& cols = col_rel_->targets();
@@ -78,8 +78,8 @@ public:
         });
     }
 
-    void multiply_add_transpose_piece(const IntervalSet& piece, std::span<const T> x,
-                                      std::span<T> y) const override {
+    void multiply_add_transpose_piece(const IntervalSet& piece, VecView<const T> x,
+                                      VecView<T> y) const override {
         this->check_vectors_transpose(x, y);
         const auto& rows = row_rel_->targets();
         const auto& cols = col_rel_->targets();

@@ -68,8 +68,8 @@ public:
 
     [[nodiscard]] const char* format_name() const override { return "csr"; }
 
-    void multiply_add_piece(const IntervalSet& piece, std::span<const T> x,
-                            std::span<T> y) const override {
+    void multiply_add_piece(const IntervalSet& piece, VecView<const T> x,
+                            VecView<T> y) const override {
         this->check_vectors(x, y);
         const auto& rowptr = row_rel_->offsets();
         const auto& cols = col_rel_->targets();
@@ -86,8 +86,8 @@ public:
         });
     }
 
-    void multiply_add_transpose_piece(const IntervalSet& piece, std::span<const T> x,
-                                      std::span<T> y) const override {
+    void multiply_add_transpose_piece(const IntervalSet& piece, VecView<const T> x,
+                                      VecView<T> y) const override {
         this->check_vectors_transpose(x, y);
         const auto& rowptr = row_rel_->offsets();
         const auto& cols = col_rel_->targets();

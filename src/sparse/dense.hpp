@@ -54,8 +54,8 @@ public:
 
     [[nodiscard]] const char* format_name() const override { return "dense"; }
 
-    void multiply_add_piece(const IntervalSet& piece, std::span<const T> x,
-                            std::span<T> y) const override {
+    void multiply_add_piece(const IntervalSet& piece, VecView<const T> x,
+                            VecView<T> y) const override {
         this->check_vectors(x, y);
         const gidx d = domain_.size();
         piece.for_each_interval([&](const Interval& iv) {
@@ -66,8 +66,8 @@ public:
         });
     }
 
-    void multiply_add_transpose_piece(const IntervalSet& piece, std::span<const T> x,
-                                      std::span<T> y) const override {
+    void multiply_add_transpose_piece(const IntervalSet& piece, VecView<const T> x,
+                                      VecView<T> y) const override {
         this->check_vectors_transpose(x, y);
         const gidx d = domain_.size();
         piece.for_each_interval([&](const Interval& iv) {

@@ -76,8 +76,8 @@ public:
     [[nodiscard]] const char* format_name() const override { return "dia"; }
     [[nodiscard]] const std::vector<gidx>& diagonal_offsets() const noexcept { return offsets_; }
 
-    void multiply_add_piece(const IntervalSet& piece, std::span<const T> x,
-                            std::span<T> y) const override {
+    void multiply_add_piece(const IntervalSet& piece, VecView<const T> x,
+                            VecView<T> y) const override {
         this->check_vectors(x, y);
         const gidx d = domain_.size();
         const gidx r = range_.size();
@@ -93,8 +93,8 @@ public:
         });
     }
 
-    void multiply_add_transpose_piece(const IntervalSet& piece, std::span<const T> x,
-                                      std::span<T> y) const override {
+    void multiply_add_transpose_piece(const IntervalSet& piece, VecView<const T> x,
+                                      VecView<T> y) const override {
         this->check_vectors_transpose(x, y);
         const gidx d = domain_.size();
         const gidx r = range_.size();

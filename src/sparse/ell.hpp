@@ -77,8 +77,8 @@ public:
     [[nodiscard]] const char* format_name() const override { return "ell"; }
     [[nodiscard]] gidx slots_per_row() const noexcept { return slots_; }
 
-    void multiply_add_piece(const IntervalSet& piece, std::span<const T> x,
-                            std::span<T> y) const override {
+    void multiply_add_piece(const IntervalSet& piece, VecView<const T> x,
+                            VecView<T> y) const override {
         this->check_vectors(x, y);
         const auto& cols = col_rel_->targets();
         piece.for_each_interval([&](const Interval& iv) {
@@ -92,8 +92,8 @@ public:
         });
     }
 
-    void multiply_add_transpose_piece(const IntervalSet& piece, std::span<const T> x,
-                                      std::span<T> y) const override {
+    void multiply_add_transpose_piece(const IntervalSet& piece, VecView<const T> x,
+                                      VecView<T> y) const override {
         this->check_vectors_transpose(x, y);
         const auto& cols = col_rel_->targets();
         piece.for_each_interval([&](const Interval& iv) {
@@ -181,8 +181,8 @@ public:
     [[nodiscard]] const char* format_name() const override { return "ellt"; }
     [[nodiscard]] gidx slots_per_col() const noexcept { return slots_; }
 
-    void multiply_add_piece(const IntervalSet& piece, std::span<const T> x,
-                            std::span<T> y) const override {
+    void multiply_add_piece(const IntervalSet& piece, VecView<const T> x,
+                            VecView<T> y) const override {
         this->check_vectors(x, y);
         const auto& rows = row_rel_->targets();
         piece.for_each_interval([&](const Interval& iv) {
@@ -196,8 +196,8 @@ public:
         });
     }
 
-    void multiply_add_transpose_piece(const IntervalSet& piece, std::span<const T> x,
-                                      std::span<T> y) const override {
+    void multiply_add_transpose_piece(const IntervalSet& piece, VecView<const T> x,
+                                      VecView<T> y) const override {
         this->check_vectors_transpose(x, y);
         const auto& rows = row_rel_->targets();
         piece.for_each_interval([&](const Interval& iv) {

@@ -16,6 +16,7 @@
 #include <span>
 #include <vector>
 
+#include "geometry/accessor.hpp"
 #include "geometry/index_space.hpp"
 #include "geometry/interval_set.hpp"
 #include "partition/relation.hpp"
@@ -55,24 +56,26 @@ public:
     /// Human-readable format name ("csr", "coo", ...).
     [[nodiscard]] virtual const char* format_name() const = 0;
 
-    /// y += A x over the whole kernel space.
-    virtual void multiply_add(std::span<const T> x, std::span<T> y) const {
+    /// y += A x over the whole kernel space. Vectors arrive as `VecView`s so
+    /// the runtime can hand kernels privilege-checked accessors in validation
+    /// mode; plain spans and vectors convert implicitly (hook-free).
+    virtual void multiply_add(VecView<const T> x, VecView<T> y) const {
         multiply_add_piece(kernel().universe(), x, y);
     }
 
     /// y += Aᵀ x over the whole kernel space (adjoint for real entries).
-    virtual void multiply_add_transpose(std::span<const T> x, std::span<T> y) const {
+    virtual void multiply_add_transpose(VecView<const T> x, VecView<T> y) const {
         multiply_add_transpose_piece(kernel().universe(), x, y);
     }
 
     /// y += A x restricted to the kernel subset `piece` — the unit of work an
     /// index-task launch dispatches per color.
-    virtual void multiply_add_piece(const IntervalSet& piece, std::span<const T> x,
-                                    std::span<T> y) const = 0;
+    virtual void multiply_add_piece(const IntervalSet& piece, VecView<const T> x,
+                                    VecView<T> y) const = 0;
 
     /// y += Aᵀ x restricted to a kernel subset.
-    virtual void multiply_add_transpose_piece(const IntervalSet& piece, std::span<const T> x,
-                                              std::span<T> y) const = 0;
+    virtual void multiply_add_transpose_piece(const IntervalSet& piece, VecView<const T> x,
+                                              VecView<T> y) const = 0;
 
     /// Emit every nonzero as a (row, col, value) triplet. Aliased entries are
     /// emitted once per (row, col) placement.
@@ -93,13 +96,13 @@ public:
     }
 
 protected:
-    void check_vectors(std::span<const T> x, std::span<T> y) const {
+    void check_vectors(VecView<const T> x, VecView<T> y) const {
         KDR_REQUIRE(static_cast<gidx>(x.size()) == domain().size(),
                     "multiply_add: |x| ", x.size(), " != |D| ", domain().size());
         KDR_REQUIRE(static_cast<gidx>(y.size()) == range().size(), "multiply_add: |y| ",
                     y.size(), " != |R| ", range().size());
     }
-    void check_vectors_transpose(std::span<const T> x, std::span<T> y) const {
+    void check_vectors_transpose(VecView<const T> x, VecView<T> y) const {
         KDR_REQUIRE(static_cast<gidx>(x.size()) == range().size(),
                     "multiply_add_transpose: |x| ", x.size(), " != |R| ", range().size());
         KDR_REQUIRE(static_cast<gidx>(y.size()) == domain().size(),

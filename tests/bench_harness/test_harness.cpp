@@ -5,10 +5,20 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <string_view>
+
 #include "harness.hpp"
 
 namespace kdr::bench {
 namespace {
+
+/// KDR_VALIDATE pins traces to the full-analysis replay path, so fast-path
+/// counters and timing comparisons do not apply under validation.
+bool validation_forced() {
+    const char* e = std::getenv("KDR_VALIDATE");
+    return e != nullptr && *e != '\0' && std::string_view(e) != "0";
+}
 
 TEST(BenchHarness, BuildsTimingSystemForEveryStencil) {
     const sim::MachineDesc machine = sim::MachineDesc::lassen(2);
@@ -24,6 +34,7 @@ TEST(BenchHarness, BuildsTimingSystemForEveryStencil) {
 }
 
 TEST(BenchHarness, TraceModeSelectsRuntimeAndPlannerOptions) {
+    if (validation_forced()) GTEST_SKIP() << "validation disables the trace fast path";
     const sim::MachineDesc machine = sim::MachineDesc::lassen(2);
     const stencil::Spec spec = stencil::Spec::cube(stencil::Kind::D2P5, 1 << 12);
     {
@@ -76,6 +87,7 @@ TEST(BenchHarness, MeasureReturnsSteadyStatePerIteration) {
 }
 
 TEST(BenchHarness, TracedMeasurementIsNoSlower) {
+    if (validation_forced()) GTEST_SKIP() << "validation disables the trace fast path";
     const sim::MachineDesc machine = sim::MachineDesc::lassen(2);
     auto measure = [&](const stencil::Spec& spec, TraceMode mode) {
         LegionStencilSystem sys = make_legion_stencil(spec, machine, 8, mode);

@@ -2,12 +2,21 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <memory>
+#include <string_view>
 
 #include "stencil/stencil.hpp"
 
 namespace kdr::core {
 namespace {
+
+/// See test_timing_mode.cpp: KDR_VALIDATE forces the full-analysis replay
+/// path, so fast-path timing comparisons do not apply.
+bool validation_forced() {
+    const char* e = std::getenv("KDR_VALIDATE");
+    return e != nullptr && *e != '\0' && std::string_view(e) != "0";
+}
 
 struct ExtraSetup {
     std::unique_ptr<rt::Runtime> runtime;
@@ -79,6 +88,7 @@ TEST(PipelinedCg, MatchesCgIterateCount) {
 }
 
 TEST(PipelinedCg, HidesReductionLatencyAtSmallSizes) {
+    if (validation_forced()) GTEST_SKIP() << "validation disables the trace fast path";
     // The structural point of pipelining: at latency-bound sizes, the two
     // reductions overlap the matvec, so virtual time per iteration drops
     // below standard CG on the same machine. Measure with exaggerated

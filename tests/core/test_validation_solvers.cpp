@@ -1,0 +1,121 @@
+/// Validation-mode runs of the shipped solver stack: every kernel the
+/// planner launches (BLAS-1 pieces, fused update+reduce, SpMV dispatch,
+/// Jacobi preconditioner application, multi-operator Reduce accumulation)
+/// must honor its declared (subset, privilege) contract exactly — zero
+/// privilege violations, zero shadow races, zero over-declared requirements
+/// — and produce bitwise-identical residual histories to release mode.
+/// These are the positive controls for tests/runtime/test_validation.cpp.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "golden_setup.hpp"
+
+namespace kdr::core {
+namespace {
+
+rt::RuntimeOptions validating_options() {
+    rt::RuntimeOptions o;
+    // warn-only: a contract bug fails the assertions below with the full
+    // diagnostic list instead of aborting the solve at the first violation.
+    o.validate_warn_only = true;
+    return o;
+}
+
+void expect_clean(rt::Runtime& runtime, const std::string& what) {
+    ASSERT_TRUE(runtime.validating());
+    const rt::Validator& v = *runtime.validator();
+    std::ostringstream diag;
+    for (const std::string& w : v.warnings()) diag << "  " << w << "\n";
+    EXPECT_EQ(v.violations(), 0u) << what << " privilege violations:\n" << diag.str();
+    EXPECT_EQ(v.race_pairs(), 0u) << what << " races:\n" << diag.str();
+    EXPECT_EQ(v.overdeclared(), 0u) << what << " over-declarations:\n" << diag.str();
+    EXPECT_GT(v.tasks_checked(), 0u) << what << ": validation never saw a task body";
+}
+
+struct Config {
+    bool trace;
+    bool fused;
+};
+
+void run_validated(const std::string& solver, Config cfg) {
+    SCOPED_TRACE(solver + (cfg.trace ? " traced" : " untraced") +
+                 (cfg.fused ? " fused" : " unfused"));
+    rt::Runtime runtime(sim::MachineDesc::lassen(2), validating_options());
+    const std::vector<double> validated =
+        golden::run_history_on(runtime, solver, cfg.trace, cfg.fused);
+    expect_clean(runtime, solver);
+
+    // Element-checked accessors must not perturb the arithmetic: the
+    // validated history is bitwise-identical to the release-mode run.
+    const std::vector<double> plain = golden::run_history(solver, cfg.trace, cfg.fused);
+    ASSERT_EQ(validated.size(), plain.size());
+    for (std::size_t i = 0; i < plain.size(); ++i) {
+        EXPECT_EQ(validated[i], plain[i]) << solver << " diverged at iteration " << i;
+    }
+}
+
+TEST(ValidationSolvers, AllGoldenSolversRunCleanTracedFused) {
+    for (const std::string& solver : golden::solver_names()) {
+        run_validated(solver, {/*trace=*/true, /*fused=*/true});
+    }
+}
+
+TEST(ValidationSolvers, CgRunsCleanInEveryPlannerConfig) {
+    run_validated("cg", {false, false});
+    run_validated("cg", {false, true});
+    run_validated("cg", {true, false});
+}
+
+TEST(ValidationSolvers, PreconditionedSolverRunsCleanUnfused) {
+    // PCG unfused exercises the separate apply-preconditioner + dot kernels.
+    run_validated("pcg", {true, false});
+}
+
+TEST(ValidationSolvers, MultiOperatorImplicitSumRunsClean) {
+    // Two operators feeding the same rhs component: the second SpMV
+    // dispatches with Reduce privilege and folds into the first result.
+    // This is the path where a fetch-for-Reduce or an over-wide reducer
+    // declaration would surface.
+    const gidx n = 24;
+    std::vector<Triplet<double>> base;
+    for (gidx i = 0; i < n; ++i) {
+        if (i > 0) base.push_back({i, i - 1, -1.0});
+        base.push_back({i, i, 4.0});
+        if (i < n - 1) base.push_back({i, i + 1, -1.0});
+    }
+    const std::vector<Triplet<double>> delta = {{3, 3, 1.5}, {10, 11, -0.5}, {11, 10, -0.5}};
+
+    rt::Runtime runtime(sim::MachineDesc::lassen(2), validating_options());
+    const IndexSpace D = IndexSpace::create(n, "D");
+    auto A0 = std::make_shared<CsrMatrix<double>>(CsrMatrix<double>::from_triplets(D, D, base));
+    auto dA = std::make_shared<CsrMatrix<double>>(CsrMatrix<double>::from_triplets(D, D, delta));
+
+    const rt::RegionId xr = runtime.create_region(D, "x");
+    const rt::RegionId br = runtime.create_region(D, "b");
+    const rt::FieldId xf = runtime.add_field<double>(xr, "v");
+    const rt::FieldId bf = runtime.add_field<double>(br, "v");
+    const auto b = stencil::random_rhs(n, 300);
+    {
+        auto bd = runtime.field_data<double>(br, bf);
+        std::copy(b.begin(), b.end(), bd.begin());
+    }
+
+    Planner<double> planner(runtime);
+    planner.add_sol_vector(xr, xf, Partition::equal(D, 2));
+    planner.add_rhs_vector(br, bf, Partition::equal(D, 2));
+    planner.add_operator(A0, 0, 0);
+    planner.add_operator(dA, 0, 0); // implicit sum: Reduce-privilege SpMV
+
+    CgSolver<double> cg(planner);
+    const int iters = solve_to_tolerance(cg, 1e-10, 300);
+    EXPECT_LT(iters, 300);
+    expect_clean(runtime, "multi-op cg");
+}
+
+} // namespace
+} // namespace kdr::core

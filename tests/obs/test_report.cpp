@@ -37,6 +37,8 @@ SolveReport sample_report() {
     r.transfer_count = 4;
     r.phases = {{"spmv", 10, 0.9}, {"setup", 1, 0.1}};
     r.convergence = {{0, 1.0, 0.0}, {1, 0.25, 0.5}};
+    r.validation = {/*enabled=*/true, /*tasks_checked=*/40, /*violations=*/1,
+                    /*race_pairs=*/2, /*overdeclared=*/3};
     return r;
 }
 
@@ -50,6 +52,12 @@ TEST(SolveReport, JsonRoundTripPreservesEveryField) {
     EXPECT_DOUBLE_EQ(back.load_imbalance, r.load_imbalance);
     EXPECT_DOUBLE_EQ(back.transfer_bytes, r.transfer_bytes);
     EXPECT_EQ(back.transfer_count, r.transfer_count);
+
+    EXPECT_EQ(back.validation.enabled, r.validation.enabled);
+    EXPECT_EQ(back.validation.tasks_checked, r.validation.tasks_checked);
+    EXPECT_EQ(back.validation.violations, r.validation.violations);
+    EXPECT_EQ(back.validation.race_pairs, r.validation.race_pairs);
+    EXPECT_EQ(back.validation.overdeclared, r.validation.overdeclared);
 
     ASSERT_EQ(back.task_kinds.size(), r.task_kinds.size());
     for (std::size_t i = 0; i < r.task_kinds.size(); ++i) {
@@ -108,6 +116,8 @@ TEST(SolveReport, PrintRendersAllSections) {
     EXPECT_NE(text.find("spmv"), std::string::npos);
     EXPECT_NE(text.find("imbalance"), std::string::npos);
     EXPECT_NE(text.find("node"), std::string::npos);
+    EXPECT_NE(text.find("validation:"), std::string::npos);
+    EXPECT_NE(text.find("race pairs"), std::string::npos);
 }
 
 // ------------------------------------------------------------- integration

@@ -14,6 +14,12 @@
 namespace kdr::rt {
 namespace {
 
+/// Validation mode pins every trace to the full-analysis replay path (the
+/// shadow race detector audits resolved dependence edges), so assertions
+/// about capture/fast-path phases cannot hold under KDR_VALIDATE.
+#define KDR_SKIP_IF_VALIDATING()                                                   \
+    if (rt.validating()) GTEST_SKIP() << "validation forces the full-analysis replay path"
+
 struct TraceFixture : ::testing::Test {
     sim::MachineDesc machine = [] {
         sim::MachineDesc m = sim::MachineDesc::lassen(1);
@@ -42,6 +48,7 @@ struct TraceFixture : ::testing::Test {
 };
 
 TEST_F(TraceFixture, OverheadDropsOnceScheduleIsCaptured) {
+    KDR_SKIP_IF_VALIDATING();
     rt.begin_trace(1);
     const double recording = iteration("step");
     rt.end_trace();
@@ -61,6 +68,7 @@ TEST_F(TraceFixture, OverheadDropsOnceScheduleIsCaptured) {
 }
 
 TEST_F(TraceFixture, ReplayRepeatsManyTimes) {
+    KDR_SKIP_IF_VALIDATING();
     rt.begin_trace(7);
     iteration("step");
     rt.end_trace();
@@ -73,6 +81,7 @@ TEST_F(TraceFixture, ReplayRepeatsManyTimes) {
 }
 
 TEST_F(TraceFixture, ThirdInstanceSkipsDependenceAnalysis) {
+    KDR_SKIP_IF_VALIDATING();
     for (int i = 0; i < 2; ++i) { // record, then capture (analysis still runs)
         rt.begin_trace(1);
         iteration("step");
@@ -117,6 +126,7 @@ TEST_F(TraceFixture, OutsideTracePaysDynamicOverhead) {
 }
 
 TEST_F(TraceFixture, DivergentReplayRerecordsGracefully) {
+    KDR_SKIP_IF_VALIDATING();
     rt.begin_trace(2);
     iteration("a");
     rt.end_trace();
@@ -137,6 +147,7 @@ TEST_F(TraceFixture, DivergentReplayRerecordsGracefully) {
 }
 
 TEST_F(TraceFixture, ShortReplayAdoptsVerifiedPrefix) {
+    KDR_SKIP_IF_VALIDATING();
     rt.begin_trace(3);
     iteration("a");
     iteration("a2");
@@ -156,6 +167,7 @@ TEST_F(TraceFixture, ShortReplayAdoptsVerifiedPrefix) {
 }
 
 TEST_F(TraceFixture, ExtraLaunchExtendsTheTrace) {
+    KDR_SKIP_IF_VALIDATING();
     rt.begin_trace(4);
     iteration("a");
     rt.end_trace();
@@ -177,6 +189,7 @@ TEST_F(TraceFixture, ExtraLaunchExtendsTheTrace) {
 }
 
 TEST_F(TraceFixture, StructureChangeInvalidatesCapturedSchedule) {
+    KDR_SKIP_IF_VALIDATING();
     for (int i = 0; i < 3; ++i) { // through to a fast instance
         rt.begin_trace(6);
         iteration("step");
@@ -198,6 +211,7 @@ TEST_F(TraceFixture, StructureChangeInvalidatesCapturedSchedule) {
 }
 
 TEST_F(TraceFixture, UntracedLaunchBetweenInstancesForcesRecapture) {
+    KDR_SKIP_IF_VALIDATING();
     for (int i = 0; i < 3; ++i) {
         rt.begin_trace(8);
         iteration("step");

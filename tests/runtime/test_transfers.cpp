@@ -87,6 +87,26 @@ TEST_F(XferFixture, OffHomeWriteChargesWriteBack) {
     EXPECT_NEAR(rd.ready_time, kFullXfer, 1e-12);
 }
 
+TEST_F(XferFixture, NonReadingPrivilegesNeverFetch) {
+    // WriteOnly produces fresh data and a Reduce instance starts from the
+    // reduction identity, folding its contribution in via write-back — so a
+    // remote task holding either privilege issues exactly one transfer (the
+    // write-back), never a fetch. Fetching for Reduce used to double-charge
+    // every reduction task with a halo it never reads.
+    TaskLaunch red;
+    red.name = "reduce";
+    red.color = 1; // remote: field homed on node 0
+    red.requirements.push_back({r, f, Privilege::Reduce, IntervalSet(0, kN), kSumReduction});
+    rt.launch(std::move(red));
+    EXPECT_EQ(rt.transfer_count(), 1u) << "Reduce must write back without fetching";
+    EXPECT_DOUBLE_EQ(rt.transfer_bytes(), kN * 8.0);
+
+    const auto after_reduce = rt.transfer_count();
+    run_on(1, Privilege::WriteOnly, IntervalSet(0, kN));
+    EXPECT_EQ(rt.transfer_count(), after_reduce + 1)
+        << "WriteOnly must write back without fetching";
+}
+
 TEST_F(XferFixture, MoveHomeChargesMigrationAndRedirects) {
     run_on(0, Privilege::WriteOnly, IntervalSet(0, kN));
     const auto before = rt.transfer_bytes();

@@ -1,0 +1,381 @@
+/// Validation-mode tests: typed requirement-scoped accessors must reject
+/// every access outside the declared (subset, privilege) contract with a
+/// diagnostic naming the task, requirement, and index; the shadow race
+/// detector must flag conflicting actual accesses between DAG-unordered
+/// tasks; over-declared subsets must be linted; and the field type tag must
+/// reject same-size reinterpretation. Deliberately broken kernels here are
+/// the negative controls for the clean solver runs in
+/// tests/core/test_validation_solvers.cpp.
+
+#include "runtime/validation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "runtime/runtime.hpp"
+#include "support/error.hpp"
+
+namespace kdr::rt {
+namespace {
+
+struct ValidationFixture : ::testing::Test {
+    static RuntimeOptions strict() {
+        RuntimeOptions o;
+        o.validate = true;
+        return o;
+    }
+    static RuntimeOptions warn_only() {
+        RuntimeOptions o;
+        o.validate_warn_only = true;
+        return o;
+    }
+
+    void make(const RuntimeOptions& opts) {
+        rt = std::make_unique<Runtime>(sim::MachineDesc::lassen(1), opts);
+        r = rt->create_region(IndexSpace::create(16, "D"), "vec");
+        f = rt->add_field<double>(r, "v");
+    }
+
+    TaskLaunch task(std::string name, Privilege priv, IntervalSet subset,
+                    std::function<void(TaskContext&)> body, ReductionOp redop = kNoReduction) {
+        TaskLaunch l;
+        l.name = std::move(name);
+        l.requirements.push_back({r, f, priv, std::move(subset), redop});
+        l.body = std::move(body);
+        return l;
+    }
+
+    /// Launch and return the PrivilegeError message the body triggers.
+    std::string launch_expect_violation(TaskLaunch l) {
+        try {
+            rt->launch(std::move(l));
+        } catch (const PrivilegeError& e) {
+            return e.what();
+        }
+        ADD_FAILURE() << "expected a PrivilegeError";
+        return {};
+    }
+
+    std::unique_ptr<Runtime> rt;
+    RegionId r{};
+    FieldId f{};
+};
+
+// --------------------------------------------------------- subset contract
+
+TEST_F(ValidationFixture, WriteOutsideDeclaredSubsetNamesTaskReqAndIndex) {
+    make(strict());
+    const std::string msg =
+        launch_expect_violation(task("under", Privilege::ReadWrite, IntervalSet(0, 8),
+                                     [](TaskContext& ctx) {
+                                         auto v = ctx.accessor<double>(0);
+                                         v[12] = 1.0; // declared [0,8), touches 12
+                                     }));
+    EXPECT_NE(msg.find("privilege violation"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("task 'under' req 0 (region 'vec' field 'v', ReadWrite)"),
+              std::string::npos)
+        << msg;
+    EXPECT_NE(msg.find("write at index 12"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("outside the declared subset {[0,8)}"), std::string::npos) << msg;
+    EXPECT_EQ(rt->metrics().counter_value("privilege_violations"), 1.0);
+}
+
+TEST_F(ValidationFixture, ReadOutsideDeclaredSubsetIsRejected) {
+    make(strict());
+    const std::string msg = launch_expect_violation(
+        task("reader", Privilege::ReadOnly, IntervalSet(4, 8), [](TaskContext& ctx) {
+            auto v = ctx.accessor<const double>(0);
+            (void)v[2];
+        }));
+    EXPECT_NE(msg.find("read at index 2 outside the declared subset {[4,8)}"),
+              std::string::npos)
+        << msg;
+}
+
+TEST_F(ValidationFixture, InSubsetAccessesPassCleanly) {
+    make(strict());
+    rt->launch(task("ok", Privilege::ReadWrite, IntervalSet(0, 8), [](TaskContext& ctx) {
+        auto v = ctx.accessor<double>(0);
+        for (std::size_t i = 0; i < 8; ++i) v[i] = static_cast<double>(i);
+        for (std::size_t i = 0; i < 8; ++i) v[i] += 1.0;
+    }));
+    EXPECT_EQ(rt->metrics().counter_value("privilege_violations"), 0.0);
+    EXPECT_EQ(rt->metrics().counter_value("validated_tasks"), 1.0);
+    auto data = rt->field_data<double>(r, f);
+    EXPECT_DOUBLE_EQ(data[3], 4.0);
+}
+
+// ------------------------------------------------------ privilege contract
+
+TEST_F(ValidationFixture, WriteThroughReadOnlyIsRejected) {
+    make(strict());
+    const std::string msg = launch_expect_violation(
+        task("ro_writer", Privilege::ReadOnly, IntervalSet(0, 16), [](TaskContext& ctx) {
+            auto v = ctx.accessor<double>(0); // mutable view over a ReadOnly req
+            v[3] = 7.0;
+        }));
+    EXPECT_NE(msg.find("write at index 3 violates ReadOnly"), std::string::npos) << msg;
+}
+
+TEST_F(ValidationFixture, RmwThroughReadOnlyIsRejected) {
+    make(strict());
+    const std::string msg = launch_expect_violation(
+        task("ro_rmw", Privilege::ReadOnly, IntervalSet(0, 16), [](TaskContext& ctx) {
+            auto v = ctx.accessor<double>(0);
+            v[5] += 1.0;
+        }));
+    EXPECT_NE(msg.find("read-modify-write at index 5 violates ReadOnly"), std::string::npos)
+        << msg;
+}
+
+TEST_F(ValidationFixture, ReadOfWriteOnlyDataBeforeWritingIsRejected) {
+    make(strict());
+    const std::string msg = launch_expect_violation(
+        task("wo_reader", Privilege::WriteOnly, IntervalSet(0, 16), [](TaskContext& ctx) {
+            auto v = ctx.accessor<double>(0);
+            (void)static_cast<double>(v[9]); // read-before-write
+        }));
+    EXPECT_NE(msg.find("read at index 9 of WriteOnly data not yet written by this task"),
+              std::string::npos)
+        << msg;
+}
+
+TEST_F(ValidationFixture, WriteOnlyMayReadBackItsOwnWrites) {
+    // The matmul β=0 pattern: zero-initialize, then accumulate. Reading or
+    // RMW-ing an element this task already wrote is legal under WriteOnly.
+    make(strict());
+    rt->launch(task("wo_accum", Privilege::WriteOnly, IntervalSet(0, 16),
+                    [](TaskContext& ctx) {
+                        auto v = ctx.accessor<double>(0);
+                        for (std::size_t i = 0; i < 16; ++i) v[i] = 0.0;
+                        for (std::size_t i = 0; i < 16; ++i) v[i] += 2.0;
+                    }));
+    EXPECT_EQ(rt->metrics().counter_value("privilege_violations"), 0.0);
+}
+
+TEST_F(ValidationFixture, ReducePermitsRmwButRejectsPlainReadAndWrite) {
+    make(strict());
+    rt->launch(task("red_ok", Privilege::Reduce, IntervalSet(0, 16),
+                    [](TaskContext& ctx) {
+                        auto v = ctx.accessor<double>(0);
+                        v[1] += 0.5; // the reduction combine is exactly an RMW
+                    },
+                    kSumReduction));
+    EXPECT_EQ(rt->metrics().counter_value("privilege_violations"), 0.0);
+
+    const std::string wmsg = launch_expect_violation(
+        task("red_writer", Privilege::Reduce, IntervalSet(0, 16),
+             [](TaskContext& ctx) {
+                 auto v = ctx.accessor<double>(0);
+                 v[2] = 1.0;
+             },
+             kSumReduction));
+    EXPECT_NE(wmsg.find("non-reduction write at index 2 violates Reduce"), std::string::npos)
+        << wmsg;
+}
+
+// -------------------------------------------------- undeclared and bounds
+
+TEST_F(ValidationFixture, UndeclaredFieldAccessIsRejected) {
+    make(strict());
+    const FieldId g = rt->add_field<double>(r, "other");
+    TaskLaunch l = task("sneaky", Privilege::ReadWrite, IntervalSet(0, 16),
+                        [this, g](TaskContext& ctx) {
+                            (void)ctx.field<double>(r, g); // not in any requirement
+                        });
+    const std::string msg = launch_expect_violation(std::move(l));
+    EXPECT_NE(msg.find("task 'sneaky' accesses region 'vec' field 'other' with no declared "
+                       "requirement"),
+              std::string::npos)
+        << msg;
+}
+
+TEST_F(ValidationFixture, AccessorForMissingRequirementThrows) {
+    make(strict());
+    EXPECT_THROW(rt->launch(task("overreach", Privilege::ReadOnly, IntervalSet(0, 16),
+                                 [](TaskContext& ctx) {
+                                     (void)ctx.accessor<const double>(3);
+                                 })),
+                 PrivilegeError);
+}
+
+TEST_F(ValidationFixture, OutOfStorageAccessThrowsEvenInWarnOnlyMode) {
+    make(warn_only());
+    // Warn-only downgrades contract violations, but an index outside the
+    // field storage cannot be continued: the load/store itself is unsafe.
+    EXPECT_THROW(rt->launch(task("oob", Privilege::ReadWrite, IntervalSet(0, 16),
+                                 [](TaskContext& ctx) {
+                                     auto v = ctx.accessor<double>(0);
+                                     v[20] = 1.0;
+                                 })),
+                 PrivilegeError);
+}
+
+// ------------------------------------------------------------- warn-only
+
+TEST_F(ValidationFixture, WarnOnlyRecordsViolationAndContinues) {
+    make(warn_only());
+    rt->launch(task("warned", Privilege::ReadOnly, IntervalSet(0, 8), [](TaskContext& ctx) {
+        auto v = ctx.accessor<double>(0);
+        v[2] = 9.0; // violates ReadOnly — warned, then performed
+    }));
+    ASSERT_NE(rt->validator(), nullptr);
+    EXPECT_EQ(rt->validator()->violations(), 1u);
+    ASSERT_FALSE(rt->validator()->warnings().empty());
+    EXPECT_NE(rt->validator()->warnings().front().find("violates ReadOnly"),
+              std::string::npos);
+    auto data = rt->field_data<double>(r, f);
+    EXPECT_DOUBLE_EQ(data[2], 9.0) << "warn-only performs the access after recording";
+}
+
+// -------------------------------------------------------- race detection
+
+TEST_F(ValidationFixture, ShadowDetectorFlagsUnorderedConflictingAccesses) {
+    make(warn_only());
+    // Task A declares and writes [0,4). Task B declares the disjoint [8,12)
+    // — so dependence analysis orders them with no edge — but actually also
+    // writes index 2. The under-declaration is a warned violation, and the
+    // recorded touched sets overlap with no DAG path: a race pair.
+    rt->launch(task("writerA", Privilege::WriteOnly, IntervalSet(0, 4),
+                    [](TaskContext& ctx) {
+                        auto v = ctx.accessor<double>(0);
+                        for (std::size_t i = 0; i < 4; ++i) v[i] = 1.0;
+                    }));
+    rt->launch(task("writerB", Privilege::WriteOnly, IntervalSet(8, 12),
+                    [](TaskContext& ctx) {
+                        auto v = ctx.accessor<double>(0);
+                        for (std::size_t i = 8; i < 12; ++i) v[i] = 2.0;
+                        v[2] = 2.0; // out of subset: invisible to the analysis
+                    }));
+    ASSERT_NE(rt->validator(), nullptr);
+    EXPECT_EQ(rt->validator()->race_pairs(), 1u);
+    EXPECT_EQ(rt->metrics().counter_value("race_pairs"), 1.0);
+    bool saw = false;
+    for (const std::string& w : rt->validator()->warnings()) {
+        if (w.find("possible race") != std::string::npos &&
+            w.find("writerA") != std::string::npos &&
+            w.find("writerB") != std::string::npos &&
+            w.find("{[2,3)}") != std::string::npos) {
+            saw = true;
+        }
+    }
+    EXPECT_TRUE(saw) << "race warning must name both tasks and the overlap";
+}
+
+TEST_F(ValidationFixture, OrderedConflictingAccessesAreNotRaces) {
+    make(strict());
+    // Overlapping declared subsets: the analysis orders the tasks, so the
+    // same actual overlap is not a race.
+    rt->launch(task("first", Privilege::WriteOnly, IntervalSet(0, 8), [](TaskContext& ctx) {
+        auto v = ctx.accessor<double>(0);
+        for (std::size_t i = 0; i < 8; ++i) v[i] = 1.0;
+    }));
+    rt->launch(task("second", Privilege::ReadWrite, IntervalSet(0, 8), [](TaskContext& ctx) {
+        auto v = ctx.accessor<double>(0);
+        for (std::size_t i = 0; i < 8; ++i) v[i] += 1.0;
+    }));
+    EXPECT_EQ(rt->validator()->race_pairs(), 0u);
+}
+
+// ------------------------------------------------- over-declaration lint
+
+TEST_F(ValidationFixture, OverDeclaredSubsetIsLinted) {
+    make(strict());
+    rt->launch(task("fat", Privilege::ReadWrite, IntervalSet(0, 16), [](TaskContext& ctx) {
+        auto v = ctx.accessor<double>(0);
+        for (std::size_t i = 0; i < 8; ++i) v[i] = 1.0; // half the declaration
+    }));
+    ASSERT_NE(rt->validator(), nullptr);
+    EXPECT_EQ(rt->validator()->overdeclared(), 1u);
+    EXPECT_EQ(rt->metrics().counter_value("overdeclared_reqs"), 1.0);
+    ASSERT_FALSE(rt->validator()->warnings().empty());
+    const std::string& w = rt->validator()->warnings().front();
+    EXPECT_NE(w.find("over-declaration"), std::string::npos) << w;
+    EXPECT_NE(w.find("declared {[0,16)} but touched only {[0,8)}"), std::string::npos) << w;
+    EXPECT_NE(w.find("8 elements never accessed"), std::string::npos) << w;
+}
+
+TEST_F(ValidationFixture, UnusedRequirementIsNotLinted) {
+    make(strict());
+    // A requirement the body never takes an accessor for models cost or
+    // dependence only (phantom matrix entries) — not an over-declaration.
+    rt->launch(task("modeling", Privilege::ReadOnly, IntervalSet(0, 16),
+                    [](TaskContext&) { /* no data access */ }));
+    EXPECT_EQ(rt->validator()->overdeclared(), 0u);
+}
+
+// --------------------------------------------------------- field type tag
+
+TEST_F(ValidationFixture, FieldTypeTagRejectsSameSizeReinterpretation) {
+    make(strict());
+    // double and int64 have the same size; reinterpreting used to be silent.
+    EXPECT_THROW((void)rt->field_data<std::int64_t>(r, f), Error);
+    // The declared type keeps working.
+    auto ok = rt->field_data<double>(r, f);
+    EXPECT_EQ(ok.size(), 16u);
+}
+
+TEST_F(ValidationFixture, FieldTypeTagAppliesInsideTaskBodies) {
+    make(strict());
+    TaskLaunch l = task("typed", Privilege::ReadWrite, IntervalSet(0, 16),
+                        [this](TaskContext& ctx) {
+                            (void)ctx.field<std::uint64_t>(r, f);
+                        });
+    EXPECT_THROW(rt->launch(std::move(l)), Error);
+}
+
+// ---------------------------------------------------- traces + reporting
+
+TEST_F(ValidationFixture, TracedLoopsStayOnAnalysisPathAndKeepValidating) {
+    make(strict());
+    for (int i = 0; i < 4; ++i) {
+        rt->begin_trace(1);
+        rt->launch(task("loop", Privilege::ReadWrite, IntervalSet(0, 16),
+                        [](TaskContext& ctx) {
+                            auto v = ctx.accessor<double>(0);
+                            for (std::size_t k = 0; k < 16; ++k) v[k] += 1.0;
+                        }));
+        rt->end_trace();
+    }
+    EXPECT_EQ(rt->metrics().counter_value("trace_depanalysis_skipped"), 0.0)
+        << "validation must pin traces to the full-analysis replay path";
+    EXPECT_EQ(rt->metrics().counter_value("validated_tasks"), 4.0);
+    EXPECT_EQ(rt->validator()->violations(), 0u);
+}
+
+TEST_F(ValidationFixture, SolveReportCarriesValidationStats) {
+    make(warn_only());
+    rt->launch(task("warned", Privilege::ReadOnly, IntervalSet(0, 8), [](TaskContext& ctx) {
+        auto v = ctx.accessor<double>(0);
+        v[1] = 1.0;
+    }));
+    const obs::SolveReport rep = rt->build_solve_report({});
+    EXPECT_TRUE(rep.validation.enabled);
+    EXPECT_EQ(rep.validation.tasks_checked, 1u);
+    EXPECT_EQ(rep.validation.violations, 1u);
+    EXPECT_TRUE(rep.validation.any());
+
+    // With no options asked for, the section is enabled exactly when the
+    // KDR_VALIDATE environment variable forces validation on.
+    Runtime plain(sim::MachineDesc::lassen(1));
+    EXPECT_EQ(plain.build_solve_report({}).validation.enabled, plain.validating());
+}
+
+TEST_F(ValidationFixture, ValidationOffHandsOutHookFreeViews) {
+    RuntimeOptions o; // validation off (unless KDR_VALIDATE forces it)
+    make(o);
+    rt->launch(task("plain", Privilege::ReadWrite, IntervalSet(0, 16),
+                    [this](TaskContext& ctx) {
+                        auto v = ctx.accessor<double>(0);
+                        EXPECT_EQ(v.hook() != nullptr, rt->validating())
+                            << "hooks must exist exactly when validating";
+                        v[0] = 1.0;
+                    }));
+}
+
+} // namespace
+} // namespace kdr::rt
