@@ -1,0 +1,321 @@
+/// Ablation: coalesced halo-exchange plans with eager comm/compute overlap
+/// (paper §4's P1 claim, made mechanical). Four configurations cross the two
+/// ingredients the exchange-plan layer provides:
+///
+///  * per-piece vs coalesced — without a plan every consumer task fetches
+///    each overlapping home piece separately; a plan folds all elements a
+///    (src,dst) node pair exchanges into one message, paying the NIC
+///    per-message overhead once instead of once per piece;
+///  * lazy vs eager — lazy plans issue messages when the consumer launches;
+///    eager plans push each message the moment its producing write commits,
+///    so the wire time runs concurrently with whatever independent work the
+///    schedule has (`transfer_overlap_seconds` accounts the hidden span).
+///
+/// The systems use a *chunked-cyclic* canonical partition (each piece is a
+/// round-robin union of chunks about half the stencil reach wide). That is
+/// the paper's P3 point — the distribution strategy is one line, nothing
+/// else changes — and it is exactly the regime exchange plans exist for:
+/// cyclic decompositions balance boundary load but fragment each node
+/// pair's halo into many small runs crossing many home pieces, so the
+/// per-piece path pays the NIC per-message overhead dozens of times per
+/// neighbor while a plan pays it once. (Under purely contiguous block
+/// partitions each node pair already exchanges a single run and coalescing
+/// is a no-op by construction.)
+///
+/// Expected shape: coalescing wins everywhere remote halos exist (the
+/// message-count column collapses from per-piece to per-node-pair); eager
+/// adds on top where the schedule has slack between producer and consumer.
+/// A functional CG run asserts the whole grid leaves convergence histories
+/// bitwise unchanged — plans move bytes earlier, never elsewhere.
+///
+/// Usage: bench_ablation_comm [-nodes 16] [-minlog 16] [-maxlog 24]
+///                            [-it 40] [-solver cg] [-eager_threshold -1]
+///                            [-smoke]
+/// Every flag also reads a KDR_* environment override (see -help).
+/// -smoke: 2 nodes, tiny sizes, 2 timed iterations — the CI gate still
+/// checks message-count reduction, timing, and bitwise identity.
+
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "harness.hpp"
+#include "sparse/csr.hpp"
+#include "support/cli.hpp"
+#include "support/options.hpp"
+
+namespace {
+
+using namespace kdr;
+
+struct CommConfig {
+    const char* name;
+    bool plan;
+    bool coalesce;
+    bool eager;
+};
+
+// The ablation grid: {per-piece, coalesced} x {lazy, eager}. "Per-piece +
+// lazy" is the planless baseline; "per-piece + eager" pushes unmerged
+// messages at commit time.
+constexpr CommConfig kConfigs[] = {
+    {"per-piece+lazy", false, false, false},
+    {"per-piece+eager", true, false, true},
+    {"coalesced+lazy", true, true, false},
+    {"coalesced+eager", true, true, true},
+};
+
+struct ModeResult {
+    double per_iter = 0.0;  ///< virtual seconds per timed iteration
+    double messages = 0.0;  ///< inter-node messages per timed iteration
+    double overlap = 0.0;   ///< transfer seconds hidden behind compute, per iteration
+};
+
+/// Reach of the stencil in linearized indices: how far a row's furthest
+/// neighbor sits from the row itself.
+gidx stencil_reach(const stencil::Spec& spec) {
+    switch (spec.kind) {
+        case stencil::Kind::D1P3: return 1;
+        case stencil::Kind::D2P5: return spec.nx;
+        case stencil::Kind::D3P7: return spec.nx * spec.ny;
+        case stencil::Kind::D3P27: return spec.nx * spec.ny + spec.nx + 1;
+    }
+    return spec.nx;
+}
+
+/// Chunked-cyclic partition: chunks of `chunk` indices dealt round-robin to
+/// `pieces` pieces. Each piece is a union of scattered runs — the paper's P4
+/// non-contiguous pieces, and the decomposition that fragments halos.
+Partition cyclic_partition(const IndexSpace& space, gidx n, Color pieces, gidx chunk) {
+    std::vector<IntervalSet> ps(static_cast<std::size_t>(pieces));
+    Color next = 0;
+    for (gidx lo = 0; lo < n; lo += chunk) {
+        const std::size_t p = static_cast<std::size_t>(next);
+        ps[p] = ps[p].set_union(IntervalSet(lo, std::min(n, lo + chunk)));
+        next = (next + 1) % pieces;
+    }
+    return Partition(space, std::move(ps));
+}
+
+/// A timing-mode stencil system over the chunked-cyclic partition. Mirrors
+/// bench::make_legion_stencil, but builds the operator plan analytically:
+/// each piece's domain needs are its rows dilated by the stencil reach.
+bench::LegionStencilSystem make_cyclic_stencil(const stencil::Spec& spec,
+                                               const sim::MachineDesc& machine,
+                                               Color pieces,
+                                               const core::PlannerOptions& popts_in) {
+    bench::LegionStencilSystem sys;
+    core::PlannerOptions popts = popts_in;
+    popts.trace_solver_loops = true;
+    sys.runtime = std::make_unique<rt::Runtime>(
+        machine, rt::RuntimeOptions{.materialize = false, .trace_fast_path = true});
+    const gidx n = spec.unknowns();
+    const IndexSpace D = IndexSpace::create(n, "D");
+    const IndexSpace R = IndexSpace::create(n, "R");
+    const rt::RegionId xr = sys.runtime->create_region(D, "x");
+    const rt::RegionId br = sys.runtime->create_region(R, "b");
+    const rt::FieldId xf = sys.runtime->add_field<double>(xr, "v");
+    const rt::FieldId bf = sys.runtime->add_field<double>(br, "v");
+
+    const gidx reach = stencil_reach(spec);
+    const gidx chunk = std::max<gidx>(1, reach / 2);
+    const Partition cols = cyclic_partition(D, n, pieces, chunk);
+    const Partition rows = cyclic_partition(R, n, pieces, chunk);
+    sys.planner = std::make_unique<core::Planner<double>>(*sys.runtime, popts);
+    sys.planner->add_sol_vector(xr, xf, cols);
+    sys.planner->add_rhs_vector(br, bf, rows);
+
+    // Halo of a piece: every run of rows dilated by the stencil reach.
+    std::vector<IntervalSet> halos;
+    std::vector<gidx> nnz;
+    halos.reserve(static_cast<std::size_t>(pieces));
+    nnz.reserve(static_cast<std::size_t>(pieces));
+    const gidx points = spec.kind == stencil::Kind::D2P5   ? 5
+                        : spec.kind == stencil::Kind::D3P7 ? 7
+                                                           : 27;
+    for (Color c = 0; c < pieces; ++c) {
+        IntervalSet h;
+        rows.piece(c).for_each_interval([&](const Interval& iv) {
+            h = h.set_union(IntervalSet(std::max<gidx>(0, iv.lo - reach),
+                                        std::min(n, iv.hi + reach)));
+        });
+        halos.push_back(std::move(h));
+        nnz.push_back(rows.piece(c).volume() * points);
+    }
+
+    const IndexSpace K = IndexSpace::create(spec.total_nnz(), "K");
+    core::OperatorPlan plan;
+    plan.kernel_pieces = Partition::equal(K, pieces);
+    plan.domain_needs = Partition(D, std::move(halos));
+    plan.row_pieces = rows;
+    plan.nnz = std::move(nnz);
+    plan.symmetric = true;
+    sys.planner->add_operator(nullptr, 0, 0, std::move(plan));
+    return sys;
+}
+
+ModeResult run_mode(const stencil::Spec& spec, const sim::MachineDesc& machine,
+                    const std::string& solver_name, int timed, const CommConfig& cfg) {
+    core::PlannerOptions popts;
+    popts.comm_plan = cfg.plan;
+    popts.comm_coalesce = cfg.coalesce;
+    popts.comm_eager = cfg.eager;
+    bench::LegionStencilSystem sys = make_cyclic_stencil(
+        spec, machine, static_cast<Color>(machine.total_gpus()), popts);
+    auto solver = bench::make_solver(solver_name, *sys.planner);
+    const int period = bench::trace_period(solver_name);
+    for (int i = 0; i < std::max(10, 2 * std::max(period, 3) + 1); ++i) solver->step();
+    const obs::Registry& m = sys.runtime->metrics();
+    const auto msgs0 = static_cast<double>(sys.runtime->transfer_count());
+    const double ovl0 = m.counter_value("transfer_overlap_seconds");
+    const double t0 = sys.runtime->current_time();
+    for (int i = 0; i < timed; ++i) solver->step();
+    ModeResult r;
+    r.per_iter = (sys.runtime->current_time() - t0) / timed;
+    r.messages = (static_cast<double>(sys.runtime->transfer_count()) - msgs0) / timed;
+    r.overlap = (m.counter_value("transfer_overlap_seconds") - ovl0) / timed;
+    return r;
+}
+
+/// Functional CG on a small Poisson system: coalesced+eager exchange plans
+/// against no plans at all — the convergence history must match bitwise,
+/// because plans only reschedule bytes on the simulated network.
+bool check_convergence_identity(const sim::MachineDesc& machine, int iters) {
+    const stencil::Spec spec = stencil::Spec::cube(stencil::Kind::D2P5, 1 << 10);
+    auto history = [&](bool plan) {
+        rt::Runtime runtime(machine);
+        const gidx n = spec.unknowns();
+        const IndexSpace D = IndexSpace::create(n, "D");
+        const rt::RegionId xr = runtime.create_region(D, "x");
+        const rt::RegionId br = runtime.create_region(D, "b");
+        const rt::FieldId xf = runtime.add_field<double>(xr, "v");
+        const rt::FieldId bf = runtime.add_field<double>(br, "v");
+        const auto b = stencil::random_rhs(n, 17);
+        auto bd = runtime.field_data<double>(br, bf);
+        std::copy(b.begin(), b.end(), bd.begin());
+        core::PlannerOptions popts;
+        popts.comm_plan = plan;
+        popts.comm_coalesce = plan;
+        popts.comm_eager = plan;
+        core::Planner<double> planner(runtime, popts);
+        const Color pieces = static_cast<Color>(machine.total_gpus());
+        planner.add_sol_vector(xr, xf, Partition::equal(D, pieces));
+        planner.add_rhs_vector(br, bf, Partition::equal(D, pieces));
+        planner.add_operator(
+            std::make_shared<CsrMatrix<double>>(stencil::laplacian_csr(spec, D, D)), 0, 0);
+        core::CgSolver<double> cg(planner);
+        std::vector<double> res;
+        res.reserve(static_cast<std::size_t>(iters));
+        for (int i = 0; i < iters; ++i) {
+            cg.step();
+            res.push_back(cg.get_convergence_measure().value);
+        }
+        return res;
+    };
+    const std::vector<double> off = history(false);
+    const std::vector<double> on = history(true);
+    for (std::size_t i = 0; i < off.size(); ++i) {
+        if (off[i] != on[i]) {
+            std::cout << "MISMATCH at iteration " << i << ": no-plan " << off[i]
+                      << " vs coalesced+eager " << on[i] << "\n";
+            return false;
+        }
+    }
+    return true;
+}
+
+struct StencilCase {
+    const char* name;
+    stencil::Kind kind;
+};
+
+} // namespace
+
+int main(int argc, char** argv) {
+    using namespace kdr;
+    const CliArgs args(argc, argv);
+    bool smoke = false;
+    bool help = false;
+    std::int64_t nodes = 0; // 0 = pick by mode below
+    std::int64_t minlog = 0;
+    std::int64_t maxlog = 0;
+    std::int64_t timed = 0;
+    std::string solver = "cg";
+    double eager_threshold = -1.0;
+    support::OptionSet opts;
+    opts.add_flag("smoke", smoke, "tiny CI-friendly sizes, 2 nodes, 2 timed iterations");
+    opts.add_flag("help", help, "print this help");
+    opts.add_int("nodes", nodes, "simulated node count (0 = 16, or 2 under -smoke)");
+    opts.add_int("minlog", minlog, "log2 of the smallest unknown count (0 = mode default)");
+    opts.add_int("maxlog", maxlog, "log2 of the largest unknown count (0 = mode default)");
+    opts.add_int("it", timed, "timed iterations per configuration (0 = mode default)");
+    opts.add_string("solver", solver, "solver to ablate (cg/bicg/bicgstab/gmres/minres)");
+    opts.add_double("eager_threshold", eager_threshold,
+                    "NIC eager/rendezvous threshold in bytes (negative = machine default)");
+    opts.parse(args);
+    if (help) {
+        std::cout << "bench_ablation_comm options:\n" << opts.help();
+        return 0;
+    }
+    if (nodes == 0) nodes = smoke ? 2 : 16;
+    if (minlog == 0) minlog = smoke ? 10 : 16;
+    if (maxlog == 0) maxlog = smoke ? 12 : 24;
+    if (timed == 0) timed = smoke ? 2 : 40;
+
+    sim::MachineDesc machine = sim::MachineDesc::lassen(static_cast<int>(nodes));
+    if (eager_threshold >= 0.0) machine.nic_eager_threshold = eager_threshold;
+
+    std::cout << "=== Ablation: exchange plans (" << solver << ", " << nodes << " nodes, "
+              << machine.total_gpus() << " GPUs) ===\n"
+              << "NIC: " << machine.nic_message_overhead * 1e6 << " us/message, "
+              << machine.nic_latency * 1e6 << " us latency, rendezvous above "
+              << machine.nic_eager_threshold << " B\n\n";
+
+    const StencilCase stencils[] = {{"5pt-2D", stencil::Kind::D2P5},
+                                    {"7pt-3D", stencil::Kind::D3P7},
+                                    {"27pt-3D", stencil::Kind::D3P27}};
+    bool ok = true;
+    for (const StencilCase& st : stencils) {
+        Table table({"unknowns", "config", "us/it", "msgs/it", "overlap us/it", "speedup"});
+        for (std::int64_t lg = minlog; lg <= maxlog; lg += 2) {
+            const stencil::Spec spec = stencil::Spec::cube(st.kind, gidx{1} << lg);
+            ModeResult res[4];
+            for (int c = 0; c < 4; ++c)
+                res[c] = run_mode(spec, machine, solver, static_cast<int>(timed),
+                                  kConfigs[c]);
+            for (int c = 0; c < 4; ++c) {
+                table.add_row({c == 0 ? Table::eng(static_cast<double>(spec.unknowns()), 0)
+                                      : "",
+                               kConfigs[c].name, bench::us(res[c].per_iter),
+                               Table::num(res[c].messages, 1), bench::us(res[c].overlap),
+                               Table::num(res[0].per_iter / res[c].per_iter, 3) + "x"});
+            }
+            const bool largest = lg + 2 > maxlog;
+            if (largest && res[3].per_iter >= res[0].per_iter) {
+                std::cout << "ERROR: coalesced+eager (" << bench::us(res[3].per_iter)
+                          << " us/it) does not beat per-piece+lazy ("
+                          << bench::us(res[0].per_iter) << " us/it) on " << st.name
+                          << " at 2^" << lg << "\n";
+                ok = false;
+            }
+            if (largest && res[3].messages >= res[0].messages) {
+                std::cout << "ERROR: coalescing did not reduce message count on "
+                          << st.name << " at 2^" << lg << " (" << res[3].messages
+                          << " vs " << res[0].messages << " msgs/it)\n";
+                ok = false;
+            }
+        }
+        std::cout << "--- " << st.name << " ---\n";
+        table.print(std::cout);
+        std::cout << "\n";
+    }
+    std::cout << "shape: coalescing collapses msgs/it from per-piece to per-node-pair,\n"
+                 "saving the NIC per-message overhead; eager pushes run the wire time\n"
+                 "concurrently with independent kernels (the overlap column).\n\n";
+
+    const bool identical = check_convergence_identity(machine, smoke ? 8 : 25);
+    std::cout << "functional CG convergence history, coalesced+eager vs no plans: "
+              << (identical ? "bitwise identical" : "DIVERGED") << "\n";
+    return ok && identical ? 0 : 1;
+}

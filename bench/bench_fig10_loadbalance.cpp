@@ -97,9 +97,8 @@ Fig10Run run(bool dynamic_balancing, int nodes, gidx nx, gidx ny, int iters, dou
             plan.row_pieces =
                 Partition::single(planner.rhs_component(static_cast<std::size_t>(i)).space);
             plan.nnz = {nnz};
-            planner.add_operator_planned(nullptr, std::move(plan),
-                                         sol_ids[static_cast<std::size_t>(j)],
-                                         rhs_ids[static_cast<std::size_t>(i)]);
+            planner.add_operator(nullptr, sol_ids[static_cast<std::size_t>(j)],
+                                 rhs_ids[static_cast<std::size_t>(i)], std::move(plan));
             const std::size_t op_index = planner.operator_count() - 1;
             const Color color = planner.matmul_color(op_index, 0);
             const int out_owner = owner_of_comp(i);

@@ -83,7 +83,7 @@ double run_multiop(gidx n_side, const sim::MachineDesc& machine, int timed) {
         plan.domain_needs = cp.halo;
         plan.row_pieces = part;
         plan.nnz = cp.nnz;
-        planner.add_operator_planned(nullptr, std::move(plan), s, r);
+        planner.add_operator(nullptr, s, r, std::move(plan));
     };
     add_self(D1, p1, s1, r1);
     add_self(D2, p2, s2, r2);
@@ -124,7 +124,7 @@ double run_multiop(gidx n_side, const sim::MachineDesc& machine, int timed) {
         plan.domain_needs = Partition(src_space, std::move(needs));
         plan.row_pieces = Partition(out_part.space(), std::move(rows));
         plan.nnz = std::move(nnz);
-        planner.add_operator_planned(nullptr, std::move(plan), src_comp, dst_comp);
+        planner.add_operator(nullptr, src_comp, dst_comp, std::move(plan));
     };
     // y1's seam column (local y = hy-1) reads x2's first column (local y = 0).
     add_seam(D2, p1, s2, r1, /*src_col_offset=*/0);

@@ -38,11 +38,12 @@ enum class TraceMode { None, Verify, Fast };
 
 /// Build the Fig 8 configuration: CSR-format stencil matrix, row-based
 /// partition into `pieces` (the paper's -vp, 4 × node count), phantom data.
+/// This overload takes the full PlannerOptions (comm-plan ablations flip
+/// those knobs); trace_solver_loops is still derived from `trace`.
 inline LegionStencilSystem make_legion_stencil(const stencil::Spec& spec,
                                                const sim::MachineDesc& machine,
-                                               Color pieces,
-                                               TraceMode trace = TraceMode::Fast,
-                                               bool fused = true) {
+                                               Color pieces, TraceMode trace,
+                                               core::PlannerOptions popts) {
     LegionStencilSystem sys;
     sys.runtime = std::make_unique<rt::Runtime>(
         machine, rt::RuntimeOptions{.materialize = false,
@@ -56,9 +57,7 @@ inline LegionStencilSystem make_legion_stencil(const stencil::Spec& spec,
     const rt::FieldId bf = sys.runtime->add_field<double>(br, "v");
 
     const stencil::CoPartition cp = stencil::co_partition(spec, D, R, pieces);
-    core::PlannerOptions popts;
     popts.trace_solver_loops = trace != TraceMode::None;
-    popts.fused_kernels = fused;
     sys.planner = std::make_unique<core::Planner<double>>(*sys.runtime, popts);
     sys.planner->add_sol_vector(xr, xf, Partition::equal(D, pieces));
     sys.planner->add_rhs_vector(br, bf, cp.rows);
@@ -78,8 +77,19 @@ inline LegionStencilSystem make_legion_stencil(const stencil::Spec& spec,
     plan.row_pieces = cp.rows;
     plan.nnz = cp.nnz;
     plan.symmetric = true; // Laplacian stencils: adjoint solvers reuse the plan
-    sys.planner->add_operator_planned(nullptr, std::move(plan), 0, 0);
+    sys.planner->add_operator(nullptr, 0, 0, std::move(plan));
     return sys;
+}
+
+/// Convenience overload keeping the historical (trace, fused) signature.
+inline LegionStencilSystem make_legion_stencil(const stencil::Spec& spec,
+                                               const sim::MachineDesc& machine,
+                                               Color pieces,
+                                               TraceMode trace = TraceMode::Fast,
+                                               bool fused = true) {
+    core::PlannerOptions popts;
+    popts.fused_kernels = fused;
+    return make_legion_stencil(spec, machine, pieces, trace, popts);
 }
 
 /// Solver factory shared by the harnesses. GMRES uses the static GMRES(10)

@@ -57,9 +57,8 @@ int main(int argc, char** argv) {
             plan.row_pieces =
                 Partition::single(planner.rhs_component(static_cast<std::size_t>(i)).space);
             plan.nnz = {nnz};
-            planner.add_operator_planned(nullptr, std::move(plan),
-                                         sols[static_cast<std::size_t>(j)],
-                                         rhss[static_cast<std::size_t>(i)]);
+            planner.add_operator(nullptr, sols[static_cast<std::size_t>(j)],
+                                 rhss[static_cast<std::size_t>(i)], std::move(plan));
             const std::size_t op = planner.operator_count() - 1;
             const Color color = planner.matmul_color(op, 0);
             (*table)[color] = i % nodes;

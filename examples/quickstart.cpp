@@ -7,9 +7,11 @@
 ///   3. register the matrix (any storage format with row/col relations);
 ///   4. construct a solver from the planner and step it to tolerance.
 ///
-/// Usage: quickstart [-n 64] [-pieces 8] [-tol 1e-8] [-validate]
-///                   [-report] [-report_json report.json] [-trace trace.json]
-///                   [-fault_rate 0] [-fault_seed 42]
+/// Usage: quickstart [-n 64] [-pieces 8] [-tol 1e-8] [-help]
+///        plus the whole unified option surface of core::CommonOptions
+///        (-validate, -report, -report_json, -trace, -fault_rate,
+///        -comm_plan, -eager_threshold, ...), each with a matching KDR_*
+///        environment override — `quickstart -help` lists them all.
 ///
 /// -report prints the structured solve report (per-task-kind virtual time,
 /// node utilization, transfer matrix, phase totals, convergence history,
@@ -28,6 +30,7 @@
 #include <memory>
 
 #include "core/monitor.hpp"
+#include "core/options.hpp"
 #include "core/solvers.hpp"
 #include "runtime/trace_export.hpp"
 #include "stencil/stencil.hpp"
@@ -36,30 +39,23 @@
 int main(int argc, char** argv) {
     using namespace kdr;
     const CliArgs args(argc, argv);
+    if (args.get_flag("help")) {
+        std::cout << "quickstart [-n 64] [-pieces 8] [-tol 1e-8] plus:\n"
+                  << core::CommonOptions::help();
+        return 0;
+    }
     const gidx n_side = args.get_int("n", 64);
     const Color pieces = args.get_int("pieces", 8);
     const double tol = args.get_double("tol", 1e-8);
-    const bool want_report = args.get_flag("report");
-    const std::string report_json = args.get_string("report_json", "");
-    const std::string trace_path = args.get_string("trace", "");
-    const double fault_rate = args.get_double("fault_rate", 0.0);
-    const std::uint64_t fault_seed =
-        static_cast<std::uint64_t>(args.get_int("fault_seed", 42));
-    const bool validate = args.get_flag("validate");
+    const core::CommonOptions common = core::CommonOptions::parse(args);
 
     // The simulated machine the virtual-time schedule runs on; the numerics
     // are computed for real on the host either way.
-    rt::RuntimeOptions opts;
-    opts.validate = validate;
-    rt::Runtime runtime(sim::MachineDesc::lassen(2), opts);
-    runtime.set_profiling(want_report || !report_json.empty() || !trace_path.empty());
-    if (fault_rate > 0.0) {
-        sim::FaultSpec fs;
-        fs.seed = fault_seed;
-        fs.task_fail_prob = fault_rate;
-        fs.slowdown_prob = fault_rate / 2.0;
-        runtime.cluster().set_fault_model(std::make_shared<sim::FaultModel>(fs));
-    }
+    sim::MachineDesc machine = sim::MachineDesc::lassen(2);
+    common.apply(machine);
+    rt::Runtime runtime(machine, common.runtime);
+    runtime.set_profiling(common.wants_profiling());
+    if (auto fm = common.make_fault_model()) runtime.cluster().set_fault_model(std::move(fm));
 
     // Problem: Δu = f on an n x n grid, 5-point stencil, SPD.
     stencil::Spec spec;
@@ -83,7 +79,7 @@ int main(int argc, char** argv) {
     // Planner setup (paper Fig 5). The canonical partition is the only place
     // the distribution strategy appears; change `pieces` freely — no other
     // line of this program is affected (P3).
-    core::Planner<double> planner(runtime);
+    core::Planner<double> planner(runtime, common.planner);
     planner.add_sol_vector(xr, xf, Partition::equal(D, pieces));
     planner.add_rhs_vector(br, bf, Partition::equal(R, pieces));
     planner.add_operator(
@@ -112,19 +108,19 @@ int main(int argc, char** argv) {
         for (const std::string& w : v.warnings()) std::cout << "  " << w << "\n";
     }
 
-    if (want_report || !report_json.empty()) {
+    if (common.report || !common.report_json.empty()) {
         const obs::SolveReport report = runtime.build_solve_report(
             cg.report_samples(), core::to_string(result.status));
-        if (want_report) report.print(std::cout);
-        if (!report_json.empty()) {
-            obs::write_solve_report(report_json, report);
-            std::cout << "solve report written to " << report_json << "\n";
+        if (common.report) report.print(std::cout);
+        if (!common.report_json.empty()) {
+            obs::write_solve_report(common.report_json, report);
+            std::cout << "solve report written to " << common.report_json << "\n";
         }
     }
-    if (!trace_path.empty()) {
-        rt::write_chrome_trace(trace_path, runtime.take_profiles(),
+    if (!common.trace_file.empty()) {
+        rt::write_chrome_trace(common.trace_file, runtime.take_profiles(),
                                runtime.spans().completed());
-        std::cout << "chrome trace written to " << trace_path << "\n";
+        std::cout << "chrome trace written to " << common.trace_file << "\n";
     }
 
     // Spot-check the solution against the matrix directly.

@@ -1,0 +1,129 @@
+#pragma once
+
+/// \file options.hpp
+/// CommonOptions: the one-stop option surface shared by examples and
+/// benchmarks. Aggregates every RuntimeOptions/PlannerOptions knob plus the
+/// cross-cutting run controls (fault injection, reporting, trace export, the
+/// NIC eager threshold) and binds them all to the unified `-flag` / `KDR_*`
+/// surface of support/options.hpp. Binaries do
+///
+///   const core::CommonOptions opts = core::CommonOptions::parse(args);
+///   sim::MachineDesc machine = sim::MachineDesc::lassen(nodes);
+///   opts.apply(machine);
+///   rt::Runtime runtime(machine, opts.runtime);
+///   core::Planner<double> planner(runtime, opts.planner);
+///
+/// and every knob Just Works, identically spelled everywhere.
+
+#include <memory>
+#include <string>
+
+#include "core/planner.hpp"
+#include "runtime/runtime.hpp"
+#include "simcluster/fault_model.hpp"
+#include "simcluster/machine.hpp"
+#include "support/cli.hpp"
+#include "support/options.hpp"
+
+namespace kdr::core {
+
+struct CommonOptions {
+    rt::RuntimeOptions runtime;
+    PlannerOptions planner;
+
+    /// Per-task transient-failure probability (0 = no fault model); the
+    /// straggler probability rides along at half this rate, mirroring the
+    /// quickstart convention.
+    double fault_rate = 0.0;
+    std::uint64_t fault_seed = 42;
+    bool report = false;          ///< print the structured solve report
+    std::string report_json;      ///< write the solve report as JSON here
+    std::string trace_file;       ///< write a Chrome trace here
+    /// Override of MachineDesc::nic_eager_threshold in bytes; negative keeps
+    /// the machine default.
+    double eager_threshold = -1.0;
+
+    /// Bind every knob to `opts`. The CommonOptions object must outlive the
+    /// OptionSet's apply calls.
+    void bind(support::OptionSet& opts) {
+        opts.add_flag("validate", runtime.validate,
+                      "check every kernel element access against its declared subset "
+                      "and privilege, run the shadow race detector, lint over-declared "
+                      "requirements");
+        opts.add_flag("validate_warn", runtime.validate_warn_only,
+                      "record validation violations as warnings instead of throwing "
+                      "(implies -validate)");
+        opts.add_flag("trace_fast_path", runtime.trace_fast_path,
+                      "replay captured trace schedules, skipping dependence analysis "
+                      "(0 = verify-only replay)");
+        opts.add_flag("profiling", runtime.profiling,
+                      "record per-task virtual-time profiles");
+        opts.add_int("retries", runtime.max_task_retries,
+                     "retry budget for transiently failed task attempts");
+        opts.add_flag("trace_loops", planner.trace_solver_loops,
+                      "wrap solver steady-state loops in runtime traces");
+        opts.add_flag("fused", planner.fused_kernels,
+                      "use the fused update+reduction kernels (axpy_dot/xpay_norm2)");
+        opts.add_flag("per_op_colors", planner.per_operator_task_colors,
+                      "give each operator's matmul tasks their own color range "
+                      "(matrix-tile-owner mappers)");
+        opts.add_flag("comm_plan", planner.comm_plan,
+                      "build halo-exchange plans for repeatedly-multiplied fields");
+        opts.add_flag("comm_coalesce", planner.comm_coalesce,
+                      "coalesce each (src,dst) node pair's halo elements into one "
+                      "message");
+        opts.add_flag("comm_eager", planner.comm_eager,
+                      "push exchange messages when the producing write commits, "
+                      "overlapping transfers with independent kernels");
+        opts.add_double("fault_rate", fault_rate,
+                        "per-task transient-failure probability (stragglers at half "
+                        "this rate)");
+        opts.add_uint("fault_seed", fault_seed, "fault-injection RNG seed");
+        opts.add_flag("report", report, "print the structured solve report");
+        opts.add_string("report_json", report_json, "write the solve report as JSON");
+        opts.add_string("trace", trace_file, "write a Chrome trace (chrome://tracing)");
+        opts.add_double("eager_threshold", eager_threshold,
+                        "NIC eager/rendezvous protocol threshold in bytes (negative = "
+                        "machine default)");
+    }
+
+    /// Parse environment + CLI into a fresh CommonOptions.
+    [[nodiscard]] static CommonOptions parse(const CliArgs& args) {
+        CommonOptions common;
+        support::OptionSet opts;
+        common.bind(opts);
+        opts.parse(args);
+        if (common.runtime.validate_warn_only) common.runtime.validate = true;
+        return common;
+    }
+
+    /// Help text for the common surface (binaries append their own flags).
+    [[nodiscard]] static std::string help() {
+        CommonOptions common;
+        support::OptionSet opts;
+        common.bind(opts);
+        return opts.help();
+    }
+
+    /// Fold machine-level overrides into a MachineDesc.
+    void apply(sim::MachineDesc& machine) const {
+        if (eager_threshold >= 0.0) machine.nic_eager_threshold = eager_threshold;
+    }
+
+    /// The fault model these options ask for; null when fault_rate is 0.
+    [[nodiscard]] std::shared_ptr<sim::FaultModel> make_fault_model() const {
+        if (fault_rate <= 0.0) return nullptr;
+        sim::FaultSpec fs;
+        fs.seed = fault_seed;
+        fs.task_fail_prob = fault_rate;
+        fs.slowdown_prob = fault_rate / 2.0;
+        return std::make_shared<sim::FaultModel>(fs);
+    }
+
+    /// True when any reporting/trace output was requested (profiling needed).
+    [[nodiscard]] bool wants_profiling() const {
+        return report || !report_json.empty() || !trace_file.empty();
+    }
+};
+
+} // namespace kdr::core

@@ -24,9 +24,11 @@
 /// targeting the same output run concurrently once the (cached) interference
 /// analysis shows they commute — the paper's §4.1 dispatch strategy.
 
+#include <map>
 #include <memory>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/scalar.hpp"
@@ -58,6 +60,19 @@ struct PlannerOptions {
     /// decompose into the separate axpy/xpay and dot launches; the numerics
     /// are bitwise-identical either way.
     bool fused_kernels = true;
+    /// Build halo-exchange plans for repeatedly-multiplied vector fields and
+    /// hand them to the runtime (paper §6 comm/compute overlap). A plan
+    /// replaces per-piece on-demand fetches with precomputed messages;
+    /// timing-only — numerics are bitwise-identical either way.
+    bool comm_plan = true;
+    /// Coalesce each (src node, dst node) pair's elements into one message
+    /// (amortizing per-message NIC overhead). Off = one message per home
+    /// piece, the per-piece ablation point.
+    bool comm_coalesce = true;
+    /// Issue plan messages eagerly when the producing write commits, so the
+    /// wire time overlaps independent kernels. Off = plan messages are
+    /// fetched lazily at consumer-ready time.
+    bool comm_eager = true;
 };
 
 /// Precomputed partitioning plan for one operator component — either derived
@@ -124,33 +139,49 @@ public:
     }
 
     /// Register an operator component (K_ℓ, A_ℓ, i_ℓ=sol_comp, j_ℓ=rhs_comp).
-    /// The partitioning plan is derived from the operator's relations:
-    /// kernel pieces are row_{R→K} preimages of the output's canonical
-    /// partition, input needs are col_{K→D} images of those (paper §3.1).
+    /// Without an explicit plan, one is derived from the operator's
+    /// relations: kernel pieces are row_{R→K} preimages of the output's
+    /// canonical partition, input needs are col_{K→D} images of those (paper
+    /// §3.1; projections are memoized process-wide). An explicit `plan`
+    /// (timing-mode benchmarks, or callers that precomputed projections)
+    /// skips derivation, and `op` may then be null when the runtime is
+    /// non-functional.
     void add_operator(std::shared_ptr<const LinearOperator<T>> op, CompId sol_comp,
-                      CompId rhs_comp) {
-        KDR_REQUIRE(op != nullptr, "add_operator: null operator");
-        check_operator_spaces(*op, sol_comp, rhs_comp);
-        OperatorPlan plan = derive_plan(*op, rhs_comp);
-        add_planned(operators_, std::move(op), std::move(plan), sol_comp, rhs_comp, "A");
+                      CompId rhs_comp, std::optional<OperatorPlan> plan = {}) {
+        if (!plan) {
+            KDR_REQUIRE(op != nullptr, "add_operator: null operator (pass an explicit "
+                                       "OperatorPlan for timing-mode systems)");
+            check_operator_spaces(*op, sol_comp, rhs_comp);
+            plan = derive_plan(*op, rhs_comp);
+        } else {
+            KDR_REQUIRE(op != nullptr || !rt_.functional(),
+                        "add_operator: functional runtime requires an operator");
+        }
+        add_planned(operators_, std::move(op), std::move(*plan), sol_comp, rhs_comp, "A");
     }
 
-    /// Register an operator from an explicit plan (timing-mode benchmarks, or
-    /// callers that precomputed projections). `op` may be null when the
-    /// runtime is non-functional.
+    /// Deprecated spelling of add_operator with an explicit plan; kept one
+    /// release for source compatibility (note the argument order).
+    [[deprecated("use add_operator(op, sol_comp, rhs_comp, plan)")]]
     void add_operator_planned(std::shared_ptr<const LinearOperator<T>> op, OperatorPlan plan,
                               CompId sol_comp, CompId rhs_comp) {
-        KDR_REQUIRE(op != nullptr || !rt_.functional(),
-                    "add_operator_planned: functional runtime requires an operator");
-        add_planned(operators_, std::move(op), std::move(plan), sol_comp, rhs_comp, "A");
+        add_operator(std::move(op), sol_comp, rhs_comp, std::move(plan));
     }
 
-    /// Register a preconditioner component (paper Fig 5).
+    /// Register a preconditioner component (paper Fig 5). Same optional-plan
+    /// contract as add_operator, except the plan is partitioned by the *sol*
+    /// component (preconditioner output is SOL-shaped).
     void add_preconditioner(std::shared_ptr<const LinearOperator<T>> op, CompId sol_comp,
-                            CompId rhs_comp) {
-        KDR_REQUIRE(op != nullptr, "add_preconditioner: null operator");
-        OperatorPlan plan = derive_precond_plan(*op, sol_comp);
-        add_planned(preconditioners_, std::move(op), std::move(plan), sol_comp, rhs_comp, "P");
+                            CompId rhs_comp, std::optional<OperatorPlan> plan = {}) {
+        if (!plan) {
+            KDR_REQUIRE(op != nullptr, "add_preconditioner: null operator (pass an explicit "
+                                       "OperatorPlan for timing-mode systems)");
+            plan = derive_precond_plan(*op, sol_comp);
+        } else {
+            KDR_REQUIRE(op != nullptr || !rt_.functional(),
+                        "add_preconditioner: functional runtime requires an operator");
+        }
+        add_planned(preconditioners_, std::move(op), std::move(*plan), sol_comp, rhs_comp, "P");
     }
 
     // ============================================ Fig 6: solver-facing query
@@ -370,6 +401,7 @@ public:
         for (std::size_t j = 0; j < primary.size(); ++j) {
             if (primary[j] == nullptr) zero_component(dv, j);
         }
+        ensure_exchange_plans(operators_, sv, /*transpose=*/true);
         for (int pass = 0; pass < 2; ++pass) {
             for (OperatorSlot& slot : operators_) {
                 const bool is_primary = primary[slot.sol_comp] == &slot;
@@ -572,10 +604,10 @@ private:
     [[nodiscard]] OperatorPlan derive_plan(const LinearOperator<T>& op, CompId rhs_comp) const {
         const Partition& rows = rhs_[rhs_comp].canonical;
         OperatorPlan plan;
-        plan.kernel_pieces = preimage(rows, *op.row_relation());
-        plan.domain_needs = image(plan.kernel_pieces, *op.col_relation());
+        plan.kernel_pieces = preimage_cached(rows, *op.row_relation());
+        plan.domain_needs = image_cached(plan.kernel_pieces, *op.col_relation());
         plan.row_pieces = rows;
-        plan.row_touch = image(plan.kernel_pieces, *op.row_relation());
+        plan.row_touch = image_cached(plan.kernel_pieces, *op.row_relation());
         plan.nnz.reserve(static_cast<std::size_t>(rows.color_count()));
         for (Color c = 0; c < rows.color_count(); ++c) {
             plan.nnz.push_back(plan.kernel_pieces.piece(c).volume());
@@ -588,10 +620,10 @@ private:
         // Preconditioner output is SOL-shaped: partition by the sol component.
         const Partition& rows = sol_[sol_comp].canonical;
         OperatorPlan plan;
-        plan.kernel_pieces = preimage(rows, *op.row_relation());
-        plan.domain_needs = image(plan.kernel_pieces, *op.col_relation());
+        plan.kernel_pieces = preimage_cached(rows, *op.row_relation());
+        plan.domain_needs = image_cached(plan.kernel_pieces, *op.col_relation());
         plan.row_pieces = rows;
-        plan.row_touch = image(plan.kernel_pieces, *op.row_relation());
+        plan.row_touch = image_cached(plan.kernel_pieces, *op.row_relation());
         for (Color c = 0; c < rows.color_count(); ++c)
             plan.nnz.push_back(plan.kernel_pieces.piece(c).volume());
         return plan;
@@ -656,13 +688,50 @@ private:
                     "OperatorPlan::symmetric for structurally symmetric operators)");
         const Partition& out_rows = sol_[slot.sol_comp].canonical;
         auto tp = std::make_unique<OperatorPlan>();
-        tp->kernel_pieces = preimage(out_rows, *slot.op->col_relation());
-        tp->domain_needs = image(tp->kernel_pieces, *slot.op->row_relation());
+        tp->kernel_pieces = preimage_cached(out_rows, *slot.op->col_relation());
+        tp->domain_needs = image_cached(tp->kernel_pieces, *slot.op->row_relation());
         tp->row_pieces = out_rows;
-        tp->row_touch = image(tp->kernel_pieces, *slot.op->col_relation());
+        tp->row_touch = image_cached(tp->kernel_pieces, *slot.op->col_relation());
         for (Color c = 0; c < out_rows.color_count(); ++c)
             tp->nnz.push_back(tp->kernel_pieces.piece(c).volume());
         slot.tplan = std::move(tp);
+    }
+
+    /// Halo-exchange plan registration (the paper's comm/compute overlap).
+    /// The *second* multiply that reads a vector field marks it as a live,
+    /// repeatedly-exchanged input (CG's direction vector, preconditioner
+    /// inputs, ...) and freezes its consumers' needs into a runtime
+    /// ExchangePlan; one-shot inputs (the initial residual) never reach the
+    /// threshold, so their writes are not burdened with eager pushes. The
+    /// runtime drops plans when placement changes (set_home/move_home); the
+    /// next multiply re-registers from the new homes.
+    void ensure_exchange_plans(std::vector<OperatorSlot>& slots, const VecDesc& sv,
+                               bool transpose) {
+        if (!opts_.comm_plan) return;
+        // All consuming pieces per input (region, field), across every slot
+        // reading it in this multiply.
+        std::map<std::pair<rt::RegionId, rt::FieldId>, std::vector<rt::ExchangeConsumer>>
+            readers;
+        for (OperatorSlot& slot : slots) {
+            const OperatorPlan& plan = transpose ? *slot.tplan : slot.plan;
+            const CompId in_comp = transpose ? slot.rhs_comp : slot.sol_comp;
+            const Component& in = component_of(sv, in_comp);
+            const rt::FieldId fin =
+                field_for(sv, transpose ? VecKind::RHS : VecKind::SOL, in_comp);
+            auto& list = readers[{in.region, fin}];
+            for (Color c = 0; c < plan.row_pieces.color_count(); ++c) {
+                list.push_back({node_of_color(slot.task_color_base + c),
+                                plan.domain_needs.piece(c)});
+            }
+        }
+        for (auto& [key, list] : readers) {
+            if (++comm_uses_[key] < 2) continue;
+            if (rt_.has_exchange_plan(key.first, key.second)) continue;
+            rt_.set_exchange_plan(
+                key.first, key.second,
+                rt::build_exchange_plan(rt_.region(key.first).field(key.second).home, list,
+                                        opts_.comm_coalesce, opts_.comm_eager));
+        }
     }
 
     /// Shared machinery of matmul and psolve: dst ← Σ_ℓ slot_ℓ(src).
@@ -696,6 +765,7 @@ private:
         for (std::size_t j = 0; j < primary.size(); ++j) {
             if (primary[j] == nullptr) zero_component(dv, j);
         }
+        ensure_exchange_plans(slots, sv, /*transpose=*/false);
         // Primaries launch first so reducers order after the β=0 write.
         for (int pass = 0; pass < 2; ++pass) {
             for (OperatorSlot& slot : slots) {
@@ -937,6 +1007,9 @@ private:
     std::vector<OperatorSlot> preconditioners_;
     std::function<void(VecId, VecId)> matrix_free_psolve_;
     Color next_color_ = 0;
+    /// Multiply calls that read each (region, field) — the exchange-plan
+    /// registration threshold (see ensure_exchange_plans).
+    std::map<std::pair<rt::RegionId, rt::FieldId>, int> comm_uses_;
 };
 
 } // namespace kdr::core

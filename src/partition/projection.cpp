@@ -22,4 +22,57 @@ Partition preimage(const Partition& q, const Relation& rel) {
     return Partition(rel.source(), std::move(pieces));
 }
 
+namespace {
+
+struct CacheEntry {
+    std::uint64_t relation = 0;
+    bool forward = true; ///< image (source → target) vs preimage
+    Partition input;
+    Partition output;
+};
+
+struct ProjectionCache {
+    std::vector<CacheEntry> entries;
+    ProjectionCacheStats stats;
+    /// Projection results are small (interval lists), but a runaway producer
+    /// of one-off partitions should not grow the cache without bound.
+    static constexpr std::size_t kMaxEntries = 1024;
+
+    Partition lookup(const Partition& in, const Relation& rel, bool forward) {
+        for (const CacheEntry& e : entries) {
+            if (e.relation == rel.relation_id() && e.forward == forward && e.input == in) {
+                ++stats.hits;
+                return e.output;
+            }
+        }
+        ++stats.misses;
+        Partition out = forward ? image(in, rel) : preimage(in, rel);
+        if (entries.size() >= kMaxEntries) entries.clear();
+        entries.push_back({rel.relation_id(), forward, in, out});
+        return out;
+    }
+};
+
+ProjectionCache& cache() {
+    static ProjectionCache c;
+    return c;
+}
+
+} // namespace
+
+Partition image_cached(const Partition& p, const Relation& rel) {
+    return cache().lookup(p, rel, true);
+}
+
+Partition preimage_cached(const Partition& q, const Relation& rel) {
+    return cache().lookup(q, rel, false);
+}
+
+ProjectionCacheStats projection_cache_stats() noexcept { return cache().stats; }
+
+void clear_projection_cache() noexcept {
+    cache().entries.clear();
+    cache().stats = {};
+}
+
 } // namespace kdr

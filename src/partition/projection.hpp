@@ -12,6 +12,8 @@
 /// and arbitrary compositions such as eq. (5) for the finest partition of D
 /// needed to compute A²x.
 
+#include <cstdint>
+
 #include "partition/partition.hpp"
 #include "partition/relation.hpp"
 
@@ -24,5 +26,22 @@ namespace kdr {
 /// Preimage of partition `q` (over rel.target()) along `rel`: a partition of
 /// rel.source() with the same color space.
 [[nodiscard]] Partition preimage(const Partition& q, const Relation& rel);
+
+/// Memoizing variants. Plan derivation projects the same canonical
+/// partitions along the same row/col relations once per operator, per
+/// preconditioner, and per transpose plan; the cache (keyed by the
+/// relation's identity and the input partition) computes each projection
+/// once per process. Entries are verified against the stored input
+/// partition, so a hit is always exact. Not thread-safe (the runtime is
+/// single-threaded; execution time is simulated).
+[[nodiscard]] Partition image_cached(const Partition& p, const Relation& rel);
+[[nodiscard]] Partition preimage_cached(const Partition& q, const Relation& rel);
+
+struct ProjectionCacheStats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+};
+[[nodiscard]] ProjectionCacheStats projection_cache_stats() noexcept;
+void clear_projection_cache() noexcept;
 
 } // namespace kdr

@@ -6,6 +6,11 @@
 
 namespace kdr {
 
+Relation::Relation() {
+    static std::uint64_t next_id = 0;
+    id_ = next_id++;
+}
+
 namespace {
 
 /// Build CSR-style adjacency (offsets, values) from (key, value) pairs where

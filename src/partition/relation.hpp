@@ -14,6 +14,7 @@
 /// is the generic fallback for user-defined formats, requiring nothing beyond
 /// an enumerable pair list (paper P2).
 
+#include <cstdint>
 #include <memory>
 #include <vector>
 
@@ -24,7 +25,14 @@ namespace kdr {
 
 class Relation {
 public:
+    Relation();
     virtual ~Relation() = default;
+
+    /// Process-unique identity assigned at construction, keying the
+    /// projection cache (projection.hpp). Copies keep the original's id —
+    /// relations are immutable once built, so equal identity implies equal
+    /// projections.
+    [[nodiscard]] std::uint64_t relation_id() const noexcept { return id_; }
 
     /// The space of left elements (`I` in `rel ⊆ I × J`).
     [[nodiscard]] virtual const IndexSpace& source() const = 0;
@@ -38,6 +46,9 @@ public:
 
     /// Enumerate all pairs (testing / generic fallback; may be large).
     [[nodiscard]] virtual std::vector<std::pair<gidx, gidx>> enumerate() const = 0;
+
+private:
+    std::uint64_t id_;
 };
 
 /// A relation stored explicitly as a pair list with adjacency indexes in both

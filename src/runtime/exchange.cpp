@@ -1,0 +1,41 @@
+#include "runtime/exchange.hpp"
+
+#include <map>
+
+namespace kdr::rt {
+
+ExchangePlan build_exchange_plan(const std::vector<HomePiece>& home,
+                                 const std::vector<ExchangeConsumer>& consumers,
+                                 bool coalesce, bool eager) {
+    // Per destination node, the union of everything its pieces read; a node
+    // running several pieces still receives each element once.
+    std::map<int, IntervalSet> needs;
+    for (const ExchangeConsumer& c : consumers) {
+        if (c.second.empty()) continue;
+        IntervalSet& need = needs[c.first];
+        need = need.set_union(c.second);
+    }
+
+    ExchangePlan plan;
+    plan.eager = eager;
+    std::map<std::pair<int, int>, IntervalSet> pair_elems;
+    for (const auto& [dst, need] : needs) {
+        for (const HomePiece& h : home) {
+            if (h.node == dst) continue;
+            const IntervalSet part = need.set_intersection(h.subset);
+            if (part.empty()) continue;
+            if (coalesce) {
+                IntervalSet& elems = pair_elems[{h.node, dst}];
+                elems = elems.set_union(part);
+            } else {
+                plan.messages.push_back({h.node, dst, part});
+            }
+        }
+    }
+    for (auto& [key, elems] : pair_elems) {
+        plan.messages.push_back({key.first, key.second, std::move(elems)});
+    }
+    return plan;
+}
+
+} // namespace kdr::rt

@@ -1,0 +1,56 @@
+#pragma once
+
+/// \file exchange.hpp
+/// Precomputed halo-exchange plans (paper §3.1 / §6). For a (field,
+/// canonical partition) pair the planner knows, ahead of time, exactly which
+/// remote elements every consuming node will need: the dependent-partitioning
+/// projection images. An ExchangePlan bakes that knowledge into per
+/// (src node, dst node) messages so the runtime can
+///
+///  * coalesce all elements travelling between a node pair into ONE message
+///    (amortizing the per-message NIC overhead), and
+///  * issue a message eagerly the moment its last producing write commits,
+///    overlapping the transfer with independent kernels instead of stalling
+///    the consumer at kernel-ready time.
+///
+/// Plans are pure timing-layer objects: they change *when* transfer events
+/// are charged on the simulated cluster, never what data kernels compute on,
+/// so convergence histories are bitwise unaffected.
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "runtime/region.hpp"
+
+namespace kdr::rt {
+
+/// All elements one destination node needs from one source node.
+struct ExchangeMessage {
+    int src = 0;
+    int dst = 0;
+    IntervalSet elems;
+};
+
+struct ExchangePlan {
+    std::vector<ExchangeMessage> messages;
+    /// Push messages at producer-commit time; off = plan messages are still
+    /// coalesced but fetched lazily at consumer-ready time.
+    bool eager = true;
+
+    [[nodiscard]] std::size_t message_count() const noexcept { return messages.size(); }
+};
+
+/// One consuming piece: the node it runs on and the elements it reads.
+using ExchangeConsumer = std::pair<int, IntervalSet>;
+
+/// Build the plan for a field with home map `home` read by `consumers`.
+/// With `coalesce` every (src, dst) node pair gets one message holding the
+/// union of all elements between them; without it each (home piece, dst)
+/// pair gets its own message (the per-piece ablation point). Local reads
+/// (src == dst) never produce messages.
+[[nodiscard]] ExchangePlan build_exchange_plan(const std::vector<HomePiece>& home,
+                                               const std::vector<ExchangeConsumer>& consumers,
+                                               bool coalesce = true, bool eager = true);
+
+} // namespace kdr::rt

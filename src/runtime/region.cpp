@@ -1,5 +1,8 @@
 #include "runtime/region.hpp"
 
+#include <iterator>
+#include <utility>
+
 namespace kdr::rt {
 
 FieldStorage::FieldStorage(std::string name, std::size_t elem_size, gidx count, bool materialize,
@@ -11,6 +14,30 @@ FieldStorage::FieldStorage(std::string name, std::size_t elem_size, gidx count, 
         data_.assign(static_cast<std::size_t>(count) * elem_size_, std::byte{0});
     }
     home.push_back({IntervalSet::full(count), 0});
+}
+
+void FieldStorage::invalidate_overlapping(const IntervalSet& written) {
+    for (auto it = cache.begin(); it != cache.end();) {
+        std::vector<CachedPiece>& entries = it->second;
+        std::erase_if(entries, [&](CachedPiece& e) {
+            if (!e.subset.intersects(written)) return false;
+            e.subset = e.subset.set_difference(written);
+            return e.subset.empty();
+        });
+        it = entries.empty() ? cache.erase(it) : std::next(it);
+    }
+}
+
+CachedPiece& FieldStorage::install_cached(int node, IntervalSet subset, double arrival,
+                                          double issued, bool eager) {
+    std::vector<CachedPiece>& entries = cache[node];
+    std::erase_if(entries, [&](CachedPiece& e) {
+        if (!e.subset.intersects(subset)) return false;
+        e.subset = e.subset.set_difference(subset);
+        return e.subset.empty();
+    });
+    entries.push_back({std::move(subset), arrival, issued, eager, false});
+    return entries.back();
 }
 
 FieldId Region::add_field(std::string field_name, std::size_t elem_size, bool materialize,

@@ -8,11 +8,12 @@
 /// costs derive from metadata).
 ///
 /// Placement: each (region, field) carries a home map — a list of
-/// (subset, node) pieces — plus a version counter bumped on every write and a
-/// per-node cache of fetched pieces. The runtime consults these to insert
-/// transfer events for remote reads; read-only data (matrices) is fetched
-/// once and cached until written, while per-iteration vector writes
-/// invalidate caches and force fresh halo exchanges — matching the
+/// (subset, node) pieces — plus a per-node cache of remote element copies the
+/// node already holds (fetched lazily or pushed eagerly by an exchange
+/// plan). The runtime consults these to insert transfer events for remote
+/// reads; read-only data (matrices) is fetched once and cached until
+/// written, while per-iteration vector writes invalidate exactly the
+/// overlapping cached copies and force fresh halo exchanges — matching the
 /// steady-state communication pattern of the paper's solvers.
 
 #include <cstddef>
@@ -34,6 +35,17 @@ namespace kdr::rt {
 struct HomePiece {
     IntervalSet subset;
     int node = 0;
+};
+
+/// One copy of remote elements a node holds. Entries of the same node are
+/// kept pairwise disjoint so a read's availability is the max arrival over
+/// the entries it intersects, never a stale duplicate.
+struct CachedPiece {
+    IntervalSet subset;
+    double arrival = 0.0; ///< virtual time the copy becomes usable
+    double issued = 0.0;  ///< when its transfer was issued (overlap accounting)
+    bool eager = false;   ///< pushed by an exchange plan at producer-commit time
+    bool counted = false; ///< overlap already credited to transfer_overlap_seconds
 };
 
 class FieldStorage {
@@ -63,11 +75,18 @@ public:
 
     // --- placement & coherence bookkeeping (used by the Runtime) ---
     std::vector<HomePiece> home;            ///< defaults to everything on node 0
-    std::uint64_t version = 0;              ///< bumped on every write
-    /// Per destination node: subset-key → version at fetch time.
-    std::unordered_map<int, std::unordered_map<std::uint64_t, std::uint64_t>> cache;
+    /// Per destination node: disjoint copies of remote elements it holds.
+    std::unordered_map<int, std::vector<CachedPiece>> cache;
     /// When the written data becomes globally visible (incl. write-back).
     double data_ready = 0.0;
+
+    /// Drop the parts of every node's cached copies that a write to `written`
+    /// made stale. Copies of disjoint elements survive.
+    void invalidate_overlapping(const IntervalSet& written);
+    /// Record that `node` now holds `subset` (arriving at `arrival`),
+    /// subtracting it from older entries so entries stay disjoint.
+    CachedPiece& install_cached(int node, IntervalSet subset, double arrival, double issued,
+                                bool eager);
 
 private:
     std::string name_;

@@ -23,6 +23,9 @@ Runtime::Runtime(sim::MachineDesc machine, Options options)
     trace_skip_ctr_ = &metrics_.counter("trace_depanalysis_skipped");
     trace_invalid_ctr_ = &metrics_.counter("trace_invalidations");
     migration_ctr_ = &metrics_.counter("home_migrations");
+    exchange_plans_ctr_ = &metrics_.counter("exchange_plans_built");
+    coalesced_msg_ctr_ = &metrics_.counter("coalesced_messages");
+    overlap_ctr_ = &metrics_.counter("transfer_overlap_seconds");
     commit_ring_.resize(1024); // grown at end-of-recording to span the trace
     task_duration_hist_ = &metrics_.histogram(
         "task_duration_seconds", obs::Histogram::exponential_bounds(1e-7, 10.0, 7));
@@ -95,6 +98,8 @@ void Runtime::set_home(RegionId r, FieldId f, std::vector<HomePiece> pieces) {
     }
     ++structure_epoch_;
     region(r).field(f).home = std::move(pieces);
+    // Any exchange plan was built from the old placement's home pieces.
+    exchanges_.erase(field_key(r, f));
 }
 
 void Runtime::set_home_from_partition(RegionId r, FieldId f, const Partition& part,
@@ -154,11 +159,13 @@ void Runtime::move_home(RegionId r, FieldId f, const IntervalSet& piece, int new
     next.push_back({piece, new_node});
     fs.home = std::move(next);
 
-    // Conservative: migration republishes the range — future readers wait for
-    // the arrival, and stale per-node piece caches of this field are dropped.
+    // Migration republishes the range — future readers wait for the arrival
+    // and cached copies of the moved elements are dropped; copies of
+    // untouched elements stay valid. The exchange plan named the old source
+    // node, so it goes too.
     if (validator_ != nullptr) validator_->note_migration(r, f, piece);
-    ++fs.version;
-    fs.cache.clear();
+    fs.invalidate_overlapping(piece);
+    exchanges_.erase(key);
     fs.data_ready = std::max(fs.data_ready, arrival);
     if (auto it = field_states_.find(key); it != field_states_.end()) {
         replace_or_append(it->second.writers, Access{task_counter_, arrival, piece});
@@ -408,12 +415,12 @@ void Runtime::commit_requirement(const RegionReq& req, TaskSeq seq, double finis
             drop_covered(st.readers);
             drop_covered(st.reducers);
             st.writers.push_back(Access{seq, finish, req.subset, kNoReduction, req_index});
-            ++fs.version;
+            fs.invalidate_overlapping(req.subset);
             break;
         case Privilege::Reduce:
             replace_or_append(st.reducers,
                               Access{seq, finish, req.subset, req.redop, req_index});
-            ++fs.version;
+            fs.invalidate_overlapping(req.subset);
             break;
     }
 }
@@ -440,22 +447,126 @@ void Runtime::ensure_ring_capacity(std::size_t needed) {
 double Runtime::issue_read_transfers(const RegionReq& req, int dst_node, double ready) {
     FieldStorage& fs = region(req.region).field(req.field);
     double arrival = ready;
+
+    // Everything this read needs that is not homed on the reading node.
+    IntervalSet remote;
     for (const HomePiece& h : fs.home) {
         if (h.node == dst_node) continue;
         const IntervalSet part = req.subset.set_intersection(h.subset);
-        if (part.empty()) continue;
-        auto& node_cache = fs.cache[dst_node];
-        const std::uint64_t key = subset_key(part);
-        if (auto it = node_cache.find(key); it != node_cache.end() && it->second == fs.version) {
-            continue; // cached copy still valid
+        if (!part.empty()) remote = remote.set_union(part);
+    }
+    if (remote.empty()) return arrival;
+
+    // Copies the node already holds (lazily fetched earlier, or pushed by an
+    // eager exchange plan). Entries are disjoint, so availability is the max
+    // arrival over the intersected ones. The first consumer of an eager copy
+    // credits how much of the transfer ran before it was needed.
+    IntervalSet missing = remote;
+    if (auto it = fs.cache.find(dst_node); it != fs.cache.end()) {
+        for (CachedPiece& e : it->second) {
+            if (!e.subset.intersects(remote)) continue;
+            missing = missing.set_difference(e.subset);
+            arrival = std::max(arrival, e.arrival);
+            if (e.eager && !e.counted) {
+                e.counted = true;
+                overlap_ctr_->add(std::max(0.0, std::min(e.arrival, ready) - e.issued));
+            }
         }
+    }
+    if (missing.empty()) return arrival;
+
+    const auto fetch = [&](int src, const IntervalSet& part) {
         const double bytes =
             static_cast<double>(part.volume()) * static_cast<double>(fs.elem_size());
-        arrival = std::max(arrival, cluster_.transfer(h.node, dst_node, ready, bytes));
-        record_transfer(h.node, dst_node, bytes);
-        node_cache[key] = fs.version;
+        const double at = cluster_.transfer(src, dst_node, ready, bytes);
+        record_transfer(src, dst_node, bytes);
+        fs.install_cached(dst_node, part, at, ready, /*eager=*/false);
+        arrival = std::max(arrival, at);
+    };
+
+    // Plan path: pull each whole plan message whose elements are still
+    // missing as one coalesced transfer (a lazily-consumed plan, or the
+    // remainder of an eager round the producers have not completed yet).
+    if (auto ex = exchanges_.find(field_key(req.region, req.field)); ex != exchanges_.end()) {
+        for (const ExchangeMessage& m : ex->second.plan.messages) {
+            if (m.dst != dst_node) continue;
+            const IntervalSet part = m.elems.set_intersection(missing);
+            if (part.empty()) continue;
+            fetch(m.src, part);
+            coalesced_msg_ctr_->inc();
+            missing = missing.set_difference(part);
+            if (missing.empty()) return arrival;
+        }
+    }
+
+    // Per-piece fallback for reads no plan message covers.
+    for (const HomePiece& h : fs.home) {
+        if (h.node == dst_node) continue;
+        const IntervalSet part = missing.set_intersection(h.subset);
+        if (part.empty()) continue;
+        fetch(h.node, part);
+        missing = missing.set_difference(part);
+        if (missing.empty()) break;
     }
     return arrival;
+}
+
+// --------------------------------------------------------- exchange plans
+
+void Runtime::set_exchange_plan(RegionId r, FieldId f, ExchangePlan plan) {
+    for (const ExchangeMessage& m : plan.messages) {
+        KDR_REQUIRE(m.src >= 0 && m.src < machine().nodes && m.dst >= 0 &&
+                        m.dst < machine().nodes,
+                    "set_exchange_plan: message endpoint out of range");
+        KDR_REQUIRE(m.src != m.dst, "set_exchange_plan: local message (src == dst)");
+        KDR_REQUIRE(!m.elems.empty(), "set_exchange_plan: empty message");
+    }
+    ExchangeState st;
+    st.msgs.resize(plan.messages.size());
+    st.plan = std::move(plan);
+    exchanges_[field_key(r, f)] = std::move(st);
+    exchange_plans_ctr_->inc();
+}
+
+void Runtime::clear_exchange_plan(RegionId r, FieldId f) {
+    exchanges_.erase(field_key(r, f));
+}
+
+bool Runtime::has_exchange_plan(RegionId r, FieldId f) const {
+    return exchanges_.contains(field_key(r, f));
+}
+
+void Runtime::eager_exchange(const RegionReq& req, double finish) {
+    const auto it = exchanges_.find(field_key(req.region, req.field));
+    if (it == exchanges_.end() || !it->second.plan.eager) return;
+    ExchangeState& ex = it->second;
+    FieldStorage& fs = region(req.region).field(req.field);
+    for (std::size_t i = 0; i < ex.plan.messages.size(); ++i) {
+        const ExchangeMessage& m = ex.plan.messages[i];
+        const IntervalSet part = req.subset.set_intersection(m.elems);
+        if (part.empty()) continue;
+        ExchangeMsgState& st = ex.msgs[i];
+        if (st.pending.intersects(part)) {
+            // A rewrite of already-pending elements starts a fresh round
+            // (the previous round fired, or never completed and is stale).
+            st.pending = {};
+            st.ready = 0.0;
+        }
+        st.pending = st.pending.set_union(part);
+        st.ready = std::max(st.ready, finish);
+        if (!st.pending.contains_all(m.elems)) continue;
+        // Every element of the message has been (re)written: push the whole
+        // coalesced copy now, at producer-commit time, so the wire time runs
+        // concurrently with whatever executes before the consumer is ready.
+        const double bytes = static_cast<double>(m.elems.volume()) *
+                             static_cast<double>(fs.elem_size());
+        const double at = cluster_.transfer(m.src, m.dst, st.ready, bytes);
+        record_transfer(m.src, m.dst, bytes);
+        coalesced_msg_ctr_->inc();
+        fs.install_cached(m.dst, m.elems, at, st.ready, /*eager=*/true);
+        st.pending = {};
+        st.ready = 0.0;
+    }
 }
 
 double Runtime::issue_write_backs(const RegionReq& req, int src_node, double finish) {
@@ -680,6 +791,17 @@ FutureScalar Runtime::launch(TaskLaunch launch) {
         commit_requirement(req, seq, req_finish[i], static_cast<std::uint32_t>(i));
     }
     ring_store(seq, req_finish);
+
+    // Producer-driven halo pushes: a committed write completes its exchange
+    // messages as early as the data is at home (req_finish includes the
+    // write-back), overlapping the transfers with downstream kernels. Runs
+    // after the commits above so the pushed copies survive invalidation.
+    for (std::size_t i = 0; i < nreq; ++i) {
+        const RegionReq& req = launch.requirements[i];
+        if (writes(req.privilege) || req.privilege == Privilege::Reduce) {
+            eager_exchange(req, req_finish[i]);
+        }
+    }
 
     const double duration = cluster_.duration_of(proc, launch.cost);
     task_duration_hist_->observe(duration);

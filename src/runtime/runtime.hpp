@@ -33,6 +33,7 @@
 #include "obs/report.hpp"
 #include "obs/span.hpp"
 #include "partition/partition.hpp"
+#include "runtime/exchange.hpp"
 #include "runtime/mapper.hpp"
 #include "runtime/region.hpp"
 #include "runtime/types.hpp"
@@ -143,6 +144,19 @@ public:
 
     /// Node currently homing the majority of `piece` (diagnostics).
     [[nodiscard]] int home_node(RegionId r, FieldId f, const IntervalSet& piece) const;
+
+    // ------------------------------------------------------ exchange plans
+    /// Install the halo-exchange plan for (region, field): plan messages are
+    /// issued as single coalesced transfers — eagerly at producer-commit
+    /// time when the plan says so, otherwise lazily at consumer-ready time —
+    /// in place of per-home-piece on-demand fetches. Replaces any previous
+    /// plan. Plans are timing-only; numerics are unaffected.
+    void set_exchange_plan(RegionId r, FieldId f, ExchangePlan plan);
+    /// Drop the plan for (region, field); reads fall back to per-piece
+    /// fetches. No-op if none is installed. Also done implicitly when
+    /// set_home/move_home changes the placement the plan was built from.
+    void clear_exchange_plan(RegionId r, FieldId f);
+    [[nodiscard]] bool has_exchange_plan(RegionId r, FieldId f) const;
 
     // ------------------------------------------------------------- mapper
     void set_mapper(std::unique_ptr<Mapper> mapper);
@@ -257,8 +271,18 @@ private:
     void commit_requirement(const RegionReq& req, TaskSeq seq, double finish,
                             std::uint32_t req_index);
 
-    /// Transfers needed to satisfy a read; returns latest arrival.
+    /// Transfers needed to satisfy a read; returns latest arrival. Consults
+    /// the destination's cached copies first, then the field's exchange plan
+    /// (whole plan messages, coalesced), then falls back to per-piece
+    /// fetches for anything no plan message covers.
     double issue_read_transfers(const RegionReq& req, int dst_node, double ready);
+
+    /// Producer-side half of an eager exchange plan: fold a committed write
+    /// into the per-message pending sets and fire every message whose
+    /// elements are now fully (re)written, overlapping the transfer with
+    /// whatever runs next. `finish` must include the write-back arrival so
+    /// the pushed copy leaves from home.
+    void eager_exchange(const RegionReq& req, double finish);
 
     /// Write-backs for writes landing off-home; returns latest arrival.
     double issue_write_backs(const RegionReq& req, int src_node, double finish);
@@ -307,7 +331,23 @@ private:
     obs::Counter* trace_skip_ctr_ = nullptr;
     obs::Counter* trace_invalid_ctr_ = nullptr;
     obs::Counter* migration_ctr_ = nullptr;
+    obs::Counter* exchange_plans_ctr_ = nullptr;
+    obs::Counter* coalesced_msg_ctr_ = nullptr;
+    obs::Counter* overlap_ctr_ = nullptr;
     obs::Histogram* task_duration_hist_ = nullptr;
+
+    // Exchange plans. Per plan message, the producer-side state: which of
+    // the message's elements the current write round has committed and when
+    // the latest of those writes (incl. write-back) lands at home.
+    struct ExchangeMsgState {
+        IntervalSet pending;
+        double ready = 0.0;
+    };
+    struct ExchangeState {
+        ExchangePlan plan;
+        std::vector<ExchangeMsgState> msgs; ///< parallel to plan.messages
+    };
+    std::unordered_map<std::uint64_t, ExchangeState> exchanges_;
 
     // Tracing. A trace goes through three phases (DESIGN.md §5):
     //   record  — first instance: signatures are memoized, full dynamic

@@ -82,13 +82,22 @@ double SimCluster::transfer(int src_node, int dst_node, double ready, double byt
     // send direction is free; delivery additionally waits for the receive
     // direction. Seizing both queues for a common interval would create
     // artificial convoys across chains of neighbor exchanges.
+    //
+    // Each direction pays a fixed per-message overhead before the payload
+    // streams, so n small messages cost n overheads where one coalesced
+    // message pays it once. Payloads above the eager threshold additionally
+    // pay a rendezvous handshake (request + grant, one latency each way)
+    // before the wire time starts.
+    const double ovh = desc_.nic_message_overhead;
+    const double handshake =
+        bytes > desc_.nic_eager_threshold ? 2.0 * desc_.nic_latency : 0.0;
     const double send_start = std::max(ready, snd.free_at);
-    snd.free_at = send_start + wire;
-    snd.busy += wire;
-    const double recv_start = std::max(send_start, rcv.free_at);
-    rcv.free_at = recv_start + wire;
-    rcv.busy += wire;
-    const double arrival = recv_start + wire + desc_.nic_latency + fault_latency;
+    snd.free_at = send_start + ovh + wire;
+    snd.busy += ovh + wire;
+    const double recv_start = std::max(send_start + handshake, rcv.free_at);
+    rcv.free_at = recv_start + ovh + wire;
+    rcv.busy += ovh + wire;
+    const double arrival = recv_start + ovh + wire + desc_.nic_latency + fault_latency;
     last_arrival_ = std::max(last_arrival_, arrival);
     return arrival;
 }

@@ -50,6 +50,14 @@ struct MachineDesc {
     double nic_latency = 1.5e-6;     ///< InfiniBand EDR one-way
     double nic_bandwidth = 1.25e10;  ///< 100 Gb/s
     double intra_node_bandwidth = 5.0e10; ///< NVLink2/PCIe staging
+    /// Fixed per-message cost each NIC direction pays before the payload
+    /// streams (descriptor setup, protocol processing). This is what makes
+    /// one coalesced message cheaper than many small ones.
+    double nic_message_overhead = 1.0e-6;
+    /// Messages larger than this many bytes use the rendezvous protocol: a
+    /// request/grant handshake (two one-way latencies) precedes the payload
+    /// instead of buffering it eagerly at the receiver.
+    double nic_eager_threshold = 16384.0;
 
     // Task-oriented runtime costs (Legion-like).
     double task_launch_overhead = 8.0e-6;   ///< dynamic dependence analysis + dispatch
@@ -74,6 +82,8 @@ struct MachineDesc {
         KDR_REQUIRE(gpu_flops > 0 && gpu_mem_bw > 0 && cpu_core_flops > 0 &&
                         cpu_core_mem_bw > 0 && nic_bandwidth > 0,
                     "MachineDesc: nonpositive rates");
+        KDR_REQUIRE(nic_message_overhead >= 0.0 && nic_eager_threshold >= 0.0,
+                    "MachineDesc: negative NIC message costs");
     }
 };
 

@@ -1,0 +1,108 @@
+#include "support/options.hpp"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "support/error.hpp"
+
+namespace kdr::support {
+
+void OptionSet::add(const std::string& name, Kind kind, void* target, std::string help,
+                    std::string default_value) {
+    KDR_REQUIRE(!name.empty(), "OptionSet: empty option name");
+    for (const Opt& o : opts_) {
+        KDR_REQUIRE(o.name != name, "OptionSet: duplicate option -", name);
+    }
+    std::string env = "KDR_";
+    for (char c : name) {
+        env += static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+    }
+    opts_.push_back({name, std::move(env), std::move(help), kind, target,
+                     std::move(default_value)});
+}
+
+void OptionSet::add_flag(const std::string& name, bool& target, std::string help) {
+    add(name, Kind::Flag, &target, std::move(help), target ? "1" : "0");
+}
+void OptionSet::add_int(const std::string& name, int& target, std::string help) {
+    add(name, Kind::Int32, &target, std::move(help), std::to_string(target));
+}
+void OptionSet::add_int(const std::string& name, std::int64_t& target, std::string help) {
+    add(name, Kind::Int, &target, std::move(help), std::to_string(target));
+}
+void OptionSet::add_uint(const std::string& name, std::uint64_t& target, std::string help) {
+    add(name, Kind::Uint, &target, std::move(help), std::to_string(target));
+}
+void OptionSet::add_double(const std::string& name, double& target, std::string help) {
+    add(name, Kind::Double, &target, std::move(help), std::to_string(target));
+}
+void OptionSet::add_string(const std::string& name, std::string& target, std::string help) {
+    add(name, Kind::String, &target, std::move(help), target);
+}
+
+void OptionSet::set_from(const Opt& o, const std::string& value, const char* source) {
+    switch (o.kind) {
+        case Kind::Flag:
+            *static_cast<bool*>(o.target) = !value.empty() && value != "0";
+            break;
+        case Kind::Int32:
+        case Kind::Int: {
+            char* end = nullptr;
+            const std::int64_t v = std::strtoll(value.c_str(), &end, 10);
+            KDR_REQUIRE(end != value.c_str() && *end == '\0', source, " ", o.name,
+                        " expects an integer, got '", value, "'");
+            if (o.kind == Kind::Int32) {
+                *static_cast<int*>(o.target) = static_cast<int>(v);
+            } else {
+                *static_cast<std::int64_t*>(o.target) = v;
+            }
+            break;
+        }
+        case Kind::Uint: {
+            char* end = nullptr;
+            const std::uint64_t v = std::strtoull(value.c_str(), &end, 10);
+            KDR_REQUIRE(end != value.c_str() && *end == '\0' && value.find('-') ==
+                            std::string::npos,
+                        source, " ", o.name, " expects a non-negative integer, got '", value,
+                        "'");
+            *static_cast<std::uint64_t*>(o.target) = v;
+            break;
+        }
+        case Kind::Double: {
+            char* end = nullptr;
+            const double v = std::strtod(value.c_str(), &end);
+            KDR_REQUIRE(end != value.c_str() && *end == '\0', source, " ", o.name,
+                        " expects a number, got '", value, "'");
+            *static_cast<double*>(o.target) = v;
+            break;
+        }
+        case Kind::String:
+            *static_cast<std::string*>(o.target) = value;
+            break;
+    }
+}
+
+void OptionSet::apply_env() const {
+    for (const Opt& o : opts_) {
+        if (const char* e = std::getenv(o.env.c_str()); e != nullptr) {
+            set_from(o, e, "environment variable");
+        }
+    }
+}
+
+void OptionSet::apply_cli(const CliArgs& args) const {
+    for (const Opt& o : opts_) {
+        if (args.has(o.name)) set_from(o, args.get_string(o.name, ""), "flag -");
+    }
+}
+
+std::string OptionSet::help() const {
+    std::string out;
+    for (const Opt& o : opts_) {
+        out += "  -" + o.name + " (env " + o.env + ", default " + o.default_value + ")\n      " +
+               o.help + "\n";
+    }
+    return out;
+}
+
+} // namespace kdr::support

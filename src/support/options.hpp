@@ -1,0 +1,67 @@
+#pragma once
+
+/// \file options.hpp
+/// The unified option surface: every knob registered with an OptionSet gets,
+/// from one declaration,
+///
+///   * a `KDR_<NAME>` environment override (uppercased name), and
+///   * a matching `-<name> <value>` CLI flag (CliArgs syntax), and
+///   * a line in the generated help text,
+///
+/// applied in that order, so the CLI wins over the environment which wins
+/// over the compiled-in default. This replaces per-binary ad-hoc flag
+/// handling: binaries bind their RuntimeOptions/PlannerOptions fields once
+/// (core/options.hpp does it for the common set) and call parse().
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/cli.hpp"
+
+namespace kdr::support {
+
+class OptionSet {
+public:
+    /// Bind one knob. `name` is the CLI flag (without the dash); the env
+    /// variable is KDR_ + uppercase(name). The bound object must outlive
+    /// apply_env/apply_cli.
+    void add_flag(const std::string& name, bool& target, std::string help);
+    void add_int(const std::string& name, int& target, std::string help);
+    void add_int(const std::string& name, std::int64_t& target, std::string help);
+    void add_uint(const std::string& name, std::uint64_t& target, std::string help);
+    void add_double(const std::string& name, double& target, std::string help);
+    void add_string(const std::string& name, std::string& target, std::string help);
+
+    /// Apply KDR_* environment overrides to every bound knob. Empty and "0"
+    /// mean false for flags; other values parse per the knob's type.
+    void apply_env() const;
+    /// Apply `-name value` CLI overrides.
+    void apply_cli(const CliArgs& args) const;
+    /// Environment first, then CLI (CLI wins).
+    void parse(const CliArgs& args) const {
+        apply_env();
+        apply_cli(args);
+    }
+
+    /// One "-name (env KDR_NAME, default X)  help" line per knob.
+    [[nodiscard]] std::string help() const;
+
+private:
+    enum class Kind : std::uint8_t { Flag, Int32, Int, Uint, Double, String };
+    struct Opt {
+        std::string name;
+        std::string env; ///< KDR_<NAME>
+        std::string help;
+        Kind kind;
+        void* target;
+        std::string default_value; ///< captured at add time, for help()
+    };
+    void add(const std::string& name, Kind kind, void* target, std::string help,
+             std::string default_value);
+    static void set_from(const Opt& o, const std::string& value, const char* source);
+
+    std::vector<Opt> opts_;
+};
+
+} // namespace kdr::support

@@ -159,7 +159,7 @@ TEST(RebalanceIntegration, MigrationDelaysNextReaderInVirtualTime) {
     plan.domain_needs = Partition::single(D);
     plan.row_pieces = Partition::single(D);
     plan.nnz = {3 * n};
-    planner.add_operator_planned(nullptr, std::move(plan), 0, 0);
+    planner.add_operator(nullptr, 0, 0, std::move(plan));
     (*table)[planner.matmul_color(0, 0)] = 0;
 
     const VecId y = planner.allocate_workspace_vector(VecKind::RHS);

@@ -126,7 +126,7 @@ TEST(PipelinedCg, HidesReductionLatencyAtSmallSizes) {
         plan.domain_needs = cp.halo;
         plan.row_pieces = cp.rows;
         plan.nnz = cp.nnz;
-        planner.add_operator_planned(nullptr, std::move(plan), 0, 0);
+        planner.add_operator(nullptr, 0, 0, std::move(plan));
 
         std::unique_ptr<Solver<double>> solver;
         if (pipelined) {

@@ -61,7 +61,7 @@ struct TimingSetup {
         plan.domain_needs = cp.halo;
         plan.row_pieces = cp.rows;
         plan.nnz = cp.nnz;
-        planner->add_operator_planned(nullptr, std::move(plan), 0, 0);
+        planner->add_operator(nullptr, 0, 0, std::move(plan));
     }
 };
 
@@ -214,7 +214,7 @@ TEST(TimingMode, FunctionalRuntimeRejectsNullPlannedOperator) {
     plan.domain_needs = Partition::single(D);
     plan.row_pieces = Partition::single(D);
     plan.nnz = {8};
-    EXPECT_THROW(planner.add_operator_planned(nullptr, std::move(plan), 0, 0), Error);
+    EXPECT_THROW(planner.add_operator(nullptr, 0, 0, std::move(plan)), Error);
 }
 
 } // namespace

@@ -12,6 +12,7 @@ sim::MachineDesc machine2x2() {
     m.gpus_per_node = 2;
     m.gpu_launch_overhead = 0.0;
     m.nic_latency = 0.0;
+    m.nic_message_overhead = 0.0;
     return m;
 }
 

@@ -16,6 +16,7 @@ struct Fixture : ::testing::Test {
         m.task_launch_overhead = 0.0; // keep arithmetic exact in these tests
         m.gpu_launch_overhead = 0.0;
         m.nic_latency = 0.0;
+        m.nic_message_overhead = 0.0;
         m.nic_bandwidth = 1e30; // make data movement negligible here;
         m.intra_node_bandwidth = 1e30; // transfer costs get their own tests
         return m;
@@ -153,6 +154,7 @@ TEST(FieldKey, FieldIdsBeyond16BitsDoNotAliasAcrossRegions) {
     m.task_launch_overhead = 0.0;
     m.gpu_launch_overhead = 0.0;
     m.nic_latency = 0.0;
+    m.nic_message_overhead = 0.0;
     m.nic_bandwidth = 1e30;
     m.intra_node_bandwidth = 1e30;
     Runtime rt(m, {.materialize = false, .profiling = false});

@@ -1,0 +1,197 @@
+/// Exchange-plan tests: plan construction (coalesced messages cover exactly
+/// the union of the per-piece fetches), the lazy plan path (fewer, larger
+/// messages for the same bytes), the eager push path (transfers issued at
+/// producer-commit time, satisfied from cache at consume time), and the plan
+/// lifecycle against placement changes.
+
+#include "runtime/exchange.hpp"
+
+#include <gtest/gtest.h>
+
+#include "runtime/runtime.hpp"
+#include "support/error.hpp"
+
+namespace kdr::rt {
+namespace {
+
+std::vector<HomePiece> four_piece_home() {
+    // Two home pieces per node: coalescing has something to merge.
+    return {{IntervalSet(0, 250), 0},
+            {IntervalSet(250, 500), 0},
+            {IntervalSet(500, 750), 1},
+            {IntervalSet(750, 1000), 1}};
+}
+
+TEST(BuildExchangePlan, CoalescesPerNodePair) {
+    const auto home = four_piece_home();
+    const ExchangePlan plan =
+        build_exchange_plan(home, {{2, IntervalSet(100, 900)}}, /*coalesce=*/true,
+                            /*eager=*/true);
+    // One message per (src, dst) node pair, covering the union of the
+    // per-piece fetches that pair would otherwise issue.
+    ASSERT_EQ(plan.message_count(), 2u);
+    for (const ExchangeMessage& m : plan.messages) {
+        EXPECT_EQ(m.dst, 2);
+        if (m.src == 0) {
+            EXPECT_EQ(m.elems, IntervalSet(100, 500));
+        } else {
+            EXPECT_EQ(m.src, 1);
+            EXPECT_EQ(m.elems, IntervalSet(500, 900));
+        }
+    }
+}
+
+TEST(BuildExchangePlan, MergesConsumersOfTheSamePair) {
+    const auto home = four_piece_home();
+    const ExchangePlan plan = build_exchange_plan(
+        home, {{2, IntervalSet(0, 200)}, {2, IntervalSet(150, 400)}}, true, true);
+    ASSERT_EQ(plan.message_count(), 1u);
+    EXPECT_EQ(plan.messages[0].src, 0);
+    EXPECT_EQ(plan.messages[0].dst, 2);
+    EXPECT_EQ(plan.messages[0].elems, IntervalSet(0, 400));
+}
+
+TEST(BuildExchangePlan, PerPieceWhenNotCoalesced) {
+    const auto home = four_piece_home();
+    const ExchangePlan plan =
+        build_exchange_plan(home, {{2, IntervalSet(100, 900)}}, /*coalesce=*/false, true);
+    // One message per (home piece, consumer node): 4 pieces all overlap.
+    EXPECT_EQ(plan.message_count(), 4u);
+    IntervalSet covered;
+    for (const ExchangeMessage& m : plan.messages) covered = covered.set_union(m.elems);
+    EXPECT_EQ(covered, IntervalSet(100, 900)) << "same coverage either way";
+}
+
+TEST(BuildExchangePlan, SkipsLocalElements) {
+    const auto home = four_piece_home();
+    // Node 0 already owns [0,500): only [500,600) needs a message.
+    const ExchangePlan plan = build_exchange_plan(home, {{0, IntervalSet(0, 600)}}, true, true);
+    ASSERT_EQ(plan.message_count(), 1u);
+    EXPECT_EQ(plan.messages[0].src, 1);
+    EXPECT_EQ(plan.messages[0].dst, 0);
+    EXPECT_EQ(plan.messages[0].elems, IntervalSet(500, 600));
+    // A fully-local consumer contributes nothing.
+    EXPECT_EQ(build_exchange_plan(home, {{0, IntervalSet(0, 500)}}, true, true)
+                  .message_count(),
+              0u);
+}
+
+struct ExchangeFixture : ::testing::Test {
+    static constexpr double kBw = 1.0e6;
+    static constexpr gidx kN = 1000;
+
+    sim::MachineDesc machine = [] {
+        sim::MachineDesc m = sim::MachineDesc::lassen(3);
+        m.gpus_per_node = 1;
+        m.task_launch_overhead = 0.0;
+        m.gpu_launch_overhead = 0.0;
+        m.nic_latency = 0.0;
+        m.nic_message_overhead = 0.0;
+        m.nic_bandwidth = kBw;
+        return m;
+    }();
+    Runtime rt{machine};
+    IndexSpace space = IndexSpace::create(kN, "D");
+    RegionId r = rt.create_region(space, "vec");
+    FieldId f = rt.add_field<double>(r, "v");
+
+    ExchangeFixture() { rt.set_home(r, f, four_piece_home()); }
+
+    FutureScalar run_on(Color color, Privilege priv, IntervalSet subset) {
+        TaskLaunch l;
+        l.name = "t";
+        l.requirements.push_back({r, f, priv, std::move(subset)});
+        l.color = color; // 1 GPU/node: color == node
+        return rt.launch(std::move(l));
+    }
+
+    void install_plan(bool coalesce, bool eager) {
+        rt.set_exchange_plan(
+            r, f,
+            build_exchange_plan(rt.region(r).field(f).home, {{2, IntervalSet(0, kN)}},
+                                coalesce, eager));
+    }
+
+    [[nodiscard]] double counter(const char* name) const {
+        return rt.metrics().counter_value(name);
+    }
+};
+
+TEST_F(ExchangeFixture, PerPieceFallbackIssuesOneTransferPerHomePiece) {
+    run_on(2, Privilege::ReadOnly, IntervalSet(0, kN));
+    EXPECT_EQ(rt.transfer_count(), 4u);
+    EXPECT_DOUBLE_EQ(rt.transfer_bytes(), kN * 8.0);
+    EXPECT_DOUBLE_EQ(counter("coalesced_messages"), 0.0);
+}
+
+TEST_F(ExchangeFixture, LazyCoalescedPlanReducesMessageCount) {
+    install_plan(/*coalesce=*/true, /*eager=*/false);
+    EXPECT_TRUE(rt.has_exchange_plan(r, f));
+    EXPECT_DOUBLE_EQ(counter("exchange_plans_built"), 1.0);
+    run_on(2, Privilege::ReadOnly, IntervalSet(0, kN));
+    EXPECT_EQ(rt.transfer_count(), 2u) << "one message per (src,dst) pair";
+    EXPECT_DOUBLE_EQ(rt.transfer_bytes(), kN * 8.0) << "same bytes, fewer messages";
+    EXPECT_DOUBLE_EQ(counter("coalesced_messages"), 2.0);
+}
+
+TEST_F(ExchangeFixture, EagerPlanPushesAtWriteCommit) {
+    install_plan(/*coalesce=*/true, /*eager=*/true);
+    run_on(0, Privilege::WriteOnly, IntervalSet(0, 500));
+    run_on(1, Privilege::WriteOnly, IntervalSet(500, kN));
+    EXPECT_EQ(rt.transfer_count(), 2u) << "pushes happen before any consumer launches";
+    EXPECT_DOUBLE_EQ(counter("coalesced_messages"), 2.0);
+    // The consumer finds both halves already cached: no new transfers.
+    run_on(2, Privilege::ReadOnly, IntervalSet(0, kN));
+    EXPECT_EQ(rt.transfer_count(), 2u);
+    EXPECT_DOUBLE_EQ(rt.transfer_bytes(), kN * 8.0);
+}
+
+TEST_F(ExchangeFixture, EagerPushRepeatsEachProducerRound) {
+    install_plan(true, true);
+    for (int iter = 1; iter <= 3; ++iter) {
+        run_on(0, Privilege::WriteOnly, IntervalSet(0, 500));
+        run_on(1, Privilege::WriteOnly, IntervalSet(500, kN));
+        run_on(2, Privilege::ReadOnly, IntervalSet(0, kN));
+        EXPECT_EQ(rt.transfer_count(), 2u * static_cast<unsigned>(iter))
+            << "exactly two pushed messages per iteration, no consumer fetches";
+    }
+}
+
+TEST_F(ExchangeFixture, PartialWriteDoesNotPushEarly) {
+    install_plan(true, true);
+    run_on(0, Privilege::WriteOnly, IntervalSet(0, 100));
+    EXPECT_EQ(rt.transfer_count(), 0u) << "message fires only when fully produced";
+    run_on(0, Privilege::WriteOnly, IntervalSet(100, 500));
+    EXPECT_EQ(rt.transfer_count(), 1u) << "second write completes the 0->2 message";
+}
+
+TEST_F(ExchangeFixture, PlacementChangeDropsThePlan) {
+    install_plan(true, true);
+    ASSERT_TRUE(rt.has_exchange_plan(r, f));
+    rt.set_home(r, f, {{IntervalSet(0, kN), 0}});
+    EXPECT_FALSE(rt.has_exchange_plan(r, f)) << "plan was built from the old placement";
+    install_plan(true, true);
+    rt.move_home(r, f, IntervalSet(0, 250), 2);
+    EXPECT_FALSE(rt.has_exchange_plan(r, f));
+}
+
+TEST_F(ExchangeFixture, ClearExchangePlanRestoresFallback) {
+    install_plan(true, false);
+    rt.clear_exchange_plan(r, f);
+    EXPECT_FALSE(rt.has_exchange_plan(r, f));
+    run_on(2, Privilege::ReadOnly, IntervalSet(0, kN));
+    EXPECT_EQ(rt.transfer_count(), 4u);
+}
+
+TEST_F(ExchangeFixture, RejectsBadPlans) {
+    ExchangePlan bad;
+    bad.messages.push_back({0, 0, IntervalSet(0, 10)}); // src == dst
+    EXPECT_THROW(rt.set_exchange_plan(r, f, bad), Error);
+    bad.messages[0] = {0, 99, IntervalSet(0, 10)}; // node out of range
+    EXPECT_THROW(rt.set_exchange_plan(r, f, bad), Error);
+    bad.messages[0] = {0, 1, IntervalSet()}; // empty payload
+    EXPECT_THROW(rt.set_exchange_plan(r, f, bad), Error);
+}
+
+} // namespace
+} // namespace kdr::rt

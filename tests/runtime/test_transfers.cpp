@@ -21,6 +21,7 @@ struct XferFixture : ::testing::Test {
         m.task_launch_overhead = 0.0;
         m.gpu_launch_overhead = 0.0;
         m.nic_latency = 0.0;
+        m.nic_message_overhead = 0.0;
         m.nic_bandwidth = kBw;
         return m;
     }();
@@ -105,6 +106,23 @@ TEST_F(XferFixture, NonReadingPrivilegesNeverFetch) {
     run_on(1, Privilege::WriteOnly, IntervalSet(0, kN));
     EXPECT_EQ(rt.transfer_count(), after_reduce + 1)
         << "WriteOnly must write back without fetching";
+}
+
+TEST_F(XferFixture, DisjointWriteKeepsCachedPieces) {
+    // Regression: invalidation used to clear the whole per-field cache on any
+    // write, forcing every consumer to re-fetch halos that were never touched.
+    const Partition p = Partition::equal(space, 2);
+    rt.set_home_from_partition(r, f, p, {0, 1});
+    run_on(1, Privilege::ReadOnly, IntervalSet(0, 500)); // cache node 0's half on node 1
+    EXPECT_EQ(rt.transfer_count(), 1u);
+    run_on(1, Privilege::WriteOnly, IntervalSet(500, 1000)); // disjoint write
+    run_on(1, Privilege::ReadOnly, IntervalSet(0, 500));
+    EXPECT_EQ(rt.transfer_count(), 1u) << "disjoint write must not evict the cached halo";
+    // An overlapping write invalidates — but only the overlap re-fetches.
+    run_on(0, Privilege::WriteOnly, IntervalSet(0, 100));
+    run_on(1, Privilege::ReadOnly, IntervalSet(0, 500));
+    EXPECT_EQ(rt.transfer_count(), 2u);
+    EXPECT_DOUBLE_EQ(rt.transfer_bytes(), 500 * 8.0 + 100 * 8.0);
 }
 
 TEST_F(XferFixture, MoveHomeChargesMigrationAndRedirects) {

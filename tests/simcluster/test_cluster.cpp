@@ -69,11 +69,47 @@ TEST(SimCluster, ReadyTimeDelaysStart) {
     EXPECT_DOUBLE_EQ(f, 6.0);
 }
 
+/// Arrival of a single inter-node message leaving an idle NIC pair at t=0:
+/// per-message overhead, wire time, delivery latency, plus the rendezvous
+/// handshake (2 x nic_latency) when the message exceeds the eager threshold.
+double expected_arrival(const MachineDesc& m, double bytes) {
+    const double wire = bytes / m.nic_bandwidth;
+    const double handshake = bytes > m.nic_eager_threshold ? 2.0 * m.nic_latency : 0.0;
+    return handshake + m.nic_message_overhead + wire + m.nic_latency;
+}
+
 TEST(SimCluster, TransferAddsLatencyAndWireTime) {
     SimCluster c(tiny());
     const double bytes = 1.25e10; // exactly 1 second of wire time
     const double arrival = c.transfer(0, 1, 0.0, bytes);
-    EXPECT_NEAR(arrival, 1.0 + c.machine().nic_latency, 1e-9);
+    EXPECT_NEAR(arrival, expected_arrival(c.machine(), bytes), 1e-9);
+    EXPECT_GT(arrival, 1.0 + c.machine().nic_latency); // overhead + handshake on top
+}
+
+TEST(SimCluster, SmallMessagesSkipRendezvousHandshake) {
+    SimCluster c(tiny());
+    const MachineDesc& m = c.machine();
+    const double small = m.nic_eager_threshold; // at threshold: still eager
+    const double a = c.transfer(0, 1, 0.0, small);
+    EXPECT_NEAR(a, m.nic_message_overhead + small / m.nic_bandwidth + m.nic_latency, 1e-12);
+    // Just past the threshold the handshake kicks in: 2 extra latencies.
+    SimCluster c2(tiny());
+    const double b = c2.transfer(0, 1, 0.0, small + 1.0);
+    EXPECT_NEAR(b - a, 2.0 * m.nic_latency + 1.0 / m.nic_bandwidth, 1e-12);
+}
+
+TEST(SimCluster, CoalescedMessageBeatsManySmall) {
+    // The payoff for exchange-plan coalescing: one message pays the
+    // per-message NIC overhead once, n messages pay it n times.
+    const int n = 8;
+    const double piece = 1024.0;
+    SimCluster many(tiny());
+    double last = 0.0;
+    for (int i = 0; i < n; ++i) last = many.transfer(0, 1, 0.0, piece);
+    SimCluster one(tiny());
+    const double coalesced = one.transfer(0, 1, 0.0, n * piece);
+    EXPECT_LT(coalesced, last);
+    EXPECT_NEAR(last - coalesced, (n - 1) * many.machine().nic_message_overhead, 1e-9);
 }
 
 TEST(SimCluster, TransfersSerializeOnNic) {
@@ -81,7 +117,7 @@ TEST(SimCluster, TransfersSerializeOnNic) {
     const double bytes = 1.25e10;
     const double a1 = c.transfer(0, 1, 0.0, bytes);
     const double a2 = c.transfer(0, 1, 0.0, bytes); // same NICs: queued behind
-    EXPECT_NEAR(a2 - a1, 1.0, 1e-9);
+    EXPECT_NEAR(a2 - a1, 1.0 + c.machine().nic_message_overhead, 1e-9);
 }
 
 TEST(SimCluster, IntraNodeTransferSkipsNic) {
@@ -90,7 +126,7 @@ TEST(SimCluster, IntraNodeTransferSkipsNic) {
     EXPECT_NEAR(arrival, 1.0, 1e-9); // intra_node_bandwidth = 5e10
     // NIC unaffected: a cross-node transfer still starts at 0.
     const double cross = c.transfer(0, 1, 0.0, 1.25e10);
-    EXPECT_NEAR(cross, 1.0 + c.machine().nic_latency, 1e-9);
+    EXPECT_NEAR(cross, expected_arrival(c.machine(), 1.25e10), 1e-9);
 }
 
 TEST(SimCluster, TransferAndComputeOverlap) {
@@ -100,7 +136,7 @@ TEST(SimCluster, TransferAndComputeOverlap) {
     const double f = c.exec_duration({0, ProcKind::GPU, 0}, 0.0, 1.0);
     const double a = c.transfer(0, 1, 0.0, 1.25e10);
     EXPECT_DOUBLE_EQ(f, 1.0);
-    EXPECT_NEAR(a, 1.0 + c.machine().nic_latency, 1e-9);
+    EXPECT_NEAR(a, expected_arrival(c.machine(), 1.25e10), 1e-9);
     EXPECT_NEAR(c.horizon(), a, 1e-12);
 }
 

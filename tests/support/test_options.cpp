@@ -1,0 +1,103 @@
+/// OptionSet: one declaration per knob yields an env override, a CLI flag,
+/// and a help line, with CLI taking precedence over the environment.
+
+#include "support/options.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "support/error.hpp"
+
+namespace kdr::support {
+namespace {
+
+struct Knobs {
+    bool flag = false;
+    int small = 3;
+    std::int64_t big = 7;
+    std::uint64_t seed = 42;
+    double rate = 0.5;
+    std::string path;
+
+    void bind(OptionSet& opts) {
+        opts.add_flag("flag", flag, "a flag");
+        opts.add_int("small", small, "an int");
+        opts.add_int("big", big, "a 64-bit int");
+        opts.add_uint("seed", seed, "a seed");
+        opts.add_double("rate", rate, "a rate");
+        opts.add_string("path", path, "a path");
+    }
+};
+
+CliArgs make_args(std::vector<const char*> argv) {
+    argv.insert(argv.begin(), "test");
+    return CliArgs(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(OptionSet, CliOverridesEveryKind) {
+    Knobs k;
+    OptionSet opts;
+    k.bind(opts);
+    opts.apply_cli(make_args({"-flag", "-small", "11", "-big", "1099511627776", "-seed",
+                              "99", "-rate", "0.25", "-path", "out.json"}));
+    EXPECT_TRUE(k.flag);
+    EXPECT_EQ(k.small, 11);
+    EXPECT_EQ(k.big, 1099511627776LL);
+    EXPECT_EQ(k.seed, 99u);
+    EXPECT_DOUBLE_EQ(k.rate, 0.25);
+    EXPECT_EQ(k.path, "out.json");
+}
+
+TEST(OptionSet, EnvAppliesAndCliWins) {
+    ::setenv("KDR_SMALL", "5", 1);
+    ::setenv("KDR_FLAG", "1", 1);
+    ::setenv("KDR_RATE", "0.75", 1);
+    Knobs k;
+    OptionSet opts;
+    k.bind(opts);
+    opts.parse(make_args({"-rate", "0.125"}));
+    ::unsetenv("KDR_SMALL");
+    ::unsetenv("KDR_FLAG");
+    ::unsetenv("KDR_RATE");
+    EXPECT_EQ(k.small, 5) << "env-only knob takes the env value";
+    EXPECT_TRUE(k.flag);
+    EXPECT_DOUBLE_EQ(k.rate, 0.125) << "CLI beats env";
+}
+
+TEST(OptionSet, FlagSpellings) {
+    for (const char* spelling : {"0", ""}) {
+        ::setenv("KDR_FLAG", spelling, 1);
+        Knobs k;
+        k.flag = true;
+        OptionSet opts;
+        k.bind(opts);
+        opts.apply_env();
+        EXPECT_FALSE(k.flag) << "'" << spelling << "' must read as false";
+    }
+    ::unsetenv("KDR_FLAG");
+}
+
+TEST(OptionSet, RejectsMalformedValuesAndDuplicates) {
+    Knobs k;
+    OptionSet opts;
+    k.bind(opts);
+    EXPECT_THROW(opts.apply_cli(make_args({"-small", "abc"})), Error);
+    EXPECT_THROW(opts.apply_cli(make_args({"-rate", "fast"})), Error);
+    EXPECT_THROW(opts.apply_cli(make_args({"-seed", "-3"})), Error);
+    bool dup = false;
+    EXPECT_THROW(opts.add_flag("flag", dup, "again"), Error);
+}
+
+TEST(OptionSet, HelpListsEveryKnobWithEnvAndDefault) {
+    Knobs k;
+    OptionSet opts;
+    k.bind(opts);
+    const std::string h = opts.help();
+    EXPECT_NE(h.find("-small (env KDR_SMALL, default 3)"), std::string::npos) << h;
+    EXPECT_NE(h.find("-flag (env KDR_FLAG, default 0)"), std::string::npos) << h;
+    EXPECT_NE(h.find("a rate"), std::string::npos);
+}
+
+} // namespace
+} // namespace kdr::support
