@@ -5,37 +5,134 @@
 /// overhead (analysis-bound); the large-size column is flat (compute-bound)
 /// — which is why the Fig 8 conclusions are robust to the exact value.
 ///
-/// Usage: bench_ablation_overhead [-nodes 16] [-it 40]
+/// A second axis gates the event profiler's overhead: CG per-iteration
+/// virtual time with `RuntimeOptions::profile` on vs off must agree within
+/// 5% (recording is observation-only, so the delta should be exactly zero),
+/// and a functional small solve must produce a bitwise-identical residual
+/// history. The process exits non-zero when either gate fails, so the -smoke
+/// mode doubles as a ctest case (`ctest -L obs`).
+///
+/// Usage: bench_ablation_overhead [-nodes 16] [-it 40] [-smoke]
 
+#include <cmath>
+#include <cstring>
 #include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
 
 #include "harness.hpp"
+#include "obs/profile.hpp"
 #include "support/cli.hpp"
+
+namespace {
+
+/// CG per-iteration virtual time on the timing-mode stencil system with the
+/// profiler on or off.
+double cg_us_per_it(const kdr::stencil::Spec& spec, const kdr::sim::MachineDesc& machine,
+                    int timed, bool profile) {
+    using namespace kdr;
+    bench::LegionStencilSystem sys =
+        bench::make_legion_stencil(spec, machine, static_cast<Color>(machine.total_gpus()),
+                                   bench::TraceMode::Fast, core::PlannerOptions{}, profile);
+    core::CgSolver<double> cg(*sys.planner);
+    return bench::measure_per_iteration(*sys.runtime, cg, 10, timed);
+}
+
+/// Residual history of a small functional CG solve (real numerics, not
+/// phantom data) with the profiler on or off.
+std::vector<double> functional_history(bool profile, int iters) {
+    using namespace kdr;
+    rt::RuntimeOptions ropts;
+    ropts.profile = profile;
+    rt::Runtime runtime(sim::MachineDesc::lassen(2), ropts);
+
+    stencil::Spec spec;
+    spec.kind = stencil::Kind::D2P5;
+    spec.nx = 32;
+    spec.ny = 32;
+    const gidx n = spec.unknowns();
+    const IndexSpace D = IndexSpace::create(n, "D");
+    const rt::RegionId xr = runtime.create_region(D, "x");
+    const rt::RegionId br = runtime.create_region(D, "b");
+    const rt::FieldId xf = runtime.add_field<double>(xr, "v");
+    const rt::FieldId bf = runtime.add_field<double>(br, "v");
+    {
+        const auto b = stencil::random_rhs(n, 20250806);
+        auto bd = runtime.field_data<double>(br, bf);
+        std::copy(b.begin(), b.end(), bd.begin());
+    }
+    core::Planner<double> planner(runtime);
+    planner.add_sol_vector(xr, xf, Partition::equal(D, 4));
+    planner.add_rhs_vector(br, bf, Partition::equal(D, 4));
+    planner.add_operator(
+        std::make_shared<CsrMatrix<double>>(stencil::laplacian_csr(spec, D, D)), 0, 0);
+    core::CgSolver<double> cg(planner);
+    std::vector<double> history;
+    history.reserve(static_cast<std::size_t>(iters));
+    for (int i = 0; i < iters && cg.status() == core::SolveStatus::running; ++i) {
+        cg.step();
+        history.push_back(cg.get_convergence_measure().value);
+    }
+    return history;
+}
+
+} // namespace
 
 int main(int argc, char** argv) {
     using namespace kdr;
     const CliArgs args(argc, argv);
-    const int nodes = static_cast<int>(args.get_int("nodes", 16));
-    const int timed = static_cast<int>(args.get_int("it", 40));
+    const bool smoke = args.get_flag("smoke");
+    const int nodes = static_cast<int>(args.get_int("nodes", smoke ? 4 : 16));
+    const int timed = static_cast<int>(args.get_int("it", smoke ? 10 : 40));
 
-    std::cout << "=== Ablation: per-task analysis cost sweep (CG, 5pt-2D) ===\n\n";
-    Table table({"overhead us/task", "2^18 us/it", "2^24 us/it", "2^30 us/it"});
-    for (double overhead_us : {1.0, 2.0, 4.0, 8.0, 16.0, 32.0}) {
-        std::vector<std::string> row = {Table::num(overhead_us, 1)};
-        for (int lg : {18, 24, 30}) {
-            sim::MachineDesc machine = sim::MachineDesc::lassen(nodes);
-            machine.task_launch_overhead = overhead_us * 1e-6;
-            const stencil::Spec spec =
-                stencil::Spec::cube(stencil::Kind::D2P5, gidx{1} << lg);
-            bench::LegionStencilSystem sys = bench::make_legion_stencil(
-                spec, machine, static_cast<Color>(machine.total_gpus()),
-                bench::TraceMode::None);
-            core::CgSolver<double> cg(*sys.planner);
-            row.push_back(bench::us(
-                bench::measure_per_iteration(*sys.runtime, cg, 10, timed)));
+    if (!smoke) {
+        std::cout << "=== Ablation: per-task analysis cost sweep (CG, 5pt-2D) ===\n\n";
+        Table table({"overhead us/task", "2^18 us/it", "2^24 us/it", "2^30 us/it"});
+        for (double overhead_us : {1.0, 2.0, 4.0, 8.0, 16.0, 32.0}) {
+            std::vector<std::string> row = {Table::num(overhead_us, 1)};
+            for (int lg : {18, 24, 30}) {
+                sim::MachineDesc machine = sim::MachineDesc::lassen(nodes);
+                machine.task_launch_overhead = overhead_us * 1e-6;
+                const stencil::Spec spec =
+                    stencil::Spec::cube(stencil::Kind::D2P5, gidx{1} << lg);
+                bench::LegionStencilSystem sys = bench::make_legion_stencil(
+                    spec, machine, static_cast<Color>(machine.total_gpus()),
+                    bench::TraceMode::None);
+                core::CgSolver<double> cg(*sys.planner);
+                row.push_back(bench::us(
+                    bench::measure_per_iteration(*sys.runtime, cg, 10, timed)));
+            }
+            table.add_row(std::move(row));
         }
-        table.add_row(std::move(row));
+        table.print(std::cout);
+        std::cout << "\n";
     }
-    table.print(std::cout);
-    return 0;
+
+    // ------------------------- profiler-overhead gate -------------------------
+    std::cout << "=== Ablation: event-profiler overhead (CG, 5pt-2D) ===\n\n";
+    bool ok = true;
+    Table ptable({"size", "profile off us/it", "profile on us/it", "delta %"});
+    for (int lg : smoke ? std::vector<int>{18} : std::vector<int>{18, 24}) {
+        const sim::MachineDesc machine = sim::MachineDesc::lassen(nodes);
+        const stencil::Spec spec = stencil::Spec::cube(stencil::Kind::D2P5, gidx{1} << lg);
+        const double off = cg_us_per_it(spec, machine, timed, false);
+        const double on = cg_us_per_it(spec, machine, timed, true);
+        const double delta = off > 0.0 ? (on - off) / off * 100.0 : 0.0;
+        ptable.add_row({"2^" + std::to_string(lg), bench::us(off), bench::us(on),
+                        Table::num(delta, 3)});
+        if (std::abs(delta) >= 5.0) ok = false;
+    }
+    ptable.print(std::cout);
+
+    const std::vector<double> base = functional_history(false, smoke ? 20 : 40);
+    const std::vector<double> prof = functional_history(true, smoke ? 20 : 40);
+    bool bitwise = base.size() == prof.size() && !base.empty();
+    for (std::size_t i = 0; bitwise && i < base.size(); ++i) {
+        bitwise = std::memcmp(&base[i], &prof[i], sizeof(double)) == 0;
+    }
+    std::cout << "\nvirtual-time delta gate (< 5%): " << (ok ? "PASS" : "FAIL")
+              << "\nresidual history bitwise identical with profiling: "
+              << (bitwise ? "PASS" : "FAIL") << "\n";
+    return ok && bitwise ? 0 : 1;
 }

@@ -43,10 +43,12 @@ enum class TraceMode { None, Verify, Fast };
 inline LegionStencilSystem make_legion_stencil(const stencil::Spec& spec,
                                                const sim::MachineDesc& machine,
                                                Color pieces, TraceMode trace,
-                                               core::PlannerOptions popts) {
+                                               core::PlannerOptions popts,
+                                               bool profile = false) {
     LegionStencilSystem sys;
     sys.runtime = std::make_unique<rt::Runtime>(
         machine, rt::RuntimeOptions{.materialize = false,
+                                    .profile = profile,
                                     .trace_fast_path = trace == TraceMode::Fast});
     const gidx n = spec.unknowns();
     const IndexSpace D = IndexSpace::create(n, "D");

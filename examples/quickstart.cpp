@@ -23,7 +23,12 @@
 /// turns on validation mode — every element access in every kernel is
 /// checked against its declared subset and privilege, actual touched sets
 /// feed a shadow race detector, and over-declared requirements are linted
-/// (also enabled by the KDR_VALIDATE environment variable).
+/// (also enabled by the KDR_VALIDATE environment variable); -profile turns
+/// on the event profiler and writes its Chrome trace (Perfetto /
+/// chrome://tracing: one pid per node, one tid per processor and NIC lane,
+/// dependence edges in event args) to the given path, and folds critical-
+/// path attribution and per-node comm fractions into the solve report
+/// (KDR_PROFILE=<path> does the same from the environment).
 
 #include <cstdint>
 #include <iostream>
@@ -121,6 +126,13 @@ int main(int argc, char** argv) {
         rt::write_chrome_trace(common.trace_file, runtime.take_profiles(),
                                runtime.spans().completed());
         std::cout << "chrome trace written to " << common.trace_file << "\n";
+    }
+    if (!common.profile_file.empty() && runtime.profiler() != nullptr) {
+        const obs::Profiler& prof = *runtime.profiler();
+        prof.write_chrome_trace(common.profile_file);
+        std::cout << "profiler trace written to " << common.profile_file << " ("
+                  << prof.events_recorded() << " events, " << prof.events_dropped()
+                  << " dropped)\n";
     }
 
     // Spot-check the solution against the matrix directly.

@@ -39,6 +39,11 @@ struct CommonOptions {
     bool report = false;          ///< print the structured solve report
     std::string report_json;      ///< write the solve report as JSON here
     std::string trace_file;       ///< write a Chrome trace here
+    /// Write the event profiler's Chrome trace here (task executions,
+    /// transfers, handshakes, analysis intervals, with dependence edges);
+    /// non-empty also turns the profiler on (RuntimeOptions::profile). The
+    /// matching KDR_PROFILE env var carries the same path.
+    std::string profile_file;
     /// Override of MachineDesc::nic_eager_threshold in bytes; negative keeps
     /// the machine default.
     double eager_threshold = -1.0;
@@ -82,6 +87,9 @@ struct CommonOptions {
         opts.add_flag("report", report, "print the structured solve report");
         opts.add_string("report_json", report_json, "write the solve report as JSON");
         opts.add_string("trace", trace_file, "write a Chrome trace (chrome://tracing)");
+        opts.add_string("profile", profile_file,
+                        "write the event profiler's Chrome trace (Perfetto) and enable "
+                        "critical-path attribution");
         opts.add_double("eager_threshold", eager_threshold,
                         "NIC eager/rendezvous protocol threshold in bytes (negative = "
                         "machine default)");
@@ -94,6 +102,7 @@ struct CommonOptions {
         common.bind(opts);
         opts.parse(args);
         if (common.runtime.validate_warn_only) common.runtime.validate = true;
+        if (!common.profile_file.empty()) common.runtime.profile = true;
         return common;
     }
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/profile.hpp"
 #include "support/error.hpp"
 
 namespace kdr::bsp {
@@ -32,11 +33,20 @@ double BspWorld::compute_at(double start, const std::vector<sim::TaskCost>& per_
     KDR_REQUIRE(static_cast<int>(per_rank.size()) == nranks_, "BspWorld: got ",
                 per_rank.size(), " costs for ", nranks_, " ranks");
     compute_phase_ctr_->inc();
+    obs::Profiler* prof = cluster_.profiler();
     double finish = start;
     for (int r = 0; r < nranks_; ++r) {
-        finish = std::max(finish, cluster_.exec(proc_of(r), start,
-                                                per_rank[static_cast<std::size_t>(r)],
-                                                per_rank_overhead));
+        const sim::ProcId p = proc_of(r);
+        const sim::TaskCost& cost = per_rank[static_cast<std::size_t>(r)];
+        const double finish_r = cluster_.exec(p, start, cost, per_rank_overhead);
+        if (prof != nullptr) {
+            const double d = cluster_.duration_of(p, cost) + per_rank_overhead;
+            const int lane = p.kind == sim::ProcKind::GPU ? prof->lane_gpu(p.index)
+                                                          : prof->lane_cpu();
+            prof->record(p.node, lane, obs::EventCategory::Kernel, "bsp_compute",
+                         finish_r - d, finish_r);
+        }
+        finish = std::max(finish, finish_r);
     }
     return finish;
 }
@@ -63,13 +73,24 @@ double BspWorld::exchange_at(double start, const std::vector<Message>& msgs) {
 double BspWorld::allreduce_at(double start) const {
     collective_ctr_->inc();
     const double hops = std::ceil(std::log2(std::max(2, nranks_)));
-    return start + 2.0 * hops * cluster_.machine().collective_hop_latency;
+    const double done = start + 2.0 * hops * cluster_.machine().collective_hop_latency;
+    if (obs::Profiler* prof = cluster_.profiler(); prof != nullptr) {
+        // All ranks participate; the event lives on rank 0's collective lane.
+        prof->record(0, prof->lane_collective(), obs::EventCategory::Allreduce, "allreduce",
+                     start, done);
+    }
+    return done;
 }
 
 double BspWorld::barrier_at(double start) const {
     collective_ctr_->inc();
     const double hops = std::ceil(std::log2(std::max(2, nranks_)));
-    return start + hops * cluster_.machine().collective_hop_latency;
+    const double done = start + hops * cluster_.machine().collective_hop_latency;
+    if (obs::Profiler* prof = cluster_.profiler(); prof != nullptr) {
+        prof->record(0, prof->lane_collective(), obs::EventCategory::Allreduce, "barrier",
+                     start, done);
+    }
+    return done;
 }
 
 void BspWorld::advance_to(double t) {

@@ -94,7 +94,13 @@ std::string escape(const std::string& s) {
 namespace {
 
 void format_number(std::string& out, double v) {
-    KDR_REQUIRE(std::isfinite(v), "json: cannot serialize non-finite number");
+    // JSON has no NaN/Inf literals. Non-finite values (rates from
+    // zero-duration phases, diverged-solve residuals) serialize as null
+    // rather than aborting mid-report; readers treat the null as NaN.
+    if (!std::isfinite(v)) {
+        out += "null";
+        return;
+    }
     char buf[32];
     std::snprintf(buf, sizeof buf, "%.17g", v);
     out += buf;

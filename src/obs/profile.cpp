@@ -1,0 +1,404 @@
+#include "obs/profile.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
+#include "support/error.hpp"
+
+namespace kdr::obs {
+
+const char* to_string(EventCategory c) {
+    switch (c) {
+    case EventCategory::Kernel: return "kernel";
+    case EventCategory::Transfer: return "transfer";
+    case EventCategory::Handshake: return "handshake";
+    case EventCategory::Allreduce: return "allreduce";
+    case EventCategory::Runtime: return "runtime";
+    case EventCategory::Idle: return "idle";
+    }
+    return "unknown";
+}
+
+double CriticalPath::category_sum() const {
+    double sum = 0.0;
+    for (double v : by_category) sum += v;
+    return sum;
+}
+
+Profiler::Profiler(int nodes, int gpus_per_node, ProfilerOptions options)
+    : nodes_(nodes), gpus_(gpus_per_node), options_(options) {
+    KDR_REQUIRE(nodes_ >= 1, "Profiler: need at least one node, got ", nodes_);
+    KDR_REQUIRE(gpus_ >= 0, "Profiler: negative gpus_per_node ", gpus_);
+    KDR_REQUIRE(options_.lane_capacity >= 1, "Profiler: lane_capacity must be >= 1");
+    lanes_.resize(static_cast<std::size_t>(nodes_) * static_cast<std::size_t>(lane_count()));
+}
+
+std::string Profiler::lane_name(int lane) const {
+    if (lane == lane_cpu()) return "cpu";
+    if (lane >= 1 && lane <= gpus_) return "gpu " + std::to_string(lane - 1);
+    if (lane == lane_nic_send()) return "nic send";
+    if (lane == lane_nic_recv()) return "nic recv";
+    if (lane == lane_handshake()) return "nic handshake";
+    if (lane == lane_analysis()) return "analysis";
+    if (lane == lane_collective()) return "collective";
+    return "lane " + std::to_string(lane);
+}
+
+std::size_t Profiler::lane_slot(int node, int lane) const {
+    KDR_REQUIRE(node >= 0 && node < nodes_, "Profiler: node ", node, " out of range [0, ",
+                nodes_, ")");
+    KDR_REQUIRE(lane >= 0 && lane < lane_count(), "Profiler: lane ", lane,
+                " out of range [0, ", lane_count(), ")");
+    return static_cast<std::size_t>(node) * static_cast<std::size_t>(lane_count()) +
+           static_cast<std::size_t>(lane);
+}
+
+EventId Profiler::record(int node, int lane, EventCategory category, std::string name,
+                         double start, double end, std::vector<EventId> deps, double bytes,
+                         int peer) {
+    KDR_REQUIRE(end >= start, "Profiler: event '", name, "' ends (", end,
+                ") before it starts (", start, ")");
+    Lane& l = lanes_[lane_slot(node, lane)];
+
+    ProfileEvent ev;
+    ev.id = next_id_++;
+    ev.node = node;
+    ev.lane = lane;
+    ev.category = category;
+    ev.name = std::move(name);
+    ev.start = start;
+    ev.end = end;
+    ev.bytes = bytes;
+    ev.peer = peer;
+    ev.deps = std::move(deps);
+    for (EventId d : context_deps_) {
+        if (d != kNoEvent) ev.deps.push_back(d);
+    }
+
+    if (l.ring.size() < options_.lane_capacity) {
+        l.ring.push_back(std::move(ev));
+    } else {
+        // Full: overwrite the oldest slot. The ring stays chronological when
+        // read from head.
+        l.ring[l.head] = std::move(ev);
+        l.head = (l.head + 1) % l.ring.size();
+        ++dropped_;
+    }
+    ++recorded_;
+    const EventId id = next_id_ - 1;
+    if (collecting_) collected_.push_back(id);
+    return id;
+}
+
+void Profiler::begin_collect() {
+    KDR_REQUIRE(!collecting_, "Profiler: begin_collect while already collecting");
+    collecting_ = true;
+    collected_.clear();
+}
+
+std::vector<EventId> Profiler::end_collect() {
+    KDR_REQUIRE(collecting_, "Profiler: end_collect without begin_collect");
+    collecting_ = false;
+    return std::move(collected_);
+}
+
+void Profiler::push_context_dep(EventId id) { context_deps_.push_back(id); }
+
+void Profiler::pop_context_dep() {
+    KDR_REQUIRE(!context_deps_.empty(), "Profiler: pop_context_dep on empty stack");
+    context_deps_.pop_back();
+}
+
+std::uint64_t Profiler::events_held() const noexcept {
+    std::uint64_t held = 0;
+    for (const Lane& l : lanes_) held += l.ring.size();
+    return held;
+}
+
+double Profiler::profiled_horizon() const noexcept {
+    double horizon = 0.0;
+    for (const Lane& l : lanes_) {
+        for (const ProfileEvent& e : l.ring) horizon = std::max(horizon, e.end);
+    }
+    return horizon;
+}
+
+void Profiler::for_each_in_lane(const Lane& l,
+                                const std::function<void(const ProfileEvent&)>& fn) const {
+    for (std::size_t i = 0; i < l.ring.size(); ++i) {
+        fn(l.ring[(l.head + i) % l.ring.size()]);
+    }
+}
+
+void Profiler::for_each_event(const std::function<void(const ProfileEvent&)>& fn) const {
+    for (const Lane& l : lanes_) for_each_in_lane(l, fn);
+}
+
+// ------------------------------------------------------------ critical path
+
+namespace {
+
+/// Comparator for the end-sorted event index.
+bool ends_before(const ProfileEvent* a, const ProfileEvent* b) { return a->end < b->end; }
+
+} // namespace
+
+CriticalPath Profiler::critical_path() const {
+    CriticalPath path;
+
+    std::vector<const ProfileEvent*> events;
+    events.reserve(static_cast<std::size_t>(events_held()));
+    for_each_event([&events](const ProfileEvent& e) { events.push_back(&e); });
+    if (events.empty()) return path;
+
+    std::sort(events.begin(), events.end(), ends_before);
+    std::unordered_map<EventId, const ProfileEvent*> by_id;
+    by_id.reserve(events.size());
+    for (const ProfileEvent* e : events) by_id.emplace(e->id, e);
+
+    // Walk backwards from the horizon event. Every event's start time in the
+    // simulator is a max() over the finish times of whatever it waited on
+    // (dependence finishes, analysis completion, lane free_at, transfer
+    // arrivals), so at each step some recorded event ends *exactly* at the
+    // current event's start; preferring exact end-time matches (declared deps
+    // first, then same-lane predecessors, then any) reconstructs the chain
+    // without the simulator having to thread explicit edges everywhere. Gaps
+    // with no explanation become Idle segments.
+    const ProfileEvent* cur = events.back();
+    path.total = cur->end;
+    std::unordered_set<EventId> visited;
+    std::vector<PathSegment> rev; // latest first
+
+    double frontier = path.total;
+    while (cur != nullptr) {
+        visited.insert(cur->id);
+        if (cur->end < frontier) {
+            rev.push_back({EventCategory::Idle, "idle", cur->end, frontier, -1, -1});
+        }
+        rev.push_back({cur->category, cur->name, cur->start, cur->end, cur->node, cur->lane});
+        frontier = cur->start;
+        if (frontier <= 0.0) break;
+
+        // Candidate 1: the latest-ending unvisited declared dependence.
+        const ProfileEvent* best_dep = nullptr;
+        for (EventId d : cur->deps) {
+            auto it = by_id.find(d);
+            if (it == by_id.end()) continue; // evicted from a full ring
+            const ProfileEvent* p = it->second;
+            if (p->end > frontier || visited.count(p->id) != 0) continue;
+            if (best_dep == nullptr || p->end > best_dep->end) best_dep = p;
+        }
+        if (best_dep != nullptr && best_dep->end == frontier) {
+            cur = best_dep;
+            continue;
+        }
+
+        // Candidate 2: scan the end-sorted index downward from the frontier
+        // for exact matches (same lane preferred — that is the free_at chain)
+        // and the latest-ending unvisited event overall.
+        ProfileEvent probe;
+        probe.end = frontier;
+        auto ub = std::upper_bound(events.begin(), events.end(), &probe, ends_before);
+        const ProfileEvent* exact_same_lane = nullptr;
+        const ProfileEvent* exact_any = nullptr;
+        const ProfileEvent* global_best = nullptr;
+        for (auto it = ub; it != events.begin();) {
+            --it;
+            const ProfileEvent* p = *it;
+            if (visited.count(p->id) != 0) continue;
+            if (global_best == nullptr) global_best = p;
+            if (p->end != frontier) break; // sorted: no more exact matches below
+            if (exact_any == nullptr) exact_any = p;
+            if (p->node == cur->node && p->lane == cur->lane) {
+                exact_same_lane = p;
+                break;
+            }
+        }
+
+        const ProfileEvent* next = exact_same_lane != nullptr ? exact_same_lane : exact_any;
+        if (next == nullptr) {
+            next = best_dep;
+            if (global_best != nullptr &&
+                (next == nullptr || global_best->end > next->end)) {
+                next = global_best;
+            }
+        }
+        if (next == nullptr) {
+            rev.push_back({EventCategory::Idle, "idle", 0.0, frontier, -1, -1});
+            break;
+        }
+        cur = next;
+    }
+
+    std::reverse(rev.begin(), rev.end());
+    path.segments = std::move(rev);
+
+    std::map<std::string, CriticalPath::KindCost> kinds;
+    for (const PathSegment& s : path.segments) {
+        path.by_category[static_cast<std::size_t>(s.category)] += s.end - s.start;
+        if (s.category == EventCategory::Kernel) {
+            CriticalPath::KindCost& k = kinds[s.name];
+            k.name = s.name;
+            ++k.segments;
+            k.seconds += s.end - s.start;
+        }
+    }
+    path.by_kind.reserve(kinds.size());
+    for (auto& [name, cost] : kinds) path.by_kind.push_back(std::move(cost));
+    std::sort(path.by_kind.begin(), path.by_kind.end(),
+              [](const CriticalPath::KindCost& a, const CriticalPath::KindCost& b) {
+                  if (a.seconds != b.seconds) return a.seconds > b.seconds;
+                  return a.name < b.name;
+              });
+    return path;
+}
+
+// ------------------------------------------------------------- utilization
+
+std::vector<NodeUtilization> Profiler::utilization() const {
+    std::vector<NodeUtilization> out(static_cast<std::size_t>(nodes_));
+    const double horizon = profiled_horizon();
+    const double procs = static_cast<double>(1 + gpus_);
+    for (int n = 0; n < nodes_; ++n) {
+        NodeUtilization& u = out[static_cast<std::size_t>(n)];
+        u.node = n;
+        for (int lane = 0; lane < lane_count(); ++lane) {
+            const bool proc_lane = lane <= gpus_; // cpu + gpus
+            const bool nic = is_nic_lane(lane);
+            if (!proc_lane && !nic) continue;
+            for_each_in_lane(lanes_[lane_slot(n, lane)], [&u, proc_lane](const ProfileEvent& e) {
+                if (proc_lane) {
+                    u.busy_seconds += e.duration();
+                } else {
+                    u.comm_seconds += e.duration();
+                }
+            });
+        }
+        if (horizon > 0.0) {
+            u.busy_fraction = u.busy_seconds / (horizon * procs);
+            u.comm_fraction = u.comm_seconds / (horizon * 2.0);
+            u.idle_fraction = 1.0 - u.busy_fraction;
+        }
+    }
+    return out;
+}
+
+std::vector<CommEdge> Profiler::comm_matrix() const {
+    // Send-lane Transfer events carry (src = node, dst = peer); counting only
+    // those sees each message exactly once.
+    std::map<std::pair<int, int>, CommEdge> edges;
+    for (int n = 0; n < nodes_; ++n) {
+        for_each_in_lane(lanes_[lane_slot(n, lane_nic_send())],
+                         [&edges, n](const ProfileEvent& e) {
+                             if (e.category != EventCategory::Transfer || e.peer < 0) return;
+                             CommEdge& edge = edges[{n, e.peer}];
+                             edge.src = n;
+                             edge.dst = e.peer;
+                             edge.bytes += e.bytes;
+                             ++edge.messages;
+                         });
+    }
+    std::vector<CommEdge> out;
+    out.reserve(edges.size());
+    for (auto& [key, edge] : edges) out.push_back(edge);
+    return out;
+}
+
+// ------------------------------------------------------------ trace export
+
+json::Value Profiler::chrome_trace() const {
+    json::Value doc;
+    auto& root = doc.object();
+    root.emplace("displayTimeUnit", json::Value("ns"));
+
+    json::Value events;
+    auto& arr = events.array();
+
+    const auto meta = [](const char* what, int pid, json::Value::Object args) {
+        json::Value::Object o;
+        o.emplace("ph", json::Value("M"));
+        o.emplace("name", json::Value(what));
+        o.emplace("pid", json::Value(static_cast<double>(pid)));
+        json::Value a;
+        a.object() = std::move(args);
+        o.emplace("args", std::move(a));
+        return o;
+    };
+
+    for (int n = 0; n < nodes_; ++n) {
+        {
+            json::Value::Object args;
+            args.emplace("name", json::Value("node " + std::to_string(n)));
+            arr.emplace_back(meta("process_name", n, std::move(args)));
+        }
+        {
+            json::Value::Object args;
+            args.emplace("sort_index", json::Value(static_cast<double>(n)));
+            arr.emplace_back(meta("process_sort_index", n, std::move(args)));
+        }
+        for (int lane = 0; lane < lane_count(); ++lane) {
+            if (lanes_[lane_slot(n, lane)].ring.empty()) continue;
+            json::Value::Object name_args;
+            name_args.emplace("name", json::Value(lane_name(lane)));
+            json::Value::Object named = meta("thread_name", n, std::move(name_args));
+            named.emplace("tid", json::Value(static_cast<double>(lane)));
+            arr.emplace_back(std::move(named));
+
+            json::Value::Object sort_args;
+            sort_args.emplace("sort_index", json::Value(static_cast<double>(lane)));
+            json::Value::Object sorted = meta("thread_sort_index", n, std::move(sort_args));
+            sorted.emplace("tid", json::Value(static_cast<double>(lane)));
+            arr.emplace_back(std::move(sorted));
+        }
+    }
+
+    for_each_event([&arr](const ProfileEvent& e) {
+        json::Value::Object o;
+        o.emplace("name", json::Value(e.name));
+        o.emplace("cat", json::Value(to_string(e.category)));
+        o.emplace("ph", json::Value("X"));
+        o.emplace("ts", json::Value(e.start * 1e6));  // virtual microseconds
+        o.emplace("dur", json::Value(e.duration() * 1e6));
+        o.emplace("pid", json::Value(static_cast<double>(e.node)));
+        o.emplace("tid", json::Value(static_cast<double>(e.lane)));
+
+        json::Value::Object args;
+        args.emplace("id", json::Value(static_cast<double>(e.id)));
+        if (!e.deps.empty()) {
+            json::Value deps;
+            auto& darr = deps.array();
+            darr.reserve(e.deps.size());
+            for (EventId d : e.deps) darr.emplace_back(static_cast<double>(d));
+            args.emplace("deps", std::move(deps));
+        }
+        if (e.category == EventCategory::Transfer || e.category == EventCategory::Handshake) {
+            args.emplace("bytes", json::Value(e.bytes));
+            args.emplace("peer", json::Value(static_cast<double>(e.peer)));
+        }
+        json::Value a;
+        a.object() = std::move(args);
+        o.emplace("args", std::move(a));
+        arr.emplace_back(std::move(o));
+    });
+
+    root.emplace("traceEvents", std::move(events));
+    return doc;
+}
+
+void Profiler::write_chrome_trace(const std::string& path) const {
+    const std::string text = to_chrome_trace_json();
+    // Self-check: the emitted document must survive our own parser before it
+    // is handed to Perfetto.
+    const json::Value parsed = json::Value::parse(text);
+    KDR_REQUIRE(parsed.has("traceEvents"), "profiler trace round-trip lost traceEvents");
+    std::ofstream out(path);
+    KDR_REQUIRE(out.good(), "write_chrome_trace: cannot open '", path, "'");
+    out << text << "\n";
+    KDR_REQUIRE(out.good(), "write_chrome_trace: write to '", path, "' failed");
+}
+
+} // namespace kdr::obs

@@ -1,0 +1,224 @@
+#pragma once
+
+/// \file profile.hpp
+/// The task-level event profiler: an opt-in, low-overhead recorder of *what
+/// occupied every simulated resource and when* on the virtual clock. Where
+/// the metrics registry answers "how much" and spans answer "which solver
+/// phase", the profiler keeps the full event timeline — every task
+/// execution, transfer message (send/recv NIC occupancy plus rendezvous
+/// handshakes), dependence-analysis interval, and allreduce phase — as
+/// `(node, lane, category, name, t_start, t_end, deps)` records, the role
+/// Legion Prof and PETSc's `-log_view -log_trace` play for the systems the
+/// paper builds on.
+///
+/// Recording is observation-only by construction: instrumented layers hand
+/// the profiler times they already computed, so enabling it cannot move a
+/// single virtual-time event or residual bit. Events land in bounded
+/// per-lane ring buffers (oldest dropped first), so 10^4+-task runs profile
+/// at a fixed memory ceiling.
+///
+/// On top of the event log the profiler derives
+///  * a Chrome-trace JSON export (one pid per node, one tid per processor /
+///    NIC lane / analysis pipeline; loadable in Perfetto or
+///    chrome://tracing), built with the obs::json document model;
+///  * the critical path: the longest dependent chain ending at the profiled
+///    horizon, with cost attribution by category (kernel / transfer /
+///    handshake / allreduce / runtime overhead / idle) and by task kind;
+///  * per-node utilization (busy / comm / idle fractions) and the
+///    node-to-node communication matrix (bytes + messages per (src,dst)).
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace kdr::obs {
+
+/// What an event's interval was spent on. `Idle` is only produced by the
+/// critical-path analysis (gaps between chained events), never recorded.
+enum class EventCategory : std::uint8_t {
+    Kernel,    ///< task execution on a processor
+    Transfer,  ///< NIC occupancy of one message direction (send or recv)
+    Handshake, ///< rendezvous request/grant preceding a large payload
+    Allreduce, ///< collective phase (BSP substrate)
+    Runtime,   ///< dependence-analysis pipeline occupancy
+    Idle,      ///< critical-path gap (no recorded event explains the wait)
+};
+inline constexpr std::size_t kEventCategoryCount = 6;
+
+[[nodiscard]] const char* to_string(EventCategory c);
+
+using EventId = std::uint64_t;
+inline constexpr EventId kNoEvent = 0;
+
+/// One recorded interval on one resource lane.
+struct ProfileEvent {
+    EventId id = kNoEvent;
+    std::int32_t node = 0; ///< Chrome-trace pid
+    std::int32_t lane = 0; ///< Chrome-trace tid (see Profiler lane helpers)
+    EventCategory category = EventCategory::Kernel;
+    std::string name;
+    double start = 0.0;
+    double end = 0.0;
+    double bytes = 0.0;     ///< transfer payload; 0 for non-transfer events
+    std::int32_t peer = -1; ///< transfer peer node; -1 for non-transfer events
+    std::vector<EventId> deps; ///< producing events (best effort)
+
+    [[nodiscard]] double duration() const noexcept { return end - start; }
+};
+
+struct ProfilerOptions {
+    /// Ring capacity per (node, lane). When a lane fills, its oldest events
+    /// are dropped (counted in events_dropped()); analyses keep working on
+    /// the retained suffix.
+    std::size_t lane_capacity = std::size_t{1} << 18;
+};
+
+/// One step of the critical path, earliest first. Segments tile [0, total]
+/// with no overlap; `Idle` segments fill gaps the event DAG does not explain.
+struct PathSegment {
+    EventCategory category = EventCategory::Idle;
+    std::string name;
+    double start = 0.0;
+    double end = 0.0;
+    std::int32_t node = -1; ///< -1 for idle gaps
+    std::int32_t lane = -1;
+};
+
+/// Longest dependent chain through the recorded events, ending at the
+/// profiled horizon. Category costs (plus Idle gaps) sum to `total` exactly.
+struct CriticalPath {
+    double total = 0.0; ///< end time of the chain's final event
+    std::vector<PathSegment> segments;
+    std::array<double, kEventCategoryCount> by_category{};
+
+    struct KindCost {
+        std::string name;
+        std::uint64_t segments = 0;
+        double seconds = 0.0;
+    };
+    std::vector<KindCost> by_kind; ///< kernel segments per task name, descending
+
+    [[nodiscard]] double category_seconds(EventCategory c) const {
+        return by_category[static_cast<std::size_t>(c)];
+    }
+    [[nodiscard]] double category_sum() const;
+};
+
+/// Busy / communication / idle split of one node over the profiled horizon.
+struct NodeUtilization {
+    int node = 0;
+    double busy_seconds = 0.0; ///< summed kernel time across the node's processors
+    double comm_seconds = 0.0; ///< summed NIC-lane occupancy (send + recv)
+    double busy_fraction = 0.0; ///< busy / (horizon * processors)
+    double comm_fraction = 0.0; ///< comm / (horizon * 2 NIC lanes)
+    double idle_fraction = 0.0; ///< 1 - busy_fraction
+};
+
+/// One directed edge of the communication matrix (from send-lane events, so
+/// each message is counted exactly once).
+struct CommEdge {
+    int src = 0;
+    int dst = 0;
+    double bytes = 0.0;
+    std::uint64_t messages = 0;
+};
+
+class Profiler {
+public:
+    Profiler(int nodes, int gpus_per_node, ProfilerOptions options = {});
+    Profiler(const Profiler&) = delete;
+    Profiler& operator=(const Profiler&) = delete;
+
+    // ------------------------------------------------------------- lanes
+    // Fixed per-node lane layout (Chrome-trace tids): the CPU, each GPU,
+    // then the NIC directions, rendezvous handshakes, the dependence-
+    // analysis pipeline, and collectives.
+    [[nodiscard]] int lane_cpu() const noexcept { return 0; }
+    [[nodiscard]] int lane_gpu(int index) const noexcept { return 1 + index; }
+    [[nodiscard]] int lane_nic_send() const noexcept { return 1 + gpus_; }
+    [[nodiscard]] int lane_nic_recv() const noexcept { return 2 + gpus_; }
+    [[nodiscard]] int lane_handshake() const noexcept { return 3 + gpus_; }
+    [[nodiscard]] int lane_analysis() const noexcept { return 4 + gpus_; }
+    [[nodiscard]] int lane_collective() const noexcept { return 5 + gpus_; }
+    [[nodiscard]] int lane_count() const noexcept { return 6 + gpus_; }
+    [[nodiscard]] bool is_nic_lane(int lane) const noexcept {
+        return lane == lane_nic_send() || lane == lane_nic_recv();
+    }
+    [[nodiscard]] std::string lane_name(int lane) const;
+    [[nodiscard]] int nodes() const noexcept { return nodes_; }
+
+    // --------------------------------------------------------- recording
+    /// Record one event; returns its id. `deps` lists producing event ids
+    /// the caller knows about; any active context deps (below) are appended.
+    /// Requires end >= start.
+    EventId record(int node, int lane, EventCategory category, std::string name,
+                   double start, double end, std::vector<EventId> deps = {},
+                   double bytes = 0.0, int peer = -1);
+
+    /// Collect the ids of every event recorded between begin and end — how
+    /// the Runtime captures the transfer/analysis events a lower layer
+    /// records on its behalf, to wire them up as the consuming task's deps.
+    void begin_collect();
+    [[nodiscard]] std::vector<EventId> end_collect();
+
+    /// While a context dep is pushed, every recorded event additionally
+    /// depends on it — how producer-commit-time eager pushes and write-backs
+    /// get their producing task as a dependence without the cluster layer
+    /// knowing about tasks.
+    void push_context_dep(EventId id);
+    void pop_context_dep();
+
+    // --------------------------------------------------------- inspection
+    [[nodiscard]] std::uint64_t events_recorded() const noexcept { return recorded_; }
+    [[nodiscard]] std::uint64_t events_dropped() const noexcept { return dropped_; }
+    /// Events currently held in the ring buffers.
+    [[nodiscard]] std::uint64_t events_held() const noexcept;
+    /// Latest end time over all held events (0 when empty).
+    [[nodiscard]] double profiled_horizon() const noexcept;
+    /// Visit every held event, lane-major, chronological within a lane.
+    void for_each_event(const std::function<void(const ProfileEvent&)>& fn) const;
+
+    // ----------------------------------------------------------- analyses
+    [[nodiscard]] CriticalPath critical_path() const;
+    [[nodiscard]] std::vector<NodeUtilization> utilization() const;
+    [[nodiscard]] std::vector<CommEdge> comm_matrix() const;
+
+    // ------------------------------------------------------ trace export
+    /// The event log as a Chrome trace-event document: "traceEvents" holds
+    /// one complete ("X") event per record (ts/dur in virtual microseconds,
+    /// pid = node, tid = lane) plus process/thread metadata naming every
+    /// populated lane.
+    [[nodiscard]] json::Value chrome_trace() const;
+    [[nodiscard]] std::string to_chrome_trace_json() const { return chrome_trace().dump(); }
+    /// Serialize, validate the emitted text with the obs::json parser, and
+    /// write it to `path` (throws kdr::Error on I/O or round-trip failure).
+    void write_chrome_trace(const std::string& path) const;
+
+private:
+    struct Lane {
+        std::vector<ProfileEvent> ring;
+        std::size_t head = 0; ///< index of the oldest event once wrapped
+    };
+
+    [[nodiscard]] std::size_t lane_slot(int node, int lane) const;
+    /// Chronological visit of one lane's ring.
+    void for_each_in_lane(const Lane& l,
+                          const std::function<void(const ProfileEvent&)>& fn) const;
+
+    int nodes_;
+    int gpus_;
+    ProfilerOptions options_;
+    std::vector<Lane> lanes_; ///< node-major, lane_count() per node
+    EventId next_id_ = 1;
+    std::uint64_t recorded_ = 0;
+    std::uint64_t dropped_ = 0;
+    bool collecting_ = false;
+    std::vector<EventId> collected_;
+    std::vector<EventId> context_deps_;
+};
+
+} // namespace kdr::obs

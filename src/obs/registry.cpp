@@ -21,6 +21,26 @@ void Histogram::observe(double v) {
     ++count_;
 }
 
+double Histogram::quantile(double q) const {
+    KDR_REQUIRE(q >= 0.0 && q <= 1.0, "Histogram::quantile: q ", q, " outside [0, 1]");
+    if (count_ == 0) return 0.0;
+    const double rank = q * static_cast<double>(count_);
+    double cum = 0.0;
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        const double c = static_cast<double>(counts_[i]);
+        if (c == 0.0 || cum + c < rank) {
+            cum += c;
+            continue;
+        }
+        if (i == counts_.size() - 1) break; // overflow bucket: clamp below
+        const double lo = i == 0 ? 0.0 : bounds_[i - 1];
+        const double hi = bounds_[i];
+        const double frac = std::clamp((rank - cum) / c, 0.0, 1.0);
+        return lo + (hi - lo) * frac;
+    }
+    return bounds_.empty() ? 0.0 : bounds_.back();
+}
+
 std::vector<double> Histogram::exponential_bounds(double start, double factor, int count) {
     KDR_REQUIRE(start > 0.0 && factor > 1.0 && count >= 1,
                 "Histogram::exponential_bounds: need start > 0, factor > 1, count >= 1");

@@ -71,6 +71,14 @@ public:
         return counts_;
     }
 
+    /// Estimated q-quantile (q in [0, 1]) by linear interpolation within the
+    /// bucket holding the target rank — the Prometheus histogram_quantile
+    /// convention: the first bucket interpolates from 0, and ranks landing in
+    /// the +inf overflow bucket clamp to the largest finite bound. Returns 0
+    /// for an empty histogram. Feeds the p50/p99 task-duration rows in
+    /// SolveReport (service-latency SLO groundwork).
+    [[nodiscard]] double quantile(double q) const;
+
     /// Convenience: `count` geometrically spaced bounds from `start`.
     [[nodiscard]] static std::vector<double> exponential_bounds(double start, double factor,
                                                                 int count);

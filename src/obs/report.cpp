@@ -1,6 +1,7 @@
 #include "obs/report.hpp"
 
 #include <fstream>
+#include <limits>
 
 #include "obs/json.hpp"
 #include "support/error.hpp"
@@ -9,6 +10,12 @@
 namespace kdr::obs {
 
 namespace {
+
+/// Non-finite numbers serialize as null (obs::json); reading one back yields
+/// NaN so a diverged-solve report round-trips instead of throwing.
+double number_or_nan(const json::Value& v) {
+    return v.is_null() ? std::numeric_limits<double>::quiet_NaN() : v.as_number();
+}
 
 json::Value to_value(const SolveReport& r) {
     json::Value doc;
@@ -73,9 +80,49 @@ json::Value to_value(const SolveReport& r) {
         o.emplace("node", json::Value(static_cast<double>(n.node)));
         o.emplace("busy_seconds", json::Value(n.busy));
         o.emplace("utilization", json::Value(n.utilization));
+        o.emplace("comm_seconds", json::Value(n.comm_seconds));
+        o.emplace("comm_fraction", json::Value(n.comm_fraction));
+        o.emplace("idle_fraction", json::Value(n.idle_fraction));
         nodes.array().emplace_back(std::move(o));
     }
     root.emplace("nodes", std::move(nodes));
+
+    if (r.critical_path.enabled) {
+        json::Value::Object o;
+        o.emplace("total_seconds", json::Value(r.critical_path.total));
+        o.emplace("kernel_seconds", json::Value(r.critical_path.kernel));
+        o.emplace("transfer_seconds", json::Value(r.critical_path.transfer));
+        o.emplace("handshake_seconds", json::Value(r.critical_path.handshake));
+        o.emplace("allreduce_seconds", json::Value(r.critical_path.allreduce));
+        o.emplace("runtime_seconds", json::Value(r.critical_path.runtime_overhead));
+        o.emplace("idle_seconds", json::Value(r.critical_path.idle));
+        o.emplace("events", json::Value(static_cast<double>(r.critical_path.events)));
+        o.emplace("events_dropped",
+                  json::Value(static_cast<double>(r.critical_path.events_dropped)));
+        json::Value kinds_on_path;
+        kinds_on_path.array();
+        for (const CriticalPathKind& k : r.critical_path.by_kind) {
+            json::Value::Object ko;
+            ko.emplace("name", json::Value(k.name));
+            ko.emplace("segments", json::Value(static_cast<double>(k.segments)));
+            ko.emplace("seconds", json::Value(k.seconds));
+            kinds_on_path.array().emplace_back(std::move(ko));
+        }
+        o.emplace("by_kind", std::move(kinds_on_path));
+        json::Value cp;
+        cp.object() = std::move(o);
+        root.emplace("critical_path", std::move(cp));
+    }
+
+    {
+        json::Value::Object o;
+        o.emplace("p50_seconds", json::Value(r.task_duration.p50));
+        o.emplace("p90_seconds", json::Value(r.task_duration.p90));
+        o.emplace("p99_seconds", json::Value(r.task_duration.p99));
+        json::Value q;
+        q.object() = std::move(o);
+        root.emplace("task_duration_quantiles", std::move(q));
+    }
 
     json::Value transfers;
     transfers.array();
@@ -165,8 +212,45 @@ SolveReport SolveReport::from_json(const std::string& text) {
                                 v["max_seconds"].as_number()});
     }
     for (const json::Value& v : doc["nodes"].as_array()) {
-        r.nodes.push_back({static_cast<int>(v["node"].as_number()),
-                           v["busy_seconds"].as_number(), v["utilization"].as_number()});
+        NodeStats n;
+        n.node = static_cast<int>(v["node"].as_number());
+        n.busy = v["busy_seconds"].as_number();
+        n.utilization = v["utilization"].as_number();
+        // Newer fields, has()-guarded for reports written before this layer.
+        if (v.has("comm_seconds")) n.comm_seconds = v["comm_seconds"].as_number();
+        if (v.has("comm_fraction")) n.comm_fraction = v["comm_fraction"].as_number();
+        if (v.has("idle_fraction")) n.idle_fraction = v["idle_fraction"].as_number();
+        r.nodes.push_back(n);
+    }
+    if (doc.has("critical_path")) {
+        const json::Value& c = doc["critical_path"];
+        const auto num = [&c](const char* key) {
+            return c.has(key) ? c[key].as_number() : 0.0;
+        };
+        r.critical_path.enabled = true;
+        r.critical_path.total = num("total_seconds");
+        r.critical_path.kernel = num("kernel_seconds");
+        r.critical_path.transfer = num("transfer_seconds");
+        r.critical_path.handshake = num("handshake_seconds");
+        r.critical_path.allreduce = num("allreduce_seconds");
+        r.critical_path.runtime_overhead = num("runtime_seconds");
+        r.critical_path.idle = num("idle_seconds");
+        r.critical_path.events = static_cast<std::uint64_t>(num("events"));
+        r.critical_path.events_dropped = static_cast<std::uint64_t>(num("events_dropped"));
+        if (c.has("by_kind")) {
+            for (const json::Value& v : c["by_kind"].as_array()) {
+                r.critical_path.by_kind.push_back(
+                    {v["name"].as_string(),
+                     static_cast<std::uint64_t>(v["segments"].as_number()),
+                     v["seconds"].as_number()});
+            }
+        }
+    }
+    if (doc.has("task_duration_quantiles")) {
+        const json::Value& q = doc["task_duration_quantiles"];
+        if (q.has("p50_seconds")) r.task_duration.p50 = q["p50_seconds"].as_number();
+        if (q.has("p90_seconds")) r.task_duration.p90 = q["p90_seconds"].as_number();
+        if (q.has("p99_seconds")) r.task_duration.p99 = q["p99_seconds"].as_number();
     }
     for (const json::Value& v : doc["transfers"].as_array()) {
         r.transfers.push_back({static_cast<int>(v["src"].as_number()),
@@ -181,7 +265,8 @@ SolveReport SolveReport::from_json(const std::string& text) {
     }
     for (const json::Value& v : doc["convergence"].as_array()) {
         r.convergence.push_back({static_cast<int>(v["iteration"].as_number()),
-                                 v["residual"].as_number(), v["virtual_time"].as_number()});
+                                 number_or_nan(v["residual"]),
+                                 v["virtual_time"].as_number()});
     }
     return r;
 }
@@ -220,13 +305,44 @@ void SolveReport::print(std::ostream& os) const {
         t.print(os);
     }
 
+    if (task_duration.p50 > 0.0 || task_duration.p99 > 0.0) {
+        os << "task duration: p50 " << Table::num(task_duration.p50 * 1e6, 2) << " us, p90 "
+           << Table::num(task_duration.p90 * 1e6, 2) << " us, p99 "
+           << Table::num(task_duration.p99 * 1e6, 2) << " us\n";
+    }
+
     if (!nodes.empty()) {
-        Table t({"node", "busy ms", "utilization"});
+        Table t({"node", "busy ms", "utilization", "comm ms", "comm", "idle"});
         for (const NodeStats& n : nodes) {
             t.add_row({std::to_string(n.node), Table::num(n.busy * 1e3, 3),
-                       Table::num(n.utilization * 100.0, 1) + "%"});
+                       Table::num(n.utilization * 100.0, 1) + "%",
+                       Table::num(n.comm_seconds * 1e3, 3),
+                       Table::num(n.comm_fraction * 100.0, 1) + "%",
+                       Table::num(n.idle_fraction * 100.0, 1) + "%"});
         }
         t.print(os);
+    }
+
+    if (critical_path.enabled) {
+        os << "critical path: " << Table::num(critical_path.total * 1e3, 3)
+           << " ms virtual (kernel " << Table::num(critical_path.kernel * 1e3, 3)
+           << ", transfer " << Table::num(critical_path.transfer * 1e3, 3) << ", handshake "
+           << Table::num(critical_path.handshake * 1e3, 3) << ", allreduce "
+           << Table::num(critical_path.allreduce * 1e3, 3) << ", runtime "
+           << Table::num(critical_path.runtime_overhead * 1e3, 3) << ", idle "
+           << Table::num(critical_path.idle * 1e3, 3) << " ms); " << critical_path.events
+           << " events recorded, " << critical_path.events_dropped << " dropped\n";
+        if (!critical_path.by_kind.empty()) {
+            Table t({"task kind on path", "segments", "ms on path", "% of path"});
+            for (const CriticalPathKind& k : critical_path.by_kind) {
+                t.add_row({k.name, std::to_string(k.segments), Table::num(k.seconds * 1e3, 3),
+                           Table::num(critical_path.total > 0.0
+                                          ? 100.0 * k.seconds / critical_path.total
+                                          : 0.0,
+                                      1)});
+            }
+            t.print(os);
+        }
     }
 
     if (!transfers.empty()) {

@@ -30,6 +30,9 @@ struct NodeStats {
     int node = 0;
     double busy = 0.0;        ///< summed busy seconds across the node's processors
     double utilization = 0.0; ///< busy / (makespan * processors on node)
+    double comm_seconds = 0.0; ///< summed NIC occupancy (send + recv directions)
+    double comm_fraction = 0.0; ///< comm_seconds / (makespan * 2 NIC directions)
+    double idle_fraction = 0.0; ///< 1 - utilization
 };
 
 /// One directed edge of the transfer matrix.
@@ -90,6 +93,43 @@ struct ValidationStats {
     }
 };
 
+/// Cost of one task kind on the critical path (kernel segments only).
+struct CriticalPathKind {
+    std::string name;
+    std::uint64_t segments = 0;
+    double seconds = 0.0;
+};
+
+/// Critical-path attribution from the event profiler: the longest dependent
+/// chain through the recorded event DAG, ending at the profiled horizon,
+/// split by cost category. Category seconds (incl. idle) sum to `total`.
+/// All zero — and `enabled` false — when no profiler was attached.
+struct CriticalPathStats {
+    bool enabled = false;
+    double total = 0.0;   ///< end time of the chain (the profiled horizon)
+    double kernel = 0.0;
+    double transfer = 0.0;
+    double handshake = 0.0;
+    double allreduce = 0.0;
+    double runtime_overhead = 0.0; ///< dependence-analysis pipeline intervals
+    double idle = 0.0;             ///< gaps the event DAG does not explain
+    std::vector<CriticalPathKind> by_kind; ///< sorted by seconds, descending
+    std::uint64_t events = 0;         ///< events recorded over the run
+    std::uint64_t events_dropped = 0; ///< evicted from full ring buffers
+
+    [[nodiscard]] double category_sum() const noexcept {
+        return kernel + transfer + handshake + allreduce + runtime_overhead + idle;
+    }
+};
+
+/// Task-duration quantiles from the runtime's task_duration_seconds
+/// histogram (bucket-interpolated — see Histogram::quantile).
+struct TaskDurationQuantiles {
+    double p50 = 0.0;
+    double p90 = 0.0;
+    double p99 = 0.0;
+};
+
 struct SolveReport {
     double makespan = 0.0;     ///< virtual time at which all work completed
     std::uint64_t tasks = 0;   ///< tasks launched
@@ -105,6 +145,8 @@ struct SolveReport {
     std::string status = "unknown"; ///< core::to_string of the SolveStatus
     FaultStats faults;
     ValidationStats validation;
+    CriticalPathStats critical_path;
+    TaskDurationQuantiles task_duration;
 
     [[nodiscard]] std::string to_json() const;
     [[nodiscard]] static SolveReport from_json(const std::string& text);

@@ -41,6 +41,19 @@ Runtime::Runtime(sim::MachineDesc machine, Options options)
         validator_ =
             std::make_unique<Validator>(*this, metrics_, options_.validate_warn_only);
     }
+
+    // Event profiler: options, or the KDR_PROFILE environment variable (its
+    // value names the output file for CommonOptions binaries; any non-empty
+    // value other than "0" turns recording on here).
+    if (const char* e = std::getenv("KDR_PROFILE");
+        e != nullptr && *e != '\0' && std::string_view(e) != "0") {
+        options_.profile = true;
+    }
+    if (options_.profile) {
+        profiler_ = std::make_unique<obs::Profiler>(this->machine().nodes,
+                                                    this->machine().gpus_per_node);
+        cluster_.set_profiler(profiler_.get());
+    }
 }
 
 obs::Counter& Runtime::launch_counter(const std::string& name, sim::ProcKind kind) {
@@ -640,6 +653,12 @@ FutureScalar Runtime::launch(TaskLaunch launch) {
     for (double t : launch.scalar_deps) dep_ready = std::max(dep_ready, t);
     std::vector<double> req_dep(nreq, 0.0);
 
+    // Event-profiler dependence edges for this launch: producer kernel events
+    // (from contributors or replayed trace edges) plus whatever the cluster
+    // records on our behalf below (analysis interval, input transfers).
+    const bool prof = profiler_ != nullptr;
+    std::vector<obs::EventId> ev_deps;
+
     if (recipe != nullptr) {
         // Fast path: resolve predecessors from the captured event edges —
         // no dependence analysis at all. Each edge addresses a producer by
@@ -656,10 +675,18 @@ FutureScalar Runtime::launch(TaskLaunch launch) {
                     break;
                 }
                 dep = std::max(dep, cr.req_finish[e.req]);
+                if (prof) {
+                    const TaskSeq pseq = seq - e.delta;
+                    if (pseq >= 1 && pseq <= task_event_ids_.size() &&
+                        task_event_ids_[pseq - 1] != obs::kNoEvent) {
+                        ev_deps.push_back(task_event_ids_[pseq - 1]);
+                    }
+                }
             }
             req_dep[i] = dep;
         }
         if (recipe == nullptr) {
+            ev_deps.clear(); // partially resolved edges; the analysis path recollects
             // Safety net: this launch falls back to analysis and the trace
             // recaptures on its next instance.
             TraceState& t = traces_[active_trace_];
@@ -669,6 +696,11 @@ FutureScalar Runtime::launch(TaskLaunch launch) {
             trace_mode_ = TraceInstanceMode::Replay;
         }
     }
+
+    // Everything the cluster records between here and the exec — the
+    // analysis-pipeline interval and any input-transfer events — belongs to
+    // this launch's dependence set.
+    if (prof) profiler_->begin_collect();
 
     double ready;
     if (recipe != nullptr) {
@@ -700,7 +732,7 @@ FutureScalar Runtime::launch(TaskLaunch launch) {
         // were free. The gap up to analysis_done is time the task spends
         // stalled behind the runtime pipeline rather than behind real data
         // dependences.
-        const bool want_contributors = capturing || validator_ != nullptr;
+        const bool want_contributors = capturing || validator_ != nullptr || prof;
         std::vector<const Access*> contributors;
         std::vector<TaskSeq> preds;
         LaunchRecipe rec;
@@ -719,6 +751,15 @@ FutureScalar Runtime::launch(TaskLaunch launch) {
                 // this resolution against the actual touched sets.
                 for (const Access* a : contributors) {
                     if (a->req_index != kExternalAccess) preds.push_back(a->task);
+                }
+            }
+            if (prof) {
+                for (const Access* a : contributors) {
+                    if (a->req_index == kExternalAccess) continue;
+                    if (a->task >= 1 && a->task <= task_event_ids_.size() &&
+                        task_event_ids_[a->task - 1] != obs::kNoEvent) {
+                        ev_deps.push_back(task_event_ids_[a->task - 1]);
+                    }
                 }
             }
             contributors.clear();
@@ -745,6 +786,10 @@ FutureScalar Runtime::launch(TaskLaunch launch) {
         }
     }
 
+    if (prof) {
+        for (obs::EventId id : profiler_->end_collect()) ev_deps.push_back(id);
+    }
+
     // Schedule the task. Under an active fault model an attempt may fail
     // transiently or run slowed; the retry loop charges wasted time and
     // re-executes in place. Region-version rollback is by construction:
@@ -757,6 +802,17 @@ FutureScalar Runtime::launch(TaskLaunch launch) {
         finish = exec_with_faults(launch, proc, ready, *fm);
     } else {
         finish = cluster_.exec(proc, ready, launch.cost, 0.0);
+    }
+
+    const double duration = cluster_.duration_of(proc, launch.cost);
+    obs::EventId task_ev = obs::kNoEvent;
+    if (prof) {
+        task_ev = profiler_->record(proc.node, profiler_lane(proc),
+                                    obs::EventCategory::Kernel, launch.name,
+                                    finish - duration, finish, std::move(ev_deps));
+        // seq-indexed slot (resize covers launches that aborted mid-flight).
+        task_event_ids_.resize(static_cast<std::size_t>(seq), obs::kNoEvent);
+        task_event_ids_[static_cast<std::size_t>(seq) - 1] = task_ev;
     }
 
     // Functional execution. Under validation the body runs with per-
@@ -782,6 +838,9 @@ FutureScalar Runtime::launch(TaskLaunch launch) {
 
     // Write-backs and access-list updates. Effective finishes also land in
     // the commit ring so future trace captures/replays can reference them.
+    // With the profiler on, transfer events the cluster records for the
+    // write-backs and eager pushes below depend on this task's kernel event.
+    if (prof && task_ev != obs::kNoEvent) profiler_->push_context_dep(task_ev);
     std::vector<double> req_finish(nreq, finish);
     for (std::size_t i = 0; i < nreq; ++i) {
         const RegionReq& req = launch.requirements[i];
@@ -802,8 +861,8 @@ FutureScalar Runtime::launch(TaskLaunch launch) {
             eager_exchange(req, req_finish[i]);
         }
     }
+    if (prof && task_ev != obs::kNoEvent) profiler_->pop_context_dep();
 
-    const double duration = cluster_.duration_of(proc, launch.cost);
     task_duration_hist_->observe(duration);
     if (options_.profiling) {
         profiles_.push_back({launch.name, proc, finish - duration, finish, launch.color});
@@ -834,7 +893,12 @@ double Runtime::exec_with_faults(const TaskLaunch& launch, sim::ProcId proc, dou
             }
         }
         if (writes_state) rollback_ctr_->inc();
-        ready = cluster_.exec_duration(proc, ready, base * f.slowdown * f.waste_frac);
+        const double waste = base * f.slowdown * f.waste_frac;
+        ready = cluster_.exec_duration(proc, ready, waste);
+        if (profiler_ != nullptr) {
+            profiler_->record(proc.node, profiler_lane(proc), obs::EventCategory::Kernel,
+                              launch.name + " (failed attempt)", ready - waste, ready);
+        }
         abort_trace_schedule();
         ++failures;
         if (failures > options_.max_task_retries) {
@@ -928,7 +992,8 @@ obs::SolveReport Runtime::build_solve_report(std::vector<obs::ConvergenceSample>
                   return a.total > b.total;
               });
 
-    // Per-node busy time over the node's processors (aggregated CPU + GPUs).
+    // Per-node busy time over the node's processors (aggregated CPU + GPUs),
+    // plus the node's NIC occupancy for the communication fraction.
     const int nodes = machine().nodes;
     const int procs_per_node = 1 + machine().gpus_per_node;
     double max_busy = 0.0;
@@ -938,7 +1003,15 @@ obs::SolveReport Runtime::build_solve_report(std::vector<obs::ConvergenceSample>
             busy += cluster_.proc_busy({n, sim::ProcKind::GPU, g});
         }
         const double denom = r.makespan * static_cast<double>(procs_per_node);
-        r.nodes.push_back({n, busy, denom > 0.0 ? busy / denom : 0.0});
+        obs::NodeStats ns;
+        ns.node = n;
+        ns.busy = busy;
+        ns.utilization = denom > 0.0 ? busy / denom : 0.0;
+        ns.comm_seconds = cluster_.nic_send_busy(n) + cluster_.nic_recv_busy(n);
+        ns.comm_fraction =
+            r.makespan > 0.0 ? ns.comm_seconds / (2.0 * r.makespan) : 0.0;
+        ns.idle_fraction = 1.0 - ns.utilization;
+        r.nodes.push_back(ns);
         r.busy_total += busy;
         max_busy = std::max(max_busy, busy);
     }
@@ -970,6 +1043,29 @@ obs::SolveReport Runtime::build_solve_report(std::vector<obs::ConvergenceSample>
               [](const obs::PhaseStats& a, const obs::PhaseStats& b) {
                   return a.total > b.total;
               });
+
+    // Task-duration quantiles (bucket-interpolated) for latency rows.
+    r.task_duration.p50 = task_duration_hist_->quantile(0.50);
+    r.task_duration.p90 = task_duration_hist_->quantile(0.90);
+    r.task_duration.p99 = task_duration_hist_->quantile(0.99);
+
+    // Critical-path attribution when the event profiler is on.
+    if (profiler_ != nullptr) {
+        const obs::CriticalPath cp = profiler_->critical_path();
+        r.critical_path.enabled = true;
+        r.critical_path.total = cp.total;
+        r.critical_path.kernel = cp.category_seconds(obs::EventCategory::Kernel);
+        r.critical_path.transfer = cp.category_seconds(obs::EventCategory::Transfer);
+        r.critical_path.handshake = cp.category_seconds(obs::EventCategory::Handshake);
+        r.critical_path.allreduce = cp.category_seconds(obs::EventCategory::Allreduce);
+        r.critical_path.runtime_overhead = cp.category_seconds(obs::EventCategory::Runtime);
+        r.critical_path.idle = cp.category_seconds(obs::EventCategory::Idle);
+        for (const obs::CriticalPath::KindCost& k : cp.by_kind) {
+            r.critical_path.by_kind.push_back({k.name, k.segments, k.seconds});
+        }
+        r.critical_path.events = profiler_->events_recorded();
+        r.critical_path.events_dropped = profiler_->events_dropped();
+    }
 
     return r;
 }

@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "geometry/accessor.hpp"
+#include "obs/profile.hpp"
 #include "obs/registry.hpp"
 #include "obs/report.hpp"
 #include "obs/span.hpp"
@@ -81,6 +82,14 @@ private:
 struct RuntimeOptions {
     bool materialize = true; ///< false = phantom fields, timing-only
     bool profiling = false;  ///< record per-task virtual-time profiles
+    /// Event profiler (obs::Profiler): record every task execution, transfer
+    /// message, handshake, retry, and analysis-pipeline interval with
+    /// dependence edges, for Chrome-trace export and critical-path
+    /// attribution. Observation-only — virtual times and numerics are
+    /// bitwise unaffected. Also enabled by a non-empty KDR_PROFILE
+    /// environment variable (whose value names the trace output file for
+    /// CommonOptions-based binaries).
+    bool profile = false;
     /// Replay traces from the captured dependence schedule (skipping the
     /// analysis pipeline) once a verification pass has captured it. false =
     /// verify-only replay: signatures are checked and the traced overhead is
@@ -201,6 +210,12 @@ public:
     void set_profiling(bool on) { options_.profiling = on; }
     [[nodiscard]] std::vector<TaskProfile> take_profiles();
 
+    /// The event profiler (null unless RuntimeOptions::profile or
+    /// KDR_PROFILE enabled it at construction). Owned by the runtime and
+    /// shared with the cluster's instrumentation hooks.
+    [[nodiscard]] obs::Profiler* profiler() noexcept { return profiler_.get(); }
+    [[nodiscard]] const obs::Profiler* profiler() const noexcept { return profiler_.get(); }
+
     // -------------------------------------------------------- validation
     [[nodiscard]] bool validating() const noexcept { return validator_ != nullptr; }
     /// The validation engine (null when validation is off). Exposes the
@@ -297,10 +312,21 @@ private:
     /// Cached per-(task name, proc kind) launch counter.
     obs::Counter& launch_counter(const std::string& name, sim::ProcKind kind);
 
+    /// Event-profiler lane of a processor (cpu lane or the gpu's own lane).
+    [[nodiscard]] int profiler_lane(sim::ProcId proc) const {
+        return proc.kind == sim::ProcKind::GPU ? profiler_->lane_gpu(proc.index)
+                                               : profiler_->lane_cpu();
+    }
+
     Options options_;
     sim::SimCluster cluster_;
     std::unique_ptr<Mapper> mapper_;
     std::unique_ptr<Validator> validator_;
+    std::unique_ptr<obs::Profiler> profiler_;
+    /// Kernel event id of each committed launch, indexed seq - 1 (profiler
+    /// runs only). Maps dependence-analysis contributors and replayed trace
+    /// edges back to event-DAG predecessors.
+    std::vector<obs::EventId> task_event_ids_;
 
     std::vector<std::unique_ptr<Region>> regions_;
     std::unordered_map<std::uint64_t, FieldState> field_states_;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/profile.hpp"
+
 namespace kdr::sim {
 
 SimCluster::SimCluster(MachineDesc desc) : desc_(desc) {
@@ -99,6 +101,23 @@ double SimCluster::transfer(int src_node, int dst_node, double ready, double byt
     rcv.busy += ovh + wire;
     const double arrival = recv_start + ovh + wire + desc_.nic_latency + fault_latency;
     last_arrival_ = std::max(last_arrival_, arrival);
+    if (profiler_ != nullptr) {
+        // Pure observation from times computed above. The recv event extends
+        // to the *arrival* (propagation latency included) so a consumer whose
+        // start was bounded by this delivery finds an event ending exactly at
+        // its start during critical-path reconstruction.
+        std::vector<obs::EventId> recv_deps;
+        if (handshake > 0.0) {
+            recv_deps.push_back(profiler_->record(
+                src_node, profiler_->lane_handshake(), obs::EventCategory::Handshake,
+                "rendezvous", send_start, send_start + handshake, {}, bytes, dst_node));
+        }
+        recv_deps.push_back(profiler_->record(src_node, profiler_->lane_nic_send(),
+                                              obs::EventCategory::Transfer, "send",
+                                              send_start, snd.free_at, {}, bytes, dst_node));
+        profiler_->record(dst_node, profiler_->lane_nic_recv(), obs::EventCategory::Transfer,
+                          "recv", recv_start, arrival, std::move(recv_deps), bytes, src_node);
+    }
     return arrival;
 }
 
@@ -108,6 +127,10 @@ double SimCluster::analyze(int node, double cost) {
     Timeline& u = util_[static_cast<std::size_t>(node)];
     u.free_at += cost;
     u.busy += cost;
+    if (profiler_ != nullptr && cost > 0.0) {
+        profiler_->record(node, profiler_->lane_analysis(), obs::EventCategory::Runtime,
+                          "analysis", u.free_at - cost, u.free_at);
+    }
     return u.free_at;
 }
 
@@ -128,6 +151,21 @@ double SimCluster::horizon() const {
 }
 
 double SimCluster::proc_busy(ProcId p) const { return procs_[proc_slot(p)].busy; }
+
+double SimCluster::nic_send_busy(int node) const {
+    KDR_REQUIRE(node >= 0 && node < desc_.nodes, "SimCluster: node out of range");
+    return nic_send_[static_cast<std::size_t>(node)].busy;
+}
+
+double SimCluster::nic_recv_busy(int node) const {
+    KDR_REQUIRE(node >= 0 && node < desc_.nodes, "SimCluster: node out of range");
+    return nic_recv_[static_cast<std::size_t>(node)].busy;
+}
+
+double SimCluster::analysis_busy(int node) const {
+    KDR_REQUIRE(node >= 0 && node < desc_.nodes, "SimCluster: node out of range");
+    return util_[static_cast<std::size_t>(node)].busy;
+}
 
 void SimCluster::set_cpu_occupancy(int node, int occupied_cores) {
     KDR_REQUIRE(node >= 0 && node < desc_.nodes, "SimCluster: node out of range");

@@ -17,6 +17,10 @@
 #include "simcluster/fault_model.hpp"
 #include "simcluster/machine.hpp"
 
+namespace kdr::obs {
+class Profiler;
+} // namespace kdr::obs
+
 namespace kdr::sim {
 
 class SimCluster {
@@ -56,6 +60,21 @@ public:
     /// Total busy seconds accumulated on processor `p` (utilization probes).
     [[nodiscard]] double proc_busy(ProcId p) const;
 
+    /// Total NIC occupancy accumulated per node and direction, and total
+    /// dependence-analysis pipeline occupancy (communication/overhead rows in
+    /// SolveReport; available with or without a profiler attached).
+    [[nodiscard]] double nic_send_busy(int node) const;
+    [[nodiscard]] double nic_recv_busy(int node) const;
+    [[nodiscard]] double analysis_busy(int node) const;
+
+    /// Attach (or, with nullptr, detach) an event profiler. Observation only:
+    /// the cluster records NIC send/recv occupancy, rendezvous handshakes,
+    /// and analysis-pipeline intervals from times it already computed, so
+    /// attaching a profiler cannot move any virtual-time event. The profiler
+    /// must outlive the cluster or be detached first.
+    void set_profiler(obs::Profiler* profiler) noexcept { profiler_ = profiler; }
+    [[nodiscard]] obs::Profiler* profiler() const noexcept { return profiler_; }
+
     /// Attach (or, with nullptr, detach) a fault model. NIC degradation and
     /// drop are applied inside transfer(); task-level failures and slowdowns
     /// are sampled by the runtime layer through fault_model(), which also
@@ -90,6 +109,7 @@ private:
     std::vector<Timeline> util_;     // per node: analysis pipeline
     std::vector<int> cpu_occupied_;  // per node
     std::shared_ptr<FaultModel> fault_; // optional; NIC faults applied in transfer()
+    obs::Profiler* profiler_ = nullptr; // optional; not owned
     double last_arrival_ = 0.0;      // latest in-flight delivery
 };
 

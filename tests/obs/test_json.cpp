@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "support/error.hpp"
 
@@ -71,6 +72,20 @@ TEST(Json, DumpParseRoundTripPreservesDoubles) {
 TEST(Json, EscapeHandlesSpecials) {
     EXPECT_EQ(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
     EXPECT_EQ(escape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(Json, NonFiniteNumbersSerializeAsNull) {
+    Value doc;
+    auto& obj = doc.object();
+    obj.emplace("nan", Value(std::nan("")));
+    obj.emplace("inf", Value(std::numeric_limits<double>::infinity()));
+    obj.emplace("ninf", Value(-std::numeric_limits<double>::infinity()));
+    obj.emplace("ok", Value(2.5));
+    EXPECT_EQ(doc.dump(), R"({"inf":null,"nan":null,"ninf":null,"ok":2.5})");
+    const Value back = Value::parse(doc.dump());
+    EXPECT_TRUE(back["nan"].is_null());
+    EXPECT_TRUE(back["inf"].is_null());
+    EXPECT_DOUBLE_EQ(back["ok"].as_number(), 2.5);
 }
 
 TEST(Json, BuildersPromoteNull) {

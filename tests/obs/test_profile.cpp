@@ -1,0 +1,282 @@
+#include "obs/profile.hpp"
+
+#include <gmock/gmock.h>
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "support/error.hpp"
+
+namespace kdr::obs {
+namespace {
+
+using ::testing::ElementsAre;
+
+TEST(Profiler, LaneLayoutIsContiguous) {
+    const Profiler p(2, 4);
+    EXPECT_EQ(p.lane_cpu(), 0);
+    EXPECT_EQ(p.lane_gpu(0), 1);
+    EXPECT_EQ(p.lane_gpu(3), 4);
+    EXPECT_EQ(p.lane_nic_send(), 5);
+    EXPECT_EQ(p.lane_nic_recv(), 6);
+    EXPECT_EQ(p.lane_handshake(), 7);
+    EXPECT_EQ(p.lane_analysis(), 8);
+    EXPECT_EQ(p.lane_collective(), 9);
+    EXPECT_EQ(p.lane_count(), 10);
+    EXPECT_TRUE(p.is_nic_lane(p.lane_nic_send()));
+    EXPECT_TRUE(p.is_nic_lane(p.lane_nic_recv()));
+    EXPECT_FALSE(p.is_nic_lane(p.lane_cpu()));
+    EXPECT_EQ(p.lane_name(0), "cpu");
+    EXPECT_EQ(p.lane_name(2), "gpu 1");
+    EXPECT_EQ(p.lane_name(9), "collective");
+}
+
+TEST(Profiler, RecordRejectsReversedInterval) {
+    Profiler p(1, 1);
+    EXPECT_THROW(p.record(0, 0, EventCategory::Kernel, "bad", 2.0, 1.0), Error);
+    EXPECT_THROW((void)p.record(2, 0, EventCategory::Kernel, "n", 0.0, 1.0), Error)
+        << "node out of range";
+}
+
+/// Hand-built 3-node DAG with a closed-form critical path:
+///
+///   node 0 gpu:        A [0, 2]                      (kernel, 2s)
+///   node 0 nic send:     send [2, 3]  deps = {A}     (transfer, 1s)
+///   node 1 nic recv:       recv [3, 4]  deps = {send}(transfer, 1s)
+///   node 1 gpu:              B [4, 7]  deps = {recv} (kernel, 3s)
+///   node 0 collective:         allreduce [7, 8]      (allreduce, 1s)
+///   node 1 gpu:                  D [8, 9.5]          (kernel, 1.5s)
+///   node 2 gpu:        C [0, 5]                      (kernel, off-path)
+///
+/// The chain A -> send -> recv -> B -> allreduce -> D tiles [0, 9.5] exactly:
+/// kernel 6.5s, transfer 2s, allreduce 1s, no idle.
+class ProfilerDagTest : public ::testing::Test {
+protected:
+    ProfilerDagTest() : p(3, 1) {
+        a = p.record(0, p.lane_gpu(0), EventCategory::Kernel, "A", 0.0, 2.0);
+        c = p.record(2, p.lane_gpu(0), EventCategory::Kernel, "C", 0.0, 5.0);
+        send = p.record(0, p.lane_nic_send(), EventCategory::Transfer, "send", 2.0, 3.0,
+                        {a}, 4096.0, 1);
+        recv = p.record(1, p.lane_nic_recv(), EventCategory::Transfer, "recv", 3.0, 4.0,
+                        {send}, 4096.0, 0);
+        b = p.record(1, p.lane_gpu(0), EventCategory::Kernel, "B", 4.0, 7.0, {recv});
+        ar = p.record(0, p.lane_collective(), EventCategory::Allreduce, "allreduce", 7.0,
+                      8.0, {b});
+        d = p.record(1, p.lane_gpu(0), EventCategory::Kernel, "D", 8.0, 9.5, {ar});
+    }
+
+    Profiler p;
+    EventId a = kNoEvent, b = kNoEvent, c = kNoEvent, d = kNoEvent;
+    EventId send = kNoEvent, recv = kNoEvent, ar = kNoEvent;
+};
+
+TEST_F(ProfilerDagTest, CountersAndHorizon) {
+    EXPECT_EQ(p.events_recorded(), 7u);
+    EXPECT_EQ(p.events_dropped(), 0u);
+    EXPECT_EQ(p.events_held(), 7u);
+    EXPECT_DOUBLE_EQ(p.profiled_horizon(), 9.5);
+}
+
+TEST_F(ProfilerDagTest, CriticalPathMatchesClosedForm) {
+    const CriticalPath path = p.critical_path();
+    EXPECT_DOUBLE_EQ(path.total, 9.5);
+    EXPECT_DOUBLE_EQ(path.category_sum(), path.total) << "segments tile [0, total]";
+    EXPECT_DOUBLE_EQ(path.category_seconds(EventCategory::Kernel), 6.5);
+    EXPECT_DOUBLE_EQ(path.category_seconds(EventCategory::Transfer), 2.0);
+    EXPECT_DOUBLE_EQ(path.category_seconds(EventCategory::Allreduce), 1.0);
+    EXPECT_DOUBLE_EQ(path.category_seconds(EventCategory::Handshake), 0.0);
+    EXPECT_DOUBLE_EQ(path.category_seconds(EventCategory::Runtime), 0.0);
+    EXPECT_DOUBLE_EQ(path.category_seconds(EventCategory::Idle), 0.0);
+
+    ASSERT_EQ(path.segments.size(), 6u);
+    std::vector<std::string> names;
+    names.reserve(path.segments.size());
+    double prev_end = 0.0;
+    for (const PathSegment& s : path.segments) {
+        EXPECT_DOUBLE_EQ(s.start, prev_end) << "segments are contiguous";
+        prev_end = s.end;
+        names.push_back(s.name);
+    }
+    EXPECT_DOUBLE_EQ(prev_end, 9.5);
+    EXPECT_THAT(names, ElementsAre("A", "send", "recv", "B", "allreduce", "D"));
+
+    // Kernel attribution by task kind: B (3) > A (2) > D (1.5); C is off-path.
+    ASSERT_EQ(path.by_kind.size(), 3u);
+    EXPECT_EQ(path.by_kind[0].name, "B");
+    EXPECT_DOUBLE_EQ(path.by_kind[0].seconds, 3.0);
+    EXPECT_EQ(path.by_kind[1].name, "A");
+    EXPECT_DOUBLE_EQ(path.by_kind[1].seconds, 2.0);
+    EXPECT_EQ(path.by_kind[2].name, "D");
+    EXPECT_DOUBLE_EQ(path.by_kind[2].seconds, 1.5);
+    EXPECT_EQ(path.by_kind[0].segments, 1u);
+}
+
+TEST_F(ProfilerDagTest, UtilizationSplitsBusyAndComm) {
+    const std::vector<NodeUtilization> util = p.utilization();
+    ASSERT_EQ(util.size(), 3u);
+    // Horizon 9.5, 2 processors per node (cpu + 1 gpu).
+    EXPECT_DOUBLE_EQ(util[0].busy_seconds, 2.0);  // A
+    EXPECT_DOUBLE_EQ(util[0].comm_seconds, 1.0);  // send
+    EXPECT_DOUBLE_EQ(util[1].busy_seconds, 4.5);  // B + D
+    EXPECT_DOUBLE_EQ(util[1].comm_seconds, 1.0);  // recv
+    EXPECT_DOUBLE_EQ(util[2].busy_seconds, 5.0);  // C
+    EXPECT_DOUBLE_EQ(util[2].comm_seconds, 0.0);
+    for (const NodeUtilization& u : util) {
+        EXPECT_GE(u.busy_fraction, 0.0);
+        EXPECT_LE(u.busy_fraction, 1.0);
+        EXPECT_GE(u.comm_fraction, 0.0);
+        EXPECT_LE(u.comm_fraction, 1.0);
+        EXPECT_DOUBLE_EQ(u.idle_fraction, 1.0 - u.busy_fraction);
+    }
+    EXPECT_DOUBLE_EQ(util[0].busy_fraction, 2.0 / (9.5 * 2.0));
+    EXPECT_DOUBLE_EQ(util[0].comm_fraction, 1.0 / (9.5 * 2.0));
+}
+
+TEST_F(ProfilerDagTest, CommMatrixCountsSendsOnce) {
+    const std::vector<CommEdge> edges = p.comm_matrix();
+    ASSERT_EQ(edges.size(), 1u) << "recv-lane events must not double-count";
+    EXPECT_EQ(edges[0].src, 0);
+    EXPECT_EQ(edges[0].dst, 1);
+    EXPECT_DOUBLE_EQ(edges[0].bytes, 4096.0);
+    EXPECT_EQ(edges[0].messages, 1u);
+}
+
+TEST_F(ProfilerDagTest, ChromeTraceSchemaIsWellFormed) {
+    // Round-trip through the repo's own parser: dump -> parse.
+    const json::Value doc = json::Value::parse(p.to_chrome_trace_json());
+    ASSERT_TRUE(doc.has("traceEvents"));
+    const json::Value& events = doc["traceEvents"];
+
+    std::size_t complete = 0;
+    std::size_t meta = 0;
+    for (std::size_t i = 0; i < events.size(); ++i) {
+        const json::Value& e = events.at(i);
+        const std::string& ph = e["ph"].as_string();
+        ASSERT_TRUE(ph == "X" || ph == "M") << "unexpected phase " << ph;
+        if (ph == "M") {
+            ++meta;
+            continue;
+        }
+        ++complete;
+        EXPECT_GE(e["ts"].as_number(), 0.0);
+        EXPECT_GE(e["dur"].as_number(), 0.0);
+        EXPECT_GE(e["pid"].as_number(), 0.0);
+        EXPECT_LT(e["pid"].as_number(), 3.0);
+        EXPECT_GE(e["tid"].as_number(), 0.0);
+        EXPECT_GT(e["args"]["id"].as_number(), 0.0);
+    }
+    EXPECT_EQ(complete, 7u);
+    EXPECT_GT(meta, 0u) << "process/thread metadata must be present";
+
+    // ts is monotone within each (pid, tid) lane — rings are chronological.
+    std::map<std::pair<int, int>, double> last_ts;
+    for (std::size_t i = 0; i < events.size(); ++i) {
+        const json::Value& e = events.at(i);
+        if (e["ph"].as_string() != "X") continue;
+        const auto key = std::make_pair(static_cast<int>(e["pid"].as_number()),
+                                        static_cast<int>(e["tid"].as_number()));
+        auto it = last_ts.find(key);
+        if (it != last_ts.end()) {
+            EXPECT_GE(e["ts"].as_number(), it->second)
+                << "lane (" << key.first << ", " << key.second << ") not chronological";
+        }
+        last_ts[key] = e["ts"].as_number();
+    }
+
+    // Transfer events carry payload metadata; dependence edges survive export.
+    bool saw_send = false;
+    for (std::size_t i = 0; i < events.size(); ++i) {
+        const json::Value& e = events.at(i);
+        if (e["ph"].as_string() != "X" || e["name"].as_string() != "send") continue;
+        saw_send = true;
+        EXPECT_EQ(e["cat"].as_string(), "transfer");
+        EXPECT_DOUBLE_EQ(e["args"]["bytes"].as_number(), 4096.0);
+        EXPECT_DOUBLE_EQ(e["args"]["peer"].as_number(), 1.0);
+        ASSERT_TRUE(e["args"].has("deps"));
+        EXPECT_DOUBLE_EQ(e["args"]["deps"].at(0).as_number(), static_cast<double>(a));
+    }
+    EXPECT_TRUE(saw_send);
+}
+
+TEST(Profiler, IdleGapsFillUnexplainedWaits) {
+    Profiler p(1, 0);
+    // Two kernels with a 2s gap nothing explains: [0,1] then [3,4].
+    const EventId first = p.record(0, 0, EventCategory::Kernel, "first", 0.0, 1.0);
+    p.record(0, 0, EventCategory::Kernel, "second", 3.0, 4.0, {first});
+    const CriticalPath path = p.critical_path();
+    EXPECT_DOUBLE_EQ(path.total, 4.0);
+    EXPECT_DOUBLE_EQ(path.category_seconds(EventCategory::Idle), 2.0);
+    EXPECT_DOUBLE_EQ(path.category_seconds(EventCategory::Kernel), 2.0);
+    EXPECT_DOUBLE_EQ(path.category_sum(), 4.0);
+}
+
+TEST(Profiler, RingDropsOldestAtCapacity) {
+    ProfilerOptions opts;
+    opts.lane_capacity = 4;
+    Profiler p(1, 0, opts);
+    for (int i = 0; i < 10; ++i) {
+        const double t = static_cast<double>(i);
+        p.record(0, 0, EventCategory::Kernel, "k" + std::to_string(i), t, t + 1.0);
+    }
+    EXPECT_EQ(p.events_recorded(), 10u);
+    EXPECT_EQ(p.events_dropped(), 6u);
+    EXPECT_EQ(p.events_held(), 4u);
+
+    std::vector<std::string> names;
+    p.for_each_event([&names](const ProfileEvent& e) { names.push_back(e.name); });
+    EXPECT_THAT(names, ElementsAre("k6", "k7", "k8", "k9"))
+        << "retained suffix stays chronological";
+    EXPECT_DOUBLE_EQ(p.profiled_horizon(), 10.0);
+
+    // Analyses keep working on the suffix: the path walks the retained chain.
+    const CriticalPath path = p.critical_path();
+    EXPECT_DOUBLE_EQ(path.total, 10.0);
+    EXPECT_DOUBLE_EQ(path.category_sum(), 10.0);
+}
+
+TEST(Profiler, CollectCapturesInterveningEvents) {
+    Profiler p(1, 0);
+    p.record(0, 0, EventCategory::Kernel, "before", 0.0, 1.0);
+    p.begin_collect();
+    const EventId x = p.record(0, 0, EventCategory::Kernel, "x", 1.0, 2.0);
+    const EventId y = p.record(0, 0, EventCategory::Runtime, "y", 2.0, 3.0);
+    const std::vector<EventId> got = p.end_collect();
+    EXPECT_THAT(got, ElementsAre(x, y));
+    EXPECT_THROW((void)p.end_collect(), Error) << "collect is not re-entrant";
+}
+
+TEST(Profiler, ContextDepsAttachToRecordedEvents) {
+    Profiler p(1, 0);
+    const EventId producer = p.record(0, 0, EventCategory::Kernel, "producer", 0.0, 1.0);
+    p.push_context_dep(producer);
+    p.record(0, 0, EventCategory::Transfer, "push", 1.0, 2.0);
+    p.pop_context_dep();
+    p.record(0, 0, EventCategory::Kernel, "after", 2.0, 3.0);
+
+    std::vector<std::vector<EventId>> deps;
+    p.for_each_event([&deps](const ProfileEvent& e) { deps.push_back(e.deps); });
+    ASSERT_EQ(deps.size(), 3u);
+    EXPECT_TRUE(deps[0].empty());
+    EXPECT_THAT(deps[1], ElementsAre(producer));
+    EXPECT_TRUE(deps[2].empty()) << "popped context deps stop applying";
+    EXPECT_THROW(p.pop_context_dep(), Error);
+}
+
+TEST(Profiler, EmptyProfilerAnalysesAreBenign) {
+    const Profiler p(2, 1);
+    EXPECT_EQ(p.events_held(), 0u);
+    EXPECT_DOUBLE_EQ(p.profiled_horizon(), 0.0);
+    const CriticalPath path = p.critical_path();
+    EXPECT_DOUBLE_EQ(path.total, 0.0);
+    EXPECT_TRUE(path.segments.empty());
+    EXPECT_TRUE(p.comm_matrix().empty());
+    const json::Value doc = json::Value::parse(p.to_chrome_trace_json());
+    EXPECT_TRUE(doc.has("traceEvents"));
+}
+
+} // namespace
+} // namespace kdr::obs

@@ -41,6 +41,38 @@ TEST(Histogram, ObservationsLandInFirstBucketWithValueLeBound) {
     EXPECT_EQ(h.bucket_counts()[3], 1u);
 }
 
+TEST(Histogram, QuantileInterpolatesWithinBuckets) {
+    Histogram h({1.0, 2.0, 4.0});
+    h.observe(0.5); // bucket (0, 1]
+    h.observe(1.5); // bucket (1, 2]
+    h.observe(1.6); // bucket (1, 2]
+    h.observe(3.0); // bucket (2, 4]
+    EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(h.quantile(0.5), 1.5) << "rank 2 lands mid-bucket (1, 2]";
+    EXPECT_DOUBLE_EQ(h.quantile(1.0), 4.0);
+    EXPECT_THROW((void)h.quantile(-0.1), Error);
+    EXPECT_THROW((void)h.quantile(1.1), Error);
+}
+
+TEST(Histogram, QuantileIsLinearInsideOneBucket) {
+    Histogram h({10.0});
+    for (int i = 0; i < 10; ++i) h.observe(5.0);
+    EXPECT_DOUBLE_EQ(h.quantile(0.25), 2.5);
+    EXPECT_DOUBLE_EQ(h.quantile(0.9), 9.0);
+}
+
+TEST(Histogram, QuantileClampsOverflowToLastBound) {
+    Histogram h({1.0});
+    h.observe(50.0); // overflow bucket
+    EXPECT_DOUBLE_EQ(h.quantile(0.9), 1.0)
+        << "overflow observations clamp to the highest finite bound";
+}
+
+TEST(Histogram, QuantileOfEmptyIsZero) {
+    const Histogram h({1.0});
+    EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+}
+
 TEST(Histogram, RejectsNonIncreasingBounds) {
     EXPECT_THROW(Histogram({1.0, 1.0}), Error);
     EXPECT_THROW(Histogram({2.0, 1.0}), Error);

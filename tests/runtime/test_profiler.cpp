@@ -1,0 +1,222 @@
+/// Integration tests for the task-level event profiler: critical-path
+/// reconstruction against the simulated horizon, Chrome-trace export on a
+/// multi-node eager-coalesced solve, agreement between the profiler's
+/// communication matrix and the metrics registry, golden-history bitwise
+/// stability with profiling on, and the BSP substrate's collective events.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "golden_setup.hpp"
+#include "mpisim/bsp.hpp"
+#include "obs/profile.hpp"
+#include "obs/report.hpp"
+#include "runtime/runtime.hpp"
+#include "simcluster/fault_model.hpp"
+#include "stencil/stencil.hpp"
+
+namespace kdr {
+namespace {
+
+using core::golden::run_history_opts;
+
+/// Bitwise comparison of two residual histories (EXPECT_EQ on doubles would
+/// accept -0.0 == +0.0 and reject NaN == NaN; the golden layer means bits).
+void expect_bitwise_equal(const std::vector<double>& a, const std::vector<double>& b,
+                          const std::string& what) {
+    ASSERT_EQ(a.size(), b.size()) << what;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(std::memcmp(&a[i], &b[i], sizeof(double)), 0)
+            << what << ": history diverges at step " << i << " (" << a[i] << " vs "
+            << b[i] << ")";
+    }
+}
+
+TEST(ProfilerIntegration, CriticalPathMatchesHorizonOnSerialRun) {
+    // One node, untraced: every task chains through the single analysis
+    // pipeline and processor set, so the longest dependent chain must account
+    // for the whole makespan, and its category segments must tile it.
+    rt::RuntimeOptions ropts;
+    ropts.profile = true;
+    rt::Runtime runtime(sim::MachineDesc::lassen(1), ropts);
+    core::PlannerOptions popts;
+    popts.trace_solver_loops = false;
+    const auto history = run_history_opts(runtime, "cg", popts);
+    ASSERT_FALSE(history.empty());
+
+    ASSERT_NE(runtime.profiler(), nullptr);
+    const obs::CriticalPath path = runtime.profiler()->critical_path();
+    EXPECT_NEAR(path.total, runtime.current_time(), 1e-9)
+        << "critical path must end at the simulated horizon";
+    EXPECT_NEAR(path.category_sum(), path.total, 1e-9)
+        << "on-path category costs must sum to the path total";
+    EXPECT_GT(path.category_seconds(obs::EventCategory::Kernel), 0.0);
+    EXPECT_FALSE(path.by_kind.empty());
+}
+
+TEST(ProfilerIntegration, EagerCoalescedTraceExportsNicLanes) {
+    // 16 nodes, 64 pieces, coalesced eager exchange plans: inter-node
+    // messages must appear on both NIC lanes and survive the JSON round trip.
+    rt::RuntimeOptions ropts;
+    ropts.profile = true;
+    rt::Runtime runtime(sim::MachineDesc::lassen(16), ropts);
+    core::PlannerOptions popts;
+    popts.comm_plan = true;
+    popts.comm_coalesce = true;
+    popts.comm_eager = true;
+
+    stencil::Spec spec;
+    spec.kind = stencil::Kind::D2P5;
+    spec.nx = 32;
+    spec.ny = 32;
+    const gidx n = spec.unknowns();
+    const IndexSpace D = IndexSpace::create(n, "D");
+    const rt::RegionId xr = runtime.create_region(D, "x");
+    const rt::RegionId br = runtime.create_region(D, "b");
+    const rt::FieldId xf = runtime.add_field<double>(xr, "v");
+    const rt::FieldId bf = runtime.add_field<double>(br, "v");
+    {
+        const auto b = stencil::random_rhs(n, core::golden::kRhsSeed);
+        auto bd = runtime.field_data<double>(br, bf);
+        std::copy(b.begin(), b.end(), bd.begin());
+    }
+    core::Planner<double> planner(runtime, popts);
+    planner.add_sol_vector(xr, xf, Partition::equal(D, 64));
+    planner.add_rhs_vector(br, bf, Partition::equal(D, 64));
+    planner.add_operator(
+        std::make_shared<CsrMatrix<double>>(stencil::laplacian_csr(spec, D, D)), 0, 0);
+    core::CgSolver<double> cg(planner);
+    for (int i = 0; i < 10 && cg.status() == core::SolveStatus::running; ++i) cg.step();
+
+    ASSERT_NE(runtime.profiler(), nullptr);
+    const obs::Profiler& prof = *runtime.profiler();
+    ASSERT_GT(runtime.transfer_count(), 0u) << "test needs inter-node traffic";
+
+    // The emitted document survives the repo's own parser (round trip).
+    const obs::json::Value doc = obs::json::Value::parse(prof.to_chrome_trace_json());
+    ASSERT_TRUE(doc.has("traceEvents"));
+    const obs::json::Value& events = doc["traceEvents"];
+    std::set<int> nic_tids;
+    std::set<std::pair<int, int>> nic_lanes;
+    for (std::size_t i = 0; i < events.size(); ++i) {
+        const obs::json::Value& e = events.at(i);
+        if (e["ph"].as_string() != "X") continue;
+        const int tid = static_cast<int>(e["tid"].as_number());
+        if (!prof.is_nic_lane(tid)) continue;
+        nic_tids.insert(tid);
+        nic_lanes.insert({static_cast<int>(e["pid"].as_number()), tid});
+    }
+    EXPECT_GE(nic_tids.size(), 2u) << "send and recv NIC lanes must both appear";
+    EXPECT_GE(nic_lanes.size(), 2u);
+
+    // write_chrome_trace self-validates the text before writing.
+    const std::string path = testing::TempDir() + "kdr_profiler_trace.json";
+    EXPECT_NO_THROW(prof.write_chrome_trace(path));
+
+    // The profiler's communication matrix and the metrics registry count the
+    // same traffic: totals and every per-edge counter agree.
+    double prof_bytes = 0.0;
+    std::uint64_t prof_msgs = 0;
+    for (const obs::CommEdge& e : prof.comm_matrix()) {
+        prof_bytes += e.bytes;
+        prof_msgs += e.messages;
+        const obs::Labels labels = {{"src", std::to_string(e.src)},
+                                    {"dst", std::to_string(e.dst)}};
+        EXPECT_DOUBLE_EQ(runtime.metrics().counter_value("transfer_bytes", labels), e.bytes)
+            << "edge " << e.src << " -> " << e.dst;
+        EXPECT_DOUBLE_EQ(runtime.metrics().counter_value("transfer_count", labels),
+                         static_cast<double>(e.messages))
+            << "edge " << e.src << " -> " << e.dst;
+    }
+    EXPECT_DOUBLE_EQ(prof_bytes, runtime.transfer_bytes());
+    EXPECT_EQ(prof_msgs, runtime.transfer_count());
+
+    // The solve report folds the same analyses in.
+    const obs::SolveReport report = runtime.build_solve_report({}, "running");
+    EXPECT_TRUE(report.critical_path.enabled);
+    EXPECT_NEAR(report.critical_path.total, prof.critical_path().total, 1e-12);
+    EXPECT_NEAR(report.critical_path.category_sum(), report.critical_path.total, 1e-9);
+}
+
+TEST(ProfilerIntegration, GoldenHistoriesBitwiseIdenticalWithProfilingOn) {
+    // Observation-only by construction: enabling the profiler must not move a
+    // single residual bit for any solver, traced or untraced.
+    for (const std::string& solver : core::golden::solver_names()) {
+        for (const bool traced : {false, true}) {
+            core::PlannerOptions popts;
+            popts.trace_solver_loops = traced;
+
+            rt::Runtime plain(sim::MachineDesc::lassen(2));
+            const auto base = run_history_opts(plain, solver, popts);
+
+            rt::RuntimeOptions ropts;
+            ropts.profile = true;
+            rt::Runtime profiled(sim::MachineDesc::lassen(2), ropts);
+            const auto prof = run_history_opts(profiled, solver, popts);
+
+            expect_bitwise_equal(base, prof,
+                                 solver + (traced ? " traced" : " untraced"));
+            EXPECT_EQ(plain.current_time(), profiled.current_time())
+                << solver << ": profiling must not move virtual time";
+            ASSERT_NE(profiled.profiler(), nullptr);
+            EXPECT_GT(profiled.profiler()->events_recorded(), 0u);
+        }
+    }
+}
+
+TEST(ProfilerIntegration, FailedAttemptsAreRecorded) {
+    rt::RuntimeOptions ropts;
+    ropts.profile = true;
+    ropts.max_task_retries = 10;
+    rt::Runtime runtime(sim::MachineDesc::lassen(2), ropts);
+    sim::FaultSpec fs;
+    fs.seed = 7;
+    fs.task_fail_prob = 0.1;
+    runtime.cluster().set_fault_model(std::make_shared<sim::FaultModel>(fs));
+
+    core::PlannerOptions popts;
+    popts.trace_solver_loops = false;
+    (void)run_history_opts(runtime, "cg", popts);
+
+    std::uint64_t failed = 0;
+    runtime.profiler()->for_each_event([&failed](const obs::ProfileEvent& e) {
+        if (e.name.find("(failed attempt)") != std::string::npos) ++failed;
+    });
+    EXPECT_GT(failed, 0u) << "retried attempts must appear as their own events";
+}
+
+TEST(ProfilerIntegration, BspSubstrateRecordsComputeAndCollectives) {
+    const sim::MachineDesc machine = sim::MachineDesc::lassen(4);
+    sim::SimCluster cluster(machine);
+    obs::Profiler prof(machine.nodes, machine.gpus_per_node);
+    cluster.set_profiler(&prof);
+
+    bsp::BspWorld world(cluster, sim::ProcKind::GPU);
+    world.compute_uniform_phase({1e9, 1e9}, 1e-6);
+    world.allreduce_phase();
+    world.barrier_phase();
+
+    std::uint64_t computes = 0;
+    std::uint64_t collectives = 0;
+    prof.for_each_event([&](const obs::ProfileEvent& e) {
+        if (e.category == obs::EventCategory::Kernel && e.name == "bsp_compute") ++computes;
+        if (e.category == obs::EventCategory::Allreduce) {
+            ++collectives;
+            EXPECT_EQ(e.node, 0) << "collectives live on node 0's collective lane";
+            EXPECT_EQ(e.lane, prof.lane_collective());
+        }
+    });
+    EXPECT_EQ(computes, static_cast<std::uint64_t>(world.nranks()));
+    EXPECT_EQ(collectives, 2u) << "allreduce + barrier";
+    EXPECT_DOUBLE_EQ(prof.profiled_horizon(), world.now());
+}
+
+} // namespace
+} // namespace kdr
