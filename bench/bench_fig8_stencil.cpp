@@ -17,6 +17,11 @@
 /// -report additionally prints a structured solve report (per-task-kind
 /// virtual time, node utilization, transfer matrix, phase totals) for the
 /// largest size of every kind/solver cell.
+///
+/// Each LegionSolvers cell also runs a SELL-C-σ arm (padded entries, no
+/// rowptr stream) and a matrix-free arm (zero matrix bytes); a final summary
+/// reports per-iteration and SpMV-phase-only matrix-free speedups at the
+/// largest size.
 
 #include <iostream>
 #include <map>
@@ -36,16 +41,34 @@ using namespace kdr;
 // what tracing would buy. -trace turns on the fast-path replay.
 double run_legion(const stencil::Spec& spec, const sim::MachineDesc& machine,
                   const std::string& solver_name, int timed, bool trace,
-                  obs::SolveReport* report_out = nullptr) {
+                  obs::SolveReport* report_out = nullptr,
+                  bench::OperatorArm arm = bench::OperatorArm::Csr) {
     bench::LegionStencilSystem sys = bench::make_legion_stencil(
         spec, machine, static_cast<Color>(machine.total_gpus()),
-        trace ? bench::TraceMode::Fast : bench::TraceMode::None);
+        trace ? bench::TraceMode::Fast : bench::TraceMode::None, core::PlannerOptions{},
+        /*profile=*/false, arm);
     if (report_out != nullptr) sys.runtime->set_profiling(true);
     auto solver = bench::make_solver(solver_name, *sys.planner);
     const double per_it = bench::measure_per_iteration(*sys.runtime, *solver, 20, timed,
                                                        bench::trace_period(solver_name));
     if (report_out != nullptr) *report_out = sys.runtime->build_solve_report();
     return per_it;
+}
+
+// SpMV-phase-only virtual time per multiply: isolates the term the
+// matrix-free arm collapses (solver vector kernels are format-independent,
+// so per-iteration ratios are Amdahl-diluted — the 1D 3-point stencil most
+// of all).
+double run_legion_spmv(const stencil::Spec& spec, const sim::MachineDesc& machine, int timed,
+                       bench::OperatorArm arm) {
+    bench::LegionStencilSystem sys = bench::make_legion_stencil(
+        spec, machine, static_cast<Color>(machine.total_gpus()), bench::TraceMode::None,
+        core::PlannerOptions{}, /*profile=*/false, arm);
+    using P = core::Planner<double>;
+    for (int i = 0; i < 5; ++i) sys.planner->matmul(P::RHS, P::SOL);
+    const double t0 = sys.runtime->current_time();
+    for (int i = 0; i < timed; ++i) sys.planner->matmul(P::RHS, P::SOL);
+    return (sys.runtime->current_time() - t0) / timed;
 }
 
 double run_baseline(const stencil::Spec& spec, const sim::MachineDesc& machine,
@@ -91,17 +114,31 @@ int main(int argc, char** argv) {
     // largest sizes of each subplot (the paper's geomean figure).
     std::map<std::string, std::vector<double>> speedups;
 
+    // Matrix-free acceptance summary: per-iteration CSR vs matfree at the
+    // largest size of every kind/solver cell.
+    struct MfCell {
+        std::string kind;
+        std::string solver;
+        double csr;
+        double matfree;
+    };
+    std::vector<MfCell> mf_summary;
+
     for (const stencil::Kind kind : kinds) {
         for (const std::string& solver : solvers) {
             const bool with_petsc = solver != "gmres";
             std::cout << "--- " << stencil::kind_name(kind) << " / " << solver << " ---\n";
             kdr::Table table(with_petsc
                                  ? std::vector<std::string>{"unknowns", "legion us/it",
-                                                            "petsc us/it", "trilinos us/it",
-                                                            "vs petsc", "vs trilinos"}
+                                                            "sell us/it", "matfree us/it",
+                                                            "mf vs csr", "petsc us/it",
+                                                            "trilinos us/it", "vs petsc",
+                                                            "vs trilinos"}
                                  : std::vector<std::string>{"unknowns", "legion us/it",
-                                                            "trilinos us/it", "vs trilinos"});
-            std::vector<double> legion_hist, petsc_hist, trilinos_hist;
+                                                            "sell us/it", "matfree us/it",
+                                                            "mf vs csr", "trilinos us/it",
+                                                            "vs trilinos"});
+            std::vector<double> legion_hist, petsc_hist, trilinos_hist, matfree_hist;
             kdr::obs::SolveReport cell_report;
             for (int lg = minlog; lg <= maxlog; lg += steplog) {
                 const stencil::Spec spec = stencil::Spec::cube(kind, gidx{1} << lg);
@@ -109,12 +146,20 @@ int main(int argc, char** argv) {
                 const double legion =
                     run_legion(spec, machine, solver, timed, trace,
                                want_report && largest ? &cell_report : nullptr);
+                const double sell = run_legion(spec, machine, solver, timed, trace, nullptr,
+                                               bench::OperatorArm::Sell);
+                const double matfree = run_legion(spec, machine, solver, timed, trace,
+                                                  nullptr, bench::OperatorArm::MatFree);
                 const double trilinos =
                     run_baseline(spec, machine, baselines::Profile::trilinos(), solver, timed);
                 legion_hist.push_back(legion);
+                matfree_hist.push_back(matfree);
                 trilinos_hist.push_back(trilinos);
                 std::vector<std::string> row = {kdr::Table::eng(static_cast<double>(spec.unknowns()), 0),
-                                                kdr::bench::us(legion)};
+                                                kdr::bench::us(legion),
+                                                kdr::bench::us(sell),
+                                                kdr::bench::us(matfree),
+                                                kdr::Table::num(legion / matfree, 3) + "x"};
                 if (with_petsc) {
                     const double petsc =
                         run_baseline(spec, machine, baselines::Profile::petsc(), solver, timed);
@@ -128,6 +173,10 @@ int main(int argc, char** argv) {
                     row.push_back(kdr::Table::num(trilinos / legion, 3) + "x");
                 }
                 table.add_row(std::move(row));
+                if (largest) {
+                    mf_summary.push_back({stencil::kind_name(kind), solver,
+                                          legion, matfree});
+                }
             }
             table.print(std::cout);
             std::cout << "\n";
@@ -151,6 +200,46 @@ int main(int argc, char** argv) {
         const double g = kdr::geometric_mean(ratios);
         std::cout << "geomean speedup vs " << name << ": " << kdr::Table::num(g, 4) << "x ("
                   << kdr::Table::num((g - 1.0) * 100.0, 2) << "% time reduction)\n";
+    }
+
+    // SpMV-phase-only comparison at the largest size: solver vector kernels
+    // are format-independent, so this is the undiluted roofline effect of
+    // dropping the matrix byte stream (the 1D 3-point stencil's per-iteration
+    // ratio is Amdahl-bounded at ~1.8x because 88 B/elem of vector traffic
+    // dominates its 40 B/elem CSR SpMV; see DESIGN.md).
+    std::cout << "\n=== Matrix-free arm at largest size (2^" << maxlog << ") ===\n";
+    std::map<std::string, double> spmv_ratio;
+    {
+        kdr::Table stable({"kind", "csr spmv us", "matfree spmv us", "spmv speedup"});
+        for (const stencil::Kind kind : kinds) {
+            const stencil::Spec spec = stencil::Spec::cube(kind, gidx{1} << maxlog);
+            const double csr =
+                run_legion_spmv(spec, machine, timed, bench::OperatorArm::Csr);
+            const double mf =
+                run_legion_spmv(spec, machine, timed, bench::OperatorArm::MatFree);
+            spmv_ratio[stencil::kind_name(kind)] = csr / mf;
+            stable.add_row({stencil::kind_name(kind), kdr::bench::us(csr),
+                            kdr::bench::us(mf), kdr::Table::num(csr / mf, 3) + "x"});
+        }
+        stable.print(std::cout);
+    }
+    std::cout << "\n";
+    {
+        kdr::Table mtable({"kind", "solver", "csr us/it", "matfree us/it", "per-it speedup",
+                           "spmv speedup"});
+        std::vector<double> mf_ratios;
+        for (const MfCell& c : mf_summary) {
+            mf_ratios.push_back(c.csr / c.matfree);
+            mtable.add_row({c.kind, c.solver, kdr::bench::us(c.csr),
+                            kdr::bench::us(c.matfree),
+                            kdr::Table::num(c.csr / c.matfree, 3) + "x",
+                            kdr::Table::num(spmv_ratio[c.kind], 3) + "x"});
+        }
+        mtable.print(std::cout);
+        if (!mf_ratios.empty()) {
+            std::cout << "geomean matrix-free per-iteration speedup vs CSR: "
+                      << kdr::Table::num(kdr::geometric_mean(mf_ratios), 4) << "x\n";
+        }
     }
     return 0;
 }

@@ -7,9 +7,12 @@
 #include <benchmark/benchmark.h>
 
 #include <memory>
+#include <string_view>
 
 #include "partition/projection.hpp"
 #include "sparse/convert.hpp"
+#include "sparse/sell.hpp"
+#include "stencil/matrix_free.hpp"
 #include "stencil/stencil.hpp"
 
 namespace {
@@ -86,6 +89,55 @@ BENCHMARK(BM_SpMV_EllT);
 BENCHMARK(BM_SpMV_Dia);
 BENCHMARK(BM_SpMV_Bcsr);
 BENCHMARK(BM_SpMV_Bcsc);
+
+/// Matrix-free vs materialized across all four paper stencils (~64k
+/// unknowns each): the host-side analogue of the simulated roofline
+/// comparison in bench_fig8_stencil. The matrix-free kernel reads P
+/// coefficients instead of an entries/cols stream.
+void run_stencil_spmv(benchmark::State& state, const stencil::Kind kind,
+                      const char* format) {
+    const stencil::Spec spec = stencil::Spec::cube(kind, gidx{1} << 16);
+    const IndexSpace D = IndexSpace::create(spec.unknowns());
+    const IndexSpace R = IndexSpace::create(spec.unknowns());
+    const std::vector<double> x = stencil::random_rhs(spec.unknowns(), 42);
+    std::vector<double> y(static_cast<std::size_t>(spec.unknowns()), 0.0);
+    std::shared_ptr<const LinearOperator<double>> op;
+    if (std::string_view(format) == "matfree") {
+        op = stencil::make_matrix_free_laplacian(spec, D, R);
+    } else if (std::string_view(format) == "sell") {
+        op = std::make_shared<SellMatrix<double>>(SellMatrix<double>::from_triplets(
+            D, R, /*slice_height=*/32, /*sigma=*/128, stencil::laplacian_triplets(spec)));
+    } else {
+        op = std::make_shared<CsrMatrix<double>>(stencil::laplacian_csr(spec, D, R));
+    }
+    for (auto _ : state) {
+        op->multiply_add(x, y);
+        benchmark::DoNotOptimize(y.data());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            op->kernel().size());
+}
+void BM_SpMV_MatFree(benchmark::State& state, stencil::Kind kind) {
+    run_stencil_spmv(state, kind, "matfree");
+}
+void BM_SpMV_StencilCsr(benchmark::State& state, stencil::Kind kind) {
+    run_stencil_spmv(state, kind, "csr");
+}
+void BM_SpMV_StencilSell(benchmark::State& state, stencil::Kind kind) {
+    run_stencil_spmv(state, kind, "sell");
+}
+BENCHMARK_CAPTURE(BM_SpMV_MatFree, 3pt_1d, stencil::Kind::D1P3);
+BENCHMARK_CAPTURE(BM_SpMV_MatFree, 5pt_2d, stencil::Kind::D2P5);
+BENCHMARK_CAPTURE(BM_SpMV_MatFree, 7pt_3d, stencil::Kind::D3P7);
+BENCHMARK_CAPTURE(BM_SpMV_MatFree, 27pt_3d, stencil::Kind::D3P27);
+BENCHMARK_CAPTURE(BM_SpMV_StencilCsr, 3pt_1d, stencil::Kind::D1P3);
+BENCHMARK_CAPTURE(BM_SpMV_StencilCsr, 5pt_2d, stencil::Kind::D2P5);
+BENCHMARK_CAPTURE(BM_SpMV_StencilCsr, 7pt_3d, stencil::Kind::D3P7);
+BENCHMARK_CAPTURE(BM_SpMV_StencilCsr, 27pt_3d, stencil::Kind::D3P27);
+BENCHMARK_CAPTURE(BM_SpMV_StencilSell, 3pt_1d, stencil::Kind::D1P3);
+BENCHMARK_CAPTURE(BM_SpMV_StencilSell, 5pt_2d, stencil::Kind::D2P5);
+BENCHMARK_CAPTURE(BM_SpMV_StencilSell, 7pt_3d, stencil::Kind::D3P7);
+BENCHMARK_CAPTURE(BM_SpMV_StencilSell, 27pt_3d, stencil::Kind::D3P27);
 
 /// Projection speed: row-partition preimage + column image through the
 /// format's own relations (the universal co-partitioning operators of §3.1).

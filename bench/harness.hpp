@@ -18,6 +18,7 @@
 #include <string>
 
 #include "core/solvers.hpp"
+#include "stencil/matrix_free.hpp"
 #include "stencil/stencil.hpp"
 #include "support/table.hpp"
 
@@ -36,6 +37,26 @@ struct LegionStencilSystem {
 ///   Fast   — traced with the captured-schedule replay that skips analysis.
 enum class TraceMode { None, Verify, Fast };
 
+/// Storage arm of a timing-mode stencil system: which SpMV byte profile the
+/// operator plan charges per piece. All arms share the same partitioning and
+/// the same flop count; only the modeled byte streams (and, for SELL-C-σ,
+/// slice padding) differ:
+///   Csr     — 16 B matrix + 8 B x per entry, 24 B per row (the default),
+///   Sell    — padded entries (rows × points), 16 B matrix + 8 B x per
+///             padded entry, 16 B per row (no rowptr stream),
+///   MatFree — zero per-entry bytes, 24 B per row (x + y streams only; the
+///             "No 3D Matrices" stencil roofline).
+enum class OperatorArm { Csr, Sell, MatFree };
+
+[[nodiscard]] inline const char* arm_name(OperatorArm a) {
+    switch (a) {
+        case OperatorArm::Csr: return "csr";
+        case OperatorArm::Sell: return "sell";
+        case OperatorArm::MatFree: return "matfree";
+    }
+    KDR_UNREACHABLE("bad operator arm");
+}
+
 /// Build the Fig 8 configuration: CSR-format stencil matrix, row-based
 /// partition into `pieces` (the paper's -vp, 4 × node count), phantom data.
 /// This overload takes the full PlannerOptions (comm-plan ablations flip
@@ -44,7 +65,8 @@ inline LegionStencilSystem make_legion_stencil(const stencil::Spec& spec,
                                                const sim::MachineDesc& machine,
                                                Color pieces, TraceMode trace,
                                                core::PlannerOptions popts,
-                                               bool profile = false) {
+                                               bool profile = false,
+                                               OperatorArm arm = OperatorArm::Csr) {
     LegionStencilSystem sys;
     sys.runtime = std::make_unique<rt::Runtime>(
         machine, rt::RuntimeOptions{.materialize = false,
@@ -64,12 +86,22 @@ inline LegionStencilSystem make_legion_stencil(const stencil::Spec& spec,
     sys.planner->add_sol_vector(xr, xf, Partition::equal(D, pieces));
     sys.planner->add_rhs_vector(br, bf, cp.rows);
 
-    const IndexSpace K = IndexSpace::create(spec.total_nnz(), "K");
+    // SELL-C-σ stores slice-padded entries: stencil rows are near-uniform,
+    // so padding rounds every row up to the full stencil width.
+    std::vector<gidx> nnz = cp.nnz;
+    if (arm == OperatorArm::Sell) {
+        for (Color c = 0; c < pieces; ++c)
+            nnz[static_cast<std::size_t>(c)] =
+                cp.rows.piece(c).volume() * static_cast<gidx>(spec.points());
+    }
+    gidx total_k = 0;
+    for (const gidx v : nnz) total_k += v;
+
+    const IndexSpace K = IndexSpace::create(total_k, "K");
     std::vector<IntervalSet> kpieces;
     gidx cursor = 0;
     for (Color c = 0; c < pieces; ++c) {
-        const gidx take =
-            std::min(cp.nnz[static_cast<std::size_t>(c)], spec.total_nnz() - cursor);
+        const gidx take = nnz[static_cast<std::size_t>(c)];
         kpieces.emplace_back(cursor, cursor + take);
         cursor += take;
     }
@@ -77,7 +109,24 @@ inline LegionStencilSystem make_legion_stencil(const stencil::Spec& spec,
     plan.kernel_pieces = Partition(K, std::move(kpieces));
     plan.domain_needs = cp.halo;
     plan.row_pieces = cp.rows;
-    plan.nnz = cp.nnz;
+    plan.nnz = std::move(nnz);
+    switch (arm) {
+        case OperatorArm::Csr: break; // plan defaults are the CSR profile
+        case OperatorArm::Sell:
+            plan.bytes_per_row = 16.0; // no rowptr stream, y read/write only
+            break;
+        case OperatorArm::MatFree: {
+            const SpmvCostModel cm =
+                stencil::MatrixFreeStencilOperator<double>(
+                    spec, IndexSpace::create(n), IndexSpace::create(n),
+                    stencil::laplacian_coeffs(spec))
+                    .spmv_cost_model();
+            plan.bytes_per_entry = cm.matrix_bytes_per_entry;
+            plan.gather_bytes_per_entry = cm.gather_bytes_per_entry;
+            plan.bytes_per_row = cm.bytes_per_row;
+            break;
+        }
+    }
     plan.symmetric = true; // Laplacian stencils: adjoint solvers reuse the plan
     sys.planner->add_operator(nullptr, 0, 0, std::move(plan));
     return sys;

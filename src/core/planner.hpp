@@ -24,6 +24,7 @@
 /// targeting the same output run concurrently once the (cached) interference
 /// analysis shows they commute — the paper's §4.1 dispatch strategy.
 
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <optional>
@@ -91,7 +92,13 @@ struct OperatorPlan {
     /// fall back to `row_pieces`.
     Partition row_touch;
     std::vector<gidx> nnz;   ///< stored entries per piece (cost model)
-    double bytes_per_entry = 16.0; ///< matrix bytes moved per stored entry
+    /// SpMV byte streams (see kdr::SpmvCostModel; defaults are the CSR-like
+    /// profile). `bytes_per_entry` is the matrix stream — it also sizes the
+    /// phantom matrix region, so matrix-free operators (0 bytes per entry)
+    /// place and move no matrix data at all.
+    double bytes_per_entry = 16.0;        ///< matrix bytes moved per stored entry
+    double gather_bytes_per_entry = 8.0;  ///< gathered-x bytes per stored entry
+    double bytes_per_row = 24.0;          ///< row structure + y bytes per row
     /// Structurally symmetric operator: the adjoint multiply may reuse this
     /// plan verbatim. Lets timing-mode (relation-less) systems run adjoint
     /// solvers such as BiCG.
@@ -451,6 +458,9 @@ public:
     [[nodiscard]] std::pair<rt::RegionId, rt::FieldId> operator_storage(
         std::size_t op_index) const {
         KDR_REQUIRE(op_index < operators_.size(), "operator_storage: bad operator index");
+        KDR_REQUIRE(operators_[op_index].has_matrix,
+                    "operator_storage: operator ", op_index,
+                    " is matrix-free (no stored matrix to migrate)");
         return {operators_[op_index].mat_region, operators_[op_index].mat_field};
     }
 
@@ -494,6 +504,10 @@ private:
         CompId rhs_comp = 0;
         rt::RegionId mat_region = 0;
         rt::FieldId mat_field = 0;
+        /// False for computed (matrix-free) kernels: zero matrix bytes per
+        /// entry means no phantom matrix region exists and matmul launches
+        /// declare no matrix requirement at all.
+        bool has_matrix = true;
         Color task_color_base = 0;
         std::string tag;
     };
@@ -612,6 +626,7 @@ private:
         for (Color c = 0; c < rows.color_count(); ++c) {
             plan.nnz.push_back(plan.kernel_pieces.piece(c).volume());
         }
+        apply_cost_model(plan, op);
         return plan;
     }
 
@@ -626,7 +641,15 @@ private:
         plan.row_touch = image_cached(plan.kernel_pieces, *op.row_relation());
         for (Color c = 0; c < rows.color_count(); ++c)
             plan.nnz.push_back(plan.kernel_pieces.piece(c).volume());
+        apply_cost_model(plan, op);
         return plan;
+    }
+
+    static void apply_cost_model(OperatorPlan& plan, const LinearOperator<T>& op) {
+        const SpmvCostModel cm = op.spmv_cost_model();
+        plan.bytes_per_entry = cm.matrix_bytes_per_entry;
+        plan.gather_bytes_per_entry = cm.gather_bytes_per_entry;
+        plan.bytes_per_row = cm.bytes_per_row;
     }
 
     void add_planned(std::vector<OperatorSlot>& list,
@@ -648,16 +671,20 @@ private:
 
         // Matrix data region: phantom field (kernels read the operator object
         // directly; the region models placement and movement of the bytes).
-        slot.mat_region =
-            rt_.create_region(plan.kernel_pieces.space(),
-                              slot.tag + std::to_string(list.size()) + "_data");
-        slot.mat_field = rt_.region(slot.mat_region)
-                             .add_field("entries", static_cast<std::size_t>(
-                                                       plan.bytes_per_entry),
-                                        /*materialize=*/false);
-        // Home matrix pieces with the output owner (row-based placement, the
-        // benchmarks' convention); load balancers may move them later.
-        {
+        // Matrix-free operators report zero matrix bytes per entry — there is
+        // nothing to place or move, so no region is created and no launch
+        // declares a matrix requirement.
+        slot.has_matrix = plan.bytes_per_entry > 0.0;
+        if (slot.has_matrix) {
+            slot.mat_region =
+                rt_.create_region(plan.kernel_pieces.space(),
+                                  slot.tag + std::to_string(list.size()) + "_data");
+            slot.mat_field = rt_.region(slot.mat_region)
+                                 .add_field("entries", static_cast<std::size_t>(
+                                                           plan.bytes_per_entry),
+                                            /*materialize=*/false);
+            // Home matrix pieces with the output owner (row-based placement,
+            // the benchmarks' convention); load balancers may move them later.
             std::vector<rt::HomePiece> homes;
             const Component& out = rhs_[rhs_comp];
             for (Color c = 0; c < pieces; ++c) {
@@ -694,6 +721,9 @@ private:
         tp->row_touch = image_cached(tp->kernel_pieces, *slot.op->col_relation());
         for (Color c = 0; c < out_rows.color_count(); ++c)
             tp->nnz.push_back(tp->kernel_pieces.piece(c).volume());
+        tp->bytes_per_entry = slot.plan.bytes_per_entry;
+        tp->gather_bytes_per_entry = slot.plan.gather_bytes_per_entry;
+        tp->bytes_per_row = slot.plan.bytes_per_row;
         slot.tplan = std::move(tp);
     }
 
@@ -824,21 +854,28 @@ private:
             l.name = transpose ? "matmulT" : "matmul";
             l.proc_kind = opts_.proc_kind;
             l.color = slot.task_color_base + c;
-            l.requirements.push_back(
-                {slot.mat_region, slot.mat_field, rt::Privilege::ReadOnly, kpiece});
+            // Matrix-free operators declare no matrix requirement: the
+            // kernel is computed, so the x/y requirements shift down one.
+            if (slot.has_matrix) {
+                l.requirements.push_back(
+                    {slot.mat_region, slot.mat_field, rt::Privilege::ReadOnly, kpiece});
+            }
             l.requirements.push_back({in.region, fin, rt::Privilege::ReadOnly, xpiece});
             l.requirements.push_back({out.region, fout,
                                       write_mode ? rt::Privilege::WriteOnly
                                                  : rt::Privilege::Reduce,
                                       ypiece, rt::kSumReduction});
             l.cost = sim::KernelCosts::spmv(plan.nnz[static_cast<std::size_t>(c)],
-                                            ypiece.volume());
+                                            ypiece.volume(), plan.bytes_per_entry,
+                                            plan.gather_bytes_per_entry, plan.bytes_per_row);
             if (rt_.functional()) {
                 KDR_REQUIRE(slot.op != nullptr, "matmul: missing operator in functional mode");
                 auto op = slot.op;
-                l.body = [op, kpiece, ypiece, transpose, write_mode](rt::TaskContext& ctx) {
-                    auto x = ctx.accessor<const T>(1);
-                    auto y = ctx.accessor<T>(2);
+                const std::uint32_t xi = slot.has_matrix ? 1u : 0u;
+                l.body = [op, kpiece, ypiece, transpose, write_mode,
+                          xi](rt::TaskContext& ctx) {
+                    auto x = ctx.accessor<const T>(xi);
+                    auto y = ctx.accessor<T>(xi + 1);
                     if (write_mode) {
                         // β=0 fused: initialize this piece's output rows.
                         ypiece.for_each_interval([&](const Interval& iv) {

@@ -41,6 +41,7 @@
 #include "simcluster/machine.hpp"
 
 // Workload generators.
+#include "stencil/matrix_free.hpp"
 #include "stencil/stencil.hpp"
 
 // KDRSolvers core.

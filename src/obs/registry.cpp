@@ -21,6 +21,10 @@ void Histogram::observe(double v) {
     ++count_;
 }
 
+/// Defined edge behavior: an empty histogram (or one with no bounds at all)
+/// returns 0.0; a rank landing exactly on a bucket boundary returns that
+/// boundary; ranks falling in the +Inf overflow bucket clamp to the largest
+/// finite bound (no extrapolation past the observed range).
 double Histogram::quantile(double q) const {
     KDR_REQUIRE(q >= 0.0 && q <= 1.0, "Histogram::quantile: q ", q, " outside [0, 1]");
     if (count_ == 0) return 0.0;
@@ -32,9 +36,13 @@ double Histogram::quantile(double q) const {
             cum += c;
             continue;
         }
-        if (i == counts_.size() - 1) break; // overflow bucket: clamp below
-        const double lo = i == 0 ? 0.0 : bounds_[i - 1];
+        if (i == counts_.size() - 1) break; // +Inf overflow bucket: clamp below
         const double hi = bounds_[i];
+        // The underflow bucket (-inf, bounds_[0]] has no finite lower edge:
+        // interpolate from 0 when the bucket spans it, and clamp to the
+        // bucket's upper bound when that bound is itself negative — never
+        // interpolate from 0 *down* to a negative bound (backwards).
+        const double lo = i == 0 ? std::min(0.0, hi) : bounds_[i - 1];
         const double frac = std::clamp((rank - cum) / c, 0.0, 1.0);
         return lo + (hi - lo) * frac;
     }

@@ -101,12 +101,17 @@ struct TaskCost {
 /// Roofline costs of the KSM building-block kernels. Byte counts assume
 /// double entries and 64-bit indices, counting each operand stream once.
 struct KernelCosts {
-    /// y += A x for a CSR-like piece with `nnz` stored entries and `rows` rows.
-    static TaskCost spmv(gidx nnz, gidx rows) {
+    /// y += A x for a piece with `nnz` stored entries and `rows` rows. Byte
+    /// streams are parameterized so storage formats can report their own
+    /// profile (matrix-free operators move zero matrix bytes per entry); the
+    /// defaults reproduce the CSR streams — entries + column indices per
+    /// entry, gathered x per entry, rowptr + y read/write per row.
+    static TaskCost spmv(gidx nnz, gidx rows, double matrix_bytes_per_entry = 16.0,
+                         double gather_bytes_per_entry = 8.0, double bytes_per_row = 24.0) {
         const double n = static_cast<double>(nnz);
         const double r = static_cast<double>(rows);
-        // entries + column indices + gathered x + rowptr + y read/write.
-        return {2.0 * n, n * (8.0 + 8.0 + 8.0) + r * (8.0 + 16.0)};
+        return {2.0 * n,
+                n * (matrix_bytes_per_entry + gather_bytes_per_entry) + r * bytes_per_row};
     }
     /// dst = a*src + dst over n elements.
     static TaskCost axpy(gidx n) {

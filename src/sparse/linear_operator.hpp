@@ -36,6 +36,19 @@ struct Triplet {
     }
 };
 
+/// Byte-stream profile of one SpMV through a format: matrix bytes moved per
+/// stored entry (values + indexing structure), gathered-input bytes per
+/// stored entry, and row-structure + output bytes per row. The defaults
+/// describe CSR-like materialized formats — 8 B value + 8 B column index per
+/// entry, 8 B gathered x per entry, 8 B rowptr + 16 B y read/write per row —
+/// and reproduce the historical 24·nnz + 24·rows roofline exactly. Computed
+/// (matrix-free) operators zero the per-entry matrix stream.
+struct SpmvCostModel {
+    double matrix_bytes_per_entry = 16.0;
+    double gather_bytes_per_entry = 8.0;
+    double bytes_per_row = 24.0;
+};
+
 template <typename T>
 class LinearOperator {
 public:
@@ -55,6 +68,10 @@ public:
 
     /// Human-readable format name ("csr", "coo", ...).
     [[nodiscard]] virtual const char* format_name() const = 0;
+
+    /// Bytes this format moves per SpMV, fed into the simulated roofline by
+    /// the planner. Materialized formats keep the CSR-like default.
+    [[nodiscard]] virtual SpmvCostModel spmv_cost_model() const { return {}; }
 
     /// y += A x over the whole kernel space. Vectors arrive as `VecView`s so
     /// the runtime can hand kernels privilege-checked accessors in validation

@@ -411,4 +411,79 @@ std::vector<std::pair<gidx, gidx>> BlockExpandedRelation::enumerate() const {
     return pairs;
 }
 
+// ---------------------------------------------------------------- StencilOffsetRelation
+
+StencilOffsetRelation::StencilOffsetRelation(IndexSpace kernel, IndexSpace grid,
+                                             std::array<gidx, 3> extents,
+                                             std::vector<std::array<gidx, 3>> offsets,
+                                             bool shift_targets)
+    : kernel_(std::move(kernel)),
+      grid_(std::move(grid)),
+      nx_(extents[0]),
+      ny_(extents[1]),
+      nz_(extents[2]),
+      n_(extents[0] * extents[1] * extents[2]),
+      shift_(shift_targets) {
+    KDR_REQUIRE(nx_ > 0 && ny_ > 0 && nz_ > 0, "StencilOffsetRelation: nonpositive extent ",
+                nx_, "x", ny_, "x", nz_);
+    KDR_REQUIRE(grid_.size() == n_, "StencilOffsetRelation: |grid| ", grid_.size(),
+                " != nx*ny*nz ", n_);
+    KDR_REQUIRE(kernel_.size() == static_cast<gidx>(offsets.size()) * n_,
+                "StencilOffsetRelation: |K| ", kernel_.size(), " != #offsets * n ",
+                static_cast<gidx>(offsets.size()) * n_);
+    blocks_.reserve(offsets.size());
+    for (const auto& o : offsets) {
+        Block b;
+        b.delta = (o[0] * ny_ + o[1]) * nz_ + o[2];
+        b.rx = {std::max<gidx>(0, -o[0]), nx_ - std::max<gidx>(0, o[0])};
+        b.ry = {std::max<gidx>(0, -o[1]), ny_ - std::max<gidx>(0, o[1])};
+        b.rz = {std::max<gidx>(0, -o[2]), nz_ - std::max<gidx>(0, o[2])};
+        blocks_.push_back(b);
+    }
+}
+
+IntervalSet StencilOffsetRelation::image_of(const IntervalSet& src) const {
+    std::vector<Interval> out;
+    src.for_each_interval([&](const Interval& iv) {
+        // Split the kernel interval by offset block, clip each local segment
+        // to the block's validity box, then shift into the target space.
+        gidx lo = iv.lo;
+        while (lo < iv.hi) {
+            const gidx p = lo / n_;
+            const gidx seg_hi = std::min(iv.hi, (p + 1) * n_);
+            const gidx d = delta(p);
+            for_each_valid(p, {lo - p * n_, seg_hi - p * n_},
+                           [&](Interval run) { out.push_back({run.lo + d, run.hi + d}); });
+            lo = seg_hi;
+        }
+    });
+    return IntervalSet::from_intervals(std::move(out));
+}
+
+IntervalSet StencilOffsetRelation::preimage_of(const IntervalSet& dst) const {
+    std::vector<Interval> out;
+    for (gidx p = 0; p < block_count(); ++p) {
+        const gidx d = delta(p);
+        const gidx base = p * n_;
+        dst.for_each_interval([&](const Interval& iv) {
+            // Target t is hit by slot (p, t − δ_p) when that row is valid.
+            for_each_valid(p, {iv.lo - d, iv.hi - d},
+                           [&](Interval run) { out.push_back({base + run.lo, base + run.hi}); });
+        });
+    }
+    return IntervalSet::from_intervals(std::move(out));
+}
+
+std::vector<std::pair<gidx, gidx>> StencilOffsetRelation::enumerate() const {
+    std::vector<std::pair<gidx, gidx>> pairs;
+    for (gidx p = 0; p < block_count(); ++p) {
+        const gidx d = delta(p);
+        const gidx base = p * n_;
+        for_each_valid(p, {0, n_}, [&](Interval run) {
+            for (gidx i = run.lo; i < run.hi; ++i) pairs.emplace_back(base + i, i + d);
+        });
+    }
+    return pairs;
+}
+
 } // namespace kdr

@@ -17,11 +17,17 @@
 ///   DiagonalRelation       — DIA's implicit row relation k=(k0,i) ↦ i−offset(k0)
 ///   BlockExpandedRelation  — lifts a K0 → X0 relation to K = K0×B_R×B_D →
 ///                            X = X0×B_X (BCSR/BCSC row & col relations)
+///   StencilOffsetRelation  — analytic relation of a structured stencil in
+///                            offset-major layout, K = P×n; projections are
+///                            closed-form interval shifts clipped to each
+///                            offset's validity box (matrix-free operators)
 ///
 /// Relations here may be *partial* (a kernel point related to no grid point):
 /// padding slots in ELL/DIA are modeled as unrelated kernel points, which the
 /// generalized matrix semantics of eq. (2) handles naturally.
 
+#include <algorithm>
+#include <array>
 #include <memory>
 #include <optional>
 #include <vector>
@@ -170,6 +176,108 @@ private:
     gidx bd_;
     gidx tb_;       // target block size B (B_R or B_D)
     bool use_row_block_;
+};
+
+/// Analytic relation of a structured stencil whose kernel is laid out
+/// offset-major: K = P × n with slot k = p·n + i holding the coefficient of
+/// offset p applied at grid point i (row-major linearization
+/// i = (x·ny + y)·nz + z). Slot (p, i) participates only when the shifted
+/// neighbor i + δ_p stays inside the grid, i.e. when i lies in the per-offset
+/// validity box V_p; clipped boundary slots relate to nothing, like ELL
+/// padding. With `shift_targets` the relation maps valid slots to the
+/// neighbor i + δ_p (column relation K → D); without, to the row i itself
+/// (row relation K → R). Both projections are closed-form interval
+/// arithmetic — no nonzero enumeration, no stored adjacency.
+class StencilOffsetRelation final : public Relation {
+public:
+    /// `extents` = {nx, ny, nz} (unused trailing axes 1), `offsets` the
+    /// per-block coordinate deltas {dx, dy, dz} in kernel block order.
+    StencilOffsetRelation(IndexSpace kernel, IndexSpace grid, std::array<gidx, 3> extents,
+                          std::vector<std::array<gidx, 3>> offsets, bool shift_targets);
+
+    [[nodiscard]] const IndexSpace& source() const override { return kernel_; }
+    [[nodiscard]] const IndexSpace& target() const override { return grid_; }
+
+    [[nodiscard]] IntervalSet image_of(const IntervalSet& src) const override;
+    [[nodiscard]] IntervalSet preimage_of(const IntervalSet& dst) const override;
+
+    [[nodiscard]] std::vector<std::pair<gidx, gidx>> enumerate() const override;
+
+    [[nodiscard]] gidx block_count() const noexcept { return static_cast<gidx>(blocks_.size()); }
+    [[nodiscard]] gidx grid_size() const noexcept { return n_; }
+
+    /// Linearized index shift δ_p of offset block p (0 for row relations —
+    /// the shift is what distinguishes the two relation roles).
+    [[nodiscard]] gidx delta(gidx p) const {
+        return shift_ ? blocks_[static_cast<std::size_t>(p)].delta : 0;
+    }
+
+    /// Raw geometric shift of block p, independent of the relation role.
+    [[nodiscard]] gidx block_delta(gidx p) const {
+        return blocks_[static_cast<std::size_t>(p)].delta;
+    }
+
+    /// Visit the valid (unclipped) sub-intervals of `local` — an interval of
+    /// grid coordinates — for offset block p, in ascending order. This is the
+    /// shared clipping kernel of both projections and of the matrix-free
+    /// multiply: a run emitted here is safe to apply as y[i] += c·x[i + δ_p]
+    /// for every i in the run.
+    template <typename F>
+    void for_each_valid(gidx p, Interval local, F&& emit) const {
+        const Block& b = blocks_[static_cast<std::size_t>(p)];
+        local.lo = std::max<gidx>(local.lo, 0);
+        local.hi = std::min<gidx>(local.hi, n_);
+        if (local.lo >= local.hi) return;
+        if (b.rx.lo >= b.rx.hi || b.ry.lo >= b.ry.hi || b.rz.lo >= b.rz.hi) return;
+        const gidx plane = ny_ * nz_;
+        const bool y_full = b.ry.lo == 0 && b.ry.hi == ny_;
+        const bool z_full = b.rz.lo == 0 && b.rz.hi == nz_;
+        if (y_full && z_full) {
+            // The box is contiguous in linearized order: one run per call.
+            const gidx lo = std::max(local.lo, b.rx.lo * plane);
+            const gidx hi = std::min(local.hi, b.rx.hi * plane);
+            if (lo < hi) emit(Interval{lo, hi});
+            return;
+        }
+        const gidx x_lo = std::max(b.rx.lo, local.lo / plane);
+        const gidx x_hi = std::min(b.rx.hi, (local.hi - 1) / plane + 1);
+        for (gidx x = x_lo; x < x_hi; ++x) {
+            const gidx xbase = x * plane;
+            if (z_full) {
+                // Contiguous y-range within this x-plane.
+                const gidx lo = std::max(local.lo, xbase + b.ry.lo * nz_);
+                const gidx hi = std::min(local.hi, xbase + b.ry.hi * nz_);
+                if (lo < hi) emit(Interval{lo, hi});
+                continue;
+            }
+            const gidx rel_lo = std::max<gidx>(local.lo - xbase, 0);
+            const gidx rel_hi = std::min<gidx>(local.hi - xbase, plane);
+            if (rel_lo >= rel_hi) continue;
+            const gidx y_lo = std::max(b.ry.lo, rel_lo / nz_);
+            const gidx y_hi = std::min(b.ry.hi, (rel_hi - 1) / nz_ + 1);
+            for (gidx y = y_lo; y < y_hi; ++y) {
+                const gidx base = xbase + y * nz_;
+                const gidx lo = std::max(local.lo, base + b.rz.lo);
+                const gidx hi = std::min(local.hi, base + b.rz.hi);
+                if (lo < hi) emit(Interval{lo, hi});
+            }
+        }
+    }
+
+private:
+    // Per-offset geometry: linearized shift and per-axis valid coordinate
+    // ranges V_p = rx × ry × rz (the rows whose shifted neighbor is in-grid).
+    struct Block {
+        gidx delta;
+        Interval rx, ry, rz;
+    };
+
+    IndexSpace kernel_;
+    IndexSpace grid_;
+    gidx nx_, ny_, nz_;
+    gidx n_; // nx·ny·nz == |grid|
+    std::vector<Block> blocks_;
+    bool shift_;
 };
 
 } // namespace kdr

@@ -1,0 +1,244 @@
+#pragma once
+
+/// \file matrix_free.hpp
+/// Matrix-free structured operators: the kernel space is *computed*, not
+/// stored. A `MatrixFreeStencilOperator` holds one coefficient per stencil
+/// offset and applies y += A·x directly from those P numbers — no entries
+/// array, no column indices, no rowptr. It sits behind the ordinary
+/// `LinearOperator`/`Relation` interface:
+///
+///  * kernel space K = P × n laid out offset-major (slot k = p·n + i), so a
+///    kernel piece is still an interval set and index-task launches dispatch
+///    matrix-free piece kernels per color unchanged;
+///  * col/row relations are `StencilOffsetRelation`s whose projections are
+///    closed-form interval shifts clipped to per-offset validity boxes —
+///    `derive_plan` gets exact privilege subsets without enumerating a single
+///    nonzero, and `ProjectionCache` keys them like any other relation;
+///  * `spmv_cost_model()` reports zero matrix bytes per entry, so SimCluster
+///    timing reflects the collapsed roofline (only x gathers and y traffic).
+///
+/// Per-row accumulation order is offset-ascending, the same order
+/// `laplacian_csr` stores entries in, so residual histories are bitwise
+/// identical to the materialized CSR twin built from the same coefficients.
+///
+/// Tensor-product (Kronecker-sum) operators A_x ⊕ A_y ⊕ A_z of tridiagonal
+/// 1-D factors linearize to exactly this offset form (the mixed Kronecker
+/// terms are identities), so `make_matrix_free_kronecker` reuses the stencil
+/// machinery; with factors tridiag(−1, 2, −1) it reproduces the Dirichlet
+/// Laplacians of stencil.hpp.
+
+#include <array>
+#include <memory>
+#include <vector>
+
+#include "sparse/linear_operator.hpp"
+#include "sparse/relations.hpp"
+#include "stencil/stencil.hpp"
+
+namespace kdr::stencil {
+
+template <typename T>
+class MatrixFreeStencilOperator final : public LinearOperator<T> {
+public:
+    /// `coeffs[p]` is the coefficient applied at offset `spec.offsets()[p]`
+    /// (uniform across the grid; boundary clipping drops out-of-grid
+    /// neighbors, matching the materialized Laplacian's structure).
+    MatrixFreeStencilOperator(const Spec& spec, IndexSpace domain, IndexSpace range,
+                              std::vector<T> coeffs)
+        : spec_(spec),
+          domain_(std::move(domain)),
+          range_(std::move(range)),
+          coeffs_(std::move(coeffs)) {
+        const auto offsets = spec_.offsets();
+        KDR_REQUIRE(coeffs_.size() == offsets.size(), "MatrixFreeStencilOperator: ",
+                    coeffs_.size(), " coefficients for ", offsets.size(), " offsets");
+        const gidx n = spec_.unknowns();
+        KDR_REQUIRE(domain_.size() == n && range_.size() == n,
+                    "MatrixFreeStencilOperator: spaces must match spec unknowns ", n);
+        kernel_ = IndexSpace::create(static_cast<gidx>(offsets.size()) * n, "matfree_kernel");
+        const std::array<gidx, 3> ext = {spec_.nx, spec_.ny, spec_.nz};
+        col_rel_ = std::make_shared<StencilOffsetRelation>(kernel_, domain_, ext, offsets,
+                                                           /*shift_targets=*/true);
+        row_rel_ = std::make_shared<StencilOffsetRelation>(kernel_, range_, ext, offsets,
+                                                           /*shift_targets=*/false);
+    }
+
+    [[nodiscard]] const IndexSpace& domain() const override { return domain_; }
+    [[nodiscard]] const IndexSpace& range() const override { return range_; }
+    [[nodiscard]] const IndexSpace& kernel() const override { return kernel_; }
+
+    [[nodiscard]] std::shared_ptr<const Relation> col_relation() const override {
+        return col_rel_;
+    }
+    [[nodiscard]] std::shared_ptr<const Relation> row_relation() const override {
+        return row_rel_;
+    }
+
+    [[nodiscard]] const char* format_name() const override { return "matfree"; }
+
+    /// Zero per-entry bytes: a structured stencil kernel has no stored
+    /// matrix and no indexed gather — its operand streams (the SimCluster
+    /// roofline convention counts each stream once) are x in and y
+    /// read/write, 8 + 16 = 24 B per row. This is the "No 3D Matrices"
+    /// stencil roofline; the materialized formats keep per-entry charges
+    /// because a column-index gather has no stream structure.
+    [[nodiscard]] SpmvCostModel spmv_cost_model() const override {
+        return {/*matrix_bytes_per_entry=*/0.0, /*gather_bytes_per_entry=*/0.0,
+                /*bytes_per_row=*/24.0};
+    }
+
+    void multiply_add_piece(const IntervalSet& piece, VecView<const T> x,
+                            VecView<T> y) const override {
+        this->check_vectors(x, y);
+        const gidx n = spec_.unknowns();
+        piece.for_each_interval([&](const Interval& iv) {
+            gidx lo = iv.lo;
+            while (lo < iv.hi) {
+                const gidx p = lo / n;
+                const gidx seg_hi = std::min(iv.hi, (p + 1) * n);
+                const T c = coeffs_[static_cast<std::size_t>(p)];
+                const gidx d = col_rel_->block_delta(p);
+                col_rel_->for_each_valid(p, {lo - p * n, seg_hi - p * n}, [&](Interval run) {
+                    for (gidx i = run.lo; i < run.hi; ++i)
+                        y[static_cast<std::size_t>(i)] +=
+                            c * x[static_cast<std::size_t>(i + d)];
+                });
+                lo = seg_hi;
+            }
+        });
+    }
+
+    void multiply_add_transpose_piece(const IntervalSet& piece, VecView<const T> x,
+                                      VecView<T> y) const override {
+        this->check_vectors_transpose(x, y);
+        const gidx n = spec_.unknowns();
+        // CSR's transpose scatters in kernel (= source-row-ascending) order,
+        // so a target slot j accumulates its addends with δ *descending*
+        // (row i = j − δ). Walk the offset blocks high-to-low to keep the
+        // per-slot addend sequence — and hence the floating-point result —
+        // bitwise identical to the materialized twin.
+        std::vector<Interval> ivs;
+        piece.for_each_interval([&](const Interval& iv) { ivs.push_back(iv); });
+        for (auto it = ivs.rbegin(); it != ivs.rend(); ++it) {
+            gidx hi = it->hi;
+            while (hi > it->lo) {
+                const gidx p = (hi - 1) / n;
+                const gidx seg_lo = std::max(it->lo, p * n);
+                const T c = coeffs_[static_cast<std::size_t>(p)];
+                const gidx d = col_rel_->block_delta(p);
+                col_rel_->for_each_valid(p, {seg_lo - p * n, hi - p * n}, [&](Interval run) {
+                    for (gidx i = run.lo; i < run.hi; ++i)
+                        y[static_cast<std::size_t>(i + d)] +=
+                            c * x[static_cast<std::size_t>(i)];
+                });
+                hi = seg_lo;
+            }
+        }
+    }
+
+    [[nodiscard]] std::vector<Triplet<T>> to_triplets() const override {
+        std::vector<Triplet<T>> out;
+        out.reserve(static_cast<std::size_t>(spec_.total_nnz()));
+        const gidx n = spec_.unknowns();
+        for (gidx p = 0; p < col_rel_->block_count(); ++p) {
+            const T c = coeffs_[static_cast<std::size_t>(p)];
+            const gidx d = col_rel_->block_delta(p);
+            col_rel_->for_each_valid(p, {0, n}, [&](Interval run) {
+                for (gidx i = run.lo; i < run.hi; ++i) out.push_back({i, i + d, c});
+            });
+        }
+        return out;
+    }
+
+    void add_diagonal(std::span<T> diag) const override {
+        KDR_REQUIRE(static_cast<gidx>(diag.size()) == range_.size(),
+                    "add_diagonal: diag size mismatch");
+        // The center offset is the only one with δ = 0 and it is never
+        // clipped, so the diagonal is the center coefficient everywhere.
+        for (gidx p = 0; p < col_rel_->block_count(); ++p) {
+            if (col_rel_->block_delta(p) != 0) continue;
+            for (auto& v : diag) v += coeffs_[static_cast<std::size_t>(p)];
+        }
+    }
+
+    [[nodiscard]] const Spec& spec() const noexcept { return spec_; }
+    [[nodiscard]] const std::vector<T>& coeffs() const noexcept { return coeffs_; }
+
+private:
+    Spec spec_;
+    IndexSpace domain_;
+    IndexSpace range_;
+    IndexSpace kernel_;
+    std::vector<T> coeffs_;
+    std::shared_ptr<StencilOffsetRelation> col_rel_;
+    std::shared_ptr<StencilOffsetRelation> row_rel_;
+};
+
+/// Coefficients of the Dirichlet Laplacian for `spec`, in offsets() order:
+/// (points − 1) at the center, −1 at every neighbor — the same numbers
+/// `laplacian_csr` materializes.
+[[nodiscard]] inline std::vector<double> laplacian_coeffs(const Spec& spec) {
+    const auto offsets = spec.offsets();
+    std::vector<double> c(offsets.size(), -1.0);
+    for (std::size_t p = 0; p < offsets.size(); ++p)
+        if (offsets[p] == std::array<gidx, 3>{0, 0, 0})
+            c[p] = static_cast<double>(spec.points() - 1);
+    return c;
+}
+
+/// Matrix-free twin of `laplacian_csr(spec, domain, range)`.
+[[nodiscard]] inline std::shared_ptr<MatrixFreeStencilOperator<double>>
+make_matrix_free_laplacian(const Spec& spec, IndexSpace domain, IndexSpace range) {
+    return std::make_shared<MatrixFreeStencilOperator<double>>(
+        spec, std::move(domain), std::move(range), laplacian_coeffs(spec));
+}
+
+/// One tridiagonal 1-D factor of a Kronecker-sum operator.
+struct TridiagFactor {
+    double sub = -1.0;   ///< coefficient of neighbor at coordinate − 1
+    double diag = 2.0;   ///< diagonal coefficient
+    double super = -1.0; ///< coefficient of neighbor at coordinate + 1
+};
+
+/// Tensor-product operator A = A_0 ⊕ A_1 ⊕ … = Σ_a I ⊗ … ⊗ A_a ⊗ … ⊗ I over
+/// a row-major grid with the given per-axis extents (1–3 axes), where each
+/// A_a is the tridiagonal Toeplitz factor `factors[a]`. The Kronecker sum of
+/// tridiagonal factors has one axis-neighbor offset per factor band, so it
+/// linearizes to an axis stencil (D1P3/D2P5/D3P7) with center = Σ_a diag_a. With
+/// default factors tridiag(−1, 2, −1) this is exactly the Dirichlet
+/// Laplacian of the matching `stencil::Kind`.
+[[nodiscard]] inline std::shared_ptr<MatrixFreeStencilOperator<double>>
+make_matrix_free_kronecker(const std::vector<TridiagFactor>& factors,
+                           const std::vector<gidx>& extents, IndexSpace domain,
+                           IndexSpace range) {
+    KDR_REQUIRE(!factors.empty() && factors.size() <= 3,
+                "make_matrix_free_kronecker: need 1-3 factors, got ", factors.size());
+    KDR_REQUIRE(factors.size() == extents.size(),
+                "make_matrix_free_kronecker: ", factors.size(), " factors vs ",
+                extents.size(), " extents");
+    Spec spec;
+    spec.kind = factors.size() == 1   ? Kind::D1P3
+                : factors.size() == 2 ? Kind::D2P5
+                                      : Kind::D3P7;
+    spec.nx = extents[0];
+    spec.ny = extents.size() > 1 ? extents[1] : 1;
+    spec.nz = extents.size() > 2 ? extents[2] : 1;
+    const auto offsets = spec.offsets();
+    std::vector<double> coeffs(offsets.size(), 0.0);
+    for (std::size_t p = 0; p < offsets.size(); ++p) {
+        const auto& o = offsets[p];
+        if (o == std::array<gidx, 3>{0, 0, 0}) {
+            for (const TridiagFactor& f : factors) coeffs[p] += f.diag;
+            continue;
+        }
+        for (std::size_t a = 0; a < factors.size(); ++a) {
+            if (o[a] == -1) coeffs[p] = factors[a].sub;
+            if (o[a] == 1) coeffs[p] = factors[a].super;
+        }
+    }
+    return std::make_shared<MatrixFreeStencilOperator<double>>(spec, std::move(domain),
+                                                              std::move(range),
+                                                              std::move(coeffs));
+}
+
+} // namespace kdr::stencil

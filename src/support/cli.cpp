@@ -25,6 +25,16 @@ CliArgs::CliArgs(int argc, const char* const* argv) {
         std::string arg = argv[i];
         if (arg.size() < 2 || arg[0] != '-') continue;
         std::string key = arg.substr(1);
+        // `-key=value` binds the inline value (the KDR_KEY=value env syntax,
+        // accepted on the command line too). A leading '=' is not a key.
+        if (const std::size_t eq = key.find('='); eq != std::string::npos) {
+            if (eq == 0) continue;
+            values_[key.substr(0, eq)] = key.substr(eq + 1);
+            continue;
+        }
+        // A repeated flag overwrites: the last occurrence wins, so trailing
+        // overrides compose (precedence across sources — CLI over KDR_* env
+        // over defaults — is decided in support::OptionSet::parse).
         if (i + 1 < argc && is_flag_value(argv[i + 1])) {
             values_[key] = argv[++i];
         } else {
@@ -59,8 +69,10 @@ double CliArgs::get_double(const std::string& key, double fallback) const {
 }
 
 bool CliArgs::get_flag(const std::string& key) const {
+    // Same falsy set as OptionSet's env-side flag parsing: absent, empty
+    // (`-flag=`), and "0" are false — the two surfaces must agree.
     auto it = values_.find(key);
-    return it != values_.end() && it->second != "0";
+    return it != values_.end() && !it->second.empty() && it->second != "0";
 }
 
 } // namespace kdr

@@ -2,7 +2,10 @@
 
 /// \file cli.hpp
 /// Minimal `-key value` command-line parser matching the style of the paper's
-/// `BenchmarkStencil` driver (`-dim 2 -solver 1 -nx 4096 ...`).
+/// `BenchmarkStencil` driver (`-dim 2 -solver 1 -nx 4096 ...`). Also accepts
+/// `-key=value` (the KDR_* env spelling); a repeated flag overwrites, so the
+/// last occurrence wins. Boolean flags treat absent, empty, and "0" as false,
+/// matching OptionSet's env parsing exactly.
 
 #include <cstdint>
 #include <map>

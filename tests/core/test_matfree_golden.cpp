@@ -1,0 +1,119 @@
+/// Golden residual histories for matrix-free operators: CG and GMRES(10) on
+/// a `MatrixFreeStencilOperator` must produce *bitwise-identical* convergence
+/// histories to the materialized CSR twin built from the same coefficients —
+/// per-row accumulation order is offset-ascending in both kernels — and the
+/// matrix-free runs must come out of validation mode with zero privilege
+/// violations, zero shadow races, and zero over-declarations.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/solvers.hpp"
+#include "stencil/matrix_free.hpp"
+#include "stencil/stencil.hpp"
+
+namespace kdr::core {
+namespace {
+
+constexpr int kIters = 20;
+constexpr std::uint64_t kRhsSeed = 20250806;
+
+rt::RuntimeOptions validating_options() {
+    rt::RuntimeOptions o;
+    o.validate_warn_only = true;
+    return o;
+}
+
+void expect_clean(rt::Runtime& runtime, const std::string& what) {
+    ASSERT_TRUE(runtime.validating());
+    const rt::Validator& v = *runtime.validator();
+    std::ostringstream diag;
+    for (const std::string& w : v.warnings()) diag << "  " << w << "\n";
+    EXPECT_EQ(v.violations(), 0u) << what << " privilege violations:\n" << diag.str();
+    EXPECT_EQ(v.race_pairs(), 0u) << what << " races:\n" << diag.str();
+    EXPECT_EQ(v.overdeclared(), 0u) << what << " over-declarations:\n" << diag.str();
+    EXPECT_GT(v.tasks_checked(), 0u) << what << ": validation never saw a task body";
+}
+
+/// Run `kIters` steps of cg/gmres10 on the spec's Dirichlet Laplacian with a
+/// fixed-seed rhs and 4 canonical pieces; the operator is either the
+/// matrix-free stencil or its materialized CSR twin.
+std::vector<double> run_history(rt::Runtime& runtime, const stencil::Spec& spec,
+                                const std::string& solver, bool matfree) {
+    const gidx n = spec.unknowns();
+    const IndexSpace D = IndexSpace::create(n, "D");
+    const rt::RegionId xr = runtime.create_region(D, "x");
+    const rt::RegionId br = runtime.create_region(D, "b");
+    const rt::FieldId xf = runtime.add_field<double>(xr, "v");
+    const rt::FieldId bf = runtime.add_field<double>(br, "v");
+    {
+        const auto b = stencil::random_rhs(n, kRhsSeed);
+        auto bd = runtime.field_data<double>(br, bf);
+        std::copy(b.begin(), b.end(), bd.begin());
+    }
+
+    Planner<double> planner(runtime);
+    planner.add_sol_vector(xr, xf, Partition::equal(D, 4));
+    planner.add_rhs_vector(br, bf, Partition::equal(D, 4));
+    std::shared_ptr<const LinearOperator<double>> A;
+    if (matfree) {
+        A = stencil::make_matrix_free_laplacian(spec, D, D);
+    } else {
+        A = std::make_shared<CsrMatrix<double>>(stencil::laplacian_csr(spec, D, D));
+    }
+    planner.add_operator(A, 0, 0);
+
+    std::unique_ptr<Solver<double>> s;
+    if (solver == "cg") {
+        s = std::make_unique<CgSolver<double>>(planner);
+    } else {
+        s = std::make_unique<GmresSolver<double>>(planner, 10);
+    }
+    std::vector<double> history;
+    for (int i = 0; i < kIters && s->status() == SolveStatus::running; ++i) {
+        s->step();
+        history.push_back(s->get_convergence_measure().value);
+    }
+    return history;
+}
+
+std::vector<stencil::Spec> golden_specs() {
+    return {{stencil::Kind::D1P3, 64, 1, 1},
+            {stencil::Kind::D2P5, 32, 32, 1},
+            {stencil::Kind::D3P7, 8, 8, 8},
+            {stencil::Kind::D3P27, 6, 6, 6}};
+}
+
+void run_twins(const std::string& solver) {
+    for (const stencil::Spec& spec : golden_specs()) {
+        SCOPED_TRACE(solver + " on " + spec.describe());
+        // Matrix-free arm under full validation (KDR_VALIDATE semantics):
+        // privilege-checked accessors, shadow race detector, the lot.
+        rt::Runtime vrt(sim::MachineDesc::lassen(2), validating_options());
+        const std::vector<double> mf = run_history(vrt, spec, solver, /*matfree=*/true);
+        expect_clean(vrt, solver + " matfree " + spec.describe());
+
+        rt::Runtime crt(sim::MachineDesc::lassen(2));
+        const std::vector<double> csr = run_history(crt, spec, solver, /*matfree=*/false);
+
+        ASSERT_EQ(mf.size(), csr.size());
+        ASSERT_FALSE(mf.empty());
+        for (std::size_t i = 0; i < csr.size(); ++i) {
+            EXPECT_EQ(mf[i], csr[i])
+                << "history diverged at iteration " << i << " (not bitwise identical)";
+        }
+    }
+}
+
+TEST(MatfreeGolden, CgHistoriesAreBitwiseTwinsUnderValidation) { run_twins("cg"); }
+
+TEST(MatfreeGolden, GmresHistoriesAreBitwiseTwinsUnderValidation) {
+    run_twins("gmres10");
+}
+
+} // namespace
+} // namespace kdr::core

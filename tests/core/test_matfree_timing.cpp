@@ -1,0 +1,107 @@
+/// Timing-mode gate for the matrix-free arm: at scale (2^33 unknowns, 16
+/// Lassen nodes, 64 pieces) the matrix-free SpMV phase must beat the
+/// materialized CSR arm by ≥2× for all four stencils, and whole CG
+/// iterations must beat CSR by ≥2× wherever the roofline permits it.
+///
+/// Amdahl bound (DESIGN.md "Matrix-Free Operators"): a CG iteration moves
+/// ~88 B/element of vector traffic regardless of the operator arm, while the
+/// SpMV drops from (24·points + 24) to 24 B/row — a per-iteration ceiling of
+/// (24p + 112)/112, about 1.64× for D1P3 even with a *free* SpMV phase. The
+/// 3-D kinds additionally pay a plane-sized halo exchange (~n^(2/3) per
+/// piece, identical in both arms) that dilutes the ratio at small n; the
+/// gate runs at 2^33 where the O(n) SpMV stream dominates it. Floors: ≥2×
+/// for the 3-D stencils, ≥1.8× for D2P5 (ceiling 2.07×), ≥1.4× for D1P3.
+
+#include <gtest/gtest.h>
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "harness.hpp"
+
+namespace kdr::core {
+namespace {
+
+constexpr gidx kTarget = gidx{1} << 33;
+constexpr int kNodes = 16;
+
+const std::vector<stencil::Kind>& kinds() {
+    static const std::vector<stencil::Kind> k = {
+        stencil::Kind::D1P3, stencil::Kind::D2P5, stencil::Kind::D3P7,
+        stencil::Kind::D3P27};
+    return k;
+}
+
+/// Average virtual seconds of one matmul across the piece set (untraced,
+/// 5 warmup + `timed` measured launches) — the SpMV-phase clock.
+double spmv_phase(stencil::Kind kind, bench::OperatorArm arm) {
+    const sim::MachineDesc machine = sim::MachineDesc::lassen(kNodes);
+    const stencil::Spec spec = stencil::Spec::cube(kind, kTarget);
+    bench::LegionStencilSystem sys = bench::make_legion_stencil(
+        spec, machine, static_cast<Color>(machine.total_gpus()), bench::TraceMode::None,
+        core::PlannerOptions{}, /*profile=*/false, arm);
+    using P = core::Planner<double>;
+    for (int i = 0; i < 5; ++i) sys.planner->matmul(P::RHS, P::SOL);
+    const double t0 = sys.runtime->current_time();
+    constexpr int kTimed = 15;
+    for (int i = 0; i < kTimed; ++i) sys.planner->matmul(P::RHS, P::SOL);
+    return (sys.runtime->current_time() - t0) / kTimed;
+}
+
+/// Steady-state virtual seconds per traced CG iteration.
+double cg_per_iteration(stencil::Kind kind, bench::OperatorArm arm) {
+    const sim::MachineDesc machine = sim::MachineDesc::lassen(kNodes);
+    const stencil::Spec spec = stencil::Spec::cube(kind, kTarget);
+    bench::LegionStencilSystem sys = bench::make_legion_stencil(
+        spec, machine, static_cast<Color>(machine.total_gpus()), bench::TraceMode::Fast,
+        core::PlannerOptions{}, /*profile=*/false, arm);
+    auto solver = bench::make_solver("cg", *sys.planner);
+    return bench::measure_per_iteration(*sys.runtime, *solver, /*warmup=*/7,
+                                        /*timed=*/10);
+}
+
+TEST(MatfreeTiming, SpmvPhaseAtLeastTwiceCsrForAllStencils) {
+    for (const stencil::Kind kind : kinds()) {
+        const double csr = spmv_phase(kind, bench::OperatorArm::Csr);
+        const double mf = spmv_phase(kind, bench::OperatorArm::MatFree);
+        ASSERT_GT(mf, 0.0);
+        const double ratio = csr / mf;
+        std::cout << "[spmv-phase] " << stencil::kind_name(kind) << ": csr " << csr * 1e6
+                  << " us, matfree " << mf * 1e6 << " us, " << ratio << "x\n";
+        EXPECT_GE(ratio, 2.0) << stencil::kind_name(kind) << ": csr " << csr * 1e6
+                              << " us vs matfree " << mf * 1e6 << " us per SpMV";
+    }
+}
+
+TEST(MatfreeTiming, CgIterationSpeedupMeetsRooflineGates) {
+    // Per-iteration floors: the 3-D stencils must clear 2×; D2P5's vector-
+    // traffic ceiling is 2.07× (gate 1.8×) and D1P3's is 1.64× (gate 1.4×).
+    for (const stencil::Kind kind : kinds()) {
+        double floor = 2.0;
+        if (kind == stencil::Kind::D2P5) floor = 1.8;
+        if (kind == stencil::Kind::D1P3) floor = 1.4;
+        const double csr = cg_per_iteration(kind, bench::OperatorArm::Csr);
+        const double mf = cg_per_iteration(kind, bench::OperatorArm::MatFree);
+        ASSERT_GT(mf, 0.0);
+        const double ratio = csr / mf;
+        std::cout << "[cg-per-it] " << stencil::kind_name(kind) << ": csr " << csr * 1e6
+                  << " us/it, matfree " << mf * 1e6 << " us/it, " << ratio << "x\n";
+        EXPECT_GE(ratio, floor)
+            << stencil::kind_name(kind) << ": csr " << csr * 1e6 << " us/it vs matfree "
+            << mf * 1e6 << " us/it (" << ratio << "x)";
+    }
+}
+
+TEST(MatfreeTiming, SellArmSitsBetweenCsrAndMatfree) {
+    // SELL-C-σ trims the rowptr stream but still moves matrix bytes (padded
+    // to full stencil width): faster than CSR, slower than matrix-free.
+    const double csr = spmv_phase(stencil::Kind::D3P7, bench::OperatorArm::Csr);
+    const double sell = spmv_phase(stencil::Kind::D3P7, bench::OperatorArm::Sell);
+    const double mf = spmv_phase(stencil::Kind::D3P7, bench::OperatorArm::MatFree);
+    EXPECT_LT(sell, csr);
+    EXPECT_LT(mf, sell);
+}
+
+} // namespace
+} // namespace kdr::core

@@ -73,6 +73,43 @@ TEST(Histogram, QuantileOfEmptyIsZero) {
     EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
 }
 
+TEST(Histogram, QuantileRankOnBucketBoundaryReturnsTheBoundary) {
+    Histogram h({1.0, 2.0, 4.0});
+    for (const double v : {0.5, 0.6, 1.5, 1.6, 3.0, 3.5}) h.observe(v);
+    // Ranks 2 and 4 land exactly on the bucket edges: no interpolation into
+    // the next bucket.
+    EXPECT_DOUBLE_EQ(h.quantile(1.0 / 3.0), 1.0);
+    EXPECT_DOUBLE_EQ(h.quantile(2.0 / 3.0), 2.0);
+}
+
+TEST(Histogram, QuantileNeverInterpolatesBackwardsIntoNegativeBounds) {
+    // All mass in the underflow bucket (-inf, -2]: there is no finite lower
+    // edge, and interpolating down from 0 would produce values *above* the
+    // bucket's upper bound. The quantile clamps to the bound instead.
+    Histogram h({-2.0, 1.0});
+    h.observe(-3.0);
+    h.observe(-5.0);
+    EXPECT_DOUBLE_EQ(h.quantile(0.25), -2.0);
+    EXPECT_DOUBLE_EQ(h.quantile(0.5), -2.0);
+    // Positive-bound underflow buckets keep the historical interpolate-from-0
+    // behavior.
+    Histogram g({4.0});
+    g.observe(1.0);
+    g.observe(2.0);
+    EXPECT_DOUBLE_EQ(g.quantile(0.5), 2.0);
+}
+
+TEST(Histogram, QuantileWithNoFiniteBoundsIsZero) {
+    // A bounds-free histogram is one big +Inf overflow bucket: there is no
+    // finite bound to clamp to, so every quantile degrades to 0.
+    Histogram h(std::vector<double>{});
+    h.observe(7.0);
+    h.observe(9.0);
+    EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+    EXPECT_DOUBLE_EQ(h.quantile(1.0), 0.0);
+}
+
 TEST(Histogram, RejectsNonIncreasingBounds) {
     EXPECT_THROW(Histogram({1.0, 1.0}), Error);
     EXPECT_THROW(Histogram({2.0, 1.0}), Error);

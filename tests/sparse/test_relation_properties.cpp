@@ -1,0 +1,176 @@
+/// Property sweep: for every storage format in the catalog (and the analytic
+/// stencil relations behind matrix-free operators), the three relation
+/// surfaces must agree with each other — `image_of`/`preimage_of` computed by
+/// the format's fast path must match the ground truth derived from
+/// `enumerate()` on random interval sets. Dependent partitioning (and hence
+/// privilege declarations) is built entirely on these projections, so a
+/// mismatch here is a silent correctness bug everywhere above.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sparse/convert.hpp"
+#include "sparse/relations.hpp"
+#include "sparse/sell.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace kdr;
+
+/// Random subset of [0, n): a mix of short runs and isolated points, ~30%
+/// density, occasionally empty or full.
+IntervalSet random_subset(gidx n, Rng& rng) {
+    const std::uint64_t shape = rng.next() % 16;
+    if (shape == 0) return {};
+    if (shape == 1) return IntervalSet::full(n);
+    std::vector<gidx> points;
+    for (gidx i = 0; i < n; ++i) {
+        if (rng.next() % 10 < 3) points.push_back(i);
+    }
+    // Add a couple of runs so interval-walk paths see more than singletons.
+    for (int r = 0; r < 2; ++r) {
+        const gidx lo = static_cast<gidx>(rng.next() % static_cast<std::uint64_t>(n));
+        const gidx hi = std::min<gidx>(n, lo + 1 + static_cast<gidx>(rng.next() % 7));
+        for (gidx i = lo; i < hi; ++i) points.push_back(i);
+    }
+    return IntervalSet::from_points(std::move(points));
+}
+
+/// Check one relation object against its own enumerate() on random subsets.
+void check_relation(const Relation& rel, std::uint64_t seed, const std::string& what) {
+    const auto pairs = rel.enumerate();
+    for (const auto& [s, t] : pairs) {
+        ASSERT_GE(s, 0) << what;
+        ASSERT_LT(s, rel.source().size()) << what;
+        ASSERT_GE(t, 0) << what;
+        ASSERT_LT(t, rel.target().size()) << what;
+    }
+
+    // Whole-space and empty-set edges first.
+    {
+        std::vector<gidx> img, pre;
+        for (const auto& [s, t] : pairs) {
+            img.push_back(t);
+            pre.push_back(s);
+        }
+        EXPECT_EQ(rel.image_of(rel.source().universe()), IntervalSet::from_points(img))
+            << what << ": image of universe";
+        EXPECT_EQ(rel.preimage_of(rel.target().universe()), IntervalSet::from_points(pre))
+            << what << ": preimage of universe";
+        EXPECT_TRUE(rel.image_of(IntervalSet()).empty()) << what;
+        EXPECT_TRUE(rel.preimage_of(IntervalSet()).empty()) << what;
+    }
+
+    Rng rng(seed);
+    for (int round = 0; round < 12; ++round) {
+        const IntervalSet S = random_subset(rel.source().size(), rng);
+        const IntervalSet T = random_subset(rel.target().size(), rng);
+        std::vector<gidx> img, pre;
+        for (const auto& [s, t] : pairs) {
+            if (S.contains(s)) img.push_back(t);
+            if (T.contains(t)) pre.push_back(s);
+        }
+        EXPECT_EQ(rel.image_of(S), IntervalSet::from_points(std::move(img)))
+            << what << ": image mismatch, round " << round;
+        EXPECT_EQ(rel.preimage_of(T), IntervalSet::from_points(std::move(pre)))
+            << what << ": preimage mismatch, round " << round;
+    }
+}
+
+void check_operator(const LinearOperator<double>& op, std::uint64_t seed,
+                    const std::string& what) {
+    check_relation(*op.row_relation(), seed, what + " row relation");
+    check_relation(*op.col_relation(), seed ^ 0x9E3779B9ULL, what + " col relation");
+}
+
+/// Random rectangular triplets over r×d with block-friendly dimensions.
+std::vector<Triplet<double>> random_triplets(gidx r, gidx d, Rng& rng) {
+    std::vector<Triplet<double>> ts;
+    for (gidx i = 0; i < r; ++i) {
+        for (gidx j = 0; j < d; ++j) {
+            if (rng.next() % 100 < 18)
+                ts.push_back({i, j, 1.0 + static_cast<double>(rng.next() % 7)});
+        }
+    }
+    // Guarantee at least one entry so from_triplets never sees a fully empty
+    // matrix (DIA with zero diagonals is degenerate).
+    if (ts.empty()) ts.push_back({0, 0, 1.0});
+    return ts;
+}
+
+TEST(RelationProperties, AllFormatsAgreeWithEnumerate) {
+    // 24 is divisible by the 2/3/4 block sizes below.
+    const gidx r = 24, d = 24;
+    const IndexSpace R = IndexSpace::create(r, "R");
+    const IndexSpace D = IndexSpace::create(d, "D");
+    for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+        Rng rng(seed * 7919);
+        const auto ts = random_triplets(r, d, rng);
+        const auto csr = CsrMatrix<double>::from_triplets(D, R, ts);
+        check_operator(csr, seed, "csr");
+        check_operator(to_coo(csr), seed, "coo");
+        check_operator(to_csc(csr), seed, "csc");
+        check_operator(to_dense(csr), seed, "dense");
+        check_operator(to_ell(csr), seed, "ell");
+        check_operator(to_ellt(csr), seed, "ellt");
+        check_operator(to_dia(csr), seed, "dia");
+        check_operator(to_bcsr(csr, 2, 3), seed, "bcsr 2x3");
+        check_operator(to_bcsc(csr, 4, 2), seed, "bcsc 4x2");
+        check_operator(SellMatrix<double>::from_triplets(D, R, /*slice_height=*/4,
+                                                         /*sigma=*/8, ts),
+                       seed, "sell-4-8");
+    }
+}
+
+TEST(RelationProperties, StencilOffsetRelations) {
+    struct Grid {
+        std::array<gidx, 3> ext;
+        std::vector<std::array<gidx, 3>> offsets;
+        const char* name;
+    };
+    std::vector<Grid> grids;
+    // 1D 3-point.
+    grids.push_back({{7, 1, 1}, {{{-1, 0, 0}}, {{0, 0, 0}}, {{1, 0, 0}}}, "d1p3"});
+    // 2D 5-point on a non-square grid.
+    grids.push_back({{4, 5, 1},
+                     {{{-1, 0, 0}}, {{0, -1, 0}}, {{0, 0, 0}}, {{0, 1, 0}}, {{1, 0, 0}}},
+                     "d2p5"});
+    // 3D 7-point, all extents distinct.
+    grids.push_back({{3, 4, 5},
+                     {{{-1, 0, 0}},
+                      {{0, -1, 0}},
+                      {{0, 0, -1}},
+                      {{0, 0, 0}},
+                      {{0, 0, 1}},
+                      {{0, 1, 0}},
+                      {{1, 0, 0}}},
+                     "d3p7"});
+    // 3D 27-point (every corner/edge offset exercises multi-axis clipping).
+    {
+        Grid g{{3, 3, 4}, {}, "d3p27"};
+        for (gidx dx = -1; dx <= 1; ++dx)
+            for (gidx dy = -1; dy <= 1; ++dy)
+                for (gidx dz = -1; dz <= 1; ++dz) g.offsets.push_back({dx, dy, dz});
+        grids.push_back(std::move(g));
+    }
+    // Wide shift: |dx| = 2, plus an offset clipped away entirely on one axis.
+    grids.push_back({{5, 3, 1}, {{{-2, 0, 0}}, {{0, 0, 0}}, {{2, 2, 0}}, {{4, 0, 0}}},
+                     "wide"});
+
+    for (const Grid& g : grids) {
+        const gidx n = g.ext[0] * g.ext[1] * g.ext[2];
+        const gidx P = static_cast<gidx>(g.offsets.size());
+        const IndexSpace K = IndexSpace::create(P * n, "K");
+        const IndexSpace G = IndexSpace::create(n, "grid");
+        const StencilOffsetRelation col(K, G, g.ext, g.offsets, /*shift_targets=*/true);
+        const StencilOffsetRelation row(K, G, g.ext, g.offsets, /*shift_targets=*/false);
+        check_relation(col, 42, std::string(g.name) + " col");
+        check_relation(row, 43, std::string(g.name) + " row");
+    }
+}
+
+} // namespace

@@ -78,5 +78,42 @@ TEST(CliArgs, StringValues) {
     EXPECT_EQ(args.get_string("solver", ""), "bicgstab");
 }
 
+TEST(CliArgs, EqualsSyntaxBindsInlineValue) {
+    // Regression: "-nx=4096" used to register the literal key "nx=4096" and
+    // the flag was silently ignored.
+    const CliArgs args = make({"-nx=4096", "-solver=cg", "-beta=-1.5"});
+    EXPECT_EQ(args.get_int("nx", 0), 4096);
+    EXPECT_EQ(args.get_string("solver", ""), "cg");
+    EXPECT_DOUBLE_EQ(args.get_double("beta", 0.0), -1.5);
+    EXPECT_FALSE(args.has("nx=4096"));
+}
+
+TEST(CliArgs, EqualsSyntaxEmptyValueIsFalsyFlag) {
+    // "-flag=" carries an empty value: present, but false as a flag — the
+    // same falsy set ("", "0", absent) OptionSet uses for KDR_* env vars.
+    const CliArgs args = make({"-verbose=", "-trace=0", "-fused=1"});
+    EXPECT_TRUE(args.has("verbose"));
+    EXPECT_FALSE(args.get_flag("verbose"));
+    EXPECT_FALSE(args.get_flag("trace"));
+    EXPECT_TRUE(args.get_flag("fused"));
+    EXPECT_EQ(args.get_string("verbose", "x"), "");
+}
+
+TEST(CliArgs, RepeatedFlagLastOccurrenceWins) {
+    const CliArgs args = make({"-nx", "8", "-nx", "16", "-solver=cg", "-solver", "gmres"});
+    EXPECT_EQ(args.get_int("nx", 0), 16);
+    EXPECT_EQ(args.get_string("solver", ""), "gmres");
+    // Mixed spellings in the other order too.
+    const CliArgs rev = make({"-solver", "gmres", "-solver=cg"});
+    EXPECT_EQ(rev.get_string("solver", ""), "cg");
+}
+
+TEST(CliArgs, DegenerateEqualsTokensAreIgnored) {
+    // "-=x" has no key; "-" is too short to be a flag at all.
+    const CliArgs args = make({"-=x", "-", "-nx", "8"});
+    EXPECT_FALSE(args.has(""));
+    EXPECT_EQ(args.get_int("nx", 0), 8);
+}
+
 } // namespace
 } // namespace kdr

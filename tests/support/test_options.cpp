@@ -89,6 +89,56 @@ TEST(OptionSet, RejectsMalformedValuesAndDuplicates) {
     EXPECT_THROW(opts.add_flag("flag", dup, "again"), Error);
 }
 
+TEST(OptionSet, EqualsSpellingMatchesSpaceSpellingOnEverySurface) {
+    // "-key=value" (the KDR_KEY=value env spelling, accepted on the command
+    // line) must be indistinguishable from "-key value".
+    Knobs k;
+    OptionSet opts;
+    k.bind(opts);
+    opts.apply_cli(make_args({"-small=11", "-rate=0.25", "-path=out.json", "-flag=1"}));
+    EXPECT_EQ(k.small, 11);
+    EXPECT_DOUBLE_EQ(k.rate, 0.25);
+    EXPECT_EQ(k.path, "out.json");
+    EXPECT_TRUE(k.flag);
+}
+
+TEST(OptionSet, CliFalsyFlagSpellingsMatchEnv) {
+    // "-flag=0" and "-flag=" must read as false on the CLI, exactly like
+    // KDR_FLAG=0 / KDR_FLAG= in the environment.
+    for (const char* arg : {"-flag=0", "-flag="}) {
+        Knobs k;
+        k.flag = true;
+        OptionSet opts;
+        k.bind(opts);
+        opts.apply_cli(make_args({arg}));
+        EXPECT_FALSE(k.flag) << "'" << arg << "' must read as false";
+    }
+}
+
+TEST(OptionSet, ExplicitPrecedenceCliOverEnvOverDefault) {
+    // All three sources set `small`; CLI wins. Only env sets `big`; env wins
+    // over the default. Nothing sets `seed`; the default survives.
+    ::setenv("KDR_SMALL", "5", 1);
+    ::setenv("KDR_BIG", "21", 1);
+    Knobs k;
+    OptionSet opts;
+    k.bind(opts);
+    opts.parse(make_args({"-small=9"}));
+    ::unsetenv("KDR_SMALL");
+    ::unsetenv("KDR_BIG");
+    EXPECT_EQ(k.small, 9) << "CLI > env";
+    EXPECT_EQ(k.big, 21) << "env > default";
+    EXPECT_EQ(k.seed, 42u) << "default survives";
+}
+
+TEST(OptionSet, RepeatedCliFlagLastWins) {
+    Knobs k;
+    OptionSet opts;
+    k.bind(opts);
+    opts.apply_cli(make_args({"-small", "4", "-small=6"}));
+    EXPECT_EQ(k.small, 6);
+}
+
 TEST(OptionSet, HelpListsEveryKnobWithEnvAndDefault) {
     Knobs k;
     OptionSet opts;
