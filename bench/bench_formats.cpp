@@ -6,11 +6,14 @@
 
 #include <benchmark/benchmark.h>
 
+#include <map>
 #include <memory>
+#include <string>
 #include <string_view>
 
 #include "partition/projection.hpp"
 #include "sparse/convert.hpp"
+#include "sparse/described_formats.hpp"
 #include "sparse/sell.hpp"
 #include "stencil/matrix_free.hpp"
 #include "stencil/stencil.hpp"
@@ -89,6 +92,32 @@ BENCHMARK(BM_SpMV_EllT);
 BENCHMARK(BM_SpMV_Dia);
 BENCHMARK(BM_SpMV_Bcsr);
 BENCHMARK(BM_SpMV_Bcsc);
+
+/// Description-derived formats on the same system: the generic loop nests
+/// derived from two-level descriptions (sparse/described.hpp), measured
+/// against the hand-written classes above. "coot" (column-major COO) has no
+/// legacy class at all — it exists purely as a description. Dense is
+/// excluded: a 64k x 64k full grid is a memory benchmark, not an SpMV one.
+void BM_SpMV_Described(benchmark::State& state, const char* name) {
+    static std::map<std::string, std::shared_ptr<sparse::DescribedFormat<double>>> cache;
+    auto& op = cache[name];
+    if (op == nullptr) {
+        stencil::Spec spec;
+        spec.kind = stencil::Kind::D2P5;
+        spec.nx = kSide;
+        spec.ny = kSide;
+        op = sparse::make_described<double>(name, base_csr().domain(), base_csr().range(),
+                                            stencil::laplacian_triplets(spec));
+    }
+    run_spmv(state, *op);
+}
+BENCHMARK_CAPTURE(BM_SpMV_Described, csr, "csr");
+BENCHMARK_CAPTURE(BM_SpMV_Described, csc, "csc");
+BENCHMARK_CAPTURE(BM_SpMV_Described, coo, "coo");
+BENCHMARK_CAPTURE(BM_SpMV_Described, coot, "coot");
+BENCHMARK_CAPTURE(BM_SpMV_Described, ell, "ell");
+BENCHMARK_CAPTURE(BM_SpMV_Described, ellt, "ellt");
+BENCHMARK_CAPTURE(BM_SpMV_Described, sell, "sell");
 
 /// Matrix-free vs materialized across all four paper stencils (~64k
 /// unknowns each): the host-side analogue of the simulated roofline

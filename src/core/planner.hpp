@@ -167,14 +167,6 @@ public:
         add_planned(operators_, std::move(op), std::move(*plan), sol_comp, rhs_comp, "A");
     }
 
-    /// Deprecated spelling of add_operator with an explicit plan; kept one
-    /// release for source compatibility (note the argument order).
-    [[deprecated("use add_operator(op, sol_comp, rhs_comp, plan)")]]
-    void add_operator_planned(std::shared_ptr<const LinearOperator<T>> op, OperatorPlan plan,
-                              CompId sol_comp, CompId rhs_comp) {
-        add_operator(std::move(op), sol_comp, rhs_comp, std::move(plan));
-    }
-
     /// Register a preconditioner component (paper Fig 5). Same optional-plan
     /// contract as add_operator, except the plan is partitioned by the *sol*
     /// component (preconditioner output is SOL-shaped).

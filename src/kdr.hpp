@@ -21,8 +21,11 @@
 #include "sparse/csc.hpp"
 #include "sparse/csr.hpp"
 #include "sparse/dense.hpp"
+#include "sparse/described.hpp"
+#include "sparse/described_formats.hpp"
 #include "sparse/dia.hpp"
 #include "sparse/ell.hpp"
+#include "sparse/level_desc.hpp"
 #include "sparse/linear_operator.hpp"
 #include "sparse/matrix_market.hpp"
 #include "sparse/sell.hpp"

@@ -1,0 +1,558 @@
+#pragma once
+
+/// \file described.hpp
+/// `DescribedFormat` — a LinearOperator derived entirely from a
+/// `sparse::FormatDesc` (level_desc.hpp). From the per-dimension level
+/// descriptions it derives, with no per-format code:
+///
+///   * the row/col `Relation` implementations, composed from the existing
+///     fast-path relation classes (RowPtrRelation, ArrayFunctionRelation,
+///     QuotientRelation, RemainderRelation) — so `derive_plan`'s dependent
+///     projections take the same closed-form/adjacency fast paths and hit
+///     the same `ProjectionCache` machinery as the hand-written classes;
+///   * the SpMV/transpose loop nests as piece-restricted kernels, walking
+///     the kernel space in ascending slot order — the *same* accumulation
+///     order as the legacy class of the matching layout, so residual
+///     histories are bitwise identical (the differential golden suite pins
+///     this for every migrated format);
+///   * structural validation at construction: pointer monotonicity,
+///     coordinate ranges, the ordered/unique promises, padding hygiene —
+///     a described format cannot silently violate its own description;
+///   * the SpMV byte-stream cost model, from the level kinds, with the
+///     `FormatDesc::calibrated` override as the measurement hook.
+///
+/// The legacy classes (csr.hpp, coo.hpp, ...) stay compiled as reference
+/// twins; described_formats.hpp re-expresses them as ~10-line descriptions
+/// and is where new formats are born without writing a class at all.
+
+#include <algorithm>
+#include <memory>
+#include <numeric>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "sparse/level_desc.hpp"
+#include "sparse/linear_operator.hpp"
+#include "sparse/relations.hpp"
+
+namespace kdr::sparse {
+
+template <typename T>
+class DescribedFormat final : public LinearOperator<T> {
+public:
+    /// Raw storage for one described matrix; which members are used depends
+    /// on the description's layout family. Public so tests can hand-build
+    /// (malformed) instances against the structural validator.
+    struct Storage {
+        std::vector<gidx> fiber_ptr;     ///< PointerOuter: outer_dim+1 offsets
+        std::vector<gidx> outer_idx;     ///< SortedCoords/SlicedFibers: outer coord per slot
+        std::vector<gidx> inner_idx;     ///< inner coord per slot (all but FullGrid)
+        std::vector<gidx> slice_offsets; ///< SlicedFibers: nslices+1 slot offsets
+        gidx width = 0;                  ///< PaddedFibers: slots per fiber
+        std::vector<T> values;
+    };
+
+    DescribedFormat(FormatDesc desc, IndexSpace domain, IndexSpace range, Storage st)
+        : desc_(std::move(desc)),
+          family_(classify_format(desc_)),
+          domain_(std::move(domain)),
+          range_(std::move(range)),
+          kernel_(IndexSpace::create(static_cast<gidx>(st.values.size()),
+                                     desc_.name + "_kernel")),
+          entries_(std::move(st.values)) {
+        validate_storage(st);
+        build_relations(std::move(st));
+    }
+
+    /// Assemble from triplets according to the description. Triplets are
+    /// coalesced (row-major sort, duplicates summed) first; column-outer
+    /// pointer/coordinate layouts then re-sort column-major, exactly like
+    /// their legacy twins.
+    static DescribedFormat from_triplets(FormatDesc desc, IndexSpace domain, IndexSpace range,
+                                         std::vector<Triplet<T>> ts) {
+        const LayoutFamily family = classify_format(desc);
+        ts = coalesce_triplets(std::move(ts));
+        const bool row_outer = desc.outer == Axis::Row;
+        const gidx outer_dim = row_outer ? range.size() : domain.size();
+        const auto oc = [&](const Triplet<T>& t) { return row_outer ? t.row : t.col; };
+        const auto ic = [&](const Triplet<T>& t) { return row_outer ? t.col : t.row; };
+        for (const Triplet<T>& t : ts) {
+            KDR_REQUIRE(t.row >= 0 && t.row < range.size(), "format '", desc.name, "': row ",
+                        t.row, " out of range");
+            KDR_REQUIRE(t.col >= 0 && t.col < domain.size(), "format '", desc.name,
+                        "': col ", t.col, " out of range");
+        }
+        if (!row_outer &&
+            (family == LayoutFamily::PointerOuter || family == LayoutFamily::SortedCoords)) {
+            std::sort(ts.begin(), ts.end(), [](const Triplet<T>& a, const Triplet<T>& b) {
+                return a.col != b.col ? a.col < b.col : a.row < b.row;
+            });
+        }
+
+        Storage st;
+        switch (family) {
+            case LayoutFamily::PointerOuter: {
+                st.fiber_ptr.assign(static_cast<std::size_t>(outer_dim) + 1, 0);
+                st.inner_idx.reserve(ts.size());
+                st.values.reserve(ts.size());
+                for (const Triplet<T>& t : ts) {
+                    ++st.fiber_ptr[static_cast<std::size_t>(oc(t)) + 1];
+                    st.inner_idx.push_back(ic(t));
+                    st.values.push_back(t.value);
+                }
+                for (std::size_t f = 1; f < st.fiber_ptr.size(); ++f)
+                    st.fiber_ptr[f] += st.fiber_ptr[f - 1];
+                break;
+            }
+            case LayoutFamily::SortedCoords: {
+                st.outer_idx.reserve(ts.size());
+                st.inner_idx.reserve(ts.size());
+                st.values.reserve(ts.size());
+                for (const Triplet<T>& t : ts) {
+                    st.outer_idx.push_back(oc(t));
+                    st.inner_idx.push_back(ic(t));
+                    st.values.push_back(t.value);
+                }
+                break;
+            }
+            case LayoutFamily::FullGrid: {
+                const gidx inner_dim = row_outer ? domain.size() : range.size();
+                st.values.assign(static_cast<std::size_t>(outer_dim * inner_dim), T{});
+                for (const Triplet<T>& t : ts)
+                    st.values[static_cast<std::size_t>(oc(t) * inner_dim + ic(t))] += t.value;
+                break;
+            }
+            case LayoutFamily::PaddedFibers: {
+                std::vector<gidx> occupancy(static_cast<std::size_t>(outer_dim), 0);
+                for (const Triplet<T>& t : ts) ++occupancy[static_cast<std::size_t>(oc(t))];
+                gidx width = 1;
+                for (gidx occ : occupancy) width = std::max(width, occ);
+                if (desc.padded_width > 0) {
+                    KDR_REQUIRE(width <= desc.padded_width, "format '", desc.name,
+                                "': a fiber holds ", width, " entries but padded_width is ",
+                                desc.padded_width);
+                    width = desc.padded_width;
+                }
+                st.width = width;
+                st.inner_idx.assign(static_cast<std::size_t>(outer_dim * width), kNoTarget);
+                st.values.assign(static_cast<std::size_t>(outer_dim * width), T{});
+                std::vector<gidx> cursor(static_cast<std::size_t>(outer_dim), 0);
+                for (const Triplet<T>& t : ts) {
+                    const auto slot = static_cast<std::size_t>(
+                        oc(t) * width + cursor[static_cast<std::size_t>(oc(t))]++);
+                    st.inner_idx[slot] = ic(t);
+                    st.values[slot] = t.value;
+                }
+                break;
+            }
+            case LayoutFamily::SlicedFibers:
+                st = assemble_sliced(desc, outer_dim, ts);
+                break;
+        }
+        return DescribedFormat(std::move(desc), std::move(domain), std::move(range),
+                               std::move(st));
+    }
+
+    [[nodiscard]] const IndexSpace& domain() const override { return domain_; }
+    [[nodiscard]] const IndexSpace& range() const override { return range_; }
+    [[nodiscard]] const IndexSpace& kernel() const override { return kernel_; }
+
+    [[nodiscard]] std::shared_ptr<const Relation> col_relation() const override {
+        return desc_.outer == Axis::Row ? inner_rel_ : outer_rel_;
+    }
+    [[nodiscard]] std::shared_ptr<const Relation> row_relation() const override {
+        return desc_.outer == Axis::Row ? outer_rel_ : inner_rel_;
+    }
+
+    [[nodiscard]] const char* format_name() const override { return desc_.name.c_str(); }
+
+    /// Level-derived byte streams, unless a calibration was installed.
+    [[nodiscard]] SpmvCostModel spmv_cost_model() const override {
+        return derived_spmv_cost_model(desc_);
+    }
+
+    /// Calibration hook: replace the derived cost model with a measured one
+    /// (the description itself is unchanged — only the planner's roofline
+    /// charges move).
+    void calibrate(SpmvCostModel measured) { desc_.calibrated = measured; }
+
+    void multiply_add_piece(const IntervalSet& piece, VecView<const T> x,
+                            VecView<T> y) const override {
+        this->check_vectors(x, y);
+        // y[row] += e * x[col]: the destination walks the outer dimension
+        // exactly when rows are outer.
+        if (desc_.outer == Axis::Row) {
+            apply_loops<true>(piece, x, y);
+        } else {
+            apply_loops<false>(piece, x, y);
+        }
+    }
+
+    void multiply_add_transpose_piece(const IntervalSet& piece, VecView<const T> x,
+                                      VecView<T> y) const override {
+        this->check_vectors_transpose(x, y);
+        // y[col] += e * x[row]: destination-outer flips.
+        if (desc_.outer == Axis::Row) {
+            apply_loops<false>(piece, x, y);
+        } else {
+            apply_loops<true>(piece, x, y);
+        }
+    }
+
+    [[nodiscard]] std::vector<Triplet<T>> to_triplets() const override {
+        const bool row_outer = desc_.outer == Axis::Row;
+        std::vector<Triplet<T>> ts;
+        ts.reserve(entries_.size());
+        const auto emit = [&](gidx o, gidx i, const T& v) {
+            if (row_outer) {
+                ts.push_back({o, i, v});
+            } else {
+                ts.push_back({i, o, v});
+            }
+        };
+        for (gidx k = 0; k < kernel_.size(); ++k) {
+            const auto ku = static_cast<std::size_t>(k);
+            switch (family_) {
+                case LayoutFamily::PointerOuter: {
+                    gidx fiber = 0; // located below; fall through to shared walk
+                    const auto& ptr = *ptr_arr_;
+                    auto it = std::upper_bound(ptr.begin() + 1, ptr.end(), k);
+                    fiber = it - (ptr.begin() + 1);
+                    emit(fiber, (*inner_arr_)[ku], entries_[ku]);
+                    break;
+                }
+                case LayoutFamily::SortedCoords:
+                    emit((*outer_arr_)[ku], (*inner_arr_)[ku], entries_[ku]);
+                    break;
+                case LayoutFamily::FullGrid:
+                    if (entries_[ku] != T{}) emit(k / mod_, k % mod_, entries_[ku]);
+                    break;
+                case LayoutFamily::PaddedFibers:
+                    if ((*inner_arr_)[ku] != kNoTarget)
+                        emit(k / quot_, (*inner_arr_)[ku], entries_[ku]);
+                    break;
+                case LayoutFamily::SlicedFibers:
+                    if ((*inner_arr_)[ku] != kNoTarget)
+                        emit((*outer_arr_)[ku], (*inner_arr_)[ku], entries_[ku]);
+                    break;
+            }
+        }
+        return ts;
+    }
+
+    [[nodiscard]] const FormatDesc& desc() const noexcept { return desc_; }
+    [[nodiscard]] LayoutFamily family() const noexcept { return family_; }
+    [[nodiscard]] const std::vector<T>& entries() const noexcept { return entries_; }
+    [[nodiscard]] const std::vector<gidx>& slice_offsets() const noexcept {
+        return slice_offsets_;
+    }
+    [[nodiscard]] gidx padded_width() const noexcept { return quot_; }
+
+private:
+    /// SELL-C-σ assembly: σ-window occupancy sort, per-slice padding,
+    /// column-major slots within a slice — the same algorithm (and therefore
+    /// the same permutation and slot layout) as SellMatrix::from_triplets.
+    static Storage assemble_sliced(const FormatDesc& desc, gidx nrows,
+                                   const std::vector<Triplet<T>>& ts) {
+        const gidx C = desc.slice_height;
+        const gidx nslices = (nrows + C - 1) / C;
+        std::vector<std::vector<std::pair<gidx, T>>> rows(static_cast<std::size_t>(nrows));
+        for (const Triplet<T>& t : ts)
+            rows[static_cast<std::size_t>(t.row)].emplace_back(t.col, t.value);
+
+        std::vector<gidx> perm(static_cast<std::size_t>(nrows));
+        std::iota(perm.begin(), perm.end(), 0);
+        const gidx window = desc.sigma * C;
+        for (gidx lo = 0; lo < nrows; lo += window) {
+            const gidx hi = std::min(lo + window, nrows);
+            std::sort(perm.begin() + lo, perm.begin() + hi, [&](gidx a, gidx b) {
+                return rows[static_cast<std::size_t>(a)].size() >
+                       rows[static_cast<std::size_t>(b)].size();
+            });
+        }
+
+        std::vector<gidx> widths(static_cast<std::size_t>(nslices), 1);
+        for (gidx s = 0; s < nslices; ++s) {
+            for (gidx c = 0; c < C; ++c) {
+                const gidx lane = s * C + c;
+                if (lane >= nrows) break;
+                widths[static_cast<std::size_t>(s)] =
+                    std::max(widths[static_cast<std::size_t>(s)],
+                             static_cast<gidx>(rows[static_cast<std::size_t>(
+                                                        perm[static_cast<std::size_t>(lane)])]
+                                                   .size()));
+            }
+        }
+        Storage st;
+        st.slice_offsets.assign(static_cast<std::size_t>(nslices) + 1, 0);
+        for (gidx s = 0; s < nslices; ++s) {
+            st.slice_offsets[static_cast<std::size_t>(s) + 1] =
+                st.slice_offsets[static_cast<std::size_t>(s)] +
+                widths[static_cast<std::size_t>(s)] * C;
+        }
+        const gidx total = st.slice_offsets.back();
+        st.inner_idx.assign(static_cast<std::size_t>(total), kNoTarget);
+        st.outer_idx.assign(static_cast<std::size_t>(total), kNoTarget);
+        st.values.assign(static_cast<std::size_t>(total), T{});
+        for (gidx s = 0; s < nslices; ++s) {
+            const gidx base = st.slice_offsets[static_cast<std::size_t>(s)];
+            for (gidx c = 0; c < C; ++c) {
+                const gidx lane = s * C + c;
+                if (lane >= nrows) continue;
+                const gidx r = perm[static_cast<std::size_t>(lane)];
+                const auto& entries = rows[static_cast<std::size_t>(r)];
+                for (std::size_t j = 0; j < entries.size(); ++j) {
+                    const auto slot =
+                        static_cast<std::size_t>(base + static_cast<gidx>(j) * C + c);
+                    st.inner_idx[slot] = entries[j].first;
+                    st.outer_idx[slot] = r;
+                    st.values[slot] = entries[j].second;
+                }
+            }
+        }
+        return st;
+    }
+
+    [[nodiscard]] const IndexSpace& outer_space() const {
+        return desc_.outer == Axis::Row ? range_ : domain_;
+    }
+    [[nodiscard]] const IndexSpace& inner_space() const {
+        return desc_.outer == Axis::Row ? domain_ : range_;
+    }
+
+    /// Structural validation of the description's promises against the raw
+    /// arrays; every failure is a structured error naming the format.
+    void validate_storage(const Storage& st) const {
+        const std::string what = "described format '" + desc_.name + "'";
+        const gidx outer_dim = outer_space().size();
+        const gidx inner_dim = inner_space().size();
+        const gidx nk = kernel_.size();
+        switch (family_) {
+            case LayoutFamily::PointerOuter:
+                KDR_REQUIRE(static_cast<gidx>(st.inner_idx.size()) == nk, what,
+                            ": inner coordinate array has ", st.inner_idx.size(),
+                            " slots for a ", nk, "-slot kernel");
+                validate_pointer_array(st.fiber_ptr, outer_dim, nk, what);
+                validate_index_array(st.inner_idx, inner_dim, /*allow_padding=*/false, what);
+                validate_fiber_order(st.fiber_ptr, st.inner_idx, desc_.inner_level.ordered,
+                                     desc_.inner_level.unique, what);
+                break;
+            case LayoutFamily::SortedCoords:
+                KDR_REQUIRE(static_cast<gidx>(st.outer_idx.size()) == nk &&
+                                static_cast<gidx>(st.inner_idx.size()) == nk,
+                            what, ": coordinate arrays (", st.outer_idx.size(), "/",
+                            st.inner_idx.size(), ") must match the ", nk, "-slot kernel");
+                validate_index_array(st.outer_idx, outer_dim, /*allow_padding=*/false, what);
+                validate_index_array(st.inner_idx, inner_dim, /*allow_padding=*/false, what);
+                validate_coord_order(st.outer_idx, st.inner_idx, desc_.outer_level.ordered,
+                                     desc_.inner_level.ordered, desc_.inner_level.unique,
+                                     what);
+                break;
+            case LayoutFamily::FullGrid:
+                KDR_REQUIRE(nk == outer_dim * inner_dim, what, ": ", nk,
+                            " values for a full ", outer_dim, "x", inner_dim, " grid");
+                break;
+            case LayoutFamily::PaddedFibers: {
+                KDR_REQUIRE(st.width > 0, what, ": nonpositive fiber width");
+                KDR_REQUIRE(nk == outer_dim * st.width, what, ": ", nk, " values for ",
+                            outer_dim, " fibers of width ", st.width);
+                KDR_REQUIRE(static_cast<gidx>(st.inner_idx.size()) == nk, what,
+                            ": inner coordinate array size mismatch");
+                validate_index_array(st.inner_idx, inner_dim, /*allow_padding=*/true, what);
+                for (gidx f = 0; f < outer_dim; ++f) {
+                    bool padding = false;
+                    for (gidx s = 0; s < st.width; ++s) {
+                        const auto ku = static_cast<std::size_t>(f * st.width + s);
+                        if (st.inner_idx[ku] == kNoTarget) {
+                            KDR_REQUIRE(entries_[ku] == T{}, what, ": padding slot ", ku,
+                                        " carries a nonzero value");
+                            padding = true;
+                            continue;
+                        }
+                        KDR_REQUIRE(!padding, what, ": fiber ", f,
+                                    " stores an entry after its padding began (slot ", ku,
+                                    ")");
+                        if (s > 0 && desc_.inner_level.ordered &&
+                            st.inner_idx[ku - 1] != kNoTarget) {
+                            if (desc_.inner_level.unique) {
+                                KDR_REQUIRE(st.inner_idx[ku] > st.inner_idx[ku - 1], what,
+                                            ": fiber ", f, " breaks ordered+unique at slot ",
+                                            ku);
+                            } else {
+                                KDR_REQUIRE(st.inner_idx[ku] >= st.inner_idx[ku - 1], what,
+                                            ": fiber ", f, " breaks ordered at slot ", ku);
+                            }
+                        }
+                    }
+                }
+                break;
+            }
+            case LayoutFamily::SlicedFibers: {
+                const gidx C = desc_.slice_height;
+                const gidx nslices = (outer_dim + C - 1) / C;
+                validate_pointer_array(st.slice_offsets, nslices, nk,
+                                       what + " (slice offsets)");
+                KDR_REQUIRE(static_cast<gidx>(st.outer_idx.size()) == nk &&
+                                static_cast<gidx>(st.inner_idx.size()) == nk,
+                            what, ": coordinate arrays must match the ", nk, "-slot kernel");
+                validate_index_array(st.outer_idx, outer_dim, /*allow_padding=*/true, what);
+                validate_index_array(st.inner_idx, inner_dim, /*allow_padding=*/true, what);
+                for (std::size_t k = 0; k < entries_.size(); ++k) {
+                    const bool pad_o = st.outer_idx[k] == kNoTarget;
+                    const bool pad_i = st.inner_idx[k] == kNoTarget;
+                    KDR_REQUIRE(pad_o == pad_i, what, ": slot ", k,
+                                " pads one coordinate but not the other");
+                    if (pad_i)
+                        KDR_REQUIRE(entries_[k] == T{}, what, ": padding slot ", k,
+                                    " carries a nonzero value");
+                }
+                break;
+            }
+        }
+    }
+
+    /// Derive the relation objects by composing the existing fast-path
+    /// relation classes — this is what keeps `derive_plan` projections (and
+    /// the projection cache) on the same code paths as the legacy formats.
+    void build_relations(Storage st) {
+        switch (family_) {
+            case LayoutFamily::PointerOuter: {
+                auto outer = std::make_shared<RowPtrRelation>(kernel_, outer_space(),
+                                                              std::move(st.fiber_ptr));
+                auto inner = std::make_shared<ArrayFunctionRelation>(
+                    kernel_, inner_space(), std::move(st.inner_idx));
+                ptr_arr_ = &outer->offsets();
+                inner_arr_ = &inner->targets();
+                outer_rel_ = std::move(outer);
+                inner_rel_ = std::move(inner);
+                break;
+            }
+            case LayoutFamily::SortedCoords:
+            case LayoutFamily::SlicedFibers: {
+                auto outer = std::make_shared<ArrayFunctionRelation>(
+                    kernel_, outer_space(), std::move(st.outer_idx));
+                auto inner = std::make_shared<ArrayFunctionRelation>(
+                    kernel_, inner_space(), std::move(st.inner_idx));
+                outer_arr_ = &outer->targets();
+                inner_arr_ = &inner->targets();
+                outer_rel_ = std::move(outer);
+                inner_rel_ = std::move(inner);
+                slice_offsets_ = std::move(st.slice_offsets);
+                break;
+            }
+            case LayoutFamily::FullGrid: {
+                mod_ = inner_space().size();
+                outer_rel_ =
+                    std::make_shared<QuotientRelation>(kernel_, outer_space(), mod_);
+                inner_rel_ =
+                    std::make_shared<RemainderRelation>(kernel_, inner_space(), mod_);
+                break;
+            }
+            case LayoutFamily::PaddedFibers: {
+                quot_ = st.width;
+                outer_rel_ =
+                    std::make_shared<QuotientRelation>(kernel_, outer_space(), quot_);
+                auto inner = std::make_shared<ArrayFunctionRelation>(
+                    kernel_, inner_space(), std::move(st.inner_idx));
+                inner_arr_ = &inner->targets();
+                inner_rel_ = std::move(inner);
+                break;
+            }
+        }
+    }
+
+    /// The derived loop nests. `TargetOuter` says whether the destination
+    /// vector is indexed by the outer coordinate (forward multiply of a
+    /// row-outer format, transpose of a col-outer one). Each family walks
+    /// slots in ascending kernel order — the accumulation order every legacy
+    /// kernel uses — and skips sentinel slots exactly where its twin does.
+    template <bool TargetOuter>
+    void apply_loops(const IntervalSet& piece, VecView<const T> src, VecView<T> dst) const {
+        const auto fma = [&](gidx o, gidx i, std::size_t ku) {
+            if constexpr (TargetOuter) {
+                dst[static_cast<std::size_t>(o)] +=
+                    entries_[ku] * src[static_cast<std::size_t>(i)];
+            } else {
+                dst[static_cast<std::size_t>(i)] +=
+                    entries_[ku] * src[static_cast<std::size_t>(o)];
+            }
+        };
+        switch (family_) {
+            case LayoutFamily::PointerOuter: {
+                const auto& ptr = *ptr_arr_;
+                const auto& idx = *inner_arr_;
+                piece.for_each_interval([&](const Interval& iv) {
+                    auto it = std::upper_bound(ptr.begin() + 1, ptr.end(), iv.lo);
+                    gidx fiber = it - (ptr.begin() + 1);
+                    for (gidx k = iv.lo; k < iv.hi; ++k) {
+                        while (k >= ptr[static_cast<std::size_t>(fiber) + 1]) ++fiber;
+                        const auto ku = static_cast<std::size_t>(k);
+                        fma(fiber, idx[ku], ku);
+                    }
+                });
+                break;
+            }
+            case LayoutFamily::SortedCoords: {
+                const auto& outer = *outer_arr_;
+                const auto& inner = *inner_arr_;
+                piece.for_each_interval([&](const Interval& iv) {
+                    for (gidx k = iv.lo; k < iv.hi; ++k) {
+                        const auto ku = static_cast<std::size_t>(k);
+                        fma(outer[ku], inner[ku], ku);
+                    }
+                });
+                break;
+            }
+            case LayoutFamily::FullGrid: {
+                piece.for_each_interval([&](const Interval& iv) {
+                    for (gidx k = iv.lo; k < iv.hi; ++k)
+                        fma(k / mod_, k % mod_, static_cast<std::size_t>(k));
+                });
+                break;
+            }
+            case LayoutFamily::PaddedFibers: {
+                const auto& inner = *inner_arr_;
+                piece.for_each_interval([&](const Interval& iv) {
+                    for (gidx k = iv.lo; k < iv.hi; ++k) {
+                        const auto ku = static_cast<std::size_t>(k);
+                        if (inner[ku] == kNoTarget) continue;
+                        fma(k / quot_, inner[ku], ku);
+                    }
+                });
+                break;
+            }
+            case LayoutFamily::SlicedFibers: {
+                const auto& outer = *outer_arr_;
+                const auto& inner = *inner_arr_;
+                piece.for_each_interval([&](const Interval& iv) {
+                    for (gidx k = iv.lo; k < iv.hi; ++k) {
+                        const auto ku = static_cast<std::size_t>(k);
+                        if (inner[ku] == kNoTarget) continue;
+                        fma(outer[ku], inner[ku], ku);
+                    }
+                });
+                break;
+            }
+        }
+    }
+
+    FormatDesc desc_;
+    LayoutFamily family_;
+    IndexSpace domain_;
+    IndexSpace range_;
+    IndexSpace kernel_;
+    std::vector<T> entries_;
+    std::shared_ptr<const Relation> outer_rel_;
+    std::shared_ptr<const Relation> inner_rel_;
+    // Borrowed views into the relation objects' arrays (they own them; the
+    // shared_ptrs above keep them alive for this object's lifetime).
+    const std::vector<gidx>* ptr_arr_ = nullptr;
+    const std::vector<gidx>* outer_arr_ = nullptr;
+    const std::vector<gidx>* inner_arr_ = nullptr;
+    gidx quot_ = 0; ///< PaddedFibers width
+    gidx mod_ = 0;  ///< FullGrid inner dimension
+    std::vector<gidx> slice_offsets_;
+};
+
+} // namespace kdr::sparse

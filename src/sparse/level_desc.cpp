@@ -1,0 +1,169 @@
+#include "sparse/level_desc.hpp"
+
+#include "sparse/relations.hpp"
+#include "support/error.hpp"
+
+namespace kdr::sparse {
+
+LayoutFamily classify_format(const FormatDesc& desc) {
+    const LevelKind o = desc.outer_level.kind;
+    const LevelKind i = desc.inner_level.kind;
+    if (desc.slice_height > 0) {
+        KDR_REQUIRE(o == LevelKind::Dense && i == LevelKind::Singleton,
+                    "format '", desc.name, "': slicing requires dense outer + singleton "
+                    "inner levels, got ", describe_format(desc));
+        KDR_REQUIRE(desc.outer == Axis::Row, "format '", desc.name,
+                    "': sliced layouts slice rows; describe the transpose instead");
+        KDR_REQUIRE(desc.sigma > 0, "format '", desc.name, "': nonpositive sort window");
+        return LayoutFamily::SlicedFibers;
+    }
+    KDR_REQUIRE(desc.padded_width >= 0, "format '", desc.name, "': negative padded_width");
+    if (o == LevelKind::Dense && i == LevelKind::Compressed) {
+        KDR_REQUIRE(desc.padded_width == 0, "format '", desc.name,
+                    "': compressed inner level cannot be padded");
+        return LayoutFamily::PointerOuter;
+    }
+    if (o == LevelKind::Compressed && i == LevelKind::Singleton) {
+        KDR_REQUIRE(!desc.outer_level.unique, "format '", desc.name,
+                    "': a compressed outer level with singleton inner repeats outer "
+                    "coordinates across a fiber; declare it ¬unique");
+        KDR_REQUIRE(desc.padded_width == 0, "format '", desc.name,
+                    "': coordinate layouts store no padding");
+        return LayoutFamily::SortedCoords;
+    }
+    if (o == LevelKind::Dense && i == LevelKind::Dense) {
+        KDR_REQUIRE(desc.padded_width == 0, "format '", desc.name,
+                    "': a dense inner level spans the whole dimension; padded_width "
+                    "is meaningless");
+        return LayoutFamily::FullGrid;
+    }
+    if (o == LevelKind::Dense && i == LevelKind::Singleton) return LayoutFamily::PaddedFibers;
+    KDR_REQUIRE(false, "format '", desc.name, "': no loop nest derivable from ",
+                describe_format(desc));
+    return LayoutFamily::FullGrid; // unreachable
+}
+
+std::string describe_level(const LevelDesc& level) {
+    std::string out;
+    switch (level.kind) {
+        case LevelKind::Dense: out = "dense"; break;
+        case LevelKind::Compressed: out = "compressed"; break;
+        case LevelKind::Singleton: out = "singleton"; break;
+    }
+    if (!level.ordered || !level.unique) {
+        out += "(";
+        if (!level.ordered) out += "unordered";
+        if (!level.ordered && !level.unique) out += ",";
+        if (!level.unique) out += "nonunique";
+        out += ")";
+    }
+    return out;
+}
+
+std::string describe_format(const FormatDesc& desc) {
+    std::string out = desc.outer == Axis::Row ? "rows:" : "cols:";
+    out += describe_level(desc.outer_level);
+    out += desc.outer == Axis::Row ? " x cols:" : " x rows:";
+    out += describe_level(desc.inner_level);
+    if (desc.padded_width > 0) out += " width=" + std::to_string(desc.padded_width);
+    if (desc.slice_height > 0) {
+        out += " C=" + std::to_string(desc.slice_height) +
+               " sigma=" + std::to_string(desc.sigma);
+    }
+    return out;
+}
+
+SpmvCostModel derived_spmv_cost_model(const FormatDesc& desc) {
+    if (desc.calibrated) return *desc.calibrated;
+    SpmvCostModel m;
+    m.matrix_bytes_per_entry = 8.0; // the stored value itself
+    m.gather_bytes_per_entry = 8.0; // one indexed x read per slot
+    m.bytes_per_row = 16.0;         // y read + write
+    switch (classify_format(desc)) {
+        case LayoutFamily::PointerOuter:
+            m.matrix_bytes_per_entry += 8.0; // inner coordinate array
+            m.bytes_per_row += 8.0;          // fiber-pointer entry
+            break;
+        case LayoutFamily::SortedCoords:
+            m.matrix_bytes_per_entry += 16.0; // both coordinate arrays
+            break;
+        case LayoutFamily::FullGrid:
+            break; // structural assumption, empty metadata
+        case LayoutFamily::PaddedFibers:
+            m.matrix_bytes_per_entry += 8.0; // inner coordinate array (padded)
+            break;
+        case LayoutFamily::SlicedFibers:
+            // Both coordinates stored per slot; slice offsets amortize away.
+            m.matrix_bytes_per_entry += 16.0;
+            break;
+    }
+    return m;
+}
+
+void validate_pointer_array(const std::vector<gidx>& ptr, gidx fibers, gidx kernel_size,
+                            const std::string& what) {
+    KDR_REQUIRE(static_cast<gidx>(ptr.size()) == fibers + 1, what, ": fiber-pointer array has ",
+                ptr.size(), " entries for ", fibers, " fibers");
+    KDR_REQUIRE(ptr.front() == 0, what, ": fiber pointers must start at 0, got ", ptr.front());
+    for (std::size_t f = 1; f < ptr.size(); ++f) {
+        KDR_REQUIRE(ptr[f] >= ptr[f - 1], what, ": fiber pointers decrease at fiber ", f - 1,
+                    " (", ptr[f - 1], " -> ", ptr[f], ")");
+    }
+    KDR_REQUIRE(ptr.back() == kernel_size, what, ": fiber pointers end at ", ptr.back(),
+                " but the kernel space has ", kernel_size, " slots");
+}
+
+void validate_index_array(const std::vector<gidx>& idx, gidx dim, bool allow_padding,
+                          const std::string& what) {
+    for (std::size_t k = 0; k < idx.size(); ++k) {
+        if (idx[k] == kNoTarget) {
+            KDR_REQUIRE(allow_padding, what, ": padding sentinel at slot ", k,
+                        " in an unpadded level");
+            continue;
+        }
+        KDR_REQUIRE(idx[k] >= 0 && idx[k] < dim, what, ": coordinate ", idx[k], " at slot ",
+                    k, " outside [0, ", dim, ")");
+    }
+}
+
+void validate_fiber_order(const std::vector<gidx>& ptr, const std::vector<gidx>& idx,
+                          bool ordered, bool unique, const std::string& what) {
+    if (!ordered) return;
+    for (std::size_t f = 0; f + 1 < ptr.size(); ++f) {
+        for (gidx k = ptr[f] + 1; k < ptr[f + 1]; ++k) {
+            const gidx prev = idx[static_cast<std::size_t>(k - 1)];
+            const gidx cur = idx[static_cast<std::size_t>(k)];
+            if (unique) {
+                KDR_REQUIRE(cur > prev, what, ": fiber ", f,
+                            " breaks the ordered+unique promise at slot ", k, " (", prev,
+                            " then ", cur, ")");
+            } else {
+                KDR_REQUIRE(cur >= prev, what, ": fiber ", f,
+                            " breaks the ordered promise at slot ", k, " (", prev, " then ",
+                            cur, ")");
+            }
+        }
+    }
+}
+
+void validate_coord_order(const std::vector<gidx>& outer, const std::vector<gidx>& inner,
+                          bool outer_ordered, bool inner_ordered, bool inner_unique,
+                          const std::string& what) {
+    if (!outer_ordered) return;
+    for (std::size_t k = 1; k < outer.size(); ++k) {
+        KDR_REQUIRE(outer[k] >= outer[k - 1], what,
+                    ": outer coordinates break the ordered promise at slot ", k, " (",
+                    outer[k - 1], " then ", outer[k], ")");
+        if (!inner_ordered || outer[k] != outer[k - 1]) continue;
+        if (inner_unique) {
+            KDR_REQUIRE(inner[k] > inner[k - 1], what, ": inner coordinates break the "
+                        "ordered+unique promise within outer fiber ", outer[k], " at slot ",
+                        k);
+        } else {
+            KDR_REQUIRE(inner[k] >= inner[k - 1], what, ": inner coordinates break the "
+                        "ordered promise within outer fiber ", outer[k], " at slot ", k);
+        }
+    }
+}
+
+} // namespace kdr::sparse

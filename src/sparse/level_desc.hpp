@@ -1,0 +1,136 @@
+#pragma once
+
+/// \file level_desc.hpp
+/// Per-dimension level descriptions — the "bring your own formats" core.
+/// Instead of hand-writing a format class (relations + loop nests +
+/// validation + cost model, all duplicated nine times across the catalog of
+/// paper Fig 3), a format is *described*: each matrix dimension gets a
+/// `LevelDesc` saying how its coordinates are represented, and everything
+/// else is derived by `DescribedFormat` (described.hpp). The vocabulary
+/// follows Chou et al., "Format Abstraction for Sparse Tensor Algebra
+/// Compilers":
+///
+///   Dense      — every coordinate of the dimension is present implicitly;
+///                nothing is stored (the structural assumption K ⊇ R or D).
+///   Compressed — coordinates are stored explicitly, grouped into fibers
+///                (CSR's rowptr + colidx pair, or COO's sorted row array).
+///   Singleton  — exactly one stored coordinate per kernel point, riding on
+///                the enclosing level (COO's col array, ELL's padded slots).
+///
+/// The ordered/unique flags refine a level: `ordered` promises coordinates
+/// appear in nondecreasing kernel order (within their fiber), `unique` that
+/// no coordinate repeats within a fiber. Both are *verified* at construction
+/// — a described format cannot silently lie about its structure.
+///
+/// Two kernel-space parameters extend the vocabulary to padded layouts:
+/// `padded_width` fixes the number of slots per outer fiber (ELL/ELL', slots
+/// beyond a fiber's occupancy carry the `kNoTarget` sentinel), and
+/// `slice_height`/`sigma` request the SELL-C-σ slicing of the outer
+/// dimension (σ-window occupancy sort, per-slice padding, column-major slot
+/// order within a slice).
+///
+/// The five derivable layout families and their catalog instances:
+///
+///   family        outer level        inner level        instances
+///   ------------- ------------------ ------------------ ----------------
+///   PointerOuter  dense              compressed         csr, csc
+///   SortedCoords  compressed(¬uniq)  singleton          coo, coot
+///   FullGrid      dense              dense              dense
+///   PaddedFibers  dense              singleton (padded) ell, ellt
+///   SlicedFibers  dense (sliced)     singleton (padded) sell
+///
+/// A format's SpMV byte-stream profile is likewise derived from the levels
+/// (one 8 B value per slot, 8 B per stored coordinate array, 8 B per fiber
+/// for a pointer array, 16 B of y traffic per row); measured machines can
+/// override it through `FormatDesc::calibrated` without touching the
+/// derivation.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "sparse/linear_operator.hpp"
+
+namespace kdr::sparse {
+
+/// How one matrix dimension's coordinates are represented in storage.
+enum class LevelKind : std::uint8_t { Dense, Compressed, Singleton };
+
+/// Description of one dimension: representation plus structural promises.
+struct LevelDesc {
+    LevelKind kind = LevelKind::Dense;
+    bool ordered = true; ///< coordinates nondecreasing along kernel order (per fiber)
+    bool unique = true;  ///< no repeated coordinate within a fiber
+};
+
+/// Which matrix dimension a level walks.
+enum class Axis : std::uint8_t { Row, Col };
+
+/// A complete format description: the outer dimension (fiber axis), two
+/// level descriptions, and the kernel-space parameters of the padded
+/// families. ~10 lines describe what used to be a ~150-line class.
+struct FormatDesc {
+    std::string name;     ///< format_name() of the derived operator
+    Axis outer = Axis::Row;
+    LevelDesc outer_level;
+    LevelDesc inner_level;
+    gidx padded_width = 0; ///< PaddedFibers: slots per fiber (0 = max occupancy at build)
+    gidx slice_height = 0; ///< SlicedFibers: rows per slice C (0 = not sliced)
+    gidx sigma = 1;        ///< SlicedFibers: occupancy-sort window, in slices
+    /// Calibration hook: a measured byte-stream profile overrides the model
+    /// derived from the level kinds (see derived_spmv_cost_model).
+    std::optional<SpmvCostModel> calibrated;
+};
+
+/// The loop-nest/storage family a description derives to.
+enum class LayoutFamily : std::uint8_t {
+    PointerOuter, ///< fiber-pointer array + stored inner coordinates (CSR/CSC)
+    SortedCoords, ///< stored outer + inner coordinate arrays (COO/COO')
+    FullGrid,     ///< K = outer × inner, both implicit (dense)
+    PaddedFibers, ///< fixed-width fibers, stored inner coordinates + sentinel (ELL/ELL')
+    SlicedFibers, ///< SELL-C-σ: sliced outer, both coordinates stored + sentinel
+};
+
+/// Classify a description into its layout family, or throw a structured
+/// error naming the unsupported level combination.
+[[nodiscard]] LayoutFamily classify_format(const FormatDesc& desc);
+
+/// Human-readable level spelling, e.g. "compressed(¬unique)" — used in
+/// diagnostics and the DESIGN.md description table.
+[[nodiscard]] std::string describe_level(const LevelDesc& level);
+
+/// One-line description of the whole format (family + levels + parameters).
+[[nodiscard]] std::string describe_format(const FormatDesc& desc);
+
+/// SpMV byte-stream profile derived from the level kinds alone: 8 B value
+/// per slot, plus 8 B per stored coordinate array per entry; pointer arrays
+/// charge 8 B per fiber; y read/write is 16 B per row. PointerOuter derives
+/// exactly the historical CSR default {16, 8, 24}.
+[[nodiscard]] SpmvCostModel derived_spmv_cost_model(const FormatDesc& desc);
+
+/// Structural validation helpers (throw structured errors on violation).
+/// `what` names the format in diagnostics.
+
+/// Fiber-pointer array: size fibers+1, starts at 0, nondecreasing, ends at
+/// kernel_size.
+void validate_pointer_array(const std::vector<gidx>& ptr, gidx fibers, gidx kernel_size,
+                            const std::string& what);
+
+/// Stored coordinate array: every value in [0, dim), or kNoTarget when
+/// `allow_padding`.
+void validate_index_array(const std::vector<gidx>& idx, gidx dim, bool allow_padding,
+                          const std::string& what);
+
+/// ordered/unique promises of inner coordinates within each pointer fiber:
+/// strictly increasing when unique, nondecreasing otherwise.
+void validate_fiber_order(const std::vector<gidx>& ptr, const std::vector<gidx>& idx,
+                          bool ordered, bool unique, const std::string& what);
+
+/// ordered/unique promises of a SortedCoords pair: outer nondecreasing, and
+/// within equal-outer runs inner strictly increasing (unique) or
+/// nondecreasing.
+void validate_coord_order(const std::vector<gidx>& outer, const std::vector<gidx>& inner,
+                          bool outer_ordered, bool inner_ordered, bool inner_unique,
+                          const std::string& what);
+
+} // namespace kdr::sparse

@@ -29,6 +29,7 @@
 
 #include <array>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "sparse/linear_operator.hpp"
@@ -81,11 +82,18 @@ public:
     /// roofline convention counts each stream once) are x in and y
     /// read/write, 8 + 16 = 24 B per row. This is the "No 3D Matrices"
     /// stencil roofline; the materialized formats keep per-entry charges
-    /// because a column-index gather has no stream structure.
+    /// because a column-index gather has no stream structure. A measured
+    /// profile installed via calibrate() overrides the analytic model —
+    /// the same calibration hook FormatDesc gives described formats.
     [[nodiscard]] SpmvCostModel spmv_cost_model() const override {
+        if (calibrated_) return *calibrated_;
         return {/*matrix_bytes_per_entry=*/0.0, /*gather_bytes_per_entry=*/0.0,
                 /*bytes_per_row=*/24.0};
     }
+
+    /// Replace the analytic stencil roofline with a measured byte-stream
+    /// profile; numerics are unchanged, only planner timing charges move.
+    void calibrate(SpmvCostModel measured) { calibrated_ = measured; }
 
     void multiply_add_piece(const IntervalSet& piece, VecView<const T> x,
                             VecView<T> y) const override {
@@ -170,6 +178,7 @@ private:
     IndexSpace range_;
     IndexSpace kernel_;
     std::vector<T> coeffs_;
+    std::optional<SpmvCostModel> calibrated_;
     std::shared_ptr<StencilOffsetRelation> col_rel_;
     std::shared_ptr<StencilOffsetRelation> row_rel_;
 };

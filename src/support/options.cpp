@@ -10,12 +10,21 @@ namespace kdr::support {
 void OptionSet::add(const std::string& name, Kind kind, void* target, std::string help,
                     std::string default_value) {
     KDR_REQUIRE(!name.empty(), "OptionSet: empty option name");
-    for (const Opt& o : opts_) {
-        KDR_REQUIRE(o.name != name, "OptionSet: duplicate option -", name);
-    }
     std::string env = "KDR_";
     for (char c : name) {
         env += static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+    }
+    for (const Opt& o : opts_) {
+        KDR_REQUIRE(o.name != name, "OptionSet: duplicate option -", name);
+        // Names that differ only in case collide on the uppercased KDR_*
+        // key: both registrations would read the same environment variable
+        // and the later one would silently win. Reject at registration.
+        KDR_REQUIRE(o.env != env, "OptionSet: options -", o.name, " and -", name,
+                    " collide on environment key ", env);
+        // Re-binding one variable under two names makes overrides
+        // order-dependent (the later flag silently wins): reject too.
+        KDR_REQUIRE(o.target != target, "OptionSet: option -", name,
+                    " re-registers the variable already bound to -", o.name);
     }
     opts_.push_back({name, std::move(env), std::move(help), kind, target,
                      std::move(default_value)});

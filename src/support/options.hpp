@@ -25,7 +25,11 @@ class OptionSet {
 public:
     /// Bind one knob. `name` is the CLI flag (without the dash); the env
     /// variable is KDR_ + uppercase(name). The bound object must outlive
-    /// apply_env/apply_cli.
+    /// apply_env/apply_cli. Registration throws a structured error on a
+    /// duplicate name, on two names colliding on the same KDR_* key (names
+    /// differing only in case), and on re-binding an already-bound variable
+    /// under a second name — each of those would otherwise make overrides
+    /// silently last-wins.
     void add_flag(const std::string& name, bool& target, std::string help);
     void add_int(const std::string& name, int& target, std::string help);
     void add_int(const std::string& name, std::int64_t& target, std::string help);

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "sparse/convert.hpp"
+#include "sparse/described_formats.hpp"
 #include "sparse/relations.hpp"
 #include "sparse/sell.hpp"
 #include "support/rng.hpp"
@@ -123,6 +124,106 @@ TEST(RelationProperties, AllFormatsAgreeWithEnumerate) {
         check_operator(SellMatrix<double>::from_triplets(D, R, /*slice_height=*/4,
                                                          /*sigma=*/8, ts),
                        seed, "sell-4-8");
+    }
+}
+
+TEST(RelationProperties, DescribedCatalogAgreesWithEnumerate) {
+    // The same projection-consistency sweep over every description-derived
+    // format: the derived relations are *compositions* of the fast-path
+    // relation classes, and this pins that the composition preserves their
+    // image/preimage/enumerate agreement.
+    const gidx r = 24, d = 24;
+    const IndexSpace R = IndexSpace::create(r, "R");
+    const IndexSpace D = IndexSpace::create(d, "D");
+    for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+        Rng rng(seed * 7919);
+        const auto ts = random_triplets(r, d, rng);
+        for (const sparse::FormatDesc& desc : sparse::described_catalog()) {
+            auto op = sparse::make_described<double>(desc, D, R, ts);
+            check_operator(*op, seed, "described " + desc.name);
+        }
+    }
+}
+
+/// Seeded fuzz: random valid level descriptions × random sparsity patterns.
+/// Each draw builds a described operator, checks relation mutual consistency
+/// (image/preimage vs enumerate) and SpMV/transpose agreement against the
+/// dense triplet reference.
+TEST(RelationProperties, FuzzRandomDescriptionsTimesRandomPatterns) {
+    constexpr int kRounds = 60;
+    Rng rng(0xF0124D5ULL);
+    for (int round = 0; round < kRounds; ++round) {
+        // Random dimensions (small enough that dense grids stay cheap).
+        const gidx nr = 2 + static_cast<gidx>(rng.next() % 14);
+        const gidx nd = 2 + static_cast<gidx>(rng.next() % 14);
+        const IndexSpace R = IndexSpace::create(nr, "R");
+        const IndexSpace D = IndexSpace::create(nd, "D");
+        const auto ts = random_triplets(nr, nd, rng);
+
+        // Random valid description: draw a layout family, then a legal
+        // level-description pair for it (assembly always produces ordered
+        // coordinates, so the ordered/unique flags must stay promises the
+        // builder keeps).
+        sparse::FormatDesc desc;
+        const std::uint64_t fam = rng.next() % 5;
+        const bool col_outer = rng.next() % 2 == 0;
+        desc.outer = col_outer ? sparse::Axis::Col : sparse::Axis::Row;
+        switch (fam) {
+            case 0: // PointerOuter
+                desc.outer_level = {sparse::LevelKind::Dense, true, true};
+                desc.inner_level = {sparse::LevelKind::Compressed, true, true};
+                break;
+            case 1: // SortedCoords
+                desc.outer_level = {sparse::LevelKind::Compressed, true, false};
+                desc.inner_level = {sparse::LevelKind::Singleton, true, true};
+                break;
+            case 2: // FullGrid
+                desc.outer_level = {sparse::LevelKind::Dense, true, true};
+                desc.inner_level = {sparse::LevelKind::Dense, true, true};
+                break;
+            case 3: // PaddedFibers, sometimes with an explicit width
+                desc.outer_level = {sparse::LevelKind::Dense, true, true};
+                desc.inner_level = {sparse::LevelKind::Singleton, true, true};
+                if (rng.next() % 2 == 0)
+                    desc.padded_width = std::max<gidx>(col_outer ? nr : nd, 1);
+                break;
+            default: // SlicedFibers (row-outer only)
+                desc.outer = sparse::Axis::Row;
+                desc.outer_level = {sparse::LevelKind::Dense, false, true};
+                desc.inner_level = {sparse::LevelKind::Singleton, true, true};
+                desc.slice_height = 1 + static_cast<gidx>(rng.next() % 5);
+                desc.sigma = 1 + static_cast<gidx>(rng.next() % 4);
+                break;
+        }
+        desc.name = "fuzz-" + std::to_string(round);
+        const std::string what =
+            desc.name + " [" + sparse::describe_format(desc) + "]";
+
+        auto op = sparse::make_described<double>(desc, D, R, ts);
+        check_operator(*op, 1000 + static_cast<std::uint64_t>(round), what);
+
+        // SpMV and transpose against the dense reference.
+        std::vector<double> x(static_cast<std::size_t>(nd));
+        for (double& v : x) v = -1.0 + static_cast<double>(rng.next() % 400) / 200.0;
+        std::vector<double> y(static_cast<std::size_t>(nr), 0.0), y_ref = y;
+        op->multiply_add(x, y);
+        reference_multiply_add(coalesce_triplets(ts), x, y_ref);
+        for (std::size_t i = 0; i < y.size(); ++i)
+            EXPECT_NEAR(y[i], y_ref[i], 1e-12) << what << " row " << i;
+
+        std::vector<double> xt(static_cast<std::size_t>(nr));
+        for (double& v : xt) v = -1.0 + static_cast<double>(rng.next() % 400) / 200.0;
+        std::vector<double> yt(static_cast<std::size_t>(nd), 0.0), yt_ref = yt;
+        op->multiply_add_transpose(xt, yt);
+        std::vector<Triplet<double>> tts;
+        for (const auto& t : coalesce_triplets(ts)) tts.push_back({t.col, t.row, t.value});
+        reference_multiply_add(tts, xt, yt_ref);
+        for (std::size_t i = 0; i < yt.size(); ++i)
+            EXPECT_NEAR(yt[i], yt_ref[i], 1e-12) << what << " col " << i;
+
+        // Round-trip: the described operator stores exactly the coalesced
+        // pattern (padding slots excluded).
+        EXPECT_EQ(coalesce_triplets(op->to_triplets()), coalesce_triplets(ts)) << what;
     }
 }
 

@@ -89,6 +89,35 @@ TEST(OptionSet, RejectsMalformedValuesAndDuplicates) {
     EXPECT_THROW(opts.add_flag("flag", dup, "again"), Error);
 }
 
+TEST(OptionSet, RejectsNamesCollidingOnTheEnvKey) {
+    // "-flag" and "-FLAG" both uppercase to KDR_FLAG: registration used to
+    // succeed silently and the later knob won every env override. Now it is
+    // a structured error naming both flags and the shared key.
+    Knobs k;
+    OptionSet opts;
+    k.bind(opts);
+    bool shouty = false;
+    try {
+        opts.add_flag("FLAG", shouty, "case-colliding twin");
+        FAIL() << "expected a structured error";
+    } catch (const Error& e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("-flag"), std::string::npos) << what;
+        EXPECT_NE(what.find("-FLAG"), std::string::npos) << what;
+        EXPECT_NE(what.find("KDR_FLAG"), std::string::npos) << what;
+    }
+}
+
+TEST(OptionSet, RejectsRebindingTheSameVariable) {
+    // Registering one variable under two names makes the later flag's
+    // override silently win; must be rejected at registration time.
+    Knobs k;
+    OptionSet opts;
+    k.bind(opts);
+    EXPECT_THROW(opts.add_flag("flag2", k.flag, "alias of -flag"), Error);
+    EXPECT_THROW(opts.add_int("small2", k.small, "alias of -small"), Error);
+}
+
 TEST(OptionSet, EqualsSpellingMatchesSpaceSpellingOnEverySurface) {
     // "-key=value" (the KDR_KEY=value env spelling, accepted on the command
     // line) must be indistinguishable from "-key value".
