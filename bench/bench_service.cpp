@@ -1,0 +1,210 @@
+/// Solver-as-a-service throughput: open-loop Poisson arrival sweeps over
+/// one simulated cluster, locating the saturation knee and measuring what
+/// the shared-trace cache buys in steady state.
+///
+/// Two arms run the *same* request stream at each arrival rate:
+///
+///  * **warm** — solve contexts pooled per (structure, lane): after the
+///    first job of a structure, every job replays the captured dependence
+///    schedule (one pin-verified instance, then the analysis-skipping fast
+///    path);
+///  * **cold** — a fresh context per job: every job re-records its schedule
+///    and pays full dependence analysis (a service without the cache).
+///
+/// Expected shape: warm analysis cost per job collapses to ~0 while cold
+/// pays the full pipeline every job, so warm sustains equal-or-higher
+/// throughput at every rate and saturates later. Job numerics are identical
+/// either way — replay is scheduling-only — which the gate checks bitwise.
+///
+/// Usage: bench_service [-nodes 2] [-slots 4] [-pieces 2] [-n 24]
+///                      [-jobs 120] [-seed 42] [-smoke]
+/// -smoke: small stream, then exit nonzero unless (a) warm and cold residual
+/// histories match bitwise job for job, (b) warm beats cold on steady-state
+/// analysis cost per job (skipped under KDR_VALIDATE: validation pins full
+/// analysis), and (c) warm throughput is at least cold throughput.
+
+#include <cmath>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "service/service.hpp"
+#include "support/cli.hpp"
+#include "support/rng.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+using namespace kdr;
+
+struct StreamParams {
+    int jobs = 120;
+    gidx n = 24;          ///< grid edge; two structures alternate n and 3n/4
+    double rate = 0.0;    ///< mean arrivals per virtual second
+    std::uint64_t seed = 42;
+};
+
+/// Open-loop Poisson stream: exponential interarrivals, two tenants (gold
+/// weighted 3x), two structures, mixed solvers, per-job rhs seeds.
+std::vector<service::SolveRequest> make_stream(const StreamParams& p) {
+    Rng rng(p.seed);
+    std::vector<service::SolveRequest> reqs;
+    reqs.reserve(static_cast<std::size_t>(p.jobs));
+    double t = 0.0;
+    for (int i = 0; i < p.jobs; ++i) {
+        // Inverse-CDF exponential; uniform() is in [0, 1) so 1-u is safe.
+        if (p.rate > 0.0) t += -std::log(1.0 - rng.uniform()) / p.rate;
+        service::SolveRequest req;
+        req.id = static_cast<std::uint64_t>(i);
+        req.tenant = i % 3 == 0 ? "gold" : "bronze";
+        req.arrival = t;
+        req.spec.kind = stencil::Kind::D2P5;
+        req.spec.nx = i % 2 == 0 ? p.n : (3 * p.n) / 4;
+        req.spec.ny = req.spec.nx;
+        req.solver = i % 4 == 0 ? "bicgstab" : "cg";
+        req.rhs_seed = 1000 + static_cast<std::uint64_t>(i);
+        req.tol = 1e-8;
+        req.max_iterations = 300;
+        reqs.push_back(std::move(req));
+    }
+    return reqs;
+}
+
+struct ArmResult {
+    obs::ServiceReport report;
+    std::vector<service::JobResult> jobs;
+};
+
+ArmResult run_arm(const sim::MachineDesc& machine, const StreamParams& p, int slots,
+                  Color pieces, bool share_contexts) {
+    rt::Runtime runtime(machine);
+    service::ServiceOptions opts;
+    opts.slots = slots;
+    opts.pieces = pieces;
+    opts.max_queue = 1u << 20; // closed gate arms: nothing rejected
+    opts.share_contexts = share_contexts;
+    opts.tenant_weights = {{"gold", 3.0}, {"bronze", 1.0}};
+    service::ServiceEngine engine(runtime, opts);
+    for (service::SolveRequest& req : make_stream(p)) engine.submit(std::move(req));
+    ArmResult r;
+    r.jobs = engine.run();
+    r.report = engine.report();
+    return r;
+}
+
+bool validation_forced() {
+    const char* e = std::getenv("KDR_VALIDATE");
+    return e != nullptr && *e != '\0' && std::string_view(e) != "0";
+}
+
+/// Bitwise identity of per-job residual histories between the two arms.
+bool histories_identical(const ArmResult& warm, const ArmResult& cold) {
+    if (warm.jobs.size() != cold.jobs.size()) return false;
+    for (const service::JobResult& w : warm.jobs) {
+        const service::JobResult* c = nullptr;
+        for (const service::JobResult& x : cold.jobs) {
+            if (x.request.id == w.request.id) c = &x;
+        }
+        if (c == nullptr || w.outcome.history.size() != c->outcome.history.size()) {
+            std::cout << "HISTORY SHAPE MISMATCH at job " << w.request.id << "\n";
+            return false;
+        }
+        for (std::size_t i = 0; i < w.outcome.history.size(); ++i) {
+            if (w.outcome.history[i].residual != c->outcome.history[i].residual) {
+                std::cout << "HISTORY MISMATCH at job " << w.request.id << " sample " << i
+                          << ": warm " << w.outcome.history[i].residual << " vs cold "
+                          << c->outcome.history[i].residual << "\n";
+                return false;
+            }
+        }
+    }
+    return true;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    const CliArgs args(argc, argv);
+    const bool smoke = args.get_flag("smoke");
+
+    const int nodes = static_cast<int>(args.get_int("nodes", 2));
+    const int slots = static_cast<int>(args.get_int("slots", smoke ? 2 : 4));
+    const auto pieces = static_cast<Color>(args.get_int("pieces", 2));
+    const sim::MachineDesc machine = sim::MachineDesc::lassen(nodes);
+
+    StreamParams base;
+    base.jobs = static_cast<int>(args.get_int("jobs", smoke ? 24 : 120));
+    base.n = args.get_int("n", smoke ? 16 : 24);
+    base.seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
+
+    // Calibrate the sweep around measured capacity: a closed-loop run (all
+    // arrivals at t = 0) saturates the lanes, and its throughput is the
+    // service rate mu. The open-loop sweep then crosses the knee at rho ~ 1.
+    StreamParams calib = base;
+    calib.rate = 0.0;
+    const ArmResult closed = run_arm(machine, calib, slots, pieces, true);
+    const double mu = closed.report.solves_per_second;
+    std::cout << "machine: " << nodes << " nodes, " << slots << " lanes x " << pieces
+              << " pieces; closed-loop capacity " << Table::num(mu, 2) << " solves/s\n\n";
+
+    Table sweep({"rho", "arm", "solves/s", "p50 ms", "p99 ms", "util %", "hit %",
+                 "analysis us/job"});
+    bool ok = true;
+    const std::vector<double> rhos =
+        smoke ? std::vector<double>{0.5, 1.5} : std::vector<double>{0.25, 0.5, 0.75, 1.0, 1.25, 1.5};
+    for (const double rho : rhos) {
+        StreamParams p = base;
+        p.rate = rho * mu;
+        const ArmResult warm = run_arm(machine, p, slots, pieces, true);
+        const ArmResult cold = run_arm(machine, p, slots, pieces, false);
+        for (const auto* arm : {&warm, &cold}) {
+            const obs::ServiceReport& r = arm->report;
+            sweep.add_row({Table::num(rho, 2), arm == &warm ? "warm" : "cold",
+                           Table::num(r.solves_per_second, 2),
+                           Table::num(r.latency_p50 * 1e3, 3),
+                           Table::num(r.latency_p99 * 1e3, 3),
+                           Table::num(r.utilization * 100.0, 1),
+                           Table::num(r.trace_cache_hit_rate * 100.0, 1),
+                           Table::num(r.analysis_seconds_per_job * 1e6, 2)});
+        }
+
+        // Gates (every rate): identical numerics; warm no slower than cold;
+        // warm steady-state analysis cheaper than cold unless validation
+        // pins both arms to the full pipeline.
+        if (!histories_identical(warm, cold)) ok = false;
+        if (warm.report.solves_per_second < 0.999 * cold.report.solves_per_second) {
+            std::cout << "THROUGHPUT REGRESSION at rho " << rho << ": warm "
+                      << warm.report.solves_per_second << " < cold "
+                      << cold.report.solves_per_second << " solves/s\n";
+            ok = false;
+        }
+        if (!validation_forced()) {
+            if (warm.report.analysis_seconds_per_job >=
+                0.5 * cold.report.analysis_seconds_per_job) {
+                std::cout << "ANALYSIS-COST GATE FAILED at rho " << rho << ": warm "
+                          << warm.report.analysis_seconds_per_job << " s/job vs cold "
+                          << cold.report.analysis_seconds_per_job << " s/job\n";
+                ok = false;
+            }
+            if (warm.report.trace_cache_hit_rate < 0.5) {
+                std::cout << "HIT-RATE GATE FAILED at rho " << rho << ": "
+                          << warm.report.trace_cache_hit_rate << "\n";
+                ok = false;
+            }
+        }
+    }
+    sweep.print(std::cout);
+
+    // Full service report for the last warm closed-loop run, as an exemplar
+    // of what a deployment would export.
+    std::cout << "\n";
+    closed.report.print(std::cout);
+
+    if (smoke) {
+        std::cout << "\nsmoke gates: " << (ok ? "PASS" : "FAIL") << "\n";
+        return ok ? EXIT_SUCCESS : EXIT_FAILURE;
+    }
+    return EXIT_SUCCESS;
+}

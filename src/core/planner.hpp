@@ -24,6 +24,7 @@
 /// targeting the same output run concurrently once the (cached) interference
 /// analysis shows they commute — the paper's §4.1 dispatch strategy.
 
+#include <array>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -74,6 +75,12 @@ struct PlannerOptions {
     /// wire time overlaps independent kernels. Off = plan messages are
     /// fetched lazily at consumer-ready time.
     bool comm_eager = true;
+    /// First piece color this planner hands out. Under the round-robin
+    /// mapper, colors select processors (color % total_gpus), so co-scheduled
+    /// planners on one runtime claim disjoint processor slots by starting
+    /// their color ranges at different offsets (the service layer's per-slot
+    /// placement).
+    Color color_offset = 0;
 };
 
 /// Precomputed partitioning plan for one operator component — either derived
@@ -122,7 +129,7 @@ public:
     };
 
     explicit Planner(rt::Runtime& runtime, PlannerOptions options = {})
-        : rt_(runtime), opts_(options) {
+        : rt_(runtime), opts_(options), next_color_(options.color_offset) {
         vecs_.resize(2); // SOL and RHS
         vecs_[SOL].kind = VecKind::SOL;
         vecs_[RHS].kind = VecKind::RHS;
@@ -214,8 +221,15 @@ public:
     }
 
     /// Allocate a workspace vector: one new field per component region,
-    /// homed identically to the component (Fig 6).
+    /// homed identically to the component (Fig 6). Workspaces released by
+    /// rewind_workspaces() are reused in allocation order — same VecId, same
+    /// backing fields, no region-structure change — so repeated solver
+    /// builds on one planner replay byte-identical launch streams.
     VecId allocate_workspace_vector(VecKind kind = VecKind::SOL) {
+        const std::size_t side = kind == VecKind::SOL ? 0 : 1;
+        if (ws_live_[side] < ws_pool_[side].size()) {
+            return ws_pool_[side][ws_live_[side]++];
+        }
         const auto& comps = components(kind);
         KDR_REQUIRE(!comps.empty(), "allocate_workspace_vector: no ",
                     kind == VecKind::SOL ? "solution" : "rhs", " components registered");
@@ -228,7 +242,17 @@ public:
             v.fields.push_back(f);
         }
         vecs_.push_back(std::move(v));
+        ws_pool_[side].push_back(vecs_.size() - 1);
+        ++ws_live_[side];
         return vecs_.size() - 1;
+    }
+
+    /// Return every workspace to the pool (between jobs on a shared service
+    /// context). Ids stay valid — callers must not hold live solvers built
+    /// on workspaces allocated before the rewind.
+    void rewind_workspaces() noexcept {
+        ws_live_[0] = 0;
+        ws_live_[1] = 0;
     }
 
     // =========================================== Fig 6: vector operations
@@ -421,6 +445,28 @@ public:
     /// matrix (or matrix-free task)").
     void set_matrix_free_psolve(std::function<void(VecId, VecId)> fn) {
         matrix_free_psolve_ = std::move(fn);
+    }
+
+    /// Mark this planner as a reused service context: solver trace ids
+    /// become stable per key (and pinned in the runtime), so the next
+    /// structurally-identical job on this planner replays the captured
+    /// schedule instead of re-recording. Pair with rewind_workspaces().
+    void enable_context_reuse() noexcept { context_reuse_ = true; }
+    [[nodiscard]] bool context_reuse() const noexcept { return context_reuse_; }
+
+    /// Trace id for a solver iteration loop. Default: a fresh id per solver
+    /// instance (the trace dies with the instance). Under context reuse the
+    /// id is stable per `key` and pinned, surviving the inter-job staleness
+    /// that would otherwise discard the captured schedule.
+    [[nodiscard]] std::uint64_t solver_trace_id(const std::string& key) {
+        if (!context_reuse_) return rt_.allocate_trace_id();
+        auto it = solver_trace_ids_.find(key);
+        if (it == solver_trace_ids_.end()) {
+            const std::uint64_t id = rt_.allocate_trace_id();
+            rt_.pin_trace(id);
+            it = solver_trace_ids_.emplace(key, id).first;
+        }
+        return it->second;
     }
 
     // ------------------------------------------------------- introspection
@@ -1036,6 +1082,12 @@ private:
     std::vector<OperatorSlot> preconditioners_;
     std::function<void(VecId, VecId)> matrix_free_psolve_;
     Color next_color_ = 0;
+    /// Workspace pool per kind (SOL=0, RHS=1): every workspace ever created,
+    /// in allocation order, plus how many are currently handed out.
+    std::array<std::vector<VecId>, 2> ws_pool_;
+    std::array<std::size_t, 2> ws_live_{};
+    bool context_reuse_ = false;
+    std::map<std::string, std::uint64_t> solver_trace_ids_;
     /// Multiply calls that read each (region, field) — the exchange-plan
     /// registration threshold (see ensure_exchange_plans).
     std::map<std::pair<rt::RegionId, rt::FieldId>, int> comm_uses_;

@@ -7,7 +7,9 @@
 ///    SOL into a workspace vector — no matrix or basis state is saved, since
 ///    every Krylov method here can cold-start from an iterate);
 ///  * restart-from-checkpoint when an attempt ends in breakdown, divergence,
-///    stagnation, or a fault-aborted task (bounded by max_restarts);
+///    stagnation, or a fault-aborted task (bounded by max_restarts) — except
+///    when the rerun would provably be identical (numerical failure, attempt
+///    started at the checkpoint, no fault since), which escalates directly;
 ///  * fallback switching to a second, more robust method (typically GMRES
 ///    for a breakdown-prone short-recurrence method) once the restart budget
 ///    is spent, with a fresh restart budget of its own.
@@ -83,11 +85,25 @@ SolveOutcome solve_with_recovery(Planner<T>& planner, SolverFactory<T> primary, 
     int fallbacks_used = 0;
     double best = 0.0; // attempt-scoped stagnation state
     int since_best = 0;
+    obs::Counter& fault_ctr = metrics.counter("task_faults_injected");
+    double faults_at_ckpt = 0.0;
+    // True while the current attempt started exactly from the iterate now in
+    // ckpt (set at build, cleared by a mid-attempt checkpoint). When it holds
+    // and no fault has struck since the checkpoint, a restart would restore
+    // the very iterate this attempt began from and deterministically replay
+    // the failure — burning restart budget on a guaranteed-identical rerun.
+    bool attempt_at_ckpt = false;
 
     auto build_attempt = [&] {
+        // Destroy the failed attempt first: a solver abandoned mid-cycle
+        // (GMRES) holds an open trace that must not capture the replacement's
+        // setup launches.
+        solver.reset();
         solver = on_fallback ? fallback(planner) : primary(planner);
         best = solver->get_convergence_measure().value;
         since_best = 0;
+        faults_at_ckpt = fault_ctr.value();
+        attempt_at_ckpt = true;
     };
     auto record = [&] {
         const Scalar m = solver->get_convergence_measure();
@@ -97,12 +113,17 @@ SolveOutcome solve_with_recovery(Planner<T>& planner, SolverFactory<T> primary, 
     VecId ckpt{};
     auto checkpoint = [&] {
         planner.copy(ckpt, Planner<T>::SOL);
+        faults_at_ckpt = fault_ctr.value();
+        attempt_at_ckpt = false; // ckpt is now ahead of the attempt's start
         ++out.checkpoints;
         ckpt_ctr.inc();
     };
     /// Restore + rebuild for another attempt; false when every budget is out.
-    auto try_recover = [&]() -> bool {
-        if (!on_fallback && restarts_used < opts.max_restarts) {
+    /// `identical_rerun` marks failures where restarting would provably
+    /// replay the same trajectory — those escalate straight past the restart
+    /// budget to the fallback (or to a terminal classification).
+    auto try_recover = [&](bool identical_rerun) -> bool {
+        if (!identical_rerun && restarts_used < opts.max_restarts) {
             ++restarts_used;
             ++out.restarts;
             restart_ctr.inc();
@@ -157,8 +178,13 @@ SolveOutcome solve_with_recovery(Planner<T>& planner, SolverFactory<T> primary, 
                 }
             }
             if (st != SolveStatus::running) {
+                // A numerically-classified failure of an attempt that began
+                // at the checkpoint and saw no fault since replays move for
+                // move on restart — don't spend restarts on it.
+                const bool identical_rerun =
+                    attempt_at_ckpt && fault_ctr.value() == faults_at_ckpt;
                 if (st == SolveStatus::converged || st == SolveStatus::max_iter ||
-                    !try_recover()) {
+                    !try_recover(identical_rerun)) {
                     out.status = st;
                     return out;
                 }
@@ -172,7 +198,9 @@ SolveOutcome solve_with_recovery(Planner<T>& planner, SolverFactory<T> primary, 
             } catch (const rt::TaskFailedError&) {
                 // The failed task's writes were never committed, but the
                 // attempt's control state is suspect: restore and rebuild.
-                if (!try_recover()) {
+                // Faults are not deterministic across reruns, so a restart is
+                // always worth a try here.
+                if (!try_recover(/*identical_rerun=*/false)) {
                     out.status = SolveStatus::fault_aborted;
                     return out;
                 }

@@ -41,11 +41,13 @@ inline constexpr double kBreakdownTiny = 1e-30;
     return std::abs(denom) <= kBreakdownTiny * std::max(1.0, std::abs(ref));
 }
 
-/// Trace id for a solver's iteration loop: a fresh runtime-allocated id when
-/// the planner enables solver-loop tracing, 0 (= disabled) otherwise.
+/// Trace id for a solver's iteration loop: allocated through the planner so a
+/// reused service context can hand the same pinned id to every solver built
+/// with the same `key` (shared-trace cache), 0 (= disabled) when the planner
+/// has solver-loop tracing off.
 template <typename T>
-[[nodiscard]] std::uint64_t solver_trace_id(Planner<T>& planner) {
-    return planner.options().trace_solver_loops ? planner.runtime().allocate_trace_id() : 0;
+[[nodiscard]] std::uint64_t solver_trace_id(Planner<T>& planner, const std::string& key) {
+    return planner.options().trace_solver_loops ? planner.solver_trace_id(key) : 0;
 }
 
 /// RAII for one trace instance around a solver step. Ends the trace on
@@ -243,7 +245,7 @@ public:
         planner_.copy(p_, r_);
         res_ = planner_.dot(r_, r_);
         if (this->nonfinite(res_.value)) this->fail(SolveStatus::breakdown_nonfinite);
-        trace_id_ = detail::solver_trace_id(planner_);
+        trace_id_ = detail::solver_trace_id(planner_, "cg");
     }
 
     void step() override {
@@ -318,7 +320,7 @@ public:
         if (this->nonfinite(res_.value) || this->nonfinite(rz_.value)) {
             this->fail(SolveStatus::breakdown_nonfinite);
         }
-        trace_id_ = detail::solver_trace_id(planner_);
+        trace_id_ = detail::solver_trace_id(planner_, "pcg");
     }
 
     void step() override {
@@ -398,7 +400,7 @@ public:
         rho_ = planner_.dot(rt_, r_);
         res_ = planner_.dot(r_, r_);
         if (this->nonfinite(res_.value)) this->fail(SolveStatus::breakdown_nonfinite);
-        trace_id_ = detail::solver_trace_id(planner_);
+        trace_id_ = detail::solver_trace_id(planner_, "bicg");
     }
 
     void step() override {
@@ -474,7 +476,7 @@ public:
         omega_ = make_scalar(1.0);
         res_ = planner_.dot(r_, r_);
         if (this->nonfinite(res_.value)) this->fail(SolveStatus::breakdown_nonfinite);
-        trace_id_ = detail::solver_trace_id(planner_);
+        trace_id_ = detail::solver_trace_id(planner_, "bicgstab");
     }
 
     void step() override {
@@ -586,7 +588,9 @@ public:
         sn_.assign(static_cast<std::size_t>(m_), {});
         g_.assign(static_cast<std::size_t>(m_ + 1), {});
         begin_cycle();
-        trace_id_ = detail::solver_trace_id(planner_);
+        // The restart length shapes the cycle's launch signature, so it is
+        // part of the shared-trace key.
+        trace_id_ = detail::solver_trace_id(planner_, "gmres/" + std::to_string(m_));
     }
 
     ~GmresSolver() override {
@@ -789,10 +793,8 @@ public:
         sigma_prev_ = make_scalar(0.0);
         sigma_ = make_scalar(0.0);
         res_norm_ = beta_;
-        if (planner_.options().trace_solver_loops) {
-            for (std::uint64_t& id : trace_ids_) {
-                id = planner_.runtime().allocate_trace_id();
-            }
+        for (std::size_t k = 0; k < 3; ++k) {
+            trace_ids_[k] = detail::solver_trace_id(planner_, "minres/" + std::to_string(k));
         }
     }
 

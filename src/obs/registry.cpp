@@ -26,17 +26,31 @@ void Histogram::observe(double v) {
 /// boundary; ranks falling in the +Inf overflow bucket clamp to the largest
 /// finite bound (no extrapolation past the observed range).
 double Histogram::quantile(double q) const {
+    return quantile_over(q, counts_, count_);
+}
+
+double Histogram::quantile_since(double q, const HistogramBaseline* since) const {
+    if (since == nullptr) return quantile(q);
+    KDR_REQUIRE(since->counts.size() == counts_.size() && since->count <= count_,
+                "Histogram::quantile_since: baseline from a different histogram");
+    std::vector<std::uint64_t> delta(counts_.size());
+    for (std::size_t i = 0; i < counts_.size(); ++i) delta[i] = counts_[i] - since->counts[i];
+    return quantile_over(q, delta, count_ - since->count);
+}
+
+double Histogram::quantile_over(double q, const std::vector<std::uint64_t>& counts,
+                                std::uint64_t total) const {
     KDR_REQUIRE(q >= 0.0 && q <= 1.0, "Histogram::quantile: q ", q, " outside [0, 1]");
-    if (count_ == 0) return 0.0;
-    const double rank = q * static_cast<double>(count_);
+    if (total == 0) return 0.0;
+    const double rank = q * static_cast<double>(total);
     double cum = 0.0;
-    for (std::size_t i = 0; i < counts_.size(); ++i) {
-        const double c = static_cast<double>(counts_[i]);
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+        const double c = static_cast<double>(counts[i]);
         if (c == 0.0 || cum + c < rank) {
             cum += c;
             continue;
         }
-        if (i == counts_.size() - 1) break; // +Inf overflow bucket: clamp below
+        if (i == counts.size() - 1) break; // +Inf overflow bucket: clamp below
         const double hi = bounds_[i];
         // The underflow bucket (-inf, bounds_[0]] has no finite lower edge:
         // interpolate from 0 when the bucket spans it, and clamp to the
@@ -138,6 +152,45 @@ double Registry::counter_total(const std::string& name) const {
         if (entry.id.name == name) total += entry.metric.value();
     }
     return total;
+}
+
+RegistrySnapshot Registry::snapshot() const {
+    RegistrySnapshot s;
+    for (const auto& [key, entry] : counters_) s.counters.emplace(key, entry.metric.value());
+    for (const auto& [key, entry] : histograms_) {
+        s.histograms.emplace(key, HistogramBaseline{entry.metric.bucket_counts(),
+                                                    entry.metric.sum(),
+                                                    entry.metric.count()});
+    }
+    return s;
+}
+
+double Registry::counter_value_since(const std::string& name, const RegistrySnapshot& base,
+                                     const Labels& labels) const {
+    const auto [key, id] = canonicalize(name, labels);
+    const auto it = counters_.find(key);
+    const double now = it == counters_.end() ? 0.0 : it->second.metric.value();
+    const auto bit = base.counters.find(key);
+    return now - (bit == base.counters.end() ? 0.0 : bit->second);
+}
+
+double Registry::counter_total_since(const std::string& name,
+                                     const RegistrySnapshot& base) const {
+    double total = 0.0;
+    for (const auto& [key, entry] : counters_) {
+        if (entry.id.name != name) continue;
+        const auto bit = base.counters.find(key);
+        total += entry.metric.value() - (bit == base.counters.end() ? 0.0 : bit->second);
+    }
+    return total;
+}
+
+const HistogramBaseline* Registry::histogram_baseline(const RegistrySnapshot& base,
+                                                      const std::string& name,
+                                                      const Labels& labels) const {
+    const auto [key, id] = canonicalize(name, labels);
+    const auto it = base.histograms.find(key);
+    return it == base.histograms.end() ? nullptr : &it->second;
 }
 
 void Registry::for_each_counter(

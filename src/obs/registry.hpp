@@ -54,6 +54,23 @@ private:
     double value_ = 0.0;
 };
 
+/// Frozen tallies of one histogram inside a RegistrySnapshot.
+struct HistogramBaseline {
+    std::vector<std::uint64_t> counts; // bounds().size() + 1 entries
+    double sum = 0.0;
+    std::uint64_t count = 0;
+};
+
+/// Point-in-time copy of every counter's and histogram's tallies, keyed by
+/// the canonical (name, sorted-labels) identity. Subtracting a snapshot from
+/// the live registry turns cumulative metrics into per-interval values — how
+/// the second solve on a shared runtime stops attributing the first solve's
+/// work to itself. Gauges are point-in-time already and are not snapshotted.
+struct RegistrySnapshot {
+    std::map<std::string, double> counters;
+    std::map<std::string, HistogramBaseline> histograms;
+};
+
 /// Fixed-bucket histogram: `bounds` are strictly increasing upper bounds; an
 /// implicit +inf bucket catches the overflow. Observation `v` lands in the
 /// first bucket with v <= bound.
@@ -79,11 +96,19 @@ public:
     /// SolveReport (service-latency SLO groundwork).
     [[nodiscard]] double quantile(double q) const;
 
+    /// Quantile over only the observations made after `since` was frozen
+    /// (a baseline captured from this histogram by Registry::snapshot()).
+    /// nullptr — no baseline — reproduces quantile(q).
+    [[nodiscard]] double quantile_since(double q, const HistogramBaseline* since) const;
+
     /// Convenience: `count` geometrically spaced bounds from `start`.
     [[nodiscard]] static std::vector<double> exponential_bounds(double start, double factor,
                                                                 int count);
 
 private:
+    [[nodiscard]] double quantile_over(double q, const std::vector<std::uint64_t>& counts,
+                                       std::uint64_t total) const;
+
     std::vector<double> bounds_;
     std::vector<std::uint64_t> counts_;
     double sum_ = 0.0;
@@ -113,6 +138,23 @@ public:
     [[nodiscard]] double counter_value(const std::string& name,
                                        const Labels& labels = {}) const;
     [[nodiscard]] double counter_total(const std::string& name) const;
+
+    /// Freeze the current tallies of every counter and histogram.
+    [[nodiscard]] RegistrySnapshot snapshot() const;
+
+    /// Counter increase since `base`. Metrics absent from the snapshot count
+    /// from zero (they were created after it was taken).
+    [[nodiscard]] double counter_value_since(const std::string& name,
+                                             const RegistrySnapshot& base,
+                                             const Labels& labels = {}) const;
+    [[nodiscard]] double counter_total_since(const std::string& name,
+                                             const RegistrySnapshot& base) const;
+
+    /// Baseline `base` froze for one histogram, or nullptr if the histogram
+    /// was created after the snapshot. Feed to Histogram::quantile_since.
+    [[nodiscard]] const HistogramBaseline* histogram_baseline(
+        const RegistrySnapshot& base, const std::string& name,
+        const Labels& labels = {}) const;
 
     void for_each_counter(
         const std::function<void(const MetricId&, const Counter&)>& fn) const;

@@ -1,0 +1,120 @@
+#include "obs/service_report.hpp"
+
+#include <fstream>
+#include <ostream>
+
+#include "obs/json.hpp"
+#include "support/error.hpp"
+#include "support/table.hpp"
+
+namespace kdr::obs {
+
+namespace {
+
+json::Value to_value(const ServiceReport& r) {
+    json::Value doc;
+    auto& root = doc.object();
+    const auto num = [](std::uint64_t v) { return json::Value(static_cast<double>(v)); };
+    root.emplace("submitted", num(r.submitted));
+    root.emplace("completed", num(r.completed));
+    root.emplace("recovered", num(r.recovered));
+    root.emplace("deadline_misses", num(r.deadline_misses));
+    root.emplace("aborted", num(r.aborted));
+    root.emplace("rejected", num(r.rejected));
+    root.emplace("makespan_seconds", json::Value(r.makespan));
+    root.emplace("solves_per_second", json::Value(r.solves_per_second));
+    root.emplace("latency_p50_seconds", json::Value(r.latency_p50));
+    root.emplace("latency_p99_seconds", json::Value(r.latency_p99));
+    root.emplace("utilization", json::Value(r.utilization));
+    root.emplace("trace_cache_hit_rate", json::Value(r.trace_cache_hit_rate));
+    root.emplace("analysis_seconds_per_job", json::Value(r.analysis_seconds_per_job));
+
+    json::Value tenants;
+    tenants.array();
+    for (const TenantStats& t : r.tenants) {
+        json::Value::Object o;
+        o.emplace("tenant", json::Value(t.tenant));
+        o.emplace("weight", json::Value(t.weight));
+        o.emplace("jobs", num(t.jobs));
+        o.emplace("rejected", num(t.rejected));
+        o.emplace("service_seconds", json::Value(t.service_seconds));
+        o.emplace("share", json::Value(t.share));
+        o.emplace("mean_latency_seconds", json::Value(t.mean_latency));
+        tenants.array().emplace_back(std::move(o));
+    }
+    root.emplace("tenants", std::move(tenants));
+    return doc;
+}
+
+} // namespace
+
+std::string ServiceReport::to_json() const { return to_value(*this).dump(); }
+
+ServiceReport ServiceReport::from_json(const std::string& text) {
+    const json::Value doc = json::Value::parse(text);
+    ServiceReport r;
+    const auto u64 = [&doc](const char* key) {
+        return doc.has(key) ? static_cast<std::uint64_t>(doc[key].as_number()) : 0;
+    };
+    r.submitted = u64("submitted");
+    r.completed = u64("completed");
+    r.recovered = u64("recovered");
+    r.deadline_misses = u64("deadline_misses");
+    r.aborted = u64("aborted");
+    r.rejected = u64("rejected");
+    r.makespan = doc["makespan_seconds"].as_number();
+    r.solves_per_second = doc["solves_per_second"].as_number();
+    r.latency_p50 = doc["latency_p50_seconds"].as_number();
+    r.latency_p99 = doc["latency_p99_seconds"].as_number();
+    r.utilization = doc["utilization"].as_number();
+    r.trace_cache_hit_rate = doc["trace_cache_hit_rate"].as_number();
+    r.analysis_seconds_per_job = doc["analysis_seconds_per_job"].as_number();
+    if (doc.has("tenants")) {
+        for (const json::Value& v : doc["tenants"].as_array()) {
+            TenantStats t;
+            t.tenant = v["tenant"].as_string();
+            t.weight = v["weight"].as_number();
+            t.jobs = static_cast<std::uint64_t>(v["jobs"].as_number());
+            t.rejected = static_cast<std::uint64_t>(v["rejected"].as_number());
+            t.service_seconds = v["service_seconds"].as_number();
+            t.share = v["share"].as_number();
+            t.mean_latency = v["mean_latency_seconds"].as_number();
+            r.tenants.push_back(std::move(t));
+        }
+    }
+    return r;
+}
+
+void ServiceReport::print(std::ostream& os) const {
+    os << "=== service report ===\n"
+       << "jobs: " << submitted << " submitted; " << completed << " completed, " << recovered
+       << " recovered, " << deadline_misses << " deadline misses, " << aborted
+       << " aborted, " << rejected << " rejected\n"
+       << "throughput: " << Table::num(solves_per_second, 2) << " solves/s over "
+       << Table::num(makespan * 1e3, 3) << " ms virtual, utilization "
+       << Table::num(utilization * 100.0, 1) << "%\n"
+       << "latency: p50 " << Table::num(latency_p50 * 1e3, 3) << " ms, p99 "
+       << Table::num(latency_p99 * 1e3, 3) << " ms\n"
+       << "trace cache: " << Table::num(trace_cache_hit_rate * 100.0, 1)
+       << "% hit rate, analysis " << Table::num(analysis_seconds_per_job * 1e6, 2)
+       << " us/job\n";
+    if (!tenants.empty()) {
+        Table t({"tenant", "weight", "jobs", "rejected", "service ms", "share %",
+                 "mean latency ms"});
+        for (const TenantStats& s : tenants) {
+            t.add_row({s.tenant, Table::num(s.weight, 2), std::to_string(s.jobs),
+                       std::to_string(s.rejected), Table::num(s.service_seconds * 1e3, 3),
+                       Table::num(s.share * 100.0, 1), Table::num(s.mean_latency * 1e3, 3)});
+        }
+        t.print(os);
+    }
+}
+
+void write_service_report(const std::string& path, const ServiceReport& report) {
+    std::ofstream out(path);
+    KDR_REQUIRE(out.good(), "write_service_report: cannot open '", path, "'");
+    out << report.to_json() << "\n";
+    KDR_REQUIRE(out.good(), "write_service_report: write to '", path, "' failed");
+}
+
+} // namespace kdr::obs

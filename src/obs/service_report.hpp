@@ -1,0 +1,71 @@
+#pragma once
+
+/// \file service_report.hpp
+/// Throughput-level observability for the solver-as-a-service engine: one
+/// report per service run summarizing the whole request stream rather than a
+/// single solve. Pure data + (de)serialization — populated by
+/// service::ServiceEngine, kept here so reporting tools depend only on obs.
+///
+/// The headline numbers mirror what a real multi-tenant solver service would
+/// export: throughput (solves per virtual second over the stream makespan),
+/// job latency quantiles (arrival to final convergence measure), machine
+/// utilization, the shared-trace-cache hit rate (jobs that replayed a
+/// structurally-identical job's captured schedule instead of re-running
+/// dependence analysis), and the attained-service share per tenant.
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace kdr::obs {
+
+/// Per-tenant accounting under weighted fair ordering.
+struct TenantStats {
+    std::string tenant;
+    double weight = 1.0;
+    std::uint64_t jobs = 0;         ///< executed jobs (any terminal state)
+    std::uint64_t rejected = 0;     ///< jobs dropped by admission control
+    double service_seconds = 0.0;   ///< attained slot-occupancy (virtual)
+    double share = 0.0;             ///< service_seconds / total service
+    double mean_latency = 0.0;      ///< mean arrival-to-finish (virtual)
+};
+
+/// Summary of one service run (a drained request stream).
+struct ServiceReport {
+    // ----------------------------------------------------- job accounting
+    std::uint64_t submitted = 0;
+    std::uint64_t completed = 0;       ///< converged within deadline, no restores
+    std::uint64_t recovered = 0;       ///< converged but needed checkpoint restores
+    std::uint64_t deadline_misses = 0; ///< converged after the latency SLO
+    std::uint64_t aborted = 0;         ///< any non-converged terminal classification
+    std::uint64_t rejected = 0;        ///< dropped by bounded-queue admission
+
+    // ----------------------------------------------------------- headline
+    double makespan = 0.0;         ///< first arrival to last finish (virtual s)
+    double solves_per_second = 0.0;///< executed jobs / makespan
+    double latency_p50 = 0.0;      ///< arrival-to-finish quantiles (virtual s)
+    double latency_p99 = 0.0;
+    double utilization = 0.0;      ///< busy fraction of all processors
+
+    // ------------------------------------------------- shared-trace cache
+    /// Fraction of executed jobs that re-used another job's captured
+    /// dependence schedule (no task recording during the job).
+    double trace_cache_hit_rate = 0.0;
+    /// Mean dependence-analysis pipeline stall charged per executed job;
+    /// the number the trace cache exists to drive toward zero.
+    double analysis_seconds_per_job = 0.0;
+
+    std::vector<TenantStats> tenants;
+
+    [[nodiscard]] std::string to_json() const;
+    [[nodiscard]] static ServiceReport from_json(const std::string& text);
+
+    /// Human-readable summary (service header + per-tenant table).
+    void print(std::ostream& os) const;
+};
+
+/// Write `report.to_json()` to a file (throws kdr::Error on I/O failure).
+void write_service_report(const std::string& path, const ServiceReport& report);
+
+} // namespace kdr::obs

@@ -22,6 +22,7 @@ Runtime::Runtime(sim::MachineDesc machine, Options options)
     trace_replay_ctr_ = &metrics_.counter("trace_replayed_tasks");
     trace_skip_ctr_ = &metrics_.counter("trace_depanalysis_skipped");
     trace_invalid_ctr_ = &metrics_.counter("trace_invalidations");
+    trace_pin_verify_ctr_ = &metrics_.counter("trace_pinned_verifies");
     migration_ctr_ = &metrics_.counter("home_migrations");
     exchange_plans_ctr_ = &metrics_.counter("exchange_plans_built");
     coalesced_msg_ctr_ = &metrics_.counter("coalesced_messages");
@@ -230,6 +231,7 @@ void Runtime::begin_trace(std::uint64_t trace_id) {
         t.record_base = trace_begin_seq_;
         return;
     }
+    bool pin_verify = false;
     if (t.captured) {
         // A captured schedule is only valid if nothing moved under it: same
         // region/home structure, no untraced launches interleaved, and the
@@ -239,14 +241,25 @@ void Runtime::begin_trace(std::uint64_t trace_id) {
                            t.quiet_epoch != quiet_epoch_ ||
                            task_counter_ - t.end_seq != t.prev_gap;
         if (stale) {
-            t.captured = false;
-            t.recipes.clear();
-            trace_invalid_ctr_->inc();
+            if (t.pinned) {
+                // Pinned traces outlive cross-instance disturbance (another
+                // job's setup between two uses of a shared context): keep
+                // the captured schedule, run this instance as a signature-
+                // verified full analysis, and let a complete pass re-anchor
+                // the epochs in end_trace so the instance after it replays
+                // fast again.
+                pin_verify = true;
+                trace_pin_verify_ctr_->inc();
+            } else {
+                t.captured = false;
+                t.recipes.clear();
+                trace_invalid_ctr_->inc();
+            }
         }
     }
     // Validation mode forces the verify path: the fast path skips the
     // dependence resolution whose result the race detector audits.
-    if (!options_.trace_fast_path || validator_ != nullptr) {
+    if (!options_.trace_fast_path || validator_ != nullptr || pin_verify) {
         trace_mode_ = TraceInstanceMode::Replay;
         return;
     }
@@ -291,7 +304,17 @@ void Runtime::end_trace() {
             break;
         case TraceInstanceMode::Replay:
         case TraceInstanceMode::Fast:
-            if (trace_cursor_ != t.signatures.size()) invalidate_replay(t);
+            if (trace_cursor_ != t.signatures.size()) {
+                invalidate_replay(t);
+            } else if (t.pinned && t.captured &&
+                       structure_epoch_ == trace_begin_struct_epoch_) {
+                // A complete verified instance of a pinned trace proves the
+                // launch stream still matches: re-anchor the epochs so the
+                // next back-to-back instance passes the staleness check and
+                // replays from the captured schedule.
+                t.struct_epoch = structure_epoch_;
+                t.quiet_epoch = quiet_epoch_;
+            }
             break;
         case TraceInstanceMode::None:
             break;
@@ -649,7 +672,7 @@ FutureScalar Runtime::launch(TaskLaunch launch) {
     const sim::ProcId proc = mapper_->select_processor(launch, machine());
     const std::size_t nreq = launch.requirements.size();
 
-    double dep_ready = 0.0;
+    double dep_ready = launch.not_before;
     for (double t : launch.scalar_deps) dep_ready = std::max(dep_ready, t);
     std::vector<double> req_dep(nreq, 0.0);
 
@@ -936,18 +959,60 @@ std::vector<TaskProfile> Runtime::take_profiles() {
 
 // ---------------------------------------------------------- solve reports
 
+Runtime::SolveBaseline Runtime::capture_baseline() const {
+    SolveBaseline b;
+    b.metrics = metrics_.snapshot();
+    b.horizon = cluster_.horizon();
+    b.tasks = task_counter_;
+    b.transfer_bytes = transfer_bytes_;
+    b.transfer_count = transfer_count_;
+    b.profiles = profiles_.size();
+    b.spans = spans_.completed().size();
+    const int nodes = machine().nodes;
+    b.node_busy.reserve(static_cast<std::size_t>(nodes));
+    b.nic_busy.reserve(static_cast<std::size_t>(nodes));
+    for (int n = 0; n < nodes; ++n) {
+        double busy = cluster_.proc_busy({n, sim::ProcKind::CPU, 0});
+        for (int g = 0; g < machine().gpus_per_node; ++g) {
+            busy += cluster_.proc_busy({n, sim::ProcKind::GPU, g});
+        }
+        b.node_busy.push_back(busy);
+        b.nic_busy.push_back(cluster_.nic_send_busy(n) + cluster_.nic_recv_busy(n));
+    }
+    b.transfer_pairs.reserve(transfer_counters_.size());
+    for (const TransferCounters& tc : transfer_counters_) {
+        b.transfer_pairs.emplace_back(tc.bytes != nullptr ? tc.bytes->value() : 0.0,
+                                      tc.count != nullptr ? tc.count->value() : 0.0);
+    }
+    if (const sim::FaultModel* fm = cluster_.fault_model(); fm != nullptr) {
+        b.nic_degraded = fm->nic_degraded();
+        b.nic_retransmits = fm->nic_retransmits();
+    }
+    if (validator_ != nullptr) {
+        b.tasks_checked = validator_->tasks_checked();
+        b.violations = validator_->violations();
+        b.race_pairs = validator_->race_pairs();
+        b.overdeclared = validator_->overdeclared();
+    }
+    return b;
+}
+
 obs::SolveReport Runtime::build_solve_report(std::vector<obs::ConvergenceSample> convergence,
-                                             std::string status) const {
+                                             std::string status,
+                                             const SolveBaseline* since) const {
     obs::SolveReport r;
-    r.makespan = cluster_.horizon();
-    r.tasks = task_counter_;
+    r.makespan = cluster_.horizon() - (since != nullptr ? since->horizon : 0.0);
+    r.tasks = task_counter_ - (since != nullptr ? since->tasks : 0);
     r.convergence = std::move(convergence);
     r.status = std::move(status);
 
     // Fault-injection and recovery counters. All read through counter_value so
     // a run without faults (or without a recovery controller) reports zeros.
-    auto u64 = [this](const char* name) {
-        return static_cast<std::uint64_t>(metrics_.counter_value(name));
+    // Against a baseline every counter is the per-interval increase.
+    auto u64 = [this, since](const char* name) {
+        const double v = since != nullptr ? metrics_.counter_value_since(name, since->metrics)
+                                          : metrics_.counter_value(name);
+        return static_cast<std::uint64_t>(v);
     };
     r.faults.task_faults = u64("task_faults_injected");
     r.faults.task_retries = u64("task_retries");
@@ -959,23 +1024,32 @@ obs::SolveReport Runtime::build_solve_report(std::vector<obs::ConvergenceSample>
     r.faults.restarts = u64("solver_restarts");
     r.faults.fallbacks = u64("solver_fallbacks");
     if (const sim::FaultModel* fm = cluster_.fault_model(); fm != nullptr) {
-        r.faults.nic_degraded = fm->nic_degraded();
-        r.faults.nic_retransmits = fm->nic_retransmits();
+        r.faults.nic_degraded =
+            fm->nic_degraded() - (since != nullptr ? since->nic_degraded : 0);
+        r.faults.nic_retransmits =
+            fm->nic_retransmits() - (since != nullptr ? since->nic_retransmits : 0);
     }
 
     if (validator_ != nullptr) {
         r.validation.enabled = true;
-        r.validation.tasks_checked = validator_->tasks_checked();
-        r.validation.violations = validator_->violations();
-        r.validation.race_pairs = validator_->race_pairs();
-        r.validation.overdeclared = validator_->overdeclared();
+        r.validation.tasks_checked =
+            validator_->tasks_checked() - (since != nullptr ? since->tasks_checked : 0);
+        r.validation.violations =
+            validator_->violations() - (since != nullptr ? since->violations : 0);
+        r.validation.race_pairs =
+            validator_->race_pairs() - (since != nullptr ? since->race_pairs : 0);
+        r.validation.overdeclared =
+            validator_->overdeclared() - (since != nullptr ? since->overdeclared : 0);
     }
 
     // Per-task-kind stats from the profiles still held by the runtime (call
     // before take_profiles). Profile durations are exactly the busy seconds
     // charged to the executing processor, so kind totals partition busy time.
     std::map<std::string, obs::TaskKindStats> kinds;
-    for (const TaskProfile& p : profiles_) {
+    const std::size_t prof_base =
+        since != nullptr ? std::min(since->profiles, profiles_.size()) : 0;
+    for (std::size_t pi = prof_base; pi < profiles_.size(); ++pi) {
+        const TaskProfile& p = profiles_[pi];
         obs::TaskKindStats& k = kinds[p.name];
         k.name = p.name;
         ++k.count;
@@ -1002,12 +1076,17 @@ obs::SolveReport Runtime::build_solve_report(std::vector<obs::ConvergenceSample>
         for (int g = 0; g < machine().gpus_per_node; ++g) {
             busy += cluster_.proc_busy({n, sim::ProcKind::GPU, g});
         }
+        double comm = cluster_.nic_send_busy(n) + cluster_.nic_recv_busy(n);
+        if (since != nullptr && static_cast<std::size_t>(n) < since->node_busy.size()) {
+            busy -= since->node_busy[static_cast<std::size_t>(n)];
+            comm -= since->nic_busy[static_cast<std::size_t>(n)];
+        }
         const double denom = r.makespan * static_cast<double>(procs_per_node);
         obs::NodeStats ns;
         ns.node = n;
         ns.busy = busy;
         ns.utilization = denom > 0.0 ? busy / denom : 0.0;
-        ns.comm_seconds = cluster_.nic_send_busy(n) + cluster_.nic_recv_busy(n);
+        ns.comm_seconds = comm;
         ns.comm_fraction =
             r.makespan > 0.0 ? ns.comm_seconds / (2.0 * r.makespan) : 0.0;
         ns.idle_fraction = 1.0 - ns.utilization;
@@ -1019,20 +1098,30 @@ obs::SolveReport Runtime::build_solve_report(std::vector<obs::ConvergenceSample>
     r.load_imbalance = mean_busy > 0.0 ? max_busy / mean_busy : 1.0;
 
     // Transfer matrix from the cached per-pair counters (slot order = src-major).
-    r.transfer_bytes = transfer_bytes_;
-    r.transfer_count = transfer_count_;
+    r.transfer_bytes = transfer_bytes_ - (since != nullptr ? since->transfer_bytes : 0.0);
+    r.transfer_count = transfer_count_ - (since != nullptr ? since->transfer_count : 0);
     for (std::size_t slot = 0; slot < transfer_counters_.size(); ++slot) {
         const TransferCounters& tc = transfer_counters_[slot];
         if (tc.bytes == nullptr) continue;
+        double bytes = tc.bytes->value();
+        double count = tc.count->value();
+        if (since != nullptr && slot < since->transfer_pairs.size()) {
+            bytes -= since->transfer_pairs[slot].first;
+            count -= since->transfer_pairs[slot].second;
+        }
+        if (count <= 0.0 && bytes <= 0.0) continue;
         r.transfers.push_back({static_cast<int>(slot / static_cast<std::size_t>(nodes)),
                                static_cast<int>(slot % static_cast<std::size_t>(nodes)),
-                               tc.bytes->value(),
-                               static_cast<std::uint64_t>(tc.count->value())});
+                               bytes, static_cast<std::uint64_t>(count)});
     }
 
     // Solver-phase totals from the completed spans.
     std::map<std::string, obs::PhaseStats> phases;
-    for (const obs::SpanRecord& s : spans_.completed()) {
+    const auto& completed = spans_.completed();
+    const std::size_t span_base =
+        since != nullptr ? std::min(since->spans, completed.size()) : 0;
+    for (std::size_t si = span_base; si < completed.size(); ++si) {
+        const obs::SpanRecord& s = completed[si];
         obs::PhaseStats& p = phases[s.name];
         p.name = s.name;
         ++p.count;
@@ -1045,9 +1134,13 @@ obs::SolveReport Runtime::build_solve_report(std::vector<obs::ConvergenceSample>
               });
 
     // Task-duration quantiles (bucket-interpolated) for latency rows.
-    r.task_duration.p50 = task_duration_hist_->quantile(0.50);
-    r.task_duration.p90 = task_duration_hist_->quantile(0.90);
-    r.task_duration.p99 = task_duration_hist_->quantile(0.99);
+    const obs::HistogramBaseline* dur_base =
+        since != nullptr
+            ? metrics_.histogram_baseline(since->metrics, "task_duration_seconds")
+            : nullptr;
+    r.task_duration.p50 = task_duration_hist_->quantile_since(0.50, dur_base);
+    r.task_duration.p90 = task_duration_hist_->quantile_since(0.90, dur_base);
+    r.task_duration.p99 = task_duration_hist_->quantile_since(0.99, dur_base);
 
     // Critical-path attribution when the event profiler is on.
     if (profiler_ != nullptr) {

@@ -191,6 +191,23 @@ public:
     /// 2^32 so they never collide with application-chosen small ids.
     [[nodiscard]] std::uint64_t allocate_trace_id() noexcept { return next_trace_id_++; }
 
+    /// Mark a trace as long-lived: staleness (a structure/quiet epoch bump or
+    /// a different inter-instance gap, e.g. another job's setup ran in
+    /// between) downgrades the next instance to a signature-verified full
+    /// re-analysis instead of discarding the captured schedule; a complete
+    /// verified instance re-anchors the epochs so back-to-back instances go
+    /// fast again. This is what lets structurally-identical service jobs
+    /// replay each other's schedules across unrelated interleaved work.
+    void pin_trace(std::uint64_t trace_id) { traces_[trace_id].pinned = true; }
+
+    /// True once `trace_id` holds a captured schedule (i.e. a later instance
+    /// can replay without dependence analysis). The service layer's
+    /// trace-cache hit probe.
+    [[nodiscard]] bool trace_captured(std::uint64_t trace_id) const {
+        const auto it = traces_.find(trace_id);
+        return it != traces_.end() && it->second.captured;
+    }
+
     // ---------------------------------------------------------- launching
     FutureScalar launch(TaskLaunch launch);
 
@@ -248,9 +265,38 @@ public:
     /// `status` is the solver-classified outcome (core::to_string of a
     /// SolveStatus); fault/retry/rollback/checkpoint counters and NIC fault
     /// tallies are folded in from the metrics registry and the fault model.
+    /// Everything build_solve_report reads, frozen at a point in time.
+    /// Counters, histograms, busy timelines, profiles, and spans on one
+    /// runtime all accumulate across solves; a report built against a
+    /// baseline covers only the work after capture_baseline(), so the second
+    /// solve in a process stops attributing the first solve's work to itself.
+    struct SolveBaseline {
+        obs::RegistrySnapshot metrics;
+        double horizon = 0.0;
+        std::uint64_t tasks = 0;
+        double transfer_bytes = 0.0;
+        std::uint64_t transfer_count = 0;
+        std::size_t profiles = 0; ///< profiles recorded so far
+        std::size_t spans = 0;    ///< completed spans so far
+        std::vector<double> node_busy; ///< per node: CPU + all GPUs
+        std::vector<double> nic_busy;  ///< per node: send + recv
+        /// (bytes, count) per src-major node-pair slot.
+        std::vector<std::pair<double, double>> transfer_pairs;
+        std::uint64_t nic_degraded = 0;
+        std::uint64_t nic_retransmits = 0;
+        std::uint64_t tasks_checked = 0;
+        std::uint64_t violations = 0;
+        std::uint64_t race_pairs = 0;
+        std::uint64_t overdeclared = 0;
+    };
+    [[nodiscard]] SolveBaseline capture_baseline() const;
+
+    /// With `since`, every cumulative surface is reported as a delta against
+    /// the baseline (critical-path attribution stays whole-run: the event
+    /// DAG has no per-interval cut).
     [[nodiscard]] obs::SolveReport build_solve_report(
         std::vector<obs::ConvergenceSample> convergence = {},
-        std::string status = "unknown") const;
+        std::string status = "unknown", const SolveBaseline* since = nullptr) const;
 
 private:
     /// Requirement index marking accesses that did not come from a task
@@ -356,6 +402,7 @@ private:
     obs::Counter* trace_replay_ctr_ = nullptr;
     obs::Counter* trace_skip_ctr_ = nullptr;
     obs::Counter* trace_invalid_ctr_ = nullptr;
+    obs::Counter* trace_pin_verify_ctr_ = nullptr;
     obs::Counter* migration_ctr_ = nullptr;
     obs::Counter* exchange_plans_ctr_ = nullptr;
     obs::Counter* coalesced_msg_ctr_ = nullptr;
@@ -411,6 +458,7 @@ private:
         std::vector<LaunchRecipe> recipes; ///< parallel to signatures once captured
         bool recorded = false;
         bool captured = false;
+        bool pinned = false; ///< survive staleness via re-verify (pin_trace)
         TaskSeq record_base = 0;     ///< last seq before the recording instance
         TaskSeq end_seq = 0;         ///< seq when the last instance ended
         std::uint64_t prev_gap = 0;  ///< launches between instances at capture

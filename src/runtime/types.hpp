@@ -87,6 +87,10 @@ struct TaskLaunch {
     sim::ProcKind proc_kind = sim::ProcKind::GPU;
     Color color = 0;                 ///< mapper hint: which piece this is
     std::vector<double> scalar_deps; ///< ready times of consumed futures
+    /// Earliest virtual start time. Lets externally-timed events (a service
+    /// request arriving at t) gate a task — and everything data-dependent on
+    /// it — without a synthetic producer task.
+    double not_before = 0.0;
 };
 
 /// Completed-task profile record (virtual times).

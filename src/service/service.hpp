@@ -1,0 +1,459 @@
+#pragma once
+
+/// \file service.hpp
+/// Solver-as-a-service: a throughput engine that admits a stream of
+/// heterogeneous solve requests (size, solver, tolerance, deadline, tenant)
+/// onto one simulated cluster and drives them through the task runtime.
+///
+/// The engine models the serving layer a long-running solver deployment
+/// needs on top of the per-solve machinery the rest of the repo provides:
+///
+///  * **Co-scheduling.** `slots` independent solve lanes share the machine.
+///    Each lane owns a disjoint color range (`PlannerOptions::color_offset`),
+///    so the round-robin mapper places concurrent small systems on disjoint
+///    processors when capacity allows and interleaves them per-processor
+///    when it does not — many small solves per node, per the paper's
+///    "overhead hidden by spare cycles" regime.
+///  * **Shared-trace cache.** Solve contexts (regions + planner + operator)
+///    are pooled per (structure, lane). A job whose structure matches a
+///    pooled context reuses it with `enable_context_reuse()` +
+///    `rewind_workspaces()`: its solver loop replays the captured dependence
+///    schedule of the previous structurally-identical job (one pin-verified
+///    instance, then the analysis-skipping fast path) instead of re-running
+///    dependence analysis from scratch. Numerics are bitwise unaffected —
+///    replay is a scheduling optimization only.
+///  * **Admission control.** Arrivals enter a bounded queue; when it is
+///    full, the job is rejected immediately (load shedding) rather than
+///    queued unboundedly.
+///  * **Weighted fair ordering.** Queued jobs are dispatched to free lanes
+///    by attained service: the job whose tenant minimizes
+///    attained_service / weight runs next, FIFO within a tenant.
+///  * **Per-job SLO classification.** Each job runs under
+///    `core::solve_with_recovery` (checkpoint / restart / fallback) and
+///    classifies as completed, recovered (converged but needed restores),
+///    deadline_miss (converged after its latency SLO), aborted (any
+///    non-converged terminal state, including fault_aborted), or rejected.
+///
+/// Virtual-time semantics: jobs execute host-serially (the runtime is
+/// eager-functional) but occupy overlapping spans of virtual time. A job's
+/// admit task carries `not_before = start`, gating the whole solve — via
+/// data dependence on the solution/rhs regions — behind both the arrival
+/// time and the lane's previous job.
+
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/recovery.hpp"
+#include "core/solvers.hpp"
+#include "obs/service_report.hpp"
+#include "sparse/csr.hpp"
+#include "stencil/stencil.hpp"
+#include "support/error.hpp"
+
+namespace kdr::service {
+
+/// One solve job in the request stream.
+struct SolveRequest {
+    std::uint64_t id = 0;          ///< caller-chosen correlation id
+    std::string tenant = "default";
+    double arrival = 0.0;          ///< virtual submission time (seconds)
+    stencil::Spec spec{};          ///< system structure (the trace-cache key)
+    std::string solver = "cg";     ///< cg | bicg | bicgstab | gmres | minres
+    std::uint64_t rhs_seed = 1;
+    double tol = 1e-8;
+    int max_iterations = 200;
+    double deadline = 0.0;         ///< latency SLO in virtual seconds; 0 = none
+};
+
+/// Terminal classification of a job (see file comment for the SLO rules).
+enum class JobState : std::uint8_t {
+    completed,
+    recovered,
+    deadline_miss,
+    aborted,
+    rejected,
+};
+
+[[nodiscard]] constexpr const char* to_string(JobState s) {
+    switch (s) {
+    case JobState::completed: return "completed";
+    case JobState::recovered: return "recovered";
+    case JobState::deadline_miss: return "deadline_miss";
+    case JobState::aborted: return "aborted";
+    case JobState::rejected: return "rejected";
+    }
+    return "unknown";
+}
+
+/// Everything the engine knows about one finished (or rejected) job.
+struct JobResult {
+    SolveRequest request;
+    JobState state = JobState::rejected;
+    int slot = -1;                 ///< lane the job ran on (-1 = rejected)
+    double start = 0.0;            ///< virtual admission onto the lane
+    double finish = 0.0;           ///< final convergence measure ready time
+    double latency = 0.0;          ///< finish - arrival
+    core::SolveOutcome outcome;    ///< status, iterations, residual history
+    /// The job re-used a captured dependence schedule: no task recording
+    /// happened during the job, and at least one launch replayed.
+    bool trace_cache_hit = false;
+    double analysis_seconds = 0.0; ///< analysis-pipeline stall charged to the job
+};
+
+struct ServiceOptions {
+    int slots = 4;                 ///< concurrent solve lanes
+    Color pieces = 2;              ///< partition pieces per job
+    std::size_t max_queue = 16;    ///< bounded admission queue (excl. running)
+    /// Pool solve contexts per (structure, lane) — the shared-trace cache.
+    /// false = a fresh context per job: every job re-records its schedule
+    /// and pays full dependence analysis (the cold-cache baseline).
+    bool share_contexts = true;
+    std::string fallback_solver;   ///< recovery fallback ("" = none)
+    core::RecoveryOptions recovery;
+    /// Base planner configuration; `color_offset` is overwritten per lane.
+    core::PlannerOptions planner;
+    /// Tenant weight for fair ordering (absent tenants weigh 1.0).
+    std::map<std::string, double> tenant_weights;
+};
+
+/// Construct a solver factory from its service name.
+[[nodiscard]] inline core::SolverFactory<double> solver_factory(const std::string& name) {
+    KDR_REQUIRE(name == "cg" || name == "bicg" || name == "bicgstab" || name == "gmres" ||
+                    name == "minres",
+                "service: unknown solver '", name, "'");
+    return [name](core::Planner<double>& p) -> std::unique_ptr<core::Solver<double>> {
+        if (name == "cg") return std::make_unique<core::CgSolver<double>>(p);
+        if (name == "bicg") return std::make_unique<core::BiCgSolver<double>>(p);
+        if (name == "bicgstab") return std::make_unique<core::BiCgStabSolver<double>>(p);
+        if (name == "gmres") return std::make_unique<core::GmresSolver<double>>(p, 10);
+        return std::make_unique<core::MinresSolver<double>>(p);
+    };
+}
+
+class ServiceEngine {
+public:
+    explicit ServiceEngine(rt::Runtime& runtime, ServiceOptions options = {})
+        : rt_(runtime), opts_(std::move(options)), base_(runtime.capture_baseline()) {
+        KDR_REQUIRE(opts_.slots >= 1, "service: need at least one slot");
+        KDR_REQUIRE(opts_.pieces >= 1, "service: need at least one piece");
+        KDR_REQUIRE(opts_.max_queue >= 1, "service: need a queue of at least one");
+    }
+
+    ServiceEngine(const ServiceEngine&) = delete;
+    ServiceEngine& operator=(const ServiceEngine&) = delete;
+
+    void submit(SolveRequest req) { pending_.push_back(std::move(req)); }
+
+    /// Drain every submitted request through admission, fair ordering, and
+    /// execution. Returns all results so far (execution order).
+    const std::vector<JobResult>& run() {
+        std::stable_sort(pending_.begin(), pending_.end(),
+                         [](const SolveRequest& a, const SolveRequest& b) {
+                             return a.arrival < b.arrival;
+                         });
+        if (slot_free_.empty()) {
+            slot_free_.assign(static_cast<std::size_t>(opts_.slots), rt_.current_time());
+        }
+        std::size_t next = 0;
+        std::deque<SolveRequest> queue;
+        while (next < pending_.size() || !queue.empty()) {
+            // Next scheduling instant: the earliest-free lane — advanced to
+            // the next arrival when nothing is waiting.
+            std::size_t s = 0;
+            for (std::size_t i = 1; i < slot_free_.size(); ++i) {
+                if (slot_free_[i] < slot_free_[s]) s = i;
+            }
+            double now = slot_free_[s];
+            if (queue.empty()) now = std::max(now, pending_[next].arrival);
+            // Admission: arrivals at or before `now` enter the bounded queue
+            // in arrival order; a full queue sheds the job immediately.
+            while (next < pending_.size() && pending_[next].arrival <= now) {
+                if (queue.size() >= opts_.max_queue) {
+                    JobResult r;
+                    r.request = pending_[next];
+                    r.state = JobState::rejected;
+                    results_.push_back(std::move(r));
+                } else {
+                    queue.push_back(pending_[next]);
+                }
+                ++next;
+            }
+            if (queue.empty()) continue;
+            // Weighted fair ordering: dispatch the job whose tenant has the
+            // least attained service per unit weight; ties resolve to the
+            // oldest queued job, which also gives FIFO within a tenant.
+            std::size_t pick = 0;
+            double best = wfq_score(queue[0].tenant);
+            for (std::size_t i = 1; i < queue.size(); ++i) {
+                const double score = wfq_score(queue[i].tenant);
+                if (score < best) {
+                    best = score;
+                    pick = i;
+                }
+            }
+            SolveRequest req = std::move(queue[pick]);
+            queue.erase(queue.begin() + static_cast<std::ptrdiff_t>(pick));
+            const double start = std::max(now, req.arrival);
+            JobResult r = run_job(req, static_cast<int>(s), start);
+            slot_free_[s] = std::max(r.finish, start);
+            attained_[req.tenant] += std::max(0.0, r.finish - start);
+            results_.push_back(std::move(r));
+        }
+        pending_.clear();
+        return results_;
+    }
+
+    [[nodiscard]] const std::vector<JobResult>& results() const noexcept { return results_; }
+
+    /// Summarize every result so far into a ServiceReport.
+    [[nodiscard]] obs::ServiceReport report() const {
+        obs::ServiceReport rep;
+        rep.submitted = results_.size();
+        double first_arrival = 0.0;
+        double last_finish = 0.0;
+        bool any = false;
+        std::vector<double> latencies;
+        std::uint64_t hits = 0;
+        double analysis = 0.0;
+        struct Acc {
+            std::uint64_t jobs = 0;
+            std::uint64_t rejected = 0;
+            double service = 0.0;
+            double latency = 0.0;
+        };
+        std::map<std::string, Acc> tenants;
+        for (const JobResult& r : results_) {
+            Acc& acc = tenants[r.request.tenant];
+            switch (r.state) {
+            case JobState::completed: ++rep.completed; break;
+            case JobState::recovered: ++rep.recovered; break;
+            case JobState::deadline_miss: ++rep.deadline_misses; break;
+            case JobState::aborted: ++rep.aborted; break;
+            case JobState::rejected:
+                ++rep.rejected;
+                ++acc.rejected;
+                continue;
+            }
+            ++acc.jobs;
+            acc.service += std::max(0.0, r.finish - r.start);
+            acc.latency += r.latency;
+            latencies.push_back(r.latency);
+            if (r.trace_cache_hit) ++hits;
+            analysis += r.analysis_seconds;
+            first_arrival = any ? std::min(first_arrival, r.request.arrival)
+                                : r.request.arrival;
+            last_finish = any ? std::max(last_finish, r.finish) : r.finish;
+            any = true;
+        }
+        const std::uint64_t executed = rep.submitted - rep.rejected;
+        rep.makespan = any ? last_finish - first_arrival : 0.0;
+        if (rep.makespan > 0.0) {
+            rep.solves_per_second = static_cast<double>(executed) / rep.makespan;
+        }
+        if (!latencies.empty()) {
+            std::sort(latencies.begin(), latencies.end());
+            rep.latency_p50 = quantile(latencies, 0.5);
+            rep.latency_p99 = quantile(latencies, 0.99);
+        }
+        if (executed > 0) {
+            rep.trace_cache_hit_rate =
+                static_cast<double>(hits) / static_cast<double>(executed);
+            rep.analysis_seconds_per_job = analysis / static_cast<double>(executed);
+        }
+        rep.utilization = utilization(rep.makespan);
+        double total_service = 0.0;
+        for (const auto& [name, acc] : tenants) total_service += acc.service;
+        for (const auto& [name, acc] : tenants) {
+            obs::TenantStats t;
+            t.tenant = name;
+            t.weight = weight(name);
+            t.jobs = acc.jobs;
+            t.rejected = acc.rejected;
+            t.service_seconds = acc.service;
+            t.share = total_service > 0.0 ? acc.service / total_service : 0.0;
+            t.mean_latency = acc.jobs > 0 ? acc.latency / static_cast<double>(acc.jobs) : 0.0;
+            rep.tenants.push_back(std::move(t));
+        }
+        return rep;
+    }
+
+private:
+    /// One pooled solve context: regions + planner + operator for a fixed
+    /// structure on a fixed lane, reused across structurally-identical jobs.
+    struct Context {
+        std::unique_ptr<core::Planner<double>> planner;
+        rt::RegionId xr = 0;
+        rt::RegionId br = 0;
+        rt::FieldId xf = 0;
+        rt::FieldId bf = 0;
+        gidx n = 0;
+        std::uint64_t jobs = 0;
+    };
+
+    [[nodiscard]] double weight(const std::string& tenant) const {
+        const auto it = opts_.tenant_weights.find(tenant);
+        const double w = it == opts_.tenant_weights.end() ? 1.0 : it->second;
+        return w > 0.0 ? w : 1.0;
+    }
+
+    [[nodiscard]] double wfq_score(const std::string& tenant) const {
+        const auto it = attained_.find(tenant);
+        return (it == attained_.end() ? 0.0 : it->second) / weight(tenant);
+    }
+
+    static double quantile(const std::vector<double>& sorted, double q) {
+        // Nearest-rank on the sorted sample (exact, no interpolation).
+        const auto n = static_cast<double>(sorted.size());
+        auto rank = static_cast<std::size_t>(std::max(1.0, std::ceil(q * n)));
+        rank = std::min(rank, sorted.size());
+        return sorted[rank - 1];
+    }
+
+    [[nodiscard]] double utilization(double makespan) const {
+        if (makespan <= 0.0) return 0.0;
+        const sim::MachineDesc& m = rt_.machine();
+        double busy = 0.0;
+        for (int n = 0; n < m.nodes; ++n) {
+            double node = rt_.cluster().proc_busy({n, sim::ProcKind::CPU, 0});
+            for (int g = 0; g < m.gpus_per_node; ++g) {
+                node += rt_.cluster().proc_busy({n, sim::ProcKind::GPU, g});
+            }
+            const auto idx = static_cast<std::size_t>(n);
+            busy += node - (idx < base_.node_busy.size() ? base_.node_busy[idx] : 0.0);
+        }
+        const double procs = static_cast<double>(m.nodes) *
+                             (1.0 + static_cast<double>(m.gpus_per_node));
+        return busy / (makespan * procs);
+    }
+
+    [[nodiscard]] std::string context_key(const stencil::Spec& spec, int slot) {
+        std::string key = std::to_string(static_cast<int>(spec.kind)) + "/" +
+                          std::to_string(spec.nx) + "x" + std::to_string(spec.ny) + "x" +
+                          std::to_string(spec.nz) + "/s" + std::to_string(slot);
+        // Cold-cache mode: a unique key per job defeats pooling on purpose.
+        if (!opts_.share_contexts) key += "#" + std::to_string(cold_serial_++);
+        return key;
+    }
+
+    Context& context_for(const SolveRequest& req, int slot) {
+        const std::string key = context_key(req.spec, slot);
+        const auto it = contexts_.find(key);
+        if (it != contexts_.end()) return it->second;
+
+        Context cx;
+        cx.n = req.spec.unknowns();
+        const IndexSpace D = IndexSpace::create(cx.n, "svc");
+        cx.xr = rt_.create_region(D, "svc_x");
+        cx.br = rt_.create_region(D, "svc_b");
+        cx.xf = rt_.add_field<double>(cx.xr, "v");
+        cx.bf = rt_.add_field<double>(cx.br, "v");
+        core::PlannerOptions popts = opts_.planner;
+        // Disjoint color range per lane: the round-robin mapper turns colors
+        // into processors, so lanes land on disjoint processor slots when
+        // the machine has capacity for slots * pieces of them.
+        popts.color_offset = static_cast<Color>(slot) * opts_.pieces;
+        cx.planner = std::make_unique<core::Planner<double>>(rt_, popts);
+        cx.planner->add_sol_vector(cx.xr, cx.xf, Partition::equal(D, opts_.pieces));
+        cx.planner->add_rhs_vector(cx.br, cx.bf, Partition::equal(D, opts_.pieces));
+        cx.planner->add_operator(std::make_shared<CsrMatrix<double>>(
+                                     stencil::laplacian_csr(req.spec, D, D)),
+                                 0, 0);
+        if (opts_.share_contexts) cx.planner->enable_context_reuse();
+        return contexts_.emplace(key, std::move(cx)).first->second;
+    }
+
+    /// Reset the context's data to the job's problem and gate the solve at
+    /// `start`: one admit task write-fences both vectors (so the solve also
+    /// waits for the lane's previous job) and seeds the virtual clock.
+    void admit_job(Context& cx, const SolveRequest& req, int slot, double start) {
+        const std::vector<double> rhs = stencil::random_rhs(cx.n, req.rhs_seed);
+        rt::TaskLaunch t;
+        t.name = "svc_admit";
+        t.color = static_cast<Color>(slot) * opts_.pieces;
+        t.not_before = start;
+        t.cost = {0.0, 16.0 * static_cast<double>(cx.n)};
+        t.requirements = {{cx.xr, cx.xf, rt::Privilege::WriteOnly, IntervalSet::full(cx.n)},
+                          {cx.br, cx.bf, rt::Privilege::WriteOnly, IntervalSet::full(cx.n)}};
+        t.body = [rhs](rt::TaskContext& ctx) {
+            auto x = ctx.accessor<double>(0);
+            auto b = ctx.accessor<double>(1);
+            for (std::size_t i = 0; i < rhs.size(); ++i) {
+                x[i] = 0.0;
+                b[i] = rhs[i];
+            }
+        };
+        rt_.launch(t);
+    }
+
+    JobResult run_job(const SolveRequest& req, int slot, double start) {
+        JobResult r;
+        r.request = req;
+        r.slot = slot;
+        r.start = start;
+
+        Context& cx = context_for(req, slot);
+        cx.planner->rewind_workspaces();
+
+        const obs::Registry& m = rt_.metrics();
+        const double rec0 = m.counter_value("trace_recorded_tasks");
+        const double replay0 = m.counter_value("trace_replayed_tasks");
+        const double skip0 = m.counter_value("trace_depanalysis_skipped");
+        const double stall0 = m.counter_value("analysis_stall_seconds");
+
+        bool faulted_outside = false;
+        try {
+            admit_job(cx, req, slot, start);
+            r.outcome = core::solve_with_recovery<double>(
+                *cx.planner, solver_factory(req.solver), req.tol, req.max_iterations,
+                opts_.recovery,
+                opts_.fallback_solver.empty() ? core::SolverFactory<double>{}
+                                              : solver_factory(opts_.fallback_solver));
+        } catch (const rt::TaskFailedError&) {
+            // A fault killed the admit task itself (before any recovery
+            // scope existed): the job aborts with whatever history it has.
+            faulted_outside = true;
+            r.outcome.status = core::SolveStatus::fault_aborted;
+        }
+        ++cx.jobs;
+
+        r.finish = start;
+        for (const obs::ConvergenceSample& s : r.outcome.history) {
+            r.finish = std::max(r.finish, s.virtual_time);
+        }
+        r.latency = r.finish - req.arrival;
+        r.analysis_seconds = m.counter_value("analysis_stall_seconds") - stall0;
+        const double recorded = m.counter_value("trace_recorded_tasks") - rec0;
+        const double replayed = (m.counter_value("trace_replayed_tasks") - replay0) +
+                                (m.counter_value("trace_depanalysis_skipped") - skip0);
+        r.trace_cache_hit = recorded == 0.0 && replayed > 0.0;
+
+        if (faulted_outside || r.outcome.status != core::SolveStatus::converged) {
+            r.state = JobState::aborted;
+        } else if (req.deadline > 0.0 && r.latency > req.deadline) {
+            r.state = JobState::deadline_miss;
+        } else if (r.outcome.restores > 0) {
+            r.state = JobState::recovered;
+        } else {
+            r.state = JobState::completed;
+        }
+        return r;
+    }
+
+    rt::Runtime& rt_;
+    ServiceOptions opts_;
+    rt::Runtime::SolveBaseline base_;
+    std::vector<SolveRequest> pending_;
+    std::vector<JobResult> results_;
+    std::vector<double> slot_free_;
+    std::map<std::string, double> attained_;
+    std::map<std::string, Context> contexts_;
+    std::uint64_t cold_serial_ = 0;
+};
+
+} // namespace kdr::service

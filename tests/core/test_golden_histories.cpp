@@ -86,6 +86,45 @@ TEST_P(GoldenHistory, ZeroRateFaultModelLeavesHistoryUntouched) {
     }
 }
 
+TEST(GoldenRecovery, RecoveredSolveHistoryBitwiseStableAcrossConfigs) {
+    const GoldenEntry* golden = nullptr;
+    for (const GoldenEntry& e : golden_histories()) {
+        if (std::string("recovery") == e.solver) golden = &e;
+    }
+    ASSERT_NE(golden, nullptr)
+        << "no golden recovery history; regenerate golden_histories.inc";
+    ASSERT_FALSE(golden->history.empty());
+
+    for (const Config c : {Config{false, false}, Config{false, true}, Config{true, false},
+                           Config{true, true}}) {
+        SCOPED_TRACE(config_name(c));
+        const std::vector<double> h = run_recovery_history(c.trace, c.fused);
+        ASSERT_EQ(h.size(), golden->history.size());
+        for (std::size_t i = 0; i < h.size(); ++i) {
+            EXPECT_EQ(h[i], golden->history[i])
+                << "sample " << i << ": got " << std::hexfloat << h[i] << ", golden "
+                << golden->history[i];
+        }
+    }
+}
+
+TEST(GoldenRecovery, PostRestoreSampleEqualsInitialResidual) {
+    // The phantom-sample regression: after the restore the history must jump
+    // back to the restored iterate's residual — here the initial residual,
+    // since the checkpoint never advanced — not repeat the failed attempt's
+    // last pre-restore value.
+    const std::vector<double> h = run_recovery_history(false, false);
+    ASSERT_GE(h.size(), 6u);
+    // CG records: initial sample, then one per step until stagnation; the
+    // recovery sample follows and must be bitwise the initial residual.
+    const double r0 = h.front();
+    bool found = false;
+    for (std::size_t i = 1; i < h.size() && !found; ++i) {
+        found = h[i] == r0;
+    }
+    EXPECT_TRUE(found) << "no history sample returns to the restored residual";
+}
+
 INSTANTIATE_TEST_SUITE_P(Solvers, GoldenHistory, ::testing::ValuesIn(solver_names()),
                          [](const ::testing::TestParamInfo<std::string>& pi) {
                              return pi.param;

@@ -1,0 +1,165 @@
+/// Per-solve report deltas: counters, histograms, busy timelines, profiles,
+/// and spans on one Runtime all accumulate across solves, so a report built
+/// for the second solve used to double-count the first (the "two solves, one
+/// runtime" bug). These tests pin the snapshot/delta fix: a report built
+/// against a baseline captured between the solves must describe only the
+/// second solve.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/monitor.hpp"
+#include "core/solvers.hpp"
+#include "obs/report.hpp"
+#include "runtime/runtime.hpp"
+#include "stencil/stencil.hpp"
+
+namespace kdr::obs {
+namespace {
+
+struct SolveResult {
+    SolveReport report;
+    int iterations = 0;
+};
+
+/// One small functional CG solve on an existing runtime. Each call builds its
+/// own regions and planner, so back-to-back calls are structurally identical
+/// workloads whose metrics land in the same shared registry.
+SolveResult run_cg_on(rt::Runtime& runtime, const rt::Runtime::SolveBaseline* since) {
+    SolveResult out;
+    const stencil::Spec spec = stencil::Spec::cube(stencil::Kind::D2P5, gidx{256});
+    const gidx n = spec.unknowns();
+    const IndexSpace D = IndexSpace::create(n, "D");
+    const IndexSpace R = IndexSpace::create(n, "R");
+    const rt::RegionId xr = runtime.create_region(D, "x");
+    const rt::RegionId br = runtime.create_region(R, "b");
+    const rt::FieldId xf = runtime.add_field<double>(xr, "v");
+    const rt::FieldId bf = runtime.add_field<double>(br, "v");
+    const auto b = stencil::random_rhs(n, 7);
+    auto bd = runtime.field_data<double>(br, bf);
+    std::copy(b.begin(), b.end(), bd.begin());
+
+    core::Planner<double> planner(runtime);
+    planner.add_sol_vector(xr, xf, Partition::equal(D, 4));
+    planner.add_rhs_vector(br, bf, Partition::equal(R, 4));
+    planner.add_operator(
+        std::make_shared<CsrMatrix<double>>(stencil::laplacian_csr(spec, D, R)), 0, 0);
+
+    core::CgSolver<double> inner(planner);
+    core::SolverMonitor<double> cg(inner);
+    while (cg.get_convergence_measure().value > 1e-8 && out.iterations < 500) {
+        cg.step();
+        ++out.iterations;
+    }
+    out.report = runtime.build_solve_report(cg.report_samples(), "converged", since);
+    return out;
+}
+
+TEST(SolveReportDelta, SecondSolveReportsOnlyItsOwnWork) {
+    sim::MachineDesc m = sim::MachineDesc::lassen(2);
+    m.gpus_per_node = 2;
+    rt::Runtime runtime(m);
+    runtime.set_profiling(true);
+
+    const rt::Runtime::SolveBaseline base0 = runtime.capture_baseline();
+    const SolveResult first = run_cg_on(runtime, &base0);
+    const rt::Runtime::SolveBaseline base1 = runtime.capture_baseline();
+    const SolveResult second = run_cg_on(runtime, &base1);
+
+    ASSERT_GT(first.iterations, 0);
+    EXPECT_EQ(second.iterations, first.iterations);
+
+    // The regression: a cumulative report attributes both solves to the
+    // second one. With the baseline, the two per-solve reports describe the
+    // same workload.
+    EXPECT_EQ(second.report.tasks, first.report.tasks);
+    EXPECT_NEAR(second.report.busy_total, first.report.busy_total,
+                1e-9 * first.report.busy_total);
+    EXPECT_NEAR(second.report.transfer_bytes, first.report.transfer_bytes,
+                1e-9 * first.report.transfer_bytes);
+    EXPECT_EQ(second.report.transfer_count, first.report.transfer_count);
+
+    // And the cumulative view is exactly the sum of the two deltas.
+    const SolveReport whole = runtime.build_solve_report();
+    EXPECT_EQ(whole.tasks, first.report.tasks + second.report.tasks);
+    EXPECT_NEAR(whole.busy_total, first.report.busy_total + second.report.busy_total,
+                1e-9 * whole.busy_total);
+    EXPECT_NEAR(whole.makespan, first.report.makespan + second.report.makespan,
+                1e-9 * whole.makespan);
+}
+
+TEST(SolveReportDelta, TaskKindRowsCoverOnlyTheDeltaWindow) {
+    sim::MachineDesc m = sim::MachineDesc::lassen(2);
+    m.gpus_per_node = 2;
+    rt::Runtime runtime(m);
+    runtime.set_profiling(true);
+
+    const rt::Runtime::SolveBaseline base0 = runtime.capture_baseline();
+    const SolveResult first = run_cg_on(runtime, &base0);
+    const rt::Runtime::SolveBaseline base1 = runtime.capture_baseline();
+    const SolveResult second = run_cg_on(runtime, &base1);
+
+    ASSERT_FALSE(first.report.task_kinds.empty());
+    ASSERT_EQ(second.report.task_kinds.size(), first.report.task_kinds.size());
+    for (std::size_t i = 0; i < first.report.task_kinds.size(); ++i) {
+        EXPECT_EQ(second.report.task_kinds[i].name, first.report.task_kinds[i].name);
+        EXPECT_EQ(second.report.task_kinds[i].count, first.report.task_kinds[i].count);
+    }
+
+    // Per-node rows subtract the first solve's busy seconds too.
+    ASSERT_EQ(second.report.nodes.size(), first.report.nodes.size());
+    for (std::size_t i = 0; i < first.report.nodes.size(); ++i) {
+        EXPECT_NEAR(second.report.nodes[i].busy, first.report.nodes[i].busy,
+                    1e-9 * (first.report.nodes[i].busy + 1e-300));
+    }
+
+    // Phase spans: identical solves record identical phase counts.
+    ASSERT_FALSE(first.report.phases.empty());
+    ASSERT_EQ(second.report.phases.size(), first.report.phases.size());
+    for (std::size_t i = 0; i < first.report.phases.size(); ++i) {
+        EXPECT_EQ(second.report.phases[i].name, first.report.phases[i].name);
+        EXPECT_EQ(second.report.phases[i].count, first.report.phases[i].count);
+    }
+}
+
+TEST(SolveReportDelta, DurationQuantilesUseOnlyPostBaselineSamples) {
+    Registry reg;
+    Histogram& h = reg.histogram("latency_seconds", Histogram::exponential_bounds(1e-6, 2.0, 20));
+    h.observe(1e-5);
+    h.observe(1e-5);
+    const RegistrySnapshot snap = reg.snapshot();
+    h.observe(1.0);
+    h.observe(1.0);
+    h.observe(1.0);
+
+    const HistogramBaseline* base = reg.histogram_baseline(snap, "latency_seconds");
+    ASSERT_NE(base, nullptr);
+    // Cumulative median straddles the small samples; the delta view sees only
+    // the three large ones.
+    EXPECT_LT(h.quantile(0.1), 1e-3);
+    EXPECT_GE(h.quantile_since(0.1, base), 0.5);
+    EXPECT_GE(h.quantile_since(0.5, base), 0.5);
+
+    // A histogram created after the snapshot has no baseline.
+    reg.histogram("late_arrival", Histogram::exponential_bounds(1e-6, 2.0, 4));
+    EXPECT_EQ(reg.histogram_baseline(snap, "late_arrival"), nullptr);
+}
+
+TEST(SolveReportDelta, CounterDeltasByNameAndLabel) {
+    Registry reg;
+    Counter& a = reg.counter("jobs_total", {{"tenant", "a"}});
+    Counter& b = reg.counter("jobs_total", {{"tenant", "b"}});
+    a.add(3.0);
+    const RegistrySnapshot snap = reg.snapshot();
+    a.add(2.0);
+    b.add(5.0);
+
+    EXPECT_DOUBLE_EQ(reg.counter_value_since("jobs_total", snap, {{"tenant", "a"}}), 2.0);
+    // A counter absent from the snapshot deltas against zero.
+    EXPECT_DOUBLE_EQ(reg.counter_value_since("jobs_total", snap, {{"tenant", "b"}}), 5.0);
+    EXPECT_DOUBLE_EQ(reg.counter_total_since("jobs_total", snap), 7.0);
+}
+
+} // namespace
+} // namespace kdr::obs

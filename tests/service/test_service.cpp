@@ -1,0 +1,267 @@
+/// Solver-as-a-service engine: bounded-queue admission control, weighted
+/// fair ordering, the shared-trace cache (warm jobs replay a
+/// structurally-identical job's captured schedule, bitwise-identically),
+/// arrival gating in virtual time, and SLO classification.
+
+#include "service/service.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace kdr::service {
+namespace {
+
+/// Validation mode pins traced launches to full dependence analysis (the
+/// shadow race detector audits resolved edges), so assertions about the
+/// analysis-skipping fast path cannot hold under KDR_VALIDATE.
+bool validation_forced() {
+    const char* e = std::getenv("KDR_VALIDATE");
+    return e != nullptr && *e != '\0' && std::string_view(e) != "0";
+}
+
+SolveRequest small_job(std::uint64_t id, const std::string& tenant = "default",
+                       double arrival = 0.0) {
+    SolveRequest req;
+    req.id = id;
+    req.tenant = tenant;
+    req.arrival = arrival;
+    req.spec.kind = stencil::Kind::D2P5;
+    req.spec.nx = 16;
+    req.spec.ny = 16;
+    req.rhs_seed = 100 + id;
+    req.tol = 1e-8;
+    req.max_iterations = 100;
+    return req;
+}
+
+TEST(Service, BoundedQueueRejectsOverflow) {
+    rt::Runtime runtime(sim::MachineDesc::lassen(2));
+    ServiceOptions opts;
+    opts.slots = 1;
+    opts.max_queue = 2;
+    ServiceEngine engine(runtime, opts);
+    // Five simultaneous arrivals into a queue of two on one lane: the first
+    // two are admitted, the other three are shed before anything runs.
+    for (std::uint64_t i = 0; i < 5; ++i) engine.submit(small_job(i));
+    const std::vector<JobResult>& results = engine.run();
+    ASSERT_EQ(results.size(), 5u);
+
+    int completed = 0;
+    int rejected = 0;
+    for (const JobResult& r : results) {
+        if (r.state == JobState::rejected) {
+            ++rejected;
+            EXPECT_EQ(r.slot, -1);
+            EXPECT_TRUE(r.outcome.history.empty());
+        } else {
+            EXPECT_EQ(r.state, JobState::completed);
+            ++completed;
+        }
+    }
+    EXPECT_EQ(completed, 2);
+    EXPECT_EQ(rejected, 3);
+
+    const obs::ServiceReport rep = engine.report();
+    EXPECT_EQ(rep.submitted, 5u);
+    EXPECT_EQ(rep.completed, 2u);
+    EXPECT_EQ(rep.rejected, 3u);
+    EXPECT_GT(rep.solves_per_second, 0.0);
+    EXPECT_GT(rep.utilization, 0.0);
+}
+
+TEST(Service, WeightedFairOrderingFavorsHeavierTenant) {
+    rt::Runtime runtime(sim::MachineDesc::lassen(2));
+    ServiceOptions opts;
+    opts.slots = 1;
+    opts.max_queue = 64;
+    opts.tenant_weights = {{"gold", 3.0}, {"bronze", 1.0}};
+    ServiceEngine engine(runtime, opts);
+    // Interleaved submissions, all arriving at once: with equal-cost jobs,
+    // weighted fair ordering should give gold roughly three dispatches per
+    // bronze dispatch while the queue is contended.
+    for (std::uint64_t i = 0; i < 6; ++i) {
+        engine.submit(small_job(2 * i, "bronze"));
+        engine.submit(small_job(2 * i + 1, "gold"));
+    }
+    const std::vector<JobResult>& results = engine.run();
+    ASSERT_EQ(results.size(), 12u);
+
+    int gold_in_first_8 = 0;
+    for (std::size_t i = 0; i < 8; ++i) {
+        if (results[i].request.tenant == "gold") ++gold_in_first_8;
+    }
+    EXPECT_GE(gold_in_first_8, 5);
+
+    const obs::ServiceReport rep = engine.report();
+    ASSERT_EQ(rep.tenants.size(), 2u);
+    double gold_service = 0.0;
+    double bronze_service = 0.0;
+    for (const obs::TenantStats& t : rep.tenants) {
+        EXPECT_EQ(t.jobs, 6u);
+        if (t.tenant == "gold") {
+            EXPECT_EQ(t.weight, 3.0);
+            gold_service = t.service_seconds;
+        } else {
+            bronze_service = t.service_seconds;
+        }
+    }
+    EXPECT_GT(gold_service, 0.0);
+    EXPECT_GT(bronze_service, 0.0);
+}
+
+TEST(Service, WarmContextReplaysSharedTrace) {
+    rt::Runtime runtime(sim::MachineDesc::lassen(2));
+    ServiceOptions opts;
+    opts.slots = 1;
+    ServiceEngine engine(runtime, opts);
+    // Three structurally-identical jobs on one lane: the first records the
+    // schedule (cold), the rest replay it from the shared-trace cache.
+    for (std::uint64_t i = 0; i < 3; ++i) engine.submit(small_job(i));
+    const std::vector<JobResult>& results = engine.run();
+    ASSERT_EQ(results.size(), 3u);
+
+    EXPECT_FALSE(results[0].trace_cache_hit);
+    EXPECT_TRUE(results[1].trace_cache_hit);
+    EXPECT_TRUE(results[2].trace_cache_hit);
+
+    const obs::ServiceReport rep = engine.report();
+    EXPECT_NEAR(rep.trace_cache_hit_rate, 2.0 / 3.0, 1e-12);
+
+    if (!validation_forced()) {
+        // Warm jobs re-verify each pinned trace once (the untraced admit
+        // task makes them stale), then ride the fast path.
+        EXPECT_GE(runtime.metrics().counter_value("trace_pinned_verifies"), 2.0);
+        // The point of the cache: warm jobs skip the analysis pipeline
+        // entirely, so their charged analysis stall drops to zero.
+        EXPECT_GT(results[0].analysis_seconds, 0.0);
+        EXPECT_EQ(results[1].analysis_seconds, 0.0);
+        EXPECT_EQ(results[2].analysis_seconds, 0.0);
+        EXPECT_GT(runtime.metrics().counter_value("trace_depanalysis_skipped"), 0.0);
+    }
+}
+
+TEST(Service, WarmAndColdHistoriesBitwiseIdentical) {
+    // Replay is a scheduling optimization only: the same request stream
+    // through pooled contexts (warm) and per-job contexts (cold) must yield
+    // bitwise-identical residual histories job for job.
+    const auto run_arm = [](bool share) {
+        rt::Runtime runtime(sim::MachineDesc::lassen(2));
+        ServiceOptions opts;
+        opts.slots = 2;
+        opts.max_queue = 64;
+        opts.share_contexts = share;
+        ServiceEngine engine(runtime, opts);
+        for (std::uint64_t i = 0; i < 6; ++i) {
+            SolveRequest req = small_job(i);
+            if (i % 2 == 1) req.spec.nx = 24; // two structures in the mix
+            req.solver = i % 3 == 0 ? "cg" : "bicgstab";
+            engine.submit(req);
+        }
+        return engine.run();
+    };
+    const std::vector<JobResult> warm = run_arm(true);
+    const std::vector<JobResult> cold = run_arm(false);
+    ASSERT_EQ(warm.size(), cold.size());
+    for (const JobResult& w : warm) {
+        const JobResult* c = nullptr;
+        for (const JobResult& x : cold) {
+            if (x.request.id == w.request.id) c = &x;
+        }
+        ASSERT_NE(c, nullptr);
+        ASSERT_EQ(w.outcome.history.size(), c->outcome.history.size())
+            << "job " << w.request.id;
+        for (std::size_t i = 0; i < w.outcome.history.size(); ++i) {
+            EXPECT_EQ(w.outcome.history[i].residual, c->outcome.history[i].residual)
+                << "job " << w.request.id << " sample " << i;
+        }
+    }
+}
+
+TEST(Service, ArrivalGatesVirtualStart) {
+    rt::Runtime runtime(sim::MachineDesc::lassen(2));
+    ServiceOptions opts;
+    opts.slots = 2;
+    ServiceEngine engine(runtime, opts);
+    engine.submit(small_job(0, "default", /*arrival=*/0.0));
+    engine.submit(small_job(1, "default", /*arrival=*/5.0));
+    const std::vector<JobResult>& results = engine.run();
+    ASSERT_EQ(results.size(), 2u);
+    for (const JobResult& r : results) {
+        EXPECT_GE(r.start, r.request.arrival);
+        EXPECT_GT(r.finish, r.start);
+        EXPECT_NEAR(r.latency, r.finish - r.request.arrival, 1e-15);
+        // The admit task's not_before pushes the whole solve past the
+        // arrival instant in virtual time.
+        for (const obs::ConvergenceSample& s : r.outcome.history) {
+            EXPECT_GE(s.virtual_time, r.request.arrival);
+        }
+    }
+    EXPECT_GE(runtime.current_time(), 5.0);
+}
+
+TEST(Service, SloClassification) {
+    rt::Runtime runtime(sim::MachineDesc::lassen(2));
+    ServiceOptions opts;
+    opts.slots = 1;
+    ServiceEngine engine(runtime, opts);
+    SolveRequest tight = small_job(0);
+    tight.deadline = 1e-9; // virtually impossible latency SLO
+    SolveRequest loose = small_job(1);
+    loose.deadline = 1e9;
+    SolveRequest hopeless = small_job(2);
+    hopeless.tol = 1e-30; // unreachable tolerance
+    hopeless.max_iterations = 5;
+    engine.submit(tight);
+    engine.submit(loose);
+    engine.submit(hopeless);
+    const std::vector<JobResult>& results = engine.run();
+    ASSERT_EQ(results.size(), 3u);
+    for (const JobResult& r : results) {
+        switch (r.request.id) {
+        case 0: EXPECT_EQ(r.state, JobState::deadline_miss); break;
+        case 1: EXPECT_EQ(r.state, JobState::completed); break;
+        default:
+            EXPECT_EQ(r.state, JobState::aborted);
+            EXPECT_EQ(r.outcome.status, core::SolveStatus::max_iter);
+        }
+    }
+    const obs::ServiceReport rep = engine.report();
+    EXPECT_EQ(rep.deadline_misses, 1u);
+    EXPECT_EQ(rep.completed, 1u);
+    EXPECT_EQ(rep.aborted, 1u);
+}
+
+TEST(Service, ReportRoundTripsThroughJson) {
+    rt::Runtime runtime(sim::MachineDesc::lassen(2));
+    ServiceOptions opts;
+    opts.slots = 2;
+    opts.tenant_weights = {{"a", 2.0}};
+    ServiceEngine engine(runtime, opts);
+    engine.submit(small_job(0, "a"));
+    engine.submit(small_job(1, "b"));
+    engine.run();
+    const obs::ServiceReport rep = engine.report();
+    const obs::ServiceReport back = obs::ServiceReport::from_json(rep.to_json());
+    EXPECT_EQ(back.submitted, rep.submitted);
+    EXPECT_EQ(back.completed, rep.completed);
+    EXPECT_EQ(back.rejected, rep.rejected);
+    EXPECT_EQ(back.makespan, rep.makespan);
+    EXPECT_EQ(back.solves_per_second, rep.solves_per_second);
+    EXPECT_EQ(back.latency_p50, rep.latency_p50);
+    EXPECT_EQ(back.latency_p99, rep.latency_p99);
+    EXPECT_EQ(back.trace_cache_hit_rate, rep.trace_cache_hit_rate);
+    ASSERT_EQ(back.tenants.size(), rep.tenants.size());
+    for (std::size_t i = 0; i < back.tenants.size(); ++i) {
+        EXPECT_EQ(back.tenants[i].tenant, rep.tenants[i].tenant);
+        EXPECT_EQ(back.tenants[i].weight, rep.tenants[i].weight);
+        EXPECT_EQ(back.tenants[i].jobs, rep.tenants[i].jobs);
+        EXPECT_EQ(back.tenants[i].share, rep.tenants[i].share);
+    }
+}
+
+} // namespace
+} // namespace kdr::service
