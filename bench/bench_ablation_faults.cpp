@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "core/recovery.hpp"
+#include "core/solver_registry.hpp"
 #include "core/solvers.hpp"
 #include "simcluster/fault_model.hpp"
 #include "stencil/stencil.hpp"
@@ -98,21 +99,18 @@ RunResult run_once(gidx n_side, double fail_rate, std::uint64_t seed, Policy pol
         planner.add_operator(
             std::make_shared<CsrMatrix<double>>(stencil::laplacian_csr(spec, D, R)), 0, 0);
 
-        const auto make_cg = [](core::Planner<double>& p) {
-            return std::make_unique<core::CgSolver<double>>(p);
-        };
+        const auto make_cg = core::make_solver_factory<double>("cg");
         if (policy == Policy::retry_recover) {
             core::RecoveryOptions recov;
             recov.checkpoint_every = 20;
             recov.max_restarts = 3;
             const core::SolveOutcome o = core::solve_with_recovery<double>(
                 planner, make_cg, 1e-8, max_iterations, recov,
-                [](core::Planner<double>& p) {
-                    return std::make_unique<core::GmresSolver<double>>(p, 10);
-                });
+                core::make_solver_factory<double>("gmres/10"));
             out.converged = o.status == core::SolveStatus::converged;
         } else {
-            core::CgSolver<double> cg(planner);
+            const auto cg_owner = core::make_solver<double>("cg", planner);
+            core::Solver<double>& cg = *cg_owner;
             const core::SolveResult r = core::solve(cg, 1e-8, max_iterations);
             out.converged = r.status == core::SolveStatus::converged;
         }

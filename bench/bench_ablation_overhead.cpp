@@ -35,7 +35,8 @@ double cg_us_per_it(const kdr::stencil::Spec& spec, const kdr::sim::MachineDesc&
     bench::LegionStencilSystem sys =
         bench::make_legion_stencil(spec, machine, static_cast<Color>(machine.total_gpus()),
                                    bench::TraceMode::Fast, core::PlannerOptions{}, profile);
-    core::CgSolver<double> cg(*sys.planner);
+    const auto cg_owner = core::make_solver<double>("cg", *sys.planner);
+    core::Solver<double>& cg = *cg_owner;
     return bench::measure_per_iteration(*sys.runtime, cg, 10, timed);
 }
 
@@ -67,7 +68,8 @@ std::vector<double> functional_history(bool profile, int iters) {
     planner.add_rhs_vector(br, bf, Partition::equal(D, 4));
     planner.add_operator(
         std::make_shared<CsrMatrix<double>>(stencil::laplacian_csr(spec, D, D)), 0, 0);
-    core::CgSolver<double> cg(planner);
+    const auto cg_owner = core::make_solver<double>("cg", planner);
+    core::Solver<double>& cg = *cg_owner;
     std::vector<double> history;
     history.reserve(static_cast<std::size_t>(iters));
     for (int i = 0; i < iters && cg.status() == core::SolveStatus::running; ++i) {
@@ -99,7 +101,8 @@ int main(int argc, char** argv) {
                 bench::LegionStencilSystem sys = bench::make_legion_stencil(
                     spec, machine, static_cast<Color>(machine.total_gpus()),
                     bench::TraceMode::None);
-                core::CgSolver<double> cg(*sys.planner);
+                const auto cg_owner = core::make_solver<double>("cg", *sys.planner);
+                core::Solver<double>& cg = *cg_owner;
                 row.push_back(bench::us(
                     bench::measure_per_iteration(*sys.runtime, cg, 10, timed)));
             }

@@ -30,7 +30,8 @@ int main(int argc, char** argv) {
         if (pieces < 1) continue;
         bench::LegionStencilSystem sys =
             bench::make_legion_stencil(spec, machine, pieces, bench::TraceMode::None);
-        core::CgSolver<double> cg(*sys.planner);
+        const auto cg_owner = core::make_solver<double>("cg", *sys.planner);
+        core::Solver<double>& cg = *cg_owner;
         const double t = bench::measure_per_iteration(*sys.runtime, cg, 10, timed);
         table.add_row({std::to_string(pieces),
                        Table::num(static_cast<double>(pieces) / machine.total_gpus(), 2),

@@ -47,7 +47,9 @@ int main(int argc, char** argv) {
             planner.add_operator(
                 std::make_shared<CsrMatrix<double>>(stencil::laplacian_csr(spec, D, D)), 0,
                 0);
-            core::GmresSolver<double> gmres(planner, m);
+            const auto gmres_owner = core::make_solver<double>(
+                "gmres/" + std::to_string(m), planner);
+            core::Solver<double>& gmres = *gmres_owner;
             iters = core::solve_to_tolerance(gmres, tol, 20000);
         }
         // Timing run: virtual seconds per iteration (phantom data).
@@ -56,7 +58,9 @@ int main(int argc, char** argv) {
             bench::LegionStencilSystem sys = bench::make_legion_stencil(
                 spec, machine, static_cast<Color>(machine.total_gpus()),
                 bench::TraceMode::None);
-            core::GmresSolver<double> gmres(*sys.planner, m);
+            const auto gmres_owner = core::make_solver<double>(
+                "gmres/" + std::to_string(m), *sys.planner);
+            core::Solver<double>& gmres = *gmres_owner;
             per_iter = bench::measure_per_iteration(*sys.runtime, gmres, m + 2, 3 * m, m);
         }
         table.add_row({std::to_string(m), std::to_string(iters), bench::us(per_iter),

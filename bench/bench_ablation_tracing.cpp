@@ -93,7 +93,8 @@ bool check_convergence_identity(const sim::MachineDesc& machine, int iters) {
         planner.add_rhs_vector(br, bf, Partition::equal(D, pieces));
         planner.add_operator(
             std::make_shared<CsrMatrix<double>>(stencil::laplacian_csr(spec, D, D)), 0, 0);
-        core::CgSolver<double> cg(planner);
+        const auto cg_owner = core::make_solver<double>("cg", planner);
+        core::Solver<double>& cg = *cg_owner;
         std::vector<double> res;
         res.reserve(static_cast<std::size_t>(iters));
         for (int i = 0; i < iters; ++i) {

@@ -110,7 +110,8 @@ Fig10Run run(bool dynamic_balancing, int nodes, gidx nx, gidx ny, int iters, dou
         }
     }
 
-    core::CgSolver<double> cg(planner);
+    const auto cg_owner = core::make_solver<double>("cg", planner);
+    core::Solver<double>& cg = *cg_owner;
 
     // Reference T0: per-node busy time per iteration under the average
     // background load (20 of 40 cores occupied).

@@ -131,7 +131,8 @@ double run_multiop(gidx n_side, const sim::MachineDesc& machine, int timed) {
     // y2's first column reads x1's seam column.
     add_seam(D1, p2, s1, r2, /*src_col_offset=*/hy - 1);
 
-    core::BiCgStabSolver<double> solver(planner);
+    const auto solver_owner = core::make_solver<double>("bicgstab", planner);
+    core::Solver<double>& solver = *solver_owner;
     return bench::measure_per_iteration(*runtime, solver, 10, timed);
 }
 
@@ -142,7 +143,8 @@ double run_single(gidx n_side, const sim::MachineDesc& machine, int timed) {
     spec.ny = n_side;
     bench::LegionStencilSystem sys = bench::make_legion_stencil(
         spec, machine, static_cast<Color>(machine.total_gpus()), bench::TraceMode::None);
-    core::BiCgStabSolver<double> solver(*sys.planner);
+    const auto solver_owner = core::make_solver<double>("bicgstab", *sys.planner);
+    core::Solver<double>& solver = *solver_owner;
     return bench::measure_per_iteration(*sys.runtime, solver, 10, timed);
 }
 

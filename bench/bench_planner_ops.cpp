@@ -8,6 +8,7 @@
 
 #include <memory>
 
+#include "core/solver_registry.hpp"
 #include "core/solvers.hpp"
 #include "stencil/stencil.hpp"
 
@@ -71,7 +72,8 @@ BENCHMARK(BM_Planner_Matmul)->Arg(1)->Arg(8)->Arg(64);
 
 void BM_Planner_CgStep(benchmark::State& state) {
     PlannerBench b(1 << 16, static_cast<Color>(state.range(0)));
-    core::CgSolver<double> cg(*b.planner);
+    const auto cg_owner = core::make_solver<double>("cg", *b.planner);
+    core::Solver<double>& cg = *cg_owner;
     for (auto _ : state) {
         cg.step();
     }

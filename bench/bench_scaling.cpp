@@ -1,21 +1,38 @@
 /// Node-count scaling — the sweep the paper's artifact description runs
 /// ("repeated for each node count, scaling from 1 to 256 in powers of two").
-/// Two regimes:
+/// Three regimes:
 ///
 ///  * strong scaling: a fixed 2^26-unknown 5pt-2D CG problem across
-///    1..64 nodes — speedup saturates once per-piece work no longer hides
+///    1..maxnodes — speedup saturates once per-piece work no longer hides
 ///    runtime overhead and halo latency;
 ///  * weak scaling: fixed 2^22 unknowns per GPU — flat lines are perfect;
-///    growth exposes the communication/analysis terms.
+///    growth exposes the communication/analysis terms;
+///  * communication-avoiding: classic CG vs CA-CG(s) on the strong-scaling
+///    problem, with per-row global-sync counts and non-overlapped allreduce
+///    wait — the s-step tradeoff (s x fewer global syncs, bigger basis
+///    blocks) as a function of node count.
 ///
 /// LegionSolvers and the PETSc-like baseline run side by side.
 ///
 /// Usage: bench_scaling [-maxnodes 64] [-it 30] [-stronglog 26] [-weaklog 22]
+///                      [-json out.json] [-smoke] [-gate]
+///
+/// -json writes every row (all three regimes) as a JSON document; the CA
+/// rows carry syncs_per_it / allreduce_wait_us_per_it so the sync-reduction
+/// claim is machine-checkable. -smoke shrinks the sweep for CI. -gate runs
+/// only the CA regime at 64..maxnodes nodes and exits nonzero unless, at
+/// every gated node count, CA-CG (s >= 4) performs at least 3x fewer global
+/// syncs than classic CG and beats it on time-per-iteration, with the win
+/// widening as nodes grow (the nightly 256-node acceptance check).
 
 #include <iostream>
+#include <fstream>
+#include <string>
+#include <vector>
 
 #include "baselines/ksp.hpp"
 #include "harness.hpp"
+#include "obs/json.hpp"
 #include "support/cli.hpp"
 
 namespace {
@@ -25,7 +42,8 @@ using namespace kdr;
 double legion_time(const stencil::Spec& spec, const sim::MachineDesc& machine, int timed) {
     bench::LegionStencilSystem sys = bench::make_legion_stencil(
         spec, machine, static_cast<Color>(machine.total_gpus()), bench::TraceMode::None);
-    core::CgSolver<double> cg(*sys.planner);
+    const auto cg_owner = bench::make_solver("cg", *sys.planner);
+    core::Solver<double>& cg = *cg_owner;
     return bench::measure_per_iteration(*sys.runtime, cg, 10, timed);
 }
 
@@ -40,47 +58,190 @@ double petsc_time(const stencil::Spec& spec, const sim::MachineDesc& machine, in
     return (engine.now() - t0) / timed;
 }
 
+/// One (solver, machine) arm of the communication-avoiding comparison.
+struct CaArm {
+    double us_per_it = 0.0;        ///< virtual microseconds per iteration
+    double syncs_per_it = 0.0;     ///< completed allreduces per iteration
+    double wait_us_per_it = 0.0;   ///< non-overlapped allreduce wait per iteration
+};
+
+/// Run `solver` (any registry spec) traced on the stencil system and measure
+/// time + global-sync counters over the timed window. All arms use the
+/// trace fast path — the production configuration the s-block loops must
+/// replay under.
+CaArm ca_arm(const stencil::Spec& spec, const sim::MachineDesc& machine,
+             const std::string& solver, int timed) {
+    bench::LegionStencilSystem sys = bench::make_legion_stencil(
+        spec, machine, static_cast<Color>(machine.total_gpus()), bench::TraceMode::Fast);
+    std::unique_ptr<core::Solver<double>> s = bench::make_solver(solver, *sys.planner);
+    const int period = bench::trace_period(solver);
+    const int warmup = std::max(10, 2 * std::max(period, 3) + 1);
+    for (int i = 0; i < warmup; ++i) s->step();
+    const obs::Registry& m = sys.runtime->metrics();
+    const double t0 = sys.runtime->current_time();
+    const double sync0 = m.counter_value("global_syncs");
+    const double wait0 = m.counter_value("allreduce_wait_seconds");
+    for (int i = 0; i < timed; ++i) s->step();
+    const double iters = static_cast<double>(timed) * s->iterations_per_step();
+    CaArm r;
+    r.us_per_it = (sys.runtime->current_time() - t0) / iters * 1e6;
+    r.syncs_per_it = (m.counter_value("global_syncs") - sync0) / iters;
+    r.wait_us_per_it = (m.counter_value("allreduce_wait_seconds") - wait0) / iters * 1e6;
+    return r;
+}
+
+struct Row {
+    std::string regime;
+    int nodes = 0;
+    int gpus = 0;
+    std::string solver;
+    double us_per_it = 0.0;
+    double syncs_per_it = 0.0;
+    double wait_us_per_it = 0.0;
+};
+
+void write_json(const std::string& path, const std::vector<Row>& rows) {
+    obs::json::Value doc;
+    auto& arr = doc.array();
+    for (const Row& r : rows) {
+        obs::json::Value::Object o;
+        o.emplace("regime", obs::json::Value(r.regime));
+        o.emplace("nodes", obs::json::Value(static_cast<double>(r.nodes)));
+        o.emplace("gpus", obs::json::Value(static_cast<double>(r.gpus)));
+        o.emplace("solver", obs::json::Value(r.solver));
+        o.emplace("us_per_it", obs::json::Value(r.us_per_it));
+        o.emplace("syncs_per_it", obs::json::Value(r.syncs_per_it));
+        o.emplace("allreduce_wait_us_per_it", obs::json::Value(r.wait_us_per_it));
+        arr.emplace_back(std::move(o));
+    }
+    std::ofstream out(path);
+    KDR_REQUIRE(out.good(), "bench_scaling: cannot open '", path, "'");
+    out << doc.dump() << "\n";
+    KDR_REQUIRE(out.good(), "bench_scaling: write to '", path, "' failed");
+    std::cout << "rows written to " << path << "\n";
+}
+
 } // namespace
 
 int main(int argc, char** argv) {
     const kdr::CliArgs args(argc, argv);
-    const int maxnodes = static_cast<int>(args.get_int("maxnodes", 64));
-    const int timed = static_cast<int>(args.get_int("it", 30));
-    const int stronglog = static_cast<int>(args.get_int("stronglog", 26));
-    const int weaklog = static_cast<int>(args.get_int("weaklog", 22));
+    const bool smoke = args.get_flag("smoke");
+    const bool gate = args.get_flag("gate");
+    const int maxnodes = static_cast<int>(args.get_int("maxnodes", smoke ? 4 : 64));
+    const int timed = static_cast<int>(args.get_int("it", smoke ? 5 : 30));
+    const int stronglog = static_cast<int>(args.get_int("stronglog", smoke ? 18 : 26));
+    const int weaklog = static_cast<int>(args.get_int("weaklog", smoke ? 14 : 22));
+    const std::string json_path = args.get_string("json", "");
+    std::vector<Row> rows;
 
-    std::cout << "=== Strong scaling: CG, 5pt-2D, 2^" << stronglog << " unknowns ===\n";
-    {
+    const stencil::Spec strong_spec =
+        stencil::Spec::cube(stencil::Kind::D2P5, gidx{1} << stronglog);
+
+    if (!gate) {
+        std::cout << "=== Strong scaling: CG, 5pt-2D, 2^" << stronglog << " unknowns ===\n";
         kdr::Table table({"nodes", "GPUs", "legion us/it", "petsc us/it", "legion speedup"});
         double base = -1.0;
         for (int nodes = 1; nodes <= maxnodes; nodes *= 2) {
             const sim::MachineDesc machine = sim::MachineDesc::lassen(nodes);
-            const stencil::Spec spec =
-                stencil::Spec::cube(stencil::Kind::D2P5, gidx{1} << stronglog);
-            const double lg = legion_time(spec, machine, timed);
-            const double pt = petsc_time(spec, machine, timed);
+            const double lg = legion_time(strong_spec, machine, timed);
+            const double pt = petsc_time(strong_spec, machine, timed);
             if (base < 0) base = lg;
             table.add_row({std::to_string(nodes), std::to_string(machine.total_gpus()),
                            kdr::bench::us(lg), kdr::bench::us(pt),
                            kdr::Table::num(base / lg, 2) + "x"});
+            rows.push_back({"strong", nodes, machine.total_gpus(), "cg", lg * 1e6, 0, 0});
         }
         table.print(std::cout);
-    }
 
-    std::cout << "\n=== Weak scaling: CG, 5pt-2D, 2^" << weaklog << " unknowns per GPU ===\n";
-    {
-        kdr::Table table({"nodes", "GPUs", "unknowns", "legion us/it", "petsc us/it"});
+        std::cout << "\n=== Weak scaling: CG, 5pt-2D, 2^" << weaklog
+                  << " unknowns per GPU ===\n";
+        kdr::Table wtable({"nodes", "GPUs", "unknowns", "legion us/it", "petsc us/it"});
         for (int nodes = 1; nodes <= maxnodes; nodes *= 2) {
             const sim::MachineDesc machine = sim::MachineDesc::lassen(nodes);
             const gidx total = (gidx{1} << weaklog) * machine.total_gpus();
             const stencil::Spec spec = stencil::Spec::cube(stencil::Kind::D2P5, total);
             const double lg = legion_time(spec, machine, timed);
             const double pt = petsc_time(spec, machine, timed);
-            table.add_row({std::to_string(nodes), std::to_string(machine.total_gpus()),
-                           kdr::Table::eng(static_cast<double>(spec.unknowns()), 0),
-                           kdr::bench::us(lg), kdr::bench::us(pt)});
+            wtable.add_row({std::to_string(nodes), std::to_string(machine.total_gpus()),
+                            kdr::Table::eng(static_cast<double>(spec.unknowns()), 0),
+                            kdr::bench::us(lg), kdr::bench::us(pt)});
+            rows.push_back({"weak", nodes, machine.total_gpus(), "cg", lg * 1e6, 0, 0});
+        }
+        wtable.print(std::cout);
+        std::cout << "\n";
+    }
+
+    // Communication-avoiding regime: the strong-scaling problem, classic CG
+    // vs CA-CG(s), all arms traced. Global syncs per iteration are the
+    // headline column: 2 for classic CG, 2/s for CA-CG(s).
+    std::cout << "=== Communication-avoiding: CG vs CA-CG, 5pt-2D, 2^" << stronglog
+              << " unknowns ===\n";
+    const std::vector<std::string> arms = {"cg", "ca_cg/4", "ca_cg/8"};
+    const int first_nodes = gate ? std::min(64, maxnodes) : 1;
+    struct GateSample {
+        int nodes = 0;
+        double cg_time = 0.0, cg_syncs = 0.0;
+        double ca_time = 0.0, ca_syncs = 0.0; // best s >= 4 arm by time
+    };
+    std::vector<GateSample> gated;
+    {
+        kdr::Table table({"nodes", "GPUs", "solver", "us/it", "syncs/it", "ar wait us/it",
+                          "vs cg"});
+        for (int nodes = first_nodes; nodes <= maxnodes; nodes *= 2) {
+            const sim::MachineDesc machine = sim::MachineDesc::lassen(nodes);
+            GateSample gs;
+            gs.nodes = nodes;
+            for (const std::string& arm : arms) {
+                const CaArm r = ca_arm(strong_spec, machine, arm, timed);
+                const bool classic = arm == "cg";
+                if (classic) {
+                    gs.cg_time = r.us_per_it;
+                    gs.cg_syncs = r.syncs_per_it;
+                } else if (gs.ca_time == 0.0 || r.us_per_it < gs.ca_time) {
+                    gs.ca_time = r.us_per_it;
+                    gs.ca_syncs = r.syncs_per_it;
+                }
+                table.add_row(
+                    {std::to_string(nodes), std::to_string(machine.total_gpus()), arm,
+                     kdr::Table::num(r.us_per_it, 2), kdr::Table::num(r.syncs_per_it, 3),
+                     kdr::Table::num(r.wait_us_per_it, 2),
+                     classic ? "1.00x" : kdr::Table::num(gs.cg_time / r.us_per_it, 2) + "x"});
+                rows.push_back({"ca_strong", nodes, machine.total_gpus(), arm, r.us_per_it,
+                                r.syncs_per_it, r.wait_us_per_it});
+            }
+            // Full runs gate at 64+ nodes; a smaller -maxnodes (the -smoke CI
+            // arm) gates at the largest node count it reaches.
+            if (nodes >= std::min(64, maxnodes)) gated.push_back(gs);
         }
         table.print(std::cout);
+    }
+
+    if (!json_path.empty()) write_json(json_path, rows);
+
+    if (gate) {
+        bool ok = true;
+        double prev_win = 0.0;
+        for (const GateSample& g : gated) {
+            const double sync_ratio = g.ca_syncs > 0.0 ? g.cg_syncs / g.ca_syncs : 0.0;
+            const double win = g.ca_time > 0.0 ? g.cg_time / g.ca_time : 0.0;
+            const bool syncs_ok = sync_ratio >= 3.0;
+            const bool time_ok = win > 1.0;
+            const bool widening = prev_win == 0.0 || win >= prev_win;
+            std::cout << "gate @" << g.nodes << " nodes: sync ratio "
+                      << kdr::Table::num(sync_ratio, 2) << "x ("
+                      << (syncs_ok ? "ok" : "FAIL: need >= 3x") << "), time win "
+                      << kdr::Table::num(win, 2) << "x ("
+                      << (time_ok ? "ok" : "FAIL: CA-CG slower than CG") << ", "
+                      << (widening ? "widening" : "FAIL: narrower than previous") << ")\n";
+            ok = ok && syncs_ok && time_ok && widening;
+            prev_win = win;
+        }
+        if (gated.empty()) {
+            std::cout << "gate: no gated node counts ran (raise -maxnodes)\n";
+            ok = false;
+        }
+        std::cout << (ok ? "GATE PASS\n" : "GATE FAIL\n");
+        return ok ? 0 : 1;
     }
     return 0;
 }

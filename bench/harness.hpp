@@ -13,10 +13,13 @@
 /// simulated Lassen-class cluster (see DESIGN.md): the host machine executes
 /// the schedule, the model supplies the clock.
 
+#include <algorithm>
 #include <functional>
 #include <memory>
 #include <string>
+#include <vector>
 
+#include "core/solver_registry.hpp"
 #include "core/solvers.hpp"
 #include "stencil/matrix_free.hpp"
 #include "stencil/stencil.hpp"
@@ -143,36 +146,55 @@ inline LegionStencilSystem make_legion_stencil(const stencil::Spec& spec,
     return make_legion_stencil(spec, machine, pieces, trace, popts);
 }
 
-/// Solver factory shared by the harnesses. GMRES uses the static GMRES(10)
-/// restart schedule of the paper's comparison.
-inline std::unique_ptr<core::Solver<double>> make_solver(const std::string& name,
-                                                         core::Planner<double>& planner) {
-    if (name == "cg") return std::make_unique<core::CgSolver<double>>(planner);
-    if (name == "bicg") return std::make_unique<core::BiCgSolver<double>>(planner);
-    if (name == "bicgstab") return std::make_unique<core::BiCgStabSolver<double>>(planner);
-    if (name == "gmres") return std::make_unique<core::GmresSolver<double>>(planner, 10);
-    if (name == "minres") return std::make_unique<core::MinresSolver<double>>(planner);
-    KDR_REQUIRE(false, "unknown solver '", name, "'");
-    return nullptr;
+/// Solver factory shared by the harnesses: any core registry spec works
+/// ("cg", "gmres/30", "ca_cg/8/newton", ...). GMRES defaults to the static
+/// GMRES(10) restart schedule of the paper's comparison.
+inline std::unique_ptr<core::Solver<double>>
+make_solver(const std::string& name, core::Planner<double>& planner,
+            const core::SolverParams& params = {}) {
+    return core::make_solver<double>(name, planner, params);
 }
 
-/// Number of iterations one trace instance spans for a solver (GMRES traces
-/// whole restart cycles; everything else traces single steps). Warmups must
-/// cover one recording instance plus one capture instance before replay is
-/// at full speed.
-inline int trace_period(const std::string& solver) { return solver == "gmres" ? 10 : 1; }
+/// Number of *steps* one trace instance spans for a solver spec (GMRES and
+/// CA-GMRES trace whole restart cycles; everything else traces single
+/// steps — an s-step block is one step). Warmups must cover one recording
+/// instance plus one capture instance before replay is at full speed.
+inline int trace_period(const std::string& solver,
+                        const core::SolverParams& params = {}) {
+    const std::vector<std::string> spec = core::detail::split_spec(solver);
+    if (spec.empty()) return 1;
+    if (spec[0] == "gmres") {
+        return spec.size() > 1 ? core::detail::parse_int_arg(spec[1], "gmres restart")
+                               : params.gmres_restart;
+    }
+    if (spec[0] == "ca_gmres") {
+        const int m = spec.size() > 1
+                          ? core::detail::parse_int_arg(spec[1], "ca_gmres restart")
+                          : params.gmres_restart;
+        const int s = std::min(
+            spec.size() > 2 ? core::detail::parse_int_arg(spec[2], "ca_gmres block size")
+                            : params.ca_s,
+            m);
+        return (m + s - 1) / s; // steps per restart cycle
+    }
+    return 1;
+}
 
-/// Warmup then measure: returns average virtual seconds per iteration.
+/// Warmup then measure: returns average virtual seconds per *iteration*
+/// (an s-step solver advances iterations_per_step() of them per step, so
+/// the denominator scales — this is what makes classic-vs-CA time-per-
+/// iteration comparisons apples-to-apples).
 /// Solvers trace their own loops, so `warmup` only needs to be deep enough
 /// for the record + capture instances to complete — at least 2·period + 1
-/// iterations (MINRES rotates three traces; 2·3 + 1 covers it too).
+/// steps (MINRES rotates three traces; 2·3 + 1 covers it too).
 inline double measure_per_iteration(rt::Runtime& runtime, core::Solver<double>& solver,
                                     int warmup, int timed, int period = 1) {
     warmup = std::max(warmup, 2 * std::max(period, 3) + 1);
     for (int i = 0; i < warmup; ++i) solver.step();
     const double t0 = runtime.current_time();
     for (int i = 0; i < timed; ++i) solver.step();
-    return (runtime.current_time() - t0) / timed;
+    return (runtime.current_time() - t0) /
+           (static_cast<double>(timed) * solver.iterations_per_step());
 }
 
 /// Pretty microseconds.

@@ -17,6 +17,7 @@
 #include <iostream>
 #include <memory>
 
+#include "core/solver_registry.hpp"
 #include "core/solvers.hpp"
 #include "partition/projection.hpp"
 #include "support/cli.hpp"
@@ -140,7 +141,8 @@ int main(int argc, char** argv) {
     planner.add_rhs_vector(br, bf, kdr::Partition::equal(D, 4));
     planner.add_operator(A, 0, 0);
 
-    kdr::core::CgSolver<double> cg(planner);
+    const auto cg_owner = kdr::core::make_solver<double>("cg", planner);
+    kdr::core::Solver<double>& cg = *cg_owner;
     const int iters = kdr::core::solve_to_tolerance(cg, tol, 1000);
     std::cout << "CG on the matrix-free format: " << iters << " iterations, residual "
               << cg.get_convergence_measure().value << "\n";

@@ -13,6 +13,7 @@
 #include <iostream>
 
 #include "core/load_balancer.hpp"
+#include "core/solver_registry.hpp"
 #include "core/solvers.hpp"
 #include "support/cli.hpp"
 #include "support/table.hpp"
@@ -68,7 +69,8 @@ int main(int argc, char** argv) {
         }
     }
 
-    core::CgSolver<double> cg(planner);
+    const auto cg_owner = core::make_solver<double>("cg", planner);
+    core::Solver<double>& cg = *cg_owner;
     auto& cluster = runtime.cluster();
     // Reference time under half load.
     for (int n = 0; n < nodes; ++n) cluster.set_cpu_occupancy(n, 20);

@@ -12,6 +12,7 @@
 #include <iostream>
 #include <memory>
 
+#include "core/solver_registry.hpp"
 #include "core/solvers.hpp"
 #include "runtime/trace_export.hpp"
 #include "sparse/convert.hpp"
@@ -97,7 +98,8 @@ int main(int argc, char** argv) {
     planner.add_rhs_vector(br, bf, Partition::equal(D, pieces));
     planner.add_operator(A, 0, 0);
 
-    core::CgSolver<double> cg(planner);
+    const auto cg_owner = core::make_solver<double>("cg", planner);
+    core::Solver<double>& cg = *cg_owner;
     const int iters = core::solve_to_tolerance(cg, 1e-8, 10000);
     std::cout << "CG: " << iters << " iterations, residual "
               << cg.get_convergence_measure().value << "\n";

@@ -16,6 +16,7 @@
 #include <iostream>
 #include <memory>
 
+#include "core/solver_registry.hpp"
 #include "core/solvers.hpp"
 #include "sparse/convert.hpp"
 #include "stencil/stencil.hpp"
@@ -71,7 +72,8 @@ int main(int argc, char** argv) {
     planner.add_operator(A_dia, 0, 0); // same pair, different formats:
     planner.add_operator(A_csr, 0, 0); // contributions sum per eq. (8)
 
-    core::CgSolver<double> cg(planner);
+    const auto cg_owner = core::make_solver<double>("cg", planner);
+    core::Solver<double>& cg = *cg_owner;
     const int iters = core::solve_to_tolerance(cg, tol, 5000);
     std::cout << "CG on the mixed-format system: " << iters << " iterations, residual "
               << cg.get_convergence_measure().value << "\n";

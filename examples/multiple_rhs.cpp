@@ -15,6 +15,7 @@
 #include <iostream>
 #include <memory>
 
+#include "core/solver_registry.hpp"
 #include "core/solvers.hpp"
 #include "stencil/stencil.hpp"
 #include "support/cli.hpp"
@@ -63,7 +64,8 @@ int main(int argc, char** argv) {
     std::cout << systems << " systems share one base matrix: A.use_count() = " << A.use_count()
               << " (1 caller + " << systems << " operator slots — stored once)\n";
 
-    core::CgSolver<double> cg(planner);
+    const auto cg_owner = core::make_solver<double>("cg", planner);
+    core::Solver<double>& cg = *cg_owner;
     const int iters = core::solve_to_tolerance(cg, tol, 2000);
     std::cout << "combined CG converged in " << iters << " iterations\n";
 

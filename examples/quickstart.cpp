@@ -7,8 +7,13 @@
 ///   3. register the matrix (any storage format with row/col relations);
 ///   4. construct a solver from the planner and step it to tolerance.
 ///
-/// Usage: quickstart [-n 64] [-pieces 8] [-tol 1e-8] [-format csr] [-matfree]
-///        [-legacy] [-help]
+/// Usage: quickstart [-n 64] [-pieces 8] [-tol 1e-8] [-solver cg]
+///        [-format csr] [-matfree] [-legacy] [-help]
+///
+/// -solver takes any solver-registry spec: cg, pcg, bicg, bicgstab, minres,
+/// gmres[/m], ca_cg[/s[/basis]], ca_gmres[/m[/s[/basis]]]. The
+/// communication-avoiding variants batch s iterations between global
+/// reductions; -ca_s / -ca_basis set defaults the spec leaves open.
 ///
 /// -format picks the storage layout from the level-description catalog
 /// (sparse/described_formats.hpp): csr, csc, coo, coot, dense, ell, ellt,
@@ -50,6 +55,7 @@
 
 #include "core/monitor.hpp"
 #include "core/options.hpp"
+#include "core/solver_registry.hpp"
 #include "core/solvers.hpp"
 #include "runtime/trace_export.hpp"
 #include "sparse/described_formats.hpp"
@@ -61,8 +67,8 @@ int main(int argc, char** argv) {
     using namespace kdr;
     const CliArgs args(argc, argv);
     if (args.get_flag("help")) {
-        std::cout << "quickstart [-n 64] [-pieces 8] [-tol 1e-8] [-format csr] [-matfree] "
-                     "[-legacy] plus:\n"
+        std::cout << "quickstart [-n 64] [-pieces 8] [-tol 1e-8] [-solver cg] "
+                     "[-format csr] [-matfree] [-legacy] plus:\n"
                   << core::CommonOptions::help();
         return 0;
     }
@@ -124,11 +130,15 @@ int main(int argc, char** argv) {
             0, 0);
     }
 
-    // Solve (paper Fig 7's CG behind the drop-in Solver interface). The
-    // monitor records the residual history the solve report embeds; the
-    // solve() driver classifies the outcome (converged, breakdown, ...).
-    core::CgSolver<double> inner(planner);
-    core::SolverMonitor<double> cg(inner);
+    // Solve (paper Fig 7's CG behind the drop-in Solver interface). -solver
+    // takes any registry spec — cg, gmres/30, ca_cg, ca_gmres/20/4/newton —
+    // with -ca_s/-ca_basis filling in unspecified CA parameters. The monitor
+    // records the residual history the solve report embeds; the solve()
+    // driver classifies the outcome (converged, breakdown, ...).
+    const std::string solver_name = args.get_string("solver", "cg");
+    std::unique_ptr<core::Solver<double>> inner =
+        core::make_solver<double>(solver_name, planner, common);
+    core::SolverMonitor<double> cg(*inner);
     const core::SolveResult result = core::solve(cg, tol, static_cast<int>(10 * n));
     std::cout << "iter   residual\n";
     for (const auto& s : cg.history()) {

@@ -28,7 +28,7 @@ public:
 
     void step() override {
         inner_.step();
-        ++iteration_;
+        iteration_ += inner_.iterations_per_step();
         record();
     }
 
@@ -39,6 +39,9 @@ public:
     }
     [[nodiscard]] SolveStatus status() const noexcept override { return inner_.status(); }
     [[nodiscard]] const char* name() const override { return inner_.name(); }
+    [[nodiscard]] int iterations_per_step() const noexcept override {
+        return inner_.iterations_per_step();
+    }
 
     [[nodiscard]] const std::vector<Sample>& history() const noexcept { return history_; }
 

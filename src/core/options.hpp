@@ -47,6 +47,17 @@ struct CommonOptions {
     /// Override of MachineDesc::nic_eager_threshold in bytes; negative keeps
     /// the machine default.
     double eager_threshold = -1.0;
+    /// s-step block size for the communication-avoiding solvers (ca_cg,
+    /// ca_gmres): one global sync per s iterations. 1 = bitwise-classic.
+    int ca_s = 4;
+    /// Power-basis flavor for the CA solvers: "monomial" or "newton"
+    /// (Leja-ordered Chebyshev shifts; better conditioned at large s).
+    std::string ca_basis = "monomial";
+    /// Allreduce completion semantics: "nonblocking" (futures — only
+    /// consumers of the reduced scalar wait) or "blocking" (MPI_Allreduce:
+    /// every subsequent task waits). Timing-only; values are bitwise
+    /// identical either way.
+    std::string allreduce = "nonblocking";
 
     /// Bind every knob to `opts`. The CommonOptions object must outlive the
     /// OptionSet's apply calls.
@@ -93,6 +104,13 @@ struct CommonOptions {
         opts.add_double("eager_threshold", eager_threshold,
                         "NIC eager/rendezvous protocol threshold in bytes (negative = "
                         "machine default)");
+        opts.add_int("ca_s", ca_s,
+                     "s-step block size for the communication-avoiding solvers "
+                     "(1 = bitwise-classic)");
+        opts.add_string("ca_basis", ca_basis,
+                        "CA power-basis flavor: monomial | newton");
+        opts.add_string("allreduce", allreduce,
+                        "allreduce completion semantics: nonblocking | blocking");
     }
 
     /// Parse environment + CLI into a fresh CommonOptions.
@@ -103,6 +121,15 @@ struct CommonOptions {
         opts.parse(args);
         if (common.runtime.validate_warn_only) common.runtime.validate = true;
         if (!common.profile_file.empty()) common.runtime.profile = true;
+        KDR_REQUIRE(common.ca_s >= 1, "-ca_s must be >= 1, got ", common.ca_s);
+        KDR_REQUIRE(common.ca_basis == "monomial" || common.ca_basis == "newton",
+                    "-ca_basis must be monomial or newton, got '", common.ca_basis, "'");
+        KDR_REQUIRE(common.allreduce == "nonblocking" || common.allreduce == "blocking",
+                    "-allreduce must be nonblocking or blocking, got '",
+                    common.allreduce, "'");
+        common.planner.allreduce = common.allreduce == "blocking"
+                                       ? sim::AllreduceMode::blocking
+                                       : sim::AllreduceMode::nonblocking;
         return common;
     }
 

@@ -37,6 +37,7 @@
 #include "obs/span.hpp"
 #include "partition/projection.hpp"
 #include "runtime/runtime.hpp"
+#include "simcluster/collective.hpp"
 #include "sparse/linear_operator.hpp"
 #include "support/error.hpp"
 
@@ -81,6 +82,13 @@ struct PlannerOptions {
     /// their color ranges at different offsets (the service layer's per-slot
     /// placement).
     Color color_offset = 0;
+    /// Completion semantics of global scalar reductions (dot products, fused
+    /// reductions, s-step Gram batches). `nonblocking` (default): reduced
+    /// scalars are futures and only their consumers wait — tree latency
+    /// overlaps independent kernels. `blocking` models MPI_Allreduce: every
+    /// task launched after the reduction waits for it. Timing-only either
+    /// way — reduction values are bitwise identical.
+    sim::AllreduceMode allreduce = sim::AllreduceMode::nonblocking;
 };
 
 /// Precomputed partitioning plan for one operator component — either derived
@@ -301,55 +309,260 @@ public:
     /// return v · w (scalar future; tree-reduction latency modeled)
     [[nodiscard]] Scalar dot(VecId v, VecId w) {
         const obs::Span span = phase_span("dot");
-        const VecDesc& dv = vec(v);
-        const VecDesc& dw = vec(w);
-        check_compatible(dv, dw, "dot");
-        double partial_sum = 0.0;
         double ready = 0.0;
         int piece_count = 0;
-        const auto& comps = components(dv.kind);
+        const double partial_sum = dot_partials(v, w, ready, piece_count);
+        // One global sync: scalar tree-reduction across pieces.
+        return {partial_sum, finish_global_reduction(piece_count, ready)};
+    }
+
+    /// Batched inner products with ONE global synchronization: every pair
+    /// launches the same per-piece "dot" tasks as dot() would, but all the
+    /// partials ride a single shared tree reduction (the s-step Gram-matrix
+    /// assembly). The tree cost is the α-term of the latency model — a batch
+    /// of n scalars moves 8n bytes per hop, negligible against the per-hop
+    /// latency at any n the solvers produce — so batching is how CA methods
+    /// trade s× syncs for one. A single-pair batch degenerates to dot()
+    /// exactly (same launches, same Scalar), which is what makes the s=1
+    /// CA solvers bitwise twins of their classics.
+    [[nodiscard]] std::vector<Scalar> dot_batch(
+        const std::vector<std::pair<VecId, VecId>>& pairs) {
+        KDR_REQUIRE(!pairs.empty(), "dot_batch: empty pair list");
+        if (pairs.size() == 1) return {dot(pairs[0].first, pairs[0].second)};
+        const obs::Span span = phase_span("dot_batch");
+        double ready = 0.0;
+        std::vector<double> sums;
+        sums.reserve(pairs.size());
+        int piece_count = 0;
+        for (const auto& [v, w] : pairs) {
+            int pc = 0;
+            sums.push_back(dot_partials(v, w, ready, pc));
+            piece_count = pc; // identical partitioning for every pair
+        }
+        const double done = finish_global_reduction(piece_count, ready);
+        std::vector<Scalar> out;
+        out.reserve(sums.size());
+        for (const double s : sums) out.push_back({s, done});
+        return out;
+    }
+
+    /// Gram-matrix assembly: all inner products vecs[a] · vecs[b] for the
+    /// requested index pairs, computed by ONE fused kernel launch per piece
+    /// (each basis vector is streamed exactly once; every pair's partial
+    /// accumulates from registers) and combined by ONE shared tree
+    /// reduction. This is the s-step solvers' communication pattern: O(s²)
+    /// scalars for the price of a single global synchronization, where the
+    /// classic methods pay one sync per scalar. All returned Scalars share
+    /// the reduction's completion time.
+    [[nodiscard]] std::vector<Scalar> gram_batch(
+        const std::vector<VecId>& vecs,
+        const std::vector<std::pair<int, int>>& pairs) {
+        KDR_REQUIRE(!vecs.empty(), "gram_batch: empty basis");
+        KDR_REQUIRE(!pairs.empty(), "gram_batch: empty pair list");
+        const obs::Span span = phase_span("gram");
+        const std::size_t nv = vecs.size();
+        const std::size_t np = pairs.size();
+        for (const auto& [a, b] : pairs) {
+            KDR_REQUIRE(a >= 0 && static_cast<std::size_t>(a) < nv && b >= 0 &&
+                            static_cast<std::size_t>(b) < nv,
+                        "gram_batch: pair index out of range");
+        }
+        const VecDesc& d0 = vec(vecs[0]);
+        for (std::size_t k = 1; k < nv; ++k) {
+            check_compatible(d0, vec(vecs[k]), "gram_batch");
+        }
+        std::vector<double> sums(np, 0.0);
+        double ready = 0.0;
+        int piece_count = 0;
+        const auto& comps = components(d0.kind);
         for (std::size_t ci = 0; ci < comps.size(); ++ci) {
             const Component& comp = comps[ci];
-            const Component& wcomp = components(dw.kind)[ci];
-            const rt::FieldId fv = dv.fields[ci];
-            const rt::FieldId fw = dw.fields[ci];
             for (Color c = 0; c < comp.canonical.color_count(); ++c) {
                 const IntervalSet piece = comp.canonical.piece(c);
                 rt::TaskLaunch l;
-                l.name = "dot";
+                l.name = "gram";
                 l.proc_kind = opts_.proc_kind;
                 l.color = comp.color_base + c;
-                l.requirements.push_back(
-                    {comp.region, fv, rt::Privilege::ReadOnly, piece});
-                l.requirements.push_back(
-                    {wcomp.region, fw, rt::Privilege::ReadOnly, piece});
-                l.cost = sim::KernelCosts::dot(piece.volume());
+                for (std::size_t k = 0; k < nv; ++k) {
+                    const VecDesc& dk = vec(vecs[k]);
+                    const Component& kcomp = components(dk.kind)[ci];
+                    l.requirements.push_back({kcomp.region, dk.fields[ci],
+                                              rt::Privilege::ReadOnly, piece});
+                }
+                // Fused roofline: one streaming pass over the nv basis
+                // vectors, 2 flops per element per pair.
+                const double vol = static_cast<double>(piece.volume());
+                l.cost = {2.0 * vol * static_cast<double>(np),
+                          8.0 * vol * static_cast<double>(nv)};
                 if (rt_.functional()) {
-                    l.body = [piece](rt::TaskContext& ctx) {
-                        auto a = ctx.accessor<const T>(0);
-                        auto b = ctx.accessor<const T>(1);
-                        double s = 0.0;
+                    l.body = [piece, nv, pairs](rt::TaskContext& ctx) {
+                        std::vector<VecView<const T>> views;
+                        views.reserve(nv);
+                        for (std::size_t k = 0; k < nv; ++k) {
+                            views.push_back(
+                                ctx.accessor<const T>(static_cast<std::uint32_t>(k)));
+                        }
+                        std::vector<double> acc(pairs.size(), 0.0);
                         piece.for_each_interval([&](const Interval& iv) {
                             for (gidx i = iv.lo; i < iv.hi; ++i) {
-                                s += static_cast<double>(
-                                    a[static_cast<std::size_t>(i)] *
-                                    b[static_cast<std::size_t>(i)]);
+                                const auto e = static_cast<std::size_t>(i);
+                                for (std::size_t p = 0; p < pairs.size(); ++p) {
+                                    acc[p] += static_cast<double>(
+                                        views[static_cast<std::size_t>(
+                                            pairs[p].first)][e] *
+                                        views[static_cast<std::size_t>(
+                                            pairs[p].second)][e]);
+                                }
                             }
                         });
-                        ctx.set_scalar(s);
+                        for (const double a : acc) ctx.push_scalar(a);
                     };
                 }
                 const Scalar part = rt_.launch(std::move(l));
-                partial_sum += part.value;
+                const std::vector<double> partials = rt_.take_task_scalars();
+                if (!partials.empty()) {
+                    KDR_REQUIRE(partials.size() == np,
+                                "gram_batch: partial count mismatch");
+                    for (std::size_t p = 0; p < np; ++p) sums[p] += partials[p];
+                }
                 ready = std::max(ready, part.ready_time);
                 ++piece_count;
             }
         }
-        // Scalar tree-reduction across pieces (futures, not a barrier — only
-        // consumers of this scalar wait).
-        const double hops = std::ceil(std::log2(std::max(2, piece_count)));
-        ready += hops * rt_.machine().collective_hop_latency;
-        return {partial_sum, ready};
+        const double done = finish_global_reduction(piece_count, ready);
+        std::vector<Scalar> out;
+        out.reserve(np);
+        for (const double s : sums) out.push_back({s, done});
+        return out;
+    }
+
+    /// Fused block recombination (the s-step solvers' end-of-block update):
+    /// for each output o, dst[o] ← Σ_k coeffs[o][k] · basis[k], evaluated
+    /// elementwise from the basis values *before* any store, so outputs may
+    /// alias basis members (CA-CG rewrites p and r, which ARE basis columns
+    /// z₀ and w₀). An output listed in `accumulate` adds the combination to
+    /// its current contents instead of replacing them (the x update). ONE
+    /// kernel launch per piece replaces the O(s²) axpy launches the unfused
+    /// form would need. Coefficient values do not shape the launches — zero
+    /// coefficients still contribute a (numerically inert) term — so traced
+    /// instances replay across blocks with different coefficients.
+    void block_update(const std::vector<VecId>& basis,
+                      const std::vector<VecId>& outputs,
+                      const std::vector<std::vector<Scalar>>& coeffs,
+                      const std::vector<bool>& accumulate) {
+        KDR_REQUIRE(!basis.empty() && !outputs.empty(),
+                    "block_update: empty basis or output list");
+        KDR_REQUIRE(coeffs.size() == outputs.size() &&
+                        accumulate.size() == outputs.size(),
+                    "block_update: outputs/coeffs/accumulate size mismatch");
+        const obs::Span span = phase_span("block_update");
+        const std::size_t nb = basis.size();
+        const std::size_t no = outputs.size();
+        for (const auto& row : coeffs) {
+            KDR_REQUIRE(row.size() == nb, "block_update: coefficient row size mismatch");
+        }
+        const VecDesc& d0 = vec(basis[0]);
+        for (std::size_t k = 1; k < nb; ++k) {
+            check_compatible(d0, vec(basis[k]), "block_update");
+        }
+        for (std::size_t o = 0; o < no; ++o) {
+            check_compatible(d0, vec(outputs[o]), "block_update");
+        }
+        // Requirement layout: outputs first (ReadWrite), then the basis
+        // vectors that are not themselves outputs (ReadOnly). `slot[k]`
+        // maps basis index -> requirement index.
+        std::vector<std::size_t> slot(nb);
+        std::vector<std::size_t> extra; // basis indices needing own reqs
+        for (std::size_t k = 0; k < nb; ++k) {
+            slot[k] = no; // sentinel: not an output
+            for (std::size_t o = 0; o < no; ++o) {
+                if (basis[k] == outputs[o]) {
+                    slot[k] = o;
+                    break;
+                }
+            }
+            if (slot[k] == no) {
+                slot[k] = no + extra.size();
+                extra.push_back(k);
+            }
+        }
+        // Scalar dependences: the kernel consumes every coefficient.
+        std::vector<double> coeff_deps;
+        coeff_deps.reserve(no * nb);
+        for (const auto& row : coeffs) {
+            for (const Scalar& s : row) coeff_deps.push_back(s.ready_time);
+        }
+        // Host-side coefficient values for the functional body.
+        std::vector<std::vector<double>> cval(no, std::vector<double>(nb));
+        for (std::size_t o = 0; o < no; ++o) {
+            for (std::size_t k = 0; k < nb; ++k) cval[o][k] = coeffs[o][k].value;
+        }
+        std::vector<bool> acc(accumulate);
+        const auto& comps = components(d0.kind);
+        for (std::size_t ci = 0; ci < comps.size(); ++ci) {
+            const Component& comp = comps[ci];
+            for (Color c = 0; c < comp.canonical.color_count(); ++c) {
+                const IntervalSet piece = comp.canonical.piece(c);
+                rt::TaskLaunch l;
+                l.name = "block_update";
+                l.proc_kind = opts_.proc_kind;
+                l.color = comp.color_base + c;
+                for (std::size_t o = 0; o < no; ++o) {
+                    const VecDesc& dv = vec(outputs[o]);
+                    const Component& ocomp = components(dv.kind)[ci];
+                    l.requirements.push_back({ocomp.region, dv.fields[ci],
+                                              rt::Privilege::ReadWrite, piece});
+                }
+                for (const std::size_t k : extra) {
+                    const VecDesc& dv = vec(basis[k]);
+                    const Component& kcomp = components(dv.kind)[ci];
+                    l.requirements.push_back({kcomp.region, dv.fields[ci],
+                                              rt::Privilege::ReadOnly, piece});
+                }
+                // Fused roofline: stream each distinct input once, write each
+                // output once (accumulating outputs also re-read themselves —
+                // already counted when they alias a basis column).
+                const double vol = static_cast<double>(piece.volume());
+                const double streams =
+                    static_cast<double>(no + extra.size()) + static_cast<double>(no);
+                l.cost = {2.0 * vol * static_cast<double>(nb) * static_cast<double>(no),
+                          8.0 * vol * streams};
+                l.scalar_deps = coeff_deps;
+                if (rt_.functional()) {
+                    l.body = [piece, nb, no, slot, cval, acc](rt::TaskContext& ctx) {
+                        std::vector<VecView<T>> views;
+                        const std::size_t nreq = ctx.launch().requirements.size();
+                        views.reserve(nreq);
+                        for (std::size_t k = 0; k < nreq; ++k) {
+                            views.push_back(
+                                ctx.accessor<T>(static_cast<std::uint32_t>(k)));
+                        }
+                        std::vector<double> b(nb);
+                        std::vector<double> out(no);
+                        piece.for_each_interval([&](const Interval& iv) {
+                            for (gidx i = iv.lo; i < iv.hi; ++i) {
+                                const auto e = static_cast<std::size_t>(i);
+                                for (std::size_t k = 0; k < nb; ++k) {
+                                    b[k] = static_cast<double>(views[slot[k]][e]);
+                                }
+                                for (std::size_t o = 0; o < no; ++o) {
+                                    double sum =
+                                        acc[o] ? static_cast<double>(views[o][e]) : 0.0;
+                                    for (std::size_t k = 0; k < nb; ++k) {
+                                        sum += cval[o][k] * b[k];
+                                    }
+                                    out[o] = sum;
+                                }
+                                for (std::size_t o = 0; o < no; ++o) {
+                                    views[o][e] = static_cast<T>(out[o]);
+                                }
+                            }
+                        });
+                    };
+                }
+                (void)rt_.launch(std::move(l));
+            }
+        }
     }
 
     /// dst ← dst + α·src, returning dst·w. Fused update + partial reduction:
@@ -532,6 +745,75 @@ private:
     [[nodiscard]] obs::Span phase_span(const char* name) {
         rt_.metrics().counter("planner_ops", {{"op", name}}).inc();
         return {rt_.spans(), name};
+    }
+
+    /// Launch the per-piece partial-sum tasks of v · w (the body every inner
+    /// product shares, whether it completes alone or inside a batch). Folds
+    /// each piece's readiness into `ready`, reports the partition width in
+    /// `piece_count`, and returns the summed partials.
+    [[nodiscard]] double dot_partials(VecId v, VecId w, double& ready,
+                                      int& piece_count) {
+        const VecDesc& dv = vec(v);
+        const VecDesc& dw = vec(w);
+        check_compatible(dv, dw, "dot");
+        double partial_sum = 0.0;
+        const auto& comps = components(dv.kind);
+        for (std::size_t ci = 0; ci < comps.size(); ++ci) {
+            const Component& comp = comps[ci];
+            const Component& wcomp = components(dw.kind)[ci];
+            const rt::FieldId fv = dv.fields[ci];
+            const rt::FieldId fw = dw.fields[ci];
+            for (Color c = 0; c < comp.canonical.color_count(); ++c) {
+                const IntervalSet piece = comp.canonical.piece(c);
+                rt::TaskLaunch l;
+                l.name = "dot";
+                l.proc_kind = opts_.proc_kind;
+                l.color = comp.color_base + c;
+                l.requirements.push_back(
+                    {comp.region, fv, rt::Privilege::ReadOnly, piece});
+                l.requirements.push_back(
+                    {wcomp.region, fw, rt::Privilege::ReadOnly, piece});
+                l.cost = sim::KernelCosts::dot(piece.volume());
+                if (rt_.functional()) {
+                    l.body = [piece](rt::TaskContext& ctx) {
+                        auto a = ctx.accessor<const T>(0);
+                        auto b = ctx.accessor<const T>(1);
+                        double s = 0.0;
+                        piece.for_each_interval([&](const Interval& iv) {
+                            for (gidx i = iv.lo; i < iv.hi; ++i) {
+                                s += static_cast<double>(
+                                    a[static_cast<std::size_t>(i)] *
+                                    b[static_cast<std::size_t>(i)]);
+                            }
+                        });
+                        ctx.set_scalar(s);
+                    };
+                }
+                const Scalar part = rt_.launch(std::move(l));
+                partial_sum += part.value;
+                ready = std::max(ready, part.ready_time);
+                ++piece_count;
+            }
+        }
+        return partial_sum;
+    }
+
+    /// Complete one global scalar reduction whose last partial landed at
+    /// `ready`: count the sync, charge the shared tree latency, and — under
+    /// the blocking collective model — raise the runtime's collective front
+    /// so every subsequent task waits too. Returns the completion time
+    /// (futures: only consumers of the scalar wait for it by default).
+    [[nodiscard]] double finish_global_reduction(int piece_count, double ready) {
+        if (global_sync_ctr_ == nullptr) {
+            global_sync_ctr_ = &rt_.metrics().counter("global_syncs");
+        }
+        global_sync_ctr_->inc();
+        const sim::PendingAllreduce ar =
+            sim::post_allreduce(rt_.machine(), piece_count, ready);
+        if (opts_.allreduce == sim::AllreduceMode::blocking) {
+            rt_.raise_collective_front(ar.done);
+        }
+        return ar.done;
     }
 
     struct OperatorSlot {
@@ -1068,9 +1350,7 @@ private:
         rt_.metrics()
             .counter("fused_kernel_launches", {{"kernel", name}})
             .add(piece_count);
-        const double hops = std::ceil(std::log2(std::max(2, piece_count)));
-        ready += hops * rt_.machine().collective_hop_latency;
-        return {partial_sum, ready};
+        return {partial_sum, finish_global_reduction(piece_count, ready)};
     }
 
     rt::Runtime& rt_;
@@ -1087,6 +1367,7 @@ private:
     std::array<std::vector<VecId>, 2> ws_pool_;
     std::array<std::size_t, 2> ws_live_{};
     bool context_reuse_ = false;
+    obs::Counter* global_sync_ctr_ = nullptr; // lazily bound "global_syncs"
     std::map<std::string, std::uint64_t> solver_trace_ids_;
     /// Multiply calls that read each (region, field) — the exchange-plan
     /// registration threshold (see ensure_exchange_plans).

@@ -208,11 +208,15 @@ SolveOutcome solve_with_recovery(Planner<T>& planner, SolverFactory<T> primary, 
                 record();
                 continue;
             }
-            ++out.iterations;
+            out.iterations += solver->iterations_per_step();
             record();
+            // checkpoint_every counts iterations, not steps: an s-step solver
+            // advances s per step, so the cadence scales with it and every
+            // checkpoint lands on an s-block boundary by construction.
+            healthy_since_ckpt += solver->iterations_per_step();
             if (solver->status() == SolveStatus::running &&
                 std::isfinite(solver->get_convergence_measure().value) &&
-                ++healthy_since_ckpt >= opts.checkpoint_every) {
+                healthy_since_ckpt >= opts.checkpoint_every) {
                 checkpoint();
                 healthy_since_ckpt = 0;
             }

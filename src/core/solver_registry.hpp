@@ -1,0 +1,256 @@
+#pragma once
+
+/// \file solver_registry.hpp
+/// The single solver construction path. Every entry point — quickstart's
+/// `-solver` flag, the service engine's request routing, recovery's fallback
+/// selection, the bench harness — builds solvers through
+/// `make_solver(name, planner, opts)` instead of naming solver classes;
+/// adding a method means one `register_solver` call, visible to every layer
+/// at once.
+///
+/// Names are parameterized specs, `base[/arg…]`:
+///
+///   cg | pcg | bicg | bicgstab | minres
+///   gmres[/m]                       restart length (default 10)
+///   ca_cg[/s[/basis]]               s-step block size, basis flavor
+///   ca_gmres[/m[/s[/basis]]]
+///
+/// Unspecified CA parameters fall back to `CommonOptions::ca_s` /
+/// `ca_basis` (the `-ca_s` / `-ca_basis` knobs), so a service request that
+/// says just "ca_cg" picks up the deployment's configured block size. The
+/// canonical name doubles as the registry-issued trace key: solvers built
+/// from the same spec on a context-reusing planner share one pinned trace
+/// id (see Planner::solver_trace_id), which is what makes service slots
+/// replay each other's traces.
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/options.hpp"
+#include "core/planner.hpp"
+#include "core/solvers.hpp"
+#include "core/solvers_ca.hpp"
+#include "support/error.hpp"
+
+namespace kdr::core {
+
+/// Parameters a solver spec may leave open; filled from CommonOptions (the
+/// -ca_s / -ca_basis knobs) or defaulted.
+struct SolverParams {
+    int gmres_restart = 10;
+    int ca_s = 4;
+    CaBasis ca_basis = CaBasis::monomial;
+
+    [[nodiscard]] static SolverParams from(const CommonOptions& opts) {
+        SolverParams p;
+        p.ca_s = opts.ca_s;
+        p.ca_basis = opts.ca_basis == "newton" ? CaBasis::newton : CaBasis::monomial;
+        return p;
+    }
+};
+
+namespace detail {
+
+/// Split "base/arg1/arg2" into segments. Empty segments (leading, trailing,
+/// or doubled slashes) are malformed: "ca_cg/4/" must not silently parse as
+/// "ca_cg/4".
+[[nodiscard]] inline std::vector<std::string> split_spec(const std::string& name) {
+    std::vector<std::string> out;
+    std::string seg;
+    std::istringstream in(name);
+    while (std::getline(in, seg, '/')) out.push_back(seg);
+    if (!name.empty() && name.back() == '/') out.emplace_back();
+    for (const std::string& s : out) {
+        KDR_REQUIRE(!s.empty(), "solver spec: empty segment in '", name, "'");
+    }
+    return out;
+}
+
+[[nodiscard]] inline int parse_int_arg(const std::string& s, const char* what) {
+    try {
+        std::size_t pos = 0;
+        const int v = std::stoi(s, &pos);
+        KDR_REQUIRE(pos == s.size(), what, ": bad integer '", s, "'");
+        return v;
+    } catch (const Error&) {
+        throw;
+    } catch (const std::exception&) {
+        KDR_REQUIRE(false, what, ": bad integer '", s, "'");
+        return 0; // unreachable
+    }
+}
+
+[[nodiscard]] inline CaBasis parse_basis_arg(const std::string& s) {
+    if (s == "monomial") return CaBasis::monomial;
+    if (s == "newton") return CaBasis::newton;
+    KDR_REQUIRE(false, "solver spec: basis must be monomial or newton, got '", s, "'");
+    return CaBasis::monomial; // unreachable
+}
+
+} // namespace detail
+
+/// Registry mapping base solver names to builders. Extensible: layers (or
+/// tests) may register additional methods; the built-ins are pre-registered.
+template <typename T = double>
+class SolverRegistry {
+public:
+    /// A builder receives the planner, the spec's arguments (segments after
+    /// the base name), and the fallback parameters.
+    using Builder = std::function<std::unique_ptr<Solver<T>>(
+        Planner<T>&, const std::vector<std::string>&, const SolverParams&)>;
+
+    [[nodiscard]] static SolverRegistry& instance() {
+        static SolverRegistry reg = make_builtin();
+        return reg;
+    }
+
+    void register_solver(const std::string& base, Builder builder) {
+        KDR_REQUIRE(!base.empty() && base.find('/') == std::string::npos,
+                    "register_solver: base name must be non-empty and '/'-free");
+        builders_[base] = std::move(builder);
+    }
+
+    [[nodiscard]] bool known(const std::string& name) const {
+        try {
+            const std::vector<std::string> spec = detail::split_spec(name);
+            return !spec.empty() && builders_.count(spec[0]) != 0;
+        } catch (const Error&) {
+            return false; // malformed spec (empty segment) — not a known solver
+        }
+    }
+
+    [[nodiscard]] std::vector<std::string> names() const {
+        std::vector<std::string> out;
+        out.reserve(builders_.size());
+        for (const auto& [k, v] : builders_) out.push_back(k);
+        return out;
+    }
+
+    [[nodiscard]] std::unique_ptr<Solver<T>> build(const std::string& name,
+                                                   Planner<T>& planner,
+                                                   const SolverParams& params) const {
+        const std::vector<std::string> spec = detail::split_spec(name);
+        KDR_REQUIRE(!spec.empty(), "make_solver: empty solver name");
+        const auto it = builders_.find(spec[0]);
+        if (it == builders_.end()) {
+            std::string all;
+            for (const auto& [k, v] : builders_) {
+                if (!all.empty()) all += ", ";
+                all += k;
+            }
+            KDR_REQUIRE(false, "make_solver: unknown solver '", name,
+                        "' (known: ", all, ")");
+        }
+        return it->second(
+            planner, std::vector<std::string>(spec.begin() + 1, spec.end()), params);
+    }
+
+private:
+    [[nodiscard]] static SolverRegistry make_builtin() {
+        SolverRegistry reg;
+        const auto no_args = [](const char* base, const std::vector<std::string>& args) {
+            KDR_REQUIRE(args.empty(), "solver spec: '", base, "' takes no arguments");
+        };
+        reg.builders_["cg"] = [no_args](Planner<T>& p, const std::vector<std::string>& a,
+                                        const SolverParams&) {
+            no_args("cg", a);
+            return std::make_unique<CgSolver<T>>(p);
+        };
+        reg.builders_["pcg"] = [no_args](Planner<T>& p, const std::vector<std::string>& a,
+                                         const SolverParams&) {
+            no_args("pcg", a);
+            return std::make_unique<PcgSolver<T>>(p);
+        };
+        reg.builders_["bicg"] = [no_args](Planner<T>& p, const std::vector<std::string>& a,
+                                          const SolverParams&) {
+            no_args("bicg", a);
+            return std::make_unique<BiCgSolver<T>>(p);
+        };
+        reg.builders_["bicgstab"] = [no_args](Planner<T>& p,
+                                              const std::vector<std::string>& a,
+                                              const SolverParams&) {
+            no_args("bicgstab", a);
+            return std::make_unique<BiCgStabSolver<T>>(p);
+        };
+        reg.builders_["minres"] = [no_args](Planner<T>& p,
+                                            const std::vector<std::string>& a,
+                                            const SolverParams&) {
+            no_args("minres", a);
+            return std::make_unique<MinresSolver<T>>(p);
+        };
+        reg.builders_["gmres"] = [](Planner<T>& p, const std::vector<std::string>& a,
+                                    const SolverParams& params) {
+            KDR_REQUIRE(a.size() <= 1, "solver spec: gmres takes at most gmres/<m>");
+            const int m = a.empty() ? params.gmres_restart
+                                    : detail::parse_int_arg(a[0], "gmres restart");
+            return std::make_unique<GmresSolver<T>>(p, m);
+        };
+        reg.builders_["ca_cg"] = [](Planner<T>& p, const std::vector<std::string>& a,
+                                    const SolverParams& params) {
+            KDR_REQUIRE(a.size() <= 2,
+                        "solver spec: ca_cg takes at most ca_cg/<s>/<basis>");
+            const int s = a.empty() ? params.ca_s
+                                    : detail::parse_int_arg(a[0], "ca_cg block size");
+            const CaBasis basis =
+                a.size() >= 2 ? detail::parse_basis_arg(a[1]) : params.ca_basis;
+            return std::make_unique<CaCgSolver<T>>(p, s, basis);
+        };
+        reg.builders_["ca_gmres"] = [](Planner<T>& p, const std::vector<std::string>& a,
+                                       const SolverParams& params) {
+            KDR_REQUIRE(a.size() <= 3,
+                        "solver spec: ca_gmres takes at most ca_gmres/<m>/<s>/<basis>");
+            const int m = a.empty() ? params.gmres_restart
+                                    : detail::parse_int_arg(a[0], "ca_gmres restart");
+            const int s = a.size() >= 2 ? detail::parse_int_arg(a[1], "ca_gmres block size")
+                                        : params.ca_s;
+            const CaBasis basis =
+                a.size() >= 3 ? detail::parse_basis_arg(a[2]) : params.ca_basis;
+            return std::make_unique<CaGmresSolver<T>>(p, m, s, basis);
+        };
+        return reg;
+    }
+
+    std::map<std::string, Builder> builders_;
+};
+
+/// Build a solver from its spec — THE construction path for every layer.
+template <typename T = double>
+[[nodiscard]] std::unique_ptr<Solver<T>> make_solver(const std::string& name,
+                                                     Planner<T>& planner,
+                                                     const SolverParams& params = {}) {
+    return SolverRegistry<T>::instance().build(name, planner, params);
+}
+
+/// Convenience overload: CA parameters from the option surface.
+template <typename T = double>
+[[nodiscard]] std::unique_ptr<Solver<T>> make_solver(const std::string& name,
+                                                     Planner<T>& planner,
+                                                     const CommonOptions& opts) {
+    return SolverRegistry<T>::instance().build(name, planner, SolverParams::from(opts));
+}
+
+/// A reusable factory for the recovery layer's rebuild-on-restart loop and
+/// the service engine's per-request construction.
+template <typename T = double>
+[[nodiscard]] std::function<std::unique_ptr<Solver<T>>(Planner<T>&)>
+make_solver_factory(std::string name, SolverParams params = {}) {
+    // Fail at factory-construction time, not first use: a bad spec inside a
+    // recovery fallback would otherwise only surface mid-solve.
+    KDR_REQUIRE(SolverRegistry<T>::instance().known(name),
+                "make_solver_factory: unknown or malformed solver spec '", name, "'");
+    return [name = std::move(name), params](Planner<T>& planner) {
+        return make_solver<T>(name, planner, params);
+    };
+}
+
+/// True when `name` parses to a registered solver base.
+template <typename T = double>
+[[nodiscard]] bool is_known_solver(const std::string& name) {
+    return SolverRegistry<T>::instance().known(name);
+}
+
+} // namespace kdr::core

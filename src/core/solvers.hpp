@@ -106,6 +106,14 @@ public:
 
     [[nodiscard]] virtual const char* name() const = 0;
 
+    /// Mathematical iterations advanced by one step() call. Classic solvers
+    /// step one iteration at a time; s-step (communication-avoiding) solvers
+    /// advance a whole s-block per step, and everything that counts
+    /// iterations — recovery budgets, monitors, per-iteration timing —
+    /// must scale by this instead of assuming 1. Checkpoints taken between
+    /// steps therefore land on s-block boundaries by construction.
+    [[nodiscard]] virtual int iterations_per_step() const noexcept { return 1; }
+
 protected:
     /// Record a terminal status; the first terminal status wins.
     void fail(SolveStatus s) noexcept {
@@ -174,7 +182,10 @@ SolveResult solve(Solver<T>& solver, double tol, int max_iterations,
     double r0 = 0.0;
     double best = 0.0;
     int since_best = 0;
-    for (int it = 0;; ++it) {
+    // `it` counts iterations, not steps: an s-step solver advances
+    // iterations_per_step() = s of them per step, so budgets stay comparable
+    // across classic and communication-avoiding methods.
+    for (int it = 0;; it += solver.iterations_per_step()) {
         out.iterations = it;
         if (solver.status() != SolveStatus::running) {
             out.status = solver.status();

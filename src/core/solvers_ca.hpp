@@ -1,0 +1,727 @@
+#pragma once
+
+/// \file solvers_ca.hpp
+/// Communication-avoiding s-step Krylov methods (CA-CG, CA-GMRES). The
+/// classic methods pay one global reduction per inner product — two per CG
+/// iteration, O(j) per GMRES column — and past a node count the allreduce
+/// tree latency, not bandwidth, bounds time per iteration. The s-step
+/// reformulation [Chronopoulos-Gear; Hoemmen; Carson] builds an s-deep power
+/// basis with matmuls only, assembles every needed inner product in ONE
+/// fused Gram reduction (planner::gram_batch), runs s iterations as host
+/// recurrences on basis coordinates, and commits the block with ONE fused
+/// recombination kernel (planner::block_update): two global syncs per s
+/// iterations instead of 2s.
+///
+/// Degenerate limit: at s = 1 both solvers execute the *literal* classic
+/// update sequence — same kernels, same operand order, same guards — so
+/// their histories are bitwise identical to CgSolver / GmresSolver. The
+/// golden suite pins this.
+///
+/// Basis conditioning: the monomial basis [p, Ap, …, Aˢp] has condition
+/// number growing like κ(A)^s; large s surfaces as a negative coordinate
+/// ρ or a failed Cholesky pivot, classified as a breakdown (recovery
+/// restarts from the last checkpoint, which lands on an s-block boundary by
+/// construction). The Newton basis [(A−θ₁)p, (A−θ₂)(A−θ₁)p, …] with
+/// Leja-ordered Chebyshev shifts on [0, λ_max] pushes the usable s higher at
+/// the cost of one shift axpy per basis matmul.
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/planner.hpp"
+#include "core/scalar.hpp"
+#include "core/solve_status.hpp"
+#include "core/solvers.hpp"
+#include "core/solvers_extra.hpp"
+#include "obs/span.hpp"
+#include "support/error.hpp"
+
+namespace kdr::core {
+
+/// Power-basis flavor for the s-step solvers.
+enum class CaBasis {
+    monomial, ///< z_k = A z_{k-1}: cheapest, conditioning grows like κ^s
+    newton,   ///< z_k = (A - θ_k) z_{k-1}, Leja-ordered Chebyshev shifts
+};
+
+namespace detail {
+
+/// Chebyshev points on [0, lmax], Leja-ordered (greedily maximizing the
+/// product of distances to already-chosen points, largest first). The
+/// ordering — not the point set — is what keeps intermediate Newton basis
+/// vectors from under/overflowing at moderate s.
+[[nodiscard]] inline std::vector<double> leja_chebyshev_shifts(double lmax, int s) {
+    std::vector<double> pts(static_cast<std::size_t>(s));
+    for (int i = 0; i < s; ++i) {
+        const double angle = std::numbers::pi_v<double> *
+                             (static_cast<double>(i) + 0.5) / static_cast<double>(s);
+        pts[static_cast<std::size_t>(i)] = 0.5 * lmax * (1.0 - std::cos(angle));
+    }
+    std::vector<double> out;
+    std::vector<bool> used(pts.size(), false);
+    for (std::size_t n = 0; n < pts.size(); ++n) {
+        std::size_t best = 0;
+        double best_score = -1.0;
+        for (std::size_t i = 0; i < pts.size(); ++i) {
+            if (used[i]) continue;
+            double score = 1.0;
+            if (out.empty()) {
+                score = std::abs(pts[i]);
+            } else {
+                for (const double c : out) score *= std::abs(pts[i] - c);
+            }
+            if (score > best_score) {
+                best_score = score;
+                best = i;
+            }
+        }
+        used[best] = true;
+        out.push_back(pts[best]);
+    }
+    return out;
+}
+
+} // namespace detail
+
+// ================================================================== CA-CG
+
+/// s-step conjugate gradients. One step() advances a whole s-block:
+///   basis    — 2s-1 matmuls extend [p, Ap, …, Aˢp] and [r, Ar, …, Aˢ⁻¹r]
+///   gram     — every inner product the block needs, one fused reduction
+///   recur    — s CG iterations as host recurrences on basis coordinates
+///   commit   — x, r, p rewritten by one fused block_update kernel
+/// Two global syncs per block (the Gram tree + nothing else — ρ_s is a
+/// coordinate quantity) versus 2s for classic CG.
+template <typename T = double>
+class CaCgSolver final : public Solver<T> {
+public:
+    explicit CaCgSolver(Planner<T>& planner, int s = 4,
+                        CaBasis basis = CaBasis::monomial)
+        : planner_(planner), s_(s), newton_(basis == CaBasis::newton && s >= 2) {
+        KDR_REQUIRE(planner_.is_square(), "CA-CG requires a square system");
+        KDR_REQUIRE(s_ >= 1, "CA-CG block size must be >= 1");
+        this->arm_guards(planner_.runtime().functional());
+        const obs::Span span(planner_.runtime().spans(), "setup");
+        p_ = planner_.allocate_workspace_vector();
+        if (s_ == 1) q_ = planner_.allocate_workspace_vector();
+        r_ = planner_.allocate_workspace_vector();
+        if (s_ >= 2) {
+            // Basis layout: column 0..s = z_0..z_s (z_0 ≡ p), column
+            // s+1..2s = w_0..w_{s-1} (w_0 ≡ r).
+            basis_.push_back(p_);
+            for (int k = 1; k <= s_; ++k) {
+                basis_.push_back(planner_.allocate_workspace_vector());
+            }
+            basis_.push_back(r_);
+            for (int k = 1; k <= s_ - 1; ++k) {
+                basis_.push_back(planner_.allocate_workspace_vector());
+            }
+            const int nb = 2 * s_ + 1;
+            for (int a = 0; a < nb; ++a) {
+                for (int b = a; b < nb; ++b) pairs_.push_back({a, b});
+            }
+            theta_.assign(static_cast<std::size_t>(s_) + 1, 0.0);
+            if (newton_ && planner_.runtime().functional()) {
+                const double lmax = estimate_lambda_max(planner_);
+                const std::vector<double> shifts =
+                    detail::leja_chebyshev_shifts(lmax, s_);
+                for (int k = 1; k <= s_; ++k) {
+                    theta_[static_cast<std::size_t>(k)] =
+                        shifts[static_cast<std::size_t>(k - 1)];
+                }
+            }
+        }
+        // r = b - A x0; p = r. At s = 1 this is CgSolver's setup verbatim;
+        // at s >= 2 the first basis slot doubles as the setup scratch.
+        const VecId scratch = s_ == 1 ? q_ : basis_[1];
+        planner_.matmul(scratch, Planner<T>::SOL);
+        planner_.copy(r_, Planner<T>::RHS);
+        planner_.axpy(r_, make_scalar(-1.0), scratch);
+        planner_.copy(p_, r_);
+        res_ = planner_.dot(r_, r_);
+        if (this->nonfinite(res_.value)) this->fail(SolveStatus::breakdown_nonfinite);
+        trace_id_ = detail::solver_trace_id(
+            planner_, "ca_cg/" + std::to_string(s_) +
+                          (newton_ ? "/newton" : "/monomial"));
+    }
+
+    void step() override {
+        if (this->status() != SolveStatus::running) return;
+        if (this->vanished(res_.value, 1.0)) {
+            this->fail(SolveStatus::breakdown_rho_zero);
+            return;
+        }
+        if (s_ == 1) {
+            step_classic();
+        } else {
+            step_block();
+        }
+    }
+
+    [[nodiscard]] Scalar get_convergence_measure() const override { return sqrt(res_); }
+    [[nodiscard]] const char* name() const override { return "ca_cg"; }
+    [[nodiscard]] int iterations_per_step() const noexcept override { return s_; }
+    [[nodiscard]] int block_size() const noexcept { return s_; }
+
+private:
+    /// The s = 1 path IS classic CG — kernel for kernel, guard for guard —
+    /// which is what makes CaCgSolver(planner, 1) bitwise-identical to
+    /// CgSolver on the golden histories.
+    void step_classic() {
+        const detail::TraceScope trace(planner_.runtime(), trace_id_);
+        planner_.matmul(q_, p_);
+        const Scalar p_norm = planner_.dot(p_, q_);
+        if (this->nonfinite(p_norm.value)) {
+            this->fail(SolveStatus::breakdown_nonfinite);
+            return;
+        }
+        if (this->vanished(p_norm.value, res_.value)) {
+            this->fail(SolveStatus::breakdown_pivot_zero);
+            return;
+        }
+        if (p_norm.value < 0.0) {
+            this->fail(SolveStatus::breakdown_indefinite);
+            return;
+        }
+        const Scalar alpha = res_ / p_norm;
+        planner_.axpy(Planner<T>::SOL, alpha, p_);
+        const Scalar new_res = planner_.axpy_dot(r_, -alpha, q_, r_);
+        if (this->nonfinite(new_res.value)) {
+            this->fail(SolveStatus::breakdown_nonfinite);
+            return;
+        }
+        planner_.xpay(p_, new_res / res_, r_);
+        res_ = new_res;
+    }
+
+    /// Coordinate index of z_k / w_k in the basis.
+    [[nodiscard]] std::size_t zi(int k) const { return static_cast<std::size_t>(k); }
+    [[nodiscard]] std::size_t wi(int k) const {
+        return static_cast<std::size_t>(s_ + 1 + k);
+    }
+
+    void step_block() {
+        const detail::TraceScope trace(planner_.runtime(), trace_id_);
+        const std::size_t nb = static_cast<std::size_t>(2 * s_ + 1);
+
+        // --- basis: z_k = (A - θ_k) z_{k-1}, w_k = (A - θ_k) w_{k-1}.
+        // Shift axpys are launched iff the Newton flag is set — a
+        // construction-time structural decision, never a value test — so the
+        // block's launch stream is identical across blocks and traces replay.
+        for (int k = 1; k <= s_; ++k) {
+            planner_.matmul(basis_[zi(k)], basis_[zi(k - 1)]);
+            if (newton_) {
+                planner_.axpy(basis_[zi(k)],
+                              make_scalar(-theta_[static_cast<std::size_t>(k)]),
+                              basis_[zi(k - 1)]);
+            }
+        }
+        for (int k = 1; k <= s_ - 1; ++k) {
+            planner_.matmul(basis_[wi(k)], basis_[wi(k - 1)]);
+            if (newton_) {
+                planner_.axpy(basis_[wi(k)],
+                              make_scalar(-theta_[static_cast<std::size_t>(k)]),
+                              basis_[wi(k - 1)]);
+            }
+        }
+
+        // --- gram: one fused reduction for every pairwise inner product.
+        const std::vector<Scalar> gv = planner_.gram_batch(basis_, pairs_);
+        const double gdone = gv.empty() ? 0.0 : gv[0].ready_time;
+        std::vector<double> G(nb * nb);
+        for (std::size_t p = 0; p < pairs_.size(); ++p) {
+            const auto a = static_cast<std::size_t>(pairs_[p].first);
+            const auto b = static_cast<std::size_t>(pairs_[p].second);
+            G[a * nb + b] = gv[p].value;
+            G[b * nb + a] = gv[p].value;
+        }
+        const auto gmul = [&](const std::vector<double>& x) {
+            std::vector<double> y(nb, 0.0);
+            for (std::size_t a = 0; a < nb; ++a) {
+                double sum = 0.0;
+                for (std::size_t b = 0; b < nb; ++b) sum += G[a * nb + b] * x[b];
+                y[a] = sum;
+            }
+            return y;
+        };
+        const auto dotc = [&](const std::vector<double>& a,
+                              const std::vector<double>& b) {
+            double sum = 0.0;
+            for (std::size_t i = 0; i < nb; ++i) sum += a[i] * b[i];
+            return sum;
+        };
+        // Coordinates of A·v for v with z-degree < s and w-degree < s-1:
+        // A z_k = z_{k+1} + θ_{k+1} z_k (and likewise for w).
+        const auto shift_apply = [&](const std::vector<double>& x) {
+            std::vector<double> y(nb, 0.0);
+            for (int k = 0; k < s_; ++k) {
+                y[zi(k + 1)] += x[zi(k)];
+                if (newton_) y[zi(k)] += theta_[static_cast<std::size_t>(k + 1)] * x[zi(k)];
+            }
+            for (int k = 0; k < s_ - 1; ++k) {
+                y[wi(k + 1)] += x[wi(k)];
+                if (newton_) y[wi(k)] += theta_[static_cast<std::size_t>(k + 1)] * x[wi(k)];
+            }
+            return y;
+        };
+
+        // --- recurrences: s CG iterations on coordinates (no launches).
+        std::vector<double> c(nb, 0.0), d(nb, 0.0), e(nb, 0.0);
+        c[wi(0)] = 1.0;
+        d[zi(0)] = 1.0;
+        double rho = G[wi(0) * nb + wi(0)]; // ‖r‖², fresh from the Gram
+        SolveStatus pending = SolveStatus::running;
+        for (int j = 0; j < s_; ++j) {
+            const std::vector<double> sd = shift_apply(d);
+            const double mu = dotc(d, gmul(sd));
+            if (this->nonfinite(mu)) {
+                pending = SolveStatus::breakdown_nonfinite;
+                break;
+            }
+            if (this->vanished(mu, rho)) {
+                pending = SolveStatus::breakdown_pivot_zero;
+                break;
+            }
+            if (mu < 0.0) {
+                // <p_j, A p_j> < 0 in coordinates: either the operator is
+                // not SPD or the basis has lost independence (the s-step
+                // conditioning wall). Both end the run.
+                pending = SolveStatus::breakdown_indefinite;
+                break;
+            }
+            const double alpha = rho / mu;
+            for (std::size_t i = 0; i < nb; ++i) {
+                e[i] += alpha * d[i];
+                c[i] -= alpha * sd[i];
+            }
+            const double rho_new = dotc(c, gmul(c));
+            if (this->nonfinite(rho_new)) {
+                pending = SolveStatus::breakdown_nonfinite;
+                break;
+            }
+            if (rho_new < 0.0) {
+                // ‖r‖² < 0 is impossible for an honest residual: the Gram
+                // coordinates have gone inconsistent (basis conditioning).
+                pending = SolveStatus::breakdown_indefinite;
+                break;
+            }
+            if (this->vanished(rho_new, 1.0)) {
+                // Lucky: residual vanished mid-block. Commit what we have;
+                // the driver sees the (near-)zero measure and stops.
+                rho = rho_new;
+                break;
+            }
+            const double beta = rho_new / rho;
+            for (std::size_t i = 0; i < nb; ++i) d[i] = c[i] + beta * d[i];
+            rho = rho_new;
+        }
+
+        // --- commit: x += B·e, r = B·c, p = B·d, one fused kernel. The
+        // coefficient values vary per block but the launch shape does not.
+        const auto coeff_row = [&](const std::vector<double>& x) {
+            std::vector<Scalar> row;
+            row.reserve(nb);
+            for (const double v : x) row.push_back({v, gdone});
+            return row;
+        };
+        planner_.block_update(basis_, {Planner<T>::SOL, p_, r_},
+                              {coeff_row(e), coeff_row(d), coeff_row(c)},
+                              {true, false, false});
+        res_ = Scalar{rho, gdone};
+        if (pending != SolveStatus::running) this->fail(pending);
+    }
+
+    Planner<T>& planner_;
+    int s_;
+    bool newton_;
+    VecId p_{}, q_{}, r_{};
+    std::vector<VecId> basis_;                  // s >= 2 only
+    std::vector<std::pair<int, int>> pairs_;    // Gram upper triangle
+    std::vector<double> theta_;                 // Newton shifts, 1-based
+    Scalar res_; ///< squared residual, as in CgSolver
+    std::uint64_t trace_id_ = 0;
+};
+
+// =============================================================== CA-GMRES
+
+/// s-step restarted GMRES(m). One step() advances min(s, m - j) Arnoldi
+/// columns: s matmuls build the candidate block U = [A v_j, A²v_j, …], one
+/// fused Gram reduction delivers C = QᵀU and UᵀU, a host Cholesky of
+/// UᵀU − CᵀC factors the block (block classical Gram-Schmidt), and the new
+/// orthonormal columns are materialized by axpys. Hessenberg entries are
+/// reconstructed on the host from C and R — no further reductions — so the
+/// block costs ONE global sync where classic MGS pays j+2 per column.
+///
+/// At s = 1 the block path is bypassed entirely: step() runs the literal
+/// classic MGS column (bitwise-identical histories to GmresSolver).
+template <typename T = double>
+class CaGmresSolver final : public Solver<T> {
+public:
+    explicit CaGmresSolver(Planner<T>& planner, int restart = 10, int s = 4,
+                           CaBasis basis = CaBasis::monomial)
+        : planner_(planner), m_(restart), s_(std::min(s, restart)),
+          newton_(basis == CaBasis::newton && std::min(s, restart) >= 2) {
+        KDR_REQUIRE(planner_.is_square(), "CA-GMRES requires a square system");
+        KDR_REQUIRE(m_ >= 1, "CA-GMRES restart length must be >= 1");
+        KDR_REQUIRE(s >= 1, "CA-GMRES block size must be >= 1");
+        this->arm_guards(planner_.runtime().functional());
+        const obs::Span span(planner_.runtime().spans(), "setup");
+        for (int i = 0; i <= m_; ++i) v_.push_back(planner_.allocate_workspace_vector());
+        w_ = planner_.allocate_workspace_vector();
+        if (s_ >= 2) {
+            for (int k = 0; k < s_; ++k) {
+                u_.push_back(planner_.allocate_workspace_vector());
+            }
+            theta_.assign(static_cast<std::size_t>(s_) + 1, 0.0);
+            if (newton_ && planner_.runtime().functional()) {
+                const double lmax = estimate_lambda_max(planner_);
+                const std::vector<double> shifts =
+                    detail::leja_chebyshev_shifts(lmax, s_);
+                for (int k = 1; k <= s_; ++k) {
+                    theta_[static_cast<std::size_t>(k)] =
+                        shifts[static_cast<std::size_t>(k - 1)];
+                }
+            }
+        }
+        h_.assign(static_cast<std::size_t>(m_ + 1) * static_cast<std::size_t>(m_), {});
+        hess_.assign(h_.size(), 0.0);
+        cs_.assign(static_cast<std::size_t>(m_), {});
+        sn_.assign(static_cast<std::size_t>(m_), {});
+        g_.assign(static_cast<std::size_t>(m_ + 1), {});
+        begin_cycle();
+        trace_id_ = detail::solver_trace_id(
+            planner_, "ca_gmres/" + std::to_string(m_) + "/" + std::to_string(s_) +
+                          (newton_ ? "/newton" : "/monomial"));
+    }
+
+    ~CaGmresSolver() override {
+        if (cycle_trace_open_) planner_.runtime().cancel_trace();
+    }
+
+    void step() override {
+        if (this->status() != SolveStatus::running) return;
+        if (trace_id_ != 0 && j_ == 0 && !cycle_trace_open_) {
+            planner_.runtime().begin_trace(trace_id_);
+            cycle_trace_open_ = true;
+        }
+        if (s_ == 1) {
+            step_classic_column();
+        } else {
+            step_block();
+        }
+        if (this->status() != SolveStatus::running) return;
+        if (j_ == m_) {
+            const obs::Span restart(planner_.runtime().spans(), "restart");
+            update_solution(m_);
+            begin_cycle();
+            if (cycle_trace_open_) {
+                planner_.runtime().end_trace();
+                cycle_trace_open_ = false;
+            }
+        }
+    }
+
+    [[nodiscard]] Scalar get_convergence_measure() const override { return res_norm_; }
+    [[nodiscard]] const char* name() const override { return "ca_gmres"; }
+    [[nodiscard]] int iterations_per_step() const noexcept override { return s_; }
+    [[nodiscard]] int restart_length() const noexcept { return m_; }
+    [[nodiscard]] int block_size() const noexcept { return s_; }
+
+    void finalize() override {
+        if (cycle_trace_open_) {
+            planner_.runtime().cancel_trace();
+            cycle_trace_open_ = false;
+        }
+        if (j_ > 0 && this->status() == SolveStatus::running) {
+            const obs::Span restart(planner_.runtime().spans(), "restart");
+            update_solution(j_);
+            begin_cycle();
+        }
+    }
+
+private:
+    Scalar& h(std::size_t i, std::size_t j) {
+        return h_[i * static_cast<std::size_t>(m_) + j];
+    }
+
+    /// Raw (pre-rotation) Hessenberg values. apply_givens overwrites h_ in
+    /// place with the rotated triangle, but the H-reconstruction recursion
+    /// needs the original A v_i expansions — this shadow keeps them.
+    double& hess(std::size_t i, std::size_t j) {
+        return hess_[i * static_cast<std::size_t>(m_) + j];
+    }
+
+    void abandon_cycle_trace() {
+        if (cycle_trace_open_) {
+            planner_.runtime().cancel_trace();
+            cycle_trace_open_ = false;
+        }
+    }
+
+    /// Literal classic MGS Arnoldi column (GmresSolver::step body) — the
+    /// bitwise s = 1 path.
+    void step_classic_column() {
+        const std::size_t j = static_cast<std::size_t>(j_);
+        planner_.matmul(w_, v_[j]);
+        for (std::size_t i = 0; i <= j; ++i) {
+            h(i, j) = planner_.dot(w_, v_[i]);
+            planner_.axpy(w_, -h(i, j), v_[i]);
+        }
+        h(j + 1, j) = sqrt(planner_.dot(w_, w_));
+        if (this->nonfinite(h(j + 1, j).value)) {
+            abandon_cycle_trace();
+            this->fail(SolveStatus::breakdown_nonfinite);
+            return;
+        }
+        const bool lucky = this->vanished(h(j + 1, j).value, res_norm_.value);
+        if (lucky) {
+            h(j + 1, j) = make_scalar(0.0);
+        } else {
+            planner_.copy(v_[j + 1], w_);
+            planner_.scal(v_[j + 1], make_scalar(1.0) / h(j + 1, j));
+        }
+        if (!apply_givens(j)) return;
+        ++j_;
+    }
+
+    /// One s-block of Arnoldi columns via block classical Gram-Schmidt with
+    /// Gram-matrix orthogonalization.
+    void step_block() {
+        const int j = j_;
+        const int t = std::min(s_, m_ - j);
+        const auto ju = static_cast<std::size_t>(j);
+
+        // --- candidates: u_0 = (A - θ_1) v_j, u_k = (A - θ_{k+1}) u_{k-1}.
+        planner_.matmul(u_[0], v_[ju]);
+        if (newton_) planner_.axpy(u_[0], make_scalar(-theta_[1]), v_[ju]);
+        for (int k = 1; k < t; ++k) {
+            const auto ku = static_cast<std::size_t>(k);
+            planner_.matmul(u_[ku], u_[ku - 1]);
+            if (newton_) {
+                planner_.axpy(u_[ku], make_scalar(-theta_[ku + 1]), u_[ku - 1]);
+            }
+        }
+
+        // --- one fused Gram reduction: C = QᵀU and the UᵀU triangle.
+        std::vector<VecId> vecs;
+        for (int i = 0; i <= j; ++i) vecs.push_back(v_[static_cast<std::size_t>(i)]);
+        for (int k = 0; k < t; ++k) vecs.push_back(u_[static_cast<std::size_t>(k)]);
+        std::vector<std::pair<int, int>> pairs;
+        for (int i = 0; i <= j; ++i) {
+            for (int k = 0; k < t; ++k) pairs.push_back({i, j + 1 + k});
+        }
+        for (int k = 0; k < t; ++k) {
+            for (int l = k; l < t; ++l) pairs.push_back({j + 1 + k, j + 1 + l});
+        }
+        const std::vector<Scalar> gv = planner_.gram_batch(vecs, pairs);
+        const double gdone = gv.empty() ? 0.0 : gv[0].ready_time;
+        const auto tu = static_cast<std::size_t>(t);
+        std::vector<double> C((ju + 1) * tu);      // C(i,k) = v_i · u_k
+        std::vector<double> S(tu * tu);            // S(k,l) = u_k · u_l
+        {
+            std::size_t p = 0;
+            for (std::size_t i = 0; i <= ju; ++i) {
+                for (std::size_t k = 0; k < tu; ++k) C[i * tu + k] = gv[p++].value;
+            }
+            for (std::size_t k = 0; k < tu; ++k) {
+                for (std::size_t l = k; l < tu; ++l) {
+                    S[k * tu + l] = gv[p].value;
+                    S[l * tu + k] = gv[p].value;
+                    ++p;
+                }
+            }
+        }
+
+        // --- host Cholesky of M = UᵀU − CᵀC = RᵀR (upper R). A failed
+        // pivot is the block orthogonalization's breakdown signal: the
+        // candidates are (numerically) dependent — either the happy case
+        // (solution reached) or the s-step conditioning wall. Both are
+        // classified and left to the driver / recovery.
+        std::vector<double> R(tu * tu, 0.0);
+        for (std::size_t k = 0; k < tu; ++k) {
+            for (std::size_t l = k; l < tu; ++l) {
+                double m = S[k * tu + l];
+                for (std::size_t i = 0; i <= ju; ++i) {
+                    m -= C[i * tu + k] * C[i * tu + l];
+                }
+                for (std::size_t i = 0; i < k; ++i) {
+                    m -= R[i * tu + k] * R[i * tu + l];
+                }
+                if (l == k) {
+                    if (this->nonfinite(m)) {
+                        abandon_cycle_trace();
+                        this->fail(SolveStatus::breakdown_nonfinite);
+                        return;
+                    }
+                    if (m <= 0.0 && planner_.runtime().functional()) {
+                        abandon_cycle_trace();
+                        this->fail(SolveStatus::breakdown_pivot_zero);
+                        return;
+                    }
+                    R[k * tu + k] = std::sqrt(m);
+                } else {
+                    R[k * tu + l] = m / R[k * tu + k];
+                }
+            }
+        }
+
+        // --- materialize the new orthonormal columns into v_[j+1 .. j+t]:
+        // W = U − Q C, then columns of W R⁻¹ in place.
+        for (std::size_t k = 0; k < tu; ++k) {
+            planner_.copy(v_[ju + 1 + k], u_[k]);
+            for (std::size_t i = 0; i <= ju; ++i) {
+                planner_.axpy(v_[ju + 1 + k], Scalar{-C[i * tu + k], gdone}, v_[i]);
+            }
+        }
+        for (std::size_t k = 0; k < tu; ++k) {
+            for (std::size_t l = 0; l < k; ++l) {
+                planner_.axpy(v_[ju + 1 + k], Scalar{-R[l * tu + k], gdone},
+                              v_[ju + 1 + l]);
+            }
+            planner_.scal(v_[ju + 1 + k], Scalar{1.0 / R[k * tu + k], gdone});
+        }
+
+        // --- Hessenberg reconstruction (host only): column j directly from
+        // (C, R); later columns from the recursion
+        //   A v_{j+k} = [u_k + θ_{k+1} u_{k-1}
+        //                − Σ_i C(i,k-1) A v_i − Σ_{l<k-1} R(l,k-1) A v_{j+1+l}]
+        //               / R(k-1,k-1)
+        // expanded in v-coordinates, where each u_m = Q C(:,m) + Q_new R(:,m).
+        const std::size_t dim = ju + tu + 2; // coords over v_0 .. v_{j+t+1}
+        std::vector<std::vector<double>> av(tu, std::vector<double>(dim, 0.0));
+        const auto u_coords = [&](std::size_t mcol) {
+            std::vector<double> x(dim, 0.0);
+            for (std::size_t i = 0; i <= ju; ++i) x[i] = C[i * tu + mcol];
+            for (std::size_t l = 0; l <= mcol; ++l) {
+                x[ju + 1 + l] = R[l * tu + mcol];
+            }
+            return x;
+        };
+        // A v_j = u_0 + θ_1 v_j. Each column's raw coordinates land in
+        // hess_ immediately: the k+1 recursion reads hess(·, i) for every
+        // i <= j, including column j produced by this very block.
+        av[0] = u_coords(0);
+        if (newton_) av[0][ju] += theta_[1];
+        for (std::size_t i = 0; i <= ju + 1; ++i) hess(i, ju) = av[0][i];
+        for (std::size_t k = 1; k < tu; ++k) {
+            std::vector<double> x = u_coords(k);
+            if (newton_) {
+                const std::vector<double> prev = u_coords(k - 1);
+                for (std::size_t i = 0; i < dim; ++i) {
+                    x[i] += theta_[k + 1] * prev[i];
+                }
+            }
+            // Prior columns' A v images in v-coordinates.
+            for (std::size_t i = 0; i <= ju; ++i) {
+                const double ci = C[i * tu + (k - 1)];
+                // A v_i = Σ_{i' <= i+1} hess(i', i) v_{i'} from the raw H.
+                for (std::size_t ip = 0; ip <= i + 1; ++ip) {
+                    x[ip] -= ci * hess(ip, i);
+                }
+            }
+            for (std::size_t l = 0; l + 1 < k; ++l) {
+                const double rl = R[l * tu + (k - 1)];
+                for (std::size_t i = 0; i < dim; ++i) x[i] -= rl * av[l + 1][i];
+            }
+            const double rkk = R[(k - 1) * tu + (k - 1)];
+            for (std::size_t i = 0; i < dim; ++i) x[i] /= rkk;
+            av[k] = x;
+            for (std::size_t i = 0; i <= ju + k + 1; ++i) hess(i, ju + k) = x[i];
+        }
+        for (std::size_t k = 0; k < tu; ++k) {
+            const std::size_t col = ju + k;
+            for (std::size_t i = 0; i <= col + 1; ++i) {
+                h(i, col) = Scalar{av[k][i], gdone};
+            }
+            if (!apply_givens(col)) return;
+            ++j_;
+        }
+    }
+
+    /// Rotate the filled H column `j` and update the residual estimate —
+    /// byte-for-byte the classic Givens tail.
+    [[nodiscard]] bool apply_givens(std::size_t j) {
+        for (std::size_t i = 0; i < j; ++i) {
+            const Scalar tmp = cs_[i] * h(i, j) + sn_[i] * h(i + 1, j);
+            h(i + 1, j) = -sn_[i] * h(i, j) + cs_[i] * h(i + 1, j);
+            h(i, j) = tmp;
+        }
+        const Scalar denom = sqrt(h(j, j) * h(j, j) + h(j + 1, j) * h(j + 1, j));
+        if (this->vanished(denom.value, 1.0) || this->nonfinite(denom.value)) {
+            abandon_cycle_trace();
+            this->fail(std::isfinite(denom.value) ? SolveStatus::breakdown_pivot_zero
+                                                  : SolveStatus::breakdown_nonfinite);
+            return false;
+        }
+        cs_[j] = h(j, j) / denom;
+        sn_[j] = h(j + 1, j) / denom;
+        h(j, j) = cs_[j] * h(j, j) + sn_[j] * h(j + 1, j);
+        h(j + 1, j) = make_scalar(0.0);
+        g_[j + 1] = -sn_[j] * g_[j];
+        g_[j] = cs_[j] * g_[j];
+        res_norm_ = Scalar{std::abs(g_[j + 1].value), g_[j + 1].ready_time};
+        return true;
+    }
+
+    void begin_cycle() {
+        planner_.matmul(w_, Planner<T>::SOL);
+        planner_.copy(v_[0], Planner<T>::RHS);
+        planner_.axpy(v_[0], make_scalar(-1.0), w_);
+        const Scalar beta = sqrt(planner_.dot(v_[0], v_[0]));
+        if (this->nonfinite(beta.value)) {
+            this->fail(SolveStatus::breakdown_nonfinite);
+        } else if (this->vanished(beta.value, 1.0)) {
+            // Exact solution already; the zero residual stops the driver.
+        } else {
+            planner_.scal(v_[0], make_scalar(1.0) / beta);
+        }
+        for (auto& gi : g_) gi = make_scalar(0.0);
+        std::fill(hess_.begin(), hess_.end(), 0.0);
+        g_[0] = beta;
+        res_norm_ = beta;
+        j_ = 0;
+    }
+
+    void update_solution(int k) {
+        std::vector<Scalar> y(static_cast<std::size_t>(k));
+        for (int i = k - 1; i >= 0; --i) {
+            Scalar sum = g_[static_cast<std::size_t>(i)];
+            for (int l = i + 1; l < k; ++l) {
+                sum = sum - h(static_cast<std::size_t>(i), static_cast<std::size_t>(l)) *
+                                y[static_cast<std::size_t>(l)];
+            }
+            const Scalar hii = h(static_cast<std::size_t>(i), static_cast<std::size_t>(i));
+            if (this->vanished(hii.value, 1.0) || this->nonfinite(hii.value)) {
+                this->fail(std::isfinite(hii.value) ? SolveStatus::breakdown_pivot_zero
+                                                    : SolveStatus::breakdown_nonfinite);
+                return;
+            }
+            y[static_cast<std::size_t>(i)] = sum / hii;
+        }
+        for (int i = 0; i < k; ++i) {
+            planner_.axpy(Planner<T>::SOL, y[static_cast<std::size_t>(i)],
+                          v_[static_cast<std::size_t>(i)]);
+        }
+    }
+
+    Planner<T>& planner_;
+    int m_;
+    int s_;
+    bool newton_;
+    int j_ = 0;
+    std::vector<VecId> v_;
+    std::vector<VecId> u_; // candidate block, s >= 2 only
+    VecId w_{};
+    std::vector<double> theta_; // Newton shifts, 1-based
+    std::vector<Scalar> h_, cs_, sn_, g_;
+    std::vector<double> hess_; // raw Hessenberg (see hess())
+    Scalar res_norm_;
+    std::uint64_t trace_id_ = 0;
+    bool cycle_trace_open_ = false;
+};
+
+} // namespace kdr::core

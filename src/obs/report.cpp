@@ -26,6 +26,8 @@ json::Value to_value(const SolveReport& r) {
     root.emplace("load_imbalance", json::Value(r.load_imbalance));
     root.emplace("transfer_bytes_total", json::Value(r.transfer_bytes));
     root.emplace("transfer_count_total", json::Value(static_cast<double>(r.transfer_count)));
+    root.emplace("global_syncs", json::Value(static_cast<double>(r.global_syncs)));
+    root.emplace("allreduce_wait_seconds", json::Value(r.allreduce_wait_seconds));
     root.emplace("status", json::Value(r.status));
 
     {
@@ -176,6 +178,12 @@ SolveReport SolveReport::from_json(const std::string& text) {
     r.transfer_count = static_cast<std::uint64_t>(doc["transfer_count_total"].as_number());
     // status/faults are has()-guarded: reports written before the fault layer
     // (or by trimmed-down tools) still parse.
+    if (doc.has("global_syncs")) {
+        r.global_syncs = static_cast<std::uint64_t>(doc["global_syncs"].as_number());
+    }
+    if (doc.has("allreduce_wait_seconds")) {
+        r.allreduce_wait_seconds = doc["allreduce_wait_seconds"].as_number();
+    }
     if (doc.has("status")) r.status = doc["status"].as_string();
     if (doc.has("faults")) {
         const json::Value& f = doc["faults"];
@@ -279,6 +287,10 @@ void SolveReport::print(std::ostream& os) const {
        << Table::num(load_imbalance, 3) << "x\n"
        << "transfers: " << Table::eng(transfer_bytes, 2) << "B in " << transfer_count
        << " messages\n";
+    if (global_syncs > 0) {
+        os << "global syncs: " << global_syncs << " allreduces, "
+           << Table::num(allreduce_wait_seconds * 1e3, 3) << " ms non-overlapped wait\n";
+    }
     if (faults.any()) {
         os << "faults: " << faults.task_faults << " injected, " << faults.task_retries
            << " retried, " << faults.retries_exhausted << " exhausted, " << faults.rollbacks

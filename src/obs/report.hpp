@@ -141,6 +141,14 @@ struct SolveReport {
     double transfer_bytes = 0.0;
     std::uint64_t transfer_count = 0;
     std::vector<PhaseStats> phases; ///< sorted by total, descending
+    /// Global synchronization points the solve paid for: one per completed
+    /// allreduce (every dot/dot_batch/gram/fused-reduce tail). The headline
+    /// communication-avoiding metric — CA-CG(s) performs 1/s of classic CG's.
+    std::uint64_t global_syncs = 0;
+    /// Virtual seconds tasks spent blocked on reduced scalars beyond their
+    /// data/analysis readiness (the non-overlapped part of allreduce
+    /// latency). 0 when every reduction hid behind independent work.
+    double allreduce_wait_seconds = 0.0;
     std::vector<ConvergenceSample> convergence;
     std::string status = "unknown"; ///< core::to_string of the SolveStatus
     FaultStats faults;

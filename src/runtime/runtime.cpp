@@ -13,6 +13,7 @@ Runtime::Runtime(sim::MachineDesc machine, Options options)
     transfer_counters_.resize(static_cast<std::size_t>(this->machine().nodes) *
                               static_cast<std::size_t>(this->machine().nodes));
     analysis_stall_ctr_ = &metrics_.counter("analysis_stall_seconds");
+    allreduce_wait_ctr_ = &metrics_.counter("allreduce_wait_seconds");
     task_fault_ctr_ = &metrics_.counter("task_faults_injected");
     task_retry_ctr_ = &metrics_.counter("task_retries");
     retry_exhausted_ctr_ = &metrics_.counter("task_retries_exhausted");
@@ -672,8 +673,14 @@ FutureScalar Runtime::launch(TaskLaunch launch) {
     const sim::ProcId proc = mapper_->select_processor(launch, machine());
     const std::size_t nreq = launch.requirements.size();
 
-    double dep_ready = launch.not_before;
-    for (double t : launch.scalar_deps) dep_ready = std::max(dep_ready, t);
+    // Scalar dependences (reduced-scalar ready times, plus the collective
+    // front under blocking-allreduce mode) are tracked separately from the
+    // data/analysis terms so the stall a task spends waiting on an allreduce
+    // — and nothing else — lands in allreduce_wait_seconds.
+    double scalar_ready = collective_front_;
+    for (double t : launch.scalar_deps) scalar_ready = std::max(scalar_ready, t);
+    double nonscalar_ready = launch.not_before;
+    double dep_ready = std::max(launch.not_before, scalar_ready);
     std::vector<double> req_dep(nreq, 0.0);
 
     // Event-profiler dependence edges for this launch: producer kernel events
@@ -728,7 +735,10 @@ FutureScalar Runtime::launch(TaskLaunch launch) {
     double ready;
     if (recipe != nullptr) {
         trace_skip_ctr_->inc();
-        for (std::size_t i = 0; i < nreq; ++i) dep_ready = std::max(dep_ready, req_dep[i]);
+        for (std::size_t i = 0; i < nreq; ++i) {
+            dep_ready = std::max(dep_ready, req_dep[i]);
+            nonscalar_ready = std::max(nonscalar_ready, req_dep[i]);
+        }
         // The replay trigger (signature check + popping the memoized
         // schedule) still occupies the node's runtime pipeline for the
         // traced overhead — that is the replay *throughput* bound — but
@@ -741,7 +751,9 @@ FutureScalar Runtime::launch(TaskLaunch launch) {
         for (std::size_t i = 0; i < nreq; ++i) {
             const RegionReq& req = launch.requirements[i];
             if (reads(req.privilege)) {
-                ready = std::max(ready, issue_read_transfers(req, proc.node, req_dep[i]));
+                const double arrival = issue_read_transfers(req, proc.node, req_dep[i]);
+                ready = std::max(ready, arrival);
+                nonscalar_ready = std::max(nonscalar_ready, arrival);
             }
         }
     } else {
@@ -765,6 +777,7 @@ FutureScalar Runtime::launch(TaskLaunch launch) {
                 analyze_requirement(req, want_contributors ? &contributors : nullptr);
             req_dep[i] = dep;
             dep_ready = std::max(dep_ready, dep);
+            nonscalar_ready = std::max(nonscalar_ready, dep);
             if (capturing) {
                 capture_requirement(rec, req, seq, traces_[active_trace_], contributors);
             }
@@ -799,15 +812,22 @@ FutureScalar Runtime::launch(TaskLaunch launch) {
         // values on the executing node (fetching for Reduce double-charged
         // every reduction task with a halo it never reads).
         ready = std::max(dep_ready, analysis_done);
+        nonscalar_ready = std::max(nonscalar_ready, analysis_done);
         for (std::size_t i = 0; i < nreq; ++i) {
             const RegionReq& req = launch.requirements[i];
             if (reads(req.privilege)) {
-                ready = std::max(ready, issue_read_transfers(
-                                            req, proc.node,
-                                            std::max(req_dep[i], analysis_done)));
+                const double arrival = issue_read_transfers(
+                    req, proc.node, std::max(req_dep[i], analysis_done));
+                ready = std::max(ready, arrival);
+                nonscalar_ready = std::max(nonscalar_ready, arrival);
             }
         }
     }
+
+    // Allreduce-attributable stall: the part of this task's wait explained
+    // only by a reduced scalar (or the blocking collective front) — local
+    // data, analysis, and transfers would all have been ready earlier.
+    allreduce_wait_ctr_->add(std::max(0.0, scalar_ready - nonscalar_ready));
 
     if (prof) {
         for (obs::EventId id : profiler_->end_collect()) ev_deps.push_back(id);
@@ -842,6 +862,7 @@ FutureScalar Runtime::launch(TaskLaunch launch) {
     // requirement access checkers installed; afterwards the actual touched
     // sets are race-checked against the shadow frontier and linted.
     std::optional<double> scalar;
+    task_scalars_.clear();
     if (options_.materialize && launch.body) {
         TaskContext ctx(*this, launch);
         if (validator_ != nullptr) {
@@ -857,6 +878,7 @@ FutureScalar Runtime::launch(TaskLaunch launch) {
             launch.body(ctx);
         }
         scalar = ctx.scalar();
+        task_scalars_ = ctx.take_scalars();
     }
 
     // Write-backs and access-list updates. Effective finishes also land in
@@ -1014,6 +1036,10 @@ obs::SolveReport Runtime::build_solve_report(std::vector<obs::ConvergenceSample>
                                           : metrics_.counter_value(name);
         return static_cast<std::uint64_t>(v);
     };
+    r.global_syncs = u64("global_syncs");
+    r.allreduce_wait_seconds =
+        since != nullptr ? metrics_.counter_value_since("allreduce_wait_seconds", since->metrics)
+                         : metrics_.counter_value("allreduce_wait_seconds");
     r.faults.task_faults = u64("task_faults_injected");
     r.faults.task_retries = u64("task_retries");
     r.faults.retries_exhausted = u64("task_retries_exhausted");

@@ -71,12 +71,20 @@ public:
     void set_scalar(double v) noexcept { scalar_ = v; }
     [[nodiscard]] std::optional<double> scalar() const noexcept { return scalar_; }
 
+    /// Publish one entry of a multi-scalar result (fused Gram kernels emit
+    /// one partial per inner-product pair from a single launch). Ordered:
+    /// the k-th push is the k-th scalar. Retrieved by the planner through
+    /// Runtime::take_task_scalars() right after the launch returns.
+    void push_scalar(double v) { scalars_.push_back(v); }
+    [[nodiscard]] std::vector<double> take_scalars() noexcept { return std::move(scalars_); }
+
     [[nodiscard]] const TaskLaunch& launch() const noexcept { return launch_; }
 
 private:
     Runtime& rt_;
     const TaskLaunch& launch_;
     std::optional<double> scalar_;
+    std::vector<double> scalars_;
 };
 
 struct RuntimeOptions {
@@ -259,6 +267,27 @@ public:
     [[nodiscard]] obs::SpanTracker& spans() noexcept { return spans_; }
     [[nodiscard]] const obs::SpanTracker& spans() const noexcept { return spans_; }
 
+    // ------------------------------------------------------- collectives
+    /// Blocking-allreduce semantics (MPI_Allreduce): every task launched
+    /// after the collective waits for its completion, not just consumers of
+    /// the reduced scalar. The planner raises the front at each reduction's
+    /// completion time when PlannerOptions::allreduce is `blocking`; the
+    /// default nonblocking mode never raises it, so scalars stay plain
+    /// futures. The front rides on the scalar-dependence path and is NOT
+    /// part of launch signatures — switching modes re-times a run without
+    /// perturbing traces.
+    void raise_collective_front(double done) noexcept {
+        if (done > collective_front_) collective_front_ = done;
+    }
+    [[nodiscard]] double collective_front() const noexcept { return collective_front_; }
+
+    /// Multi-scalar results of the most recent launch (TaskContext::
+    /// push_scalar), consumed exactly once by the planner op that issued it.
+    /// Empty in timing-only mode and for single-scalar tasks.
+    [[nodiscard]] std::vector<double> take_task_scalars() noexcept {
+        return std::move(task_scalars_);
+    }
+
     /// Aggregate everything observed so far (profiles, metrics, spans, the
     /// cluster's busy timelines) into a structured report. Task-kind rows
     /// require profiling to have been enabled for the whole run.
@@ -393,6 +422,9 @@ private:
     };
     std::vector<TransferCounters> transfer_counters_; ///< nodes x nodes, lazy
     obs::Counter* analysis_stall_ctr_ = nullptr;
+    obs::Counter* allreduce_wait_ctr_ = nullptr;
+    double collective_front_ = 0.0; ///< see raise_collective_front()
+    std::vector<double> task_scalars_; ///< see take_task_scalars()
     obs::Counter* task_fault_ctr_ = nullptr;
     obs::Counter* task_retry_ctr_ = nullptr;
     obs::Counter* retry_exhausted_ctr_ = nullptr;

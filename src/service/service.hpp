@@ -50,6 +50,7 @@
 #include <vector>
 
 #include "core/recovery.hpp"
+#include "core/solver_registry.hpp"
 #include "core/solvers.hpp"
 #include "obs/service_report.hpp"
 #include "sparse/csr.hpp"
@@ -64,7 +65,7 @@ struct SolveRequest {
     std::string tenant = "default";
     double arrival = 0.0;          ///< virtual submission time (seconds)
     stencil::Spec spec{};          ///< system structure (the trace-cache key)
-    std::string solver = "cg";     ///< cg | bicg | bicgstab | gmres | minres
+    std::string solver = "cg";     ///< registry spec (cg, gmres/30, ca_cg/4, ...)
     std::uint64_t rhs_seed = 1;
     double tol = 1e-8;
     int max_iterations = 200;
@@ -115,6 +116,9 @@ struct ServiceOptions {
     /// and pays full dependence analysis (the cold-cache baseline).
     bool share_contexts = true;
     std::string fallback_solver;   ///< recovery fallback ("" = none)
+    /// Defaults for solver-spec parameters requests leave open (CA block
+    /// size/basis, GMRES restart).
+    core::SolverParams solver_params;
     core::RecoveryOptions recovery;
     /// Base planner configuration; `color_offset` is overwritten per lane.
     core::PlannerOptions planner;
@@ -122,18 +126,22 @@ struct ServiceOptions {
     std::map<std::string, double> tenant_weights;
 };
 
-/// Construct a solver factory from its service name.
-[[nodiscard]] inline core::SolverFactory<double> solver_factory(const std::string& name) {
-    KDR_REQUIRE(name == "cg" || name == "bicg" || name == "bicgstab" || name == "gmres" ||
-                    name == "minres",
-                "service: unknown solver '", name, "'");
-    return [name](core::Planner<double>& p) -> std::unique_ptr<core::Solver<double>> {
-        if (name == "cg") return std::make_unique<core::CgSolver<double>>(p);
-        if (name == "bicg") return std::make_unique<core::BiCgSolver<double>>(p);
-        if (name == "bicgstab") return std::make_unique<core::BiCgStabSolver<double>>(p);
-        if (name == "gmres") return std::make_unique<core::GmresSolver<double>>(p, 10);
-        return std::make_unique<core::MinresSolver<double>>(p);
-    };
+/// Construct a solver factory from its service name. Requests route through
+/// the core solver registry, so any spec it accepts — including the
+/// communication-avoiding methods, e.g. "ca_cg/4/newton" or "ca_gmres" —
+/// is servable; `params` fills in unspecified CA block size/basis.
+[[nodiscard]] inline core::SolverFactory<double>
+solver_factory(const std::string& name, const core::SolverParams& params = {}) {
+    KDR_REQUIRE(core::is_known_solver<double>(name), "service: unknown solver '", name,
+                "'");
+    return core::make_solver_factory<double>(name, params);
+}
+
+/// Pre-registry construction path.
+[[deprecated("use solver_factory(name, SolverParams) — registry-backed")]]
+[[nodiscard]] inline core::SolverFactory<double>
+make_service_solver(const std::string& name) {
+    return solver_factory(name);
 }
 
 class ServiceEngine {
@@ -410,10 +418,11 @@ private:
         try {
             admit_job(cx, req, slot, start);
             r.outcome = core::solve_with_recovery<double>(
-                *cx.planner, solver_factory(req.solver), req.tol, req.max_iterations,
-                opts_.recovery,
-                opts_.fallback_solver.empty() ? core::SolverFactory<double>{}
-                                              : solver_factory(opts_.fallback_solver));
+                *cx.planner, solver_factory(req.solver, opts_.solver_params), req.tol,
+                req.max_iterations, opts_.recovery,
+                opts_.fallback_solver.empty()
+                    ? core::SolverFactory<double>{}
+                    : solver_factory(opts_.fallback_solver, opts_.solver_params));
         } catch (const rt::TaskFailedError&) {
             // A fault killed the admit task itself (before any recovery
             // scope existed): the job aborts with whatever history it has.

@@ -1,0 +1,84 @@
+#pragma once
+
+/// \file collective.hpp
+/// The allreduce model shared by every scalar reduction in the stack.
+///
+/// A global scalar reduction (dot products, fused update+reduce kernels, and
+/// the s-step Gram batch) combines per-piece partials over a binary tree:
+/// ceil(log2(p)) levels, each costing `MachineDesc::collective_hop_latency`.
+/// The cost is an α-term model — the payload (8 bytes per scalar, a few
+/// hundred for a Gram batch) is negligible against the per-hop latency at
+/// every machine scale we simulate, which is exactly why batching many
+/// scalars into one reduction is (nearly) free while extra reductions are
+/// not.
+///
+/// Two completion semantics, selected per planner:
+///
+///  * nonblocking (default): the reduction is *posted* when the last partial
+///    is available and completes `tree_latency` later, but only consumers of
+///    the reduced scalar wait for it (a future, MPI_Iallreduce-style). Local
+///    kernels with no scalar dependence overlap the tree.
+///  * blocking: every rank returns from the collective together
+///    (MPI_Allreduce-style) — the runtime raises a "collective front" at the
+///    completion time and no subsequent task may start before it.
+///
+/// Both semantics charge the same tree latency; they differ only in who
+/// waits. The split is observable through the `global_syncs` and
+/// `allreduce_wait_seconds` counters.
+
+#include <cmath>
+
+#include "simcluster/machine.hpp"
+
+namespace kdr::sim {
+
+/// Who waits for a global scalar reduction to complete.
+enum class AllreduceMode {
+    nonblocking, ///< futures: only consumers of the scalar wait (default)
+    blocking,    ///< barrier-like: every subsequent task waits
+};
+
+/// Tree depth for `participants` reduction partials. A single participant
+/// still pays one hop (the result must reach the host/consumer side), which
+/// keeps the formula continuous down to one piece.
+[[nodiscard]] inline double collective_tree_hops(int participants) {
+    return std::ceil(std::log2(static_cast<double>(participants < 2 ? 2 : participants)));
+}
+
+/// Latency of one posted allreduce over `participants` partials.
+[[nodiscard]] inline double collective_tree_latency(const MachineDesc& machine,
+                                                    int participants) {
+    return collective_tree_hops(participants) * machine.collective_hop_latency;
+}
+
+/// One in-flight allreduce: posted when the last partial was produced,
+/// complete one tree traversal later. The post/wait split is what makes the
+/// nonblocking mode overlappable — `wait()` only matters to consumers.
+struct PendingAllreduce {
+    double posted = 0.0; ///< last partial available (the post time)
+    double done = 0.0;   ///< posted + tree latency (the wait time)
+
+    /// Completion as seen by a consumer that becomes ready at
+    /// `consumer_ready`: the consumer stalls only for the part of the tree
+    /// its own local work did not already hide.
+    [[nodiscard]] double wait(double consumer_ready) const {
+        return consumer_ready > done ? consumer_ready : done;
+    }
+
+    /// Tree seconds hidden behind a consumer's local work (overlap won by
+    /// the nonblocking mode; 0 when the consumer was already waiting).
+    [[nodiscard]] double overlapped(double consumer_ready) const {
+        const double late = consumer_ready - posted;
+        if (late <= 0.0) return 0.0;
+        const double lat = done - posted;
+        return late < lat ? late : lat;
+    }
+};
+
+/// Post an allreduce whose last partial lands at `posted`.
+[[nodiscard]] inline PendingAllreduce post_allreduce(const MachineDesc& machine,
+                                                     int participants, double posted) {
+    return {posted, posted + collective_tree_latency(machine, participants)};
+}
+
+} // namespace kdr::sim

@@ -3,12 +3,26 @@
 /// in-tree may reference it again. The detector is pure SFINAE — if someone
 /// reintroduces a member with that name, the static_assert below fails the
 /// build of this (always-compiled) test translation unit.
+///
+/// Also the solver-construction surface: make_solver / SolverRegistry is the
+/// single construction path, every built-in spec must resolve, and no
+/// non-core call site may construct solver classes directly (checked by a
+/// source scan over the repo's layers — see RegistryIsTheOnlyConstructionPath).
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
 #include <type_traits>
+#include <vector>
 
 #include "core/planner.hpp"
+#include "core/preconditioners.hpp"
+#include "core/solver_registry.hpp"
+#include "stencil/stencil.hpp"
 
 namespace kdr::core {
 namespace {
@@ -64,6 +78,152 @@ TEST(ApiSurface, DeprecatedShimsAreGone) {
     // suite reports the property by name.
     EXPECT_FALSE(has_add_operator_planned<Planner<double>>::value);
 }
+
+// ---------------------------------------------------------------------------
+// Solver registry: the single construction surface.
+
+TEST(ApiSurface, RegistryKnowsEveryBuiltin) {
+    for (const char* name :
+         {"cg", "pcg", "bicg", "bicgstab", "minres", "gmres", "ca_cg", "ca_gmres"}) {
+        EXPECT_TRUE(is_known_solver<double>(name)) << name;
+    }
+    EXPECT_FALSE(is_known_solver<double>("sor"));
+    EXPECT_FALSE(is_known_solver<double>(""));
+    // names() is the user-facing error-message inventory; it must cover the
+    // same set.
+    const std::vector<std::string> names = SolverRegistry<double>::instance().names();
+    EXPECT_EQ(names.size(), 8u);
+}
+
+/// A small functional Poisson planner for construction-level checks.
+struct RegistryFixture {
+    rt::Runtime runtime{sim::MachineDesc::lassen(1)};
+    std::unique_ptr<Planner<double>> planner;
+    std::shared_ptr<CsrMatrix<double>> A;
+
+    RegistryFixture() {
+        stencil::Spec spec;
+        spec.kind = stencil::Kind::D2P5;
+        spec.nx = 8;
+        spec.ny = 8;
+        const gidx n = spec.unknowns();
+        const IndexSpace D = IndexSpace::create(n, "D");
+        const rt::RegionId xr = runtime.create_region(D, "x");
+        const rt::RegionId br = runtime.create_region(D, "b");
+        const rt::FieldId xf = runtime.add_field<double>(xr, "v");
+        const rt::FieldId bf = runtime.add_field<double>(br, "v");
+        {
+            const auto b = stencil::random_rhs(n, 7);
+            auto bd = runtime.field_data<double>(br, bf);
+            std::copy(b.begin(), b.end(), bd.begin());
+        }
+        planner = std::make_unique<Planner<double>>(runtime);
+        planner->add_sol_vector(xr, xf, Partition::equal(D, 2));
+        planner->add_rhs_vector(br, bf, Partition::equal(D, 2));
+        A = std::make_shared<CsrMatrix<double>>(stencil::laplacian_csr(spec, D, D));
+        planner->add_operator(A, 0, 0);
+        add_jacobi_preconditioner<double>(*planner, {{A}});
+    }
+};
+
+TEST(ApiSurface, EverySpecBuildsAndSteps) {
+    for (const char* spec : {"cg", "pcg", "bicg", "bicgstab", "minres", "gmres",
+                             "gmres/5", "ca_cg", "ca_cg/2", "ca_cg/4/newton", "ca_gmres",
+                             "ca_gmres/8", "ca_gmres/8/2", "ca_gmres/8/2/newton"}) {
+        SCOPED_TRACE(spec);
+        RegistryFixture f;
+        std::unique_ptr<Solver<double>> s = make_solver<double>(spec, *f.planner);
+        ASSERT_NE(s, nullptr);
+        s->step();
+        EXPECT_TRUE(std::isfinite(s->get_convergence_measure().value));
+    }
+}
+
+TEST(ApiSurface, ParamsFillUnspecifiedArguments) {
+    RegistryFixture f;
+    SolverParams params;
+    params.ca_s = 2;
+    params.ca_basis = CaBasis::newton;
+    params.gmres_restart = 5;
+    // Bare names pick the params up; spec arguments override them.
+    auto ca = make_solver<double>("ca_cg", *f.planner, params);
+    EXPECT_EQ(ca->iterations_per_step(), 2);
+    auto ca4 = make_solver<double>("ca_cg/4", *f.planner, params);
+    EXPECT_EQ(ca4->iterations_per_step(), 4);
+    auto g = make_solver<double>("gmres", *f.planner, params);
+    ASSERT_NE(g, nullptr);
+}
+
+TEST(ApiSurface, MalformedSpecsAreRejected) {
+    RegistryFixture f;
+    for (const char* spec :
+         {"notasolver", "cg/2", "gmres/0", "gmres/x", "gmres/5/3", "ca_cg/0",
+          "ca_cg/4/fourier", "ca_gmres/8/0", "ca_gmres/8/2/what", "ca_cg/4/", "/cg"}) {
+        SCOPED_TRACE(spec);
+        EXPECT_THROW((void)make_solver<double>(spec, *f.planner), Error);
+    }
+}
+
+TEST(ApiSurface, FactoryDefersConstruction) {
+    const auto factory = make_solver_factory<double>("ca_cg/2");
+    RegistryFixture f;
+    std::unique_ptr<Solver<double>> s = factory(*f.planner);
+    ASSERT_NE(s, nullptr);
+    EXPECT_EQ(s->iterations_per_step(), 2);
+    EXPECT_THROW((void)make_solver_factory<double>("notasolver"), Error);
+}
+
+// ---------------------------------------------------------------------------
+// Source scan: no call site outside src/core (and the test tree, which owns
+// the golden fixtures) may construct a solver class directly — everything
+// routes through make_solver / the registry. KDR_SOURCE_DIR is injected by
+// the test build.
+
+#ifdef KDR_SOURCE_DIR
+TEST(ApiSurface, RegistryIsTheOnlyConstructionPath) {
+    const std::vector<std::string> files = {
+        "examples/quickstart.cpp",
+        "examples/matrix_market_solve.cpp",
+        "examples/multiple_rhs.cpp",
+        "examples/dynamic_load_balance.cpp",
+        "examples/custom_format.cpp",
+        "examples/mixed_formats.cpp",
+        "examples/boundary_coupling.cpp",
+        "bench/bench_fig8_stencil.cpp",
+        "bench/bench_fig9_multiop.cpp",
+        "bench/bench_fig10_loadbalance.cpp",
+        "bench/bench_ablation_tracing.cpp",
+        "bench/bench_ablation_overhead.cpp",
+        "bench/bench_ablation_partition.cpp",
+        "bench/bench_ablation_restart.cpp",
+        "bench/bench_ablation_faults.cpp",
+        "bench/bench_ablation_comm.cpp",
+        "bench/bench_scaling.cpp",
+        "bench/bench_service.cpp",
+        "bench/bench_planner_ops.cpp",
+        "bench/harness.hpp",
+        "src/service/service.hpp",
+    };
+    const std::vector<std::string> tokens = {
+        "CgSolver<",      "PcgSolver<",    "BiCgSolver<",   "BiCgStabSolver<",
+        "MinresSolver<",  "GmresSolver<",  "CaCgSolver<",   "CaGmresSolver<",
+    };
+    for (const std::string& rel : files) {
+        const std::string path = std::string(KDR_SOURCE_DIR) + "/" + rel;
+        std::ifstream in(path);
+        ASSERT_TRUE(in.good()) << "cannot open " << path
+                               << " (file list out of date?)";
+        std::ostringstream ss;
+        ss << in.rdbuf();
+        const std::string text = ss.str();
+        for (const std::string& tok : tokens) {
+            EXPECT_EQ(text.find(tok), std::string::npos)
+                << rel << " names " << tok
+                << " directly; construct solvers via core::make_solver";
+        }
+    }
+}
+#endif
 
 } // namespace
 } // namespace kdr::core
